@@ -1,0 +1,379 @@
+//! Script-based baselines: Strider-style signal-guided template repair
+//! and RTLrepair-style template search.
+//!
+//! Both are genuinely algorithmic (no LLM, no ground truth): they
+//! enumerate small mutation templates and accept the first candidate
+//! that passes the public directed testbench — which is precisely why
+//! their Hit Rates outrun their Fix Rates in Fig. 6.
+
+use crate::method::{MethodOutcome, RepairMethod};
+use std::time::Instant;
+use uvllm::stages::{directed_stage, UvmOutcome};
+use uvllm_designs::Design;
+use uvllm_dfg::Dfg;
+use uvllm_llm::Usage;
+use uvllm_verilog::lexer::tokenize;
+use uvllm_verilog::span::{LineMap, Span};
+use uvllm_verilog::token::{Token, TokenKind};
+
+/// One candidate textual edit.
+#[derive(Debug, Clone)]
+struct Candidate {
+    span: Span,
+    replacement: String,
+}
+
+/// Generates operator-flip and literal-perturbation candidates inside
+/// the given byte regions (or everywhere when `regions` is `None`).
+fn template_candidates(src: &str, regions: Option<&[Span]>) -> Vec<Candidate> {
+    let Ok(tokens) = tokenize(src) else { return Vec::new() };
+    let in_region = |t: &Token| match regions {
+        None => true,
+        Some(rs) => rs.iter().any(|r| t.span.start >= r.start && t.span.end <= r.end),
+    };
+    let mut out = Vec::new();
+    for t in tokens.iter().filter(|t| in_region(t)) {
+        match &t.kind {
+            TokenKind::Plus => out.push(Candidate { span: t.span, replacement: "-".into() }),
+            TokenKind::Minus => out.push(Candidate { span: t.span, replacement: "+".into() }),
+            TokenKind::Amp => out.push(Candidate { span: t.span, replacement: "|".into() }),
+            TokenKind::Pipe => out.push(Candidate { span: t.span, replacement: "&".into() }),
+            TokenKind::Caret => out.push(Candidate { span: t.span, replacement: "~^".into() }),
+            TokenKind::Shl => out.push(Candidate { span: t.span, replacement: ">>".into() }),
+            TokenKind::Shr => out.push(Candidate { span: t.span, replacement: "<<".into() }),
+            TokenKind::Lt => out.push(Candidate { span: t.span, replacement: "<=".into() }),
+            TokenKind::Gt => out.push(Candidate { span: t.span, replacement: ">=".into() }),
+            TokenKind::EqEq => out.push(Candidate { span: t.span, replacement: "!=".into() }),
+            TokenKind::NotEq => out.push(Candidate { span: t.span, replacement: "==".into() }),
+            TokenKind::Number(n) if n.digits.chars().all(|c| c.is_ascii_hexdigit()) => {
+                let text = t.span.text(src);
+                for delta in [1i64, -1] {
+                    if let Some(rep) = shift_literal(text, delta) {
+                        out.push(Candidate { span: t.span, replacement: rep });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Rewrites a literal with its value shifted by `delta`, preserving the
+/// width/base prefix.
+fn shift_literal(text: &str, delta: i64) -> Option<String> {
+    if let Some(apos) = text.find('\'') {
+        let head = &text[..apos + 2]; // includes base letter
+        let digits = &text[apos + 2..];
+        let radix = match text.as_bytes().get(apos + 1)?.to_ascii_lowercase() {
+            b'h' => 16,
+            b'b' => 2,
+            b'o' => 8,
+            b'd' => 10,
+            _ => return None,
+        };
+        let v = i64::from_str_radix(&digits.replace('_', ""), radix).ok()?;
+        let nv = v.checked_add(delta)?;
+        if nv < 0 {
+            return None;
+        }
+        let rendered = match radix {
+            16 => format!("{nv:x}"),
+            2 => format!("{nv:b}"),
+            8 => format!("{nv:o}"),
+            _ => format!("{nv}"),
+        };
+        Some(format!("{head}{rendered}"))
+    } else {
+        let v: i64 = text.parse().ok()?;
+        let nv = v.checked_add(delta)?;
+        if nv < 0 {
+            return None;
+        }
+        Some(format!("{nv}"))
+    }
+}
+
+/// Bitwidth templates: widen/narrow declared ranges by one bit.
+fn bitwidth_candidates(src: &str) -> Vec<Candidate> {
+    let Ok(file) = uvllm_verilog::parse(src) else { return Vec::new() };
+    let mut out = Vec::new();
+    let mut push = |r: &uvllm_verilog::ast::Range| {
+        use uvllm_verilog::ast::Expr;
+        let (Expr::Number(m), Expr::Number(l)) = (&r.msb, &r.lsb) else { return };
+        for delta in [1i64, -1] {
+            let nm = m.value as i64 + delta;
+            if nm > l.value as i64 && nm < 128 {
+                out.push(Candidate {
+                    span: r.span,
+                    replacement: format!("[{nm}:{}]", l.value),
+                });
+            }
+        }
+    };
+    for module in &file.modules {
+        for p in &module.ports {
+            if let Some(r) = &p.range {
+                push(r);
+            }
+        }
+        for item in &module.items {
+            if let uvllm_verilog::ast::Item::Net(d) = item {
+                if let Some(r) = &d.range {
+                    push(r);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn apply(src: &str, c: &Candidate) -> String {
+    let mut s = src.to_string();
+    s.replace_range(c.span.start..c.span.end, &c.replacement);
+    s
+}
+
+/// Runs the public tests; `Some(true)` = pass, `Some(false)` = fail,
+/// `None` = does not build.
+fn public_verdict(design: &Design, code: &str) -> Option<bool> {
+    match directed_stage(code, design) {
+        UvmOutcome::Ran(run) => Some(run.all_passed()),
+        UvmOutcome::BuildFailed(_) => None,
+    }
+}
+
+/// Shared search driver for the two template methods.
+fn template_search(
+    name: &'static str,
+    design: &Design,
+    src: &str,
+    candidates: Vec<Candidate>,
+    budget: usize,
+) -> MethodOutcome {
+    let wall = Instant::now();
+    let mut iterations = 0;
+    // Unrepaired code that already passes: accept as-is (the escape
+    // hatch the paper criticises).
+    if public_verdict(design, src) == Some(true) {
+        return MethodOutcome {
+            final_code: src.to_string(),
+            claimed_success: true,
+            iterations: 0,
+            time: wall.elapsed(),
+            usage: Usage::default(),
+        };
+    }
+    for c in candidates.into_iter().take(budget) {
+        iterations += 1;
+        let candidate = apply(src, &c);
+        if candidate == src {
+            continue;
+        }
+        if public_verdict(design, &candidate) == Some(true) {
+            return MethodOutcome {
+                final_code: candidate,
+                claimed_success: true,
+                iterations,
+                time: wall.elapsed(),
+                usage: Usage::default(),
+            };
+        }
+        let _ = name;
+    }
+    MethodOutcome {
+        final_code: src.to_string(),
+        claimed_success: false,
+        iterations,
+        time: wall.elapsed(),
+        usage: Usage::default(),
+    }
+}
+
+/// Strider-style repair: signal-value-transition-guided defect repair.
+/// Mismatching output signals (from the public run) select suspicious
+/// statements via the DFG; templates are tried there first.
+#[derive(Debug, Default)]
+pub struct StriderRepair {
+    /// Candidate budget per instance.
+    pub budget: usize,
+}
+
+impl StriderRepair {
+    /// Default configuration (300-candidate budget).
+    pub fn new() -> Self {
+        StriderRepair { budget: 300 }
+    }
+}
+
+impl RepairMethod for StriderRepair {
+    fn name(&self) -> &str {
+        "Strider"
+    }
+
+    fn repair(&mut self, design: &Design, src: &str) -> MethodOutcome {
+        // Functional-only method: syntax-broken inputs are returned
+        // unrepaired (the paper evaluates Strider on functional errors).
+        let Ok(file) = uvllm_verilog::parse(src) else {
+            return MethodOutcome {
+                final_code: src.to_string(),
+                claimed_success: false,
+                iterations: 0,
+                time: std::time::Duration::ZERO,
+                usage: Usage::default(),
+            };
+        };
+        // Localize: which outputs mismatch on the public tests?
+        let mismatch_signals: Vec<String> = match directed_stage(src, design) {
+            UvmOutcome::Ran(run) => {
+                let mut s: Vec<String> =
+                    run.mismatches.iter().map(|m| m.signal.clone()).collect();
+                s.sort();
+                s.dedup();
+                s
+            }
+            UvmOutcome::BuildFailed(_) => Vec::new(),
+        };
+        let regions: Option<Vec<Span>> = file.module(design.name).map(|module| {
+            let dfg = Dfg::build(module);
+            let mut spans: Vec<Span> = Vec::new();
+            for sig in &mismatch_signals {
+                let slice = dfg.static_slice(sig);
+                spans.extend(slice.sites.iter().map(|i| dfg.sites[*i].span));
+            }
+            spans
+        });
+        let regions = regions.filter(|r| !r.is_empty());
+        let mut candidates = template_candidates(src, regions.as_deref());
+        // Fall back to a global search when localization found nothing.
+        if candidates.is_empty() {
+            candidates = template_candidates(src, None);
+        }
+        template_search("Strider", design, src, candidates, self.budget)
+    }
+}
+
+/// RTLrepair-style repair: a global template search over operator,
+/// constant and declaration-width changes (its strength on "incorrect
+/// bitwidth" in Fig. 6 comes from the width templates).
+#[derive(Debug, Default)]
+pub struct RtlRepair {
+    /// Candidate budget per instance.
+    pub budget: usize,
+}
+
+impl RtlRepair {
+    /// Default configuration (400-candidate budget).
+    pub fn new() -> Self {
+        RtlRepair { budget: 400 }
+    }
+}
+
+impl RepairMethod for RtlRepair {
+    fn name(&self) -> &str {
+        "RTLrepair"
+    }
+
+    fn repair(&mut self, design: &Design, src: &str) -> MethodOutcome {
+        if uvllm_verilog::parse(src).is_err() {
+            return MethodOutcome {
+                final_code: src.to_string(),
+                claimed_success: false,
+                iterations: 0,
+                time: std::time::Duration::ZERO,
+                usage: Usage::default(),
+            };
+        }
+        // Width templates first (the method's signature strength), then
+        // the generic operator/constant space.
+        let mut candidates = bitwidth_candidates(src);
+        candidates.extend(template_candidates(src, None));
+        template_search("RTLrepair", design, src, candidates, self.budget)
+    }
+}
+
+/// Maps suspicious line numbers to statement spans (exposed for tests).
+pub fn line_spans(src: &str, lines: &[u32]) -> Vec<Span> {
+    let map = LineMap::new(src);
+    lines
+        .iter()
+        .filter_map(|l| {
+            let start = map.line_start(*l)?;
+            let end = map.line_start(l + 1).unwrap_or(src.len());
+            Some(Span::new(start, end))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvllm::metrics::{fix_confirmed, hit_confirmed};
+    use uvllm_designs::by_name;
+
+    #[test]
+    fn strider_fixes_a_value_error_it_can_see() {
+        let d = by_name("counter_12").unwrap();
+        // Wrap constant off by two — the directed vectors do not reach
+        // the wrap, so the bug is invisible to Strider's own tests: it
+        // accepts the code unrepaired (claimed success, FR fail).
+        let buggy = d.source.replace("== 4'd11", "== 4'd13");
+        let mut strider = StriderRepair::new();
+        let out = strider.repair(d, &buggy);
+        assert!(out.claimed_success);
+        assert!(hit_confirmed(d, &out.final_code));
+        assert!(!fix_confirmed(d, &out.final_code), "overfit accepted");
+    }
+
+    #[test]
+    fn strider_repairs_visible_operator_bug() {
+        let d = by_name("alu_8bit").unwrap();
+        // `a + b` -> `a - b` in the op-0 arm; the directed vectors DO
+        // exercise op 0, so Strider sees the failure and its operator
+        // template genuinely repairs it.
+        let buggy = d.source.replace("3'd0: y = a + b;", "3'd0: y = a - b;");
+        assert_ne!(buggy, d.source);
+        let mut strider = StriderRepair::new();
+        let out = strider.repair(d, &buggy);
+        assert!(out.claimed_success, "template should find the fix");
+        assert!(hit_confirmed(d, &out.final_code));
+        assert!(fix_confirmed(d, &out.final_code), "this one is a true fix");
+    }
+
+    #[test]
+    fn rtlrepair_width_template_repairs_shrunk_range() {
+        let d = by_name("adder_8bit").unwrap();
+        // Narrow the sum port: visible even on the weak vectors?
+        // 10+20=30 fits in 7 bits, but 100+27=127 fits too — use the
+        // mutated *internal* width of sum [6:0]: 127 still fits! The
+        // cin vector gives 7+8+1=16. All weak vectors fit 7 bits, so the
+        // weak tests cannot see it... unless the X-padding differs: a
+        // [6:0] sum leaves bit 7 undriven in an 8-bit read -> mismatch.
+        let buggy = d.source.replace("output [7:0] sum", "output [6:0] sum");
+        assert_ne!(buggy, d.source);
+        let mut rtl = RtlRepair::new();
+        let out = rtl.repair(d, &buggy);
+        if out.claimed_success {
+            assert!(hit_confirmed(d, &out.final_code));
+        }
+    }
+
+    #[test]
+    fn methods_give_up_on_syntax_errors() {
+        let d = by_name("mux4").unwrap();
+        let broken = d.source.replace(';', "");
+        let mut strider = StriderRepair::new();
+        assert!(!strider.repair(d, &broken).claimed_success);
+        let mut rtl = RtlRepair::new();
+        assert!(!rtl.repair(d, &broken).claimed_success);
+    }
+
+    #[test]
+    fn literal_shift_forms() {
+        assert_eq!(shift_literal("4'd11", 1).as_deref(), Some("4'd12"));
+        assert_eq!(shift_literal("4'd11", -1).as_deref(), Some("4'd10"));
+        assert_eq!(shift_literal("8'hff", 1).as_deref(), Some("8'h100"));
+        assert_eq!(shift_literal("8'd0", -1), None);
+        assert_eq!(shift_literal("5", 1).as_deref(), Some("6"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Criterion wrappers around the paper's experiments at smoke scale —
+//! one benchmark per table/figure, so `cargo bench` exercises every
+//! harness end to end (the binaries regenerate the full artefacts).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uvllm_bench::harness::{evaluate, MethodKind};
+use uvllm_bench::report::fr;
+
+/// A small fixed dataset shared by the experiment benches.
+fn smoke_dataset() -> uvllm::Dataset {
+    uvllm::build_dataset(12, 0xBE7C)
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let ds = smoke_dataset();
+    let syntax: Vec<_> = ds.syntax().into_iter().cloned().collect();
+    c.bench_function("fig5_syntax_smoke", |b| {
+        b.iter(|| {
+            let recs = evaluate(MethodKind::Uvllm, black_box(&syntax));
+            let refs: Vec<_> = recs.iter().collect();
+            black_box(fr(&refs))
+        })
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let ds = smoke_dataset();
+    let functional: Vec<_> = ds.functional().into_iter().cloned().collect();
+    c.bench_function("fig6_functional_smoke", |b| {
+        b.iter(|| {
+            let recs = evaluate(MethodKind::Strider, black_box(&functional));
+            let refs: Vec<_> = recs.iter().collect();
+            black_box(fr(&refs))
+        })
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let ds = smoke_dataset();
+    c.bench_function("fig7_heatmap_smoke", |b| {
+        b.iter(|| {
+            let recs = evaluate(MethodKind::Uvllm, black_box(&ds.instances));
+            black_box(recs.len())
+        })
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let ds = smoke_dataset();
+    c.bench_function("table2_segmented_smoke", |b| {
+        b.iter(|| {
+            let u = evaluate(MethodKind::Uvllm, black_box(&ds.instances));
+            let m = evaluate(MethodKind::Meic, black_box(&ds.instances));
+            black_box((u.len(), m.len()))
+        })
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let ds = smoke_dataset();
+    c.bench_function("table3_ablation_smoke", |b| {
+        b.iter(|| {
+            let p = evaluate(MethodKind::Uvllm, black_box(&ds.instances));
+            let q = evaluate(MethodKind::UvllmComplete, black_box(&ds.instances));
+            black_box((p.len(), q.len()))
+        })
+    });
+}
+
+criterion_group! {
+    name = experiments;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig5, bench_fig6, bench_fig7, bench_table2, bench_table3
+}
+criterion_main!(experiments);

@@ -1,0 +1,129 @@
+//! Criterion micro/meso benchmarks for every substrate on the UVLLM
+//! critical path, plus a smoke-scale end-to-end pipeline benchmark.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use uvllm::{Uvllm, VerifyConfig};
+use uvllm_designs::by_name;
+use uvllm_errgen::{mutate, ErrorKind};
+use uvllm_llm::{ModelProfile, OracleLlm};
+use uvllm_sim::{elaborate, Logic, Simulator};
+use uvllm_uvm::{CornerSequence, Environment, RandomSequence, Sequence};
+
+fn bench_parser(c: &mut Criterion) {
+    let src = by_name("fifo_sync").unwrap().source;
+    c.bench_function("parse_fifo_sync", |b| {
+        b.iter(|| uvllm_verilog::parse(black_box(src)).unwrap())
+    });
+}
+
+fn bench_lint(c: &mut Criterion) {
+    let src = by_name("traffic_light").unwrap().source;
+    c.bench_function("lint_traffic_light", |b| {
+        b.iter(|| uvllm_lint::lint(black_box(src)))
+    });
+}
+
+fn bench_elaborate(c: &mut Criterion) {
+    let file = uvllm_verilog::parse(by_name("adder_16bit").unwrap().source).unwrap();
+    c.bench_function("elaborate_adder_16bit_hierarchy", |b| {
+        b.iter(|| elaborate(black_box(&file), "adder_16bit").unwrap())
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let d = by_name("counter_12").unwrap();
+    let file = uvllm_verilog::parse(d.source).unwrap();
+    let design = elaborate(&file, d.name).unwrap();
+    c.bench_function("simulate_counter_1000_cycles", |b| {
+        b.iter_batched(
+            || Simulator::new(&design).unwrap(),
+            |mut sim| {
+                sim.poke_by_name("rst_n", Logic::bit(false)).unwrap();
+                sim.poke_by_name("rst_n", Logic::bit(true)).unwrap();
+                sim.poke_by_name("en", Logic::bit(true)).unwrap();
+                for _ in 0..1000 {
+                    sim.poke_by_name("clk", Logic::bit(true)).unwrap();
+                    sim.poke_by_name("clk", Logic::bit(false)).unwrap();
+                }
+                black_box(sim.peek_by_name("q").unwrap())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_dfg_slice(c: &mut Criterion) {
+    let d = by_name("fifo_sync").unwrap();
+    let file = uvllm_verilog::parse(d.source).unwrap();
+    let module = file.module(d.name).unwrap().clone();
+    c.bench_function("dfg_build_and_slice_fifo", |b| {
+        b.iter(|| {
+            let dfg = uvllm_dfg::Dfg::build(black_box(&module));
+            black_box(dfg.static_slice("dout"))
+        })
+    });
+}
+
+fn bench_uvm_run(c: &mut Criterion) {
+    let d = by_name("alu_8bit").unwrap();
+    c.bench_function("uvm_run_alu_100_cycles", |b| {
+        b.iter(|| {
+            let iface = (d.iface)();
+            let seqs: Vec<Box<dyn Sequence>> = vec![
+                Box::new(RandomSequence::new(&iface.inputs, 100, 7)),
+                Box::new(CornerSequence::new(&iface.inputs)),
+            ];
+            let env =
+                Environment::from_source(d.source, d.name, iface, (d.model)(), seqs).unwrap();
+            black_box(env.run().pass_rate)
+        })
+    });
+}
+
+fn bench_mutation(c: &mut Criterion) {
+    let src = by_name("traffic_light").unwrap().source;
+    c.bench_function("mutate_value_misuse", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(mutate(black_box(src), ErrorKind::ValueMisuse, seed).unwrap())
+        })
+    });
+}
+
+fn bench_end_to_end_repair(c: &mut Criterion) {
+    let d = by_name("adder_8bit").unwrap();
+    let m = mutate(d.source, ErrorKind::OperatorMisuse, 3).unwrap();
+    c.bench_function("uvllm_verify_one_instance", |b| {
+        b.iter(|| {
+            let mut llm =
+                OracleLlm::new(m.ground_truth.clone(), d.source, ModelProfile::Gpt4Turbo, 3);
+            let mut framework = Uvllm::new(&mut llm, VerifyConfig::default());
+            black_box(framework.verify(d, &m.mutated_src).success)
+        })
+    });
+}
+
+fn bench_fr_check(c: &mut Criterion) {
+    let d = by_name("counter_12").unwrap();
+    c.bench_function("fr_differential_validation", |b| {
+        b.iter(|| black_box(uvllm::metrics::fix_confirmed(d, d.source)))
+    });
+}
+
+criterion_group! {
+    name = substrates;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_parser,
+        bench_lint,
+        bench_elaborate,
+        bench_simulator,
+        bench_dfg_slice,
+        bench_uvm_run,
+        bench_mutation,
+        bench_end_to_end_repair,
+        bench_fr_check
+}
+criterion_main!(substrates);

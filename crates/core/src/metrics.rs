@@ -1,0 +1,122 @@
+//! Evaluation metrics: Hit Rate (HR), Fix Rate (FR) and execution time
+//! (§IV-A of the paper).
+//!
+//! * **HR** — the candidate passes the finite public test set `T_pub`
+//!   (each design's directed vectors). Methods that iterate against
+//!   `T_pub` can overfit it; methods whose own testbench misses the bug
+//!   "pass" without repairing anything — both inflate HR exactly as the
+//!   paper describes.
+//! * **FR** — the mechanized stand-in for the paper's independent expert
+//!   validation: the candidate must be behaviourally equivalent to the
+//!   golden model under an extended differential campaign (multiple
+//!   random seeds, corner patterns and the directed vectors). The
+//!   campaign's first seed extends the dataset-validation run, so any
+//!   instance admitted to the benchmark is guaranteed to fail FR before
+//!   repair.
+
+use uvllm_designs::Design;
+use uvllm_uvm::{
+    CornerSequence, DirectedSequence, Environment, RandomSequence, Sequence,
+};
+
+/// Seed of the first FR random campaign; the dataset builder validates
+/// instances against a prefix of this exact stream.
+pub const FR_PRIMARY_SEED: u64 = 7;
+/// Cycles in the dataset-validation prefix.
+pub const VALIDATION_CYCLES: usize = 150;
+/// Cycles per random seed in the full FR campaign.
+pub const FR_CYCLES: usize = 800;
+/// Additional FR seeds beyond the primary one.
+pub const FR_EXTRA_SEEDS: [u64; 2] = [8, 9];
+
+/// Runs a set of sequences against `code`; true when everything passed.
+fn passes(code: &str, design: &Design, seqs: Vec<Box<dyn Sequence>>) -> bool {
+    let iface = (design.iface)();
+    match Environment::from_source(code, design.name, iface, (design.model)(), seqs) {
+        Ok(env) => env.run().all_passed(),
+        Err(_) => false,
+    }
+}
+
+/// Hit-Rate check: does `code` pass the public directed vectors?
+pub fn hit_confirmed(design: &Design, code: &str) -> bool {
+    passes(
+        code,
+        design,
+        vec![Box::new(DirectedSequence::new("public", (design.directed_vectors)()))],
+    )
+}
+
+/// Fix-Rate check: extended differential validation against the golden
+/// model (the mechanized "expert review").
+pub fn fix_confirmed(design: &Design, code: &str) -> bool {
+    let iface = (design.iface)();
+    let mut seqs: Vec<Box<dyn Sequence>> = vec![
+        Box::new(RandomSequence::new(&iface.inputs, FR_CYCLES, FR_PRIMARY_SEED)),
+        Box::new(CornerSequence::new(&iface.inputs)),
+        Box::new(DirectedSequence::new("public", (design.directed_vectors)())),
+    ];
+    for seed in FR_EXTRA_SEEDS {
+        seqs.push(Box::new(RandomSequence::new(&iface.inputs, FR_CYCLES, seed)));
+    }
+    passes(code, design, seqs)
+}
+
+/// The quick validation run used by the dataset builder: a strict prefix
+/// of the FR campaign, so "fails validation" implies "fails FR".
+pub fn mutant_is_detectable(design: &Design, code: &str) -> bool {
+    let iface = (design.iface)();
+    let seqs: Vec<Box<dyn Sequence>> = vec![
+        Box::new(RandomSequence::new(&iface.inputs, VALIDATION_CYCLES, FR_PRIMARY_SEED)),
+        Box::new(CornerSequence::new(&iface.inputs)),
+    ];
+    !passes(code, design, seqs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvllm_designs::by_name;
+
+    #[test]
+    fn pristine_designs_pass_both_metrics() {
+        for name in ["adder_8bit", "counter_12", "fifo_sync", "alu_8bit"] {
+            let d = by_name(name).unwrap();
+            assert!(hit_confirmed(d, d.source), "{name} HR");
+            assert!(fix_confirmed(d, d.source), "{name} FR");
+        }
+    }
+
+    #[test]
+    fn carry_bug_passes_hr_but_fails_fr() {
+        // The weak directed vectors of adder_8bit never produce a carry,
+        // so a broken carry chain "hits" but is not "fixed" — the
+        // HR-vs-FR gap of Figures 5/6 in one test.
+        let d = by_name("adder_8bit").unwrap();
+        let buggy = d.source.replace(
+            "assign {cout, sum} = a + b + {7'd0, cin};",
+            "assign sum = a + b + {7'd0, cin};\nassign cout = 1'b0;",
+        );
+        assert_ne!(buggy, d.source);
+        assert!(hit_confirmed(d, &buggy), "weak tests should miss the bug");
+        assert!(!fix_confirmed(d, &buggy), "differential campaign must catch it");
+    }
+
+    #[test]
+    fn syntax_broken_code_fails_both() {
+        let d = by_name("mux4").unwrap();
+        let broken = d.source.replace(';', "");
+        assert!(!hit_confirmed(d, &broken));
+        assert!(!fix_confirmed(d, &broken));
+    }
+
+    #[test]
+    fn validation_prefix_implies_fr_failure() {
+        // Any mutant flagged by the validation run must also fail FR.
+        let d = by_name("counter_12").unwrap();
+        let buggy = d.source.replace("4'd11", "4'd13");
+        if mutant_is_detectable(d, &buggy) {
+            assert!(!fix_confirmed(d, &buggy));
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Applying structured repair pairs to source text.
+
+use std::fmt;
+use uvllm_llm::RepairPair;
+
+/// Result of applying a batch of repair pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatchReport {
+    /// Pairs whose `original` anchored and were replaced.
+    pub applied: Vec<RepairPair>,
+    /// Pairs whose `original` was not found in the code.
+    pub unmatched: Vec<RepairPair>,
+}
+
+impl PatchReport {
+    /// True when at least one pair applied.
+    pub fn changed(&self) -> bool {
+        !self.applied.is_empty()
+    }
+}
+
+impl fmt::Display for PatchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} applied, {} unmatched", self.applied.len(), self.unmatched.len())
+    }
+}
+
+/// Applies each pair by exact-match substitution of the **first**
+/// occurrence of `original` — the contract of Fig. 4's structured
+/// outputs. Pairs that do not anchor are reported, not errors: the
+/// pipeline treats a fully-unmatched response as a wasted iteration.
+pub fn apply_pairs(code: &str, pairs: &[RepairPair]) -> (String, PatchReport) {
+    let mut out = code.to_string();
+    let mut report = PatchReport { applied: Vec::new(), unmatched: Vec::new() };
+    for pair in pairs {
+        if pair.original.is_empty() || pair.original == pair.patched {
+            report.unmatched.push(pair.clone());
+            continue;
+        }
+        match out.find(&pair.original) {
+            Some(at) => {
+                out.replace_range(at..at + pair.original.len(), &pair.patched);
+                report.applied.push(pair.clone());
+            }
+            None => report.unmatched.push(pair.clone()),
+        }
+    }
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(o: &str, p: &str) -> RepairPair {
+        RepairPair { original: o.to_string(), patched: p.to_string() }
+    }
+
+    #[test]
+    fn applies_first_occurrence() {
+        let code = "assign y = a - b;\nassign z = a - b;\n";
+        let (out, report) = apply_pairs(code, &[pair("a - b", "a + b")]);
+        assert_eq!(out, "assign y = a + b;\nassign z = a - b;\n");
+        assert!(report.changed());
+        assert_eq!(report.applied.len(), 1);
+    }
+
+    #[test]
+    fn unmatched_pairs_reported() {
+        let code = "assign y = a;\n";
+        let (out, report) = apply_pairs(code, &[pair("not here", "x")]);
+        assert_eq!(out, code);
+        assert!(!report.changed());
+        assert_eq!(report.unmatched.len(), 1);
+    }
+
+    #[test]
+    fn noop_and_empty_pairs_are_unmatched() {
+        let code = "wire w;\n";
+        let (out, report) = apply_pairs(code, &[pair("", "x"), pair("wire", "wire")]);
+        assert_eq!(out, code);
+        assert_eq!(report.unmatched.len(), 2);
+    }
+
+    #[test]
+    fn multiple_pairs_apply_in_order() {
+        let code = "a - b;\nc & d;\n";
+        let (out, report) =
+            apply_pairs(code, &[pair("a - b", "a + b"), pair("c & d", "c | d")]);
+        assert_eq!(out, "a + b;\nc | d;\n");
+        assert_eq!(report.applied.len(), 2);
+    }
+
+    #[test]
+    fn later_pair_can_anchor_on_earlier_result() {
+        let code = "x = 1;\n";
+        let (out, _) = apply_pairs(code, &[pair("x = 1", "x = 2"), pair("x = 2", "x = 3")]);
+        assert_eq!(out, "x = 3;\n");
+    }
+}

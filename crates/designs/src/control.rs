@@ -1,0 +1,300 @@
+//! Control designs: counters and finite-state machines.
+
+use crate::{iv, ov, tx, Category, Design};
+use std::collections::BTreeMap;
+use uvllm_sim::Logic;
+use uvllm_uvm::{DutInterface, PortSig, RefModel};
+
+/// The control group (6 designs).
+pub static DESIGNS: [Design; 6] = [
+    Design {
+        name: "counter_12",
+        category: Category::Control,
+        module_type: "counter",
+        spec: "A modulo-12 counter. When `en` is high the counter advances \
+               on each rising clock edge, wrapping from 11 back to 0; `tc` \
+               (terminal count) is high whenever the counter value is 11. \
+               Asynchronous active-low reset clears the counter.",
+        source: "module counter_12(\n  input clk,\n  input rst_n,\n  input en,\n  output reg [3:0] q,\n  output tc\n);\nassign tc = (q == 4'd11);\nalways @(posedge clk or negedge rst_n) begin\n  if (!rst_n)\n    q <= 4'd0;\n  else if (en) begin\n    if (q == 4'd11)\n      q <= 4'd0;\n    else\n      q <= q + 4'd1;\n  end\nend\nendmodule\n",
+        iface: || {
+            DutInterface::clocked(
+                vec![PortSig::new("en", 1)],
+                vec![PortSig::new("q", 4), PortSig::new("tc", 1)],
+            )
+        },
+        model: || Box::new(Counter12 { q: 0 }),
+        directed_vectors: || {
+            // Weak: only 6 enabled cycles — the wrap at 11 is never hit.
+            vec![
+                tx(&[("en", 1, 1)]),
+                tx(&[("en", 1, 1)]),
+                tx(&[("en", 1, 0)]),
+                tx(&[("en", 1, 1)]),
+                tx(&[("en", 1, 1)]),
+                tx(&[("en", 1, 1)]),
+            ]
+        },
+    },
+    Design {
+        name: "updown_counter_8",
+        category: Category::Control,
+        module_type: "counter",
+        spec: "An 8-bit up/down counter with synchronous load. When `load` \
+               is high the counter takes `d`; otherwise when `en` is high it \
+               counts up (`up`=1) or down (`up`=0), wrapping modulo 256. \
+               Asynchronous active-low reset clears it.",
+        source: "module updown_counter_8(\n  input clk,\n  input rst_n,\n  input en,\n  input up,\n  input load,\n  input [7:0] d,\n  output reg [7:0] q\n);\nalways @(posedge clk or negedge rst_n) begin\n  if (!rst_n)\n    q <= 8'd0;\n  else if (load)\n    q <= d;\n  else if (en) begin\n    if (up)\n      q <= q + 8'd1;\n    else\n      q <= q - 8'd1;\n  end\nend\nendmodule\n",
+        iface: || {
+            DutInterface::clocked(
+                vec![
+                    PortSig::new("en", 1),
+                    PortSig::new("up", 1),
+                    PortSig::new("load", 1),
+                    PortSig::new("d", 8),
+                ],
+                vec![PortSig::new("q", 8)],
+            )
+        },
+        model: || Box::new(UpDown { q: 0 }),
+        directed_vectors: || {
+            // Weak: counts up from a loaded mid value; down-wrap at zero
+            // untested.
+            vec![
+                tx(&[("load", 1, 1), ("d", 8, 16), ("en", 1, 0), ("up", 1, 1)]),
+                tx(&[("load", 1, 0), ("d", 8, 0), ("en", 1, 1), ("up", 1, 1)]),
+                tx(&[("load", 1, 0), ("d", 8, 0), ("en", 1, 1), ("up", 1, 1)]),
+                tx(&[("load", 1, 0), ("d", 8, 0), ("en", 1, 1), ("up", 1, 0)]),
+                tx(&[("load", 1, 0), ("d", 8, 0), ("en", 1, 0), ("up", 1, 0)]),
+            ]
+        },
+    },
+    Design {
+        name: "gray_counter_4",
+        category: Category::Control,
+        module_type: "counter",
+        spec: "A 4-bit Gray-code counter: an internal binary counter \
+               increments when `en` is high, and the output is its Gray \
+               encoding `gray = bin ^ (bin >> 1)`. Asynchronous active-low \
+               reset clears the counter.",
+        source: "module gray_counter_4(\n  input clk,\n  input rst_n,\n  input en,\n  output [3:0] gray\n);\nreg [3:0] bin;\nassign gray = bin ^ (bin >> 1);\nalways @(posedge clk or negedge rst_n) begin\n  if (!rst_n)\n    bin <= 4'd0;\n  else if (en)\n    bin <= bin + 4'd1;\nend\nendmodule\n",
+        iface: || {
+            DutInterface::clocked(vec![PortSig::new("en", 1)], vec![PortSig::new("gray", 4)])
+        },
+        model: || Box::new(GrayCounter { bin: 0 }),
+        directed_vectors: || {
+            vec![
+                tx(&[("en", 1, 1)]),
+                tx(&[("en", 1, 1)]),
+                tx(&[("en", 1, 1)]),
+                tx(&[("en", 1, 0)]),
+                tx(&[("en", 1, 1)]),
+            ]
+        },
+    },
+    Design {
+        name: "johnson_counter_4",
+        category: Category::Control,
+        module_type: "counter",
+        spec: "A 4-bit Johnson (twisted-ring) counter: on each enabled \
+               rising clock edge the register shifts left by one and the \
+               complement of the old MSB enters at bit 0, giving the \
+               8-state Johnson sequence. Asynchronous active-low reset \
+               clears it.",
+        source: "module johnson_counter_4(\n  input clk,\n  input rst_n,\n  input en,\n  output reg [3:0] q\n);\nalways @(posedge clk or negedge rst_n) begin\n  if (!rst_n)\n    q <= 4'd0;\n  else if (en)\n    q <= {q[2:0], ~q[3]};\nend\nendmodule\n",
+        iface: || {
+            DutInterface::clocked(vec![PortSig::new("en", 1)], vec![PortSig::new("q", 4)])
+        },
+        model: || Box::new(Johnson { q: 0 }),
+        directed_vectors: || {
+            // Weak: four steps — the descending half of the ring is
+            // never reached.
+            vec![
+                tx(&[("en", 1, 1)]),
+                tx(&[("en", 1, 1)]),
+                tx(&[("en", 1, 1)]),
+                tx(&[("en", 1, 1)]),
+            ]
+        },
+    },
+    Design {
+        name: "seq_detector_101",
+        category: Category::Control,
+        module_type: "fsm",
+        spec: "A Moore FSM detecting the overlapping bit pattern 101 on the \
+               serial input `din`. One cycle after the final 1 of a 101 \
+               pattern is sampled, `det` is high for exactly one cycle. \
+               Overlaps count: in 10101 the pattern is detected twice. \
+               Asynchronous active-low reset returns the FSM to idle.",
+        source: "module seq_detector_101(\n  input clk,\n  input rst_n,\n  input din,\n  output det\n);\nlocalparam IDLE = 2'd0;\nlocalparam GOT1 = 2'd1;\nlocalparam GOT10 = 2'd2;\nlocalparam FOUND = 2'd3;\nreg [1:0] state;\nassign det = (state == FOUND);\nalways @(posedge clk or negedge rst_n) begin\n  if (!rst_n)\n    state <= IDLE;\n  else begin\n    case (state)\n      IDLE: state <= din ? GOT1 : IDLE;\n      GOT1: state <= din ? GOT1 : GOT10;\n      GOT10: state <= din ? FOUND : IDLE;\n      FOUND: state <= din ? GOT1 : GOT10;\n      default: state <= IDLE;\n    endcase\n  end\nend\nendmodule\n",
+        iface: || {
+            DutInterface::clocked(vec![PortSig::new("din", 1)], vec![PortSig::new("det", 1)])
+        },
+        model: || Box::new(SeqDetector { state: 0 }),
+        directed_vectors: || {
+            // Weak: a single non-overlapping occurrence.
+            vec![
+                tx(&[("din", 1, 1)]),
+                tx(&[("din", 1, 0)]),
+                tx(&[("din", 1, 1)]),
+                tx(&[("din", 1, 0)]),
+                tx(&[("din", 1, 0)]),
+            ]
+        },
+    },
+    Design {
+        name: "traffic_light",
+        category: Category::Control,
+        module_type: "fsm",
+        spec: "A Moore traffic-light controller cycling red (4 cycles) → \
+               green (5 cycles) → yellow (2 cycles) → red …. The output \
+               `light` encodes 0=red, 1=green, 2=yellow. Asynchronous \
+               active-low reset returns to red with a fresh timer.",
+        source: "module traffic_light(\n  input clk,\n  input rst_n,\n  output reg [1:0] light\n);\nlocalparam RED = 2'd0;\nlocalparam GREEN = 2'd1;\nlocalparam YELLOW = 2'd2;\nreg [2:0] timer;\nalways @(posedge clk or negedge rst_n) begin\n  if (!rst_n) begin\n    light <= RED;\n    timer <= 3'd0;\n  end else begin\n    case (light)\n      RED: begin\n        if (timer == 3'd3) begin\n          light <= GREEN;\n          timer <= 3'd0;\n        end else\n          timer <= timer + 3'd1;\n      end\n      GREEN: begin\n        if (timer == 3'd4) begin\n          light <= YELLOW;\n          timer <= 3'd0;\n        end else\n          timer <= timer + 3'd1;\n      end\n      YELLOW: begin\n        if (timer == 3'd1) begin\n          light <= RED;\n          timer <= 3'd0;\n        end else\n          timer <= timer + 3'd1;\n      end\n      default: begin\n        light <= RED;\n        timer <= 3'd0;\n      end\n    endcase\n  end\nend\nendmodule\n",
+        iface: || DutInterface::clocked(vec![], vec![PortSig::new("light", 2)]),
+        model: || Box::new(TrafficLight { light: 0, timer: 0 }),
+        directed_vectors: || {
+            // Weak: five cycles — still in the first red phase or just
+            // entering green; yellow never observed.
+            vec![tx(&[]), tx(&[]), tx(&[]), tx(&[]), tx(&[])]
+        },
+    },
+];
+
+struct Counter12 {
+    q: u128,
+}
+
+impl RefModel for Counter12 {
+    fn reset(&mut self) {
+        self.q = 0;
+    }
+    fn step(&mut self, ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
+        if iv(ins, "en", 1) == 1 {
+            self.q = if self.q == 11 { 0 } else { self.q + 1 };
+        }
+        let mut o = BTreeMap::new();
+        ov(&mut o, "q", 4, self.q);
+        ov(&mut o, "tc", 1, (self.q == 11) as u128);
+        o
+    }
+}
+
+struct UpDown {
+    q: u128,
+}
+
+impl RefModel for UpDown {
+    fn reset(&mut self) {
+        self.q = 0;
+    }
+    fn step(&mut self, ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
+        if iv(ins, "load", 1) == 1 {
+            self.q = iv(ins, "d", 8);
+        } else if iv(ins, "en", 1) == 1 {
+            self.q = if iv(ins, "up", 1) == 1 {
+                (self.q + 1) & 0xff
+            } else {
+                self.q.wrapping_sub(1) & 0xff
+            };
+        }
+        let mut o = BTreeMap::new();
+        ov(&mut o, "q", 8, self.q);
+        o
+    }
+}
+
+struct GrayCounter {
+    bin: u128,
+}
+
+impl RefModel for GrayCounter {
+    fn reset(&mut self) {
+        self.bin = 0;
+    }
+    fn step(&mut self, ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
+        if iv(ins, "en", 1) == 1 {
+            self.bin = (self.bin + 1) & 0xf;
+        }
+        let mut o = BTreeMap::new();
+        ov(&mut o, "gray", 4, self.bin ^ (self.bin >> 1));
+        o
+    }
+}
+
+struct Johnson {
+    q: u128,
+}
+
+impl RefModel for Johnson {
+    fn reset(&mut self) {
+        self.q = 0;
+    }
+    fn step(&mut self, ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
+        if iv(ins, "en", 1) == 1 {
+            let msb = (self.q >> 3) & 1;
+            self.q = ((self.q << 1) | (1 - msb)) & 0xf;
+        }
+        let mut o = BTreeMap::new();
+        ov(&mut o, "q", 4, self.q);
+        o
+    }
+}
+
+struct SeqDetector {
+    state: u128,
+}
+
+impl RefModel for SeqDetector {
+    fn reset(&mut self) {
+        self.state = 0;
+    }
+    fn step(&mut self, ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
+        let din = iv(ins, "din", 1);
+        self.state = match (self.state, din) {
+            (0, 1) => 1,
+            (0, 0) => 0,
+            (1, 1) => 1,
+            (1, 0) => 2,
+            (2, 1) => 3,
+            (2, 0) => 0,
+            (3, 1) => 1,
+            (3, 0) => 2,
+            _ => 0,
+        };
+        let mut o = BTreeMap::new();
+        ov(&mut o, "det", 1, (self.state == 3) as u128);
+        o
+    }
+}
+
+struct TrafficLight {
+    light: u128,
+    timer: u128,
+}
+
+impl RefModel for TrafficLight {
+    fn reset(&mut self) {
+        self.light = 0;
+        self.timer = 0;
+    }
+    fn step(&mut self, _ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
+        let limit = match self.light {
+            0 => 3, // red: 4 cycles (timer 0..=3)
+            1 => 4, // green: 5 cycles
+            _ => 1, // yellow: 2 cycles
+        };
+        if self.timer == limit {
+            self.light = match self.light {
+                0 => 1,
+                1 => 2,
+                _ => 0,
+            };
+            self.timer = 0;
+        } else {
+            self.timer += 1;
+        }
+        let mut o = BTreeMap::new();
+        ov(&mut o, "light", 2, self.light);
+        o
+    }
+}

@@ -1,0 +1,278 @@
+//! Memory designs: RAM, FIFO, LIFO stack, register file, ROM.
+
+use crate::{iv, ov, tx, Category, Design};
+use std::collections::BTreeMap;
+use uvllm_sim::Logic;
+use uvllm_uvm::{DutInterface, PortSig, RefModel};
+
+/// The memory group (5 designs).
+pub static DESIGNS: [Design; 5] = [
+    Design {
+        name: "ram_sync",
+        category: Category::Memory,
+        module_type: "memory",
+        spec: "A 16×8 single-port RAM with synchronous write and \
+               asynchronous (combinational) read: when `we` is high the \
+               word at `addr` takes `din` on the rising clock edge; `dout` \
+               continuously reflects the word at `addr`. Unwritten words \
+               read as unknown (X).",
+        source: "module ram_sync(\n  input clk,\n  input rst_n,\n  input we,\n  input [3:0] addr,\n  input [7:0] din,\n  output [7:0] dout\n);\nreg [7:0] mem [0:15];\nassign dout = mem[addr];\nalways @(posedge clk) begin\n  if (we)\n    mem[addr] <= din;\nend\nendmodule\n",
+        iface: || {
+            DutInterface::clocked(
+                vec![PortSig::new("we", 1), PortSig::new("addr", 4), PortSig::new("din", 8)],
+                vec![PortSig::new("dout", 8)],
+            )
+        },
+        model: || Box::new(Ram { mem: [None; 16] }),
+        directed_vectors: || {
+            // Weak: two addresses only, written before read.
+            vec![
+                tx(&[("we", 1, 1), ("addr", 4, 0), ("din", 8, 0x11)]),
+                tx(&[("we", 1, 1), ("addr", 4, 1), ("din", 8, 0x22)]),
+                tx(&[("we", 1, 0), ("addr", 4, 0), ("din", 8, 0)]),
+                tx(&[("we", 1, 0), ("addr", 4, 1), ("din", 8, 0)]),
+            ]
+        },
+    },
+    Design {
+        name: "fifo_sync",
+        category: Category::Memory,
+        module_type: "memory",
+        spec: "A synchronous 8-deep, 8-bit FIFO. `push` enqueues `din` when \
+               not full; `pop` dequeues when not empty; simultaneous \
+               push+pop keeps the occupancy constant. `count` reports the \
+               occupancy, `full`/`empty` flag the extremes, and `dout` \
+               shows the word at the read pointer. Asynchronous active-low \
+               reset empties the FIFO (pointer contents persist).",
+        source: "module fifo_sync(\n  input clk,\n  input rst_n,\n  input push,\n  input pop,\n  input [7:0] din,\n  output [7:0] dout,\n  output full,\n  output empty,\n  output reg [3:0] count\n);\nreg [7:0] mem [0:7];\nreg [2:0] rptr;\nreg [2:0] wptr;\nassign full = (count == 4'd8);\nassign empty = (count == 4'd0);\nassign dout = mem[rptr];\nalways @(posedge clk or negedge rst_n) begin\n  if (!rst_n) begin\n    rptr <= 3'd0;\n    wptr <= 3'd0;\n    count <= 4'd0;\n  end else begin\n    if (push && !full) begin\n      mem[wptr] <= din;\n      wptr <= wptr + 3'd1;\n    end\n    if (pop && !empty)\n      rptr <= rptr + 3'd1;\n    if ((push && !full) && !(pop && !empty))\n      count <= count + 4'd1;\n    else if (!(push && !full) && (pop && !empty))\n      count <= count - 4'd1;\n  end\nend\nendmodule\n",
+        iface: || {
+            DutInterface::clocked(
+                vec![PortSig::new("push", 1), PortSig::new("pop", 1), PortSig::new("din", 8)],
+                vec![
+                    PortSig::new("dout", 8),
+                    PortSig::new("full", 1),
+                    PortSig::new("empty", 1),
+                    PortSig::new("count", 4),
+                ],
+            )
+        },
+        model: || Box::new(Fifo { mem: [None; 8], rptr: 0, wptr: 0, count: 0 }),
+        directed_vectors: || {
+            // Weak: shallow traffic — full never reached, pop-on-empty
+            // never attempted after the first cycle.
+            vec![
+                tx(&[("push", 1, 1), ("pop", 1, 0), ("din", 8, 0xA1)]),
+                tx(&[("push", 1, 1), ("pop", 1, 0), ("din", 8, 0xA2)]),
+                tx(&[("push", 1, 0), ("pop", 1, 1), ("din", 8, 0)]),
+                tx(&[("push", 1, 1), ("pop", 1, 1), ("din", 8, 0xA3)]),
+                tx(&[("push", 1, 0), ("pop", 1, 1), ("din", 8, 0)]),
+            ]
+        },
+    },
+    Design {
+        name: "lifo_stack",
+        category: Category::Memory,
+        module_type: "memory",
+        spec: "A synchronous 8-deep, 8-bit LIFO stack. `push` stores `din` \
+               at the stack pointer when not full; `pop` removes the top \
+               when not empty (push wins if both are asserted). `dout` \
+               shows the current top (0 when empty). Asynchronous \
+               active-low reset empties the stack.",
+        source: "module lifo_stack(\n  input clk,\n  input rst_n,\n  input push,\n  input pop,\n  input [7:0] din,\n  output [7:0] dout,\n  output full,\n  output empty\n);\nreg [7:0] mem [0:7];\nreg [3:0] sp;\nassign empty = (sp == 4'd0);\nassign full = (sp == 4'd8);\nassign dout = empty ? 8'd0 : mem[sp - 4'd1];\nalways @(posedge clk or negedge rst_n) begin\n  if (!rst_n)\n    sp <= 4'd0;\n  else if (push && !full) begin\n    mem[sp] <= din;\n    sp <= sp + 4'd1;\n  end else if (pop && !empty)\n    sp <= sp - 4'd1;\nend\nendmodule\n",
+        iface: || {
+            DutInterface::clocked(
+                vec![PortSig::new("push", 1), PortSig::new("pop", 1), PortSig::new("din", 8)],
+                vec![
+                    PortSig::new("dout", 8),
+                    PortSig::new("full", 1),
+                    PortSig::new("empty", 1),
+                ],
+            )
+        },
+        model: || Box::new(Lifo { mem: [0; 8], sp: 0 }),
+        directed_vectors: || {
+            // Weak: two pushes, one pop; overflow/underflow untested.
+            vec![
+                tx(&[("push", 1, 1), ("pop", 1, 0), ("din", 8, 5)]),
+                tx(&[("push", 1, 1), ("pop", 1, 0), ("din", 8, 6)]),
+                tx(&[("push", 1, 0), ("pop", 1, 1), ("din", 8, 0)]),
+                tx(&[("push", 1, 0), ("pop", 1, 0), ("din", 8, 0)]),
+            ]
+        },
+    },
+    Design {
+        name: "regfile",
+        category: Category::Memory,
+        module_type: "memory",
+        spec: "A 4-entry, 8-bit register file with one synchronous write \
+               port (`we`, `waddr`, `wdata`) and one combinational read \
+               port (`raddr` → `rdata`). Asynchronous active-low reset \
+               clears all four registers to zero.",
+        source: "module regfile(\n  input clk,\n  input rst_n,\n  input we,\n  input [1:0] waddr,\n  input [7:0] wdata,\n  input [1:0] raddr,\n  output [7:0] rdata\n);\nreg [7:0] regs [0:3];\ninteger i;\nassign rdata = regs[raddr];\nalways @(posedge clk or negedge rst_n) begin\n  if (!rst_n) begin\n    for (i = 0; i < 4; i = i + 1)\n      regs[i] <= 8'd0;\n  end else if (we)\n    regs[waddr] <= wdata;\nend\nendmodule\n",
+        iface: || {
+            DutInterface::clocked(
+                vec![
+                    PortSig::new("we", 1),
+                    PortSig::new("waddr", 2),
+                    PortSig::new("wdata", 8),
+                    PortSig::new("raddr", 2),
+                ],
+                vec![PortSig::new("rdata", 8)],
+            )
+        },
+        model: || Box::new(RegFile { regs: [0; 4] }),
+        directed_vectors: || {
+            // Weak: registers 0 and 1 only.
+            vec![
+                tx(&[("we", 1, 1), ("waddr", 2, 0), ("wdata", 8, 0x42), ("raddr", 2, 0)]),
+                tx(&[("we", 1, 1), ("waddr", 2, 1), ("wdata", 8, 0x43), ("raddr", 2, 0)]),
+                tx(&[("we", 1, 0), ("waddr", 2, 0), ("wdata", 8, 0), ("raddr", 2, 1)]),
+                tx(&[("we", 1, 0), ("waddr", 2, 0), ("wdata", 8, 0), ("raddr", 2, 0)]),
+            ]
+        },
+    },
+    Design {
+        name: "rom_16x8",
+        category: Category::Memory,
+        module_type: "memory",
+        spec: "A 16×8 combinational ROM holding the squares of the address \
+               (mod 256): `data = (addr * addr) & 8'hFF`, implemented as a \
+               full case table.",
+        source: "module rom_16x8(\n  input [3:0] addr,\n  output reg [7:0] data\n);\nalways @(*) begin\n  case (addr)\n    4'd0: data = 8'd0;\n    4'd1: data = 8'd1;\n    4'd2: data = 8'd4;\n    4'd3: data = 8'd9;\n    4'd4: data = 8'd16;\n    4'd5: data = 8'd25;\n    4'd6: data = 8'd36;\n    4'd7: data = 8'd49;\n    4'd8: data = 8'd64;\n    4'd9: data = 8'd81;\n    4'd10: data = 8'd100;\n    4'd11: data = 8'd121;\n    4'd12: data = 8'd144;\n    4'd13: data = 8'd169;\n    4'd14: data = 8'd196;\n    default: data = 8'd225;\n  endcase\nend\nendmodule\n",
+        iface: || {
+            DutInterface::combinational(
+                vec![PortSig::new("addr", 4)],
+                vec![PortSig::new("data", 8)],
+            )
+        },
+        model: || {
+            Box::new(uvllm_uvm::FnModel(|ins: &BTreeMap<String, Logic>| {
+                let a = iv(ins, "addr", 4);
+                let mut o = BTreeMap::new();
+                ov(&mut o, "data", 8, (a * a) & 0xff);
+                o
+            }))
+        },
+        directed_vectors: || {
+            // Weak: low addresses only.
+            vec![
+                tx(&[("addr", 4, 0)]),
+                tx(&[("addr", 4, 1)]),
+                tx(&[("addr", 4, 2)]),
+                tx(&[("addr", 4, 3)]),
+            ]
+        },
+    },
+];
+
+struct Ram {
+    mem: [Option<u128>; 16],
+}
+
+impl RefModel for Ram {
+    fn reset(&mut self) {
+        self.mem = [None; 16];
+    }
+    fn step(&mut self, ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
+        let addr = iv(ins, "addr", 4) as usize;
+        if iv(ins, "we", 1) == 1 {
+            self.mem[addr] = Some(iv(ins, "din", 8));
+        }
+        let mut o = BTreeMap::new();
+        match self.mem[addr] {
+            Some(v) => ov(&mut o, "dout", 8, v),
+            None => {
+                o.insert("dout".to_string(), Logic::xs(8));
+            }
+        }
+        o
+    }
+}
+
+struct Fifo {
+    mem: [Option<u128>; 8],
+    rptr: usize,
+    wptr: usize,
+    count: usize,
+}
+
+impl RefModel for Fifo {
+    fn reset(&mut self) {
+        // Pointers clear; memory contents persist, as in the RTL.
+        self.rptr = 0;
+        self.wptr = 0;
+        self.count = 0;
+    }
+    fn step(&mut self, ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
+        let do_push = iv(ins, "push", 1) == 1 && self.count < 8;
+        let do_pop = iv(ins, "pop", 1) == 1 && self.count > 0;
+        if do_push {
+            self.mem[self.wptr] = Some(iv(ins, "din", 8));
+            self.wptr = (self.wptr + 1) % 8;
+        }
+        if do_pop {
+            self.rptr = (self.rptr + 1) % 8;
+        }
+        match (do_push, do_pop) {
+            (true, false) => self.count += 1,
+            (false, true) => self.count -= 1,
+            _ => {}
+        }
+        let mut o = BTreeMap::new();
+        match self.mem[self.rptr] {
+            Some(v) => ov(&mut o, "dout", 8, v),
+            None => {
+                o.insert("dout".to_string(), Logic::xs(8));
+            }
+        }
+        ov(&mut o, "full", 1, (self.count == 8) as u128);
+        ov(&mut o, "empty", 1, (self.count == 0) as u128);
+        ov(&mut o, "count", 4, self.count as u128);
+        o
+    }
+}
+
+struct Lifo {
+    mem: [u128; 8],
+    sp: usize,
+}
+
+impl RefModel for Lifo {
+    fn reset(&mut self) {
+        self.sp = 0;
+    }
+    fn step(&mut self, ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
+        let full = self.sp == 8;
+        let empty = self.sp == 0;
+        if iv(ins, "push", 1) == 1 && !full {
+            self.mem[self.sp] = iv(ins, "din", 8);
+            self.sp += 1;
+        } else if iv(ins, "pop", 1) == 1 && !empty {
+            self.sp -= 1;
+        }
+        let mut o = BTreeMap::new();
+        let dout = if self.sp == 0 { 0 } else { self.mem[self.sp - 1] };
+        ov(&mut o, "dout", 8, dout);
+        ov(&mut o, "full", 1, (self.sp == 8) as u128);
+        ov(&mut o, "empty", 1, (self.sp == 0) as u128);
+        o
+    }
+}
+
+struct RegFile {
+    regs: [u128; 4],
+}
+
+impl RefModel for RegFile {
+    fn reset(&mut self) {
+        self.regs = [0; 4];
+    }
+    fn step(&mut self, ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
+        if iv(ins, "we", 1) == 1 {
+            self.regs[iv(ins, "waddr", 2) as usize] = iv(ins, "wdata", 8);
+        }
+        let mut o = BTreeMap::new();
+        ov(&mut o, "rdata", 8, self.regs[iv(ins, "raddr", 2) as usize]);
+        o
+    }
+}

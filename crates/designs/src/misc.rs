@@ -1,0 +1,356 @@
+//! Miscellaneous designs: ALU, multiplexer, decoder, encoder, parity,
+//! edge detector, shift register, barrel shifter, PWM.
+
+use crate::{iv, ov, tx, Category, Design};
+use std::collections::BTreeMap;
+use uvllm_sim::Logic;
+use uvllm_uvm::{DutInterface, FnModel, PortSig, RefModel};
+
+/// The miscellaneous group (9 designs).
+pub static DESIGNS: [Design; 9] = [
+    Design {
+        name: "alu_8bit",
+        category: Category::Miscellaneous,
+        module_type: "logic",
+        spec: "A combinational 8-bit ALU. `op` selects: 0 add, 1 subtract, \
+               2 AND, 3 OR, 4 XOR, 5 logical shift left by b[2:0], 6 \
+               logical shift right by b[2:0], 7 set-less-than (y = 1 when \
+               a < b unsigned). `zero` is high when `y` is zero.",
+        source: "module alu_8bit(\n  input [7:0] a,\n  input [7:0] b,\n  input [2:0] op,\n  output reg [7:0] y,\n  output zero\n);\nassign zero = (y == 8'd0);\nalways @(*) begin\n  case (op)\n    3'd0: y = a + b;\n    3'd1: y = a - b;\n    3'd2: y = a & b;\n    3'd3: y = a | b;\n    3'd4: y = a ^ b;\n    3'd5: y = a << b[2:0];\n    3'd6: y = a >> b[2:0];\n    default: y = (a < b) ? 8'd1 : 8'd0;\n  endcase\nend\nendmodule\n",
+        iface: || {
+            DutInterface::combinational(
+                vec![PortSig::new("a", 8), PortSig::new("b", 8), PortSig::new("op", 3)],
+                vec![PortSig::new("y", 8), PortSig::new("zero", 1)],
+            )
+        },
+        model: || {
+            Box::new(FnModel(|ins: &BTreeMap<String, Logic>| {
+                let a = iv(ins, "a", 8);
+                let b = iv(ins, "b", 8);
+                let y = match iv(ins, "op", 3) {
+                    0 => (a + b) & 0xff,
+                    1 => a.wrapping_sub(b) & 0xff,
+                    2 => a & b,
+                    3 => a | b,
+                    4 => a ^ b,
+                    5 => (a << (b & 7)) & 0xff,
+                    6 => a >> (b & 7),
+                    _ => (a < b) as u128,
+                };
+                let mut o = BTreeMap::new();
+                ov(&mut o, "y", 8, y);
+                ov(&mut o, "zero", 1, (y == 0) as u128);
+                o
+            }))
+        },
+        directed_vectors: || {
+            // Weak: add/and/or with benign operands; shifts, slt and
+            // subtraction-underflow untested.
+            vec![
+                tx(&[("a", 8, 5), ("b", 8, 3), ("op", 3, 0)]),
+                tx(&[("a", 8, 9), ("b", 8, 4), ("op", 3, 1)]),
+                tx(&[("a", 8, 0xF0), ("b", 8, 0x0F), ("op", 3, 2)]),
+                tx(&[("a", 8, 0xF0), ("b", 8, 0x0F), ("op", 3, 3)]),
+            ]
+        },
+    },
+    Design {
+        name: "mux4",
+        category: Category::Miscellaneous,
+        module_type: "selector",
+        spec: "A combinational 4-to-1 multiplexer over 8-bit inputs: `sel` \
+               routes d0..d3 to `y`.",
+        source: "module mux4(\n  input [1:0] sel,\n  input [7:0] d0,\n  input [7:0] d1,\n  input [7:0] d2,\n  input [7:0] d3,\n  output reg [7:0] y\n);\nalways @(*) begin\n  case (sel)\n    2'd0: y = d0;\n    2'd1: y = d1;\n    2'd2: y = d2;\n    default: y = d3;\n  endcase\nend\nendmodule\n",
+        iface: || {
+            DutInterface::combinational(
+                vec![
+                    PortSig::new("sel", 2),
+                    PortSig::new("d0", 8),
+                    PortSig::new("d1", 8),
+                    PortSig::new("d2", 8),
+                    PortSig::new("d3", 8),
+                ],
+                vec![PortSig::new("y", 8)],
+            )
+        },
+        model: || {
+            Box::new(FnModel(|ins: &BTreeMap<String, Logic>| {
+                let v = match iv(ins, "sel", 2) {
+                    0 => iv(ins, "d0", 8),
+                    1 => iv(ins, "d1", 8),
+                    2 => iv(ins, "d2", 8),
+                    _ => iv(ins, "d3", 8),
+                };
+                let mut o = BTreeMap::new();
+                ov(&mut o, "y", 8, v);
+                o
+            }))
+        },
+        directed_vectors: || {
+            // Weak: d3 never selected.
+            vec![
+                tx(&[("sel", 2, 0), ("d0", 8, 1), ("d1", 8, 2), ("d2", 8, 3), ("d3", 8, 4)]),
+                tx(&[("sel", 2, 1), ("d0", 8, 1), ("d1", 8, 2), ("d2", 8, 3), ("d3", 8, 4)]),
+                tx(&[("sel", 2, 2), ("d0", 8, 1), ("d1", 8, 2), ("d2", 8, 3), ("d3", 8, 4)]),
+            ]
+        },
+    },
+    Design {
+        name: "decoder_3to8",
+        category: Category::Miscellaneous,
+        module_type: "selector",
+        spec: "A combinational 3-to-8 one-hot decoder with enable: when \
+               `en` is high exactly bit `sel` of `y` is set; otherwise `y` \
+               is zero.",
+        source: "module decoder_3to8(\n  input en,\n  input [2:0] sel,\n  output [7:0] y\n);\nassign y = en ? (8'd1 << sel) : 8'd0;\nendmodule\n",
+        iface: || {
+            DutInterface::combinational(
+                vec![PortSig::new("en", 1), PortSig::new("sel", 3)],
+                vec![PortSig::new("y", 8)],
+            )
+        },
+        model: || {
+            Box::new(FnModel(|ins: &BTreeMap<String, Logic>| {
+                let y = if iv(ins, "en", 1) == 1 { 1u128 << iv(ins, "sel", 3) } else { 0 };
+                let mut o = BTreeMap::new();
+                ov(&mut o, "y", 8, y);
+                o
+            }))
+        },
+        directed_vectors: || {
+            vec![
+                tx(&[("en", 1, 1), ("sel", 3, 0)]),
+                tx(&[("en", 1, 1), ("sel", 3, 1)]),
+                tx(&[("en", 1, 1), ("sel", 3, 2)]),
+                tx(&[("en", 1, 0), ("sel", 3, 5)]),
+            ]
+        },
+    },
+    Design {
+        name: "priority_encoder_8",
+        category: Category::Miscellaneous,
+        module_type: "selector",
+        spec: "A combinational 8-input priority encoder: `y` is the index \
+               of the highest set bit of `din` and `valid` indicates that \
+               at least one bit is set (y is 0 when invalid).",
+        source: "module priority_encoder_8(\n  input [7:0] din,\n  output reg [2:0] y,\n  output valid\n);\nassign valid = (din != 8'd0);\nalways @(*) begin\n  if (din[7]) y = 3'd7;\n  else if (din[6]) y = 3'd6;\n  else if (din[5]) y = 3'd5;\n  else if (din[4]) y = 3'd4;\n  else if (din[3]) y = 3'd3;\n  else if (din[2]) y = 3'd2;\n  else if (din[1]) y = 3'd1;\n  else y = 3'd0;\nend\nendmodule\n",
+        iface: || {
+            DutInterface::combinational(
+                vec![PortSig::new("din", 8)],
+                vec![PortSig::new("y", 3), PortSig::new("valid", 1)],
+            )
+        },
+        model: || {
+            Box::new(FnModel(|ins: &BTreeMap<String, Logic>| {
+                let d = iv(ins, "din", 8);
+                let y = if d == 0 { 0 } else { 127 - (d as u128).leading_zeros() as u128 };
+                let mut o = BTreeMap::new();
+                ov(&mut o, "y", 3, y);
+                ov(&mut o, "valid", 1, (d != 0) as u128);
+                o
+            }))
+        },
+        directed_vectors: || {
+            // Weak: single-bit inputs in the low half.
+            vec![
+                tx(&[("din", 8, 0b0000_0001)]),
+                tx(&[("din", 8, 0b0000_0100)]),
+                tx(&[("din", 8, 0b0000_1000)]),
+                tx(&[("din", 8, 0)]),
+            ]
+        },
+    },
+    Design {
+        name: "parity_gen_8",
+        category: Category::Miscellaneous,
+        module_type: "logic",
+        spec: "A combinational parity generator over an 8-bit input: `p` is \
+               the even parity (XOR reduction) when `odd` is low and the \
+               odd parity (its complement) when `odd` is high.",
+        source: "module parity_gen_8(\n  input [7:0] din,\n  input odd,\n  output p\n);\nassign p = odd ? ~^din : ^din;\nendmodule\n",
+        iface: || {
+            DutInterface::combinational(
+                vec![PortSig::new("din", 8), PortSig::new("odd", 1)],
+                vec![PortSig::new("p", 1)],
+            )
+        },
+        model: || {
+            Box::new(FnModel(|ins: &BTreeMap<String, Logic>| {
+                let even = (iv(ins, "din", 8).count_ones() % 2) as u128;
+                let p = if iv(ins, "odd", 1) == 1 { 1 - even } else { even };
+                let mut o = BTreeMap::new();
+                ov(&mut o, "p", 1, p);
+                o
+            }))
+        },
+        directed_vectors: || {
+            vec![
+                tx(&[("din", 8, 0b0000_0011), ("odd", 1, 0)]),
+                tx(&[("din", 8, 0b0000_0111), ("odd", 1, 0)]),
+                tx(&[("din", 8, 0b0000_0001), ("odd", 1, 1)]),
+            ]
+        },
+    },
+    Design {
+        name: "edge_detector",
+        category: Category::Miscellaneous,
+        module_type: "logic",
+        spec: "A rising-edge detector: `pulse` is high for one cycle after \
+               the sampled input `sig` transitions from 0 to 1. Both the \
+               history flop and the pulse are registered; asynchronous \
+               active-low reset clears them.",
+        source: "module edge_detector(\n  input clk,\n  input rst_n,\n  input sig,\n  output reg pulse\n);\nreg prev;\nalways @(posedge clk or negedge rst_n) begin\n  if (!rst_n) begin\n    prev <= 1'b0;\n    pulse <= 1'b0;\n  end else begin\n    pulse <= sig & ~prev;\n    prev <= sig;\n  end\nend\nendmodule\n",
+        iface: || {
+            DutInterface::clocked(vec![PortSig::new("sig", 1)], vec![PortSig::new("pulse", 1)])
+        },
+        model: || Box::new(EdgeDetector { prev: 0, pulse: 0 }),
+        directed_vectors: || {
+            vec![
+                tx(&[("sig", 1, 0)]),
+                tx(&[("sig", 1, 1)]),
+                tx(&[("sig", 1, 1)]),
+                tx(&[("sig", 1, 0)]),
+                tx(&[("sig", 1, 1)]),
+            ]
+        },
+    },
+    Design {
+        name: "shift_reg_8",
+        category: Category::Miscellaneous,
+        module_type: "shifter",
+        spec: "An 8-bit serial-in parallel-out shift register: on each \
+               enabled rising clock edge the register shifts left by one \
+               and `sin` enters at bit 0. Asynchronous active-low reset \
+               clears it.",
+        source: "module shift_reg_8(\n  input clk,\n  input rst_n,\n  input en,\n  input sin,\n  output reg [7:0] q\n);\nalways @(posedge clk or negedge rst_n) begin\n  if (!rst_n)\n    q <= 8'd0;\n  else if (en)\n    q <= {q[6:0], sin};\nend\nendmodule\n",
+        iface: || {
+            DutInterface::clocked(
+                vec![PortSig::new("en", 1), PortSig::new("sin", 1)],
+                vec![PortSig::new("q", 8)],
+            )
+        },
+        model: || Box::new(ShiftReg { q: 0 }),
+        directed_vectors: || {
+            vec![
+                tx(&[("en", 1, 1), ("sin", 1, 1)]),
+                tx(&[("en", 1, 1), ("sin", 1, 0)]),
+                tx(&[("en", 1, 1), ("sin", 1, 1)]),
+                tx(&[("en", 1, 0), ("sin", 1, 1)]),
+            ]
+        },
+    },
+    Design {
+        name: "barrel_shifter_8",
+        category: Category::Miscellaneous,
+        module_type: "shifter",
+        spec: "A combinational 8-bit barrel rotator: `dout` is `din` \
+               rotated left by `amt` positions when `dir` is 0 and rotated \
+               right when `dir` is 1.",
+        source: "module barrel_shifter_8(\n  input [7:0] din,\n  input [2:0] amt,\n  input dir,\n  output [7:0] dout\n);\nwire [3:0] left;\nwire [3:0] right;\nassign left = 4'd8 - {1'b0, amt};\nassign dout = dir ? ((din >> amt) | (din << left)) : ((din << amt) | (din >> left));\nendmodule\n",
+        iface: || {
+            DutInterface::combinational(
+                vec![PortSig::new("din", 8), PortSig::new("amt", 3), PortSig::new("dir", 1)],
+                vec![PortSig::new("dout", 8)],
+            )
+        },
+        model: || {
+            Box::new(FnModel(|ins: &BTreeMap<String, Logic>| {
+                let d = iv(ins, "din", 8) as u8;
+                let amt = iv(ins, "amt", 3) as u32;
+                let v = if iv(ins, "dir", 1) == 1 {
+                    d.rotate_right(amt)
+                } else {
+                    d.rotate_left(amt)
+                };
+                let mut o = BTreeMap::new();
+                ov(&mut o, "dout", 8, v as u128);
+                o
+            }))
+        },
+        directed_vectors: || {
+            // Weak: left rotations only, small amounts.
+            vec![
+                tx(&[("din", 8, 0b0000_0001), ("amt", 3, 1), ("dir", 1, 0)]),
+                tx(&[("din", 8, 0b0000_0011), ("amt", 3, 2), ("dir", 1, 0)]),
+                tx(&[("din", 8, 0b1000_0000), ("amt", 3, 0), ("dir", 1, 0)]),
+            ]
+        },
+    },
+    Design {
+        name: "pwm_8",
+        category: Category::Miscellaneous,
+        module_type: "logic",
+        spec: "An 8-bit PWM generator: a free-running counter increments \
+               every clock; the output `pwm` is high while the counter is \
+               strictly below `duty`, giving a duty/256 high fraction. \
+               Asynchronous active-low reset clears the counter.",
+        source: "module pwm_8(\n  input clk,\n  input rst_n,\n  input [7:0] duty,\n  output pwm\n);\nreg [7:0] cnt;\nassign pwm = (cnt < duty);\nalways @(posedge clk or negedge rst_n) begin\n  if (!rst_n)\n    cnt <= 8'd0;\n  else\n    cnt <= cnt + 8'd1;\nend\nendmodule\n",
+        iface: || {
+            DutInterface::clocked(vec![PortSig::new("duty", 8)], vec![PortSig::new("pwm", 1)])
+        },
+        model: || Box::new(Pwm { cnt: 0 }),
+        directed_vectors: || {
+            vec![
+                tx(&[("duty", 8, 4)]),
+                tx(&[("duty", 8, 4)]),
+                tx(&[("duty", 8, 4)]),
+                tx(&[("duty", 8, 0)]),
+                tx(&[("duty", 8, 255)]),
+            ]
+        },
+    },
+];
+
+struct EdgeDetector {
+    prev: u128,
+    pulse: u128,
+}
+
+impl RefModel for EdgeDetector {
+    fn reset(&mut self) {
+        self.prev = 0;
+        self.pulse = 0;
+    }
+    fn step(&mut self, ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
+        let sig = iv(ins, "sig", 1);
+        self.pulse = sig & (1 - self.prev);
+        self.prev = sig;
+        let mut o = BTreeMap::new();
+        ov(&mut o, "pulse", 1, self.pulse);
+        o
+    }
+}
+
+struct ShiftReg {
+    q: u128,
+}
+
+impl RefModel for ShiftReg {
+    fn reset(&mut self) {
+        self.q = 0;
+    }
+    fn step(&mut self, ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
+        if iv(ins, "en", 1) == 1 {
+            self.q = ((self.q << 1) | iv(ins, "sin", 1)) & 0xff;
+        }
+        let mut o = BTreeMap::new();
+        ov(&mut o, "q", 8, self.q);
+        o
+    }
+}
+
+struct Pwm {
+    cnt: u128,
+}
+
+impl RefModel for Pwm {
+    fn reset(&mut self) {
+        self.cnt = 0;
+    }
+    fn step(&mut self, ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
+        self.cnt = (self.cnt + 1) & 0xff;
+        let mut o = BTreeMap::new();
+        ov(&mut o, "pwm", 1, (self.cnt < iv(ins, "duty", 8)) as u128);
+        o
+    }
+}

@@ -1,0 +1,217 @@
+//! Protocol-level behavioural tests for individual benchmark designs:
+//! directed scenarios that pin down the corner semantics the golden
+//! models encode (and that the weak public vectors deliberately avoid).
+
+use std::collections::BTreeMap;
+use uvllm_designs::by_name;
+use uvllm_sim::{elaborate, Logic, Simulator};
+
+fn sim_of(name: &str) -> Simulator {
+    let d = by_name(name).unwrap();
+    let file = uvllm_verilog::parse(d.source).unwrap();
+    let design = elaborate(&file, d.name).unwrap();
+    Simulator::new(&design).unwrap()
+}
+
+fn reset(sim: &mut Simulator) {
+    sim.poke_by_name("clk", Logic::bit(false)).unwrap();
+    sim.poke_by_name("rst_n", Logic::bit(false)).unwrap();
+    sim.poke_by_name("rst_n", Logic::bit(true)).unwrap();
+}
+
+fn tick(sim: &mut Simulator) {
+    sim.poke_by_name("clk", Logic::bit(true)).unwrap();
+    sim.poke_by_name("clk", Logic::bit(false)).unwrap();
+}
+
+fn get(sim: &Simulator, name: &str) -> u128 {
+    sim.peek_by_name(name).unwrap().to_u128().unwrap_or_else(|| {
+        panic!("{name} is X: {}", sim.peek_by_name(name).unwrap())
+    })
+}
+
+#[test]
+fn fifo_fills_to_exactly_eight_and_refuses_overflow() {
+    let mut sim = sim_of("fifo_sync");
+    reset(&mut sim);
+    sim.poke_by_name("pop", Logic::bit(false)).unwrap();
+    sim.poke_by_name("push", Logic::bit(true)).unwrap();
+    for i in 0..10 {
+        sim.poke_by_name("din", Logic::from_u128(8, 0x40 + i)).unwrap();
+        tick(&mut sim);
+    }
+    // Depth is 8; the two extra pushes were refused.
+    assert_eq!(get(&sim, "count"), 8);
+    assert_eq!(get(&sim, "full"), 1);
+    // Draining returns the first eight values in order.
+    sim.poke_by_name("push", Logic::bit(false)).unwrap();
+    sim.poke_by_name("pop", Logic::bit(true)).unwrap();
+    for i in 0..8 {
+        assert_eq!(get(&sim, "dout"), 0x40 + i, "FIFO order at element {i}");
+        tick(&mut sim);
+    }
+    assert_eq!(get(&sim, "empty"), 1);
+    // Pop-on-empty is a no-op.
+    tick(&mut sim);
+    assert_eq!(get(&sim, "count"), 0);
+}
+
+#[test]
+fn lifo_returns_values_in_reverse_order() {
+    let mut sim = sim_of("lifo_stack");
+    reset(&mut sim);
+    sim.poke_by_name("pop", Logic::bit(false)).unwrap();
+    sim.poke_by_name("push", Logic::bit(true)).unwrap();
+    for v in [1u128, 2, 3] {
+        sim.poke_by_name("din", Logic::from_u128(8, v)).unwrap();
+        tick(&mut sim);
+    }
+    sim.poke_by_name("push", Logic::bit(false)).unwrap();
+    sim.poke_by_name("pop", Logic::bit(true)).unwrap();
+    for v in [3u128, 2, 1] {
+        assert_eq!(get(&sim, "dout"), v);
+        tick(&mut sim);
+    }
+    assert_eq!(get(&sim, "empty"), 1);
+    assert_eq!(get(&sim, "dout"), 0, "empty stack reads as zero");
+}
+
+#[test]
+fn traffic_light_cycles_red_green_yellow_with_correct_durations() {
+    let mut sim = sim_of("traffic_light");
+    reset(&mut sim);
+    let mut observed = Vec::new();
+    for _ in 0..22 {
+        tick(&mut sim);
+        observed.push(get(&sim, "light"));
+    }
+    // red 4 (3 remaining after the first tick consumed one timer step is
+    // absorbed in reset), then green 5, yellow 2, repeating. Verify by
+    // run-length encoding.
+    let mut rle: Vec<(u128, usize)> = Vec::new();
+    for v in observed {
+        match rle.last_mut() {
+            Some((last, n)) if *last == v => *n += 1,
+            _ => rle.push((v, 1)),
+        }
+    }
+    // Drop the (possibly truncated) first and last runs, check the
+    // middle runs have the spec durations.
+    for (colour, len) in &rle[1..rle.len() - 1] {
+        let expect = match colour {
+            0 => 4,
+            1 => 5,
+            2 => 2,
+            other => panic!("illegal light encoding {other}"),
+        };
+        assert_eq!(*len, expect, "colour {colour} duration");
+    }
+    // The sequence is red → green → yellow → red …
+    for pair in rle.windows(2) {
+        let next = match pair[0].0 {
+            0 => 1,
+            1 => 2,
+            _ => 0,
+        };
+        assert_eq!(pair[1].0, next, "transition order");
+    }
+}
+
+#[test]
+fn seq_detector_finds_overlapping_patterns() {
+    let mut sim = sim_of("seq_detector_101");
+    reset(&mut sim);
+    // 1 0 1 0 1 → detections after the 3rd and 5th bits (overlap).
+    let bits = [1u128, 0, 1, 0, 1];
+    let mut detections = Vec::new();
+    for b in bits {
+        sim.poke_by_name("din", Logic::from_u128(1, b)).unwrap();
+        tick(&mut sim);
+        detections.push(get(&sim, "det"));
+    }
+    assert_eq!(detections, vec![0, 0, 1, 0, 1]);
+}
+
+#[test]
+fn johnson_counter_walks_the_full_ring() {
+    let mut sim = sim_of("johnson_counter_4");
+    reset(&mut sim);
+    sim.poke_by_name("en", Logic::bit(true)).unwrap();
+    let mut seq = Vec::new();
+    for _ in 0..8 {
+        tick(&mut sim);
+        seq.push(get(&sim, "q"));
+    }
+    assert_eq!(seq, vec![0b0001, 0b0011, 0b0111, 0b1111, 0b1110, 0b1100, 0b1000, 0b0000]);
+}
+
+#[test]
+fn gray_counter_outputs_differ_by_one_bit() {
+    let mut sim = sim_of("gray_counter_4");
+    reset(&mut sim);
+    sim.poke_by_name("en", Logic::bit(true)).unwrap();
+    let mut prev = get(&sim, "gray");
+    for _ in 0..16 {
+        tick(&mut sim);
+        let cur = get(&sim, "gray");
+        assert_eq!((prev ^ cur).count_ones(), 1, "gray property {prev:04b}->{cur:04b}");
+        prev = cur;
+    }
+}
+
+#[test]
+fn divider_handles_divide_by_zero_contract() {
+    let mut sim = sim_of("div_8bit");
+    sim.poke_by_name("a", Logic::from_u128(8, 123)).unwrap();
+    sim.poke_by_name("b", Logic::from_u128(8, 0)).unwrap();
+    assert_eq!(get(&sim, "q"), 0xff);
+    assert_eq!(get(&sim, "r"), 123);
+    // And ordinary division still works afterwards.
+    sim.poke_by_name("b", Logic::from_u128(8, 10)).unwrap();
+    assert_eq!(get(&sim, "q"), 12);
+    assert_eq!(get(&sim, "r"), 3);
+}
+
+#[test]
+fn pwm_duty_fraction_matches_setting() {
+    let mut sim = sim_of("pwm_8");
+    reset(&mut sim);
+    sim.poke_by_name("duty", Logic::from_u128(8, 64)).unwrap();
+    let mut high = 0;
+    for _ in 0..256 {
+        tick(&mut sim);
+        high += get(&sim, "pwm");
+    }
+    assert_eq!(high, 64, "duty/256 high fraction over one full period");
+}
+
+#[test]
+fn updown_counter_wraps_both_directions() {
+    let mut sim = sim_of("updown_counter_8");
+    reset(&mut sim);
+    sim.poke_by_name("en", Logic::bit(true)).unwrap();
+    sim.poke_by_name("up", Logic::bit(false)).unwrap();
+    sim.poke_by_name("load", Logic::bit(false)).unwrap();
+    sim.poke_by_name("d", Logic::from_u128(8, 0)).unwrap();
+    tick(&mut sim);
+    assert_eq!(get(&sim, "q"), 0xff, "down-wrap from zero");
+    sim.poke_by_name("up", Logic::bit(true)).unwrap();
+    tick(&mut sim);
+    assert_eq!(get(&sim, "q"), 0, "up-wrap back");
+}
+
+#[test]
+fn regfile_reset_clears_all_registers() {
+    let mut sim = sim_of("regfile");
+    reset(&mut sim);
+    sim.poke_by_name("we", Logic::bit(true)).unwrap();
+    sim.poke_by_name("waddr", Logic::from_u128(2, 3)).unwrap();
+    sim.poke_by_name("wdata", Logic::from_u128(8, 0xEE)).unwrap();
+    tick(&mut sim);
+    sim.poke_by_name("raddr", Logic::from_u128(2, 3)).unwrap();
+    assert_eq!(get(&sim, "rdata"), 0xEE);
+    // Reset mid-operation wipes it.
+    sim.poke_by_name("rst_n", Logic::bit(false)).unwrap();
+    sim.poke_by_name("rst_n", Logic::bit(true)).unwrap();
+    assert_eq!(get(&sim, "rdata"), 0);
+}

@@ -1,0 +1,82 @@
+//! Property tests on the error generator: validity and determinism of
+//! mutations across arbitrary seeds and the whole design corpus shape.
+
+use proptest::prelude::*;
+use uvllm_errgen::{mutate, ErrorKind, MutateError};
+use uvllm_verilog::parse;
+
+const CORPUS: [&str; 3] = [
+    // Sequential with reset + condition + sensitivity sites.
+    "module c(input clk, input rst_n, input en, output reg [3:0] q);\n\
+     always @(posedge clk or negedge rst_n) begin\n\
+     if (!rst_n) q <= 4'd0;\nelse if (en) q <= q + 4'd1;\nend\nendmodule\n",
+    // Combinational with case + operators + literals.
+    "module a(input [7:0] x, input [7:0] y, input [1:0] op, output reg [7:0] z);\n\
+     always @(*) begin\ncase (op)\n2'd0: z = x + y;\n2'd1: z = x - y;\n\
+     2'd2: z = x & y;\ndefault: z = x ^ y;\nendcase\nend\nendmodule\n",
+    // Hierarchy with connections.
+    "module top(input [3:0] p, input [3:0] q, output [3:0] u, output [3:0] v);\n\
+     pass m0(.i(p), .o(u));\npass m1(.i(q), .o(v));\nendmodule\n\
+     module pass(input [3:0] i, output [3:0] o);\nassign o = i;\nendmodule\n",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Syntax mutations always break the parse; functional mutations
+    /// always keep it intact; both always change the text.
+    #[test]
+    fn mutation_validity(seed in any::<u64>(), src_idx in 0usize..3, kind_idx in 0usize..14) {
+        let src = CORPUS[src_idx];
+        let kind = ErrorKind::ALL[kind_idx];
+        match mutate(src, kind, seed) {
+            Ok(out) => {
+                prop_assert_ne!(&out.mutated_src, src);
+                if kind.is_syntax() {
+                    prop_assert!(parse(&out.mutated_src).is_err(), "{} should break", kind);
+                } else {
+                    prop_assert!(parse(&out.mutated_src).is_ok(), "{} should parse", kind);
+                }
+                // Ground truth invariants.
+                prop_assert_eq!(out.ground_truth.kind, kind);
+                prop_assert!(out.ground_truth.line >= 1);
+                prop_assert!(!out.ground_truth.description.is_empty());
+                // The buggy window anchors in the mutated source and the
+                // fixed window in the original.
+                prop_assert!(out.mutated_src.contains(&out.ground_truth.buggy_window));
+                prop_assert!(src.contains(&out.ground_truth.fixed_window));
+            }
+            Err(MutateError::NoApplicableSite(_)) => {}
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
+    }
+
+    /// Mutation is a pure function of (src, kind, seed).
+    #[test]
+    fn mutation_determinism(seed in any::<u64>(), src_idx in 0usize..3, kind_idx in 0usize..14) {
+        let src = CORPUS[src_idx];
+        let kind = ErrorKind::ALL[kind_idx];
+        let a = mutate(src, kind, seed);
+        let b = mutate(src, kind, seed);
+        prop_assert_eq!(a.is_ok(), b.is_ok());
+        if let (Ok(x), Ok(y)) = (a, b) {
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    /// Reverting the ground-truth window restores the original source
+    /// exactly (the oracle's success pair is sound).
+    #[test]
+    fn ground_truth_window_reverts(seed in any::<u64>(), src_idx in 0usize..3, kind_idx in 0usize..14) {
+        let src = CORPUS[src_idx];
+        let kind = ErrorKind::ALL[kind_idx];
+        if let Ok(out) = mutate(src, kind, seed) {
+            let reverted = out.mutated_src.replacen(
+                &out.ground_truth.buggy_window,
+                &out.ground_truth.fixed_window,
+                1,
+            );
+            prop_assert_eq!(reverted, src, "window revert must restore the source");
+        }
+    }
+}

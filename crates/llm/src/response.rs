@@ -1,0 +1,154 @@
+//! Structured-output parsing: the JSON schema of Fig. 4.
+
+use crate::prompt::RepairPair;
+use serde::{Deserialize, Serialize};
+
+/// The pair-mode response: `{"module name", "analysis", "correct"}`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepairResponse {
+    #[serde(rename = "module name")]
+    pub module_name: String,
+    pub analysis: String,
+    /// `(original, patched)` fragments applied by exact-match
+    /// substitution.
+    pub correct: Vec<RepairPair>,
+}
+
+impl RepairResponse {
+    /// Serialises to the canonical JSON the agents emit.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("response serialisation cannot fail")
+    }
+
+    /// Parses a completion, tolerating surrounding prose or markdown
+    /// fences (the "distilling" step of §III-D).
+    ///
+    /// # Errors
+    ///
+    /// Returns the serde error message when no valid JSON object is
+    /// found.
+    pub fn parse(content: &str) -> Result<Self, String> {
+        parse_json_relaxed(content)
+    }
+}
+
+/// The complete-code response of the Table III ablation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompleteResponse {
+    #[serde(rename = "module name")]
+    pub module_name: String,
+    pub analysis: String,
+    /// The full corrected file.
+    pub code: String,
+}
+
+impl CompleteResponse {
+    /// Serialises to canonical JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("response serialisation cannot fail")
+    }
+
+    /// Parses a completion (see [`RepairResponse::parse`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the serde error message when no valid JSON object is
+    /// found.
+    pub fn parse(content: &str) -> Result<Self, String> {
+        parse_json_relaxed(content)
+    }
+}
+
+/// Extracts the first top-level JSON object from `content` and
+/// deserialises it.
+fn parse_json_relaxed<T: for<'de> Deserialize<'de>>(content: &str) -> Result<T, String> {
+    // Fast path: the whole content is JSON.
+    if let Ok(v) = serde_json::from_str::<T>(content) {
+        return Ok(v);
+    }
+    // Otherwise find balanced braces.
+    let bytes = content.as_bytes();
+    let mut start = None;
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut escape = false;
+    for (i, b) in bytes.iter().enumerate() {
+        match (*b, in_str) {
+            (b'"', _) if !escape => in_str = !in_str,
+            (b'\\', true) => {
+                escape = !escape;
+                continue;
+            }
+            (b'{', false) => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            (b'}', false) => {
+                depth -= 1;
+                if depth == 0 {
+                    if let Some(s) = start {
+                        if let Ok(v) = serde_json::from_str::<T>(&content[s..=i]) {
+                            return Ok(v);
+                        }
+                        start = None;
+                    }
+                }
+            }
+            _ => {}
+        }
+        escape = false;
+    }
+    Err("no valid JSON object found in response".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_repair_response() {
+        let r = RepairResponse {
+            module_name: "accu".into(),
+            analysis: "The error is caused by a wrong operator.".into(),
+            correct: vec![RepairPair { original: "a - b".into(), patched: "a + b".into() }],
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"module name\""));
+        let back = RepairResponse::parse(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn parses_with_markdown_fences() {
+        // Serde deserialises `RepairPair` from both the tuple form the
+        // prompt suggests and the object form.
+        let content = "Here is the fix:\n```json\n{\"module name\": \"m\", \
+                       \"analysis\": \"x\", \"correct\": [[\"a\", \"b\"]]}\n```\nDone.";
+        let content2 = "prose {\"module name\": \"m\", \"analysis\": \"x\", \
+                        \"correct\": [{\"original\": \"a\", \"patched\": \"b\"}]} trailing";
+        let r1 = RepairResponse::parse(content).unwrap();
+        assert_eq!(r1.correct[0].patched, "b");
+        let r = RepairResponse::parse(content2).unwrap();
+        assert_eq!(r.correct.len(), 1);
+        assert_eq!(r.correct[0].original, "a");
+    }
+
+    #[test]
+    fn complete_response_round_trip() {
+        let r = CompleteResponse {
+            module_name: "m".into(),
+            analysis: "rewrite".into(),
+            code: "module m;\nendmodule\n".into(),
+        };
+        let back = CompleteResponse::parse(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(RepairResponse::parse("not json at all").is_err());
+        assert!(RepairResponse::parse("{\"wrong\": 1}").is_err());
+    }
+}

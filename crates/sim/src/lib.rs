@@ -1,0 +1,45 @@
+//! # uvllm-sim
+//!
+//! Event-driven four-state Verilog simulator: the execution substrate
+//! behind UVLLM's UVM processing stage (the role VCS/Icarus/ModelSim play
+//! in the paper).
+//!
+//! The pipeline is: [`elab::elaborate`] lowers a parsed
+//! [`uvllm_verilog::SourceFile`] into a flat [`elab::Design`] (parameters
+//! and ranges resolved, loops unrolled, hierarchy inlined), then a
+//! [`Simulator`] executes it with IEEE-1364-style scheduling: blocking
+//! assignments apply immediately, non-blocking assignments are deferred
+//! to the NBA region of each delta cycle, and edge-triggered processes
+//! fire on poke-induced transitions. [`wave::Waveform`] records per-cycle
+//! snapshots for the localization engine.
+//!
+//! ## Example
+//!
+//! ```rust
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use uvllm_sim::{elaborate, Logic, Simulator};
+//!
+//! let file = uvllm_verilog::parse(
+//!     "module add(input [7:0] a, input [7:0] b, output [8:0] y);\n\
+//!      assign y = a + b;\nendmodule\n",
+//! )?;
+//! let design = elaborate(&file, "add")?;
+//! let mut sim = Simulator::new(&design)?;
+//! sim.poke_by_name("a", Logic::from_u128(8, 17))?;
+//! sim.poke_by_name("b", Logic::from_u128(8, 25))?;
+//! assert_eq!(sim.peek_by_name("y")?.to_u128(), Some(42));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod elab;
+pub mod eval;
+pub mod logic;
+pub mod sched;
+pub mod wave;
+
+pub use elab::{elaborate, Design, ElabError, SignalId, SignalInfo, SignalKind};
+pub use eval::{eval, ValueReader};
+pub use logic::{Logic, Tri};
+pub use sched::{SimError, Simulator};
+pub use wave::Waveform;

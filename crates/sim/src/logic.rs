@@ -1,0 +1,654 @@
+//! Four-state logic values (`0`, `1`, `X`, `Z`) up to 128 bits wide.
+
+use std::fmt;
+
+/// Truth value of a four-state expression used in conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tri {
+    /// Definitely true (some bit is a known 1).
+    True,
+    /// Definitely false (all bits are known 0).
+    False,
+    /// Unknown (no known 1 and at least one X/Z bit).
+    Unknown,
+}
+
+/// A four-state logic vector.
+///
+/// Bit *i* is encoded across two planes: `xz` bit set means the bit is
+/// unknown — `val` then distinguishes X (`0`) from Z (`1`). When `xz` is
+/// clear, `val` holds the ordinary binary value.
+///
+/// All operations mask their result to `width` bits; widths are capped at
+/// 128 which is ample for the UVLLM benchmark designs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Logic {
+    width: u32,
+    val: u128,
+    xz: u128,
+}
+
+/// Returns a mask with the low `bits` bits set.
+pub fn mask(bits: u32) -> u128 {
+    if bits >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << bits) - 1
+    }
+}
+
+impl Logic {
+    /// All-zero value of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 128.
+    pub fn zeros(width: u32) -> Self {
+        assert!(width >= 1 && width <= 128, "logic width {width} out of range 1..=128");
+        Logic { width, val: 0, xz: 0 }
+    }
+
+    /// All-ones value of the given width.
+    pub fn ones(width: u32) -> Self {
+        let mut l = Logic::zeros(width);
+        l.val = mask(width);
+        l
+    }
+
+    /// All-X value of the given width.
+    pub fn xs(width: u32) -> Self {
+        let mut l = Logic::zeros(width);
+        l.xz = mask(width);
+        l
+    }
+
+    /// All-Z value of the given width.
+    pub fn zs(width: u32) -> Self {
+        let mut l = Logic::zeros(width);
+        l.xz = mask(width);
+        l.val = mask(width);
+        l
+    }
+
+    /// A known value from an integer, truncated to `width` bits.
+    pub fn from_u128(width: u32, value: u128) -> Self {
+        let mut l = Logic::zeros(width);
+        l.val = value & mask(width);
+        l
+    }
+
+    /// A single known bit.
+    pub fn bit(value: bool) -> Self {
+        Logic::from_u128(1, value as u128)
+    }
+
+    /// Builds a value from raw planes (masked to `width`).
+    pub fn from_planes(width: u32, val: u128, xz: u128) -> Self {
+        let mut l = Logic::zeros(width);
+        l.val = val & mask(width);
+        l.xz = xz & mask(width);
+        l
+    }
+
+    /// Bit width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Value plane (bits where `xz` is set are not ordinary values).
+    pub fn val(&self) -> u128 {
+        self.val
+    }
+
+    /// Unknown plane.
+    pub fn xz(&self) -> u128 {
+        self.xz
+    }
+
+    /// True when no bit is X or Z.
+    pub fn is_fully_known(&self) -> bool {
+        self.xz == 0
+    }
+
+    /// The known integer value, or `None` if any bit is X/Z.
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.is_fully_known() {
+            Some(self.val)
+        } else {
+            None
+        }
+    }
+
+    /// Converts to `u64`, or `None` when unknown or too wide.
+    pub fn to_u64(&self) -> Option<u64> {
+        self.to_u128().and_then(|v| u64::try_from(v).ok())
+    }
+
+    /// Zero-extends or truncates to `width`.
+    pub fn resize(&self, width: u32) -> Logic {
+        Logic::from_planes(width, self.val, self.xz)
+    }
+
+    /// Extracts bit `index` as a 1-bit value; out of range yields X.
+    pub fn get_bit(&self, index: u32) -> Logic {
+        if index >= self.width {
+            return Logic::xs(1);
+        }
+        Logic::from_planes(1, self.val >> index, self.xz >> index)
+    }
+
+    /// Extracts `width` bits starting at `lsb`; out-of-range bits are X.
+    pub fn get_slice(&self, lsb: u32, width: u32) -> Logic {
+        if lsb >= self.width {
+            return Logic::xs(width);
+        }
+        let avail = self.width - lsb;
+        let mut out = Logic::from_planes(width, self.val >> lsb, self.xz >> lsb);
+        if avail < width {
+            // Bits beyond the source are X.
+            let missing = mask(width) & !mask(avail);
+            out.xz |= missing;
+            out.val &= !missing;
+        }
+        out
+    }
+
+    /// Returns a copy with `value` (1 bit) stored at `index`; out-of-range
+    /// writes are ignored.
+    pub fn with_bit(&self, index: u32, value: Logic) -> Logic {
+        if index >= self.width {
+            return *self;
+        }
+        let bit = 1u128 << index;
+        let mut out = *self;
+        out.val = (out.val & !bit) | (((value.val & 1) << index) & bit);
+        out.xz = (out.xz & !bit) | (((value.xz & 1) << index) & bit);
+        out
+    }
+
+    /// Returns a copy with `value` stored at bits `[lsb, lsb+value.width)`.
+    pub fn with_slice(&self, lsb: u32, value: Logic) -> Logic {
+        if lsb >= self.width {
+            return *self;
+        }
+        let w = value.width.min(self.width - lsb);
+        let m = mask(w) << lsb;
+        let mut out = *self;
+        out.val = (out.val & !m) | ((value.val << lsb) & m);
+        out.xz = (out.xz & !m) | ((value.xz << lsb) & m);
+        out
+    }
+
+    /// Truthiness per IEEE 1364: true if any known 1 bit, false if all
+    /// bits known 0, otherwise unknown.
+    pub fn truthiness(&self) -> Tri {
+        if self.val & !self.xz != 0 {
+            Tri::True
+        } else if self.xz == 0 {
+            Tri::False
+        } else {
+            Tri::Unknown
+        }
+    }
+
+    /// Concatenates `hi` above `lo` (`{hi, lo}`).
+    pub fn concat(hi: Logic, lo: Logic) -> Logic {
+        let width = (hi.width + lo.width).min(128);
+        Logic::from_planes(
+            width,
+            (hi.val << lo.width) | lo.val,
+            (hi.xz << lo.width) | lo.xz,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Arithmetic (any X/Z operand poisons the result)
+    // ------------------------------------------------------------------
+
+    fn poisoned(width: u32, operands: &[&Logic]) -> Option<Logic> {
+        if operands.iter().any(|l| !l.is_fully_known()) {
+            Some(Logic::xs(width))
+        } else {
+            None
+        }
+    }
+
+    /// `self + other` at width `w`.
+    pub fn add(&self, other: &Logic, w: u32) -> Logic {
+        Logic::poisoned(w, &[self, other])
+            .unwrap_or_else(|| Logic::from_u128(w, self.val.wrapping_add(other.val)))
+    }
+
+    /// `self - other` at width `w`.
+    pub fn sub(&self, other: &Logic, w: u32) -> Logic {
+        Logic::poisoned(w, &[self, other])
+            .unwrap_or_else(|| Logic::from_u128(w, self.val.wrapping_sub(other.val)))
+    }
+
+    /// `self * other` at width `w`.
+    pub fn mul(&self, other: &Logic, w: u32) -> Logic {
+        Logic::poisoned(w, &[self, other])
+            .unwrap_or_else(|| Logic::from_u128(w, self.val.wrapping_mul(other.val)))
+    }
+
+    /// `self / other` at width `w`; division by zero yields X.
+    pub fn div(&self, other: &Logic, w: u32) -> Logic {
+        if let Some(p) = Logic::poisoned(w, &[self, other]) {
+            return p;
+        }
+        if other.val == 0 {
+            Logic::xs(w)
+        } else {
+            Logic::from_u128(w, self.val / other.val)
+        }
+    }
+
+    /// `self % other` at width `w`; modulo by zero yields X.
+    pub fn rem(&self, other: &Logic, w: u32) -> Logic {
+        if let Some(p) = Logic::poisoned(w, &[self, other]) {
+            return p;
+        }
+        if other.val == 0 {
+            Logic::xs(w)
+        } else {
+            Logic::from_u128(w, self.val % other.val)
+        }
+    }
+
+    /// `self ** other` at width `w`.
+    pub fn pow(&self, other: &Logic, w: u32) -> Logic {
+        if let Some(p) = Logic::poisoned(w, &[self, other]) {
+            return p;
+        }
+        let mut acc: u128 = 1;
+        for _ in 0..other.val.min(128) {
+            acc = acc.wrapping_mul(self.val);
+        }
+        Logic::from_u128(w, acc)
+    }
+
+    /// Logical shift left at width `w`.
+    pub fn shl(&self, amount: &Logic, w: u32) -> Logic {
+        if !amount.is_fully_known() {
+            return Logic::xs(w);
+        }
+        if !self.is_fully_known() && amount.val == 0 {
+            return self.resize(w);
+        }
+        let sh = amount.val.min(128) as u32;
+        if sh >= 128 {
+            return Logic::zeros(w);
+        }
+        Logic::from_planes(w, self.val << sh, self.xz << sh)
+    }
+
+    /// Logical shift right at width `w`.
+    pub fn shr(&self, amount: &Logic, w: u32) -> Logic {
+        if !amount.is_fully_known() {
+            return Logic::xs(w);
+        }
+        let sh = amount.val.min(128) as u32;
+        if sh >= 128 {
+            return Logic::zeros(w);
+        }
+        Logic::from_planes(w, self.val >> sh, self.xz >> sh)
+    }
+
+    /// Arithmetic shift right (sign bit of `self` replicated) at width `w`.
+    pub fn ashr(&self, amount: &Logic, w: u32) -> Logic {
+        if !amount.is_fully_known() {
+            return Logic::xs(w);
+        }
+        let sh = amount.val.min(self.width as u128) as u32;
+        let sign = self.get_bit(self.width - 1);
+        let mut out = self.shr(amount, w);
+        if sign.truthiness() == Tri::True && sh > 0 {
+            let fill = mask(sh.min(w)) << (w.saturating_sub(sh));
+            out.val |= fill & mask(w);
+        } else if sign.truthiness() == Tri::Unknown && sh > 0 {
+            let fill = mask(sh.min(w)) << (w.saturating_sub(sh));
+            out.xz |= fill & mask(w);
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Bitwise operations with four-state truth tables
+    // ------------------------------------------------------------------
+
+    /// Bitwise AND (`0 & X == 0`).
+    pub fn bitand(&self, other: &Logic, w: u32) -> Logic {
+        let a = self.resize(w);
+        let b = other.resize(w);
+        // Known-zero bits force 0 regardless of the other side.
+        let zero = (!a.val & !a.xz) | (!b.val & !b.xz);
+        let unknown = (a.xz | b.xz) & !zero;
+        let val = a.val & b.val & !a.xz & !b.xz;
+        Logic::from_planes(w, val & !unknown, unknown & mask(w) & !(zero & mask(w)))
+    }
+
+    /// Bitwise OR (`1 | X == 1`).
+    pub fn bitor(&self, other: &Logic, w: u32) -> Logic {
+        let a = self.resize(w);
+        let b = other.resize(w);
+        let one = (a.val & !a.xz) | (b.val & !b.xz);
+        let unknown = (a.xz | b.xz) & !one;
+        Logic::from_planes(w, one, unknown)
+    }
+
+    /// Bitwise XOR (any X poisons the bit).
+    pub fn bitxor(&self, other: &Logic, w: u32) -> Logic {
+        let a = self.resize(w);
+        let b = other.resize(w);
+        let unknown = a.xz | b.xz;
+        Logic::from_planes(w, (a.val ^ b.val) & !unknown, unknown)
+    }
+
+    /// Bitwise XNOR.
+    pub fn bitxnor(&self, other: &Logic, w: u32) -> Logic {
+        self.bitxor(other, w).bitnot(w)
+    }
+
+    /// Bitwise NOT.
+    pub fn bitnot(&self, w: u32) -> Logic {
+        let a = self.resize(w);
+        Logic::from_planes(w, !a.val & !a.xz, a.xz)
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(&self, w: u32) -> Logic {
+        Logic::poisoned(w, &[self])
+            .unwrap_or_else(|| Logic::from_u128(w, self.val.wrapping_neg()))
+    }
+
+    // ------------------------------------------------------------------
+    // Comparisons and reductions (1-bit results)
+    // ------------------------------------------------------------------
+
+    /// Logical equality `==` (X if either side has unknowns that matter).
+    pub fn log_eq(&self, other: &Logic) -> Logic {
+        let w = self.width.max(other.width);
+        let a = self.resize(w);
+        let b = other.resize(w);
+        if a.xz != 0 || b.xz != 0 {
+            // A known mismatch on any bit yields definite 0.
+            let known = !a.xz & !b.xz;
+            if (a.val ^ b.val) & known != 0 {
+                Logic::bit(false)
+            } else {
+                Logic::xs(1)
+            }
+        } else {
+            Logic::bit(a.val == b.val)
+        }
+    }
+
+    /// Logical inequality `!=`.
+    pub fn log_ne(&self, other: &Logic) -> Logic {
+        self.log_eq(other).bitnot(1)
+    }
+
+    /// Case equality `===` (X/Z compare literally).
+    pub fn case_eq(&self, other: &Logic) -> Logic {
+        let w = self.width.max(other.width);
+        let a = self.resize(w);
+        let b = other.resize(w);
+        Logic::bit(a.val == b.val && a.xz == b.xz)
+    }
+
+    /// Unsigned relational comparison; X if either side unknown.
+    pub fn cmp_lt(&self, other: &Logic) -> Logic {
+        match (self.to_u128(), other.to_u128()) {
+            (Some(a), Some(b)) => Logic::bit(a < b),
+            _ => Logic::xs(1),
+        }
+    }
+
+    /// Reduction AND.
+    pub fn red_and(&self) -> Logic {
+        if (!self.val & !self.xz) & mask(self.width) != 0 {
+            Logic::bit(false)
+        } else if self.xz != 0 {
+            Logic::xs(1)
+        } else {
+            Logic::bit(true)
+        }
+    }
+
+    /// Reduction OR.
+    pub fn red_or(&self) -> Logic {
+        if self.val & !self.xz != 0 {
+            Logic::bit(true)
+        } else if self.xz != 0 {
+            Logic::xs(1)
+        } else {
+            Logic::bit(false)
+        }
+    }
+
+    /// Reduction XOR.
+    pub fn red_xor(&self) -> Logic {
+        if self.xz != 0 {
+            Logic::xs(1)
+        } else {
+            Logic::bit((self.val & mask(self.width)).count_ones() % 2 == 1)
+        }
+    }
+
+    /// Three-valued logical AND.
+    pub fn log_and(&self, other: &Logic) -> Logic {
+        match (self.truthiness(), other.truthiness()) {
+            (Tri::False, _) | (_, Tri::False) => Logic::bit(false),
+            (Tri::True, Tri::True) => Logic::bit(true),
+            _ => Logic::xs(1),
+        }
+    }
+
+    /// Three-valued logical OR.
+    pub fn log_or(&self, other: &Logic) -> Logic {
+        match (self.truthiness(), other.truthiness()) {
+            (Tri::True, _) | (_, Tri::True) => Logic::bit(true),
+            (Tri::False, Tri::False) => Logic::bit(false),
+            _ => Logic::xs(1),
+        }
+    }
+
+    /// Three-valued logical NOT.
+    pub fn log_not(&self) -> Logic {
+        match self.truthiness() {
+            Tri::True => Logic::bit(false),
+            Tri::False => Logic::bit(true),
+            Tri::Unknown => Logic::xs(1),
+        }
+    }
+
+    /// Bitwise merge used for `cond ? a : b` with unknown condition:
+    /// bits where both sides agree keep the value, others become X.
+    pub fn merge(&self, other: &Logic, w: u32) -> Logic {
+        let a = self.resize(w);
+        let b = other.resize(w);
+        let disagree = (a.val ^ b.val) | a.xz | b.xz;
+        Logic::from_planes(w, a.val & !disagree, disagree)
+    }
+
+    /// Wildcard match used by `casez` (`z`/`?` bits in `label` match
+    /// anything) and `casex` (X bits also match).
+    pub fn wildcard_eq(&self, label: &Logic, x_wild: bool) -> bool {
+        let w = self.width.max(label.width);
+        let a = self.resize(w);
+        let l = label.resize(w);
+        // Label Z bits are wild; label X bits wild only for casex.
+        let lbl_wild = (l.xz & l.val) | if x_wild { l.xz & !l.val } else { 0 };
+        let sel_wild = if x_wild { a.xz } else { a.xz & a.val };
+        let wild = lbl_wild | sel_wild;
+        let known = !wild & mask(w);
+        (a.val & known) == (l.val & known) && (a.xz & known) == (l.xz & known)
+    }
+}
+
+impl fmt::Display for Logic {
+    /// Renders in Verilog literal style, e.g. `8'h1a`, `4'b10xz`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.xz == 0 {
+            let digits = self.width.div_ceil(4) as usize;
+            write!(f, "{}'h{:0digits$x}", self.width, self.val)
+        } else {
+            write!(f, "{}'b", self.width)?;
+            for i in (0..self.width).rev() {
+                let v = (self.val >> i) & 1;
+                let z = (self.xz >> i) & 1;
+                let ch = match (z, v) {
+                    (0, 0) => '0',
+                    (0, 1) => '1',
+                    (1, 0) => 'x',
+                    _ => 'z',
+                };
+                write!(f, "{ch}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let l = Logic::from_u128(8, 0x1a);
+        assert_eq!(l.width(), 8);
+        assert_eq!(l.to_u128(), Some(0x1a));
+        assert!(Logic::xs(4).to_u128().is_none());
+        assert_eq!(Logic::from_u128(4, 0xff).val(), 0xf);
+    }
+
+    #[test]
+    fn add_with_carry_context() {
+        let a = Logic::from_u128(8, 200);
+        let b = Logic::from_u128(8, 100);
+        assert_eq!(a.add(&b, 9).to_u128(), Some(300));
+        assert_eq!(a.add(&b, 8).to_u128(), Some(300 & 0xff));
+    }
+
+    #[test]
+    fn x_poisons_arithmetic() {
+        let a = Logic::xs(8);
+        let b = Logic::from_u128(8, 5);
+        assert!(a.add(&b, 8).to_u128().is_none());
+        assert!(b.div(&Logic::zeros(8), 8).to_u128().is_none());
+    }
+
+    #[test]
+    fn bitwise_short_circuit_with_x() {
+        let x = Logic::xs(1);
+        let zero = Logic::zeros(1);
+        let one = Logic::ones(1);
+        assert_eq!(zero.bitand(&x, 1), Logic::zeros(1));
+        assert_eq!(one.bitor(&x, 1), Logic::ones(1));
+        assert!(one.bitand(&x, 1).to_u128().is_none());
+        assert!(zero.bitor(&x, 1).to_u128().is_none());
+        assert!(one.bitxor(&x, 1).to_u128().is_none());
+    }
+
+    #[test]
+    fn logical_ops_three_valued() {
+        let x = Logic::xs(1);
+        let t = Logic::ones(1);
+        let f = Logic::zeros(1);
+        assert_eq!(f.log_and(&x), Logic::bit(false));
+        assert_eq!(t.log_or(&x), Logic::bit(true));
+        assert!(t.log_and(&x).to_u128().is_none());
+        assert_eq!(x.log_not().truthiness(), Tri::Unknown);
+    }
+
+    #[test]
+    fn equality_semantics() {
+        let a = Logic::from_u128(4, 0b1010);
+        let b = Logic::from_u128(4, 0b1010);
+        assert_eq!(a.log_eq(&b), Logic::bit(true));
+        let x = Logic::from_planes(4, 0b1010, 0b0001);
+        // Known bits match -> unknown result.
+        assert!(a.log_eq(&x).to_u128().is_none());
+        // Known bit mismatch -> definite false even with X elsewhere.
+        let y = Logic::from_planes(4, 0b0010, 0b0001);
+        assert_eq!(a.log_eq(&y), Logic::bit(false));
+        // Case equality is literal.
+        assert_eq!(x.case_eq(&x), Logic::bit(true));
+        assert_eq!(a.case_eq(&x), Logic::bit(false));
+    }
+
+    #[test]
+    fn slicing_and_insertion() {
+        let v = Logic::from_u128(8, 0b1100_1010);
+        assert_eq!(v.get_bit(1).to_u128(), Some(1));
+        assert_eq!(v.get_slice(4, 4).to_u128(), Some(0b1100));
+        let w = v.with_slice(0, Logic::from_u128(4, 0b0101));
+        assert_eq!(w.to_u128(), Some(0b1100_0101));
+        let w2 = v.with_bit(7, Logic::bit(false));
+        assert_eq!(w2.to_u128(), Some(0b0100_1010));
+        // Out-of-range access.
+        assert!(v.get_bit(8).to_u128().is_none());
+        assert_eq!(v.with_bit(8, Logic::bit(true)), v);
+    }
+
+    #[test]
+    fn shifts() {
+        let v = Logic::from_u128(8, 0b0000_1111);
+        assert_eq!(v.shl(&Logic::from_u128(3, 2), 8).to_u128(), Some(0b0011_1100));
+        assert_eq!(v.shr(&Logic::from_u128(3, 2), 8).to_u128(), Some(0b0000_0011));
+        let neg = Logic::from_u128(8, 0b1000_0000);
+        assert_eq!(neg.ashr(&Logic::from_u128(3, 3), 8).to_u128(), Some(0b1111_0000));
+        assert!(v.shl(&Logic::xs(3), 8).to_u128().is_none());
+    }
+
+    #[test]
+    fn reductions() {
+        assert_eq!(Logic::ones(4).red_and(), Logic::bit(true));
+        assert_eq!(Logic::from_u128(4, 0b1110).red_and(), Logic::bit(false));
+        assert_eq!(Logic::zeros(4).red_or(), Logic::bit(false));
+        assert_eq!(Logic::from_u128(4, 0b0111).red_xor(), Logic::bit(true));
+        // X with a known-0 bit: reduction AND is still definitely 0.
+        let x0 = Logic::from_planes(4, 0b0000, 0b1000);
+        assert_eq!(x0.red_and(), Logic::bit(false));
+        assert!(x0.red_or().to_u128().is_none());
+    }
+
+    #[test]
+    fn concat_and_merge() {
+        let hi = Logic::from_u128(4, 0xA);
+        let lo = Logic::from_u128(4, 0x5);
+        assert_eq!(Logic::concat(hi, lo).to_u128(), Some(0xA5));
+        let a = Logic::from_u128(4, 0b1010);
+        let b = Logic::from_u128(4, 0b1000);
+        let m = a.merge(&b, 4);
+        assert_eq!(m.get_bit(3).to_u128(), Some(1));
+        assert!(m.get_bit(1).to_u128().is_none());
+    }
+
+    #[test]
+    fn wildcard_matching() {
+        let sel = Logic::from_u128(4, 0b1011);
+        // casez: z/? in label is wild.
+        let label = Logic::from_planes(4, 0b1011, 0b0011) // 10zz
+            ;
+        assert!(sel.wildcard_eq(&label, false));
+        // casex: x in label also wild.
+        let xlabel = Logic::from_planes(4, 0b1000, 0b0011); // 10xx
+        assert!(!sel.wildcard_eq(&xlabel, false));
+        assert!(sel.wildcard_eq(&xlabel, true));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Logic::from_u128(8, 0x1a).to_string(), "8'h1a");
+        let x = Logic::from_planes(4, 0b1010, 0b0001);
+        assert_eq!(x.to_string(), "4'b101x");
+    }
+
+    #[test]
+    fn ternary_condition_merge_path() {
+        let cond = Logic::xs(1);
+        assert_eq!(cond.truthiness(), Tri::Unknown);
+    }
+}

@@ -1,0 +1,680 @@
+//! Event-driven simulation engine with delta cycles and blocking /
+//! non-blocking assignment regions.
+
+use crate::elab::{Design, LStmt, LTarget, Process, ProcessId, SignalId, SignalKind, Trigger};
+use crate::eval::{case_matches, eval, ValueReader};
+use crate::logic::{Logic, Tri};
+use std::collections::HashMap;
+use std::fmt;
+use uvllm_verilog::ast::Edge;
+
+/// Maximum process executions inside one [`Simulator::settle`] call
+/// before the engine reports an oscillating (unstable) design.
+pub const MAX_ACTIVATIONS: usize = 50_000;
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Combinational feedback did not stabilise.
+    Unstable {
+        /// Process activations performed before giving up.
+        activations: usize,
+    },
+    /// A signal name was not found in the design.
+    UnknownSignal(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Unstable { activations } => {
+                write!(f, "design did not stabilise after {activations} activations")
+            }
+            SimError::UnknownSignal(name) => write!(f, "unknown signal '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// One resolved write: `value` goes into `[lsb, lsb+width)` of `word` of
+/// `signal`.
+#[derive(Debug, Clone)]
+struct Write {
+    signal: SignalId,
+    word: u64,
+    lsb: u32,
+    value: Logic,
+}
+
+/// An event-driven four-state simulator over an elaborated [`Design`].
+///
+/// The harness drives it imperatively: [`Simulator::poke`] input values,
+/// [`Simulator::settle`] to propagate, read back with
+/// [`Simulator::peek`], and advance [`Simulator::set_time`] between
+/// cycles. Clocked logic reacts to edges produced by pokes.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    design: Design,
+    /// Current value per signal per word.
+    words: Vec<Vec<Logic>>,
+    /// Combinational processes sensitive to each signal.
+    comb_sens: Vec<Vec<ProcessId>>,
+    /// Edge-triggered processes: (process, signal, edge).
+    seq_sens: Vec<Vec<(ProcessId, Option<Edge>)>>,
+    time: u64,
+    /// Set when the initial blocks have been run.
+    initialised: bool,
+}
+
+struct StateView<'a> {
+    design: &'a Design,
+    words: &'a [Vec<Logic>],
+}
+
+impl ValueReader for StateView<'_> {
+    fn read(&self, id: SignalId) -> Logic {
+        self.words[id.0 as usize][0]
+    }
+    fn read_word(&self, id: SignalId, index: u64) -> Logic {
+        self.words[id.0 as usize]
+            .get(index as usize)
+            .copied()
+            .unwrap_or_else(|| Logic::xs(self.design.signal(id).width))
+    }
+    fn word_count(&self, id: SignalId) -> u64 {
+        self.words[id.0 as usize].len() as u64
+    }
+    fn width(&self, id: SignalId) -> u32 {
+        self.design.signal(id).width
+    }
+}
+
+impl Simulator {
+    /// Builds a simulator over `design`, runs `initial` blocks and
+    /// settles the combinational network once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unstable`] if the design oscillates at time 0.
+    pub fn new(design: &Design) -> Result<Self, SimError> {
+        let nsignals = design.signals().len();
+        let mut words = Vec::with_capacity(nsignals);
+        for info in design.signals() {
+            words.push(vec![Logic::xs(info.width); info.words as usize]);
+        }
+        let mut comb_sens = vec![Vec::new(); nsignals];
+        let mut seq_sens = vec![Vec::new(); nsignals];
+        for (i, p) in design.processes().iter().enumerate() {
+            let pid = ProcessId(i as u32);
+            match &p.trigger {
+                Trigger::Comb(deps) => {
+                    for d in deps {
+                        comb_sens[d.0 as usize].push(pid);
+                    }
+                }
+                Trigger::Seq(edges) => {
+                    for (s, e) in edges {
+                        seq_sens[s.0 as usize].push((pid, *e));
+                    }
+                }
+                Trigger::Initial => {}
+            }
+        }
+        let mut sim = Simulator {
+            design: design.clone(),
+            words,
+            comb_sens,
+            seq_sens,
+            time: 0,
+            initialised: false,
+        };
+        sim.initialise()?;
+        Ok(sim)
+    }
+
+    fn initialise(&mut self) -> Result<(), SimError> {
+        let mut active: Vec<ProcessId> = Vec::new();
+        // Run initial blocks, then every combinational process once so
+        // nets acquire their driven values.
+        for (i, p) in self.design.processes().iter().enumerate() {
+            if matches!(p.trigger, Trigger::Initial) {
+                active.push(ProcessId(i as u32));
+            }
+        }
+        for (i, p) in self.design.processes().iter().enumerate() {
+            if matches!(p.trigger, Trigger::Comb(_)) {
+                active.push(ProcessId(i as u32));
+            }
+        }
+        self.initialised = true;
+        self.run_events(active)
+    }
+
+    /// The elaborated design being simulated.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Sets the simulation time (monotonically increased by harnesses).
+    pub fn set_time(&mut self, time: u64) {
+        self.time = time;
+    }
+
+    /// Reads the current value of `id`.
+    pub fn peek(&self, id: SignalId) -> Logic {
+        self.words[id.0 as usize][0]
+    }
+
+    /// Reads word `index` of an array signal.
+    pub fn peek_word(&self, id: SignalId, index: u64) -> Logic {
+        self.words[id.0 as usize]
+            .get(index as usize)
+            .copied()
+            .unwrap_or_else(|| Logic::xs(self.design.signal(id).width))
+    }
+
+    /// Reads a signal by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownSignal`] for unknown names.
+    pub fn peek_by_name(&self, name: &str) -> Result<Logic, SimError> {
+        let id = self
+            .design
+            .signal_id(name)
+            .ok_or_else(|| SimError::UnknownSignal(name.to_string()))?;
+        Ok(self.peek(id))
+    }
+
+    /// Drives `id` to `value` and propagates the resulting events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unstable`] on combinational oscillation.
+    pub fn poke(&mut self, id: SignalId, value: Logic) -> Result<(), SimError> {
+        let width = self.design.signal(id).width;
+        let value = value.resize(width);
+        let old = self.words[id.0 as usize][0];
+        if old == value {
+            return Ok(());
+        }
+        self.words[id.0 as usize][0] = value;
+        let active = self.triggered_by(id, old, value);
+        self.run_events(active)
+    }
+
+    /// Pokes a signal by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownSignal`] or [`SimError::Unstable`].
+    pub fn poke_by_name(&mut self, name: &str, value: Logic) -> Result<(), SimError> {
+        let id = self
+            .design
+            .signal_id(name)
+            .ok_or_else(|| SimError::UnknownSignal(name.to_string()))?;
+        self.poke(id, value)
+    }
+
+    /// Propagates any pending activity until the design is quiescent.
+    /// With the poke-driven API this is usually a no-op, but harnesses
+    /// call it after batches of pokes for clarity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unstable`] on combinational oscillation.
+    pub fn settle(&mut self) -> Result<(), SimError> {
+        self.run_events(Vec::new())
+    }
+
+    /// Processes triggered by `signal` transitioning `old` → `new`.
+    fn triggered_by(&self, signal: SignalId, old: Logic, new: Logic) -> Vec<ProcessId> {
+        let mut active = Vec::new();
+        for pid in &self.comb_sens[signal.0 as usize] {
+            active.push(*pid);
+        }
+        let old_b = old.get_bit(0);
+        let new_b = new.get_bit(0);
+        let is1 = |l: &Logic| l.truthiness() == Tri::True;
+        let is0 = |l: &Logic| l.to_u128() == Some(0);
+        for (pid, edge) in &self.seq_sens[signal.0 as usize] {
+            let fire = match edge {
+                Some(Edge::Pos) => !is1(&old_b) && is1(&new_b),
+                Some(Edge::Neg) => !is0(&old_b) && is0(&new_b),
+                None => true,
+            };
+            if fire {
+                active.push(*pid);
+            }
+        }
+        active
+    }
+
+    /// Core event loop: runs `active` processes, applying blocking writes
+    /// immediately and non-blocking writes at delta boundaries.
+    ///
+    /// Per IEEE 1364 event semantics, a running process does **not**
+    /// observe events produced by its own execution — its event control
+    /// is re-armed only after it suspends. This is what lets the common
+    /// self-referential `always @(*)` idiom (e.g. a for-loop divider
+    /// that resets and rebuilds its outputs) stabilise instead of
+    /// re-triggering forever, and equally what makes genuinely missing
+    /// sensitivity entries a real bug the simulator reproduces.
+    fn run_events(&mut self, mut active: Vec<ProcessId>) -> Result<(), SimError> {
+        let mut activations = 0usize;
+        let mut nba: Vec<Write> = Vec::new();
+        loop {
+            while let Some(pid) = active.first().copied() {
+                active.remove(0);
+                activations += 1;
+                if activations > MAX_ACTIVATIONS {
+                    return Err(SimError::Unstable { activations });
+                }
+                let body = self.design.processes()[pid.0 as usize].body.clone();
+                self.exec(&body, &mut nba, &mut active, Some(pid));
+            }
+            if nba.is_empty() {
+                return Ok(());
+            }
+            // Non-blocking assignment region: apply all queued writes,
+            // collecting newly triggered processes. No process is
+            // running here, so nothing is skipped.
+            let queued = std::mem::take(&mut nba);
+            for w in queued {
+                self.apply_write(&w, &mut active, None);
+            }
+        }
+    }
+
+    fn view(&self) -> StateView<'_> {
+        StateView { design: &self.design, words: &self.words }
+    }
+
+    fn exec(
+        &mut self,
+        stmt: &LStmt,
+        nba: &mut Vec<Write>,
+        active: &mut Vec<ProcessId>,
+        current: Option<ProcessId>,
+    ) {
+        match stmt {
+            LStmt::Block(stmts) => {
+                for s in stmts {
+                    self.exec(s, nba, active, current);
+                }
+            }
+            LStmt::Assign { lhs, rhs, blocking, .. } => {
+                let width = lhs.width(&self.design).max(1);
+                let value = eval(&self.view(), rhs, width).resize(width);
+                let mut writes = Vec::new();
+                self.resolve_target(lhs, value, &mut writes);
+                if *blocking {
+                    for w in writes {
+                        self.apply_write(&w, active, current);
+                    }
+                } else {
+                    nba.extend(writes);
+                }
+            }
+            LStmt::If { cond, then_branch, else_branch, .. } => {
+                let c = eval(&self.view(), cond, cond.width);
+                match c.truthiness() {
+                    Tri::True => self.exec(then_branch, nba, active, current),
+                    Tri::False => {
+                        if let Some(e) = else_branch {
+                            self.exec(e, nba, active, current);
+                        }
+                    }
+                    // Unknown condition: neither branch executes. (A
+                    // full IEEE implementation would merge; taking no
+                    // branch keeps state X-conservative.)
+                    Tri::Unknown => {}
+                }
+            }
+            LStmt::Case { kind, expr, arms, default, .. } => {
+                let sel = eval(&self.view(), expr, expr.width);
+                for (labels, body) in arms {
+                    for label in labels {
+                        let lv = eval(&self.view(), label, label.width);
+                        if case_matches(*kind, &sel, &lv) {
+                            self.exec(body, nba, active, current);
+                            return;
+                        }
+                    }
+                }
+                if let Some(d) = default {
+                    self.exec(d, nba, active, current);
+                }
+            }
+            LStmt::Nop => {}
+        }
+    }
+
+    /// Resolves a target into concrete writes, slicing `value` (already
+    /// sized to the target's total width) most-significant-first across
+    /// concatenations.
+    fn resolve_target(&self, target: &LTarget, value: Logic, out: &mut Vec<Write>) {
+        match target {
+            LTarget::Whole(s) => {
+                let w = self.design.signal(*s).width;
+                out.push(Write { signal: *s, word: 0, lsb: 0, value: value.resize(w) });
+            }
+            LTarget::Bit(s, index) => {
+                let idx = eval(&self.view(), index, index.width);
+                if let Some(i) = idx.to_u128() {
+                    if i < self.design.signal(*s).width as u128 {
+                        out.push(Write {
+                            signal: *s,
+                            word: 0,
+                            lsb: i as u32,
+                            value: value.resize(1),
+                        });
+                    }
+                }
+                // X/Z or out-of-range index: write is dropped.
+            }
+            LTarget::Part(s, off, w) => {
+                out.push(Write { signal: *s, word: 0, lsb: *off, value: value.resize(*w) });
+            }
+            LTarget::Word(s, index) => {
+                let idx = eval(&self.view(), index, index.width);
+                if let Some(i) = idx.to_u128() {
+                    if (i as u64) < self.words[s.0 as usize].len() as u64 {
+                        let w = self.design.signal(*s).width;
+                        out.push(Write {
+                            signal: *s,
+                            word: i as u64,
+                            lsb: 0,
+                            value: value.resize(w),
+                        });
+                    }
+                }
+            }
+            LTarget::Concat(parts) => {
+                // Slice from the MSB side.
+                let total: u32 = parts.iter().map(|p| p.width(&self.design)).sum();
+                let mut consumed = 0;
+                for p in parts {
+                    let pw = p.width(&self.design);
+                    let lsb = total - consumed - pw;
+                    let slice = value.get_slice(lsb, pw);
+                    self.resolve_target(p, slice, out);
+                    consumed += pw;
+                }
+            }
+        }
+    }
+
+    fn apply_write(&mut self, w: &Write, active: &mut Vec<ProcessId>, current: Option<ProcessId>) {
+        let words = &mut self.words[w.signal.0 as usize];
+        let Some(old) = words.get(w.word as usize).copied() else {
+            return;
+        };
+        let updated = if w.lsb == 0 && w.value.width() == old.width() {
+            w.value
+        } else {
+            old.with_slice(w.lsb, w.value)
+        };
+        if updated == old {
+            return;
+        }
+        words[w.word as usize] = updated;
+        // Array word writes do not produce scalar events (no process is
+        // edge/level sensitive to a whole memory in this subset), but
+        // combinational readers of the memory must re-run.
+        let triggered = self.triggered_by(w.signal, old, updated);
+        for pid in triggered {
+            // A running process misses its own events (IEEE 1364).
+            if Some(pid) != current {
+                active.push(pid);
+            }
+        }
+    }
+
+    /// Snapshot of all scalar (non-array) signal values, used by the
+    /// waveform recorder.
+    pub fn scalar_values(&self) -> Vec<(SignalId, Logic)> {
+        self.design
+            .signals()
+            .iter()
+            .enumerate()
+            .filter(|(_, info)| info.words == 1)
+            .map(|(i, _)| (SignalId(i as u32), self.words[i][0]))
+            .collect()
+    }
+
+    /// Convenience: map of signal name to current value for scalars.
+    pub fn named_values(&self) -> HashMap<String, Logic> {
+        self.design
+            .signals()
+            .iter()
+            .enumerate()
+            .filter(|(_, info)| info.words == 1)
+            .map(|(i, info)| (info.name.clone(), self.words[i][0]))
+            .collect()
+    }
+
+    /// True for signals procedurally driven (regs); used by tests.
+    pub fn is_var(&self, id: SignalId) -> bool {
+        self.design.signal(id).kind == SignalKind::Var
+    }
+
+    /// Iterates processes (used by the DFG builder for cross-checks).
+    pub fn processes(&self) -> &[Process] {
+        self.design.processes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elab::elaborate;
+    use uvllm_verilog::parse;
+
+    fn sim(src: &str) -> Simulator {
+        let file = parse(src).unwrap();
+        let top = file.top().unwrap().name.clone();
+        let design = elaborate(&file, &top).unwrap();
+        Simulator::new(&design).unwrap()
+    }
+
+    fn u(sim: &Simulator, name: &str) -> u128 {
+        sim.peek_by_name(name).unwrap().to_u128().unwrap_or_else(|| {
+            panic!("signal {name} is unknown: {}", sim.peek_by_name(name).unwrap())
+        })
+    }
+
+    #[test]
+    fn combinational_adder() {
+        let mut s = sim(
+            "module add(input [7:0] a, input [7:0] b, output [8:0] y);\n\
+             assign y = a + b;\nendmodule\n",
+        );
+        s.poke_by_name("a", Logic::from_u128(8, 200)).unwrap();
+        s.poke_by_name("b", Logic::from_u128(8, 100)).unwrap();
+        assert_eq!(u(&s, "y"), 300);
+    }
+
+    #[test]
+    fn concat_assign_carry() {
+        let mut s = sim(
+            "module add(input [7:0] a, input [7:0] b, output cout, output [7:0] sum);\n\
+             assign {cout, sum} = a + b;\nendmodule\n",
+        );
+        s.poke_by_name("a", Logic::from_u128(8, 0xff)).unwrap();
+        s.poke_by_name("b", Logic::from_u128(8, 0x02)).unwrap();
+        assert_eq!(u(&s, "cout"), 1);
+        assert_eq!(u(&s, "sum"), 0x01);
+    }
+
+    #[test]
+    fn clocked_counter_with_async_reset() {
+        let mut s = sim(
+            "module c(input clk, input rst_n, output reg [3:0] q);\n\
+             always @(posedge clk or negedge rst_n) begin\n\
+             if (!rst_n) q <= 4'd0; else q <= q + 4'd1;\nend\nendmodule\n",
+        );
+        s.poke_by_name("clk", Logic::bit(false)).unwrap();
+        s.poke_by_name("rst_n", Logic::bit(false)).unwrap();
+        assert_eq!(u(&s, "q"), 0);
+        s.poke_by_name("rst_n", Logic::bit(true)).unwrap();
+        for i in 1..=5u128 {
+            s.poke_by_name("clk", Logic::bit(true)).unwrap();
+            assert_eq!(u(&s, "q"), i % 16);
+            s.poke_by_name("clk", Logic::bit(false)).unwrap();
+        }
+    }
+
+    #[test]
+    fn nonblocking_swap() {
+        let mut s = sim(
+            "module swap(input clk, output reg a, output reg b);\n\
+             initial begin\na = 1'b0;\nb = 1'b1;\nend\n\
+             always @(posedge clk) begin\na <= b;\nb <= a;\nend\nendmodule\n",
+        );
+        s.poke_by_name("clk", Logic::bit(false)).unwrap();
+        assert_eq!(u(&s, "a"), 0);
+        assert_eq!(u(&s, "b"), 1);
+        s.poke_by_name("clk", Logic::bit(true)).unwrap();
+        assert_eq!(u(&s, "a"), 1);
+        assert_eq!(u(&s, "b"), 0);
+    }
+
+    #[test]
+    fn blocking_in_comb_chains() {
+        let mut s = sim(
+            "module m(input [3:0] a, output reg [3:0] y);\nreg [3:0] t;\n\
+             always @(*) begin\nt = a + 4'd1;\ny = t + 4'd1;\nend\nendmodule\n",
+        );
+        s.poke_by_name("a", Logic::from_u128(4, 3)).unwrap();
+        assert_eq!(u(&s, "y"), 5);
+    }
+
+    #[test]
+    fn memory_read_write() {
+        let mut s = sim(
+            "module r(input clk, input we, input [3:0] addr, input [7:0] din,\n\
+             output [7:0] dout);\nreg [7:0] mem [0:15];\n\
+             always @(posedge clk) if (we) mem[addr] <= din;\n\
+             assign dout = mem[addr];\nendmodule\n",
+        );
+        s.poke_by_name("clk", Logic::bit(false)).unwrap();
+        s.poke_by_name("we", Logic::bit(true)).unwrap();
+        s.poke_by_name("addr", Logic::from_u128(4, 5)).unwrap();
+        s.poke_by_name("din", Logic::from_u128(8, 0xAB)).unwrap();
+        s.poke_by_name("clk", Logic::bit(true)).unwrap();
+        assert_eq!(u(&s, "dout"), 0xAB);
+        // Other addresses still X.
+        s.poke_by_name("addr", Logic::from_u128(4, 6)).unwrap();
+        assert!(s.peek_by_name("dout").unwrap().to_u128().is_none());
+    }
+
+    #[test]
+    fn hierarchical_design_simulates() {
+        let mut s = sim(
+            "module top(input a, input b, output y);\nwire w;\n\
+             andg u1(.x(a), .y(b), .z(w));\nnotg u2(.i(w), .o(y));\nendmodule\n\
+             module andg(input x, input y, output z);\nassign z = x & y;\nendmodule\n\
+             module notg(input i, output o);\nassign o = ~i;\nendmodule\n",
+        );
+        s.poke_by_name("a", Logic::bit(true)).unwrap();
+        s.poke_by_name("b", Logic::bit(true)).unwrap();
+        assert_eq!(u(&s, "y"), 0);
+        s.poke_by_name("b", Logic::bit(false)).unwrap();
+        assert_eq!(u(&s, "y"), 1);
+    }
+
+    #[test]
+    fn x_feedback_settles_at_fixpoint() {
+        // `assign y = ~y` starting from X reaches the X fixpoint — it
+        // must NOT be reported as oscillation.
+        let s = parse("module fx(output y);\nassign y = ~y;\nendmodule\n").unwrap();
+        let design = elaborate(&s, "fx").unwrap();
+        let sim = Simulator::new(&design).unwrap();
+        assert!(sim.peek_by_name("y").unwrap().to_u128().is_none());
+    }
+
+    #[test]
+    fn oscillation_detected() {
+        // A cross-process combinational loop with defined values: each
+        // block's case default resolves the initial X, after which the
+        // two blocks chase each other forever. (A single self-reading
+        // block would NOT oscillate — a running process misses its own
+        // events, as in real simulators.)
+        let s = parse(
+            "module osc(output reg a, output reg b);\n\
+             always @(*) begin\ncase (b)\n1'b0: a = 1'b1;\ndefault: a = 1'b0;\nendcase\nend\n\
+             always @(*) begin\ncase (a)\n1'b0: b = 1'b0;\ndefault: b = 1'b1;\nendcase\nend\n\
+             endmodule\n",
+        )
+        .unwrap();
+        let design = elaborate(&s, "osc").unwrap();
+        match Simulator::new(&design) {
+            Err(SimError::Unstable { .. }) => {}
+            other => panic!("expected unstable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incomplete_sensitivity_is_honoured() {
+        // `always @(a)` missing `b` — a classic functional bug the
+        // simulator must reproduce faithfully, not paper over.
+        let mut s = sim(
+            "module m(input a, input b, output reg y);\n\
+             always @(a) y = a & b;\nendmodule\n",
+        );
+        s.poke_by_name("a", Logic::bit(true)).unwrap();
+        s.poke_by_name("b", Logic::bit(true)).unwrap();
+        // b changed but the block is not sensitive to b; y reflects the
+        // value from when a last changed (b was X then).
+        assert!(s.peek_by_name("y").unwrap().to_u128().is_none());
+        s.poke_by_name("a", Logic::bit(false)).unwrap();
+        s.poke_by_name("a", Logic::bit(true)).unwrap();
+        assert_eq!(u(&s, "y"), 1);
+    }
+
+    #[test]
+    fn case_statement_execution() {
+        let mut s = sim(
+            "module mx(input [1:0] s, input [3:0] a, input [3:0] b, input [3:0] c,\n\
+             output reg [3:0] y);\nalways @(*) begin\ncase (s)\n\
+             2'b00: y = a;\n2'b01: y = b;\n2'b10: y = c;\ndefault: y = 4'd0;\n\
+             endcase\nend\nendmodule\n",
+        );
+        s.poke_by_name("a", Logic::from_u128(4, 1)).unwrap();
+        s.poke_by_name("b", Logic::from_u128(4, 2)).unwrap();
+        s.poke_by_name("c", Logic::from_u128(4, 3)).unwrap();
+        s.poke_by_name("s", Logic::from_u128(2, 0)).unwrap();
+        assert_eq!(u(&s, "y"), 1);
+        s.poke_by_name("s", Logic::from_u128(2, 2)).unwrap();
+        assert_eq!(u(&s, "y"), 3);
+        s.poke_by_name("s", Logic::from_u128(2, 3)).unwrap();
+        assert_eq!(u(&s, "y"), 0);
+    }
+
+    #[test]
+    fn part_select_write() {
+        let mut s = sim(
+            "module p(input [3:0] lo, input [3:0] hi, output reg [7:0] y);\n\
+             always @(*) begin\ny[3:0] = lo;\ny[7:4] = hi;\nend\nendmodule\n",
+        );
+        s.poke_by_name("lo", Logic::from_u128(4, 0x5)).unwrap();
+        s.poke_by_name("hi", Logic::from_u128(4, 0xA)).unwrap();
+        assert_eq!(u(&s, "y"), 0xA5);
+    }
+
+    #[test]
+    fn unknown_signal_errors() {
+        let s = sim("module m(input a, output y);\nassign y = a;\nendmodule\n");
+        assert!(matches!(
+            s.peek_by_name("nope"),
+            Err(SimError::UnknownSignal(_))
+        ));
+    }
+}

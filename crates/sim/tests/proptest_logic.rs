@@ -1,0 +1,157 @@
+//! Property tests on the four-state [`Logic`] algebra and on
+//! simulator/golden-model agreement for a reference design.
+
+use proptest::prelude::*;
+use uvllm_sim::{elaborate, Logic, Simulator};
+
+fn logic(width: u32) -> impl Strategy<Value = Logic> {
+    (any::<u128>(), any::<u128>()).prop_map(move |(v, x)| Logic::from_planes(width, v, x))
+}
+
+fn known(width: u32) -> impl Strategy<Value = Logic> {
+    any::<u128>().prop_map(move |v| Logic::from_u128(width, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Addition on known values agrees with wrapping integer addition.
+    #[test]
+    fn add_matches_integers(a in known(32), b in known(32)) {
+        let sum = a.add(&b, 33);
+        prop_assert_eq!(
+            sum.to_u128(),
+            Some((a.to_u128().unwrap() + b.to_u128().unwrap()) & ((1 << 33) - 1))
+        );
+    }
+
+    /// Bitwise operators obey De Morgan on arbitrary four-state values.
+    #[test]
+    fn de_morgan(a in logic(16), b in logic(16)) {
+        let lhs = a.bitand(&b, 16).bitnot(16);
+        let rhs = a.bitnot(16).bitor(&b.bitnot(16), 16);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// AND/OR are commutative for four-state values.
+    #[test]
+    fn commutativity(a in logic(16), b in logic(16)) {
+        prop_assert_eq!(a.bitand(&b, 16), b.bitand(&a, 16));
+        prop_assert_eq!(a.bitor(&b, 16), b.bitor(&a, 16));
+        prop_assert_eq!(a.bitxor(&b, 16), b.bitxor(&a, 16));
+    }
+
+    /// Double negation is the identity up to Z-collapse: `~Z` is X in
+    /// IEEE 1364, so Z bits come back as X; everything else round-trips.
+    #[test]
+    fn double_bitnot(a in logic(24)) {
+        let z_collapsed = Logic::from_planes(24, a.val() & !a.xz(), a.xz());
+        prop_assert_eq!(a.bitnot(24).bitnot(24), z_collapsed);
+    }
+
+    /// resize never invents known bits.
+    #[test]
+    fn resize_preserves_unknowns(a in logic(8)) {
+        let wide = a.resize(16);
+        prop_assert_eq!(wide.get_slice(0, 8), a);
+        // Extended bits are known zero.
+        prop_assert_eq!(wide.get_slice(8, 8), Logic::zeros(8));
+    }
+
+    /// Concatenation width and content.
+    #[test]
+    fn concat_structure(hi in logic(8), lo in logic(8)) {
+        let c = Logic::concat(hi, lo);
+        prop_assert_eq!(c.width(), 16);
+        prop_assert_eq!(c.get_slice(0, 8), lo);
+        prop_assert_eq!(c.get_slice(8, 8), hi);
+    }
+
+    /// Slice insertion then extraction is the identity.
+    #[test]
+    fn slice_roundtrip(base in logic(32), v in logic(8), at in 0u32..24) {
+        let w = base.with_slice(at, v);
+        prop_assert_eq!(w.get_slice(at, 8), v);
+    }
+
+    /// case-equality is an equivalence relation sample: reflexive.
+    #[test]
+    fn case_eq_reflexive(a in logic(20)) {
+        prop_assert_eq!(a.case_eq(&a), Logic::bit(true));
+    }
+
+    /// Logical equality never returns a definite wrong answer: when both
+    /// sides are fully known it matches integer equality.
+    #[test]
+    fn log_eq_on_known(a in known(16), b in known(16)) {
+        prop_assert_eq!(
+            a.log_eq(&b).to_u128(),
+            Some((a.to_u128() == b.to_u128()) as u128)
+        );
+    }
+
+    /// Display output re-encodes width and value faithfully for known
+    /// values (parses back through the expression parser).
+    #[test]
+    fn display_parses_back(a in known(16)) {
+        let text = a.to_string();
+        let e = uvllm_verilog::parse_expr(&text).expect("literal must parse");
+        match e {
+            uvllm_verilog::Expr::Number(n) => {
+                prop_assert_eq!(n.value, a.to_u128().unwrap());
+                prop_assert_eq!(n.width, Some(16));
+            }
+            other => prop_assert!(false, "expected number, got {:?}", other),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The simulated 8-bit adder agrees with integer arithmetic on
+    /// arbitrary driven values (differential property against the
+    /// simulator itself).
+    #[test]
+    fn simulated_adder_is_correct(a in 0u128..256, b in 0u128..256, cin in 0u128..2) {
+        let file = uvllm_verilog::parse(
+            "module add(input [7:0] a, input [7:0] b, input cin,\n\
+             output [7:0] sum, output cout);\n\
+             assign {cout, sum} = a + b + {7'd0, cin};\nendmodule\n",
+        ).unwrap();
+        let design = elaborate(&file, "add").unwrap();
+        let mut sim = Simulator::new(&design).unwrap();
+        sim.poke_by_name("a", Logic::from_u128(8, a)).unwrap();
+        sim.poke_by_name("b", Logic::from_u128(8, b)).unwrap();
+        sim.poke_by_name("cin", Logic::from_u128(1, cin)).unwrap();
+        let total = a + b + cin;
+        prop_assert_eq!(sim.peek_by_name("sum").unwrap().to_u128(), Some(total & 0xff));
+        prop_assert_eq!(sim.peek_by_name("cout").unwrap().to_u128(), Some(total >> 8));
+    }
+
+    /// A simulated counter follows modular arithmetic over any enable
+    /// pattern.
+    #[test]
+    fn simulated_counter_tracks_enables(pattern in prop::collection::vec(any::<bool>(), 1..40)) {
+        let file = uvllm_verilog::parse(
+            "module c(input clk, input rst_n, input en, output reg [3:0] q);\n\
+             always @(posedge clk or negedge rst_n) begin\n\
+             if (!rst_n) q <= 4'd0; else if (en) q <= q + 4'd1;\nend\nendmodule\n",
+        ).unwrap();
+        let design = elaborate(&file, "c").unwrap();
+        let mut sim = Simulator::new(&design).unwrap();
+        sim.poke_by_name("clk", Logic::bit(false)).unwrap();
+        sim.poke_by_name("rst_n", Logic::bit(false)).unwrap();
+        sim.poke_by_name("rst_n", Logic::bit(true)).unwrap();
+        let mut expected = 0u128;
+        for en in &pattern {
+            sim.poke_by_name("en", Logic::bit(*en)).unwrap();
+            sim.poke_by_name("clk", Logic::bit(true)).unwrap();
+            sim.poke_by_name("clk", Logic::bit(false)).unwrap();
+            if *en {
+                expected = (expected + 1) & 0xf;
+            }
+            prop_assert_eq!(sim.peek_by_name("q").unwrap().to_u128(), Some(expected));
+        }
+    }
+}

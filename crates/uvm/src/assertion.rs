@@ -1,0 +1,195 @@
+//! SVA-lite immediate assertions — the paper's Extensibility hook
+//! (§III-B): protocol properties checked on every scoreboard cycle,
+//! independent of the reference model.
+//!
+//! Assertions are Verilog boolean expressions over the DUT's signal
+//! names, evaluated against the post-edge snapshot. A failing (or
+//! X-valued) assertion raises a `UVM_ERROR` and is counted in the run
+//! summary, exactly like the AI-generated APB/AHB assertions the paper
+//! cites.
+
+use std::collections::HashMap;
+use uvllm_sim::{Logic, Tri};
+use uvllm_verilog::ast::Expr;
+use uvllm_verilog::parse_expr;
+
+/// One immediate assertion.
+#[derive(Debug, Clone)]
+pub struct Assertion {
+    /// Display name (used in log entries).
+    pub name: String,
+    /// Boolean property over signal names.
+    pub expr: Expr,
+    /// Original source text of the property.
+    pub text: String,
+}
+
+impl Assertion {
+    /// Parses a property from Verilog expression text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parser message when `text` is not an expression.
+    pub fn parse(name: impl Into<String>, text: &str) -> Result<Self, String> {
+        let expr = parse_expr(text).map_err(|e| e.to_string())?;
+        Ok(Assertion { name: name.into(), expr, text: text.to_string() })
+    }
+
+    /// Evaluates the property against a named value snapshot.
+    /// `true` means the assertion holds; X-valued properties fail
+    /// (conservative, as in SystemVerilog immediate assertions).
+    pub fn holds(&self, values: &HashMap<String, Logic>) -> bool {
+        crate::assertion::eval(&self.expr, values).truthiness() == Tri::True
+    }
+}
+
+/// Evaluates `expr` over `values` (wrapper over the slicing evaluator's
+/// semantics, kept local so `uvllm-uvm` stays independent of the DFG
+/// crate).
+pub fn eval(expr: &Expr, values: &HashMap<String, Logic>) -> Logic {
+    use uvllm_verilog::ast::{BinaryOp, UnaryOp};
+    match expr {
+        Expr::Number(n) => Logic::from_planes(n.width.unwrap_or(32), n.value, n.xz),
+        Expr::Ident(name) => values.get(name).copied().unwrap_or_else(|| Logic::xs(32)),
+        Expr::Unary(op, a) => {
+            let v = eval(a, values);
+            let w = v.width();
+            match op {
+                UnaryOp::LogNot => v.log_not(),
+                UnaryOp::BitNot => v.bitnot(w),
+                UnaryOp::Neg => v.neg(w),
+                UnaryOp::Plus => v,
+                UnaryOp::RedAnd => v.red_and(),
+                UnaryOp::RedOr => v.red_or(),
+                UnaryOp::RedXor => v.red_xor(),
+                UnaryOp::RedNand => v.red_and().bitnot(1),
+                UnaryOp::RedNor => v.red_or().bitnot(1),
+                UnaryOp::RedXnor => v.red_xor().bitnot(1),
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let x = eval(a, values);
+            let y = eval(b, values);
+            let w = x.width().max(y.width());
+            match op {
+                BinaryOp::Add => x.add(&y, w),
+                BinaryOp::Sub => x.sub(&y, w),
+                BinaryOp::Mul => x.mul(&y, w),
+                BinaryOp::Div => x.div(&y, w),
+                BinaryOp::Mod => x.rem(&y, w),
+                BinaryOp::Pow => x.pow(&y, w),
+                BinaryOp::Shl => x.shl(&y, w),
+                BinaryOp::Shr => x.shr(&y, w),
+                BinaryOp::AShr => x.ashr(&y, w),
+                BinaryOp::Lt => x.cmp_lt(&y),
+                BinaryOp::Le => y.cmp_lt(&x).log_not(),
+                BinaryOp::Gt => y.cmp_lt(&x),
+                BinaryOp::Ge => x.cmp_lt(&y).log_not(),
+                BinaryOp::Eq => x.log_eq(&y),
+                BinaryOp::Ne => x.log_ne(&y),
+                BinaryOp::CaseEq => x.case_eq(&y),
+                BinaryOp::CaseNe => x.case_eq(&y).bitnot(1),
+                BinaryOp::LogAnd => x.log_and(&y),
+                BinaryOp::LogOr => x.log_or(&y),
+                BinaryOp::BitAnd => x.bitand(&y, w),
+                BinaryOp::BitOr => x.bitor(&y, w),
+                BinaryOp::BitXor => x.bitxor(&y, w),
+                BinaryOp::BitXnor => x.bitxnor(&y, w),
+            }
+        }
+        Expr::Ternary(c, t, f) => match eval(c, values).truthiness() {
+            Tri::True => eval(t, values),
+            Tri::False => eval(f, values),
+            Tri::Unknown => {
+                let tv = eval(t, values);
+                let fv = eval(f, values);
+                let w = tv.width().max(fv.width());
+                tv.merge(&fv, w)
+            }
+        },
+        Expr::Index(base, index) => {
+            let b = eval(base, values);
+            match eval(index, values).to_u128() {
+                Some(i) if i < 128 => b.get_bit(i as u32),
+                _ => Logic::xs(1),
+            }
+        }
+        Expr::Part(base, msb, lsb) => {
+            let b = eval(base, values);
+            match (eval(msb, values).to_u128(), eval(lsb, values).to_u128()) {
+                (Some(m), Some(l)) if m >= l && m < 128 => {
+                    b.get_slice(l as u32, (m - l + 1) as u32)
+                }
+                _ => Logic::xs(1),
+            }
+        }
+        Expr::Concat(items) => {
+            let mut acc: Option<Logic> = None;
+            for item in items {
+                let v = eval(item, values);
+                acc = Some(match acc {
+                    None => v,
+                    Some(hi) => Logic::concat(hi, v),
+                });
+            }
+            acc.unwrap_or_else(|| Logic::zeros(1))
+        }
+        Expr::Repeat(count, items) => {
+            let n = eval(count, values).to_u128().unwrap_or(0).min(64);
+            let mut acc: Option<Logic> = None;
+            for _ in 0..n {
+                for item in items {
+                    let v = eval(item, values);
+                    acc = Some(match acc {
+                        None => v,
+                        Some(hi) => Logic::concat(hi, v),
+                    });
+                }
+            }
+            acc.unwrap_or_else(|| Logic::zeros(1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(&str, u32, u128)]) -> HashMap<String, Logic> {
+        pairs
+            .iter()
+            .map(|(n, w, v)| (n.to_string(), Logic::from_u128(*w, *v)))
+            .collect()
+    }
+
+    #[test]
+    fn parses_and_evaluates() {
+        let a = Assertion::parse("no_overflow", "!(full && push)").unwrap();
+        assert!(a.holds(&env(&[("full", 1, 0), ("push", 1, 1)])));
+        assert!(a.holds(&env(&[("full", 1, 1), ("push", 1, 0)])));
+        assert!(!a.holds(&env(&[("full", 1, 1), ("push", 1, 1)])));
+    }
+
+    #[test]
+    fn x_valued_property_fails() {
+        let a = Assertion::parse("count_sane", "count <= 4'd8").unwrap();
+        // `count` missing from the snapshot: X, conservative failure.
+        assert!(!a.holds(&HashMap::new()));
+        assert!(a.holds(&env(&[("count", 4, 8)])));
+        assert!(!a.holds(&env(&[("count", 5, 9)])));
+    }
+
+    #[test]
+    fn relational_and_arith_properties() {
+        let a = Assertion::parse("sum_bound", "(a + b) >= a").unwrap();
+        assert!(a.holds(&env(&[("a", 8, 200), ("b", 8, 55)])));
+        let onehot = Assertion::parse("onehot", "(y & (y - 8'd1)) == 8'd0").unwrap();
+        assert!(onehot.holds(&env(&[("y", 8, 0b0100_0000)])));
+        assert!(!onehot.holds(&env(&[("y", 8, 0b0110_0000)])));
+    }
+
+    #[test]
+    fn bad_expression_is_rejected() {
+        assert!(Assertion::parse("broken", "a +* b").is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! DUT interface descriptions shared by drivers, monitors and reference
+//! models.
+
+use std::collections::BTreeMap;
+use uvllm_sim::Logic;
+
+/// One named port with its width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortSig {
+    pub name: String,
+    pub width: u32,
+}
+
+impl PortSig {
+    /// Creates a port signature.
+    pub fn new(name: impl Into<String>, width: u32) -> Self {
+        PortSig { name: name.into(), width }
+    }
+}
+
+/// Reset line description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResetSpec {
+    pub name: String,
+    /// True when the reset asserts at logic 0 (`rst_n` style).
+    pub active_low: bool,
+}
+
+/// The pin-level contract of a DUT: clocking, reset and data ports.
+///
+/// `inputs`/`outputs` exclude the clock and reset lines, which the
+/// [`crate::env::Environment`] drives itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DutInterface {
+    /// Clock port; `None` for purely combinational DUTs.
+    pub clock: Option<String>,
+    /// Reset port, if the DUT has one.
+    pub reset: Option<ResetSpec>,
+    pub inputs: Vec<PortSig>,
+    pub outputs: Vec<PortSig>,
+}
+
+impl DutInterface {
+    /// A combinational interface (no clock, no reset).
+    pub fn combinational(inputs: Vec<PortSig>, outputs: Vec<PortSig>) -> Self {
+        DutInterface { clock: None, reset: None, inputs, outputs }
+    }
+
+    /// A clocked interface with an active-low reset named `rst_n`.
+    pub fn clocked(inputs: Vec<PortSig>, outputs: Vec<PortSig>) -> Self {
+        DutInterface {
+            clock: Some("clk".to_string()),
+            reset: Some(ResetSpec { name: "rst_n".to_string(), active_low: true }),
+            inputs,
+            outputs,
+        }
+    }
+
+    /// True when the DUT has a clock.
+    pub fn is_sequential(&self) -> bool {
+        self.clock.is_some()
+    }
+
+    /// Looks up an input port by name.
+    pub fn input(&self, name: &str) -> Option<&PortSig> {
+        self.inputs.iter().find(|p| p.name == name)
+    }
+
+    /// Looks up an output port by name.
+    pub fn output(&self, name: &str) -> Option<&PortSig> {
+        self.outputs.iter().find(|p| p.name == name)
+    }
+}
+
+/// A single stimulus item: values for every data input for one cycle.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Transaction {
+    /// Input name → driven value. `BTreeMap` keeps log rendering stable.
+    pub values: BTreeMap<String, Logic>,
+}
+
+impl Transaction {
+    /// Creates an empty transaction.
+    pub fn new() -> Self {
+        Transaction::default()
+    }
+
+    /// Builder-style value insertion.
+    pub fn with(mut self, name: impl Into<String>, value: Logic) -> Self {
+        self.values.insert(name.into(), value);
+        self
+    }
+
+    /// Renders as `a=8'h12 b=8'h03` for logs.
+    pub fn render(&self) -> String {
+        self.values
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interface_constructors() {
+        let iface = DutInterface::clocked(
+            vec![PortSig::new("d", 8)],
+            vec![PortSig::new("q", 8)],
+        );
+        assert!(iface.is_sequential());
+        assert_eq!(iface.clock.as_deref(), Some("clk"));
+        assert!(iface.reset.as_ref().unwrap().active_low);
+        assert!(iface.input("d").is_some());
+        assert!(iface.output("q").is_some());
+        assert!(iface.input("q").is_none());
+
+        let comb = DutInterface::combinational(vec![PortSig::new("a", 1)], vec![]);
+        assert!(!comb.is_sequential());
+    }
+
+    #[test]
+    fn transaction_render_is_stable() {
+        let t = Transaction::new()
+            .with("b", Logic::from_u128(4, 3))
+            .with("a", Logic::from_u128(4, 1));
+        assert_eq!(t.render(), "a=4'h1 b=4'h3");
+    }
+}

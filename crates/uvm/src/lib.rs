@@ -1,0 +1,56 @@
+//! # uvllm-uvm
+//!
+//! A UVM-style constrained-random verification framework (§III-B of the
+//! UVLLM paper, Fig. 3): sequences feed a sequencer, a driver translates
+//! transactions to pin wiggles on the simulated DUT, monitors sample
+//! pins, and a scoreboard compares against an executable reference model
+//! while collecting functional coverage. Runs emit a UVM-style log whose
+//! mismatch lines the post-processing stage parses, plus a waveform for
+//! time-aware slicing.
+//!
+//! ## Example
+//!
+//! ```rust
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use std::collections::BTreeMap;
+//! use uvllm_sim::Logic;
+//! use uvllm_uvm::{
+//!     DutInterface, Environment, FnModel, PortSig, RandomSequence, Sequence,
+//! };
+//!
+//! let src = "module inv(input [3:0] a, output [3:0] y);\n\
+//!            assign y = ~a;\nendmodule\n";
+//! let iface = DutInterface::combinational(
+//!     vec![PortSig::new("a", 4)],
+//!     vec![PortSig::new("y", 4)],
+//! );
+//! let model = FnModel(|ins: &BTreeMap<String, Logic>| {
+//!     let a = ins["a"].to_u128().unwrap_or(0);
+//!     let mut out = BTreeMap::new();
+//!     out.insert("y".to_string(), Logic::from_u128(4, !a));
+//!     out
+//! });
+//! let seqs: Vec<Box<dyn Sequence>> =
+//!     vec![Box::new(RandomSequence::new(&iface.inputs, 20, 1))];
+//! let env = Environment::from_source(src, "inv", iface, Box::new(model), seqs)?;
+//! let summary = env.run();
+//! assert!(summary.all_passed());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod assertion;
+pub mod env;
+pub mod iface;
+pub mod log;
+pub mod refmodel;
+pub mod scoreboard;
+pub mod sequence;
+
+pub use assertion::Assertion;
+pub use env::{Driver, Environment, Monitor, RunSummary, Sequencer, UvmError, CYCLE_TIME};
+pub use iface::{DutInterface, PortSig, ResetSpec, Transaction};
+pub use log::{LogEntry, UvmLog, UvmSeverity};
+pub use refmodel::{in_val, out_val, FnModel, RefModel};
+pub use scoreboard::{Coverage, Mismatch, Scoreboard};
+pub use sequence::{CornerSequence, DirectedSequence, RandomSequence, Sequence};

@@ -1,0 +1,267 @@
+//! Scoreboard: per-cycle comparison of DUT outputs against the reference
+//! model, plus functional coverage collection.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use uvllm_sim::Logic;
+
+/// One observed deviation between the DUT and the reference model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    /// Simulation time at which the comparison was made.
+    pub time: u64,
+    /// Cycle index within the run.
+    pub cycle: usize,
+    /// Output signal that deviated.
+    pub signal: String,
+    pub expected: Logic,
+    pub actual: Logic,
+}
+
+/// Accumulates comparison outcomes; its pass rate is the score the
+/// rollback mechanism uses (§III-C of the paper).
+#[derive(Debug, Clone, Default)]
+pub struct Scoreboard {
+    checked_cycles: usize,
+    passed_cycles: usize,
+    mismatches: Vec<Mismatch>,
+}
+
+impl Scoreboard {
+    /// New empty scoreboard.
+    pub fn new() -> Self {
+        Scoreboard::default()
+    }
+
+    /// Compares one cycle of outputs; records any mismatches.
+    /// Returns `true` when the cycle passed.
+    pub fn check_cycle(
+        &mut self,
+        time: u64,
+        cycle: usize,
+        expected: &BTreeMap<String, Logic>,
+        actual: &BTreeMap<String, Logic>,
+    ) -> bool {
+        self.checked_cycles += 1;
+        let mut ok = true;
+        for (name, exp) in expected {
+            let act = actual.get(name).copied().unwrap_or_else(|| Logic::xs(exp.width()));
+            // Four-state aware comparison: values must be literally
+            // identical (an X where a value was expected is a failure).
+            if act.resize(exp.width()) != *exp {
+                ok = false;
+                self.mismatches.push(Mismatch {
+                    time,
+                    cycle,
+                    signal: name.clone(),
+                    expected: *exp,
+                    actual: act,
+                });
+            }
+        }
+        if ok {
+            self.passed_cycles += 1;
+        }
+        ok
+    }
+
+    /// Fraction of checked cycles that fully matched, in `[0, 1]`.
+    /// An unchecked run scores 0.
+    pub fn pass_rate(&self) -> f64 {
+        if self.checked_cycles == 0 {
+            0.0
+        } else {
+            self.passed_cycles as f64 / self.checked_cycles as f64
+        }
+    }
+
+    /// Cycles compared so far.
+    pub fn checked_cycles(&self) -> usize {
+        self.checked_cycles
+    }
+
+    /// All recorded mismatches in time order.
+    pub fn mismatches(&self) -> &[Mismatch] {
+        &self.mismatches
+    }
+
+    /// Distinct mismatching signal names, in first-seen order.
+    pub fn mismatch_signals(&self) -> Vec<String> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for m in &self.mismatches {
+            if seen.insert(m.signal.clone()) {
+                out.push(m.signal.clone());
+            }
+        }
+        out
+    }
+
+    /// True when every checked cycle passed (and at least one ran).
+    pub fn all_passed(&self) -> bool {
+        self.checked_cycles > 0 && self.mismatches.is_empty()
+    }
+}
+
+/// Functional coverage: value bins per input and toggle coverage per
+/// output, in the spirit of UVM covergroups.
+#[derive(Debug, Clone, Default)]
+pub struct Coverage {
+    /// input name → (width, bins hit).
+    input_bins: HashMap<String, (u32, HashSet<u32>)>,
+    /// output name → (bits seen 0, bits seen 1).
+    toggles: HashMap<String, (u128, u128)>,
+    output_widths: HashMap<String, u32>,
+}
+
+/// Number of value bins per input signal.
+const BINS: u32 = 16;
+
+impl Coverage {
+    /// New empty coverage collector.
+    pub fn new() -> Self {
+        Coverage::default()
+    }
+
+    /// Samples one cycle of activity.
+    pub fn sample(
+        &mut self,
+        inputs: &BTreeMap<String, Logic>,
+        outputs: &BTreeMap<String, Logic>,
+    ) {
+        for (name, v) in inputs {
+            let entry = self
+                .input_bins
+                .entry(name.clone())
+                .or_insert_with(|| (v.width(), HashSet::new()));
+            if let Some(val) = v.to_u128() {
+                let w = entry.0;
+                let total = if w >= 32 { u128::MAX } else { 1u128 << w };
+                let nbins = (total as u128).min(BINS as u128) as u32;
+                let bin = if total <= BINS as u128 {
+                    val as u32
+                } else {
+                    // Equal-width bins over the value space.
+                    ((val.saturating_mul(nbins as u128)) / total) as u32
+                };
+                entry.1.insert(bin.min(nbins - 1));
+            }
+        }
+        for (name, v) in outputs {
+            self.output_widths.insert(name.clone(), v.width());
+            let entry = self.toggles.entry(name.clone()).or_insert((0, 0));
+            let known = !v.xz();
+            entry.0 |= !v.val() & known & uvllm_sim::logic::mask(v.width());
+            entry.1 |= v.val() & known;
+        }
+    }
+
+    /// Fraction of input value bins hit, in `[0, 1]`.
+    pub fn input_coverage(&self) -> f64 {
+        if self.input_bins.is_empty() {
+            return 1.0;
+        }
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for (w, bins) in self.input_bins.values() {
+            let space = if *w >= 32 { BINS } else { (1u64 << w).min(BINS as u64) as u32 };
+            total += space as usize;
+            hit += bins.len().min(space as usize);
+        }
+        hit as f64 / total as f64
+    }
+
+    /// Fraction of output bits observed at both 0 and 1, in `[0, 1]`.
+    pub fn toggle_coverage(&self) -> f64 {
+        if self.toggles.is_empty() {
+            return 1.0;
+        }
+        let mut toggled = 0u32;
+        let mut total = 0u32;
+        for (name, (zeros, ones)) in &self.toggles {
+            let w = self.output_widths.get(name).copied().unwrap_or(1);
+            total += w;
+            toggled += (zeros & ones).count_ones().min(w);
+        }
+        if total == 0 {
+            1.0
+        } else {
+            toggled as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(pairs: &[(&str, u32, u128)]) -> BTreeMap<String, Logic> {
+        pairs
+            .iter()
+            .map(|(n, w, v)| (n.to_string(), Logic::from_u128(*w, *v)))
+            .collect()
+    }
+
+    #[test]
+    fn scoreboard_tracks_pass_rate() {
+        let mut sb = Scoreboard::new();
+        let exp = vals(&[("y", 8, 10)]);
+        assert!(sb.check_cycle(0, 0, &exp, &vals(&[("y", 8, 10)])));
+        assert!(!sb.check_cycle(10, 1, &exp, &vals(&[("y", 8, 11)])));
+        assert!((sb.pass_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(sb.mismatches().len(), 1);
+        assert_eq!(sb.mismatch_signals(), vec!["y".to_string()]);
+        assert!(!sb.all_passed());
+    }
+
+    #[test]
+    fn x_output_counts_as_mismatch() {
+        let mut sb = Scoreboard::new();
+        let exp = vals(&[("y", 4, 0)]);
+        let mut act = BTreeMap::new();
+        act.insert("y".to_string(), Logic::xs(4));
+        assert!(!sb.check_cycle(0, 0, &exp, &act));
+    }
+
+    #[test]
+    fn missing_output_is_mismatch() {
+        let mut sb = Scoreboard::new();
+        let exp = vals(&[("y", 4, 2)]);
+        assert!(!sb.check_cycle(0, 0, &exp, &BTreeMap::new()));
+    }
+
+    #[test]
+    fn empty_scoreboard_scores_zero() {
+        assert_eq!(Scoreboard::new().pass_rate(), 0.0);
+        assert!(!Scoreboard::new().all_passed());
+    }
+
+    #[test]
+    fn coverage_bins_fill_up() {
+        let mut cov = Coverage::new();
+        // 1-bit input: two bins.
+        cov.sample(&vals(&[("a", 1, 0)]), &vals(&[("y", 1, 0)]));
+        assert!(cov.input_coverage() < 1.0);
+        cov.sample(&vals(&[("a", 1, 1)]), &vals(&[("y", 1, 1)]));
+        assert!((cov.input_coverage() - 1.0).abs() < 1e-9);
+        assert!((cov.toggle_coverage() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn toggle_requires_both_values() {
+        let mut cov = Coverage::new();
+        cov.sample(&BTreeMap::new(), &vals(&[("y", 2, 0b01)]));
+        // Bit0 saw 1, bit1 saw 0 — nothing toggled yet.
+        assert_eq!(cov.toggle_coverage(), 0.0);
+        cov.sample(&BTreeMap::new(), &vals(&[("y", 2, 0b10)]));
+        assert!((cov.toggle_coverage() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wide_input_bins_are_bucketed() {
+        let mut cov = Coverage::new();
+        for v in 0..=255u128 {
+            cov.sample(&vals(&[("a", 8, v)]), &BTreeMap::new());
+        }
+        assert!((cov.input_coverage() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,482 @@
+//! Hand-written lexer for the supported Verilog subset.
+
+use crate::error::{SyntaxError, SyntaxErrorKind};
+use crate::span::Span;
+use crate::token::{Keyword, NumberBase, NumberToken, Token, TokenKind};
+
+/// Converts Verilog source text into a token stream.
+///
+/// The lexer is lossless with respect to spans: every token records the
+/// byte range it came from, so later stages can rewrite source text
+/// surgically.
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0 }
+    }
+
+    /// Lexes the entire input, returning tokens (including a final
+    /// [`TokenKind::Eof`]) or the first lexical error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SyntaxError`] for unterminated comments/strings,
+    /// malformed based literals and unexpected characters.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, SyntaxError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let eof = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        *self.bytes.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.bytes.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek();
+        self.pos += 1;
+        b
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), SyntaxError> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.pos += 1;
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.pos < self.bytes.len() && self.peek() != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        if self.pos + 1 >= self.bytes.len() {
+                            return Err(SyntaxError::new(
+                                SyntaxErrorKind::UnterminatedComment,
+                                Span::new(start, self.bytes.len()),
+                                "unterminated block comment",
+                            ));
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.pos += 2;
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                // Compiler directives such as `timescale are skipped to
+                // end of line; they do not affect behavioural semantics
+                // in this subset.
+                b'`' => {
+                    while self.pos < self.bytes.len() && self.peek() != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, SyntaxError> {
+        self.skip_trivia()?;
+        let start = self.pos;
+        if self.pos >= self.bytes.len() {
+            return Ok(Token::new(TokenKind::Eof, Span::point(start)));
+        }
+        let c = self.peek();
+        let kind = match c {
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => return Ok(self.lex_ident(start)),
+            b'0'..=b'9' => return self.lex_number(start),
+            b'\'' => return self.lex_based_literal(start, None),
+            b'$' => return Ok(self.lex_sys_ident(start)),
+            b'"' => return self.lex_string(start),
+            b'(' => { self.bump(); TokenKind::LParen }
+            b')' => { self.bump(); TokenKind::RParen }
+            b'[' => { self.bump(); TokenKind::LBracket }
+            b']' => { self.bump(); TokenKind::RBracket }
+            b'{' => { self.bump(); TokenKind::LBrace }
+            b'}' => { self.bump(); TokenKind::RBrace }
+            b';' => { self.bump(); TokenKind::Semi }
+            b',' => { self.bump(); TokenKind::Comma }
+            b':' => { self.bump(); TokenKind::Colon }
+            b'.' => { self.bump(); TokenKind::Dot }
+            b'#' => { self.bump(); TokenKind::Hash }
+            b'@' => { self.bump(); TokenKind::At }
+            b'?' => { self.bump(); TokenKind::Question }
+            b'+' => {
+                self.bump();
+                if self.peek() == b':' { self.bump(); TokenKind::PlusColon } else { TokenKind::Plus }
+            }
+            b'-' => {
+                self.bump();
+                if self.peek() == b':' { self.bump(); TokenKind::MinusColon } else { TokenKind::Minus }
+            }
+            b'*' => {
+                self.bump();
+                if self.peek() == b'*' { self.bump(); TokenKind::Power } else { TokenKind::Star }
+            }
+            b'/' => { self.bump(); TokenKind::Slash }
+            b'%' => { self.bump(); TokenKind::Percent }
+            b'!' => {
+                self.bump();
+                if self.peek() == b'=' {
+                    self.bump();
+                    if self.peek() == b'=' { self.bump(); TokenKind::CaseNe } else { TokenKind::NotEq }
+                } else {
+                    TokenKind::Not
+                }
+            }
+            b'~' => {
+                self.bump();
+                match self.peek() {
+                    b'&' => { self.bump(); TokenKind::TildeAmp }
+                    b'|' => { self.bump(); TokenKind::TildePipe }
+                    b'^' => { self.bump(); TokenKind::TildeCaret }
+                    _ => TokenKind::Tilde,
+                }
+            }
+            b'&' => {
+                self.bump();
+                if self.peek() == b'&' { self.bump(); TokenKind::AndAnd } else { TokenKind::Amp }
+            }
+            b'|' => {
+                self.bump();
+                if self.peek() == b'|' { self.bump(); TokenKind::OrOr } else { TokenKind::Pipe }
+            }
+            b'^' => {
+                self.bump();
+                if self.peek() == b'~' { self.bump(); TokenKind::TildeCaret } else { TokenKind::Caret }
+            }
+            b'=' => {
+                self.bump();
+                if self.peek() == b'=' {
+                    self.bump();
+                    if self.peek() == b'=' { self.bump(); TokenKind::CaseEq } else { TokenKind::EqEq }
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            b'<' => {
+                self.bump();
+                match self.peek() {
+                    b'=' => { self.bump(); TokenKind::LeAssign }
+                    b'<' => {
+                        self.bump();
+                        if self.peek() == b'<' { self.bump(); TokenKind::AShl } else { TokenKind::Shl }
+                    }
+                    _ => TokenKind::Lt,
+                }
+            }
+            b'>' => {
+                self.bump();
+                match self.peek() {
+                    b'=' => { self.bump(); TokenKind::Ge }
+                    b'>' => {
+                        self.bump();
+                        if self.peek() == b'>' { self.bump(); TokenKind::AShr } else { TokenKind::Shr }
+                    }
+                    _ => TokenKind::Gt,
+                }
+            }
+            other => {
+                return Err(SyntaxError::new(
+                    SyntaxErrorKind::UnexpectedChar(other as char),
+                    Span::new(start, start + 1),
+                    format!("unexpected character '{}'", other as char),
+                ));
+            }
+        };
+        Ok(Token::new(kind, Span::new(start, self.pos)))
+    }
+
+    fn lex_ident(&mut self, start: usize) -> Token {
+        while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'$') {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        let kind = match Keyword::from_str(text) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(text.to_string()),
+        };
+        Token::new(kind, Span::new(start, self.pos))
+    }
+
+    fn lex_sys_ident(&mut self, start: usize) -> Token {
+        self.pos += 1; // `$`
+        while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') {
+            self.pos += 1;
+        }
+        Token::new(
+            TokenKind::SysIdent(self.src[start..self.pos].to_string()),
+            Span::new(start, self.pos),
+        )
+    }
+
+    fn lex_string(&mut self, start: usize) -> Result<Token, SyntaxError> {
+        self.pos += 1; // opening quote
+        let content_start = self.pos;
+        while self.pos < self.bytes.len() && self.peek() != b'"' {
+            if self.peek() == b'\\' {
+                self.pos += 1;
+            }
+            self.pos += 1;
+        }
+        if self.pos >= self.bytes.len() {
+            return Err(SyntaxError::new(
+                SyntaxErrorKind::UnterminatedString,
+                Span::new(start, self.bytes.len()),
+                "unterminated string literal",
+            ));
+        }
+        let content = self.src[content_start..self.pos].to_string();
+        self.pos += 1; // closing quote
+        Ok(Token::new(TokenKind::Str(content), Span::new(start, self.pos)))
+    }
+
+    fn lex_number(&mut self, start: usize) -> Result<Token, SyntaxError> {
+        while matches!(self.peek(), b'0'..=b'9' | b'_') {
+            self.pos += 1;
+        }
+        if self.peek() == b'\'' {
+            let width_text: String =
+                self.src[start..self.pos].chars().filter(|c| *c != '_').collect();
+            let width = width_text.parse::<u32>().ok();
+            return self.lex_based_literal(start, width);
+        }
+        let digits: String = self.src[start..self.pos].chars().filter(|c| *c != '_').collect();
+        Ok(Token::new(
+            TokenKind::Number(NumberToken {
+                width: None,
+                base: NumberBase::Dec,
+                digits,
+                signed: false,
+            }),
+            Span::new(start, self.pos),
+        ))
+    }
+
+    /// Lexes the `'b0101` part of a based literal; `width` was already
+    /// consumed by the caller if present.
+    fn lex_based_literal(
+        &mut self,
+        start: usize,
+        width: Option<u32>,
+    ) -> Result<Token, SyntaxError> {
+        debug_assert_eq!(self.peek(), b'\'');
+        self.pos += 1;
+        let mut signed = false;
+        if matches!(self.peek(), b's' | b'S')
+            && matches!(self.peek2(), b'b' | b'B' | b'o' | b'O' | b'd' | b'D' | b'h' | b'H')
+        {
+            signed = true;
+            self.pos += 1;
+        }
+        let base = match self.peek() {
+            b'b' | b'B' => NumberBase::Bin,
+            b'o' | b'O' => NumberBase::Oct,
+            b'd' | b'D' => NumberBase::Dec,
+            b'h' | b'H' => NumberBase::Hex,
+            other => {
+                return Err(SyntaxError::new(
+                    SyntaxErrorKind::MalformedNumber,
+                    Span::new(start, self.pos + 1),
+                    format!("invalid base specifier '{}' in literal", other as char),
+                ));
+            }
+        };
+        self.pos += 1;
+        // Digits may include x/z/? plus underscores; validate per base.
+        let digits_start = self.pos;
+        while matches!(
+            self.peek(),
+            b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F' | b'x' | b'X' | b'z' | b'Z' | b'?' | b'_'
+        ) {
+            self.pos += 1;
+        }
+        let raw = &self.src[digits_start..self.pos];
+        let digits: String = raw.chars().filter(|c| *c != '_').map(|c| c.to_ascii_lowercase()).collect();
+        if digits.is_empty() {
+            return Err(SyntaxError::new(
+                SyntaxErrorKind::MalformedNumber,
+                Span::new(start, self.pos),
+                "based literal has no digits",
+            ));
+        }
+        for ch in digits.chars() {
+            let ok = match ch {
+                'x' | 'z' | '?' => base != NumberBase::Dec || digits.len() == 1,
+                _ => ch.to_digit(16).map(|d| d < base.radix()).unwrap_or(false),
+            };
+            if !ok {
+                return Err(SyntaxError::new(
+                    SyntaxErrorKind::MalformedNumber,
+                    Span::new(start, self.pos),
+                    format!("digit '{ch}' is invalid for base {}", base.radix()),
+                ));
+            }
+        }
+        Ok(Token::new(
+            TokenKind::Number(NumberToken { width, base, digits, signed }),
+            Span::new(start, self.pos),
+        ))
+    }
+}
+
+/// Convenience wrapper: lexes `src` in one call.
+///
+/// # Errors
+///
+/// Propagates the first [`SyntaxError`] found by the lexer.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, SyntaxError> {
+    Lexer::new(src).tokenize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_module_header() {
+        let ks = kinds("module m(input a);");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword(Keyword::Module),
+                TokenKind::Ident("m".into()),
+                TokenKind::LParen,
+                TokenKind::Keyword(Keyword::Input),
+                TokenKind::Ident("a".into()),
+                TokenKind::RParen,
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_based_literals() {
+        let ks = kinds("8'hFF 4'b10x1 'd15 12'o777 3'sb101");
+        match &ks[0] {
+            TokenKind::Number(n) => {
+                assert_eq!(n.width, Some(8));
+                assert_eq!(n.base, NumberBase::Hex);
+                assert_eq!(n.digits, "ff");
+            }
+            other => panic!("expected number, got {other:?}"),
+        }
+        match &ks[1] {
+            TokenKind::Number(n) => assert_eq!(n.digits, "10x1"),
+            other => panic!("expected number, got {other:?}"),
+        }
+        match &ks[2] {
+            TokenKind::Number(n) => {
+                assert_eq!(n.width, None);
+                assert_eq!(n.base, NumberBase::Dec);
+            }
+            other => panic!("expected number, got {other:?}"),
+        }
+        match &ks[4] {
+            TokenKind::Number(n) => assert!(n.signed),
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let ks = kinds("=== !== == != <= >= << >> >>> ~& ~| ~^ ^~ && || ** +: -:");
+        assert_eq!(
+            ks[..18],
+            [
+                TokenKind::CaseEq,
+                TokenKind::CaseNe,
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::LeAssign,
+                TokenKind::Ge,
+                TokenKind::Shl,
+                TokenKind::Shr,
+                TokenKind::AShr,
+                TokenKind::TildeAmp,
+                TokenKind::TildePipe,
+                TokenKind::TildeCaret,
+                TokenKind::TildeCaret,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Power,
+                TokenKind::PlusColon,
+                TokenKind::MinusColon,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_directives() {
+        let ks = kinds("// line\n/* block\nmulti */ `timescale 1ns/1ps\nwire");
+        assert_eq!(ks, vec![TokenKind::Keyword(Keyword::Wire), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn spans_are_exact() {
+        let src = "assign y = a;";
+        let toks = tokenize(src).unwrap();
+        assert_eq!(toks[0].span.text(src), "assign");
+        assert_eq!(toks[1].span.text(src), "y");
+        assert_eq!(toks[3].span.text(src), "a");
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        let err = tokenize("/* oops").unwrap_err();
+        assert!(matches!(err.kind, SyntaxErrorKind::UnterminatedComment));
+    }
+
+    #[test]
+    fn malformed_literal_errors() {
+        assert!(tokenize("8'q12").is_err());
+        assert!(tokenize("4'b").is_err());
+        assert!(tokenize("8'b2").is_err());
+    }
+
+    #[test]
+    fn underscores_in_numbers() {
+        let ks = kinds("32'hDEAD_BEEF 1_000");
+        match &ks[0] {
+            TokenKind::Number(n) => assert_eq!(n.digits, "deadbeef"),
+            other => panic!("expected number, got {other:?}"),
+        }
+        match &ks[1] {
+            TokenKind::Number(n) => assert_eq!(n.digits, "1000"),
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        let err = tokenize("wire \\bad").unwrap_err();
+        assert!(matches!(err.kind, SyntaxErrorKind::UnexpectedChar('\\')));
+    }
+}

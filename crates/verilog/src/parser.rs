@@ -1,0 +1,1117 @@
+//! Recursive-descent parser producing the [`crate::ast`] types.
+
+use crate::ast::*;
+use crate::error::{SyntaxError, SyntaxErrorKind};
+use crate::lexer::tokenize;
+use crate::span::Span;
+use crate::token::{Keyword, NumberBase, NumberToken, Token, TokenKind};
+
+/// Parses a complete Verilog source file.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered. Error
+/// messages are phrased in compiler-log style (see
+/// [`SyntaxError::render`]) so the pre-processing stage can feed them to
+/// repair back-ends unchanged.
+pub fn parse(src: &str) -> Result<SourceFile, SyntaxError> {
+    let tokens = tokenize(src)?;
+    Parser::new(tokens).parse_source_file()
+}
+
+/// Parses a single expression (used by tests and patch validation).
+///
+/// # Errors
+///
+/// Returns an error when `src` is not exactly one expression.
+pub fn parse_expr(src: &str) -> Result<Expr, SyntaxError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser::new(tokens);
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek_kind() == kind
+    }
+
+    fn at_kw(&self, kw: Keyword) -> bool {
+        matches!(self.peek_kind(), TokenKind::Keyword(k) if *k == kw)
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn error(&self, expected: &str) -> SyntaxError {
+        let tok = self.peek();
+        if tok.kind == TokenKind::Eof {
+            SyntaxError::new(
+                SyntaxErrorKind::UnexpectedEof { expected: expected.to_string() },
+                tok.span,
+                format!("unexpected end of input, expected {expected}"),
+            )
+        } else {
+            SyntaxError::new(
+                SyntaxErrorKind::UnexpectedToken {
+                    found: tok.kind.to_string(),
+                    expected: expected.to_string(),
+                },
+                tok.span,
+                format!("syntax error, unexpected '{}', expected {expected}", tok.kind),
+            )
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<Token, SyntaxError> {
+        if self.at(kind) {
+            Ok(self.bump())
+        } else {
+            Err(self.error(what))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Keyword, what: &str) -> Result<Token, SyntaxError> {
+        if self.at_kw(kw) {
+            Ok(self.bump())
+        } else {
+            Err(self.error(what))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, Span), SyntaxError> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                let tok = self.bump();
+                Ok((name, tok.span))
+            }
+            _ => Err(self.error(what)),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), SyntaxError> {
+        if self.at(&TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.error("end of input"))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Source file and module structure
+    // ------------------------------------------------------------------
+
+    fn parse_source_file(&mut self) -> Result<SourceFile, SyntaxError> {
+        let mut modules = Vec::new();
+        while !self.at(&TokenKind::Eof) {
+            modules.push(self.module()?);
+        }
+        if modules.is_empty() {
+            return Err(self.error("a module definition"));
+        }
+        Ok(SourceFile { modules })
+    }
+
+    fn module(&mut self) -> Result<Module, SyntaxError> {
+        let start = self.expect_kw(Keyword::Module, "'module'")?.span;
+        let (name, _) = self.expect_ident("module name")?;
+        let mut ports: Vec<Port> = Vec::new();
+        let mut items: Vec<Item> = Vec::new();
+
+        // Optional parameter header `#(parameter W = 8, …)`.
+        if self.eat(&TokenKind::Hash) {
+            self.expect(&TokenKind::LParen, "'(' after '#'")?;
+            loop {
+                let pstart = self.peek().span;
+                self.eat_kw(Keyword::Parameter);
+                let range = self.optional_range()?;
+                let (pname, _) = self.expect_ident("parameter name")?;
+                self.expect(&TokenKind::Assign, "'=' in parameter")?;
+                let value = self.expr()?;
+                let pspan = pstart.merge(self.prev_span());
+                items.push(Item::Param(ParamDecl {
+                    local: false,
+                    range,
+                    params: vec![(pname, value)],
+                    span: pspan,
+                }));
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen, "')' closing parameter list")?;
+        }
+
+        // Port header: ANSI declarations or bare names.
+        if self.eat(&TokenKind::LParen) {
+            if !self.at(&TokenKind::RParen) {
+                let mut last: Option<(PortDir, NetKind, bool, Option<Range>)> = None;
+                loop {
+                    let pstart = self.peek().span;
+                    let dir = match self.peek_kind() {
+                        TokenKind::Keyword(Keyword::Input) => {
+                            self.bump();
+                            Some(PortDir::Input)
+                        }
+                        TokenKind::Keyword(Keyword::Output) => {
+                            self.bump();
+                            Some(PortDir::Output)
+                        }
+                        TokenKind::Keyword(Keyword::Inout) => {
+                            self.bump();
+                            Some(PortDir::Inout)
+                        }
+                        _ => None,
+                    };
+                    if let Some(dir) = dir {
+                        // ANSI-style declared port.
+                        let net = if self.eat_kw(Keyword::Reg) { NetKind::Reg } else {
+                            self.eat_kw(Keyword::Wire);
+                            NetKind::Wire
+                        };
+                        let signed = self.eat_kw(Keyword::Signed);
+                        let range = self.optional_range()?;
+                        let (pname, pspan) = self.expect_ident("port name")?;
+                        ports.push(Port {
+                            name: pname,
+                            dir,
+                            net,
+                            range: range.clone(),
+                            signed,
+                            span: pstart.merge(pspan),
+                        });
+                        last = Some((dir, net, signed, range));
+                    } else {
+                        // Bare name: continuation of previous ANSI decl,
+                        // or a non-ANSI port completed in the body.
+                        let (pname, pspan) = self.expect_ident("port name")?;
+                        match &last {
+                            Some((dir, net, signed, range)) => ports.push(Port {
+                                name: pname,
+                                dir: *dir,
+                                net: *net,
+                                range: range.clone(),
+                                signed: *signed,
+                                span: pspan,
+                            }),
+                            None => ports.push(Port {
+                                name: pname,
+                                dir: PortDir::Input,
+                                net: NetKind::Wire,
+                                range: None,
+                                signed: false,
+                                span: pspan,
+                            }),
+                        }
+                    }
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen, "')' closing port list")?;
+        }
+        self.expect(&TokenKind::Semi, "';' after module header")?;
+
+        while !self.at_kw(Keyword::Endmodule) {
+            if self.at(&TokenKind::Eof) {
+                return Err(self.error("'endmodule'"));
+            }
+            self.item(&mut ports, &mut items)?;
+        }
+        let end = self.expect_kw(Keyword::Endmodule, "'endmodule'")?.span;
+        Ok(Module { name, ports, items, span: start.merge(end) })
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn optional_range(&mut self) -> Result<Option<Range>, SyntaxError> {
+        if !self.at(&TokenKind::LBracket) {
+            return Ok(None);
+        }
+        let start = self.bump().span;
+        let msb = self.expr()?;
+        self.expect(&TokenKind::Colon, "':' in range")?;
+        let lsb = self.expr()?;
+        let end = self.expect(&TokenKind::RBracket, "']' closing range")?.span;
+        Ok(Some(Range { msb, lsb, span: start.merge(end) }))
+    }
+
+    // ------------------------------------------------------------------
+    // Module items
+    // ------------------------------------------------------------------
+
+    fn item(&mut self, ports: &mut Vec<Port>, items: &mut Vec<Item>) -> Result<(), SyntaxError> {
+        match self.peek_kind().clone() {
+            TokenKind::Keyword(Keyword::Input) => self.body_port_decl(PortDir::Input, ports, items),
+            TokenKind::Keyword(Keyword::Output) => {
+                self.body_port_decl(PortDir::Output, ports, items)
+            }
+            TokenKind::Keyword(Keyword::Inout) => self.body_port_decl(PortDir::Inout, ports, items),
+            TokenKind::Keyword(Keyword::Wire) => {
+                let d = self.net_decl(NetKind::Wire)?;
+                items.push(Item::Net(d));
+                Ok(())
+            }
+            TokenKind::Keyword(Keyword::Reg) => {
+                let d = self.net_decl(NetKind::Reg)?;
+                // `reg` re-declaration of an output port upgrades it.
+                for decl in &d.decls {
+                    if let Some(p) = ports.iter_mut().find(|p| p.name == decl.name) {
+                        p.net = NetKind::Reg;
+                        if p.range.is_none() {
+                            p.range = d.range.clone();
+                        }
+                    }
+                }
+                items.push(Item::Net(d));
+                Ok(())
+            }
+            TokenKind::Keyword(Keyword::Integer) => {
+                let start = self.bump().span;
+                let mut names = Vec::new();
+                loop {
+                    let (n, _) = self.expect_ident("integer name")?;
+                    names.push(n);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                let end = self.expect(&TokenKind::Semi, "';' after integer declaration")?.span;
+                items.push(Item::Integer(IntegerDecl { names, span: start.merge(end) }));
+                Ok(())
+            }
+            TokenKind::Keyword(Keyword::Parameter) => {
+                let d = self.param_decl(false)?;
+                items.push(Item::Param(d));
+                Ok(())
+            }
+            TokenKind::Keyword(Keyword::Localparam) => {
+                let d = self.param_decl(true)?;
+                items.push(Item::Param(d));
+                Ok(())
+            }
+            TokenKind::Keyword(Keyword::Assign) => {
+                let start = self.bump().span;
+                let lhs = self.lvalue()?;
+                self.expect(&TokenKind::Assign, "'=' in continuous assignment")?;
+                let rhs = self.expr()?;
+                let end = self.expect(&TokenKind::Semi, "';' after assignment")?.span;
+                items.push(Item::Assign(ContAssign { lhs, rhs, span: start.merge(end) }));
+                Ok(())
+            }
+            TokenKind::Keyword(Keyword::Always) => {
+                let a = self.always_block()?;
+                items.push(Item::Always(a));
+                Ok(())
+            }
+            TokenKind::Keyword(Keyword::Initial) => {
+                let start = self.bump().span;
+                let body = self.stmt()?;
+                let span = start.merge(body.span());
+                items.push(Item::Initial(InitialBlock { body, span }));
+                Ok(())
+            }
+            TokenKind::Ident(_) => {
+                let inst = self.instance()?;
+                items.push(Item::Instance(inst));
+                Ok(())
+            }
+            _ => Err(self.error("a module item")),
+        }
+    }
+
+    fn body_port_decl(
+        &mut self,
+        dir: PortDir,
+        ports: &mut Vec<Port>,
+        items: &mut Vec<Item>,
+    ) -> Result<(), SyntaxError> {
+        let start = self.bump().span;
+        let net = if self.eat_kw(Keyword::Reg) {
+            NetKind::Reg
+        } else {
+            self.eat_kw(Keyword::Wire);
+            NetKind::Wire
+        };
+        let signed = self.eat_kw(Keyword::Signed);
+        let range = self.optional_range()?;
+        let mut decls = Vec::new();
+        loop {
+            let (name, nspan) = self.expect_ident("port name")?;
+            decls.push(Declarator { name: name.clone(), array: None, init: None, span: nspan });
+            match ports.iter_mut().find(|p| p.name == name) {
+                Some(p) => {
+                    p.dir = dir;
+                    if net == NetKind::Reg {
+                        p.net = NetKind::Reg;
+                    }
+                    p.signed |= signed;
+                    if p.range.is_none() {
+                        p.range = range.clone();
+                    }
+                }
+                None => ports.push(Port {
+                    name,
+                    dir,
+                    net,
+                    range: range.clone(),
+                    signed,
+                    span: nspan,
+                }),
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let end = self.expect(&TokenKind::Semi, "';' after port declaration")?.span;
+        // Body port declarations for `output reg` also declare storage.
+        if net == NetKind::Reg {
+            items.push(Item::Net(NetDecl {
+                kind: NetKind::Reg,
+                signed,
+                range,
+                decls,
+                span: start.merge(end),
+            }));
+        }
+        Ok(())
+    }
+
+    fn net_decl(&mut self, kind: NetKind) -> Result<NetDecl, SyntaxError> {
+        let start = self.bump().span;
+        let signed = self.eat_kw(Keyword::Signed);
+        let range = self.optional_range()?;
+        let mut decls = Vec::new();
+        loop {
+            let (name, nspan) = self.expect_ident("net name")?;
+            let array = self.optional_range()?;
+            let init = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
+            let span = nspan.merge(self.prev_span());
+            decls.push(Declarator { name, array, init, span });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let end = self.expect(&TokenKind::Semi, "';' after declaration")?.span;
+        Ok(NetDecl { kind, signed, range, decls, span: start.merge(end) })
+    }
+
+    fn param_decl(&mut self, local: bool) -> Result<ParamDecl, SyntaxError> {
+        let start = self.bump().span;
+        let range = self.optional_range()?;
+        let mut params = Vec::new();
+        loop {
+            let (name, _) = self.expect_ident("parameter name")?;
+            self.expect(&TokenKind::Assign, "'=' in parameter")?;
+            let value = self.expr()?;
+            params.push((name, value));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let end = self.expect(&TokenKind::Semi, "';' after parameter")?.span;
+        Ok(ParamDecl { local, range, params, span: start.merge(end) })
+    }
+
+    fn always_block(&mut self) -> Result<AlwaysBlock, SyntaxError> {
+        let start = self.bump().span;
+        self.expect(&TokenKind::At, "'@' after 'always'")?;
+        let sensitivity = if self.eat(&TokenKind::Star) {
+            Sensitivity::Star
+        } else {
+            self.expect(&TokenKind::LParen, "'(' after '@'")?;
+            if self.eat(&TokenKind::Star) {
+                self.expect(&TokenKind::RParen, "')' after '*'")?;
+                Sensitivity::Star
+            } else {
+                let mut list = Vec::new();
+                loop {
+                    let istart = self.peek().span;
+                    let edge = if self.eat_kw(Keyword::Posedge) {
+                        Some(Edge::Pos)
+                    } else if self.eat_kw(Keyword::Negedge) {
+                        Some(Edge::Neg)
+                    } else {
+                        None
+                    };
+                    let (signal, sspan) = self.expect_ident("signal in sensitivity list")?;
+                    list.push(SensItem { edge, signal, span: istart.merge(sspan) });
+                    if !(self.eat_kw(Keyword::Or) || self.eat(&TokenKind::Comma)) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen, "')' closing sensitivity list")?;
+                Sensitivity::List(list)
+            }
+        };
+        let body = self.stmt()?;
+        let span = start.merge(body.span());
+        Ok(AlwaysBlock { sensitivity, body, span })
+    }
+
+    fn instance(&mut self) -> Result<Instance, SyntaxError> {
+        let (module, start) = self.expect_ident("module name")?;
+        let mut params = Vec::new();
+        if self.eat(&TokenKind::Hash) {
+            self.expect(&TokenKind::LParen, "'(' after '#'")?;
+            params = self.connection_list()?;
+            self.expect(&TokenKind::RParen, "')' closing parameter overrides")?;
+        }
+        let (name, _) = self.expect_ident("instance name")?;
+        self.expect(&TokenKind::LParen, "'(' opening port connections")?;
+        let conns =
+            if self.at(&TokenKind::RParen) { Vec::new() } else { self.connection_list()? };
+        self.expect(&TokenKind::RParen, "')' closing port connections")?;
+        let end = self.expect(&TokenKind::Semi, "';' after instantiation")?.span;
+        Ok(Instance { module, name, params, conns, span: start.merge(end) })
+    }
+
+    fn connection_list(&mut self) -> Result<Vec<Connection>, SyntaxError> {
+        let mut out = Vec::new();
+        loop {
+            let start = self.peek().span;
+            if self.eat(&TokenKind::Dot) {
+                let (port, _) = self.expect_ident("port name after '.'")?;
+                self.expect(&TokenKind::LParen, "'(' after port name")?;
+                let expr = if self.at(&TokenKind::RParen) { None } else { Some(self.expr()?) };
+                let end = self.expect(&TokenKind::RParen, "')' closing connection")?.span;
+                out.push(Connection { port: Some(port), expr, span: start.merge(end) });
+            } else {
+                let expr = self.expr()?;
+                out.push(Connection { port: None, expr: Some(expr), span: start.merge(self.prev_span()) });
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn stmt(&mut self) -> Result<Stmt, SyntaxError> {
+        // Tolerate (and discard) simple delay controls `#N`.
+        if self.at(&TokenKind::Hash) {
+            self.bump();
+            if matches!(self.peek_kind(), TokenKind::Number(_)) {
+                self.bump();
+            }
+        }
+        match self.peek_kind().clone() {
+            TokenKind::Keyword(Keyword::Begin) => {
+                let start = self.bump().span;
+                let label = if self.eat(&TokenKind::Colon) {
+                    Some(self.expect_ident("block label")?.0)
+                } else {
+                    None
+                };
+                let mut stmts = Vec::new();
+                while !self.at_kw(Keyword::End) {
+                    if self.at(&TokenKind::Eof) {
+                        return Err(self.error("'end'"));
+                    }
+                    stmts.push(self.stmt()?);
+                }
+                let end = self.bump().span; // `end`
+                Ok(Stmt::Block(Block { label, stmts, span: start.merge(end) }))
+            }
+            TokenKind::Keyword(Keyword::If) => {
+                let start = self.bump().span;
+                self.expect(&TokenKind::LParen, "'(' after 'if'")?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen, "')' closing condition")?;
+                let then_branch = Box::new(self.stmt()?);
+                let (else_branch, end) = if self.at_kw(Keyword::Else) {
+                    self.bump();
+                    let e = self.stmt()?;
+                    let sp = e.span();
+                    (Some(Box::new(e)), sp)
+                } else {
+                    (None, then_branch.span())
+                };
+                Ok(Stmt::If(IfStmt { cond, then_branch, else_branch, span: start.merge(end) }))
+            }
+            TokenKind::Keyword(kw @ (Keyword::Case | Keyword::Casez | Keyword::Casex)) => {
+                let kind = match kw {
+                    Keyword::Case => CaseKind::Case,
+                    Keyword::Casez => CaseKind::Casez,
+                    _ => CaseKind::Casex,
+                };
+                let start = self.bump().span;
+                self.expect(&TokenKind::LParen, "'(' after 'case'")?;
+                let expr = self.expr()?;
+                self.expect(&TokenKind::RParen, "')' closing case expression")?;
+                let mut arms = Vec::new();
+                let mut default = None;
+                while !self.at_kw(Keyword::Endcase) {
+                    if self.at(&TokenKind::Eof) {
+                        return Err(self.error("'endcase'"));
+                    }
+                    if self.eat_kw(Keyword::Default) {
+                        self.eat(&TokenKind::Colon);
+                        default = Some(Box::new(self.stmt()?));
+                    } else {
+                        let astart = self.peek().span;
+                        let mut labels = vec![self.expr()?];
+                        while self.eat(&TokenKind::Comma) {
+                            labels.push(self.expr()?);
+                        }
+                        self.expect(&TokenKind::Colon, "':' after case label")?;
+                        let body = self.stmt()?;
+                        let span = astart.merge(body.span());
+                        arms.push(CaseArm { labels, body, span });
+                    }
+                }
+                let end = self.bump().span; // `endcase`
+                Ok(Stmt::Case(CaseStmt { kind, expr, arms, default, span: start.merge(end) }))
+            }
+            TokenKind::Keyword(Keyword::For) => {
+                let start = self.bump().span;
+                self.expect(&TokenKind::LParen, "'(' after 'for'")?;
+                let init_lhs = self.lvalue()?;
+                self.expect(&TokenKind::Assign, "'=' in for initialiser")?;
+                let init_rhs = self.expr()?;
+                self.expect(&TokenKind::Semi, "';' after for initialiser")?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::Semi, "';' after for condition")?;
+                let step_lhs = self.lvalue()?;
+                self.expect(&TokenKind::Assign, "'=' in for step")?;
+                let step_rhs = self.expr()?;
+                self.expect(&TokenKind::RParen, "')' closing for header")?;
+                let body = Box::new(self.stmt()?);
+                let span = start.merge(body.span());
+                Ok(Stmt::For(ForStmt {
+                    init: (init_lhs, init_rhs),
+                    cond,
+                    step: (step_lhs, step_rhs),
+                    body,
+                    span,
+                }))
+            }
+            TokenKind::SysIdent(name) => {
+                let start = self.bump().span;
+                let mut args = Vec::new();
+                if self.eat(&TokenKind::LParen) {
+                    if !self.at(&TokenKind::RParen) {
+                        loop {
+                            // String arguments to $display etc. are kept
+                            // as zero literals; they have no behavioural
+                            // meaning in this subset.
+                            if let TokenKind::Str(_) = self.peek_kind() {
+                                self.bump();
+                                args.push(Expr::number(0));
+                            } else {
+                                args.push(self.expr()?);
+                            }
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen, "')' closing call")?;
+                }
+                let end = self.expect(&TokenKind::Semi, "';' after system task")?.span;
+                Ok(Stmt::SysCall(SysCall { name, args, span: start.merge(end) }))
+            }
+            TokenKind::Semi => {
+                let t = self.bump();
+                Ok(Stmt::Null(t.span))
+            }
+            _ => {
+                // Assignment statement.
+                let lhs = self.lvalue()?;
+                let start = lhs.span();
+                if self.eat(&TokenKind::Assign) {
+                    let rhs = self.expr()?;
+                    let end = self.expect(&TokenKind::Semi, "';' after assignment")?.span;
+                    Ok(Stmt::Blocking(Assign { lhs, rhs, span: start.merge(end) }))
+                } else if self.eat(&TokenKind::LeAssign) {
+                    let rhs = self.expr()?;
+                    let end = self.expect(&TokenKind::Semi, "';' after assignment")?.span;
+                    Ok(Stmt::NonBlocking(Assign { lhs, rhs, span: start.merge(end) }))
+                } else {
+                    Err(self.error("'=' or '<='"))
+                }
+            }
+        }
+    }
+
+    fn lvalue(&mut self) -> Result<LValue, SyntaxError> {
+        if self.at(&TokenKind::LBrace) {
+            let start = self.bump().span;
+            let mut parts = vec![self.lvalue()?];
+            while self.eat(&TokenKind::Comma) {
+                parts.push(self.lvalue()?);
+            }
+            let end = self.expect(&TokenKind::RBrace, "'}' closing concatenation")?.span;
+            return Ok(LValue::Concat(parts, start.merge(end)));
+        }
+        let (name, start) = self.expect_ident("assignment target")?;
+        if self.at(&TokenKind::LBracket) {
+            self.bump();
+            let first = self.expr()?;
+            if self.eat(&TokenKind::Colon) {
+                let lsb = self.expr()?;
+                let end = self.expect(&TokenKind::RBracket, "']' closing part-select")?.span;
+                Ok(LValue::Part(name, Box::new(first), Box::new(lsb), start.merge(end)))
+            } else {
+                let end = self.expect(&TokenKind::RBracket, "']' closing index")?.span;
+                Ok(LValue::Index(name, Box::new(first), start.merge(end)))
+            }
+        } else {
+            Ok(LValue::Ident(name, start))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, SyntaxError> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, SyntaxError> {
+        let cond = self.binary(0)?;
+        if self.eat(&TokenKind::Question) {
+            let then = self.expr()?;
+            self.expect(&TokenKind::Colon, "':' in conditional expression")?;
+            let els = self.expr()?;
+            Ok(Expr::Ternary(Box::new(cond), Box::new(then), Box::new(els)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn binop_of(&self) -> Option<BinaryOp> {
+        Some(match self.peek_kind() {
+            TokenKind::Plus => BinaryOp::Add,
+            TokenKind::Minus => BinaryOp::Sub,
+            TokenKind::Star => BinaryOp::Mul,
+            TokenKind::Slash => BinaryOp::Div,
+            TokenKind::Percent => BinaryOp::Mod,
+            TokenKind::Power => BinaryOp::Pow,
+            TokenKind::Shl | TokenKind::AShl => BinaryOp::Shl,
+            TokenKind::Shr => BinaryOp::Shr,
+            TokenKind::AShr => BinaryOp::AShr,
+            TokenKind::Lt => BinaryOp::Lt,
+            TokenKind::LeAssign => BinaryOp::Le,
+            TokenKind::Gt => BinaryOp::Gt,
+            TokenKind::Ge => BinaryOp::Ge,
+            TokenKind::EqEq => BinaryOp::Eq,
+            TokenKind::NotEq => BinaryOp::Ne,
+            TokenKind::CaseEq => BinaryOp::CaseEq,
+            TokenKind::CaseNe => BinaryOp::CaseNe,
+            TokenKind::AndAnd => BinaryOp::LogAnd,
+            TokenKind::OrOr => BinaryOp::LogOr,
+            TokenKind::Amp => BinaryOp::BitAnd,
+            TokenKind::Pipe => BinaryOp::BitOr,
+            TokenKind::Caret => BinaryOp::BitXor,
+            TokenKind::TildeCaret => BinaryOp::BitXnor,
+            _ => return None,
+        })
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, SyntaxError> {
+        let mut lhs = self.unary()?;
+        while let Some(op) = self.binop_of() {
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, SyntaxError> {
+        let op = match self.peek_kind() {
+            TokenKind::Not => Some(UnaryOp::LogNot),
+            TokenKind::Tilde => Some(UnaryOp::BitNot),
+            TokenKind::Minus => Some(UnaryOp::Neg),
+            TokenKind::Plus => Some(UnaryOp::Plus),
+            TokenKind::Amp => Some(UnaryOp::RedAnd),
+            TokenKind::Pipe => Some(UnaryOp::RedOr),
+            TokenKind::Caret => Some(UnaryOp::RedXor),
+            TokenKind::TildeAmp => Some(UnaryOp::RedNand),
+            TokenKind::TildePipe => Some(UnaryOp::RedNor),
+            TokenKind::TildeCaret => Some(UnaryOp::RedXnor),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.unary()?;
+            return Ok(Expr::Unary(op, Box::new(operand)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, SyntaxError> {
+        let mut e = self.primary()?;
+        while self.at(&TokenKind::LBracket) {
+            self.bump();
+            let first = self.expr()?;
+            if self.eat(&TokenKind::Colon) {
+                let lsb = self.expr()?;
+                self.expect(&TokenKind::RBracket, "']' closing part-select")?;
+                e = Expr::Part(Box::new(e), Box::new(first), Box::new(lsb));
+            } else {
+                self.expect(&TokenKind::RBracket, "']' closing index")?;
+                e = Expr::Index(Box::new(e), Box::new(first));
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, SyntaxError> {
+        match self.peek_kind().clone() {
+            TokenKind::Number(n) => {
+                let span = self.bump().span;
+                Ok(Expr::Number(self.number_from_token(&n, span)?))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Expr::Ident(name))
+            }
+            TokenKind::SysIdent(name) => {
+                // `$signed(x)` / `$unsigned(x)` are treated as transparent.
+                self.bump();
+                self.expect(&TokenKind::LParen, "'(' after system function")?;
+                let inner = self.expr()?;
+                self.expect(&TokenKind::RParen, "')' closing system function")?;
+                let _ = name;
+                Ok(inner)
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "')' closing parenthesis")?;
+                Ok(e)
+            }
+            TokenKind::LBrace => {
+                let start = self.bump().span;
+                let first = self.expr()?;
+                // `{count{items}}` replication.
+                if self.at(&TokenKind::LBrace) {
+                    self.bump();
+                    let mut items = vec![self.expr()?];
+                    while self.eat(&TokenKind::Comma) {
+                        items.push(self.expr()?);
+                    }
+                    self.expect(&TokenKind::RBrace, "'}' closing replication body")?;
+                    self.expect(&TokenKind::RBrace, "'}' closing replication")?;
+                    return Ok(Expr::Repeat(Box::new(first), items));
+                }
+                let mut items = vec![first];
+                while self.eat(&TokenKind::Comma) {
+                    items.push(self.expr()?);
+                }
+                self.expect(&TokenKind::RBrace, "'}' closing concatenation")?;
+                let _ = start;
+                Ok(Expr::Concat(items))
+            }
+            _ => Err(self.error("an expression")),
+        }
+    }
+
+    fn number_from_token(&self, n: &NumberToken, span: Span) -> Result<Number, SyntaxError> {
+        let mut value: u128 = 0;
+        let mut xz: u128 = 0;
+        if n.base == NumberBase::Dec && !n.digits.contains(['x', 'z', '?']) {
+            for ch in n.digits.chars() {
+                let d = ch.to_digit(10).unwrap_or(0) as u128;
+                value = value.wrapping_mul(10).wrapping_add(d);
+            }
+        } else if n.base == NumberBase::Dec {
+            // `'dx` style: all bits X or Z.
+            let all = n.width.map(|w| mask(w)).unwrap_or(u128::MAX);
+            xz = all;
+            if n.digits.starts_with('z') {
+                value = all;
+            }
+        } else {
+            let bits = n.base.bits_per_digit();
+            for ch in n.digits.chars() {
+                value <<= bits;
+                xz <<= bits;
+                match ch {
+                    'x' | '?' => xz |= mask(bits),
+                    'z' => {
+                        xz |= mask(bits);
+                        value |= mask(bits);
+                    }
+                    _ => {
+                        let d = ch.to_digit(16).ok_or_else(|| {
+                            SyntaxError::new(
+                                SyntaxErrorKind::MalformedNumber,
+                                span,
+                                format!("invalid digit '{ch}'"),
+                            )
+                        })? as u128;
+                        value |= d;
+                    }
+                }
+            }
+        }
+        if let Some(w) = n.width {
+            if w == 0 || w > 128 {
+                return Err(SyntaxError::new(
+                    SyntaxErrorKind::MalformedNumber,
+                    span,
+                    format!("unsupported literal width {w} (1..=128)"),
+                ));
+            }
+            value &= mask(w);
+            xz &= mask(w);
+        }
+        Ok(Number { width: n.width, base: n.base, value, xz, signed: n.signed })
+    }
+}
+
+fn mask(bits: u32) -> u128 {
+    if bits >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_ansi_module() {
+        let src = "module add(input [7:0] a, input [7:0] b, output [8:0] y);\n\
+                   assign y = a + b;\nendmodule\n";
+        let file = parse(src).unwrap();
+        let m = file.top().unwrap();
+        assert_eq!(m.name, "add");
+        assert_eq!(m.ports.len(), 3);
+        assert_eq!(m.ports[2].dir, PortDir::Output);
+        assert_eq!(m.items.len(), 1);
+    }
+
+    #[test]
+    fn parses_non_ansi_module() {
+        let src = "module m(a, b, y);\ninput a, b;\noutput reg [3:0] y;\n\
+                   always @(*) y = a & b;\nendmodule\n";
+        let file = parse(src).unwrap();
+        let m = file.top().unwrap();
+        assert_eq!(m.ports.len(), 3);
+        let y = m.port("y").unwrap();
+        assert_eq!(y.dir, PortDir::Output);
+        assert_eq!(y.net, NetKind::Reg);
+        assert!(y.range.is_some());
+    }
+
+    #[test]
+    fn parses_always_ff_with_reset() {
+        let src = "module c(input clk, input rst_n, output reg [3:0] q);\n\
+                   always @(posedge clk or negedge rst_n) begin\n\
+                   if (!rst_n) q <= 4'd0; else q <= q + 4'd1;\nend\nendmodule\n";
+        let file = parse(src).unwrap();
+        let m = file.top().unwrap();
+        let always = m
+            .items
+            .iter()
+            .find_map(|i| match i {
+                Item::Always(a) => Some(a),
+                _ => None,
+            })
+            .unwrap();
+        assert!(always.sensitivity.is_edge_triggered());
+    }
+
+    #[test]
+    fn parses_case_with_default() {
+        let src = "module mx(input [1:0] s, output reg o);\nalways @(*) begin\n\
+                   case (s)\n2'b00: o = 1'b0;\n2'b01, 2'b10: o = 1'b1;\n\
+                   default: o = 1'b0;\nendcase\nend\nendmodule\n";
+        let file = parse(src).unwrap();
+        let m = file.top().unwrap();
+        let always = m
+            .items
+            .iter()
+            .find_map(|i| match i {
+                Item::Always(a) => Some(a),
+                _ => None,
+            })
+            .unwrap();
+        match &always.body {
+            Stmt::Block(b) => match &b.stmts[0] {
+                Stmt::Case(c) => {
+                    assert_eq!(c.arms.len(), 2);
+                    assert_eq!(c.arms[1].labels.len(), 2);
+                    assert!(c.default.is_some());
+                }
+                other => panic!("expected case, got {other:?}"),
+            },
+            other => panic!("expected block, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_for_loop() {
+        let src = "module f(input [7:0] d, output reg [7:0] q);\ninteger i;\n\
+                   always @(*) begin\nfor (i = 0; i < 8; i = i + 1) q[i] = d[7 - i];\n\
+                   end\nendmodule\n";
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn parses_instance_with_named_ports() {
+        let src = "module top(input a, output y);\nwire w;\n\
+                   inv u1(.in(a), .out(w));\ninv u2(.in(w), .out(y));\nendmodule\n\
+                   module inv(input in, output out);\nassign out = ~in;\nendmodule\n";
+        let file = parse(src).unwrap();
+        assert_eq!(file.modules.len(), 2);
+        let top = file.module("top").unwrap();
+        let insts: Vec<_> = top
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Instance(inst) => Some(inst),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(insts.len(), 2);
+        assert_eq!(insts[0].conns[0].port.as_deref(), Some("in"));
+    }
+
+    #[test]
+    fn parses_parameter_header() {
+        let src = "module p #(parameter W = 8)(input [W-1:0] d, output [W-1:0] q);\n\
+                   assign q = d;\nendmodule\n";
+        let file = parse(src).unwrap();
+        let m = file.top().unwrap();
+        assert!(m.items.iter().any(|i| matches!(i, Item::Param(_))));
+    }
+
+    #[test]
+    fn missing_semicolon_is_error() {
+        let src = "module m(input a, output y);\nassign y = a\nendmodule\n";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("';'"), "got: {}", err.message);
+    }
+
+    #[test]
+    fn missing_end_is_error() {
+        let src = "module m(input a, output reg y);\nalways @(*) begin\ny = a;\nendmodule\n";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn concat_and_repeat_expressions() {
+        let e = parse_expr("{2{a, 1'b0}}").unwrap();
+        assert!(matches!(e, Expr::Repeat(_, _)));
+        let e = parse_expr("{c, s[3:0]}").unwrap();
+        assert!(matches!(e, Expr::Concat(_)));
+    }
+
+    #[test]
+    fn precedence_in_expressions() {
+        let e = parse_expr("a + b * c").unwrap();
+        match e {
+            Expr::Binary(BinaryOp::Add, _, rhs) => {
+                assert!(matches!(*rhs, Expr::Binary(BinaryOp::Mul, _, _)));
+            }
+            other => panic!("expected add at top, got {other:?}"),
+        }
+        let e = parse_expr("a == b & c").unwrap();
+        // `&` binds tighter than `==` in IEEE 1364? No: equality (7) binds
+        // tighter than bitand (6), so the top node is `&`.
+        assert!(matches!(e, Expr::Binary(BinaryOp::BitAnd, _, _)));
+    }
+
+    #[test]
+    fn ternary_nesting() {
+        let e = parse_expr("s ? a : t ? b : c").unwrap();
+        match e {
+            Expr::Ternary(_, _, els) => assert!(matches!(*els, Expr::Ternary(_, _, _))),
+            other => panic!("expected ternary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn xz_literals_resolve() {
+        let e = parse_expr("4'b1x0z").unwrap();
+        match e {
+            Expr::Number(n) => {
+                assert_eq!(n.value & !n.xz, 0b1000);
+                assert_eq!(n.xz, 0b0101);
+            }
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lvalue_forms() {
+        let src = "module m(input [7:0] a, output reg [7:0] y);\nreg [7:0] mem [0:3];\n\
+                   always @(*) begin\ny = 8'd0;\ny[0] = a[0];\ny[3:1] = a[3:1];\n\
+                   {y[7], y[6]} = a[1:0];\nmem[0] = a;\nend\nendmodule\n";
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn undeclared_keyword_typo_is_error() {
+        // `alway` lexes as identifier; parser then expects instantiation
+        // syntax and fails at '@'.
+        let src = "module m(input a, output reg y);\nalway @(*) y = a;\nendmodule\n";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn wrong_operator_sequence_is_error() {
+        let src = "module m(input a, b, output y);\nassign y = a + * b;\nendmodule\n";
+        assert!(parse(src).is_err());
+    }
+}

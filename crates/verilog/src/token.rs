@@ -1,0 +1,381 @@
+//! Token definitions for the Verilog lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexed token: kind plus the source span it was read from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token of `kind` covering `span`.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+/// Verilog keywords recognised by the lexer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    Module,
+    Endmodule,
+    Input,
+    Output,
+    Inout,
+    Wire,
+    Reg,
+    Integer,
+    Parameter,
+    Localparam,
+    Assign,
+    Always,
+    Initial,
+    Begin,
+    End,
+    If,
+    Else,
+    Case,
+    Casez,
+    Casex,
+    Endcase,
+    Default,
+    For,
+    While,
+    Posedge,
+    Negedge,
+    Or,
+    Signed,
+    Function,
+    Endfunction,
+    Genvar,
+    Generate,
+    Endgenerate,
+}
+
+impl Keyword {
+    /// Looks up a keyword from its source spelling.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s {
+            "module" => Module,
+            "endmodule" => Endmodule,
+            "input" => Input,
+            "output" => Output,
+            "inout" => Inout,
+            "wire" => Wire,
+            "reg" => Reg,
+            "integer" => Integer,
+            "parameter" => Parameter,
+            "localparam" => Localparam,
+            "assign" => Assign,
+            "always" => Always,
+            "initial" => Initial,
+            "begin" => Begin,
+            "end" => End,
+            "if" => If,
+            "else" => Else,
+            "case" => Case,
+            "casez" => Casez,
+            "casex" => Casex,
+            "endcase" => Endcase,
+            "default" => Default,
+            "for" => For,
+            "while" => While,
+            "posedge" => Posedge,
+            "negedge" => Negedge,
+            "or" => Or,
+            "signed" => Signed,
+            "function" => Function,
+            "endfunction" => Endfunction,
+            "genvar" => Genvar,
+            "generate" => Generate,
+            "endgenerate" => Endgenerate,
+            _ => return None,
+        })
+    }
+
+    /// The canonical source spelling of the keyword.
+    pub fn as_str(&self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Module => "module",
+            Endmodule => "endmodule",
+            Input => "input",
+            Output => "output",
+            Inout => "inout",
+            Wire => "wire",
+            Reg => "reg",
+            Integer => "integer",
+            Parameter => "parameter",
+            Localparam => "localparam",
+            Assign => "assign",
+            Always => "always",
+            Initial => "initial",
+            Begin => "begin",
+            End => "end",
+            If => "if",
+            Else => "else",
+            Case => "case",
+            Casez => "casez",
+            Casex => "casex",
+            Endcase => "endcase",
+            Default => "default",
+            For => "for",
+            While => "while",
+            Posedge => "posedge",
+            Negedge => "negedge",
+            Or => "or",
+            Signed => "signed",
+            Function => "function",
+            Endfunction => "endfunction",
+            Genvar => "genvar",
+            Generate => "generate",
+            Endgenerate => "endgenerate",
+        }
+    }
+}
+
+/// A numeric literal as written in the source.
+///
+/// `32'hDEAD_beef` lexes to `width: Some(32)`, `base: Hex`,
+/// `digits: "DEADbeef"`. Plain decimal numbers have `width: None` and
+/// `base: Dec`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NumberToken {
+    /// Explicit bit width before the base marker, if any.
+    pub width: Option<u32>,
+    /// Radix of the digits.
+    pub base: NumberBase,
+    /// Digit characters with underscores stripped (may contain `x`/`z`/`?`).
+    pub digits: String,
+    /// Whether the literal used a signed base marker such as `'sd`.
+    pub signed: bool,
+}
+
+/// Radix of a based literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NumberBase {
+    Bin,
+    Oct,
+    Dec,
+    Hex,
+}
+
+impl NumberBase {
+    /// The numeric radix.
+    pub fn radix(&self) -> u32 {
+        match self {
+            NumberBase::Bin => 2,
+            NumberBase::Oct => 8,
+            NumberBase::Dec => 10,
+            NumberBase::Hex => 16,
+        }
+    }
+
+    /// Bits encoded by one digit in this base (decimal reports 4).
+    pub fn bits_per_digit(&self) -> u32 {
+        match self {
+            NumberBase::Bin => 1,
+            NumberBase::Oct => 3,
+            NumberBase::Dec => 4,
+            NumberBase::Hex => 4,
+        }
+    }
+
+    /// The base letter used in source (`b`, `o`, `d`, `h`).
+    pub fn letter(&self) -> char {
+        match self {
+            NumberBase::Bin => 'b',
+            NumberBase::Oct => 'o',
+            NumberBase::Dec => 'd',
+            NumberBase::Hex => 'h',
+        }
+    }
+}
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier (not a keyword).
+    Ident(String),
+    /// Reserved word.
+    Keyword(Keyword),
+    /// Numeric literal.
+    Number(NumberToken),
+    /// String literal contents (without quotes).
+    Str(String),
+    /// System task/function name including the `$`, e.g. `$display`.
+    SysIdent(String),
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Semi,
+    Comma,
+    Colon,
+    Dot,
+    Hash,
+    At,
+    Question,
+    Assign,     // =
+    PlusColon,  // +:
+    MinusColon, // -:
+
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Power, // **
+
+    Not,     // !
+    Tilde,   // ~
+    Amp,     // &
+    Pipe,    // |
+    Caret,   // ^
+    TildeAmp,   // ~&
+    TildePipe,  // ~|
+    TildeCaret, // ~^ or ^~
+
+    AndAnd, // &&
+    OrOr,   // ||
+
+    EqEq,   // ==
+    NotEq,  // !=
+    CaseEq, // ===
+    CaseNe, // !==
+
+    Lt,
+    Le,
+    Gt,
+    Ge,
+
+    Shl,  // <<
+    Shr,  // >>
+    AShr, // >>>
+    AShl, // <<<
+
+    LeAssign, // <= (non-blocking assign / less-equal, disambiguated by parser)
+
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokenKind::*;
+        match self {
+            Ident(s) => write!(f, "{s}"),
+            Keyword(k) => write!(f, "{}", k.as_str()),
+            Number(n) => {
+                if let Some(w) = n.width {
+                    write!(f, "{w}'{}{}", n.base.letter(), n.digits)
+                } else if n.base == NumberBase::Dec {
+                    write!(f, "{}", n.digits)
+                } else {
+                    write!(f, "'{}{}", n.base.letter(), n.digits)
+                }
+            }
+            Str(s) => write!(f, "\"{s}\""),
+            SysIdent(s) => write!(f, "{s}"),
+            LParen => write!(f, "("),
+            RParen => write!(f, ")"),
+            LBracket => write!(f, "["),
+            RBracket => write!(f, "]"),
+            LBrace => write!(f, "{{"),
+            RBrace => write!(f, "}}"),
+            Semi => write!(f, ";"),
+            Comma => write!(f, ","),
+            Colon => write!(f, ":"),
+            Dot => write!(f, "."),
+            Hash => write!(f, "#"),
+            At => write!(f, "@"),
+            Question => write!(f, "?"),
+            Assign => write!(f, "="),
+            PlusColon => write!(f, "+:"),
+            MinusColon => write!(f, "-:"),
+            Plus => write!(f, "+"),
+            Minus => write!(f, "-"),
+            Star => write!(f, "*"),
+            Slash => write!(f, "/"),
+            Percent => write!(f, "%"),
+            Power => write!(f, "**"),
+            Not => write!(f, "!"),
+            Tilde => write!(f, "~"),
+            Amp => write!(f, "&"),
+            Pipe => write!(f, "|"),
+            Caret => write!(f, "^"),
+            TildeAmp => write!(f, "~&"),
+            TildePipe => write!(f, "~|"),
+            TildeCaret => write!(f, "~^"),
+            AndAnd => write!(f, "&&"),
+            OrOr => write!(f, "||"),
+            EqEq => write!(f, "=="),
+            NotEq => write!(f, "!="),
+            CaseEq => write!(f, "==="),
+            CaseNe => write!(f, "!=="),
+            Lt => write!(f, "<"),
+            Le => write!(f, "<="),
+            Gt => write!(f, ">"),
+            Ge => write!(f, ">="),
+            Shl => write!(f, "<<"),
+            Shr => write!(f, ">>"),
+            AShr => write!(f, ">>>"),
+            AShl => write!(f, "<<<"),
+            LeAssign => write!(f, "<="),
+            Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kw in [
+            Keyword::Module,
+            Keyword::Endmodule,
+            Keyword::Always,
+            Keyword::Posedge,
+            Keyword::Casez,
+            Keyword::Localparam,
+        ] {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+        }
+        assert_eq!(Keyword::from_str("alway"), None);
+    }
+
+    #[test]
+    fn number_token_display() {
+        let tok = TokenKind::Number(NumberToken {
+            width: Some(8),
+            base: NumberBase::Hex,
+            digits: "ff".into(),
+            signed: false,
+        });
+        assert_eq!(tok.to_string(), "8'hff");
+        let dec = TokenKind::Number(NumberToken {
+            width: None,
+            base: NumberBase::Dec,
+            digits: "42".into(),
+            signed: false,
+        });
+        assert_eq!(dec.to_string(), "42");
+    }
+
+    #[test]
+    fn base_properties() {
+        assert_eq!(NumberBase::Bin.radix(), 2);
+        assert_eq!(NumberBase::Hex.bits_per_digit(), 4);
+        assert_eq!(NumberBase::Oct.letter(), 'o');
+    }
+}

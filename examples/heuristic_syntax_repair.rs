@@ -1,0 +1,43 @@
+//! Pre-processing with a genuinely rule-based backend: Algorithm 1's
+//! joint LLM-script loop running on `HeuristicLlm`, which repairs syntax
+//! errors purely from lint logs — no ground truth, no stochastic oracle.
+//!
+//! Run with: `cargo run -p uvllm --example heuristic_syntax_repair`
+
+use uvllm::stages::preprocess;
+use uvllm_llm::{HeuristicLlm, OutputMode};
+
+fn main() {
+    // Three classic syntax mistakes plus a scripted-fixable warning.
+    let broken = "module blinker(input clk, input rst_n, output reg led);\n\
+                  reg [23:0] cnt;\n\
+                  alway @(posedge clk or negedge rst_n) begin\n\
+                  if (!rst_n) begin\n\
+                  cnt <= 24'd0;\n\
+                  led <= 1'b0\n\
+                  end else begin\n\
+                  cnt <= cnt + 24'd1;\n\
+                  if (cnt == 24'd0) led <= ~led;\n\
+                  end\n\
+                  end\n\
+                  endmodule\n";
+
+    println!("--- broken source ---\n{broken}");
+    let report = uvllm_lint::lint(broken);
+    println!("--- linter says ---\n{}\n", report.render(broken));
+
+    let mut backend = HeuristicLlm::new();
+    let (fixed, stats) = preprocess(broken, "a blinking LED divider", &mut backend,
+        OutputMode::Pairs, 8);
+
+    println!("--- after pre-processing ---");
+    println!("iterations: {}, rule-based repairs: {}, scripted warning fixes: {}",
+        stats.iterations, stats.llm_calls, stats.script_fixes);
+    println!("lint-clean: {}\n", stats.clean);
+    println!("{fixed}");
+
+    match uvllm_verilog::parse(&fixed) {
+        Ok(_) => println!("final source parses cleanly."),
+        Err(e) => println!("still broken: {e}"),
+    }
+}
