@@ -11,9 +11,7 @@ use crate::method::{MethodOutcome, RepairMethod};
 use std::time::{Duration, Instant};
 use uvllm::stages::{directed_stage, UvmOutcome};
 use uvllm_designs::Design;
-use uvllm_llm::{
-    AgentRole, CompleteResponse, ErrorInfo, LanguageModel, OutputMode, RepairPrompt,
-};
+use uvllm_llm::{AgentRole, CompleteResponse, ErrorInfo, LanguageModel, OutputMode, RepairPrompt};
 
 /// MEIC-style baseline: iterate LLM whole-code repairs against the
 /// finite public testbench, feeding raw logs back, until the tests pass

@@ -104,10 +104,7 @@ fn bitwidth_candidates(src: &str) -> Vec<Candidate> {
         for delta in [1i64, -1] {
             let nm = m.value as i64 + delta;
             if nm > l.value as i64 && nm < 128 {
-                out.push(Candidate {
-                    span: r.span,
-                    replacement: format!("[{nm}:{}]", l.value),
-                });
+                out.push(Candidate { span: r.span, replacement: format!("[{nm}:{}]", l.value) });
             }
         }
     };
@@ -226,8 +223,7 @@ impl RepairMethod for StriderRepair {
         // Localize: which outputs mismatch on the public tests?
         let mismatch_signals: Vec<String> = match directed_stage(src, design) {
             UvmOutcome::Ran(run) => {
-                let mut s: Vec<String> =
-                    run.mismatches.iter().map(|m| m.signal.clone()).collect();
+                let mut s: Vec<String> = run.mismatches.iter().map(|m| m.signal.clone()).collect();
                 s.sort();
                 s.dedup();
                 s

@@ -19,9 +19,7 @@ fn bench_parser(c: &mut Criterion) {
 
 fn bench_lint(c: &mut Criterion) {
     let src = by_name("traffic_light").unwrap().source;
-    c.bench_function("lint_traffic_light", |b| {
-        b.iter(|| uvllm_lint::lint(black_box(src)))
-    });
+    c.bench_function("lint_traffic_light", |b| b.iter(|| uvllm_lint::lint(black_box(src))));
 }
 
 fn bench_elaborate(c: &mut Criterion) {
@@ -74,8 +72,7 @@ fn bench_uvm_run(c: &mut Criterion) {
                 Box::new(RandomSequence::new(&iface.inputs, 100, 7)),
                 Box::new(CornerSequence::new(&iface.inputs)),
             ];
-            let env =
-                Environment::from_source(d.source, d.name, iface, (d.model)(), seqs).unwrap();
+            let env = Environment::from_source(d.source, d.name, iface, (d.model)(), seqs).unwrap();
             black_box(env.run().pass_rate)
         })
     });

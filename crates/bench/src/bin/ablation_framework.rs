@@ -36,27 +36,17 @@ fn run_with(config: &VerifyConfig, instances: &[BenchInstance]) -> (f64, f64) {
 }
 
 fn main() {
-    let size = std::env::var("UVLLM_BENCH_SIZE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(160);
+    let size = std::env::var("UVLLM_BENCH_SIZE").ok().and_then(|s| s.parse().ok()).unwrap_or(160);
     eprintln!("building dataset ({size} instances)...");
     let dataset = uvllm::build_dataset(size, 0xDA7A);
 
     let configs: [(&str, VerifyConfig); 4] = [
         ("full framework", VerifyConfig::default()),
-        (
-            "no rollback",
-            VerifyConfig { rollback_enabled: false, ..VerifyConfig::default() },
-        ),
+        ("no rollback", VerifyConfig { rollback_enabled: false, ..VerifyConfig::default() }),
         ("no SL escalation", VerifyConfig { sl_enabled: false, ..VerifyConfig::default() }),
         (
             "no rollback, no SL",
-            VerifyConfig {
-                rollback_enabled: false,
-                sl_enabled: false,
-                ..VerifyConfig::default()
-            },
+            VerifyConfig { rollback_enabled: false, sl_enabled: false, ..VerifyConfig::default() },
         ),
     ];
 

@@ -38,9 +38,7 @@ fn main() {
         for m in methods {
             let recs: Vec<_> = all_records
                 .iter()
-                .filter(|r| {
-                    r.method == m && r.category == ErrorCategory::Syntax(cat)
-                })
+                .filter(|r| r.method == m && r.category == ErrorCategory::Syntax(cat))
                 .collect();
             row.push(pct_cell(fr(&recs)));
             row.push(pct_cell(hr(&recs)));

@@ -17,14 +17,10 @@ fn main() {
     println!("Fig. 7 — UVLLM FR heat map per module (%; x = error type not applicable)\n");
     let mut table = Table::new(&["Module", "Group", "Type", "Syntax FR", "Function FR", "n"]);
     for design in uvllm_designs::all() {
-        let syn: Vec<_> = records
-            .iter()
-            .filter(|r| r.design == design.name && r.kind.is_syntax())
-            .collect();
-        let func: Vec<_> = records
-            .iter()
-            .filter(|r| r.design == design.name && !r.kind.is_syntax())
-            .collect();
+        let syn: Vec<_> =
+            records.iter().filter(|r| r.design == design.name && r.kind.is_syntax()).collect();
+        let func: Vec<_> =
+            records.iter().filter(|r| r.design == design.name && !r.kind.is_syntax()).collect();
         table.row(vec![
             design.name.to_string(),
             design.category.label().to_string(),
@@ -39,7 +35,11 @@ fn main() {
     // Weighted means (the paper's Syntax / Function summary cells).
     let syn: Vec<_> = records.iter().filter(|r| r.kind.is_syntax()).collect();
     let func: Vec<_> = records.iter().filter(|r| !r.kind.is_syntax()).collect();
-    println!("Weighted mean FR:  syntax {:>5}   function {:>5}", pct_cell(fr(&syn)), pct_cell(fr(&func)));
+    println!(
+        "Weighted mean FR:  syntax {:>5}   function {:>5}",
+        pct_cell(fr(&syn)),
+        pct_cell(fr(&func))
+    );
 
     if !dataset.inapplicable.is_empty() {
         println!("\nInapplicable (design, error-type) pairs — the 'x' cells:");

@@ -10,20 +10,14 @@ use uvllm_bench::report::{fr, mean_time, pct_cell, percent, secs_cell, Table};
 use uvllm_designs::Category;
 
 fn stage_fr(records: &[&EvalRecord], stage: Stage) -> f64 {
-    percent(
-        records.iter().filter(|r| r.fixed && r.fixed_by == Some(stage)).count(),
-        records.len(),
-    )
+    percent(records.iter().filter(|r| r.fixed && r.fixed_by == Some(stage)).count(), records.len())
 }
 
 fn stage_time(records: &[&EvalRecord], pick: fn(&uvllm::StageTimes) -> f64) -> f64 {
     if records.is_empty() {
         return f64::NAN;
     }
-    records
-        .iter()
-        .filter_map(|r| r.stage_times.as_ref().map(pick))
-        .sum::<f64>()
+    records.iter().filter_map(|r| r.stage_times.as_ref().map(pick)).sum::<f64>()
         / records.len() as f64
 }
 
@@ -37,18 +31,8 @@ fn main() {
 
     println!("Table II — Performance of the segmented approach (FR %, Texec s)\n");
     let mut table = Table::new(&[
-        "Types",
-        "Pre FR",
-        "Pre T",
-        "MS FR",
-        "MS T",
-        "SL FR",
-        "SL T",
-        "UVLLM FR",
-        "UVLLM T",
-        "MEIC FR",
-        "MEIC T",
-        "Speedup",
+        "Types", "Pre FR", "Pre T", "MS FR", "MS T", "SL FR", "SL T", "UVLLM FR", "UVLLM T",
+        "MEIC FR", "MEIC T", "Speedup",
     ]);
 
     let emit = |label: String, u: Vec<&EvalRecord>, m: Vec<&EvalRecord>, table: &mut Table| {
@@ -88,12 +72,7 @@ fn main() {
         }
         let u: Vec<_> = uvllm_recs.iter().filter(|r| r.kind.is_syntax() == syntax).collect();
         let m: Vec<_> = meic_recs.iter().filter(|r| r.kind.is_syntax() == syntax).collect();
-        emit(
-            if syntax { "Syntax".to_string() } else { "Function".to_string() },
-            u,
-            m,
-            &mut table,
-        );
+        emit(if syntax { "Syntax".to_string() } else { "Function".to_string() }, u, m, &mut table);
     }
     let u: Vec<_> = uvllm_recs.iter().collect();
     let m: Vec<_> = meic_recs.iter().collect();

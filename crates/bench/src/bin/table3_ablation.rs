@@ -16,13 +16,8 @@ fn main() {
     let comp_recs = evaluate(MethodKind::UvllmComplete, &dataset.instances);
 
     println!("Table III — Ablation: repair generation form\n");
-    let mut table = Table::new(&[
-        "Framework",
-        "FR Syntax",
-        "FR Func.",
-        "Texec Syntax",
-        "Texec Func.",
-    ]);
+    let mut table =
+        Table::new(&["Framework", "FR Syntax", "FR Func.", "Texec Syntax", "Texec Func."]);
     for (label, recs) in [("UVLLM_pair", &pair_recs), ("UVLLM_comp", &comp_recs)] {
         let syn: Vec<_> = recs.iter().filter(|r| r.kind.is_syntax()).collect();
         let func: Vec<_> = recs.iter().filter(|r| !r.kind.is_syntax()).collect();

@@ -1,161 +1,18 @@
 //! Method evaluation over benchmark instances.
+//!
+//! The evaluation logic itself ([`MethodKind`], [`EvalRecord`],
+//! [`evaluate_one`]) lives in `uvllm-campaign` and is re-exported here;
+//! this module keeps the historical `evaluate` entry point, now running
+//! on the campaign engine's worker pool instead of a serial loop.
 
-use uvllm::{BenchInstance, Stage, StageTimes, Uvllm, VerifyConfig};
-use uvllm_baselines::{GptDirect, MeicRepair, RepairMethod, RtlRepair, StriderRepair};
-use uvllm_designs::Category;
-use uvllm_errgen::{ErrorCategory, ErrorKind};
-use uvllm_llm::{ModelProfile, OracleLlm, OutputMode, Usage};
+pub use uvllm_campaign::{evaluate_one, EvalRecord, EvalRow, MethodKind};
 
-/// Which method to evaluate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum MethodKind {
-    /// The full framework (pair-wise repair generation).
-    Uvllm,
-    /// Table III ablation: complete-code regeneration.
-    UvllmComplete,
-    Meic,
-    GptDirect,
-    Strider,
-    RtlRepair,
-}
+use uvllm::BenchInstance;
 
-impl MethodKind {
-    /// Display name used in tables.
-    pub fn label(&self) -> &'static str {
-        match self {
-            MethodKind::Uvllm => "UVLLM",
-            MethodKind::UvllmComplete => "UVLLM(comp)",
-            MethodKind::Meic => "MEIC",
-            MethodKind::GptDirect => "GPT-4-turbo",
-            MethodKind::Strider => "Strider",
-            MethodKind::RtlRepair => "RTLrepair",
-        }
-    }
-
-    /// Seed salt so each method draws independent oracle randomness.
-    fn salt(&self) -> u64 {
-        match self {
-            MethodKind::Uvllm => 0x01,
-            MethodKind::UvllmComplete => 0x02,
-            MethodKind::Meic => 0x03,
-            MethodKind::GptDirect => 0x04,
-            MethodKind::Strider => 0x05,
-            MethodKind::RtlRepair => 0x06,
-        }
-    }
-}
-
-/// One instance × method evaluation result.
-#[derive(Debug, Clone)]
-pub struct EvalRecord {
-    pub instance_id: String,
-    pub design: &'static str,
-    pub group: Category,
-    pub kind: ErrorKind,
-    pub category: ErrorCategory,
-    pub method: MethodKind,
-    /// Passed the public directed vectors (Hit Rate).
-    pub hit: bool,
-    /// Passed the extended differential validation (Fix Rate).
-    pub fixed: bool,
-    /// The method's own claim of success.
-    pub claimed: bool,
-    /// Total execution time in (simulated+measured) seconds.
-    pub texec: f64,
-    /// UVLLM-only: per-stage times.
-    pub stage_times: Option<StageTimes>,
-    /// UVLLM-only: which stage produced the final fix.
-    pub fixed_by: Option<Stage>,
-    /// LLM accounting.
-    pub usage: Usage,
-}
-
-/// Evaluates `method` on every instance, judging candidates externally.
+/// Evaluates `method` on every instance (records in instance order),
+/// fanned out over [`worker_count_from_env`] campaign workers.
 pub fn evaluate(method: MethodKind, instances: &[BenchInstance]) -> Vec<EvalRecord> {
-    instances.iter().map(|inst| evaluate_one(method, inst)).collect()
-}
-
-/// Evaluates `method` on one instance.
-pub fn evaluate_one(method: MethodKind, inst: &BenchInstance) -> EvalRecord {
-    let oracle_seed = inst.seed ^ method.salt().wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    let design = inst.design;
-    let (final_code, claimed, texec, stage_times, fixed_by, usage) = match method {
-        MethodKind::Uvllm | MethodKind::UvllmComplete => {
-            let mut llm = OracleLlm::new(
-                inst.ground_truth.clone(),
-                design.source,
-                ModelProfile::Gpt4Turbo,
-                oracle_seed,
-            );
-            let config = VerifyConfig {
-                output_mode: if method == MethodKind::UvllmComplete {
-                    OutputMode::Complete
-                } else {
-                    OutputMode::Pairs
-                },
-                ..VerifyConfig::default()
-            };
-            let mut framework = Uvllm::new(&mut llm, config);
-            let out = framework.verify(design, &inst.mutated_src);
-            (
-                out.final_code,
-                out.success,
-                out.times.total().as_secs_f64(),
-                Some(out.times),
-                out.fixed_by,
-                out.usage,
-            )
-        }
-        MethodKind::Meic => {
-            let mut llm = OracleLlm::new(
-                inst.ground_truth.clone(),
-                design.source,
-                ModelProfile::Gpt4TurboWeakHarness,
-                oracle_seed,
-            );
-            let mut m = MeicRepair::new(&mut llm);
-            let out = m.repair(design, &inst.mutated_src);
-            (out.final_code, out.claimed_success, out.time.as_secs_f64(), None, None, out.usage)
-        }
-        MethodKind::GptDirect => {
-            let mut llm = OracleLlm::new(
-                inst.ground_truth.clone(),
-                design.source,
-                ModelProfile::Gpt4TurboWeakHarness,
-                oracle_seed,
-            );
-            let mut m = GptDirect::new(&mut llm);
-            let out = m.repair(design, &inst.mutated_src);
-            (out.final_code, out.claimed_success, out.time.as_secs_f64(), None, None, out.usage)
-        }
-        MethodKind::Strider => {
-            let mut m = StriderRepair::new();
-            let out = m.repair(design, &inst.mutated_src);
-            (out.final_code, out.claimed_success, out.time.as_secs_f64(), None, None, out.usage)
-        }
-        MethodKind::RtlRepair => {
-            let mut m = RtlRepair::new();
-            let out = m.repair(design, &inst.mutated_src);
-            (out.final_code, out.claimed_success, out.time.as_secs_f64(), None, None, out.usage)
-        }
-    };
-    let hit = uvllm::metrics::hit_confirmed(design, &final_code);
-    let fixed = uvllm::metrics::fix_confirmed(design, &final_code);
-    EvalRecord {
-        instance_id: inst.id(),
-        design: design.name,
-        group: design.category,
-        kind: inst.kind,
-        category: inst.ground_truth.category,
-        method,
-        hit,
-        fixed,
-        claimed,
-        texec,
-        stage_times,
-        fixed_by,
-        usage,
-    }
+    uvllm_campaign::evaluate_parallel(method, instances, worker_count_from_env())
 }
 
 /// Reads the dataset size from `UVLLM_BENCH_SIZE` (default: the paper's
@@ -167,11 +24,18 @@ pub fn dataset_size_from_env() -> usize {
         .unwrap_or(uvllm::dataset::PAPER_DATASET_SIZE)
 }
 
+/// Reads the worker count from `UVLLM_WORKERS` (default: one per
+/// available CPU) — the campaign engine's sizing policy.
+pub fn worker_count_from_env() -> usize {
+    uvllm_campaign::default_worker_count()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use uvllm::build_instance;
-    use uvllm_designs::by_name;
+    use uvllm_designs::{by_name, Category};
+    use uvllm_errgen::ErrorKind;
 
     #[test]
     fn evaluate_one_produces_consistent_record() {
@@ -209,5 +73,20 @@ mod tests {
         assert_eq!(rec.usage.calls, 0);
         let rec = evaluate_one(MethodKind::RtlRepair, &inst);
         assert_eq!(rec.usage.calls, 0);
+    }
+
+    #[test]
+    fn parallel_evaluate_matches_serial_evaluate_one() {
+        let d = by_name("adder_8bit").unwrap();
+        let instances: Vec<BenchInstance> =
+            (0..4).filter_map(|s| build_instance(d, ErrorKind::OperatorMisuse, s)).collect();
+        assert!(!instances.is_empty());
+        let parallel = evaluate(MethodKind::Uvllm, &instances);
+        assert_eq!(parallel.len(), instances.len());
+        for (rec, inst) in parallel.iter().zip(&instances) {
+            let serial = evaluate_one(MethodKind::Uvllm, inst);
+            assert_eq!(rec.instance_id, serial.instance_id);
+            assert_eq!(rec.to_row().to_json_line(), serial.to_row().to_json_line());
+        }
     }
 }

@@ -5,6 +5,11 @@
 //! candidate externally (Hit Rate on the public vectors, Fix Rate by
 //! extended differential validation) and aggregates the tables/figures.
 //!
+//! Evaluation itself lives in `uvllm-campaign` (re-exported here):
+//! [`harness::evaluate`] fans out over the campaign worker pool, sized
+//! by `UVLLM_WORKERS`. For sharded / resumable full-scale runs use the
+//! `campaign` example binary instead of the per-figure binaries.
+//!
 //! Binaries (one per paper artefact):
 //!
 //! | binary | artefact |
@@ -18,5 +23,5 @@
 pub mod harness;
 pub mod report;
 
-pub use harness::{evaluate, EvalRecord, MethodKind};
+pub use harness::{evaluate, EvalRecord, EvalRow, MethodKind};
 pub use report::{fr, hr, mean_time, percent, Table};

@@ -13,14 +13,7 @@ pub fn hr(records: &[&EvalRecord]) -> f64 {
     percent(records.iter().filter(|r| r.hit).count(), records.len())
 }
 
-/// `100 * num / den` with an empty-set guard.
-pub fn percent(num: usize, den: usize) -> f64 {
-    if den == 0 {
-        f64::NAN
-    } else {
-        num as f64 / den as f64 * 100.0
-    }
-}
+pub use uvllm_campaign::report::{pct_cell, percent};
 
 /// Mean `texec` in seconds.
 pub fn mean_time(records: &[&EvalRecord]) -> f64 {
@@ -50,9 +43,7 @@ impl Table {
 
     /// Renders with column alignment.
     pub fn render(&self) -> String {
-        let ncols = self.header.len().max(
-            self.rows.iter().map(|r| r.len()).max().unwrap_or(0),
-        );
+        let ncols = self.header.len().max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
         let mut widths = vec![0usize; ncols];
         for (i, h) in self.header.iter().enumerate() {
             widths[i] = widths[i].max(h.len());
@@ -82,15 +73,6 @@ impl Table {
             render_row(&mut out, row);
         }
         out
-    }
-}
-
-/// Formats a percentage cell (NaN → `x`, the paper's "not applicable").
-pub fn pct_cell(v: f64) -> String {
-    if v.is_nan() {
-        "x".to_string()
-    } else {
-        format!("{v:.1}")
     }
 }
 

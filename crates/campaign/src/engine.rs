@@ -1,0 +1,266 @@
+//! The campaign engine: dataset assembly, golden-design cache warm-up,
+//! shard/resume filtering and the worker pool, glued to a result sink.
+
+use crate::eval::{EvalRecord, MethodKind};
+use crate::job::{expand_jobs, Job, ShardSpec};
+use crate::queue::run_pool;
+use crate::report::CampaignReport;
+use crate::sink::ResultSink;
+use std::sync::{Arc, Mutex};
+use uvllm::BenchInstance;
+
+/// What to run and how wide.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Benchmark instances to build (the paper's dataset is 331).
+    pub dataset_size: usize,
+    /// Dataset seed; the default matches [`uvllm::standard_dataset`].
+    pub dataset_seed: u64,
+    /// Methods to evaluate on every instance.
+    pub methods: Vec<MethodKind>,
+    /// Worker threads (0 = one per available CPU).
+    pub workers: usize,
+    /// Which `i/n` slice of the job space this process owns.
+    pub shard: ShardSpec,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            dataset_size: uvllm::dataset::PAPER_DATASET_SIZE,
+            dataset_seed: 0xDA7A,
+            methods: MethodKind::ALL.to_vec(),
+            workers: 0,
+            shard: ShardSpec::default(),
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// Resolves `workers == 0` to [`default_worker_count`].
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            default_worker_count()
+        }
+    }
+}
+
+/// The worker count used when none is configured: the `UVLLM_WORKERS`
+/// environment variable, else one worker per available CPU. The single
+/// sizing policy for campaigns and the bench harness alike.
+pub fn default_worker_count() -> usize {
+    std::env::var("UVLLM_WORKERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// What a finished (shard of a) campaign looked like.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// Rollups over every row in the sink (resumed + fresh).
+    pub report: CampaignReport,
+    /// Records freshly evaluated by this run, in job order.
+    pub new_records: Vec<EvalRecord>,
+    /// Jobs in the full job space.
+    pub total_jobs: usize,
+    /// Jobs owned by other shards.
+    pub sharded_out: usize,
+    /// Jobs skipped because the sink already had their rows.
+    pub resumed: usize,
+    /// Distinct designs pre-elaborated into the cache.
+    pub golden_designs: usize,
+    /// Elaboration-cache counters after the run.
+    pub elab_stats: uvllm_sim::ElabCacheStats,
+}
+
+/// A configured, validated campaign.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    config: CampaignConfig,
+}
+
+impl Campaign {
+    /// Validates `config`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an invalid shard spec or an empty method list.
+    pub fn new(config: CampaignConfig) -> Result<Campaign, String> {
+        config.shard.validate()?;
+        if config.methods.is_empty() {
+            return Err("campaign needs at least one method".to_string());
+        }
+        Ok(Campaign { config })
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Runs the campaign: builds the dataset, warms the elaboration
+    /// cache with every golden design (exactly once per design), then
+    /// drains the sharded job queue across the worker pool, streaming
+    /// each finished row into `sink`.
+    ///
+    /// Output is deterministic: the same configuration produces
+    /// byte-identical rows (modulo order) at any worker count, because
+    /// every record is a pure function of its job.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first sink I/O error, after the pool has wound down.
+    pub fn run(&self, sink: &mut dyn ResultSink) -> std::io::Result<CampaignOutcome> {
+        let dataset = uvllm::build_dataset(self.config.dataset_size, self.config.dataset_seed);
+        let instances: Vec<Arc<BenchInstance>> =
+            dataset.instances.into_iter().map(Arc::new).collect();
+
+        // Pre-elaborate each distinct golden design once, before any
+        // worker starts: afterwards every hit on the golden text —
+        // and campaigns hit it constantly, every confirmed fix *is*
+        // the golden text — costs a cache lookup, not an elaboration.
+        let mut golden: Vec<&'static uvllm_designs::Design> = Vec::new();
+        for inst in &instances {
+            if !golden.iter().any(|d| d.name == inst.design.name) {
+                golden.push(inst.design);
+            }
+        }
+        for design in &golden {
+            let _ = uvllm_sim::elaborate_source_cached(design.source, design.name);
+        }
+
+        let all_jobs = expand_jobs(&instances, &self.config.methods);
+        let total_jobs = all_jobs.len();
+        let completed = sink.completed_ids();
+        let shard = self.config.shard;
+        let mut sharded_out = 0usize;
+        let mut resumed = 0usize;
+        let jobs: Vec<Job> = all_jobs
+            .into_iter()
+            .filter(|job| {
+                if !shard.owns(job) {
+                    sharded_out += 1;
+                    return false;
+                }
+                if completed.contains(&job.id()) {
+                    resumed += 1;
+                    return false;
+                }
+                true
+            })
+            .collect();
+
+        let existing_rows = sink.existing_rows();
+        let sink = Mutex::new(sink);
+        let sink_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+        let new_records = run_pool(jobs, self.config.effective_workers(), |_, record| {
+            let row = record.to_row();
+            let mut guard = sink.lock().expect("sink poisoned");
+            if let Err(e) = guard.append(&row) {
+                sink_error.lock().expect("sink error poisoned").get_or_insert(e);
+            }
+        });
+        if let Some(e) = sink_error.into_inner().expect("sink error poisoned") {
+            return Err(e);
+        }
+
+        let mut rows = existing_rows;
+        rows.extend(new_records.iter().map(EvalRecord::to_row));
+        Ok(CampaignOutcome {
+            report: CampaignReport::new(rows),
+            new_records,
+            total_jobs,
+            sharded_out,
+            resumed,
+            golden_designs: golden.len(),
+            elab_stats: uvllm_sim::cache::stats(),
+        })
+    }
+}
+
+/// Evaluates one method over pre-built instances on a worker pool,
+/// returning records in instance order — the parallel engine behind
+/// `uvllm_bench::harness::evaluate`.
+pub fn evaluate_parallel(
+    method: MethodKind,
+    instances: &[BenchInstance],
+    workers: usize,
+) -> Vec<EvalRecord> {
+    let shared: Vec<Arc<BenchInstance>> = instances.iter().cloned().map(Arc::new).collect();
+    let jobs = expand_jobs(&shared, &[method]);
+    run_pool(jobs, workers.max(1), |_, _| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    fn tiny_config(workers: usize) -> CampaignConfig {
+        CampaignConfig {
+            dataset_size: 6,
+            dataset_seed: 0x42,
+            methods: vec![MethodKind::Strider, MethodKind::RtlRepair],
+            workers,
+            shard: ShardSpec::default(),
+        }
+    }
+
+    #[test]
+    fn campaign_runs_and_reports() {
+        let mut sink = MemorySink::new();
+        let outcome = Campaign::new(tiny_config(2)).unwrap().run(&mut sink).unwrap();
+        assert_eq!(outcome.total_jobs, 12);
+        assert_eq!(outcome.new_records.len(), 12);
+        assert_eq!(sink.rows().len(), 12);
+        assert_eq!(outcome.resumed, 0);
+        assert_eq!(outcome.sharded_out, 0);
+        assert!(outcome.golden_designs >= 1);
+        assert_eq!(outcome.report.rows().len(), 12);
+    }
+
+    #[test]
+    fn resume_skips_completed_jobs() {
+        let mut sink = MemorySink::new();
+        let campaign = Campaign::new(tiny_config(2)).unwrap();
+        campaign.run(&mut sink).unwrap();
+        // Second run over the same sink: everything is already there.
+        let outcome = campaign.run(&mut sink).unwrap();
+        assert_eq!(outcome.resumed, 12);
+        assert!(outcome.new_records.is_empty());
+        assert_eq!(sink.rows().len(), 12, "no duplicate rows on resume");
+        assert_eq!(outcome.report.rows().len(), 12);
+    }
+
+    #[test]
+    fn shards_union_to_the_full_campaign() {
+        let mut whole = MemorySink::new();
+        Campaign::new(tiny_config(1)).unwrap().run(&mut whole).unwrap();
+        let mut union: Vec<String> = Vec::new();
+        for index in 0..3 {
+            let mut sink = MemorySink::new();
+            let mut config = tiny_config(2);
+            config.shard = ShardSpec { index, count: 3 };
+            Campaign::new(config).unwrap().run(&mut sink).unwrap();
+            union.extend(sink.rows().iter().map(|r| r.to_json_line()));
+        }
+        let mut expected: Vec<String> = whole.rows().iter().map(|r| r.to_json_line()).collect();
+        expected.sort();
+        union.sort();
+        assert_eq!(union, expected, "3-way shard must partition the campaign exactly");
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut bad_shard = tiny_config(1);
+        bad_shard.shard = ShardSpec { index: 5, count: 2 };
+        assert!(Campaign::new(bad_shard).is_err());
+        let mut no_methods = tiny_config(1);
+        no_methods.methods.clear();
+        assert!(Campaign::new(no_methods).is_err());
+    }
+}

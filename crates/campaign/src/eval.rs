@@ -1,0 +1,361 @@
+//! Per-job evaluation: method dispatch, the `EvalRecord` produced for
+//! every (instance × method) pair, and its deterministic JSONL form.
+//!
+//! This logic moved here from `uvllm-bench::harness` so the campaign
+//! engine can own it; the bench crate re-exports everything for
+//! compatibility.
+
+use uvllm::{BenchInstance, Stage, StageTimes, Uvllm, VerifyConfig};
+use uvllm_baselines::{GptDirect, MeicRepair, RepairMethod, RtlRepair, StriderRepair};
+use uvllm_designs::Category;
+use uvllm_errgen::{ErrorCategory, ErrorKind};
+use uvllm_json::Json;
+use uvllm_llm::{ModelProfile, OracleLlm, OutputMode, Usage};
+
+/// Which method to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MethodKind {
+    /// The full framework (pair-wise repair generation).
+    Uvllm,
+    /// Table III ablation: complete-code regeneration.
+    UvllmComplete,
+    Meic,
+    GptDirect,
+    Strider,
+    RtlRepair,
+}
+
+impl MethodKind {
+    /// Every method, in table order.
+    pub const ALL: [MethodKind; 6] = [
+        MethodKind::Uvllm,
+        MethodKind::UvllmComplete,
+        MethodKind::Meic,
+        MethodKind::GptDirect,
+        MethodKind::Strider,
+        MethodKind::RtlRepair,
+    ];
+
+    /// Display name used in tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MethodKind::Uvllm => "UVLLM",
+            MethodKind::UvllmComplete => "UVLLM(comp)",
+            MethodKind::Meic => "MEIC",
+            MethodKind::GptDirect => "GPT-4-turbo",
+            MethodKind::Strider => "Strider",
+            MethodKind::RtlRepair => "RTLrepair",
+        }
+    }
+
+    /// Parses a [`MethodKind::label`] back (CLI / row decoding).
+    pub fn from_label(label: &str) -> Option<MethodKind> {
+        MethodKind::ALL.into_iter().find(|m| m.label() == label)
+    }
+
+    /// Seed salt so each method draws independent oracle randomness.
+    fn salt(&self) -> u64 {
+        match self {
+            MethodKind::Uvllm => 0x01,
+            MethodKind::UvllmComplete => 0x02,
+            MethodKind::Meic => 0x03,
+            MethodKind::GptDirect => 0x04,
+            MethodKind::Strider => 0x05,
+            MethodKind::RtlRepair => 0x06,
+        }
+    }
+}
+
+/// One instance × method evaluation result.
+#[derive(Debug, Clone)]
+pub struct EvalRecord {
+    pub instance_id: String,
+    pub design: &'static str,
+    pub group: Category,
+    pub kind: ErrorKind,
+    pub category: ErrorCategory,
+    pub method: MethodKind,
+    /// Passed the public directed vectors (Hit Rate).
+    pub hit: bool,
+    /// Passed the extended differential validation (Fix Rate).
+    pub fixed: bool,
+    /// The method's own claim of success.
+    pub claimed: bool,
+    /// Total execution time in (simulated+measured) seconds.
+    pub texec: f64,
+    /// UVLLM-only: per-stage times.
+    pub stage_times: Option<StageTimes>,
+    /// UVLLM-only: which stage produced the final fix.
+    pub fixed_by: Option<Stage>,
+    /// LLM accounting.
+    pub usage: Usage,
+}
+
+impl EvalRecord {
+    /// The campaign job identifier this record answers.
+    pub fn job_id(&self) -> String {
+        job_id(&self.instance_id, self.method)
+    }
+
+    /// Projects the record onto its deterministic JSONL row.
+    pub fn to_row(&self) -> EvalRow {
+        EvalRow {
+            id: self.job_id(),
+            instance: self.instance_id.clone(),
+            design: self.design.to_string(),
+            group: self.group.label().to_string(),
+            kind: self.kind.name().to_string(),
+            syntax: self.kind.is_syntax(),
+            category: self.category.label().to_string(),
+            method: self.method.label().to_string(),
+            hit: self.hit,
+            fixed: self.fixed,
+            claimed: self.claimed,
+            llm_calls: self.usage.calls,
+            prompt_tokens: self.usage.prompt_tokens,
+            completion_tokens: self.usage.completion_tokens,
+            sim_latency_ms: self.usage.latency.as_millis() as u64,
+            fixed_by: self.fixed_by.map(|s| s.label().to_string()),
+        }
+    }
+}
+
+/// Stable identifier of one campaign job.
+pub fn job_id(instance_id: &str, method: MethodKind) -> String {
+    format!("{instance_id}@{}", method.label())
+}
+
+/// The JSONL projection of an [`EvalRecord`].
+///
+/// Every field is a pure function of the job (instance × method ×
+/// seeds): wall-clock measurements are deliberately excluded, which is
+/// what makes campaign output byte-identical (modulo row order) at any
+/// worker count. LLM latency is the calibrated *simulated* latency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalRow {
+    /// Job id: `<design>/<kind>#<seed>@<method>`.
+    pub id: String,
+    /// Benchmark instance id: `<design>/<kind>#<seed>`.
+    pub instance: String,
+    pub design: String,
+    /// Design group label (Table II).
+    pub group: String,
+    /// Error-kind name (Table I).
+    pub kind: String,
+    /// True for syntax kinds (Fig. 5), false for functional (Fig. 6).
+    pub syntax: bool,
+    /// Error-category label (figure x-axes).
+    pub category: String,
+    /// Method label.
+    pub method: String,
+    pub hit: bool,
+    pub fixed: bool,
+    pub claimed: bool,
+    pub llm_calls: u64,
+    pub prompt_tokens: u64,
+    pub completion_tokens: u64,
+    /// Simulated LLM latency (deterministic Texec proxy).
+    pub sim_latency_ms: u64,
+    /// Stage label that produced the fix (UVLLM methods only).
+    pub fixed_by: Option<String>,
+}
+
+impl EvalRow {
+    /// Serialises to one compact JSON line (fixed member order).
+    pub fn to_json_line(&self) -> String {
+        Json::Obj(vec![
+            ("id".into(), Json::Str(self.id.clone())),
+            ("instance".into(), Json::Str(self.instance.clone())),
+            ("design".into(), Json::Str(self.design.clone())),
+            ("group".into(), Json::Str(self.group.clone())),
+            ("kind".into(), Json::Str(self.kind.clone())),
+            ("syntax".into(), Json::Bool(self.syntax)),
+            ("category".into(), Json::Str(self.category.clone())),
+            ("method".into(), Json::Str(self.method.clone())),
+            ("hit".into(), Json::Bool(self.hit)),
+            ("fixed".into(), Json::Bool(self.fixed)),
+            ("claimed".into(), Json::Bool(self.claimed)),
+            ("llm_calls".into(), Json::Num(self.llm_calls as f64)),
+            ("prompt_tokens".into(), Json::Num(self.prompt_tokens as f64)),
+            ("completion_tokens".into(), Json::Num(self.completion_tokens as f64)),
+            ("sim_latency_ms".into(), Json::Num(self.sim_latency_ms as f64)),
+            (
+                "fixed_by".into(),
+                match &self.fixed_by {
+                    Some(s) => Json::Str(s.clone()),
+                    None => Json::Null,
+                },
+            ),
+        ])
+        .render()
+    }
+
+    /// Parses one JSONL line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the line is not valid JSON or lacks a
+    /// required member.
+    pub fn from_json_line(line: &str) -> Result<EvalRow, String> {
+        let v = Json::parse(line.trim())?;
+        let str_member = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("row missing string member '{key}'"))
+        };
+        let bool_member = |key: &str| -> Result<bool, String> {
+            v.get(key)
+                .and_then(Json::as_bool)
+                .ok_or_else(|| format!("row missing bool member '{key}'"))
+        };
+        let num_member = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("row missing integer member '{key}'"))
+        };
+        Ok(EvalRow {
+            id: str_member("id")?,
+            instance: str_member("instance")?,
+            design: str_member("design")?,
+            group: str_member("group")?,
+            kind: str_member("kind")?,
+            syntax: bool_member("syntax")?,
+            category: str_member("category")?,
+            method: str_member("method")?,
+            hit: bool_member("hit")?,
+            fixed: bool_member("fixed")?,
+            claimed: bool_member("claimed")?,
+            llm_calls: num_member("llm_calls")?,
+            prompt_tokens: num_member("prompt_tokens")?,
+            completion_tokens: num_member("completion_tokens")?,
+            sim_latency_ms: num_member("sim_latency_ms")?,
+            fixed_by: match v.get("fixed_by") {
+                Some(Json::Str(s)) => Some(s.clone()),
+                Some(Json::Null) | None => None,
+                Some(other) => return Err(format!("bad 'fixed_by' member: {other:?}")),
+            },
+        })
+    }
+}
+
+/// Evaluates `method` on one instance.
+///
+/// Everything stochastic is derived from the instance seed and the
+/// method salt, so the record is a pure function of its job — the
+/// bedrock of campaign determinism and resumability.
+pub fn evaluate_one(method: MethodKind, inst: &BenchInstance) -> EvalRecord {
+    let oracle_seed = inst.seed ^ method.salt().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let design = inst.design;
+    let oracle =
+        |profile| OracleLlm::new(inst.ground_truth.clone(), design.source, profile, oracle_seed);
+    let (final_code, claimed, texec, stage_times, fixed_by, usage) = match method {
+        MethodKind::Uvllm | MethodKind::UvllmComplete => {
+            let config = VerifyConfig {
+                output_mode: if method == MethodKind::UvllmComplete {
+                    OutputMode::Complete
+                } else {
+                    OutputMode::Pairs
+                },
+                ..VerifyConfig::default()
+            };
+            // The framework owns its (job-local) model: the whole run
+            // is Send and carries no state shared across jobs.
+            let mut framework = Uvllm::new(oracle(ModelProfile::Gpt4Turbo), config);
+            let out = framework.verify(design, &inst.mutated_src);
+            (
+                out.final_code,
+                out.success,
+                out.times.total().as_secs_f64(),
+                Some(out.times),
+                out.fixed_by,
+                out.usage,
+            )
+        }
+        MethodKind::Meic => {
+            let mut llm = oracle(ModelProfile::Gpt4TurboWeakHarness);
+            let mut m = MeicRepair::new(&mut llm);
+            let out = m.repair(design, &inst.mutated_src);
+            (out.final_code, out.claimed_success, out.time.as_secs_f64(), None, None, out.usage)
+        }
+        MethodKind::GptDirect => {
+            let mut llm = oracle(ModelProfile::Gpt4TurboWeakHarness);
+            let mut m = GptDirect::new(&mut llm);
+            let out = m.repair(design, &inst.mutated_src);
+            (out.final_code, out.claimed_success, out.time.as_secs_f64(), None, None, out.usage)
+        }
+        MethodKind::Strider => {
+            let mut m = StriderRepair::new();
+            let out = m.repair(design, &inst.mutated_src);
+            (out.final_code, out.claimed_success, out.time.as_secs_f64(), None, None, out.usage)
+        }
+        MethodKind::RtlRepair => {
+            let mut m = RtlRepair::new();
+            let out = m.repair(design, &inst.mutated_src);
+            (out.final_code, out.claimed_success, out.time.as_secs_f64(), None, None, out.usage)
+        }
+    };
+    let hit = uvllm::metrics::hit_confirmed(design, &final_code);
+    let fixed = uvllm::metrics::fix_confirmed(design, &final_code);
+    EvalRecord {
+        instance_id: inst.id(),
+        design: design.name,
+        group: design.category,
+        kind: inst.kind,
+        category: inst.ground_truth.category,
+        method,
+        hit,
+        fixed,
+        claimed,
+        texec,
+        stage_times,
+        fixed_by,
+        usage,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvllm::build_instance;
+    use uvllm_designs::by_name;
+
+    #[test]
+    fn row_round_trips_through_jsonl() {
+        let d = by_name("adder_8bit").unwrap();
+        let inst = build_instance(d, ErrorKind::OperatorMisuse, 5).expect("instance");
+        let rec = evaluate_one(MethodKind::Uvllm, &inst);
+        let row = rec.to_row();
+        let line = row.to_json_line();
+        assert!(!line.contains('\n'));
+        let back = EvalRow::from_json_line(&line).unwrap();
+        assert_eq!(back, row);
+        assert_eq!(back.id, rec.job_id());
+        assert!(back.id.ends_with("@UVLLM"));
+    }
+
+    #[test]
+    fn rows_are_a_pure_function_of_the_job() {
+        let d = by_name("counter_12").unwrap();
+        let inst = build_instance(d, ErrorKind::ValueMisuse, 9).expect("instance");
+        for method in [MethodKind::Uvllm, MethodKind::Meic, MethodKind::Strider] {
+            let a = evaluate_one(method, &inst).to_row();
+            let b = evaluate_one(method, &inst).to_row();
+            assert_eq!(a.to_json_line(), b.to_json_line(), "{method:?}");
+        }
+    }
+
+    #[test]
+    fn method_labels_round_trip() {
+        for m in MethodKind::ALL {
+            assert_eq!(MethodKind::from_label(m.label()), Some(m));
+        }
+        assert_eq!(MethodKind::from_label("nope"), None);
+    }
+
+    #[test]
+    fn malformed_rows_are_rejected() {
+        assert!(EvalRow::from_json_line("not json").is_err());
+        assert!(EvalRow::from_json_line("{\"id\": \"x\"}").is_err());
+    }
+}

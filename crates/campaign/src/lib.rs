@@ -1,0 +1,69 @@
+//! # uvllm-campaign
+//!
+//! The large-scale verification campaign engine: runs the full
+//! benchmark (design × mutation × seed) across every repair method on a
+//! pool of worker threads, with sharding, caching and resume — the
+//! infrastructure that turns the paper's serial evaluation loop into a
+//! production-shaped system.
+//!
+//! * [`Job`] — one (benchmark instance × method) unit of work;
+//!   [`ShardSpec`] assigns jobs to cooperating processes by stable
+//!   hash, so `--shard i/n` partitions a campaign with no coordination.
+//! * [`WorkQueue`] / [`queue::run_pool`] — a shared `Mutex<VecDeque>`
+//!   drained by `N` OS threads (`std::thread::scope`); jobs are coarse,
+//!   so one lock per job is noise.
+//! * [`evaluate_one`] — the per-job evaluation (moved here from
+//!   `uvllm-bench`), a *pure function of the job*: each job owns an
+//!   [`OracleLlm`](uvllm_llm::OracleLlm) seeded from the instance seed
+//!   and method salt, and the pipeline owns its model
+//!   ([`uvllm::Uvllm`] is generic over `M: LanguageModel`), so nothing
+//!   is shared across workers.
+//! * elaboration cache — [`Campaign::run`] pre-elaborates every golden
+//!   design exactly once into the process-wide content-addressed cache
+//!   ([`uvllm_sim::cache`]); workers then share elaborations of
+//!   repeated texts (mutated sources across methods, candidates across
+//!   metrics, the golden text behind every confirmed fix).
+//! * [`ResultSink`] / [`JsonlSink`] — every finished row is streamed as
+//!   one JSON line and flushed; reopening the file resumes the
+//!   campaign, skipping completed job ids.
+//! * [`CampaignReport`] — the Table II / Fig. 5–7 rollups over rows,
+//!   identical for fresh and resumed runs.
+//!
+//! **Determinism contract:** the same [`CampaignConfig`] produces
+//! byte-identical JSONL rows (modulo row order) at any worker count and
+//! any shard split. Rows therefore exclude wall-clock measurements; the
+//! execution-time proxy is the calibrated simulated LLM latency.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use uvllm_campaign::{Campaign, CampaignConfig, MemorySink, MethodKind, ShardSpec};
+//!
+//! let config = CampaignConfig {
+//!     dataset_size: 4,
+//!     dataset_seed: 0x42,
+//!     methods: vec![MethodKind::Strider],
+//!     workers: 2,
+//!     shard: ShardSpec::default(),
+//! };
+//! let mut sink = MemorySink::new();
+//! let outcome = Campaign::new(config).unwrap().run(&mut sink).unwrap();
+//! assert_eq!(outcome.new_records.len(), sink.rows().len());
+//! println!("{}", outcome.report.render());
+//! ```
+
+pub mod engine;
+pub mod eval;
+pub mod job;
+pub mod queue;
+pub mod report;
+pub mod sink;
+
+pub use engine::{
+    default_worker_count, evaluate_parallel, Campaign, CampaignConfig, CampaignOutcome,
+};
+pub use eval::{evaluate_one, job_id, EvalRecord, EvalRow, MethodKind};
+pub use job::{expand_jobs, fnv1a64, Job, ShardSpec};
+pub use queue::WorkQueue;
+pub use report::CampaignReport;
+pub use sink::{JsonlSink, MemorySink, ResultSink};

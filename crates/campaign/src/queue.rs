@@ -1,0 +1,104 @@
+//! The shared work queue and the worker pool that drains it.
+//!
+//! Deliberately boring concurrency: a `Mutex<VecDeque<Job>>` popped by
+//! `N` OS threads (`std::thread::scope`). Jobs are coarse — one job is
+//! a full verification run with hundreds of simulated cycles — so a
+//! single uncontended lock per job is noise, and plain `std` keeps the
+//! engine dependency-free. Determinism does not depend on pop order:
+//! every record is a pure function of its job.
+
+use crate::eval::{evaluate_one, EvalRecord};
+use crate::job::Job;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A multi-consumer queue of jobs.
+#[derive(Debug)]
+pub struct WorkQueue {
+    jobs: Mutex<VecDeque<Job>>,
+}
+
+impl WorkQueue {
+    /// Wraps a job list.
+    pub fn new(jobs: Vec<Job>) -> Self {
+        WorkQueue { jobs: Mutex::new(jobs.into()) }
+    }
+
+    /// Takes the next job, or `None` when drained.
+    pub fn pop(&self) -> Option<Job> {
+        self.jobs.lock().expect("work queue poisoned").pop_front()
+    }
+
+    /// Jobs not yet claimed.
+    pub fn remaining(&self) -> usize {
+        self.jobs.lock().expect("work queue poisoned").len()
+    }
+}
+
+/// Runs `jobs` on `workers` OS threads; `on_record` observes every
+/// finished job (from worker threads, in completion order) and the
+/// returned list is sorted back into job order.
+///
+/// `workers == 0` is treated as 1.
+pub fn run_pool(
+    jobs: Vec<Job>,
+    workers: usize,
+    on_record: impl Fn(&Job, &EvalRecord) + Sync,
+) -> Vec<EvalRecord> {
+    let workers = workers.max(1).min(jobs.len().max(1));
+    let queue = WorkQueue::new(jobs);
+    let results: Mutex<Vec<(usize, EvalRecord)>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                while let Some(job) = queue.pop() {
+                    let record = evaluate_one(job.method, &job.instance);
+                    on_record(&job, &record);
+                    results.lock().expect("result list poisoned").push((job.index, record));
+                }
+            });
+        }
+    });
+
+    let mut results = results.into_inner().expect("result list poisoned");
+    results.sort_by_key(|(index, _)| *index);
+    results.into_iter().map(|(_, record)| record).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::MethodKind;
+    use crate::job::expand_jobs;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use uvllm::build_instance;
+    use uvllm_designs::by_name;
+    use uvllm_errgen::ErrorKind;
+
+    #[test]
+    fn pool_preserves_job_order_in_results() {
+        let d = by_name("mux4").unwrap();
+        let instances: Vec<_> = (0..3)
+            .filter_map(|s| build_instance(d, ErrorKind::MissingSemicolon, s))
+            .map(Arc::new)
+            .collect();
+        assert!(!instances.is_empty());
+        let jobs = expand_jobs(&instances, &[MethodKind::Strider, MethodKind::RtlRepair]);
+        let expected: Vec<String> = jobs.iter().map(Job::id).collect();
+        let seen = AtomicUsize::new(0);
+        let records = run_pool(jobs, 4, |_, _| {
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), expected.len());
+        let got: Vec<String> = records.iter().map(EvalRecord::job_id).collect();
+        assert_eq!(got, expected, "results must come back in job order");
+    }
+
+    #[test]
+    fn empty_queue_is_fine() {
+        let records = run_pool(Vec::new(), 8, |_, _| {});
+        assert!(records.is_empty());
+    }
+}

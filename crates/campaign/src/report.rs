@@ -1,0 +1,260 @@
+//! Campaign-level aggregation: the Table II / Fig. 5–7 rollups computed
+//! over [`EvalRow`]s (so they work identically for fresh runs and
+//! resumed JSONL files).
+
+use crate::eval::EvalRow;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Aggregated view over a set of result rows.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    rows: Vec<EvalRow>,
+}
+
+/// `100 * num / den` with an empty-set guard.
+pub fn percent(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        f64::NAN
+    } else {
+        num as f64 / den as f64 * 100.0
+    }
+}
+
+/// Formats a percentage cell (NaN → `x`, the paper's "not applicable").
+pub fn pct_cell(v: f64) -> String {
+    if v.is_nan() {
+        "x".to_string()
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+impl CampaignReport {
+    /// Builds a report over `rows`.
+    pub fn new(rows: Vec<EvalRow>) -> Self {
+        CampaignReport { rows }
+    }
+
+    /// The underlying rows.
+    pub fn rows(&self) -> &[EvalRow] {
+        &self.rows
+    }
+
+    /// Method labels present, in first-seen order.
+    pub fn methods(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for row in &self.rows {
+            if !seen.contains(&row.method) {
+                seen.push(row.method.clone());
+            }
+        }
+        seen
+    }
+
+    /// Fix rate (%) over rows matching `filter`.
+    pub fn fr(&self, filter: impl Fn(&EvalRow) -> bool) -> f64 {
+        let selected: Vec<&EvalRow> = self.rows.iter().filter(|r| filter(r)).collect();
+        percent(selected.iter().filter(|r| r.fixed).count(), selected.len())
+    }
+
+    /// Hit rate (%) over rows matching `filter`.
+    pub fn hr(&self, filter: impl Fn(&EvalRow) -> bool) -> f64 {
+        let selected: Vec<&EvalRow> = self.rows.iter().filter(|r| filter(r)).collect();
+        percent(selected.iter().filter(|r| r.hit).count(), selected.len())
+    }
+
+    /// Mean simulated execution time (seconds) over rows matching
+    /// `filter`.
+    pub fn mean_sim_secs(&self, filter: impl Fn(&EvalRow) -> bool) -> f64 {
+        let selected: Vec<&EvalRow> = self.rows.iter().filter(|r| filter(r)).collect();
+        if selected.is_empty() {
+            return f64::NAN;
+        }
+        selected.iter().map(|r| r.sim_latency_ms as f64 / 1000.0).sum::<f64>()
+            / selected.len() as f64
+    }
+
+    /// Renders every rollup as aligned ASCII tables.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "campaign rows: {}", self.rows.len());
+
+        // ---- Per-method summary (Fig. 5/6 aggregate + cost) ---------
+        let mut summary = AsciiTable::new(&[
+            "Method",
+            "Jobs",
+            "HR/%",
+            "FR/%",
+            "Claimed/%",
+            "SimT/s",
+            "LLM calls",
+        ]);
+        for method in self.methods() {
+            let of_method = |r: &&EvalRow| r.method == method;
+            let rows: Vec<&EvalRow> = self.rows.iter().filter(of_method).collect();
+            summary.row(vec![
+                method.clone(),
+                rows.len().to_string(),
+                pct_cell(self.hr(|r| r.method == method)),
+                pct_cell(self.fr(|r| r.method == method)),
+                pct_cell(percent(rows.iter().filter(|r| r.claimed).count(), rows.len())),
+                format!("{:.2}", self.mean_sim_secs(|r| r.method == method)),
+                rows.iter().map(|r| r.llm_calls).sum::<u64>().to_string(),
+            ]);
+        }
+        out.push_str("\n== Per-method summary ==\n");
+        out.push_str(&summary.render());
+
+        // ---- Syntax vs functional split (Fig. 5 / Fig. 6) -----------
+        let mut split = AsciiTable::new(&["Method", "Syn HR", "Syn FR", "Fun HR", "Fun FR"]);
+        for method in self.methods() {
+            split.row(vec![
+                method.clone(),
+                pct_cell(self.hr(|r| r.method == method && r.syntax)),
+                pct_cell(self.fr(|r| r.method == method && r.syntax)),
+                pct_cell(self.hr(|r| r.method == method && !r.syntax)),
+                pct_cell(self.fr(|r| r.method == method && !r.syntax)),
+            ]);
+        }
+        out.push_str("\n== Syntax vs functional (Fig. 5/6) ==\n");
+        out.push_str(&split.render());
+
+        // ---- Per-category FR (figure x-axes) ------------------------
+        let categories: BTreeSet<&String> = self.rows.iter().map(|r| &r.category).collect();
+        let mut cat = AsciiTable::new(&["Category", "Rows", "FR/%", "HR/%"]);
+        for category in categories {
+            let n = self.rows.iter().filter(|r| &r.category == category).count();
+            cat.row(vec![
+                category.clone(),
+                n.to_string(),
+                pct_cell(self.fr(|r| &r.category == category)),
+                pct_cell(self.hr(|r| &r.category == category)),
+            ]);
+        }
+        out.push_str("\n== Per-category (all methods) ==\n");
+        out.push_str(&cat.render());
+
+        // ---- Per-design FR heat map (Fig. 7) ------------------------
+        let designs: BTreeSet<&String> = self.rows.iter().map(|r| &r.design).collect();
+        let methods = self.methods();
+        let mut heat_header: Vec<&str> = vec!["Design"];
+        for m in &methods {
+            heat_header.push(m);
+        }
+        let mut heat = AsciiTable::new(&heat_header);
+        for design in designs {
+            let mut cells = vec![design.clone()];
+            for method in &methods {
+                cells.push(pct_cell(self.fr(|r| &r.design == design && &r.method == method)));
+            }
+            heat.row(cells);
+        }
+        out.push_str("\n== Per-design FR heat map (Fig. 7) ==\n");
+        out.push_str(&heat.render());
+
+        // ---- Stage attribution (Table II) ---------------------------
+        let stages: BTreeSet<&String> =
+            self.rows.iter().filter_map(|r| r.fixed_by.as_ref()).collect();
+        if !stages.is_empty() {
+            let mut table = AsciiTable::new(&["Stage", "Fixes", "Share/%"]);
+            let fixed_total = self.rows.iter().filter(|r| r.fixed_by.is_some()).count();
+            for stage in stages {
+                let n = self.rows.iter().filter(|r| r.fixed_by.as_ref() == Some(stage)).count();
+                table.row(vec![stage.clone(), n.to_string(), pct_cell(percent(n, fixed_total))]);
+            }
+            out.push_str("\n== Stage attribution (Table II) ==\n");
+            out.push_str(&table.render());
+        }
+        out
+    }
+}
+
+/// A minimal right-aligned ASCII table (first column left-aligned).
+struct AsciiTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl AsciiTable {
+    fn new(header: &[&str]) -> Self {
+        AsciiTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], out: &mut String| {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    let _ = write!(out, "{cell:<w$}");
+                } else {
+                    let _ = write!(out, "  {cell:>w$}");
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&self.header, &mut out);
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(method: &str, design: &str, syntax: bool, hit: bool, fixed: bool) -> EvalRow {
+        EvalRow {
+            id: format!("{design}/k#1@{method}"),
+            instance: format!("{design}/k#1"),
+            design: design.to_string(),
+            group: "Arithmetic".into(),
+            kind: "k".into(),
+            syntax,
+            category: if syntax { "Scope issues" } else { "Flawed conditions" }.into(),
+            method: method.to_string(),
+            hit,
+            fixed,
+            claimed: fixed,
+            llm_calls: 2,
+            prompt_tokens: 10,
+            completion_tokens: 5,
+            sim_latency_ms: 2000,
+            fixed_by: fixed.then(|| "Repair in MS Mode".to_string()),
+        }
+    }
+
+    #[test]
+    fn rates_and_rendering() {
+        let report = CampaignReport::new(vec![
+            row("UVLLM", "adder_8bit", true, true, true),
+            row("UVLLM", "adder_8bit", false, true, false),
+            row("MEIC", "mux4", false, false, false),
+        ]);
+        assert!((report.fr(|r| r.method == "UVLLM") - 50.0).abs() < 1e-9);
+        assert!((report.hr(|r| r.method == "UVLLM") - 100.0).abs() < 1e-9);
+        assert!(report.fr(|r| r.method == "nope").is_nan());
+        assert_eq!(report.methods(), vec!["UVLLM".to_string(), "MEIC".to_string()]);
+        let rendered = report.render();
+        for heading in ["Per-method summary", "Fig. 5/6", "Fig. 7", "Table II"] {
+            assert!(rendered.contains(heading), "missing {heading}:\n{rendered}");
+        }
+        assert!((report.mean_sim_secs(|_| true) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,199 @@
+//! Result sinks: where finished rows go.
+//!
+//! [`JsonlSink`] streams one JSON line per completed job and flushes
+//! after every row, so a killed campaign loses at most the rows in
+//! flight; on reopen it reports the completed job ids and the engine
+//! skips them — that is the whole resume protocol.
+
+use crate::eval::EvalRow;
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// A destination for finished rows. Implementations are driven from
+/// worker threads through a mutex, one call per job.
+pub trait ResultSink: Send {
+    /// Job ids already present (consulted once at campaign start; those
+    /// jobs are skipped).
+    fn completed_ids(&self) -> HashSet<String>;
+
+    /// Rows already present (folded into the final report on resume).
+    fn existing_rows(&self) -> Vec<EvalRow>;
+
+    /// Appends one finished row durably.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure of the underlying store.
+    fn append(&mut self, row: &EvalRow) -> std::io::Result<()>;
+}
+
+/// An append-only JSONL file sink with resume.
+#[derive(Debug)]
+pub struct JsonlSink {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    existing: Vec<EvalRow>,
+}
+
+impl JsonlSink {
+    /// Opens (or creates) `path`, reading any rows a previous run left
+    /// behind. Malformed lines — e.g. a row torn by a kill ——
+    /// are dropped, so the jobs they came from simply run again.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
+        let path = path.as_ref().to_path_buf();
+        let (existing, torn_tail) = match std::fs::read(&path) {
+            Ok(bytes) => {
+                let text = String::from_utf8_lossy(&bytes);
+                let rows: Vec<EvalRow> = text
+                    .lines()
+                    .filter(|l| !l.trim().is_empty())
+                    .filter_map(|l| EvalRow::from_json_line(l).ok())
+                    .collect();
+                (rows, bytes.last().is_some_and(|b| *b != b'\n'))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => (Vec::new(), false),
+            Err(e) => return Err(e),
+        };
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let mut writer = BufWriter::new(file);
+        if torn_tail {
+            // Terminate a line torn by a kill so new rows start clean.
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+        }
+        Ok(JsonlSink { path, writer, existing })
+    }
+
+    /// The backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Rows recovered from a previous run.
+    pub fn resumed(&self) -> usize {
+        self.existing.len()
+    }
+}
+
+impl ResultSink for JsonlSink {
+    fn completed_ids(&self) -> HashSet<String> {
+        self.existing.iter().map(|r| r.id.clone()).collect()
+    }
+
+    fn existing_rows(&self) -> Vec<EvalRow> {
+        self.existing.clone()
+    }
+
+    fn append(&mut self, row: &EvalRow) -> std::io::Result<()> {
+        self.writer.write_all(row.to_json_line().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        // Flush per row: crash-resume must never replay flushed work.
+        self.writer.flush()
+    }
+}
+
+/// An in-memory sink (tests, and `evaluate()`-style callers that only
+/// want the records back).
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    rows: Vec<EvalRow>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Everything appended so far.
+    pub fn rows(&self) -> &[EvalRow] {
+        &self.rows
+    }
+}
+
+impl ResultSink for MemorySink {
+    fn completed_ids(&self) -> HashSet<String> {
+        self.rows.iter().map(|r| r.id.clone()).collect()
+    }
+
+    fn existing_rows(&self) -> Vec<EvalRow> {
+        self.rows.clone()
+    }
+
+    fn append(&mut self, row: &EvalRow) -> std::io::Result<()> {
+        self.rows.push(row.clone());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(id: &str) -> EvalRow {
+        EvalRow {
+            id: id.to_string(),
+            instance: id.trim_end_matches("@M").to_string(),
+            design: "adder_8bit".into(),
+            group: "Arithmetic".into(),
+            kind: "operator_misuse".into(),
+            syntax: false,
+            category: "Flawed conditions".into(),
+            method: "M".into(),
+            hit: true,
+            fixed: false,
+            claimed: true,
+            llm_calls: 3,
+            prompt_tokens: 100,
+            completion_tokens: 50,
+            sim_latency_ms: 1234,
+            fixed_by: None,
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_resumes_and_skips_torn_lines() {
+        let dir = std::env::temp_dir().join(format!("uvllm-sink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        {
+            let mut sink = JsonlSink::open(&path).unwrap();
+            assert_eq!(sink.resumed(), 0);
+            sink.append(&row("a@M")).unwrap();
+            sink.append(&row("b@M")).unwrap();
+        }
+        // Simulate a kill mid-write: a torn, unparseable trailing line.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"id\": \"c@M\", \"instance").unwrap();
+        }
+        let mut sink = JsonlSink::open(&path).unwrap();
+        assert_eq!(sink.resumed(), 2);
+        let ids = sink.completed_ids();
+        assert!(ids.contains("a@M") && ids.contains("b@M"));
+        assert!(!ids.contains("c@M"), "torn row must not count as completed");
+
+        // Appending after resume keeps earlier rows intact.
+        sink.append(&row("c@M")).unwrap();
+        let reopened = JsonlSink::open(&path).unwrap();
+        assert_eq!(reopened.resumed(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn memory_sink_accumulates() {
+        let mut sink = MemorySink::new();
+        sink.append(&row("x@M")).unwrap();
+        assert_eq!(sink.rows().len(), 1);
+        assert!(sink.completed_ids().contains("x@M"));
+    }
+}

@@ -15,9 +15,7 @@
 //!   repair.
 
 use uvllm_designs::Design;
-use uvllm_uvm::{
-    CornerSequence, DirectedSequence, Environment, RandomSequence, Sequence,
-};
+use uvllm_uvm::{CornerSequence, DirectedSequence, Environment, RandomSequence, Sequence};
 
 /// Seed of the first FR random campaign; the dataset builder validates
 /// instances against a prefix of this exact stream.

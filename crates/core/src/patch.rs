@@ -85,8 +85,7 @@ mod tests {
     #[test]
     fn multiple_pairs_apply_in_order() {
         let code = "a - b;\nc & d;\n";
-        let (out, report) =
-            apply_pairs(code, &[pair("a - b", "a + b"), pair("c & d", "c | d")]);
+        let (out, report) = apply_pairs(code, &[pair("a - b", "a + b"), pair("c & d", "c | d")]);
         assert_eq!(out, "a + b;\nc | d;\n");
         assert_eq!(report.applied.len(), 2);
     }

@@ -112,15 +112,32 @@ pub struct VerifyOutcome {
 
 /// The UVLLM framework: wraps a [`LanguageModel`] and verifies DUTs
 /// against their specification using the four-stage loop.
-pub struct Uvllm<'m> {
+///
+/// The framework *owns* its model (generic `M`), which makes a whole
+/// verification run `Send` — the property the campaign engine relies on
+/// to run jobs on worker threads. Borrowing callers keep working via
+/// the `LanguageModel` forwarding impl for `&mut M`; dynamic callers
+/// can use `Uvllm<Box<dyn LanguageModel + Send>>`.
+pub struct Uvllm<M: LanguageModel> {
     config: VerifyConfig,
-    llm: &'m mut dyn LanguageModel,
+    llm: M,
 }
 
-impl<'m> Uvllm<'m> {
+impl<M: LanguageModel> Uvllm<M> {
     /// Creates a framework instance around a model backend.
-    pub fn new(llm: &'m mut dyn LanguageModel, config: VerifyConfig) -> Self {
+    pub fn new(llm: M, config: VerifyConfig) -> Self {
         Uvllm { config, llm }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &M {
+        &self.llm
+    }
+
+    /// Consumes the framework, returning the model (and its usage
+    /// accounting).
+    pub fn into_model(self) -> M {
+        self.llm
     }
 
     /// Runs the full verification loop on `src` for `design`.
@@ -147,7 +164,7 @@ impl<'m> Uvllm<'m> {
             // -------- Step 1: pre-processing --------------------------
             let wall = Instant::now();
             let (pre_code, pre_stats) =
-                preprocess(&code, design.spec, self.llm, cfg.output_mode, cfg.preproc_iters);
+                preprocess(&code, design.spec, &mut self.llm, cfg.output_mode, cfg.preproc_iters);
             // Stage time = simulated LLM latency + measured substrate time.
             times.preprocess += pre_stats.llm_time + wall.elapsed();
             script_fixes += pre_stats.script_fixes;
@@ -206,7 +223,7 @@ impl<'m> Uvllm<'m> {
             let attempt = repair(
                 &code,
                 design.spec,
-                self.llm,
+                &mut self.llm,
                 error_info,
                 &damage,
                 cfg.output_mode,

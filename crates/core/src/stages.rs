@@ -271,12 +271,9 @@ pub fn repair(
             },
         },
         OutputMode::Complete => match CompleteResponse::parse(&completion.content) {
-            Ok(resp) if !resp.code.trim().is_empty() && resp.code != code => RepairAttempt {
-                changed: true,
-                applied: Vec::new(),
-                code: resp.code,
-                llm_time,
-            },
+            Ok(resp) if !resp.code.trim().is_empty() && resp.code != code => {
+                RepairAttempt { changed: true, applied: Vec::new(), code: resp.code, llm_time }
+            }
             _ => RepairAttempt {
                 code: code.to_string(),
                 applied: Vec::new(),
@@ -391,8 +388,10 @@ mod tests {
         let d = by_name("adder_8bit").unwrap();
         let buggy = d.source.replace("{cout, sum} = a + b", "{cout, sum} = {1'b0, a} + {1'b0, b}");
         // That rewrite is equivalent; use the cout-drop mutation instead:
-        let buggy2 = d.source.replace("assign {cout, sum} = a + b + {7'd0, cin};",
-                                      "assign sum = a + b + {7'd0, cin};\nassign cout = 1'b0;");
+        let buggy2 = d.source.replace(
+            "assign {cout, sum} = a + b + {7'd0, cin};",
+            "assign sum = a + b + {7'd0, cin};\nassign cout = 1'b0;",
+        );
         let _ = buggy;
         let outcome = directed_stage(&buggy2, d);
         assert!(outcome.passed(), "weak testbench should miss the carry bug");

@@ -209,7 +209,10 @@ pub static DESIGNS: [Design; 7] = [
             Box::new(uvllm_uvm::FnModel(|ins: &BTreeMap<String, Logic>| {
                 let a = iv(ins, "a", 8);
                 let b = iv(ins, "b", 8);
-                let (q, r) = if b == 0 { (0xff, a) } else { (a / b, a % b) };
+                let (q, r) = match (a.checked_div(b), a.checked_rem(b)) {
+                    (Some(q), Some(r)) => (q, r),
+                    _ => (0xff, a),
+                };
                 let mut o = BTreeMap::new();
                 ov(&mut o, "q", 8, q);
                 ov(&mut o, "r", 8, r);

@@ -168,14 +168,7 @@ mod tests {
                 summary.mismatches.len(),
                 summary.pass_rate,
                 &summary.mismatches[..summary.mismatches.len().min(3)],
-                summary
-                    .log
-                    .render()
-                    .lines()
-                    .rev()
-                    .take(5)
-                    .collect::<Vec<_>>()
-                    .join("\n"),
+                summary.log.render().lines().rev().take(5).collect::<Vec<_>>().join("\n"),
             );
         }
     }
@@ -213,11 +206,7 @@ mod tests {
         for d in all() {
             let v = (d.directed_vectors)();
             assert!(!v.is_empty(), "{}: needs directed vectors", d.name);
-            assert!(
-                v.len() <= 16,
-                "{}: directed set should stay intentionally small",
-                d.name
-            );
+            assert!(v.len() <= 16, "{}: directed set should stay intentionally small", d.name);
         }
     }
 
@@ -225,12 +214,7 @@ mod tests {
     fn designs_lint_clean() {
         for d in all() {
             let report = uvllm_lint::lint(d.source);
-            assert!(
-                report.errors().is_empty(),
-                "{}: lint errors: {:?}",
-                d.name,
-                report.errors()
-            );
+            assert!(report.errors().is_empty(), "{}: lint errors: {:?}", d.name, report.errors());
             assert!(
                 report.fixable_warnings().is_empty(),
                 "{}: fixable warnings present: {}",

@@ -143,7 +143,7 @@ pub static DESIGNS: [Design; 9] = [
         model: || {
             Box::new(FnModel(|ins: &BTreeMap<String, Logic>| {
                 let d = iv(ins, "din", 8);
-                let y = if d == 0 { 0 } else { 127 - (d as u128).leading_zeros() as u128 };
+                let y = if d == 0 { 0 } else { 127 - d.leading_zeros() as u128 };
                 let mut o = BTreeMap::new();
                 ov(&mut o, "y", 3, y);
                 ov(&mut o, "valid", 1, (d != 0) as u128);

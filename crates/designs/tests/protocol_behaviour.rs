@@ -2,7 +2,6 @@
 //! directed scenarios that pin down the corner semantics the golden
 //! models encode (and that the weak public vectors deliberately avoid).
 
-use std::collections::BTreeMap;
 use uvllm_designs::by_name;
 use uvllm_sim::{elaborate, Logic, Simulator};
 
@@ -25,9 +24,10 @@ fn tick(sim: &mut Simulator) {
 }
 
 fn get(sim: &Simulator, name: &str) -> u128 {
-    sim.peek_by_name(name).unwrap().to_u128().unwrap_or_else(|| {
-        panic!("{name} is X: {}", sim.peek_by_name(name).unwrap())
-    })
+    sim.peek_by_name(name)
+        .unwrap()
+        .to_u128()
+        .unwrap_or_else(|| panic!("{name} is X: {}", sim.peek_by_name(name).unwrap()))
 }
 
 #[test]

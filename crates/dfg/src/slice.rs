@@ -127,11 +127,7 @@ impl Dfg {
 
     /// Static cone of influence of `signal` (unbounded depth).
     pub fn static_slice(&self, signal: &str) -> Slice {
-        self.slice(
-            signal,
-            None,
-            &SliceOptions { max_depth: usize::MAX, include_unknown: true },
-        )
+        self.slice(signal, None, &SliceOptions { max_depth: usize::MAX, include_unknown: true })
     }
 
     /// Time-aware dynamic slice: only sites whose guard conditions are
@@ -273,7 +269,11 @@ fn collect_sites(stmt: &Stmt, guards: &mut Vec<Guard>, sites: &mut Vec<Site>) {
 }
 
 /// Checks whether every guard on a site is compatible with `snapshot`.
-fn guards_active(guards: &[Guard], snapshot: &HashMap<String, Logic>, include_unknown: bool) -> bool {
+fn guards_active(
+    guards: &[Guard],
+    snapshot: &HashMap<String, Logic>,
+    include_unknown: bool,
+) -> bool {
     for g in guards {
         let verdict = match g {
             Guard::If { cond, taken_then } => match eval_ast(cond, snapshot).truthiness() {
@@ -440,11 +440,7 @@ pub fn suspicious_lines(
     let src_lines: Vec<&str> = src.lines().collect();
     lines
         .into_iter()
-        .filter_map(|l| {
-            src_lines
-                .get((l - 1) as usize)
-                .map(|t| (l, t.trim().to_string()))
-        })
+        .filter_map(|l| src_lines.get((l - 1) as usize).map(|t| (l, t.trim().to_string())))
         .collect()
 }
 
@@ -522,7 +518,8 @@ mod tests {
 
     #[test]
     fn slice_lines_point_at_source() {
-        let src = "module m(input a, output y);\nwire t;\nassign t = ~a;\nassign y = t;\nendmodule\n";
+        let src =
+            "module m(input a, output y);\nwire t;\nassign t = ~a;\nassign y = t;\nendmodule\n";
         let m = module_of(src);
         let dfg = Dfg::build(&m);
         let slice = dfg.static_slice("y");
@@ -557,8 +554,11 @@ mod tests {
         src.push_str(&format!("assign y = t{};\nendmodule\n", n - 1));
         let m = module_of(&src);
         let dfg = Dfg::build(&m);
-        let slice =
-            dfg.dynamic_slice("y", &HashMap::new(), &SliceOptions { max_depth: 3, include_unknown: true });
+        let slice = dfg.dynamic_slice(
+            "y",
+            &HashMap::new(),
+            &SliceOptions { max_depth: 3, include_unknown: true },
+        );
         assert!(slice.sites.len() <= 4);
         let full = dfg.static_slice("y");
         assert_eq!(full.sites.len(), (n + 1) as usize);

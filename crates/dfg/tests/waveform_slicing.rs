@@ -71,8 +71,7 @@ fn suspicious_lines_shrink_with_dynamic_information() {
     let module = file.module("alu").unwrap().clone();
 
     // Without a snapshot: the whole cone.
-    let static_lines =
-        suspicious_lines(&module, ALU, &["y".to_string()], &HashMap::new());
+    let static_lines = suspicious_lines(&module, ALU, &["y".to_string()], &HashMap::new());
     // With the op=2 snapshot: only the AND arm.
     let (_, wave) = run_and_capture(2);
     let snapshot = wave.snapshot_at(10);

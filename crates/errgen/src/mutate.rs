@@ -96,11 +96,8 @@ pub fn mutate(src: &str, kind: ErrorKind, seed: u64) -> Result<MutationOutcome, 
         if mutated == src {
             continue;
         }
-        let valid = if kind.is_syntax() {
-            parse(&mutated).is_err()
-        } else {
-            parse(&mutated).is_ok()
-        };
+        let valid =
+            if kind.is_syntax() { parse(&mutated).is_err() } else { parse(&mutated).is_ok() };
         if !valid {
             continue;
         }
@@ -142,11 +139,7 @@ fn ground_truth(src: &str, mutated: &str, edit: &Edit, kind: ErrorKind) -> Groun
     // the last edited line, in each version. These survive as
     // exact-match anchors even for pure deletions (e.g. a dropped
     // `end` leaves an empty line that alone could never anchor a patch).
-    let buggy_window = window(
-        mutated,
-        edit.span.start,
-        edit.span.start + edit.replacement.len(),
-    );
+    let buggy_window = window(mutated, edit.span.start, edit.span.start + edit.replacement.len());
     let fixed_window = window(src, edit.span.start, edit.span.end);
     GroundTruth {
         kind,
@@ -237,10 +230,7 @@ fn collect_candidates(
                 Some(Edit {
                     span: t.span,
                     replacement: rep.to_string(),
-                    description: format!(
-                        "operator '{}' was mistyped as '{rep}'",
-                        t.span.text(src)
-                    ),
+                    description: format!("operator '{}' was mistyped as '{rep}'", t.span.text(src)),
                 })
             })
             .collect(),
@@ -567,9 +557,7 @@ fn range_width_of(range: &Option<Range>) -> Option<u32> {
     match range {
         None => Some(1),
         Some(r) => match (&r.msb, &r.lsb) {
-            (Expr::Number(m), Expr::Number(l)) => {
-                Some((m.value.abs_diff(l.value)) as u32 + 1)
-            }
+            (Expr::Number(m), Expr::Number(l)) => Some((m.value.abs_diff(l.value)) as u32 + 1),
             _ => None,
         },
     }
@@ -757,10 +745,9 @@ fn port_sites(src: &str, file: &SourceFile) -> Vec<Edit> {
             // Swap adjacent connection expressions.
             for pair in inst.conns.windows(2) {
                 let (Some(e0), Some(e1)) = (&pair[0].expr, &pair[1].expr) else { continue };
-                let (Some(t0), Some(t1)) = (
-                    conn_expr_span(src, &pair[0]),
-                    conn_expr_span(src, &pair[1]),
-                ) else {
+                let (Some(t0), Some(t1)) =
+                    (conn_expr_span(src, &pair[0]), conn_expr_span(src, &pair[1]))
+                else {
                     continue;
                 };
                 let s0 = t0.text(src).to_string();
@@ -818,7 +805,8 @@ mod tests {
                            else if (en) q <= q + 4'd1;\n\
                            end\nendmodule\n";
 
-    const HIER: &str = "module top(input [1:0] a, input [1:0] b, output [1:0] x, output [1:0] y);\n\
+    const HIER: &str =
+        "module top(input [1:0] a, input [1:0] b, output [1:0] x, output [1:0] y);\n\
                         pass u0(.i(a), .o(x));\npass u1(.i(b), .o(y));\nendmodule\n\
                         module pass(input [1:0] i, output [1:0] o);\nassign o = i;\nendmodule\n";
 

@@ -243,9 +243,7 @@ mod tests {
         // Every syntax category is producible by at least one kind.
         for c in SyntaxCategory::ALL {
             assert!(
-                ErrorKind::syntax_kinds()
-                    .iter()
-                    .any(|k| k.category() == ErrorCategory::Syntax(c)),
+                ErrorKind::syntax_kinds().iter().any(|k| k.category() == ErrorCategory::Syntax(c)),
                 "{}",
                 c.label()
             );

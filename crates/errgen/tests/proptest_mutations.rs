@@ -1,7 +1,12 @@
 //! Property tests on the error generator: validity and determinism of
-//! mutations across arbitrary seeds and the whole design corpus shape.
+//! mutations across many seeds and the whole design corpus shape.
+//!
+//! Written as seeded exhaustive/randomised loops (the workspace builds
+//! without the `proptest` crate): every (source, kind) pair is driven
+//! with a spread of RNG seeds drawn from the workspace PRNG.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use uvllm_errgen::{mutate, ErrorKind, MutateError};
 use uvllm_verilog::parse;
 
@@ -20,63 +25,71 @@ const CORPUS: [&str; 3] = [
      module pass(input [3:0] i, output [3:0] o);\nassign o = i;\nendmodule\n",
 ];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    /// Syntax mutations always break the parse; functional mutations
-    /// always keep it intact; both always change the text.
-    #[test]
-    fn mutation_validity(seed in any::<u64>(), src_idx in 0usize..3, kind_idx in 0usize..14) {
-        let src = CORPUS[src_idx];
-        let kind = ErrorKind::ALL[kind_idx];
-        match mutate(src, kind, seed) {
-            Ok(out) => {
-                prop_assert_ne!(&out.mutated_src, src);
-                if kind.is_syntax() {
-                    prop_assert!(parse(&out.mutated_src).is_err(), "{} should break", kind);
-                } else {
-                    prop_assert!(parse(&out.mutated_src).is_ok(), "{} should parse", kind);
-                }
-                // Ground truth invariants.
-                prop_assert_eq!(out.ground_truth.kind, kind);
-                prop_assert!(out.ground_truth.line >= 1);
-                prop_assert!(!out.ground_truth.description.is_empty());
-                // The buggy window anchors in the mutated source and the
-                // fixed window in the original.
-                prop_assert!(out.mutated_src.contains(&out.ground_truth.buggy_window));
-                prop_assert!(src.contains(&out.ground_truth.fixed_window));
+/// Drives `check` over every (source, kind) pair with `rounds` random
+/// seeds each.
+fn for_all_cases(rounds: usize, mut check: impl FnMut(&str, ErrorKind, u64)) {
+    let mut rng = StdRng::seed_from_u64(0x4D75_7461);
+    for _ in 0..rounds {
+        let seed = rng.random::<u64>();
+        for src in CORPUS {
+            for kind in ErrorKind::ALL {
+                check(src, kind, seed);
             }
-            Err(MutateError::NoApplicableSite(_)) => {}
-            Err(e) => prop_assert!(false, "unexpected error: {e}"),
         }
     }
+}
 
-    /// Mutation is a pure function of (src, kind, seed).
-    #[test]
-    fn mutation_determinism(seed in any::<u64>(), src_idx in 0usize..3, kind_idx in 0usize..14) {
-        let src = CORPUS[src_idx];
-        let kind = ErrorKind::ALL[kind_idx];
+/// Syntax mutations always break the parse; functional mutations always
+/// keep it intact; both always change the text.
+#[test]
+fn mutation_validity() {
+    for_all_cases(24, |src, kind, seed| match mutate(src, kind, seed) {
+        Ok(out) => {
+            assert_ne!(out.mutated_src, src);
+            if kind.is_syntax() {
+                assert!(parse(&out.mutated_src).is_err(), "{kind} should break (seed {seed})");
+            } else {
+                assert!(parse(&out.mutated_src).is_ok(), "{kind} should parse (seed {seed})");
+            }
+            // Ground truth invariants.
+            assert_eq!(out.ground_truth.kind, kind);
+            assert!(out.ground_truth.line >= 1);
+            assert!(!out.ground_truth.description.is_empty());
+            // The buggy window anchors in the mutated source and the
+            // fixed window in the original.
+            assert!(out.mutated_src.contains(&out.ground_truth.buggy_window));
+            assert!(src.contains(&out.ground_truth.fixed_window));
+        }
+        Err(MutateError::NoApplicableSite(_)) => {}
+        Err(e) => panic!("unexpected error: {e} ({kind}, seed {seed})"),
+    });
+}
+
+/// Mutation is a pure function of (src, kind, seed).
+#[test]
+fn mutation_determinism() {
+    for_all_cases(8, |src, kind, seed| {
         let a = mutate(src, kind, seed);
         let b = mutate(src, kind, seed);
-        prop_assert_eq!(a.is_ok(), b.is_ok());
+        assert_eq!(a.is_ok(), b.is_ok());
         if let (Ok(x), Ok(y)) = (a, b) {
-            prop_assert_eq!(x, y);
+            assert_eq!(x, y);
         }
-    }
+    });
+}
 
-    /// Reverting the ground-truth window restores the original source
-    /// exactly (the oracle's success pair is sound).
-    #[test]
-    fn ground_truth_window_reverts(seed in any::<u64>(), src_idx in 0usize..3, kind_idx in 0usize..14) {
-        let src = CORPUS[src_idx];
-        let kind = ErrorKind::ALL[kind_idx];
+/// Reverting the ground-truth window restores the original source
+/// exactly (the oracle's success pair is sound).
+#[test]
+fn ground_truth_window_reverts() {
+    for_all_cases(24, |src, kind, seed| {
         if let Ok(out) = mutate(src, kind, seed) {
             let reverted = out.mutated_src.replacen(
                 &out.ground_truth.buggy_window,
                 &out.ground_truth.fixed_window,
                 1,
             );
-            prop_assert_eq!(reverted, src, "window revert must restore the source");
+            assert_eq!(reverted, src, "window revert must restore the source ({kind}, {seed})");
         }
-    }
+    });
 }

@@ -126,14 +126,7 @@ impl Diagnostic {
     pub fn render(&self, src: &str) -> String {
         let map = LineMap::new(src);
         let (line, col) = map.line_col(self.span.start);
-        format!(
-            "%{}-{}: dut.v:{}:{}: {}",
-            self.severity,
-            self.code.tag(),
-            line,
-            col,
-            self.message
-        )
+        format!("%{}-{}: dut.v:{}:{}: {}", self.severity, self.code.tag(), line, col, self.message)
     }
 
     /// 1-based source line of the finding.

@@ -8,11 +8,8 @@ use crate::diag::{Diagnostic, LintReport};
 /// Fixes are applied back-to-front so earlier spans stay valid;
 /// overlapping fixes are skipped after the first.
 pub fn apply_fixes(src: &str, report: &LintReport) -> (String, usize) {
-    let mut fixes: Vec<_> = report
-        .fixable_warnings()
-        .into_iter()
-        .filter_map(|d| d.fix.clone())
-        .collect();
+    let mut fixes: Vec<_> =
+        report.fixable_warnings().into_iter().filter_map(|d| d.fix.clone()).collect();
     fixes.sort_by_key(|f| std::cmp::Reverse(f.span.start));
     let mut out = src.to_string();
     let mut applied = 0;

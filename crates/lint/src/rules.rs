@@ -19,9 +19,7 @@ pub fn lint(src: &str) -> LintReport {
     let file = match parse(src) {
         Ok(f) => f,
         Err(e) => {
-            report
-                .diagnostics
-                .push(Diagnostic::error(LintCode::Syntax, e.span, e.message.clone()));
+            report.diagnostics.push(Diagnostic::error(LintCode::Syntax, e.span, e.message.clone()));
             return report;
         }
     };
@@ -174,12 +172,8 @@ fn check_undeclared(module: &Module, symbols: &Symbols, report: &mut LintReport)
             uvllm_verilog::visit::walk_lvalue(self, lv);
         }
     }
-    let mut u = U {
-        symbols,
-        loop_vars: HashSet::new(),
-        found: Vec::new(),
-        current_span: module.span,
-    };
+    let mut u =
+        U { symbols, loop_vars: HashSet::new(), found: Vec::new(), current_span: module.span };
     for item in &module.items {
         // Instance connections reference parent-scope signals; port
         // names themselves are checked separately.
@@ -257,12 +251,7 @@ fn check_proc_wire(module: &Module, symbols: &Symbols, report: &mut LintReport) 
 // Instances
 // ----------------------------------------------------------------------
 
-fn check_instances(
-    file: &SourceFile,
-    module: &Module,
-    symbols: &Symbols,
-    report: &mut LintReport,
-) {
+fn check_instances(file: &SourceFile, module: &Module, symbols: &Symbols, report: &mut LintReport) {
     for item in &module.items {
         let Item::Instance(inst) = item else { continue };
         let Some(child) = file.module(&inst.module) else {
@@ -304,10 +293,9 @@ fn check_instances(
                     None => continue,
                 },
             };
-            let (Some(pw), Some(cw)) = (
-                range_width(&port.range),
-                conn.expr.as_ref().and_then(|e| expr_width(e, symbols)),
-            ) else {
+            let (Some(pw), Some(cw)) =
+                (range_width(&port.range), conn.expr.as_ref().and_then(|e| expr_width(e, symbols)))
+            else {
                 continue;
             };
             if pw != cw {
@@ -514,10 +502,7 @@ fn check_missing_sens(src: &str, module: &Module, report: &mut LintReport) {
         let mut diag = Diagnostic::warning(
             LintCode::MissingSens,
             a.span,
-            format!(
-                "sensitivity list misses signal(s) read in the block: {}",
-                missing.join(", ")
-            ),
+            format!("sensitivity list misses signal(s) read in the block: {}", missing.join(", ")),
         );
         if let Some(span) = fix_span {
             diag = diag.with_fix(span, "(*)");

@@ -252,13 +252,9 @@ mod tests {
     #[test]
     fn probabilities_are_valid() {
         for kind in ErrorKind::ALL {
-            for mode in [
-                InfoMode::SpecOnly,
-                InfoMode::Lint,
-                InfoMode::RawLog,
-                InfoMode::Ms,
-                InfoMode::Sl,
-            ] {
+            for mode in
+                [InfoMode::SpecOnly, InfoMode::Lint, InfoMode::RawLog, InfoMode::Ms, InfoMode::Sl]
+            {
                 let p = ModelProfile::Gpt4Turbo.success_prob(kind, mode);
                 assert!((0.0..=1.0).contains(&p), "{kind} {mode:?}: {p}");
             }

@@ -59,10 +59,8 @@ impl HeuristicLlm {
         if message.contains("invalid base specifier") {
             let text = lines.get(err_line - 1)?;
             let at = text.find("'q")?;
-            let digits: String = text[at + 2..]
-                .chars()
-                .take_while(|c| c.is_ascii_alphanumeric())
-                .collect();
+            let digits: String =
+                text[at + 2..].chars().take_while(|c| c.is_ascii_alphanumeric()).collect();
             let base = if digits.chars().any(|c| matches!(c, 'a'..='f' | 'A'..='F')) {
                 'h'
             } else if digits.chars().all(|c| matches!(c, '0' | '1' | 'x' | 'z')) {
@@ -84,16 +82,13 @@ impl HeuristicLlm {
             for idx in [err_line.saturating_sub(1), err_line.saturating_sub(2)] {
                 let Some(text) = lines.get(idx) else { continue };
                 for word in text.split(|c: char| !c.is_ascii_alphanumeric() && c != '_') {
-                    if word.len() < 3 || Keyword::from_str(word).is_some() {
+                    if word.len() < 3 || Keyword::lookup(word).is_some() {
                         continue;
                     }
                     if let Some(kw) = nearest_keyword(word) {
                         let patched = text.replacen(word, kw, 1);
                         if patched != *text {
-                            return Some(RepairPair {
-                                original: text.to_string(),
-                                patched,
-                            });
+                            return Some(RepairPair { original: text.to_string(), patched });
                         }
                     }
                 }

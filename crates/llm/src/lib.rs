@@ -46,9 +46,7 @@ pub mod scripted;
 
 pub use calibration::{FailureMode, InfoMode, ModelProfile};
 pub use heuristic::HeuristicLlm;
-pub use model::{
-    count_tokens, Completion, LanguageModel, LatencyModel, LlmError, Pricing, Usage,
-};
+pub use model::{count_tokens, Completion, LanguageModel, LatencyModel, LlmError, Pricing, Usage};
 pub use oracle::{module_name_of, OracleLlm};
 pub use prompt::{AgentRole, ErrorInfo, MismatchInfo, OutputMode, RepairPair, RepairPrompt};
 pub use response::{CompleteResponse, RepairResponse};

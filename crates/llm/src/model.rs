@@ -133,6 +133,9 @@ impl fmt::Display for LlmError {
 impl std::error::Error for LlmError {}
 
 /// A chat-style language model consumed by the repair agents.
+///
+/// The `Send` supertrait is what lets the campaign engine move a
+/// per-job model into a worker thread.
 pub trait LanguageModel: Send {
     /// Human-readable backend name (shows up in experiment reports).
     fn name(&self) -> &str;
@@ -146,6 +149,37 @@ pub trait LanguageModel: Send {
 
     /// Cumulative usage so far.
     fn usage(&self) -> Usage;
+}
+
+// Forwarding impls so pipelines generic over `M: LanguageModel` accept
+// owned backends, boxed trait objects and mutable borrows alike.
+
+impl<M: LanguageModel + ?Sized> LanguageModel for &mut M {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn complete(&mut self, prompt: &RepairPrompt) -> Result<Completion, LlmError> {
+        (**self).complete(prompt)
+    }
+
+    fn usage(&self) -> Usage {
+        (**self).usage()
+    }
+}
+
+impl<M: LanguageModel + ?Sized> LanguageModel for Box<M> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn complete(&mut self, prompt: &RepairPrompt) -> Result<Completion, LlmError> {
+        (**self).complete(prompt)
+    }
+
+    fn usage(&self) -> Usage {
+        (**self).usage()
+    }
 }
 
 #[cfg(test)]

@@ -117,8 +117,8 @@ impl OracleLlm {
                 // it: emit the hunk that turns the *current* code into
                 // the correct one (falling back to the original windows
                 // when the two are somehow identical).
-                let pair = diff_hunk_pair(&prompt.code, &self.correct_src)
-                    .unwrap_or_else(|| RepairPair {
+                let pair =
+                    diff_hunk_pair(&prompt.code, &self.correct_src).unwrap_or_else(|| RepairPair {
                         original: gt.buggy_window.clone(),
                         patched: gt.fixed_window.clone(),
                     });
@@ -361,11 +361,7 @@ mod tests {
             let c = o.complete(&prompt).unwrap();
             if let Ok(r) = RepairResponse::parse(&c.content) {
                 if r.correct.len() == 1 && mutated.contains(&r.correct[0].original) {
-                    let fixed = mutated.replacen(
-                        &r.correct[0].original,
-                        &r.correct[0].patched,
-                        1,
-                    );
+                    let fixed = mutated.replacen(&r.correct[0].original, &r.correct[0].patched, 1);
                     if fixed == SRC {
                         successes += 1;
                     }

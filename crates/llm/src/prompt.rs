@@ -75,10 +75,7 @@ pub enum ErrorInfo {
     /// Mismatch signals with IO values (MS mode).
     MismatchSignals(Vec<MismatchInfo>),
     /// Mismatch signals plus suspicious source lines (SL mode).
-    SuspiciousLines {
-        signals: Vec<MismatchInfo>,
-        lines: Vec<(u32, String)>,
-    },
+    SuspiciousLines { signals: Vec<MismatchInfo>, lines: Vec<(u32, String)> },
 }
 
 impl ErrorInfo {
@@ -96,7 +93,7 @@ impl ErrorInfo {
 
 /// An original → patched snippet pair (the JSON `correct` entries of
 /// Fig. 4).
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RepairPair {
     pub original: String,
     pub patched: String,
@@ -209,9 +206,7 @@ impl RepairPrompt {
             }
         }
         if !self.damage_repairs.is_empty() {
-            out.push_str(
-                "\n## Damage repairs (previously rejected, do NOT repeat)\n",
-            );
+            out.push_str("\n## Damage repairs (previously rejected, do NOT repeat)\n");
             for r in &self.damage_repairs {
                 out.push_str(&format!("- `{}` -> `{}`\n", r.original, r.patched));
             }
@@ -276,9 +271,6 @@ mod tests {
     fn mode_names() {
         assert_eq!(ErrorInfo::None.mode_name(), "none");
         assert_eq!(ErrorInfo::LintLog(String::new()).mode_name(), "lint");
-        assert_eq!(
-            ErrorInfo::SuspiciousLines { signals: vec![], lines: vec![] }.mode_name(),
-            "sl"
-        );
+        assert_eq!(ErrorInfo::SuspiciousLines { signals: vec![], lines: vec![] }.mode_name(), "sl");
     }
 }

@@ -1,12 +1,16 @@
 //! Structured-output parsing: the JSON schema of Fig. 4.
+//!
+//! Serialisation is hand-rolled over [`uvllm_json`] (the workspace
+//! builds without serde); the wire format is unchanged — pretty-printed
+//! objects with the `"module name"` / `"analysis"` / `"correct"` (or
+//! `"code"`) members the prompts specify.
 
 use crate::prompt::RepairPair;
-use serde::{Deserialize, Serialize};
+use uvllm_json::Json;
 
 /// The pair-mode response: `{"module name", "analysis", "correct"}`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RepairResponse {
-    #[serde(rename = "module name")]
     pub module_name: String,
     pub analysis: String,
     /// `(original, patched)` fragments applied by exact-match
@@ -17,7 +21,25 @@ pub struct RepairResponse {
 impl RepairResponse {
     /// Serialises to the canonical JSON the agents emit.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("response serialisation cannot fail")
+        Json::Obj(vec![
+            ("module name".into(), Json::Str(self.module_name.clone())),
+            ("analysis".into(), Json::Str(self.analysis.clone())),
+            (
+                "correct".into(),
+                Json::Arr(
+                    self.correct
+                        .iter()
+                        .map(|p| {
+                            Json::Obj(vec![
+                                ("original".into(), Json::Str(p.original.clone())),
+                                ("patched".into(), Json::Str(p.patched.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .render_pretty()
     }
 
     /// Parses a completion, tolerating surrounding prose or markdown
@@ -25,17 +47,29 @@ impl RepairResponse {
     ///
     /// # Errors
     ///
-    /// Returns the serde error message when no valid JSON object is
-    /// found.
+    /// Returns an error message when no valid JSON object with the
+    /// required members is found.
     pub fn parse(content: &str) -> Result<Self, String> {
-        parse_json_relaxed(content)
+        parse_json_relaxed(content, |v| {
+            let correct = v
+                .get("correct")
+                .and_then(Json::as_array)
+                .ok_or("missing 'correct' array")?
+                .iter()
+                .map(pair_from_json)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(RepairResponse {
+                module_name: required_str(v, "module name")?,
+                analysis: required_str(v, "analysis")?,
+                correct,
+            })
+        })
     }
 }
 
 /// The complete-code response of the Table III ablation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompleteResponse {
-    #[serde(rename = "module name")]
     pub module_name: String,
     pub analysis: String,
     /// The full corrected file.
@@ -45,28 +79,69 @@ pub struct CompleteResponse {
 impl CompleteResponse {
     /// Serialises to canonical JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("response serialisation cannot fail")
+        Json::Obj(vec![
+            ("module name".into(), Json::Str(self.module_name.clone())),
+            ("analysis".into(), Json::Str(self.analysis.clone())),
+            ("code".into(), Json::Str(self.code.clone())),
+        ])
+        .render_pretty()
     }
 
     /// Parses a completion (see [`RepairResponse::parse`]).
     ///
     /// # Errors
     ///
-    /// Returns the serde error message when no valid JSON object is
-    /// found.
+    /// Returns an error message when no valid JSON object with the
+    /// required members is found.
     pub fn parse(content: &str) -> Result<Self, String> {
-        parse_json_relaxed(content)
+        parse_json_relaxed(content, |v| {
+            Ok(CompleteResponse {
+                module_name: required_str(v, "module name")?,
+                analysis: required_str(v, "analysis")?,
+                code: required_str(v, "code")?,
+            })
+        })
     }
 }
 
-/// Extracts the first top-level JSON object from `content` and
-/// deserialises it.
-fn parse_json_relaxed<T: for<'de> Deserialize<'de>>(content: &str) -> Result<T, String> {
-    // Fast path: the whole content is JSON.
-    if let Ok(v) = serde_json::from_str::<T>(content) {
-        return Ok(v);
+fn required_str(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string member '{key}'"))
+}
+
+/// A repair pair deserialises from both the object form
+/// `{"original": ..., "patched": ...}` and the two-element tuple form
+/// `["original", "patched"]` that models sometimes emit.
+fn pair_from_json(v: &Json) -> Result<RepairPair, String> {
+    if let Json::Arr(items) = v {
+        if let [Json::Str(original), Json::Str(patched)] = items.as_slice() {
+            return Ok(RepairPair { original: original.clone(), patched: patched.clone() });
+        }
+        return Err("tuple-form pair must be two strings".to_string());
     }
-    // Otherwise find balanced braces.
+    Ok(RepairPair { original: required_str(v, "original")?, patched: required_str(v, "patched")? })
+}
+
+/// Extracts the first top-level JSON object from `content` that
+/// `convert` accepts.
+fn parse_json_relaxed<T>(
+    content: &str,
+    convert: impl Fn(&Json) -> Result<T, String>,
+) -> Result<T, String> {
+    // Fast path: the whole content is JSON of the right shape. A
+    // failed conversion is not final — the object may be nested inside
+    // other JSON (e.g. wrapped in an array), which the brace scan below
+    // still finds.
+    let mut last_err = None;
+    if let Ok(v) = Json::parse(content.trim()) {
+        match convert(&v) {
+            Ok(out) => return Ok(out),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    // Otherwise find balanced brace spans and try each.
     let bytes = content.as_bytes();
     let mut start = None;
     let mut depth = 0i32;
@@ -89,18 +164,21 @@ fn parse_json_relaxed<T: for<'de> Deserialize<'de>>(content: &str) -> Result<T, 
                 depth -= 1;
                 if depth == 0 {
                     if let Some(s) = start {
-                        if let Ok(v) = serde_json::from_str::<T>(&content[s..=i]) {
-                            return Ok(v);
+                        match Json::parse(&content[s..=i]).and_then(|v| convert(&v)) {
+                            Ok(v) => return Ok(v),
+                            Err(e) => last_err = Some(e),
                         }
                         start = None;
                     }
+                } else if depth < 0 {
+                    depth = 0;
                 }
             }
             _ => {}
         }
         escape = false;
     }
-    Err("no valid JSON object found in response".to_string())
+    Err(last_err.unwrap_or_else(|| "no valid JSON object found in response".to_string()))
 }
 
 #[cfg(test)]
@@ -122,8 +200,8 @@ mod tests {
 
     #[test]
     fn parses_with_markdown_fences() {
-        // Serde deserialises `RepairPair` from both the tuple form the
-        // prompt suggests and the object form.
+        // Pairs deserialise from both the tuple form the prompt suggests
+        // and the object form.
         let content = "Here is the fix:\n```json\n{\"module name\": \"m\", \
                        \"analysis\": \"x\", \"correct\": [[\"a\", \"b\"]]}\n```\nDone.";
         let content2 = "prose {\"module name\": \"m\", \"analysis\": \"x\", \
@@ -150,5 +228,26 @@ mod tests {
     fn garbage_is_rejected() {
         assert!(RepairResponse::parse("not json at all").is_err());
         assert!(RepairResponse::parse("{\"wrong\": 1}").is_err());
+    }
+
+    #[test]
+    fn object_nested_in_other_json_is_found() {
+        // The whole completion parses as an array; the brace scan must
+        // still recover the embedded response object.
+        let content = "[{\"module name\": \"m\", \"analysis\": \"x\", \
+                       \"correct\": [[\"a\", \"b\"]]}]";
+        let r = RepairResponse::parse(content).unwrap();
+        assert_eq!(r.correct[0].original, "a");
+    }
+
+    #[test]
+    fn multiline_code_survives_the_round_trip() {
+        let r = CompleteResponse {
+            module_name: "m".into(),
+            analysis: "with \"quotes\" and\ttabs".into(),
+            code: "module m(input a, output y);\n  assign y = ~a;\nendmodule\n".into(),
+        };
+        let back = CompleteResponse::parse(&r.to_json()).unwrap();
+        assert_eq!(back, r);
     }
 }

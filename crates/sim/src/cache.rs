@@ -1,0 +1,212 @@
+//! Process-wide, content-addressed elaboration cache.
+//!
+//! Parsing + elaboration is pure — the resulting [`Design`] depends only
+//! on the source text and the top-module name — so identical sources can
+//! share one elaboration. Large verification campaigns hit the same
+//! texts constantly: every job re-checks its candidate under both
+//! metrics (HR and FR), all methods of one benchmark instance share the
+//! mutated source, and successful repairs converge on the golden text
+//! itself. The campaign engine pre-warms this cache with each design's
+//! golden source so per-design elaboration happens exactly once per
+//! worker set.
+//!
+//! Concurrency: the map lock is held only for bookkeeping; elaboration
+//! itself runs outside it. A thread that begins elaborating a key
+//! leaves an in-flight marker, and other threads wanting the same key
+//! block on its condvar instead of elaborating again — "exactly once"
+//! without serialising unrelated work across the worker pool.
+//!
+//! Entries are `Arc`-shared and the map is capacity-capped (wholesale
+//! eviction of ready entries at [`ELAB_CACHE_CAPACITY`]) so unbounded
+//! candidate streams cannot exhaust memory. Results (including parse/
+//! elaboration failures) are cached; since elaboration is deterministic
+//! the cache is invisible to callers except in speed.
+
+use crate::elab::{elaborate, Design};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Ready-entry cap; reaching it clears the ready entries (simple, and
+/// far above the working set of a campaign round).
+pub const ELAB_CACHE_CAPACITY: usize = 4096;
+
+type Key = (String, String);
+type CachedResult = Result<Arc<Design>, String>;
+
+/// A slot another thread is currently elaborating; waiters park on the
+/// condvar until the result lands.
+struct InFlight {
+    slot: Mutex<Option<CachedResult>>,
+    ready: Condvar,
+}
+
+enum Entry {
+    Ready(CachedResult),
+    Pending(Arc<InFlight>),
+}
+
+struct Inner {
+    map: HashMap<Key, Entry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Counters describing cache effectiveness (see [`stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ElabCacheStats {
+    /// Lookups served from the cache (including waits on an elaboration
+    /// already in flight on another thread).
+    pub hits: u64,
+    /// Lookups that elaborated fresh (equals the number of distinct
+    /// (source, top) pairs seen, absent evictions).
+    pub misses: u64,
+    /// Wholesale evictions triggered by the capacity cap.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+fn inner() -> &'static Mutex<Inner> {
+    static CACHE: OnceLock<Mutex<Inner>> = OnceLock::new();
+    CACHE
+        .get_or_init(|| Mutex::new(Inner { map: HashMap::new(), hits: 0, misses: 0, evictions: 0 }))
+}
+
+/// Parses and elaborates `src` with `top` as root, memoised process-wide.
+///
+/// # Errors
+///
+/// Returns the parse or elaboration error message (also memoised).
+pub fn elaborate_source_cached(src: &str, top: &str) -> CachedResult {
+    let key = (src.to_string(), top.to_string());
+    let flight: Arc<InFlight>;
+    {
+        let mut cache = inner().lock().expect("elab cache poisoned");
+        match cache.map.get(&key) {
+            Some(Entry::Ready(result)) => {
+                let result = result.clone();
+                cache.hits += 1;
+                return result;
+            }
+            Some(Entry::Pending(in_flight)) => {
+                // Another thread is elaborating this exact key: wait for
+                // its result instead of duplicating the work.
+                let in_flight = Arc::clone(in_flight);
+                cache.hits += 1;
+                drop(cache);
+                let mut slot = in_flight.slot.lock().expect("in-flight slot poisoned");
+                while slot.is_none() {
+                    slot = in_flight.ready.wait(slot).expect("in-flight slot poisoned");
+                }
+                return slot.clone().expect("checked above");
+            }
+            None => {
+                flight = Arc::new(InFlight { slot: Mutex::new(None), ready: Condvar::new() });
+                cache.misses += 1;
+                cache.map.insert(key.clone(), Entry::Pending(Arc::clone(&flight)));
+            }
+        }
+    }
+
+    // Elaborate outside the map lock: unrelated keys proceed in
+    // parallel across the worker pool.
+    let result: CachedResult = uvllm_verilog::parse(src)
+        .map_err(|e| e.to_string())
+        .and_then(|file| elaborate(&file, top).map(Arc::new).map_err(|e| e.to_string()));
+
+    {
+        let mut cache = inner().lock().expect("elab cache poisoned");
+        if cache.map.len() >= ELAB_CACHE_CAPACITY {
+            // Evict ready entries only; in-flight markers must survive
+            // or their waiters would hang.
+            cache.map.retain(|_, entry| matches!(entry, Entry::Pending(_)));
+            cache.evictions += 1;
+        }
+        cache.map.insert(key, Entry::Ready(result.clone()));
+    }
+    let mut slot = flight.slot.lock().expect("in-flight slot poisoned");
+    *slot = Some(result.clone());
+    flight.ready.notify_all();
+    drop(slot);
+    result
+}
+
+/// Current cache counters.
+pub fn stats() -> ElabCacheStats {
+    let cache = inner().lock().expect("elab cache poisoned");
+    ElabCacheStats {
+        hits: cache.hits,
+        misses: cache.misses,
+        evictions: cache.evictions,
+        entries: cache.map.len(),
+    }
+}
+
+/// Empties the cache and zeroes the counters (test isolation).
+///
+/// Concurrent in-flight elaborations are left to finish on their own
+/// condvars; only the map and counters are reset.
+pub fn reset() {
+    let mut cache = inner().lock().expect("elab cache poisoned");
+    // Keep pending markers so their waiters cannot hang.
+    cache.map.retain(|_, entry| matches!(entry, Entry::Pending(_)));
+    cache.hits = 0;
+    cache.misses = 0;
+    cache.evictions = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ADD: &str = "module add(input [7:0] a, input [7:0] b, output [8:0] y);\n\
+                       assign y = a + b;\nendmodule\n";
+
+    /// One sequential test: the cache (and its counters) are
+    /// process-global, so parallel test threads must not interleave
+    /// absolute-counter assertions.
+    #[test]
+    fn cache_memoises_hits_failures_and_tops() {
+        reset();
+        let before = stats();
+        let a = elaborate_source_cached(ADD, "add").unwrap();
+        let b = elaborate_source_cached(ADD, "add").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "must share one elaboration");
+        let after = stats();
+        assert_eq!(after.misses - before.misses, 1);
+        assert!(after.hits > before.hits);
+
+        // Failures are memoised too.
+        let bad = "module broken(input a output y);\nendmodule\n";
+        let e1 = elaborate_source_cached(bad, "broken").unwrap_err();
+        let e2 = elaborate_source_cached(bad, "broken").unwrap_err();
+        assert_eq!(e1, e2);
+        assert_eq!(stats().misses - after.misses, 1);
+
+        // Distinct top modules over one source are distinct entries.
+        let two = "module m1(input a, output y);\nassign y = a;\nendmodule\n\
+                   module m2(input a, output y);\nassign y = ~a;\nendmodule\n";
+        let d1 = elaborate_source_cached(two, "m1").unwrap();
+        let d2 = elaborate_source_cached(two, "m2").unwrap();
+        assert_eq!(d1.top, "m1");
+        assert_eq!(d2.top, "m2");
+        assert_eq!(stats().entries, 4);
+
+        // Hammer one key from many threads: still exactly one miss.
+        reset();
+        let base = stats();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        elaborate_source_cached(ADD, "add").unwrap();
+                    }
+                });
+            }
+        });
+        let hammered = stats();
+        assert_eq!(hammered.misses - base.misses, 1, "one elaboration across 8 threads");
+        assert_eq!(hammered.hits - base.hits, 399);
+    }
+}

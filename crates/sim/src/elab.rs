@@ -109,7 +109,10 @@ impl LTarget {
     /// Signals written by this target.
     pub fn signals(&self) -> Vec<SignalId> {
         match self {
-            LTarget::Whole(s) | LTarget::Bit(s, _) | LTarget::Part(s, _, _) | LTarget::Word(s, _) => {
+            LTarget::Whole(s)
+            | LTarget::Bit(s, _)
+            | LTarget::Part(s, _, _)
+            | LTarget::Word(s, _) => {
                 vec![*s]
             }
             LTarget::Concat(parts) => parts.iter().flat_map(|p| p.signals()).collect(),
@@ -122,8 +125,18 @@ impl LTarget {
 #[derive(Debug, Clone, PartialEq)]
 pub enum LStmt {
     Block(Vec<LStmt>),
-    Assign { lhs: LTarget, rhs: LExpr, blocking: bool, span: Span },
-    If { cond: LExpr, then_branch: Box<LStmt>, else_branch: Option<Box<LStmt>>, span: Span },
+    Assign {
+        lhs: LTarget,
+        rhs: LExpr,
+        blocking: bool,
+        span: Span,
+    },
+    If {
+        cond: LExpr,
+        then_branch: Box<LStmt>,
+        else_branch: Option<Box<LStmt>>,
+        span: Span,
+    },
     Case {
         kind: CaseKind,
         expr: LExpr,
@@ -345,7 +358,8 @@ impl<'a> Elab<'a> {
                             }
                             None => (1, 0),
                         };
-                        let kind = if d.kind == NetKind::Reg { SignalKind::Var } else { SignalKind::Net };
+                        let kind =
+                            if d.kind == NetKind::Reg { SignalKind::Var } else { SignalKind::Net };
                         self.declare(
                             &scope, &decl.name, width, kind, words, lsb, array_lo, false, false,
                             decl.span,
@@ -356,7 +370,16 @@ impl<'a> Elab<'a> {
                     for name in &d.names {
                         if scope.resolve(&self.design, name).is_none() {
                             self.declare(
-                                &scope, name, 32, SignalKind::Var, 1, 0, 0, false, false, d.span,
+                                &scope,
+                                name,
+                                32,
+                                SignalKind::Var,
+                                1,
+                                0,
+                                0,
+                                false,
+                                false,
+                                d.span,
                             )?;
                         }
                     }
@@ -476,10 +499,7 @@ impl<'a> Elab<'a> {
             let info = self.design.signal(sig);
             if info.kind != SignalKind::Var {
                 return Err(ElabError::new(
-                    format!(
-                        "procedural assignment to wire '{}' (declare it as reg)",
-                        info.name
-                    ),
+                    format!("procedural assignment to wire '{}' (declare it as reg)", info.name),
                     span,
                 ));
             }
@@ -488,9 +508,11 @@ impl<'a> Elab<'a> {
     }
 
     fn instance(&mut self, inst: &Instance, scope: &Scope) -> Result<(), ElabError> {
-        let child = self.file.module(&inst.module).ok_or_else(|| {
-            ElabError::new(format!("unknown module '{}'", inst.module), inst.span)
-        })?.clone();
+        let child = self
+            .file
+            .module(&inst.module)
+            .ok_or_else(|| ElabError::new(format!("unknown module '{}'", inst.module), inst.span))?
+            .clone();
         // Resolve parameter overrides.
         let mut overrides = HashMap::new();
         let child_params: Vec<String> = child
@@ -589,18 +611,18 @@ impl<'a> Elab<'a> {
     ) -> Result<LTarget, ElabError> {
         match expr {
             Expr::Ident(name) => {
-                let id = scope.resolve(&self.design, name).ok_or_else(|| {
-                    ElabError::new(format!("undeclared signal '{name}'"), span)
-                })?;
+                let id = scope
+                    .resolve(&self.design, name)
+                    .ok_or_else(|| ElabError::new(format!("undeclared signal '{name}'"), span))?;
                 Ok(LTarget::Whole(id))
             }
             Expr::Index(base, index) => {
                 let Expr::Ident(name) = base.as_ref() else {
                     return Err(ElabError::new("unsupported output connection", span));
                 };
-                let id = scope.resolve(&self.design, name).ok_or_else(|| {
-                    ElabError::new(format!("undeclared signal '{name}'"), span)
-                })?;
+                let id = scope
+                    .resolve(&self.design, name)
+                    .ok_or_else(|| ElabError::new(format!("undeclared signal '{name}'"), span))?;
                 let info = self.design.signal(id).clone();
                 let idx = self.lower_expr(index, scope, span)?;
                 let idx = offset_index(idx, info.lsb);
@@ -610,9 +632,9 @@ impl<'a> Elab<'a> {
                 let Expr::Ident(name) = base.as_ref() else {
                     return Err(ElabError::new("unsupported output connection", span));
                 };
-                let id = scope.resolve(&self.design, name).ok_or_else(|| {
-                    ElabError::new(format!("undeclared signal '{name}'"), span)
-                })?;
+                let id = scope
+                    .resolve(&self.design, name)
+                    .ok_or_else(|| ElabError::new(format!("undeclared signal '{name}'"), span))?;
                 let info = self.design.signal(id).clone();
                 let m = const_eval(msb, &scope.consts, span)?;
                 let l = const_eval(lsb, &scope.consts, span)?;
@@ -626,10 +648,9 @@ impl<'a> Elab<'a> {
                 }
                 Ok(LTarget::Concat(parts))
             }
-            _ => Err(ElabError::new(
-                "output port connections must be assignable expressions",
-                span,
-            )),
+            _ => {
+                Err(ElabError::new("output port connections must be assignable expressions", span))
+            }
         }
     }
 
@@ -764,8 +785,8 @@ impl<'a> Elab<'a> {
         scope: &Scope,
         span: Span,
     ) -> Result<LTarget, ElabError> {
-        let mut consts = scope.consts.clone();
-        self.lower_lvalue_in(lv, scope, &mut consts, span)
+        let consts = scope.consts.clone();
+        self.lower_lvalue_in(lv, scope, &consts, span)
     }
 
     fn lower_lvalue_in(
@@ -777,15 +798,15 @@ impl<'a> Elab<'a> {
     ) -> Result<LTarget, ElabError> {
         match lv {
             LValue::Ident(name, sp) => {
-                let id = scope.resolve(&self.design, name).ok_or_else(|| {
-                    ElabError::new(format!("undeclared signal '{name}'"), *sp)
-                })?;
+                let id = scope
+                    .resolve(&self.design, name)
+                    .ok_or_else(|| ElabError::new(format!("undeclared signal '{name}'"), *sp))?;
                 Ok(LTarget::Whole(id))
             }
             LValue::Index(name, index, sp) => {
-                let id = scope.resolve(&self.design, name).ok_or_else(|| {
-                    ElabError::new(format!("undeclared signal '{name}'"), *sp)
-                })?;
+                let id = scope
+                    .resolve(&self.design, name)
+                    .ok_or_else(|| ElabError::new(format!("undeclared signal '{name}'"), *sp))?;
                 let info = self.design.signal(id).clone();
                 let idx = self.lower_expr_in(index, scope, consts, span)?;
                 if info.words > 1 {
@@ -795,9 +816,9 @@ impl<'a> Elab<'a> {
                 }
             }
             LValue::Part(name, msb, lsb, sp) => {
-                let id = scope.resolve(&self.design, name).ok_or_else(|| {
-                    ElabError::new(format!("undeclared signal '{name}'"), *sp)
-                })?;
+                let id = scope
+                    .resolve(&self.design, name)
+                    .ok_or_else(|| ElabError::new(format!("undeclared signal '{name}'"), *sp))?;
                 let info = self.design.signal(id).clone();
                 let m = const_eval_with(msb, consts, *sp)?;
                 let l = const_eval_with(lsb, consts, *sp)?;
@@ -829,10 +850,7 @@ impl<'a> Elab<'a> {
         Ok(match e {
             Expr::Number(n) => {
                 let width = n.width.unwrap_or(32);
-                LExpr {
-                    kind: LExprKind::Const(Logic::from_planes(width, n.value, n.xz)),
-                    width,
-                }
+                LExpr { kind: LExprKind::Const(Logic::from_planes(width, n.value, n.xz)), width }
             }
             Expr::Ident(name) => {
                 if let Some(v) = consts.get(name) {
@@ -841,15 +859,12 @@ impl<'a> Elab<'a> {
                         width: 32,
                     });
                 }
-                let id = scope.resolve(&self.design, name).ok_or_else(|| {
-                    ElabError::new(format!("undeclared signal '{name}'"), span)
-                })?;
+                let id = scope
+                    .resolve(&self.design, name)
+                    .ok_or_else(|| ElabError::new(format!("undeclared signal '{name}'"), span))?;
                 let info = self.design.signal(id);
                 if info.words > 1 {
-                    return Err(ElabError::new(
-                        format!("memory '{name}' must be indexed"),
-                        span,
-                    ));
+                    return Err(ElabError::new(format!("memory '{name}' must be indexed"), span));
                 }
                 LExpr { kind: LExprKind::Sig(id), width: info.width }
             }
@@ -897,9 +912,9 @@ impl<'a> Elab<'a> {
                 let Expr::Ident(name) = base.as_ref() else {
                     return Err(ElabError::new("only named signals can be indexed", span));
                 };
-                let id = scope.resolve(&self.design, name).ok_or_else(|| {
-                    ElabError::new(format!("undeclared signal '{name}'"), span)
-                })?;
+                let id = scope
+                    .resolve(&self.design, name)
+                    .ok_or_else(|| ElabError::new(format!("undeclared signal '{name}'"), span))?;
                 let info = self.design.signal(id).clone();
                 let idx = self.lower_expr_in(index, scope, consts, span)?;
                 if info.words > 1 {
@@ -918,9 +933,9 @@ impl<'a> Elab<'a> {
                 let Expr::Ident(name) = base.as_ref() else {
                     return Err(ElabError::new("only named signals can be part-selected", span));
                 };
-                let id = scope.resolve(&self.design, name).ok_or_else(|| {
-                    ElabError::new(format!("undeclared signal '{name}'"), span)
-                })?;
+                let id = scope
+                    .resolve(&self.design, name)
+                    .ok_or_else(|| ElabError::new(format!("undeclared signal '{name}'"), span))?;
                 let info = self.design.signal(id).clone();
                 let m = const_eval_with(msb, consts, span)?;
                 let l = const_eval_with(lsb, consts, span)?;
@@ -939,7 +954,7 @@ impl<'a> Elab<'a> {
             }
             Expr::Repeat(count, items) => {
                 let n = const_eval_with(count, consts, span)?;
-                if n < 0 || n > 128 {
+                if !(0..=128).contains(&n) {
                     return Err(ElabError::new(
                         format!("replication count {n} out of range"),
                         span,
@@ -1003,7 +1018,7 @@ fn range_width(range: &Option<Range>, consts: &HashMap<String, i64>) -> Result<u
             let m = const_eval(&r.msb, consts, r.span)?;
             let l = const_eval(&r.lsb, consts, r.span)?;
             let w = (m - l).abs() + 1;
-            if w < 1 || w > 128 {
+            if !(1..=128).contains(&w) {
                 Err(ElabError::new(format!("range width {w} out of range 1..=128"), r.span))
             } else {
                 Ok(w as u32)
@@ -1024,19 +1039,11 @@ fn range_lsb(range: &Option<Range>, consts: &HashMap<String, i64>) -> Result<u32
 }
 
 /// Evaluates a constant expression with the given name environment.
-pub fn const_eval(
-    e: &Expr,
-    consts: &HashMap<String, i64>,
-    span: Span,
-) -> Result<i64, ElabError> {
+pub fn const_eval(e: &Expr, consts: &HashMap<String, i64>, span: Span) -> Result<i64, ElabError> {
     const_eval_with(e, consts, span)
 }
 
-fn const_eval_with(
-    e: &Expr,
-    consts: &HashMap<String, i64>,
-    span: Span,
-) -> Result<i64, ElabError> {
+fn const_eval_with(e: &Expr, consts: &HashMap<String, i64>, span: Span) -> Result<i64, ElabError> {
     Ok(match e {
         Expr::Number(n) => {
             if n.xz != 0 {
@@ -1044,9 +1051,9 @@ fn const_eval_with(
             }
             n.value as i64
         }
-        Expr::Ident(name) => *consts.get(name).ok_or_else(|| {
-            ElabError::new(format!("'{name}' is not a constant"), span)
-        })?,
+        Expr::Ident(name) => *consts
+            .get(name)
+            .ok_or_else(|| ElabError::new(format!("'{name}' is not a constant"), span))?,
         Expr::Unary(op, inner) => {
             let v = const_eval_with(inner, consts, span)?;
             match op {
@@ -1327,10 +1334,8 @@ mod tests {
 
     #[test]
     fn undeclared_signal_fails() {
-        let file = parse(
-            "module m(input a, output y);\nassign y = a & missing;\nendmodule\n",
-        )
-        .unwrap();
+        let file =
+            parse("module m(input a, output y);\nassign y = a & missing;\nendmodule\n").unwrap();
         let err = elaborate(&file, "m").unwrap_err();
         assert!(err.message.contains("missing"));
     }
@@ -1381,9 +1386,7 @@ mod tests {
 
     #[test]
     fn nonzero_lsb_range() {
-        let d = elab(
-            "module m(input [8:1] a, output [8:1] y);\nassign y = a;\nendmodule\n",
-        );
+        let d = elab("module m(input [8:1] a, output [8:1] y);\nassign y = a;\nendmodule\n");
         let a = d.signal(d.signal_id("a").unwrap());
         assert_eq!(a.width, 8);
         assert_eq!(a.lsb, 1);

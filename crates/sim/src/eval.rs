@@ -207,11 +207,7 @@ mod tests {
     fn ternary_unknown_condition_merges() {
         let r = Fixed(vec![Logic::xs(1), Logic::from_u128(4, 0b1010), Logic::from_u128(4, 0b1000)]);
         let t = LExpr {
-            kind: LExprKind::Ternary(
-                Box::new(sig(0, 1)),
-                Box::new(sig(1, 4)),
-                Box::new(sig(2, 4)),
-            ),
+            kind: LExprKind::Ternary(Box::new(sig(0, 1)), Box::new(sig(1, 4)), Box::new(sig(2, 4))),
             width: 4,
         };
         let v = eval(&r, &t, 4);
@@ -220,22 +216,16 @@ mod tests {
     }
 
     #[test]
-    fn concat_orders_msb_first(){
+    fn concat_orders_msb_first() {
         let r = Fixed(vec![Logic::from_u128(4, 0xA), Logic::from_u128(4, 0x5)]);
-        let c = LExpr {
-            kind: LExprKind::Concat(vec![sig(0, 4), sig(1, 4)]),
-            width: 8,
-        };
+        let c = LExpr { kind: LExprKind::Concat(vec![sig(0, 4), sig(1, 4)]), width: 8 };
         assert_eq!(eval(&r, &c, 8).to_u128(), Some(0xA5));
     }
 
     #[test]
     fn bitsel_out_of_range_is_x() {
         let r = Fixed(vec![Logic::from_u128(4, 0xF), Logic::from_u128(4, 9)]);
-        let b = LExpr {
-            kind: LExprKind::BitSel(SignalId(0), Box::new(sig(1, 4))),
-            width: 1,
-        };
+        let b = LExpr { kind: LExprKind::BitSel(SignalId(0), Box::new(sig(1, 4))), width: 1 };
         assert!(eval(&r, &b, 1).to_u128().is_none());
     }
 

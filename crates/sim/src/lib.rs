@@ -32,12 +32,14 @@
 //! # }
 //! ```
 
+pub mod cache;
 pub mod elab;
 pub mod eval;
 pub mod logic;
 pub mod sched;
 pub mod wave;
 
+pub use cache::{elaborate_source_cached, ElabCacheStats};
 pub use elab::{elaborate, Design, ElabError, SignalId, SignalInfo, SignalKind};
 pub use eval::{eval, ValueReader};
 pub use logic::{Logic, Tri};

@@ -44,7 +44,7 @@ impl Logic {
     ///
     /// Panics if `width` is 0 or greater than 128.
     pub fn zeros(width: u32) -> Self {
-        assert!(width >= 1 && width <= 128, "logic width {width} out of range 1..=128");
+        assert!((1..=128).contains(&width), "logic width {width} out of range 1..=128");
         Logic { width, val: 0, xz: 0 }
     }
 
@@ -194,11 +194,7 @@ impl Logic {
     /// Concatenates `hi` above `lo` (`{hi, lo}`).
     pub fn concat(hi: Logic, lo: Logic) -> Logic {
         let width = (hi.width + lo.width).min(128);
-        Logic::from_planes(
-            width,
-            (hi.val << lo.width) | lo.val,
-            (hi.xz << lo.width) | lo.xz,
-        )
+        Logic::from_planes(width, (hi.val << lo.width) | lo.val, (hi.xz << lo.width) | lo.xz)
     }
 
     // ------------------------------------------------------------------
@@ -236,10 +232,9 @@ impl Logic {
         if let Some(p) = Logic::poisoned(w, &[self, other]) {
             return p;
         }
-        if other.val == 0 {
-            Logic::xs(w)
-        } else {
-            Logic::from_u128(w, self.val / other.val)
+        match self.val.checked_div(other.val) {
+            Some(q) => Logic::from_u128(w, q),
+            None => Logic::xs(w),
         }
     }
 
@@ -357,8 +352,7 @@ impl Logic {
 
     /// Two's-complement negation.
     pub fn neg(&self, w: u32) -> Logic {
-        Logic::poisoned(w, &[self])
-            .unwrap_or_else(|| Logic::from_u128(w, self.val.wrapping_neg()))
+        Logic::poisoned(w, &[self]).unwrap_or_else(|| Logic::from_u128(w, self.val.wrapping_neg()))
     }
 
     // ------------------------------------------------------------------

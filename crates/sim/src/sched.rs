@@ -185,10 +185,8 @@ impl Simulator {
     ///
     /// Returns [`SimError::UnknownSignal`] for unknown names.
     pub fn peek_by_name(&self, name: &str) -> Result<Logic, SimError> {
-        let id = self
-            .design
-            .signal_id(name)
-            .ok_or_else(|| SimError::UnknownSignal(name.to_string()))?;
+        let id =
+            self.design.signal_id(name).ok_or_else(|| SimError::UnknownSignal(name.to_string()))?;
         Ok(self.peek(id))
     }
 
@@ -215,10 +213,8 @@ impl Simulator {
     ///
     /// Returns [`SimError::UnknownSignal`] or [`SimError::Unstable`].
     pub fn poke_by_name(&mut self, name: &str, value: Logic) -> Result<(), SimError> {
-        let id = self
-            .design
-            .signal_id(name)
-            .ok_or_else(|| SimError::UnknownSignal(name.to_string()))?;
+        let id =
+            self.design.signal_id(name).ok_or_else(|| SimError::UnknownSignal(name.to_string()))?;
         self.poke(id, value)
     }
 
@@ -492,10 +488,8 @@ mod tests {
 
     #[test]
     fn combinational_adder() {
-        let mut s = sim(
-            "module add(input [7:0] a, input [7:0] b, output [8:0] y);\n\
-             assign y = a + b;\nendmodule\n",
-        );
+        let mut s = sim("module add(input [7:0] a, input [7:0] b, output [8:0] y);\n\
+             assign y = a + b;\nendmodule\n");
         s.poke_by_name("a", Logic::from_u128(8, 200)).unwrap();
         s.poke_by_name("b", Logic::from_u128(8, 100)).unwrap();
         assert_eq!(u(&s, "y"), 300);
@@ -503,10 +497,9 @@ mod tests {
 
     #[test]
     fn concat_assign_carry() {
-        let mut s = sim(
-            "module add(input [7:0] a, input [7:0] b, output cout, output [7:0] sum);\n\
-             assign {cout, sum} = a + b;\nendmodule\n",
-        );
+        let mut s =
+            sim("module add(input [7:0] a, input [7:0] b, output cout, output [7:0] sum);\n\
+             assign {cout, sum} = a + b;\nendmodule\n");
         s.poke_by_name("a", Logic::from_u128(8, 0xff)).unwrap();
         s.poke_by_name("b", Logic::from_u128(8, 0x02)).unwrap();
         assert_eq!(u(&s, "cout"), 1);
@@ -515,11 +508,9 @@ mod tests {
 
     #[test]
     fn clocked_counter_with_async_reset() {
-        let mut s = sim(
-            "module c(input clk, input rst_n, output reg [3:0] q);\n\
+        let mut s = sim("module c(input clk, input rst_n, output reg [3:0] q);\n\
              always @(posedge clk or negedge rst_n) begin\n\
-             if (!rst_n) q <= 4'd0; else q <= q + 4'd1;\nend\nendmodule\n",
-        );
+             if (!rst_n) q <= 4'd0; else q <= q + 4'd1;\nend\nendmodule\n");
         s.poke_by_name("clk", Logic::bit(false)).unwrap();
         s.poke_by_name("rst_n", Logic::bit(false)).unwrap();
         assert_eq!(u(&s, "q"), 0);
@@ -533,11 +524,9 @@ mod tests {
 
     #[test]
     fn nonblocking_swap() {
-        let mut s = sim(
-            "module swap(input clk, output reg a, output reg b);\n\
+        let mut s = sim("module swap(input clk, output reg a, output reg b);\n\
              initial begin\na = 1'b0;\nb = 1'b1;\nend\n\
-             always @(posedge clk) begin\na <= b;\nb <= a;\nend\nendmodule\n",
-        );
+             always @(posedge clk) begin\na <= b;\nb <= a;\nend\nendmodule\n");
         s.poke_by_name("clk", Logic::bit(false)).unwrap();
         assert_eq!(u(&s, "a"), 0);
         assert_eq!(u(&s, "b"), 1);
@@ -548,22 +537,18 @@ mod tests {
 
     #[test]
     fn blocking_in_comb_chains() {
-        let mut s = sim(
-            "module m(input [3:0] a, output reg [3:0] y);\nreg [3:0] t;\n\
-             always @(*) begin\nt = a + 4'd1;\ny = t + 4'd1;\nend\nendmodule\n",
-        );
+        let mut s = sim("module m(input [3:0] a, output reg [3:0] y);\nreg [3:0] t;\n\
+             always @(*) begin\nt = a + 4'd1;\ny = t + 4'd1;\nend\nendmodule\n");
         s.poke_by_name("a", Logic::from_u128(4, 3)).unwrap();
         assert_eq!(u(&s, "y"), 5);
     }
 
     #[test]
     fn memory_read_write() {
-        let mut s = sim(
-            "module r(input clk, input we, input [3:0] addr, input [7:0] din,\n\
+        let mut s = sim("module r(input clk, input we, input [3:0] addr, input [7:0] din,\n\
              output [7:0] dout);\nreg [7:0] mem [0:15];\n\
              always @(posedge clk) if (we) mem[addr] <= din;\n\
-             assign dout = mem[addr];\nendmodule\n",
-        );
+             assign dout = mem[addr];\nendmodule\n");
         s.poke_by_name("clk", Logic::bit(false)).unwrap();
         s.poke_by_name("we", Logic::bit(true)).unwrap();
         s.poke_by_name("addr", Logic::from_u128(4, 5)).unwrap();
@@ -577,12 +562,10 @@ mod tests {
 
     #[test]
     fn hierarchical_design_simulates() {
-        let mut s = sim(
-            "module top(input a, input b, output y);\nwire w;\n\
+        let mut s = sim("module top(input a, input b, output y);\nwire w;\n\
              andg u1(.x(a), .y(b), .z(w));\nnotg u2(.i(w), .o(y));\nendmodule\n\
              module andg(input x, input y, output z);\nassign z = x & y;\nendmodule\n\
-             module notg(input i, output o);\nassign o = ~i;\nendmodule\n",
-        );
+             module notg(input i, output o);\nassign o = ~i;\nendmodule\n");
         s.poke_by_name("a", Logic::bit(true)).unwrap();
         s.poke_by_name("b", Logic::bit(true)).unwrap();
         assert_eq!(u(&s, "y"), 0);
@@ -625,10 +608,8 @@ mod tests {
     fn incomplete_sensitivity_is_honoured() {
         // `always @(a)` missing `b` — a classic functional bug the
         // simulator must reproduce faithfully, not paper over.
-        let mut s = sim(
-            "module m(input a, input b, output reg y);\n\
-             always @(a) y = a & b;\nendmodule\n",
-        );
+        let mut s = sim("module m(input a, input b, output reg y);\n\
+             always @(a) y = a & b;\nendmodule\n");
         s.poke_by_name("a", Logic::bit(true)).unwrap();
         s.poke_by_name("b", Logic::bit(true)).unwrap();
         // b changed but the block is not sensitive to b; y reflects the
@@ -641,12 +622,10 @@ mod tests {
 
     #[test]
     fn case_statement_execution() {
-        let mut s = sim(
-            "module mx(input [1:0] s, input [3:0] a, input [3:0] b, input [3:0] c,\n\
+        let mut s = sim("module mx(input [1:0] s, input [3:0] a, input [3:0] b, input [3:0] c,\n\
              output reg [3:0] y);\nalways @(*) begin\ncase (s)\n\
              2'b00: y = a;\n2'b01: y = b;\n2'b10: y = c;\ndefault: y = 4'd0;\n\
-             endcase\nend\nendmodule\n",
-        );
+             endcase\nend\nendmodule\n");
         s.poke_by_name("a", Logic::from_u128(4, 1)).unwrap();
         s.poke_by_name("b", Logic::from_u128(4, 2)).unwrap();
         s.poke_by_name("c", Logic::from_u128(4, 3)).unwrap();
@@ -660,10 +639,8 @@ mod tests {
 
     #[test]
     fn part_select_write() {
-        let mut s = sim(
-            "module p(input [3:0] lo, input [3:0] hi, output reg [7:0] y);\n\
-             always @(*) begin\ny[3:0] = lo;\ny[7:4] = hi;\nend\nendmodule\n",
-        );
+        let mut s = sim("module p(input [3:0] lo, input [3:0] hi, output reg [7:0] y);\n\
+             always @(*) begin\ny[3:0] = lo;\ny[7:4] = hi;\nend\nendmodule\n");
         s.poke_by_name("lo", Logic::from_u128(4, 0x5)).unwrap();
         s.poke_by_name("hi", Logic::from_u128(4, 0xA)).unwrap();
         assert_eq!(u(&s, "y"), 0xA5);
@@ -672,9 +649,6 @@ mod tests {
     #[test]
     fn unknown_signal_errors() {
         let s = sim("module m(input a, output y);\nassign y = a;\nendmodule\n");
-        assert!(matches!(
-            s.peek_by_name("nope"),
-            Err(SimError::UnknownSignal(_))
-        ));
+        assert!(matches!(s.peek_by_name("nope"), Err(SimError::UnknownSignal(_))));
     }
 }

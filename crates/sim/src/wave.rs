@@ -94,13 +94,7 @@ impl Waveform {
     /// All values of `name` across captures.
     pub fn series(&self, name: &str) -> Option<Vec<(u64, Logic)>> {
         let sig = *self.index.get(name)?;
-        Some(
-            self.times
-                .iter()
-                .zip(&self.frames)
-                .map(|(t, f)| (*t, f[sig]))
-                .collect(),
-        )
+        Some(self.times.iter().zip(&self.frames).map(|(t, f)| (*t, f[sig])).collect())
     }
 
     /// Exports the waveform as a standard VCD document, viewable in
@@ -170,12 +164,7 @@ impl Waveform {
             Err(i) => Some(i - 1),
         };
         match frame {
-            Some(f) => self
-                .names
-                .iter()
-                .cloned()
-                .zip(self.frames[f].iter().copied())
-                .collect(),
+            Some(f) => self.names.iter().cloned().zip(self.frames[f].iter().copied()).collect(),
             None => HashMap::new(),
         }
     }

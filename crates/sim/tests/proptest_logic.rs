@@ -1,144 +1,203 @@
 //! Property tests on the four-state [`Logic`] algebra and on
 //! simulator/golden-model agreement for a reference design.
+//!
+//! Written as seeded randomised loops (the workspace builds without the
+//! `proptest` crate).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use uvllm_sim::{elaborate, Logic, Simulator};
 
-fn logic(width: u32) -> impl Strategy<Value = Logic> {
-    (any::<u128>(), any::<u128>()).prop_map(move |(v, x)| Logic::from_planes(width, v, x))
+/// Arbitrary four-state value of `width` (independent value/xz planes).
+fn logic(rng: &mut StdRng, width: u32) -> Logic {
+    Logic::from_planes(width, rng.random::<u64>() as u128, rng.random::<u64>() as u128)
 }
 
-fn known(width: u32) -> impl Strategy<Value = Logic> {
-    any::<u128>().prop_map(move |v| Logic::from_u128(width, v))
+/// Fully known value of `width`.
+fn known(rng: &mut StdRng, width: u32) -> Logic {
+    Logic::from_u128(width, rng.random::<u64>() as u128)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+fn rng_for(test: u64) -> StdRng {
+    StdRng::seed_from_u64(0x10_61C ^ test)
+}
 
-    /// Addition on known values agrees with wrapping integer addition.
-    #[test]
-    fn add_matches_integers(a in known(32), b in known(32)) {
+/// Addition on known values agrees with wrapping integer addition.
+#[test]
+fn add_matches_integers() {
+    let mut rng = rng_for(1);
+    for _ in 0..512 {
+        let a = known(&mut rng, 32);
+        let b = known(&mut rng, 32);
         let sum = a.add(&b, 33);
-        prop_assert_eq!(
+        assert_eq!(
             sum.to_u128(),
             Some((a.to_u128().unwrap() + b.to_u128().unwrap()) & ((1 << 33) - 1))
         );
     }
+}
 
-    /// Bitwise operators obey De Morgan on arbitrary four-state values.
-    #[test]
-    fn de_morgan(a in logic(16), b in logic(16)) {
+/// Bitwise operators obey De Morgan on arbitrary four-state values.
+#[test]
+fn de_morgan() {
+    let mut rng = rng_for(2);
+    for _ in 0..512 {
+        let a = logic(&mut rng, 16);
+        let b = logic(&mut rng, 16);
         let lhs = a.bitand(&b, 16).bitnot(16);
         let rhs = a.bitnot(16).bitor(&b.bitnot(16), 16);
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs);
     }
+}
 
-    /// AND/OR are commutative for four-state values.
-    #[test]
-    fn commutativity(a in logic(16), b in logic(16)) {
-        prop_assert_eq!(a.bitand(&b, 16), b.bitand(&a, 16));
-        prop_assert_eq!(a.bitor(&b, 16), b.bitor(&a, 16));
-        prop_assert_eq!(a.bitxor(&b, 16), b.bitxor(&a, 16));
+/// AND/OR/XOR are commutative for four-state values.
+#[test]
+fn commutativity() {
+    let mut rng = rng_for(3);
+    for _ in 0..512 {
+        let a = logic(&mut rng, 16);
+        let b = logic(&mut rng, 16);
+        assert_eq!(a.bitand(&b, 16), b.bitand(&a, 16));
+        assert_eq!(a.bitor(&b, 16), b.bitor(&a, 16));
+        assert_eq!(a.bitxor(&b, 16), b.bitxor(&a, 16));
     }
+}
 
-    /// Double negation is the identity up to Z-collapse: `~Z` is X in
-    /// IEEE 1364, so Z bits come back as X; everything else round-trips.
-    #[test]
-    fn double_bitnot(a in logic(24)) {
+/// Double negation is the identity up to Z-collapse: `~Z` is X in
+/// IEEE 1364, so Z bits come back as X; everything else round-trips.
+#[test]
+fn double_bitnot() {
+    let mut rng = rng_for(4);
+    for _ in 0..512 {
+        let a = logic(&mut rng, 24);
         let z_collapsed = Logic::from_planes(24, a.val() & !a.xz(), a.xz());
-        prop_assert_eq!(a.bitnot(24).bitnot(24), z_collapsed);
+        assert_eq!(a.bitnot(24).bitnot(24), z_collapsed);
     }
+}
 
-    /// resize never invents known bits.
-    #[test]
-    fn resize_preserves_unknowns(a in logic(8)) {
+/// resize never invents known bits.
+#[test]
+fn resize_preserves_unknowns() {
+    let mut rng = rng_for(5);
+    for _ in 0..512 {
+        let a = logic(&mut rng, 8);
         let wide = a.resize(16);
-        prop_assert_eq!(wide.get_slice(0, 8), a);
+        assert_eq!(wide.get_slice(0, 8), a);
         // Extended bits are known zero.
-        prop_assert_eq!(wide.get_slice(8, 8), Logic::zeros(8));
+        assert_eq!(wide.get_slice(8, 8), Logic::zeros(8));
     }
+}
 
-    /// Concatenation width and content.
-    #[test]
-    fn concat_structure(hi in logic(8), lo in logic(8)) {
+/// Concatenation width and content.
+#[test]
+fn concat_structure() {
+    let mut rng = rng_for(6);
+    for _ in 0..512 {
+        let hi = logic(&mut rng, 8);
+        let lo = logic(&mut rng, 8);
         let c = Logic::concat(hi, lo);
-        prop_assert_eq!(c.width(), 16);
-        prop_assert_eq!(c.get_slice(0, 8), lo);
-        prop_assert_eq!(c.get_slice(8, 8), hi);
+        assert_eq!(c.width(), 16);
+        assert_eq!(c.get_slice(0, 8), lo);
+        assert_eq!(c.get_slice(8, 8), hi);
     }
+}
 
-    /// Slice insertion then extraction is the identity.
-    #[test]
-    fn slice_roundtrip(base in logic(32), v in logic(8), at in 0u32..24) {
+/// Slice insertion then extraction is the identity.
+#[test]
+fn slice_roundtrip() {
+    let mut rng = rng_for(7);
+    for _ in 0..512 {
+        let base = logic(&mut rng, 32);
+        let v = logic(&mut rng, 8);
+        let at = rng.random_range(0..24u32);
         let w = base.with_slice(at, v);
-        prop_assert_eq!(w.get_slice(at, 8), v);
+        assert_eq!(w.get_slice(at, 8), v);
     }
+}
 
-    /// case-equality is an equivalence relation sample: reflexive.
-    #[test]
-    fn case_eq_reflexive(a in logic(20)) {
-        prop_assert_eq!(a.case_eq(&a), Logic::bit(true));
+/// case-equality is an equivalence relation sample: reflexive.
+#[test]
+fn case_eq_reflexive() {
+    let mut rng = rng_for(8);
+    for _ in 0..512 {
+        let a = logic(&mut rng, 20);
+        assert_eq!(a.case_eq(&a), Logic::bit(true));
     }
+}
 
-    /// Logical equality never returns a definite wrong answer: when both
-    /// sides are fully known it matches integer equality.
-    #[test]
-    fn log_eq_on_known(a in known(16), b in known(16)) {
-        prop_assert_eq!(
-            a.log_eq(&b).to_u128(),
-            Some((a.to_u128() == b.to_u128()) as u128)
-        );
+/// Logical equality never returns a definite wrong answer: when both
+/// sides are fully known it matches integer equality.
+#[test]
+fn log_eq_on_known() {
+    let mut rng = rng_for(9);
+    for _ in 0..512 {
+        let a = known(&mut rng, 16);
+        let b = known(&mut rng, 16);
+        assert_eq!(a.log_eq(&b).to_u128(), Some((a.to_u128() == b.to_u128()) as u128));
     }
+}
 
-    /// Display output re-encodes width and value faithfully for known
-    /// values (parses back through the expression parser).
-    #[test]
-    fn display_parses_back(a in known(16)) {
+/// Display output re-encodes width and value faithfully for known
+/// values (parses back through the expression parser).
+#[test]
+fn display_parses_back() {
+    let mut rng = rng_for(10);
+    for _ in 0..256 {
+        let a = known(&mut rng, 16);
         let text = a.to_string();
         let e = uvllm_verilog::parse_expr(&text).expect("literal must parse");
         match e {
             uvllm_verilog::Expr::Number(n) => {
-                prop_assert_eq!(n.value, a.to_u128().unwrap());
-                prop_assert_eq!(n.width, Some(16));
+                assert_eq!(n.value, a.to_u128().unwrap());
+                assert_eq!(n.width, Some(16));
             }
-            other => prop_assert!(false, "expected number, got {:?}", other),
+            other => panic!("expected number, got {other:?}"),
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The simulated 8-bit adder agrees with integer arithmetic on
-    /// arbitrary driven values (differential property against the
-    /// simulator itself).
-    #[test]
-    fn simulated_adder_is_correct(a in 0u128..256, b in 0u128..256, cin in 0u128..2) {
-        let file = uvllm_verilog::parse(
-            "module add(input [7:0] a, input [7:0] b, input cin,\n\
-             output [7:0] sum, output cout);\n\
-             assign {cout, sum} = a + b + {7'd0, cin};\nendmodule\n",
-        ).unwrap();
-        let design = elaborate(&file, "add").unwrap();
+/// The simulated 8-bit adder agrees with integer arithmetic on
+/// arbitrary driven values (differential property against the
+/// simulator itself).
+#[test]
+fn simulated_adder_is_correct() {
+    let file = uvllm_verilog::parse(
+        "module add(input [7:0] a, input [7:0] b, input cin,\n\
+         output [7:0] sum, output cout);\n\
+         assign {cout, sum} = a + b + {7'd0, cin};\nendmodule\n",
+    )
+    .unwrap();
+    let design = elaborate(&file, "add").unwrap();
+    let mut rng = rng_for(11);
+    for _ in 0..48 {
+        let a = rng.random_range(0..256u64) as u128;
+        let b = rng.random_range(0..256u64) as u128;
+        let cin = rng.random_range(0..2u64) as u128;
         let mut sim = Simulator::new(&design).unwrap();
         sim.poke_by_name("a", Logic::from_u128(8, a)).unwrap();
         sim.poke_by_name("b", Logic::from_u128(8, b)).unwrap();
         sim.poke_by_name("cin", Logic::from_u128(1, cin)).unwrap();
         let total = a + b + cin;
-        prop_assert_eq!(sim.peek_by_name("sum").unwrap().to_u128(), Some(total & 0xff));
-        prop_assert_eq!(sim.peek_by_name("cout").unwrap().to_u128(), Some(total >> 8));
+        assert_eq!(sim.peek_by_name("sum").unwrap().to_u128(), Some(total & 0xff));
+        assert_eq!(sim.peek_by_name("cout").unwrap().to_u128(), Some(total >> 8));
     }
+}
 
-    /// A simulated counter follows modular arithmetic over any enable
-    /// pattern.
-    #[test]
-    fn simulated_counter_tracks_enables(pattern in prop::collection::vec(any::<bool>(), 1..40)) {
-        let file = uvllm_verilog::parse(
-            "module c(input clk, input rst_n, input en, output reg [3:0] q);\n\
-             always @(posedge clk or negedge rst_n) begin\n\
-             if (!rst_n) q <= 4'd0; else if (en) q <= q + 4'd1;\nend\nendmodule\n",
-        ).unwrap();
-        let design = elaborate(&file, "c").unwrap();
+/// A simulated counter follows modular arithmetic over any enable
+/// pattern.
+#[test]
+fn simulated_counter_tracks_enables() {
+    let file = uvllm_verilog::parse(
+        "module c(input clk, input rst_n, input en, output reg [3:0] q);\n\
+         always @(posedge clk or negedge rst_n) begin\n\
+         if (!rst_n) q <= 4'd0; else if (en) q <= q + 4'd1;\nend\nendmodule\n",
+    )
+    .unwrap();
+    let design = elaborate(&file, "c").unwrap();
+    let mut rng = rng_for(12);
+    for _ in 0..48 {
+        let len = rng.random_range(1..40usize);
+        let pattern: Vec<bool> = (0..len).map(|_| rng.random::<bool>()).collect();
         let mut sim = Simulator::new(&design).unwrap();
         sim.poke_by_name("clk", Logic::bit(false)).unwrap();
         sim.poke_by_name("rst_n", Logic::bit(false)).unwrap();
@@ -151,7 +210,7 @@ proptest! {
             if *en {
                 expected = (expected + 1) & 0xf;
             }
-            prop_assert_eq!(sim.peek_by_name("q").unwrap().to_u128(), Some(expected));
+            assert_eq!(sim.peek_by_name("q").unwrap().to_u128(), Some(expected));
         }
     }
 }

@@ -156,10 +156,7 @@ mod tests {
     use super::*;
 
     fn env(pairs: &[(&str, u32, u128)]) -> HashMap<String, Logic> {
-        pairs
-            .iter()
-            .map(|(n, w, v)| (n.to_string(), Logic::from_u128(*w, *v)))
-            .collect()
+        pairs.iter().map(|(n, w, v)| (n.to_string(), Logic::from_u128(*w, *v))).collect()
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::scoreboard::{Coverage, Mismatch, Scoreboard};
 use crate::sequence::Sequence;
 use std::collections::BTreeMap;
 use std::fmt;
-use uvllm_sim::{elaborate, Design, Logic, SimError, Simulator, Waveform};
+use uvllm_sim::{Design, Logic, SimError, Simulator, Waveform};
 
 /// Nanoseconds per clock cycle in the recorded waveform.
 pub const CYCLE_TIME: u64 = 10;
@@ -51,11 +51,7 @@ impl Driver {
         txn: &Transaction,
     ) -> Result<(), SimError> {
         for port in &iface.inputs {
-            let v = txn
-                .values
-                .get(&port.name)
-                .copied()
-                .unwrap_or_else(|| Logic::zeros(port.width));
+            let v = txn.values.get(&port.name).copied().unwrap_or_else(|| Logic::zeros(port.width));
             sim.poke_by_name(&port.name, v.resize(port.width))?;
         }
         Ok(())
@@ -81,11 +77,7 @@ impl Monitor {
     }
 
     /// Samples every input port (for coverage).
-    pub fn observe_inputs(
-        &self,
-        sim: &Simulator,
-        iface: &DutInterface,
-    ) -> BTreeMap<String, Logic> {
+    pub fn observe_inputs(&self, sim: &Simulator, iface: &DutInterface) -> BTreeMap<String, Logic> {
         iface
             .inputs
             .iter()
@@ -245,6 +237,11 @@ impl Environment {
 
     /// Parses, elaborates and wraps `src` in one call.
     ///
+    /// Elaboration goes through the process-wide content-addressed
+    /// cache ([`uvllm_sim::cache`]), so repeated runs over the same
+    /// text — differential metrics, multi-method campaigns — elaborate
+    /// once and share the result.
+    ///
     /// # Errors
     ///
     /// [`UvmError::Elab`] on parse/elaboration failure, plus everything
@@ -256,8 +253,7 @@ impl Environment {
         refmodel: Box<dyn RefModel>,
         sequences: Vec<Box<dyn Sequence>>,
     ) -> Result<Self, UvmError> {
-        let file = uvllm_verilog::parse(src).map_err(|e| UvmError::Elab(e.to_string()))?;
-        let design = elaborate(&file, top).map_err(|e| UvmError::Elab(e.to_string()))?;
+        let design = uvllm_sim::elaborate_source_cached(src, top).map_err(UvmError::Elab)?;
         Environment::new(&design, iface, refmodel, sequences)
     }
 
@@ -422,8 +418,8 @@ mod tests {
             Box::new(RandomSequence::new(&iface.inputs, 50, 42)),
             Box::new(CornerSequence::new(&iface.inputs)),
         ];
-        let env = Environment::from_source(GOOD_ADDER, "add", iface, adder_model(), seqs)
-            .expect("env");
+        let env =
+            Environment::from_source(GOOD_ADDER, "add", iface, adder_model(), seqs).expect("env");
         let summary = env.run();
         assert!(summary.all_passed(), "log:\n{}", summary.log.render());
         assert!(summary.pass_rate > 0.999);
@@ -436,8 +432,8 @@ mod tests {
         let iface = adder_iface();
         let seqs: Vec<Box<dyn Sequence>> =
             vec![Box::new(RandomSequence::new(&iface.inputs, 30, 7))];
-        let env = Environment::from_source(BAD_ADDER, "add", iface, adder_model(), seqs)
-            .expect("env");
+        let env =
+            Environment::from_source(BAD_ADDER, "add", iface, adder_model(), seqs).expect("env");
         let summary = env.run();
         assert!(!summary.all_passed());
         assert!(summary.pass_rate < 0.5);
@@ -472,10 +468,7 @@ mod tests {
                 out
             }
         }
-        let iface = DutInterface::clocked(
-            vec![PortSig::new("en", 1)],
-            vec![PortSig::new("q", 4)],
-        );
+        let iface = DutInterface::clocked(vec![PortSig::new("en", 1)], vec![PortSig::new("q", 4)]);
         let seqs: Vec<Box<dyn Sequence>> =
             vec![Box::new(RandomSequence::new(&iface.inputs, 100, 3))];
         let env = Environment::from_source(src, "c", iface, Box::new(CounterModel { q: 0 }), seqs)
@@ -509,10 +502,7 @@ mod tests {
                 o
             }
         }
-        let iface = DutInterface::clocked(
-            vec![PortSig::new("en", 1)],
-            vec![PortSig::new("q", 4)],
-        );
+        let iface = DutInterface::clocked(vec![PortSig::new("en", 1)], vec![PortSig::new("q", 4)]);
         let seqs: Vec<Box<dyn Sequence>> =
             vec![Box::new(RandomSequence::new(&iface.inputs, 40, 5))];
         let env = Environment::from_source(src, "m", iface, Box::new(M { q: 0 }), seqs)
@@ -529,10 +519,7 @@ mod tests {
         assert_eq!(summary.assertion_failures, 0);
 
         // Now assert something false and watch it fire.
-        let iface = DutInterface::clocked(
-            vec![PortSig::new("en", 1)],
-            vec![PortSig::new("q", 4)],
-        );
+        let iface = DutInterface::clocked(vec![PortSig::new("en", 1)], vec![PortSig::new("q", 4)]);
         let seqs: Vec<Box<dyn Sequence>> =
             vec![Box::new(RandomSequence::new(&iface.inputs, 40, 5))];
         let env = Environment::from_source(src, "m", iface, Box::new(M { q: 0 }), seqs)
@@ -549,8 +536,8 @@ mod tests {
             vec![PortSig::new("a", 8), PortSig::new("nonexistent", 1)],
             vec![PortSig::new("y", 9)],
         );
-        let err = Environment::from_source(GOOD_ADDER, "add", iface, adder_model(), vec![])
-            .unwrap_err();
+        let err =
+            Environment::from_source(GOOD_ADDER, "add", iface, adder_model(), vec![]).unwrap_err();
         assert_eq!(err, UvmError::MissingPort("nonexistent".to_string()));
     }
 
@@ -564,10 +551,8 @@ mod tests {
                    default: a = 1'b0;\nendcase\nend else\na = 1'b0;\nend\n\
                    always @(*) begin\nif (trig) begin\ncase (a)\n1'b0: b = 1'b0;\n\
                    default: b = 1'b1;\nendcase\nend else\nb = 1'b0;\nend\nendmodule\n";
-        let iface = DutInterface::combinational(
-            vec![PortSig::new("trig", 1)],
-            vec![PortSig::new("y", 1)],
-        );
+        let iface =
+            DutInterface::combinational(vec![PortSig::new("trig", 1)], vec![PortSig::new("y", 1)]);
         let model = crate::refmodel::FnModel(|_: &BTreeMap<String, Logic>| {
             let mut o = BTreeMap::new();
             crate::refmodel::out_val(&mut o, "y", 1, 0);

@@ -93,11 +93,7 @@ impl Transaction {
 
     /// Renders as `a=8'h12 b=8'h03` for logs.
     pub fn render(&self) -> String {
-        self.values
-            .iter()
-            .map(|(k, v)| format!("{k}={v}"))
-            .collect::<Vec<_>>()
-            .join(" ")
+        self.values.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(" ")
     }
 }
 
@@ -107,10 +103,7 @@ mod tests {
 
     #[test]
     fn interface_constructors() {
-        let iface = DutInterface::clocked(
-            vec![PortSig::new("d", 8)],
-            vec![PortSig::new("q", 8)],
-        );
+        let iface = DutInterface::clocked(vec![PortSig::new("d", 8)], vec![PortSig::new("q", 8)]);
         assert!(iface.is_sequential());
         assert_eq!(iface.clock.as_deref(), Some("clk"));
         assert!(iface.reset.as_ref().unwrap().active_low);
@@ -124,9 +117,8 @@ mod tests {
 
     #[test]
     fn transaction_render_is_stable() {
-        let t = Transaction::new()
-            .with("b", Logic::from_u128(4, 3))
-            .with("a", Logic::from_u128(4, 1));
+        let t =
+            Transaction::new().with("b", Logic::from_u128(4, 3)).with("a", Logic::from_u128(4, 1));
         assert_eq!(t.render(), "a=4'h1 b=4'h3");
     }
 }

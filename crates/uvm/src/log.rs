@@ -125,11 +125,8 @@ impl UvmLog {
                 .nth(1)
                 .and_then(|s| s.split(' ').next())
                 .unwrap_or_default();
-            let actual = tail
-                .split("actual ")
-                .nth(1)
-                .and_then(|s| s.split(' ').next())
-                .unwrap_or_default();
+            let actual =
+                tail.split("actual ").nth(1).and_then(|s| s.split(' ').next()).unwrap_or_default();
             out.push((time, signal.to_string(), expected.to_string(), actual.to_string()));
         }
         out

@@ -123,20 +123,14 @@ impl Coverage {
     }
 
     /// Samples one cycle of activity.
-    pub fn sample(
-        &mut self,
-        inputs: &BTreeMap<String, Logic>,
-        outputs: &BTreeMap<String, Logic>,
-    ) {
+    pub fn sample(&mut self, inputs: &BTreeMap<String, Logic>, outputs: &BTreeMap<String, Logic>) {
         for (name, v) in inputs {
-            let entry = self
-                .input_bins
-                .entry(name.clone())
-                .or_insert_with(|| (v.width(), HashSet::new()));
+            let entry =
+                self.input_bins.entry(name.clone()).or_insert_with(|| (v.width(), HashSet::new()));
             if let Some(val) = v.to_u128() {
                 let w = entry.0;
                 let total = if w >= 32 { u128::MAX } else { 1u128 << w };
-                let nbins = (total as u128).min(BINS as u128) as u32;
+                let nbins = total.min(BINS as u128) as u32;
                 let bin = if total <= BINS as u128 {
                     val as u32
                 } else {
@@ -195,10 +189,7 @@ mod tests {
     use super::*;
 
     fn vals(pairs: &[(&str, u32, u128)]) -> BTreeMap<String, Logic> {
-        pairs
-            .iter()
-            .map(|(n, w, v)| (n.to_string(), Logic::from_u128(*w, *v)))
-            .collect()
+        pairs.iter().map(|(n, w, v)| (n.to_string(), Logic::from_u128(*w, *v))).collect()
     }
 
     #[test]

@@ -224,9 +224,7 @@ impl Sensitivity {
     pub fn is_edge_triggered(&self) -> bool {
         match self {
             Sensitivity::Star => false,
-            Sensitivity::List(items) => {
-                !items.is_empty() && items.iter().all(|i| i.edge.is_some())
-            }
+            Sensitivity::List(items) => !items.is_empty() && items.iter().all(|i| i.edge.is_some()),
         }
     }
 }

@@ -110,38 +110,103 @@ impl<'a> Lexer<'a> {
             b'\'' => return self.lex_based_literal(start, None),
             b'$' => return Ok(self.lex_sys_ident(start)),
             b'"' => return self.lex_string(start),
-            b'(' => { self.bump(); TokenKind::LParen }
-            b')' => { self.bump(); TokenKind::RParen }
-            b'[' => { self.bump(); TokenKind::LBracket }
-            b']' => { self.bump(); TokenKind::RBracket }
-            b'{' => { self.bump(); TokenKind::LBrace }
-            b'}' => { self.bump(); TokenKind::RBrace }
-            b';' => { self.bump(); TokenKind::Semi }
-            b',' => { self.bump(); TokenKind::Comma }
-            b':' => { self.bump(); TokenKind::Colon }
-            b'.' => { self.bump(); TokenKind::Dot }
-            b'#' => { self.bump(); TokenKind::Hash }
-            b'@' => { self.bump(); TokenKind::At }
-            b'?' => { self.bump(); TokenKind::Question }
+            b'(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            b'[' => {
+                self.bump();
+                TokenKind::LBracket
+            }
+            b']' => {
+                self.bump();
+                TokenKind::RBracket
+            }
+            b'{' => {
+                self.bump();
+                TokenKind::LBrace
+            }
+            b'}' => {
+                self.bump();
+                TokenKind::RBrace
+            }
+            b';' => {
+                self.bump();
+                TokenKind::Semi
+            }
+            b',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            b':' => {
+                self.bump();
+                TokenKind::Colon
+            }
+            b'.' => {
+                self.bump();
+                TokenKind::Dot
+            }
+            b'#' => {
+                self.bump();
+                TokenKind::Hash
+            }
+            b'@' => {
+                self.bump();
+                TokenKind::At
+            }
+            b'?' => {
+                self.bump();
+                TokenKind::Question
+            }
             b'+' => {
                 self.bump();
-                if self.peek() == b':' { self.bump(); TokenKind::PlusColon } else { TokenKind::Plus }
+                if self.peek() == b':' {
+                    self.bump();
+                    TokenKind::PlusColon
+                } else {
+                    TokenKind::Plus
+                }
             }
             b'-' => {
                 self.bump();
-                if self.peek() == b':' { self.bump(); TokenKind::MinusColon } else { TokenKind::Minus }
+                if self.peek() == b':' {
+                    self.bump();
+                    TokenKind::MinusColon
+                } else {
+                    TokenKind::Minus
+                }
             }
             b'*' => {
                 self.bump();
-                if self.peek() == b'*' { self.bump(); TokenKind::Power } else { TokenKind::Star }
+                if self.peek() == b'*' {
+                    self.bump();
+                    TokenKind::Power
+                } else {
+                    TokenKind::Star
+                }
             }
-            b'/' => { self.bump(); TokenKind::Slash }
-            b'%' => { self.bump(); TokenKind::Percent }
+            b'/' => {
+                self.bump();
+                TokenKind::Slash
+            }
+            b'%' => {
+                self.bump();
+                TokenKind::Percent
+            }
             b'!' => {
                 self.bump();
                 if self.peek() == b'=' {
                     self.bump();
-                    if self.peek() == b'=' { self.bump(); TokenKind::CaseNe } else { TokenKind::NotEq }
+                    if self.peek() == b'=' {
+                        self.bump();
+                        TokenKind::CaseNe
+                    } else {
+                        TokenKind::NotEq
+                    }
                 } else {
                     TokenKind::Not
                 }
@@ -149,29 +214,58 @@ impl<'a> Lexer<'a> {
             b'~' => {
                 self.bump();
                 match self.peek() {
-                    b'&' => { self.bump(); TokenKind::TildeAmp }
-                    b'|' => { self.bump(); TokenKind::TildePipe }
-                    b'^' => { self.bump(); TokenKind::TildeCaret }
+                    b'&' => {
+                        self.bump();
+                        TokenKind::TildeAmp
+                    }
+                    b'|' => {
+                        self.bump();
+                        TokenKind::TildePipe
+                    }
+                    b'^' => {
+                        self.bump();
+                        TokenKind::TildeCaret
+                    }
                     _ => TokenKind::Tilde,
                 }
             }
             b'&' => {
                 self.bump();
-                if self.peek() == b'&' { self.bump(); TokenKind::AndAnd } else { TokenKind::Amp }
+                if self.peek() == b'&' {
+                    self.bump();
+                    TokenKind::AndAnd
+                } else {
+                    TokenKind::Amp
+                }
             }
             b'|' => {
                 self.bump();
-                if self.peek() == b'|' { self.bump(); TokenKind::OrOr } else { TokenKind::Pipe }
+                if self.peek() == b'|' {
+                    self.bump();
+                    TokenKind::OrOr
+                } else {
+                    TokenKind::Pipe
+                }
             }
             b'^' => {
                 self.bump();
-                if self.peek() == b'~' { self.bump(); TokenKind::TildeCaret } else { TokenKind::Caret }
+                if self.peek() == b'~' {
+                    self.bump();
+                    TokenKind::TildeCaret
+                } else {
+                    TokenKind::Caret
+                }
             }
             b'=' => {
                 self.bump();
                 if self.peek() == b'=' {
                     self.bump();
-                    if self.peek() == b'=' { self.bump(); TokenKind::CaseEq } else { TokenKind::EqEq }
+                    if self.peek() == b'=' {
+                        self.bump();
+                        TokenKind::CaseEq
+                    } else {
+                        TokenKind::EqEq
+                    }
                 } else {
                     TokenKind::Assign
                 }
@@ -179,10 +273,18 @@ impl<'a> Lexer<'a> {
             b'<' => {
                 self.bump();
                 match self.peek() {
-                    b'=' => { self.bump(); TokenKind::LeAssign }
+                    b'=' => {
+                        self.bump();
+                        TokenKind::LeAssign
+                    }
                     b'<' => {
                         self.bump();
-                        if self.peek() == b'<' { self.bump(); TokenKind::AShl } else { TokenKind::Shl }
+                        if self.peek() == b'<' {
+                            self.bump();
+                            TokenKind::AShl
+                        } else {
+                            TokenKind::Shl
+                        }
                     }
                     _ => TokenKind::Lt,
                 }
@@ -190,10 +292,18 @@ impl<'a> Lexer<'a> {
             b'>' => {
                 self.bump();
                 match self.peek() {
-                    b'=' => { self.bump(); TokenKind::Ge }
+                    b'=' => {
+                        self.bump();
+                        TokenKind::Ge
+                    }
                     b'>' => {
                         self.bump();
-                        if self.peek() == b'>' { self.bump(); TokenKind::AShr } else { TokenKind::Shr }
+                        if self.peek() == b'>' {
+                            self.bump();
+                            TokenKind::AShr
+                        } else {
+                            TokenKind::Shr
+                        }
                     }
                     _ => TokenKind::Gt,
                 }
@@ -214,7 +324,7 @@ impl<'a> Lexer<'a> {
             self.pos += 1;
         }
         let text = &self.src[start..self.pos];
-        let kind = match Keyword::from_str(text) {
+        let kind = match Keyword::lookup(text) {
             Some(kw) => TokenKind::Keyword(kw),
             None => TokenKind::Ident(text.to_string()),
         };
@@ -314,7 +424,8 @@ impl<'a> Lexer<'a> {
             self.pos += 1;
         }
         let raw = &self.src[digits_start..self.pos];
-        let digits: String = raw.chars().filter(|c| *c != '_').map(|c| c.to_ascii_lowercase()).collect();
+        let digits: String =
+            raw.chars().filter(|c| *c != '_').map(|c| c.to_ascii_lowercase()).collect();
         if digits.is_empty() {
             return Err(SyntaxError::new(
                 SyntaxErrorKind::MalformedNumber,

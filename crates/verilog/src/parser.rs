@@ -206,7 +206,9 @@ impl Parser {
                     };
                     if let Some(dir) = dir {
                         // ANSI-style declared port.
-                        let net = if self.eat_kw(Keyword::Reg) { NetKind::Reg } else {
+                        let net = if self.eat_kw(Keyword::Reg) {
+                            NetKind::Reg
+                        } else {
                             self.eat_kw(Keyword::Wire);
                             NetKind::Wire
                         };
@@ -394,14 +396,9 @@ impl Parser {
                         p.range = range.clone();
                     }
                 }
-                None => ports.push(Port {
-                    name,
-                    dir,
-                    net,
-                    range: range.clone(),
-                    signed,
-                    span: nspan,
-                }),
+                None => {
+                    ports.push(Port { name, dir, net, range: range.clone(), signed, span: nspan })
+                }
             }
             if !self.eat(&TokenKind::Comma) {
                 break;
@@ -503,8 +500,7 @@ impl Parser {
         }
         let (name, _) = self.expect_ident("instance name")?;
         self.expect(&TokenKind::LParen, "'(' opening port connections")?;
-        let conns =
-            if self.at(&TokenKind::RParen) { Vec::new() } else { self.connection_list()? };
+        let conns = if self.at(&TokenKind::RParen) { Vec::new() } else { self.connection_list()? };
         self.expect(&TokenKind::RParen, "')' closing port connections")?;
         let end = self.expect(&TokenKind::Semi, "';' after instantiation")?.span;
         Ok(Instance { module, name, params, conns, span: start.merge(end) })
@@ -522,7 +518,11 @@ impl Parser {
                 out.push(Connection { port: Some(port), expr, span: start.merge(end) });
             } else {
                 let expr = self.expr()?;
-                out.push(Connection { port: None, expr: Some(expr), span: start.merge(self.prev_span()) });
+                out.push(Connection {
+                    port: None,
+                    expr: Some(expr),
+                    span: start.merge(self.prev_span()),
+                });
             }
             if !self.eat(&TokenKind::Comma) {
                 break;
@@ -872,7 +872,7 @@ impl Parser {
             }
         } else if n.base == NumberBase::Dec {
             // `'dx` style: all bits X or Z.
-            let all = n.width.map(|w| mask(w)).unwrap_or(u128::MAX);
+            let all = n.width.map(mask).unwrap_or(u128::MAX);
             xz = all;
             if n.digits.starts_with('z') {
                 value = all;

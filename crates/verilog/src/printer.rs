@@ -147,7 +147,7 @@ fn item_into(out: &mut String, item: &Item, level: usize) {
         }
         Item::Integer(d) => {
             indent(out, level);
-            let _ = write!(out, "integer {};\n", d.names.join(", "));
+            let _ = writeln!(out, "integer {};", d.names.join(", "));
         }
         Item::Assign(a) => {
             indent(out, level);
@@ -410,7 +410,11 @@ fn digits_into(out: &mut String, n: &Number) {
         let ch = if z != 0 {
             // Mixed X/Z within one digit cannot occur from our parser;
             // render by the dominant flavour.
-            if v & z == z { 'z' } else { 'x' }
+            if v & z == z {
+                'z'
+            } else {
+                'x'
+            }
         } else {
             char::from_digit(v, 16).unwrap_or('0')
         };

@@ -29,10 +29,7 @@ impl Span {
 
     /// The smallest span covering both `self` and `other`.
     pub fn merge(self, other: Span) -> Span {
-        Span {
-            start: self.start.min(other.start),
-            end: self.end.max(other.end),
-        }
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
     }
 
     /// Length of the span in bytes.

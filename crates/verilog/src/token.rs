@@ -57,7 +57,7 @@ pub enum Keyword {
 
 impl Keyword {
     /// Looks up a keyword from its source spelling.
-    pub fn from_str(s: &str) -> Option<Keyword> {
+    pub fn lookup(s: &str) -> Option<Keyword> {
         use Keyword::*;
         Some(match s {
             "module" => Module,
@@ -235,11 +235,11 @@ pub enum TokenKind {
     Percent,
     Power, // **
 
-    Not,     // !
-    Tilde,   // ~
-    Amp,     // &
-    Pipe,    // |
-    Caret,   // ^
+    Not,        // !
+    Tilde,      // ~
+    Amp,        // &
+    Pipe,       // |
+    Caret,      // ^
     TildeAmp,   // ~&
     TildePipe,  // ~|
     TildeCaret, // ~^ or ^~
@@ -349,9 +349,9 @@ mod tests {
             Keyword::Casez,
             Keyword::Localparam,
         ] {
-            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+            assert_eq!(Keyword::lookup(kw.as_str()), Some(kw));
         }
-        assert_eq!(Keyword::from_str("alway"), None);
+        assert_eq!(Keyword::lookup("alway"), None);
     }
 
     #[test]

@@ -1,132 +1,197 @@
 //! Property tests: printer/parser round-trips and lexer totality over
 //! generated inputs.
+//!
+//! Written as seeded randomised loops with a hand-rolled AST/string
+//! generator (the workspace builds without the `proptest` crate).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use uvllm_verilog::ast::*;
 use uvllm_verilog::{parse, parse_expr, print_expr, print_source};
 
-/// Strategy for identifier names.
-fn ident() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
-        uvllm_verilog::token::Keyword::from_str(s).is_none()
-    })
-}
-
-/// Strategy for numbers (sized and unsized).
-fn number() -> impl Strategy<Value = Expr> {
-    prop_oneof![
-        (1u32..=32, any::<u64>()).prop_map(|(w, v)| {
-            Expr::Number(Number::sized(w, uvllm_verilog::token::NumberBase::Hex, (v as u128) & ((1u128 << w) - 1)))
-        }),
-        (0u64..100000).prop_map(|v| Expr::number(v as u128)),
-    ]
-}
-
-/// Recursive expression strategy.
-fn expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![number(), ident().prop_map(Expr::Ident)];
-    leaf.prop_recursive(4, 24, 4, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Binary(
-                BinaryOp::Add,
-                Box::new(a),
-                Box::new(b)
-            )),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Binary(
-                BinaryOp::BitXor,
-                Box::new(a),
-                Box::new(b)
-            )),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Binary(
-                BinaryOp::Lt,
-                Box::new(a),
-                Box::new(b)
-            )),
-            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| {
-                Expr::Ternary(Box::new(c), Box::new(t), Box::new(e))
-            }),
-            inner.clone().prop_map(|e| Expr::Unary(UnaryOp::BitNot, Box::new(e))),
-            inner.clone().prop_map(|e| Expr::Unary(UnaryOp::LogNot, Box::new(e))),
-            prop::collection::vec(inner.clone(), 1..4).prop_map(Expr::Concat),
-        ]
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// print → parse is the identity on expression ASTs.
-    #[test]
-    fn expr_print_parse_roundtrip(e in expr()) {
-        let printed = print_expr(&e);
-        let reparsed = parse_expr(&printed)
-            .unwrap_or_else(|err| panic!("`{printed}` failed to parse: {err}"));
-        prop_assert_eq!(&reparsed, &e, "printed: {}", printed);
+/// Random identifier that is never a keyword: `[a-z][a-z0-9_]{0,6}`.
+fn ident(rng: &mut StdRng) -> String {
+    loop {
+        let len = rng.random_range(1..8usize);
+        let mut s = String::new();
+        s.push((b'a' + rng.random_range(0..26u32) as u8) as char);
+        for _ in 1..len {
+            let c = match rng.random_range(0..37u32) {
+                0..=25 => (b'a' + rng.random_range(0..26u32) as u8) as char,
+                26..=35 => (b'0' + rng.random_range(0..10u32) as u8) as char,
+                _ => '_',
+            };
+            s.push(c);
+        }
+        if uvllm_verilog::token::Keyword::lookup(&s).is_none() {
+            return s;
+        }
     }
+}
 
-    /// The lexer never panics on arbitrary input (totality).
-    #[test]
-    fn lexer_is_total(s in "\\PC{0,200}") {
+/// Random number literal (sized hex or unsized decimal).
+fn number(rng: &mut StdRng) -> Expr {
+    if rng.random::<bool>() {
+        let w = rng.random_range(1..=32u32);
+        let v = rng.random::<u64>();
+        Expr::Number(Number::sized(
+            w,
+            uvllm_verilog::token::NumberBase::Hex,
+            (v as u128) & ((1u128 << w) - 1),
+        ))
+    } else {
+        Expr::number(rng.random_range(0..100_000u64) as u128)
+    }
+}
+
+/// Random expression tree of bounded depth.
+fn expr(rng: &mut StdRng, depth: usize) -> Expr {
+    if depth == 0 || rng.random_range(0..4u32) == 0 {
+        return if rng.random::<bool>() { number(rng) } else { Expr::Ident(ident(rng)) };
+    }
+    match rng.random_range(0..7u32) {
+        0 => Expr::Binary(
+            BinaryOp::Add,
+            Box::new(expr(rng, depth - 1)),
+            Box::new(expr(rng, depth - 1)),
+        ),
+        1 => Expr::Binary(
+            BinaryOp::BitXor,
+            Box::new(expr(rng, depth - 1)),
+            Box::new(expr(rng, depth - 1)),
+        ),
+        2 => Expr::Binary(
+            BinaryOp::Lt,
+            Box::new(expr(rng, depth - 1)),
+            Box::new(expr(rng, depth - 1)),
+        ),
+        3 => Expr::Ternary(
+            Box::new(expr(rng, depth - 1)),
+            Box::new(expr(rng, depth - 1)),
+            Box::new(expr(rng, depth - 1)),
+        ),
+        4 => Expr::Unary(UnaryOp::BitNot, Box::new(expr(rng, depth - 1))),
+        5 => Expr::Unary(UnaryOp::LogNot, Box::new(expr(rng, depth - 1))),
+        _ => {
+            let n = rng.random_range(1..4usize);
+            Expr::Concat((0..n).map(|_| expr(rng, depth - 1)).collect())
+        }
+    }
+}
+
+/// Random printable-ish string drawn from `alphabet`.
+fn random_text(rng: &mut StdRng, alphabet: &[char], max_len: usize) -> String {
+    let len = rng.random_range(0..=max_len as u64) as usize;
+    (0..len).map(|_| alphabet[rng.random_range(0..alphabet.len())]).collect()
+}
+
+/// ASCII printable + newline (the parser's natural input alphabet).
+fn ascii_alphabet() -> Vec<char> {
+    let mut v: Vec<char> = (b' '..=b'~').map(|b| b as char).collect();
+    v.push('\n');
+    v
+}
+
+/// Printable chars including some multi-byte UTF-8 (lexer totality).
+fn unicode_alphabet() -> Vec<char> {
+    let mut v = ascii_alphabet();
+    v.extend(['é', 'Ω', '—', '≤', '𝄞', 'µ', '中']);
+    v
+}
+
+/// print → parse is the identity on expression ASTs.
+#[test]
+fn expr_print_parse_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xE19A);
+    for _ in 0..256 {
+        let e = expr(&mut rng, 4);
+        let printed = print_expr(&e);
+        let reparsed =
+            parse_expr(&printed).unwrap_or_else(|err| panic!("`{printed}` failed to parse: {err}"));
+        assert_eq!(reparsed, e, "printed: {printed}");
+    }
+}
+
+/// The lexer never panics on arbitrary input (totality).
+#[test]
+fn lexer_is_total() {
+    let mut rng = StdRng::seed_from_u64(0x7E7A);
+    let alphabet = unicode_alphabet();
+    for _ in 0..256 {
+        let s = random_text(&mut rng, &alphabet, 200);
         let _ = uvllm_verilog::lexer::tokenize(&s);
     }
+}
 
-    /// The parser never panics on arbitrary ASCII-ish input.
-    #[test]
-    fn parser_is_total(s in "[ -~\\n]{0,300}") {
+/// The parser never panics on arbitrary ASCII-ish input.
+#[test]
+fn parser_is_total() {
+    let mut rng = StdRng::seed_from_u64(0xAA5C);
+    let alphabet = ascii_alphabet();
+    for _ in 0..256 {
+        let s = random_text(&mut rng, &alphabet, 300);
         let _ = parse(&s);
     }
+}
 
-    /// Simple generated modules round-trip through print_source.
-    #[test]
-    fn module_roundtrip(
-        name in ident(),
-        in_w in 1u32..16,
-        out_w in 1u32..16,
-        rhs in expr(),
-    ) {
+/// Simple generated modules round-trip through print_source.
+#[test]
+fn module_roundtrip() {
+    fn rename(e: &Expr, to: &str) -> Expr {
+        match e {
+            Expr::Ident(_) => Expr::Ident(to.to_string()),
+            Expr::Number(n) => Expr::Number(n.clone()),
+            Expr::Unary(op, a) => Expr::Unary(*op, Box::new(rename(a, to))),
+            Expr::Binary(op, a, b) => {
+                Expr::Binary(*op, Box::new(rename(a, to)), Box::new(rename(b, to)))
+            }
+            Expr::Ternary(c, t, e2) => Expr::Ternary(
+                Box::new(rename(c, to)),
+                Box::new(rename(t, to)),
+                Box::new(rename(e2, to)),
+            ),
+            Expr::Concat(items) => Expr::Concat(items.iter().map(|i| rename(i, to)).collect()),
+            other => other.clone(),
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(0x30D0);
+    for _ in 0..128 {
+        let name = ident(&mut rng);
+        if name == "din" || name == "dout" {
+            continue;
+        }
+        let in_w = rng.random_range(1..16u32);
+        let out_w = rng.random_range(1..16u32);
         // Restrict the RHS to declared identifiers by renaming all
         // identifiers to the input port.
-        fn rename(e: &Expr, to: &str) -> Expr {
-            match e {
-                Expr::Ident(_) => Expr::Ident(to.to_string()),
-                Expr::Number(n) => Expr::Number(n.clone()),
-                Expr::Unary(op, a) => Expr::Unary(*op, Box::new(rename(a, to))),
-                Expr::Binary(op, a, b) => {
-                    Expr::Binary(*op, Box::new(rename(a, to)), Box::new(rename(b, to)))
-                }
-                Expr::Ternary(c, t, e2) => Expr::Ternary(
-                    Box::new(rename(c, to)),
-                    Box::new(rename(t, to)),
-                    Box::new(rename(e2, to)),
-                ),
-                Expr::Concat(items) => {
-                    Expr::Concat(items.iter().map(|i| rename(i, to)).collect())
-                }
-                other => other.clone(),
-            }
-        }
-        prop_assume!(name != "din" && name != "dout");
-        let rhs = rename(&rhs, "din");
+        let rhs = rename(&expr(&mut rng, 4), "din");
         let src = format!(
             "module {name}(input [{0}:0] din, output [{1}:0] dout);\nassign dout = {2};\nendmodule\n",
-            in_w - 1, out_w - 1, print_expr(&rhs),
+            in_w - 1,
+            out_w - 1,
+            print_expr(&rhs),
         );
         let ast1 = parse(&src).unwrap_or_else(|e| panic!("{src}\n{e}"));
         let printed = print_source(&ast1);
         let ast2 = parse(&printed).unwrap_or_else(|e| panic!("{printed}\n{e}"));
-        prop_assert_eq!(print_source(&ast2), printed, "print not idempotent");
+        assert_eq!(print_source(&ast2), printed, "print not idempotent");
     }
+}
 
-    /// Spans reported by the lexer always slice validly into the input.
-    #[test]
-    fn token_spans_are_valid(s in "[ -~\\n]{0,200}") {
+/// Spans reported by the lexer always slice validly into the input.
+#[test]
+fn token_spans_are_valid() {
+    let mut rng = StdRng::seed_from_u64(0x59A7);
+    let alphabet = unicode_alphabet();
+    for _ in 0..256 {
+        let s = random_text(&mut rng, &alphabet, 200);
         if let Ok(tokens) = uvllm_verilog::lexer::tokenize(&s) {
             for t in tokens {
-                prop_assert!(t.span.end <= s.len());
-                prop_assert!(t.span.start <= t.span.end);
+                assert!(t.span.end <= s.len());
+                assert!(t.span.start <= t.span.end);
                 // Spans must lie on char boundaries.
-                prop_assert!(s.is_char_boundary(t.span.start));
-                prop_assert!(s.is_char_boundary(t.span.end));
+                assert!(s.is_char_boundary(t.span.start));
+                assert!(s.is_char_boundary(t.span.end));
             }
         }
     }

@@ -1,0 +1,133 @@
+//! Full-dataset verification campaign across all repair methods, on a
+//! sharded multi-worker engine with a resumable JSONL sink.
+//!
+//! ```text
+//! cargo run --release --example campaign -- --workers 8
+//! cargo run --release --example campaign -- --workers 8 --shard 0/4 --out shard0.jsonl
+//! cargo run --release --example campaign -- --size 60 --methods UVLLM,MEIC
+//! ```
+//!
+//! Re-running with the same `--out` resumes: completed jobs are read
+//! back from the file and skipped. Output rows are byte-identical
+//! (modulo order) for any `--workers` value.
+
+use std::process::ExitCode;
+use uvllm_campaign::{Campaign, CampaignConfig, JsonlSink, MethodKind, ShardSpec};
+
+struct Args {
+    config: CampaignConfig,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut config = CampaignConfig {
+        dataset_size: uvllm_bench::harness::dataset_size_from_env(),
+        ..CampaignConfig::default()
+    };
+    let mut out = "campaign.jsonl".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers must be a number".to_string())?;
+            }
+            "--shard" => config.shard = ShardSpec::parse(&value("--shard")?)?,
+            "--size" => {
+                config.dataset_size =
+                    value("--size")?.parse().map_err(|_| "--size must be a number".to_string())?;
+            }
+            "--seed" => {
+                let text = value("--seed")?;
+                let text = text.trim_start_matches("0x");
+                config.dataset_seed = u64::from_str_radix(text, 16)
+                    .or_else(|_| text.parse())
+                    .map_err(|_| "--seed must be a (hex) number".to_string())?;
+            }
+            "--methods" => {
+                config.methods = value("--methods")?
+                    .split(',')
+                    .map(|label| {
+                        MethodKind::from_label(label.trim())
+                            .ok_or_else(|| format!("unknown method '{label}'"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            "--out" => out = value("--out")?,
+            "--help" | "-h" => {
+                println!(
+                    "usage: campaign [--workers N] [--shard i/n] [--size N] \
+                     [--seed HEX] [--methods A,B,..] [--out FILE]\n\
+                     methods: UVLLM, UVLLM(comp), MEIC, GPT-4-turbo, Strider, RTLrepair"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(Args { config, out })
+}
+
+fn main() -> ExitCode {
+    let Args { config, out } = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let campaign = match Campaign::new(config) {
+        Ok(c) => c,
+        Err(message) => {
+            eprintln!("invalid campaign: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = campaign.config();
+    println!(
+        "campaign: {} instances x {} methods, {} workers, shard {}/{}, sink {out}",
+        config.dataset_size,
+        config.methods.len(),
+        config.effective_workers(),
+        config.shard.index,
+        config.shard.count,
+    );
+
+    let mut sink = match JsonlSink::open(&out) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open sink {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if sink.resumed() > 0 {
+        println!("resuming: {} completed rows found in {out}", sink.resumed());
+    }
+    let started = std::time::Instant::now();
+    let outcome = match campaign.run(&mut sink) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "done in {:.1?}: {} jobs total, {} evaluated now, {} resumed, {} other shards",
+        started.elapsed(),
+        outcome.total_jobs,
+        outcome.new_records.len(),
+        outcome.resumed,
+        outcome.sharded_out,
+    );
+    println!(
+        "elaboration cache: {} golden designs pre-warmed; {} hits / {} misses ({} entries)",
+        outcome.golden_designs,
+        outcome.elab_stats.hits,
+        outcome.elab_stats.misses,
+        outcome.elab_stats.entries,
+    );
+    println!("{}", outcome.report.render());
+    ExitCode::SUCCESS
+}

@@ -27,12 +27,14 @@ fn main() {
     println!("--- linter says ---\n{}\n", report.render(broken));
 
     let mut backend = HeuristicLlm::new();
-    let (fixed, stats) = preprocess(broken, "a blinking LED divider", &mut backend,
-        OutputMode::Pairs, 8);
+    let (fixed, stats) =
+        preprocess(broken, "a blinking LED divider", &mut backend, OutputMode::Pairs, 8);
 
     println!("--- after pre-processing ---");
-    println!("iterations: {}, rule-based repairs: {}, scripted warning fixes: {}",
-        stats.iterations, stats.llm_calls, stats.script_fixes);
+    println!(
+        "iterations: {}, rule-based repairs: {}, scripted warning fixes: {}",
+        stats.iterations, stats.llm_calls, stats.script_fixes
+    );
     println!("lint-clean: {}\n", stats.clean);
     println!("{fixed}");
 

@@ -20,12 +20,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Wire up the LLM backend. Offline, this is the calibrated
     //    GPT-4-turbo twin; swapping in a live API client only requires
     //    implementing `LanguageModel`.
-    let mut llm = OracleLlm::new(
-        broken.ground_truth.clone(),
-        design.source,
-        ModelProfile::Gpt4Turbo,
-        4,
-    );
+    let mut llm =
+        OracleLlm::new(broken.ground_truth.clone(), design.source, ModelProfile::Gpt4Turbo, 4);
 
     // 4. Run the four-stage verification loop.
     let mut framework = Uvllm::new(&mut llm, VerifyConfig::default());
@@ -37,14 +33,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  rollbacks:      {}", outcome.rollbacks);
     println!("  LLM calls:      {}", outcome.usage.calls);
     println!("  token cost:     ${:.4}", outcome.usage.cost(Pricing::GPT4_TURBO));
-    println!("  exec time:      {:.2}s (simulated API + measured substrate)",
-        outcome.times.total().as_secs_f64());
+    println!(
+        "  exec time:      {:.2}s (simulated API + measured substrate)",
+        outcome.times.total().as_secs_f64()
+    );
 
     // 5. Independent validation — the paper's Fix-Rate check.
     if outcome.success {
         let confirmed = uvllm::metrics::fix_confirmed(design, &outcome.final_code);
-        println!("  expert (differential) validation: {}",
-            if confirmed { "CONFIRMED" } else { "REJECTED (overfit!)" });
+        println!(
+            "  expert (differential) validation: {}",
+            if confirmed { "CONFIRMED" } else { "REJECTED (overfit!)" }
+        );
     }
     Ok(())
 }

@@ -18,22 +18,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Protocol assertions checked every cycle (the paper's
     // extensibility hook for AI-generated properties).
     let assertions = vec![
-        Assertion::parse("occupancy_bounded", "count <= 4'd8")
-            .map_err(std::io::Error::other)?,
-        Assertion::parse("flags_consistent", "(full == (count == 4'd8)) && (empty == (count == 4'd0))")
-            .map_err(std::io::Error::other)?,
+        Assertion::parse("occupancy_bounded", "count <= 4'd8").map_err(std::io::Error::other)?,
+        Assertion::parse(
+            "flags_consistent",
+            "(full == (count == 4'd8)) && (empty == (count == 4'd0))",
+        )
+        .map_err(std::io::Error::other)?,
     ];
-    let env = Environment::from_source(
-        design.source,
-        design.name,
-        iface,
-        (design.model)(),
-        sequences,
-    )?
-    .with_assertions(assertions);
+    let env =
+        Environment::from_source(design.source, design.name, iface, (design.model)(), sequences)?
+            .with_assertions(assertions);
     let summary = env.run();
-    println!("pristine FIFO: {} cycles, pass rate {:.1}%", summary.cycles,
-        summary.pass_rate * 100.0);
+    println!(
+        "pristine FIFO: {} cycles, pass rate {:.1}%",
+        summary.cycles,
+        summary.pass_rate * 100.0
+    );
     println!("  input coverage:  {:.1}%", summary.input_coverage * 100.0);
     println!("  toggle coverage: {:.1}%", summary.toggle_coverage * 100.0);
     println!("  assertion failures: {}", summary.assertion_failures);
@@ -42,14 +42,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let buggy = design.source.replace("count <= count - 4'd1;", "count <= count - 4'd2;");
     assert_ne!(buggy, design.source);
     let iface = (design.iface)();
-    let sequences: Vec<Box<dyn Sequence>> = vec![
-        Box::new(RandomSequence::new(&iface.inputs, 200, 0xF1F0)),
-    ];
-    let env =
-        Environment::from_source(&buggy, design.name, iface, (design.model)(), sequences)?;
+    let sequences: Vec<Box<dyn Sequence>> =
+        vec![Box::new(RandomSequence::new(&iface.inputs, 200, 0xF1F0))];
+    let env = Environment::from_source(&buggy, design.name, iface, (design.model)(), sequences)?;
     let summary = env.run();
-    println!("\nbuggy FIFO: pass rate {:.1}%, {} mismatches", summary.pass_rate * 100.0,
-        summary.mismatches.len());
+    println!(
+        "\nbuggy FIFO: pass rate {:.1}%, {} mismatches",
+        summary.pass_rate * 100.0,
+        summary.mismatches.len()
+    );
 
     // The log is what UVLLM's localization engine consumes.
     let rendered = summary.log.render();

@@ -1,0 +1,7 @@
+//! Workspace facade for the UVLLM reproduction.
+//!
+//! This crate exists so the repository-level `examples/` and `tests/`
+//! have a package to live in; the real functionality is in the
+//! `crates/` members (see the root `README.md` for the crate map).
+
+pub use uvllm::*;

@@ -50,12 +50,8 @@ fn functional_error_full_journey() {
             continue;
         };
         attempted += 1;
-        let mut llm = OracleLlm::new(
-            inst.ground_truth.clone(),
-            design.source,
-            ModelProfile::Gpt4Turbo,
-            seed,
-        );
+        let mut llm =
+            OracleLlm::new(inst.ground_truth.clone(), design.source, ModelProfile::Gpt4Turbo, seed);
         let mut framework = Uvllm::new(&mut llm, VerifyConfig::default());
         let outcome = framework.verify(design, &inst.mutated_src);
         if outcome.success {
@@ -115,8 +111,7 @@ fn scripted_fixes_need_no_llm() {
                always @(posedge clk) q = d;\n\
                always @(*) y <= a & b;\nendmodule\n";
     let mut llm = uvllm_llm::ScriptedLlm::new([]);
-    let (fixed, stats) =
-        uvllm::preprocess(src, "spec", &mut llm, uvllm_llm::OutputMode::Pairs, 4);
+    let (fixed, stats) = uvllm::preprocess(src, "spec", &mut llm, uvllm_llm::OutputMode::Pairs, 4);
     assert!(stats.clean);
     assert_eq!(stats.llm_calls, 0);
     assert_eq!(stats.script_fixes, 2);

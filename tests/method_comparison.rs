@@ -18,18 +18,8 @@ fn uvllm_beats_baselines_on_fix_rate() {
     let u: Vec<_> = uvllm_recs.iter().collect();
     let m: Vec<_> = meic_recs.iter().collect();
     let g: Vec<_> = gpt_recs.iter().collect();
-    assert!(
-        fr(&u) > fr(&m),
-        "UVLLM {:.1} should beat MEIC {:.1}",
-        fr(&u),
-        fr(&m)
-    );
-    assert!(
-        fr(&u) > fr(&g),
-        "UVLLM {:.1} should beat GPT-direct {:.1}",
-        fr(&u),
-        fr(&g)
-    );
+    assert!(fr(&u) > fr(&m), "UVLLM {:.1} should beat MEIC {:.1}", fr(&u), fr(&m));
+    assert!(fr(&u) > fr(&g), "UVLLM {:.1} should beat GPT-direct {:.1}", fr(&u), fr(&g));
 }
 
 #[test]
@@ -64,12 +54,8 @@ fn fixed_records_always_hit() {
     // FR is a strict superset of HR's test content, so fixed ⇒ hit for
     // every method — a consistency invariant of the harness itself.
     let ds = uvllm::build_dataset(24, 0xAB);
-    for method in [
-        MethodKind::Uvllm,
-        MethodKind::Meic,
-        MethodKind::Strider,
-        MethodKind::RtlRepair,
-    ] {
+    for method in [MethodKind::Uvllm, MethodKind::Meic, MethodKind::Strider, MethodKind::RtlRepair]
+    {
         for rec in evaluate(method, &ds.instances) {
             if rec.fixed {
                 assert!(rec.hit, "{method:?} {}: fixed but not hit", rec.instance_id);
@@ -85,12 +71,8 @@ fn uvllm_claims_match_reality_more_often_than_meic() {
     // UVLLM — Result 2 of the paper.
     let ds = small_dataset();
     let functional: Vec<_> = ds.functional().into_iter().cloned().collect();
-    let count_false = |method| {
-        evaluate(method, &functional)
-            .iter()
-            .filter(|r| r.claimed && !r.fixed)
-            .count()
-    };
+    let count_false =
+        |method| evaluate(method, &functional).iter().filter(|r| r.claimed && !r.fixed).count();
     let uvllm_false = count_false(MethodKind::Uvllm);
     let meic_false = count_false(MethodKind::Meic);
     assert!(
