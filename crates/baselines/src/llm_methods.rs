@@ -9,9 +9,10 @@
 
 use crate::method::{MethodOutcome, RepairMethod};
 use std::time::{Duration, Instant};
-use uvllm::stages::{directed_stage, UvmOutcome};
+use uvllm::stages::{directed_stage_with, UvmOutcome};
 use uvllm_designs::Design;
 use uvllm_llm::{AgentRole, CompleteResponse, ErrorInfo, LanguageModel, OutputMode, RepairPrompt};
+use uvllm_sim::SimBackend;
 
 /// MEIC-style baseline: iterate LLM whole-code repairs against the
 /// finite public testbench, feeding raw logs back, until the tests pass
@@ -20,12 +21,19 @@ pub struct MeicRepair<'m> {
     llm: &'m mut dyn LanguageModel,
     /// Iteration budget (MEIC uses a dual-agent loop of ~10 rounds).
     pub max_iterations: usize,
+    backend: SimBackend,
 }
 
 impl<'m> MeicRepair<'m> {
     /// Wraps a model backend.
     pub fn new(llm: &'m mut dyn LanguageModel) -> Self {
-        MeicRepair { llm, max_iterations: 10 }
+        MeicRepair { llm, max_iterations: 10, backend: SimBackend::from_env() }
+    }
+
+    /// Runs the method's internal acceptance tests on `backend`.
+    pub fn with_backend(mut self, backend: SimBackend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 
@@ -42,7 +50,7 @@ impl RepairMethod for MeicRepair<'_> {
             iterations += 1;
             let wall = Instant::now();
             // Run the method's own (weak) acceptance test.
-            let log = match directed_stage(&code, design) {
+            let log = match directed_stage_with(&code, design, self.backend) {
                 UvmOutcome::Ran(run) => {
                     if run.all_passed() {
                         // NOTE: if the weak tests never trip over the
@@ -87,7 +95,10 @@ impl RepairMethod for MeicRepair<'_> {
         // Budget exhausted: report the last candidate, claimed state
         // from a final check.
         let wall = Instant::now();
-        let claimed = matches!(directed_stage(&code, design), UvmOutcome::Ran(r) if r.all_passed());
+        let claimed = matches!(
+            directed_stage_with(&code, design, self.backend),
+            UvmOutcome::Ran(r) if r.all_passed()
+        );
         time += wall.elapsed();
         MethodOutcome {
             final_code: code,
@@ -106,12 +117,19 @@ pub struct GptDirect<'m> {
     llm: &'m mut dyn LanguageModel,
     /// Samples per instance (the paper asks the model 5 times).
     pub samples: usize,
+    backend: SimBackend,
 }
 
 impl<'m> GptDirect<'m> {
     /// Wraps a model backend.
     pub fn new(llm: &'m mut dyn LanguageModel) -> Self {
-        GptDirect { llm, samples: 5 }
+        GptDirect { llm, samples: 5, backend: SimBackend::from_env() }
+    }
+
+    /// Runs the method's internal acceptance tests on `backend`.
+    pub fn with_backend(mut self, backend: SimBackend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 
@@ -135,8 +153,10 @@ impl RepairMethod for GptDirect<'_> {
                 continue;
             }
             let wall = Instant::now();
-            let passed =
-                matches!(directed_stage(&resp.code, design), UvmOutcome::Ran(r) if r.all_passed());
+            let passed = matches!(
+                directed_stage_with(&resp.code, design, self.backend),
+                UvmOutcome::Ran(r) if r.all_passed()
+            );
             time += wall.elapsed();
             best = resp.code;
             if passed {

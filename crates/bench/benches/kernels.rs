@@ -1,0 +1,90 @@
+//! Criterion benchmarks pitting the compiled levelized kernel against
+//! the event-driven baseline on the campaign hot path: raw clocked
+//! settle throughput, whole UVM environment runs, and a campaign slice.
+//!
+//! ```text
+//! cargo bench --bench kernels
+//! ```
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use uvllm_campaign::{Campaign, CampaignConfig, MemorySink, MethodKind, SimBackend};
+use uvllm_designs::by_name;
+use uvllm_sim::{elaborate, AnySim, Logic, SimControl};
+use uvllm_uvm::{CornerSequence, Environment, RandomSequence, Sequence};
+
+fn bench_clocked_settle(c: &mut Criterion) {
+    let d = by_name("counter_12").unwrap();
+    let file = uvllm_verilog::parse(d.source).unwrap();
+    let design = elaborate(&file, d.name).unwrap();
+    for backend in SimBackend::ALL {
+        c.bench_function(&format!("counter_1000_cycles[{backend}]"), |b| {
+            b.iter_batched(
+                || AnySim::new(&design, backend).unwrap(),
+                |mut sim| {
+                    sim.poke_by_name("rst_n", Logic::bit(false)).unwrap();
+                    sim.poke_by_name("rst_n", Logic::bit(true)).unwrap();
+                    sim.poke_by_name("en", Logic::bit(true)).unwrap();
+                    for _ in 0..1000 {
+                        sim.poke_by_name("clk", Logic::bit(true)).unwrap();
+                        sim.poke_by_name("clk", Logic::bit(false)).unwrap();
+                    }
+                    black_box(sim.peek_by_name("q").unwrap())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn bench_uvm_run(c: &mut Criterion) {
+    let d = by_name("alu_8bit").unwrap();
+    for backend in SimBackend::ALL {
+        c.bench_function(&format!("uvm_run_alu_100_cycles[{backend}]"), |b| {
+            b.iter(|| {
+                let iface = (d.iface)();
+                let seqs: Vec<Box<dyn Sequence>> = vec![
+                    Box::new(RandomSequence::new(&iface.inputs, 100, 7)),
+                    Box::new(CornerSequence::new(&iface.inputs)),
+                ];
+                let env = Environment::from_source_with(
+                    d.source,
+                    d.name,
+                    iface,
+                    (d.model)(),
+                    seqs,
+                    backend,
+                )
+                .unwrap();
+                black_box(env.run().pass_rate)
+            })
+        });
+    }
+}
+
+fn bench_campaign_slice(c: &mut Criterion) {
+    for backend in SimBackend::ALL {
+        c.bench_function(&format!("campaign_8x2_script_methods[{backend}]"), |b| {
+            b.iter(|| {
+                let config = CampaignConfig {
+                    dataset_size: 8,
+                    dataset_seed: 0xBE7C,
+                    methods: vec![MethodKind::Strider, MethodKind::RtlRepair],
+                    workers: 1,
+                    backend,
+                    ..CampaignConfig::default()
+                };
+                let mut sink = MemorySink::new();
+                let outcome = Campaign::new(config).unwrap().run(&mut sink).unwrap();
+                black_box(outcome.new_records.len())
+            })
+        });
+    }
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_clocked_settle, bench_uvm_run, bench_campaign_slice,
+);
+criterion_main!(kernels);

@@ -8,6 +8,7 @@ use crate::report::CampaignReport;
 use crate::sink::ResultSink;
 use std::sync::{Arc, Mutex};
 use uvllm::BenchInstance;
+use uvllm_sim::SimBackend;
 
 /// What to run and how wide.
 #[derive(Debug, Clone)]
@@ -22,6 +23,9 @@ pub struct CampaignConfig {
     pub workers: usize,
     /// Which `i/n` slice of the job space this process owns.
     pub shard: ShardSpec,
+    /// Simulation kernel every job runs on (recorded per row; the two
+    /// kernels are waveform-identical, so verdicts do not depend on it).
+    pub backend: SimBackend,
 }
 
 impl Default for CampaignConfig {
@@ -32,6 +36,7 @@ impl Default for CampaignConfig {
             methods: MethodKind::ALL.to_vec(),
             workers: 0,
             shard: ShardSpec::default(),
+            backend: SimBackend::from_env(),
         }
     }
 }
@@ -115,7 +120,11 @@ impl Campaign {
     ///
     /// Returns the first sink I/O error, after the pool has wound down.
     pub fn run(&self, sink: &mut dyn ResultSink) -> std::io::Result<CampaignOutcome> {
-        let dataset = uvllm::build_dataset(self.config.dataset_size, self.config.dataset_seed);
+        let dataset = uvllm::build_dataset_with(
+            self.config.dataset_size,
+            self.config.dataset_seed,
+            self.config.backend,
+        );
         let instances: Vec<Arc<BenchInstance>> =
             dataset.instances.into_iter().map(Arc::new).collect();
 
@@ -130,7 +139,18 @@ impl Campaign {
             }
         }
         for design in &golden {
-            let _ = uvllm_sim::elaborate_source_cached(design.source, design.name);
+            match self.config.backend {
+                // The compiled cache has no in-flight dedup, so warming
+                // it here (before the pool starts) is what makes
+                // per-design levelization happen exactly once; it pulls
+                // the elaboration through its own cache on the way.
+                SimBackend::Compiled => {
+                    let _ = uvllm_sim::compile_source_cached(design.source, design.name);
+                }
+                SimBackend::EventDriven => {
+                    let _ = uvllm_sim::elaborate_source_cached(design.source, design.name);
+                }
+            }
         }
 
         let all_jobs = expand_jobs(&instances, &self.config.methods);
@@ -157,7 +177,8 @@ impl Campaign {
         let existing_rows = sink.existing_rows();
         let sink = Mutex::new(sink);
         let sink_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
-        let new_records = run_pool(jobs, self.config.effective_workers(), |_, record| {
+        let backend = self.config.backend;
+        let new_records = run_pool(jobs, self.config.effective_workers(), backend, |_, record| {
             let row = record.to_row();
             let mut guard = sink.lock().expect("sink poisoned");
             if let Err(e) = guard.append(&row) {
@@ -184,15 +205,26 @@ impl Campaign {
 
 /// Evaluates one method over pre-built instances on a worker pool,
 /// returning records in instance order — the parallel engine behind
-/// `uvllm_bench::harness::evaluate`.
+/// `uvllm_bench::harness::evaluate`. Runs on the process-default
+/// simulation backend.
 pub fn evaluate_parallel(
     method: MethodKind,
     instances: &[BenchInstance],
     workers: usize,
 ) -> Vec<EvalRecord> {
+    evaluate_parallel_with(method, instances, workers, SimBackend::from_env())
+}
+
+/// [`evaluate_parallel`] on an explicit simulation backend.
+pub fn evaluate_parallel_with(
+    method: MethodKind,
+    instances: &[BenchInstance],
+    workers: usize,
+    backend: SimBackend,
+) -> Vec<EvalRecord> {
     let shared: Vec<Arc<BenchInstance>> = instances.iter().cloned().map(Arc::new).collect();
     let jobs = expand_jobs(&shared, &[method]);
-    run_pool(jobs, workers.max(1), |_, _| {})
+    run_pool(jobs, workers.max(1), backend, |_, _| {})
 }
 
 #[cfg(test)]
@@ -207,6 +239,7 @@ mod tests {
             methods: vec![MethodKind::Strider, MethodKind::RtlRepair],
             workers,
             shard: ShardSpec::default(),
+            backend: SimBackend::default(),
         }
     }
 

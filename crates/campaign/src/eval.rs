@@ -5,12 +5,13 @@
 //! engine can own it; the bench crate re-exports everything for
 //! compatibility.
 
-use uvllm::{BenchInstance, Stage, StageTimes, Uvllm, VerifyConfig};
+use uvllm::{BenchInstance, Stage, StageTimes, Uvllm, Verdict, VerifyConfig};
 use uvllm_baselines::{GptDirect, MeicRepair, RepairMethod, RtlRepair, StriderRepair};
 use uvllm_designs::Category;
 use uvllm_errgen::{ErrorCategory, ErrorKind};
 use uvllm_json::Json;
 use uvllm_llm::{ModelProfile, OracleLlm, OutputMode, Usage};
+use uvllm_sim::SimBackend;
 
 /// Which method to evaluate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -75,10 +76,16 @@ pub struct EvalRecord {
     pub kind: ErrorKind,
     pub category: ErrorCategory,
     pub method: MethodKind,
+    /// Simulation kernel the job ran on.
+    pub backend: SimBackend,
     /// Passed the public directed vectors (Hit Rate).
     pub hit: bool,
     /// Passed the extended differential validation (Fix Rate).
     pub fixed: bool,
+    /// Classified Fix-Rate outcome (pass / mismatch / unstable /
+    /// build-failed) — surfaces `SimError::Unstable` as a distinct
+    /// outcome instead of a bare `fixed == false`.
+    pub fix_outcome: Verdict,
     /// The method's own claim of success.
     pub claimed: bool,
     /// Total execution time in (simulated+measured) seconds.
@@ -108,8 +115,10 @@ impl EvalRecord {
             syntax: self.kind.is_syntax(),
             category: self.category.label().to_string(),
             method: self.method.label().to_string(),
+            backend: self.backend.label().to_string(),
             hit: self.hit,
             fixed: self.fixed,
+            outcome: self.fix_outcome.label().to_string(),
             claimed: self.claimed,
             llm_calls: self.usage.calls,
             prompt_tokens: self.usage.prompt_tokens,
@@ -148,8 +157,13 @@ pub struct EvalRow {
     pub category: String,
     /// Method label.
     pub method: String,
+    /// Simulation-kernel label (`event` / `compiled`).
+    pub backend: String,
     pub hit: bool,
     pub fixed: bool,
+    /// Classified Fix-Rate outcome label
+    /// (`pass` / `mismatch` / `unstable` / `build-failed`).
+    pub outcome: String,
     pub claimed: bool,
     pub llm_calls: u64,
     pub prompt_tokens: u64,
@@ -172,8 +186,10 @@ impl EvalRow {
             ("syntax".into(), Json::Bool(self.syntax)),
             ("category".into(), Json::Str(self.category.clone())),
             ("method".into(), Json::Str(self.method.clone())),
+            ("backend".into(), Json::Str(self.backend.clone())),
             ("hit".into(), Json::Bool(self.hit)),
             ("fixed".into(), Json::Bool(self.fixed)),
+            ("outcome".into(), Json::Str(self.outcome.clone())),
             ("claimed".into(), Json::Bool(self.claimed)),
             ("llm_calls".into(), Json::Num(self.llm_calls as f64)),
             ("prompt_tokens".into(), Json::Num(self.prompt_tokens as f64)),
@@ -223,8 +239,28 @@ impl EvalRow {
             syntax: bool_member("syntax")?,
             category: str_member("category")?,
             method: str_member("method")?,
+            // Rows written before the backend/outcome schema fields
+            // existed decode with their historical implicit values.
+            backend: match v.get("backend") {
+                Some(b) => {
+                    b.as_str().ok_or_else(|| "bad 'backend' member".to_string())?.to_string()
+                }
+                None => SimBackend::EventDriven.label().to_string(),
+            },
             hit: bool_member("hit")?,
             fixed: bool_member("fixed")?,
+            outcome: match v.get("outcome") {
+                Some(o) => {
+                    o.as_str().ok_or_else(|| "bad 'outcome' member".to_string())?.to_string()
+                }
+                None => {
+                    if bool_member("fixed")? {
+                        Verdict::Pass.label().to_string()
+                    } else {
+                        Verdict::Mismatch.label().to_string()
+                    }
+                }
+            },
             claimed: bool_member("claimed")?,
             llm_calls: num_member("llm_calls")?,
             prompt_tokens: num_member("prompt_tokens")?,
@@ -239,12 +275,24 @@ impl EvalRow {
     }
 }
 
-/// Evaluates `method` on one instance.
+/// Evaluates `method` on one instance on the process-default simulation
+/// backend ([`SimBackend::from_env`]).
+pub fn evaluate_one(method: MethodKind, inst: &BenchInstance) -> EvalRecord {
+    evaluate_one_with(method, inst, SimBackend::from_env())
+}
+
+/// Evaluates `method` on one instance on an explicit simulation backend.
 ///
 /// Everything stochastic is derived from the instance seed and the
 /// method salt, so the record is a pure function of its job — the
-/// bedrock of campaign determinism and resumability.
-pub fn evaluate_one(method: MethodKind, inst: &BenchInstance) -> EvalRecord {
+/// bedrock of campaign determinism and resumability. The two backends
+/// are waveform-identical (enforced by the differential equivalence
+/// suite), so the backend changes wall-clock, not verdicts.
+pub fn evaluate_one_with(
+    method: MethodKind,
+    inst: &BenchInstance,
+    backend: SimBackend,
+) -> EvalRecord {
     let oracle_seed = inst.seed ^ method.salt().wrapping_mul(0x9E37_79B9_7F4A_7C15);
     let design = inst.design;
     let oracle =
@@ -257,6 +305,7 @@ pub fn evaluate_one(method: MethodKind, inst: &BenchInstance) -> EvalRecord {
                 } else {
                     OutputMode::Pairs
                 },
+                backend,
                 ..VerifyConfig::default()
             };
             // The framework owns its (job-local) model: the whole run
@@ -274,29 +323,29 @@ pub fn evaluate_one(method: MethodKind, inst: &BenchInstance) -> EvalRecord {
         }
         MethodKind::Meic => {
             let mut llm = oracle(ModelProfile::Gpt4TurboWeakHarness);
-            let mut m = MeicRepair::new(&mut llm);
+            let mut m = MeicRepair::new(&mut llm).with_backend(backend);
             let out = m.repair(design, &inst.mutated_src);
             (out.final_code, out.claimed_success, out.time.as_secs_f64(), None, None, out.usage)
         }
         MethodKind::GptDirect => {
             let mut llm = oracle(ModelProfile::Gpt4TurboWeakHarness);
-            let mut m = GptDirect::new(&mut llm);
+            let mut m = GptDirect::new(&mut llm).with_backend(backend);
             let out = m.repair(design, &inst.mutated_src);
             (out.final_code, out.claimed_success, out.time.as_secs_f64(), None, None, out.usage)
         }
         MethodKind::Strider => {
-            let mut m = StriderRepair::new();
+            let mut m = StriderRepair::new().with_backend(backend);
             let out = m.repair(design, &inst.mutated_src);
             (out.final_code, out.claimed_success, out.time.as_secs_f64(), None, None, out.usage)
         }
         MethodKind::RtlRepair => {
-            let mut m = RtlRepair::new();
+            let mut m = RtlRepair::new().with_backend(backend);
             let out = m.repair(design, &inst.mutated_src);
             (out.final_code, out.claimed_success, out.time.as_secs_f64(), None, None, out.usage)
         }
     };
-    let hit = uvllm::metrics::hit_confirmed(design, &final_code);
-    let fixed = uvllm::metrics::fix_confirmed(design, &final_code);
+    let hit = uvllm::metrics::hit_confirmed_with(design, &final_code, backend);
+    let fix_outcome = uvllm::metrics::fix_verdict_with(design, &final_code, backend);
     EvalRecord {
         instance_id: inst.id(),
         design: design.name,
@@ -304,8 +353,10 @@ pub fn evaluate_one(method: MethodKind, inst: &BenchInstance) -> EvalRecord {
         kind: inst.kind,
         category: inst.ground_truth.category,
         method,
+        backend,
         hit,
-        fixed,
+        fixed: fix_outcome.passed(),
+        fix_outcome,
         claimed,
         texec,
         stage_times,

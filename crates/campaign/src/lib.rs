@@ -37,14 +37,14 @@
 //! ## Example
 //!
 //! ```rust
-//! use uvllm_campaign::{Campaign, CampaignConfig, MemorySink, MethodKind, ShardSpec};
+//! use uvllm_campaign::{Campaign, CampaignConfig, MemorySink, MethodKind};
 //!
 //! let config = CampaignConfig {
 //!     dataset_size: 4,
 //!     dataset_seed: 0x42,
 //!     methods: vec![MethodKind::Strider],
 //!     workers: 2,
-//!     shard: ShardSpec::default(),
+//!     ..CampaignConfig::default()
 //! };
 //! let mut sink = MemorySink::new();
 //! let outcome = Campaign::new(config).unwrap().run(&mut sink).unwrap();
@@ -60,10 +60,12 @@ pub mod report;
 pub mod sink;
 
 pub use engine::{
-    default_worker_count, evaluate_parallel, Campaign, CampaignConfig, CampaignOutcome,
+    default_worker_count, evaluate_parallel, evaluate_parallel_with, Campaign, CampaignConfig,
+    CampaignOutcome,
 };
-pub use eval::{evaluate_one, job_id, EvalRecord, EvalRow, MethodKind};
+pub use eval::{evaluate_one, evaluate_one_with, job_id, EvalRecord, EvalRow, MethodKind};
 pub use job::{expand_jobs, fnv1a64, Job, ShardSpec};
 pub use queue::WorkQueue;
 pub use report::CampaignReport;
 pub use sink::{JsonlSink, MemorySink, ResultSink};
+pub use uvllm_sim::SimBackend;

@@ -229,8 +229,10 @@ mod tests {
             syntax,
             category: if syntax { "Scope issues" } else { "Flawed conditions" }.into(),
             method: method.to_string(),
+            backend: "event".into(),
             hit,
             fixed,
+            outcome: if fixed { "pass" } else { "mismatch" }.into(),
             claimed: fixed,
             llm_calls: 2,
             prompt_tokens: 10,

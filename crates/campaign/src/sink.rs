@@ -146,8 +146,10 @@ mod tests {
             syntax: false,
             category: "Flawed conditions".into(),
             method: "M".into(),
+            backend: "event".into(),
             hit: true,
             fixed: false,
+            outcome: "mismatch".into(),
             claimed: true,
             llm_calls: 3,
             prompt_tokens: 100,

@@ -15,6 +15,7 @@
 //!   repair.
 
 use uvllm_designs::Design;
+use uvllm_sim::SimBackend;
 use uvllm_uvm::{CornerSequence, DirectedSequence, Environment, RandomSequence, Sequence};
 
 /// Seed of the first FR random campaign; the dataset builder validates
@@ -27,27 +28,75 @@ pub const FR_CYCLES: usize = 800;
 /// Additional FR seeds beyond the primary one.
 pub const FR_EXTRA_SEEDS: [u64; 2] = [8, 9];
 
-/// Runs a set of sequences against `code`; true when everything passed.
-fn passes(code: &str, design: &Design, seqs: Vec<Box<dyn Sequence>>) -> bool {
-    let iface = (design.iface)();
-    match Environment::from_source(code, design.name, iface, (design.model)(), seqs) {
-        Ok(env) => env.run().all_passed(),
-        Err(_) => false,
+/// How a metric run ended — the campaign's distinct outcome classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every checked cycle matched the golden model.
+    Pass,
+    /// The run completed (or aborted for a non-oscillation reason) with
+    /// mismatches or another failure.
+    Mismatch,
+    /// The DUT oscillated: `SimError::Unstable` with the activation
+    /// count at the simulator's cap.
+    Unstable {
+        /// Process activations performed before giving up.
+        activations: usize,
+    },
+    /// The code did not parse/elaborate (or lost a required port).
+    BuildFailed,
+}
+
+impl Verdict {
+    /// True only for [`Verdict::Pass`].
+    pub fn passed(&self) -> bool {
+        matches!(self, Verdict::Pass)
+    }
+
+    /// Stable label used in campaign JSONL rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Mismatch => "mismatch",
+            Verdict::Unstable { .. } => "unstable",
+            Verdict::BuildFailed => "build-failed",
+        }
     }
 }
 
-/// Hit-Rate check: does `code` pass the public directed vectors?
-pub fn hit_confirmed(design: &Design, code: &str) -> bool {
-    passes(
-        code,
-        design,
-        vec![Box::new(DirectedSequence::new("public", (design.directed_vectors)()))],
-    )
+/// Runs a set of sequences against `code` and classifies the outcome.
+fn run_verdict(
+    code: &str,
+    design: &Design,
+    seqs: Vec<Box<dyn Sequence>>,
+    backend: SimBackend,
+) -> Verdict {
+    let iface = (design.iface)();
+    match Environment::from_source_with(code, design.name, iface, (design.model)(), seqs, backend) {
+        Ok(env) => {
+            let summary = env.run();
+            if summary.all_passed() {
+                Verdict::Pass
+            } else if let Some(activations) = summary.unstable {
+                Verdict::Unstable { activations }
+            } else {
+                Verdict::Mismatch
+            }
+        }
+        // A Sim error at construction can only be time-zero oscillation
+        // (the build itself succeeded), and the engine always gives up
+        // exactly at its activation cap.
+        Err(uvllm_uvm::UvmError::Sim(_)) => {
+            Verdict::Unstable { activations: uvllm_sim::MAX_ACTIVATIONS }
+        }
+        Err(_) => Verdict::BuildFailed,
+    }
 }
 
-/// Fix-Rate check: extended differential validation against the golden
-/// model (the mechanized "expert review").
-pub fn fix_confirmed(design: &Design, code: &str) -> bool {
+fn hit_seqs(design: &Design) -> Vec<Box<dyn Sequence>> {
+    vec![Box::new(DirectedSequence::new("public", (design.directed_vectors)()))]
+}
+
+fn fr_seqs(design: &Design) -> Vec<Box<dyn Sequence>> {
     let iface = (design.iface)();
     let mut seqs: Vec<Box<dyn Sequence>> = vec![
         Box::new(RandomSequence::new(&iface.inputs, FR_CYCLES, FR_PRIMARY_SEED)),
@@ -57,18 +106,51 @@ pub fn fix_confirmed(design: &Design, code: &str) -> bool {
     for seed in FR_EXTRA_SEEDS {
         seqs.push(Box::new(RandomSequence::new(&iface.inputs, FR_CYCLES, seed)));
     }
-    passes(code, design, seqs)
+    seqs
+}
+
+/// Hit-Rate check: does `code` pass the public directed vectors?
+pub fn hit_confirmed(design: &Design, code: &str) -> bool {
+    hit_confirmed_with(design, code, SimBackend::from_env())
+}
+
+/// [`hit_confirmed`] on an explicit simulation backend.
+pub fn hit_confirmed_with(design: &Design, code: &str, backend: SimBackend) -> bool {
+    run_verdict(code, design, hit_seqs(design), backend).passed()
+}
+
+/// Fix-Rate check: extended differential validation against the golden
+/// model (the mechanized "expert review").
+pub fn fix_confirmed(design: &Design, code: &str) -> bool {
+    fix_confirmed_with(design, code, SimBackend::from_env())
+}
+
+/// [`fix_confirmed`] on an explicit simulation backend.
+pub fn fix_confirmed_with(design: &Design, code: &str, backend: SimBackend) -> bool {
+    fix_verdict_with(design, code, backend).passed()
+}
+
+/// The full classified Fix-Rate outcome: lets campaign rows distinguish
+/// "fails the differential campaign" from "oscillates" from "does not
+/// build".
+pub fn fix_verdict_with(design: &Design, code: &str, backend: SimBackend) -> Verdict {
+    run_verdict(code, design, fr_seqs(design), backend)
 }
 
 /// The quick validation run used by the dataset builder: a strict prefix
 /// of the FR campaign, so "fails validation" implies "fails FR".
 pub fn mutant_is_detectable(design: &Design, code: &str) -> bool {
+    mutant_is_detectable_with(design, code, SimBackend::from_env())
+}
+
+/// [`mutant_is_detectable`] on an explicit simulation backend.
+pub fn mutant_is_detectable_with(design: &Design, code: &str, backend: SimBackend) -> bool {
     let iface = (design.iface)();
     let seqs: Vec<Box<dyn Sequence>> = vec![
         Box::new(RandomSequence::new(&iface.inputs, VALIDATION_CYCLES, FR_PRIMARY_SEED)),
         Box::new(CornerSequence::new(&iface.inputs)),
     ];
-    !passes(code, design, seqs)
+    !run_verdict(code, design, seqs, backend).passed()
 }
 
 #[cfg(test)]

@@ -1,10 +1,11 @@
 //! The UVLLM orchestrator: the iterative loop of Fig. 2 with the
 //! score-register rollback mechanism.
 
-use crate::stages::{postprocess, preprocess, repair, uvm_stage, UvmOutcome};
+use crate::stages::{postprocess, preprocess, repair, uvm_stage_with, UvmOutcome};
 use std::time::{Duration, Instant};
 use uvllm_designs::Design;
 use uvllm_llm::{ErrorInfo, LanguageModel, OutputMode, RepairPair, Usage};
+use uvllm_sim::SimBackend;
 
 /// Which pipeline segment produced the final successful change —
 /// Table II's per-stage fix-rate attribution.
@@ -67,6 +68,9 @@ pub struct VerifyConfig {
     pub rollback_enabled: bool,
     /// Disable to ablate SL-mode escalation (stay in MS mode forever).
     pub sl_enabled: bool,
+    /// Simulation kernel for the UVM processing stage (defaults to the
+    /// process-wide [`SimBackend::from_env`] selection).
+    pub backend: SimBackend,
 }
 
 impl Default for VerifyConfig {
@@ -80,6 +84,7 @@ impl Default for VerifyConfig {
             output_mode: OutputMode::Pairs,
             rollback_enabled: true,
             sl_enabled: true,
+            backend: SimBackend::from_env(),
         }
     }
 }
@@ -175,7 +180,7 @@ impl<M: LanguageModel> Uvllm<M> {
 
             // -------- Step 2: UVM processing ---------------------------
             let wall = Instant::now();
-            let outcome = uvm_stage(&code, design, cfg.uvm_cycles, cfg.uvm_seed);
+            let outcome = uvm_stage_with(&code, design, cfg.uvm_cycles, cfg.uvm_seed, cfg.backend);
             times.uvm += wall.elapsed();
             let score = outcome.score();
             final_score = score;

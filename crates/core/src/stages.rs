@@ -9,6 +9,7 @@ use uvllm_llm::{
     AgentRole, CompleteResponse, ErrorInfo, LanguageModel, MismatchInfo, OutputMode, RepairPair,
     RepairPrompt, RepairResponse,
 };
+use uvllm_sim::SimBackend;
 use uvllm_uvm::{
     CornerSequence, DirectedSequence, Environment, RandomSequence, RunSummary, Sequence, UvmError,
 };
@@ -119,14 +120,25 @@ impl UvmOutcome {
 }
 
 /// Runs the UVM testbench (random + corner sequences against the golden
-/// reference model) on `code`.
+/// reference model) on `code`, on the process-default backend.
 pub fn uvm_stage(code: &str, design: &Design, cycles: usize, seed: u64) -> UvmOutcome {
+    uvm_stage_with(code, design, cycles, seed, SimBackend::from_env())
+}
+
+/// [`uvm_stage`] on an explicit simulation backend.
+pub fn uvm_stage_with(
+    code: &str,
+    design: &Design,
+    cycles: usize,
+    seed: u64,
+    backend: SimBackend,
+) -> UvmOutcome {
     let iface = (design.iface)();
     let seqs: Vec<Box<dyn Sequence>> = vec![
         Box::new(RandomSequence::new(&iface.inputs, cycles, seed)),
         Box::new(CornerSequence::new(&iface.inputs)),
     ];
-    match Environment::from_source(code, design.name, iface, (design.model)(), seqs) {
+    match Environment::from_source_with(code, design.name, iface, (design.model)(), seqs, backend) {
         Ok(env) => UvmOutcome::Ran(Box::new(env.run())),
         Err(UvmError::Elab(m)) => UvmOutcome::BuildFailed(m),
         Err(UvmError::MissingPort(p)) => {
@@ -137,12 +149,18 @@ pub fn uvm_stage(code: &str, design: &Design, cycles: usize, seed: u64) -> UvmOu
 }
 
 /// Runs the weak directed public testbench (`T_pub`) — the evaluation's
-/// Hit-Rate test set and the feedback loop of the baseline methods.
+/// Hit-Rate test set and the feedback loop of the baseline methods —
+/// on the process-default backend.
 pub fn directed_stage(code: &str, design: &Design) -> UvmOutcome {
+    directed_stage_with(code, design, SimBackend::from_env())
+}
+
+/// [`directed_stage`] on an explicit simulation backend.
+pub fn directed_stage_with(code: &str, design: &Design, backend: SimBackend) -> UvmOutcome {
     let iface = (design.iface)();
     let seqs: Vec<Box<dyn Sequence>> =
         vec![Box::new(DirectedSequence::new("public", (design.directed_vectors)()))];
-    match Environment::from_source(code, design.name, iface, (design.model)(), seqs) {
+    match Environment::from_source_with(code, design.name, iface, (design.model)(), seqs, backend) {
         Ok(env) => UvmOutcome::Ran(Box::new(env.run())),
         Err(e) => UvmOutcome::BuildFailed(e.to_string()),
     }

@@ -1,0 +1,249 @@
+//! Simulation backend selection: the [`SimBackend`] enum, the
+//! kernel-agnostic [`SimControl`] surface and the [`AnySim`] wrapper
+//! that lets harnesses hold either kernel behind one concrete type.
+
+use crate::elab::{Design, SignalId};
+use crate::kernel::CompiledSim;
+use crate::logic::Logic;
+use crate::sched::{SimError, Simulator};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Which simulation kernel to run a design on.
+///
+/// Both kernels expose the same poke/settle/peek/waveform surface and
+/// are kept waveform-identical by the differential equivalence suite;
+/// the compiled kernel is the fast path for large campaigns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SimBackend {
+    /// The event-driven delta-cycle interpreter ([`Simulator`]).
+    #[default]
+    EventDriven,
+    /// The compiled levelized kernel ([`CompiledSim`]).
+    Compiled,
+}
+
+impl SimBackend {
+    /// Both backends, event-driven first.
+    pub const ALL: [SimBackend; 2] = [SimBackend::EventDriven, SimBackend::Compiled];
+
+    /// Stable label used in CLI flags and campaign JSONL rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SimBackend::EventDriven => "event",
+            SimBackend::Compiled => "compiled",
+        }
+    }
+
+    /// Parses a [`SimBackend::label`] (CLI / row decoding).
+    pub fn from_label(text: &str) -> Option<SimBackend> {
+        match text.trim() {
+            "event" | "event-driven" => Some(SimBackend::EventDriven),
+            "compiled" | "levelized" => Some(SimBackend::Compiled),
+            _ => None,
+        }
+    }
+
+    /// The process-wide default: `UVLLM_SIM_BACKEND` when set to a valid
+    /// label, else the event-driven engine.
+    pub fn from_env() -> SimBackend {
+        std::env::var("UVLLM_SIM_BACKEND")
+            .ok()
+            .and_then(|s| SimBackend::from_label(&s))
+            .unwrap_or_default()
+    }
+}
+
+impl fmt::Display for SimBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The kernel-agnostic simulation surface shared by [`Simulator`],
+/// [`CompiledSim`] and [`AnySim`]: everything the UVM environment, the
+/// waveform recorder and the campaign harnesses need.
+pub trait SimControl {
+    /// The elaborated design being simulated.
+    fn design(&self) -> &Design;
+    /// Current simulation time.
+    fn time(&self) -> u64;
+    /// Sets the simulation time (monotonically increased by harnesses).
+    fn set_time(&mut self, time: u64);
+    /// Reads the current value of `id`.
+    fn peek(&self, id: SignalId) -> Logic;
+    /// Reads word `index` of an array signal (all-X when out of range).
+    fn peek_word(&self, id: SignalId, index: u64) -> Logic;
+    /// Drives `id` to `value` and propagates events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unstable`] on combinational oscillation.
+    fn poke(&mut self, id: SignalId, value: Logic) -> Result<(), SimError>;
+    /// Propagates pending activity until quiescent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unstable`] on combinational oscillation.
+    fn settle(&mut self) -> Result<(), SimError>;
+
+    /// Reads a signal by (hierarchical) name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownSignal`] for unknown names.
+    fn peek_by_name(&self, name: &str) -> Result<Logic, SimError> {
+        let id = self
+            .design()
+            .signal_id(name)
+            .ok_or_else(|| SimError::UnknownSignal(name.to_string()))?;
+        Ok(self.peek(id))
+    }
+
+    /// Pokes a signal by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownSignal`] or [`SimError::Unstable`].
+    fn poke_by_name(&mut self, name: &str, value: Logic) -> Result<(), SimError> {
+        let id = self
+            .design()
+            .signal_id(name)
+            .ok_or_else(|| SimError::UnknownSignal(name.to_string()))?;
+        self.poke(id, value)
+    }
+
+    /// Snapshot of all scalar (non-array) signal values in declaration
+    /// order, used by the waveform recorder.
+    fn scalar_values(&self) -> Vec<(SignalId, Logic)> {
+        self.design()
+            .signals()
+            .iter()
+            .enumerate()
+            .filter(|(_, info)| info.words == 1)
+            .map(|(i, _)| (SignalId(i as u32), self.peek(SignalId(i as u32))))
+            .collect()
+    }
+
+    /// Convenience: map of signal name to current value for scalars.
+    fn named_values(&self) -> HashMap<String, Logic> {
+        self.design()
+            .signals()
+            .iter()
+            .enumerate()
+            .filter(|(_, info)| info.words == 1)
+            .map(|(i, info)| (info.name.clone(), self.peek(SignalId(i as u32))))
+            .collect()
+    }
+}
+
+/// A simulation on either kernel, selected at construction time.
+#[derive(Debug, Clone)]
+pub enum AnySim {
+    /// Event-driven delta-cycle interpreter.
+    Event(Simulator),
+    /// Compiled levelized kernel.
+    Compiled(CompiledSim),
+}
+
+impl AnySim {
+    /// Builds a simulation over `design` on the chosen backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unstable`] if the design oscillates at time 0.
+    pub fn new(design: &Design, backend: SimBackend) -> Result<AnySim, SimError> {
+        Ok(match backend {
+            SimBackend::EventDriven => AnySim::Event(Simulator::new(design)?),
+            SimBackend::Compiled => AnySim::Compiled(CompiledSim::new(design)?),
+        })
+    }
+
+    /// Which backend this simulation runs on.
+    pub fn backend(&self) -> SimBackend {
+        match self {
+            AnySim::Event(_) => SimBackend::EventDriven,
+            AnySim::Compiled(_) => SimBackend::Compiled,
+        }
+    }
+}
+
+impl SimControl for AnySim {
+    fn design(&self) -> &Design {
+        match self {
+            AnySim::Event(s) => s.design(),
+            AnySim::Compiled(s) => s.design(),
+        }
+    }
+    fn time(&self) -> u64 {
+        match self {
+            AnySim::Event(s) => s.time(),
+            AnySim::Compiled(s) => s.time(),
+        }
+    }
+    fn set_time(&mut self, time: u64) {
+        match self {
+            AnySim::Event(s) => s.set_time(time),
+            AnySim::Compiled(s) => s.set_time(time),
+        }
+    }
+    fn peek(&self, id: SignalId) -> Logic {
+        match self {
+            AnySim::Event(s) => s.peek(id),
+            AnySim::Compiled(s) => s.peek(id),
+        }
+    }
+    fn peek_word(&self, id: SignalId, index: u64) -> Logic {
+        match self {
+            AnySim::Event(s) => s.peek_word(id, index),
+            AnySim::Compiled(s) => s.peek_word(id, index),
+        }
+    }
+    fn poke(&mut self, id: SignalId, value: Logic) -> Result<(), SimError> {
+        match self {
+            AnySim::Event(s) => s.poke(id, value),
+            AnySim::Compiled(s) => s.poke(id, value),
+        }
+    }
+    fn settle(&mut self) -> Result<(), SimError> {
+        match self {
+            AnySim::Event(s) => s.settle(),
+            AnySim::Compiled(s) => s.settle(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elab::elaborate;
+    use uvllm_verilog::parse;
+
+    #[test]
+    fn labels_round_trip_and_env_default() {
+        for b in SimBackend::ALL {
+            assert_eq!(SimBackend::from_label(b.label()), Some(b));
+        }
+        assert_eq!(SimBackend::from_label("levelized"), Some(SimBackend::Compiled));
+        assert_eq!(SimBackend::from_label("nope"), None);
+        assert_eq!(SimBackend::default(), SimBackend::EventDriven);
+    }
+
+    #[test]
+    fn any_sim_runs_on_both_backends() {
+        let file = parse(
+            "module add(input [7:0] a, input [7:0] b, output [8:0] y);\n\
+             assign y = a + b;\nendmodule\n",
+        )
+        .unwrap();
+        let design = elaborate(&file, "add").unwrap();
+        for backend in SimBackend::ALL {
+            let mut sim = AnySim::new(&design, backend).unwrap();
+            assert_eq!(sim.backend(), backend);
+            sim.poke_by_name("a", Logic::from_u128(8, 17)).unwrap();
+            sim.poke_by_name("b", Logic::from_u128(8, 25)).unwrap();
+            assert_eq!(sim.peek_by_name("y").unwrap().to_u128(), Some(42), "{backend}");
+            assert!(sim.named_values().contains_key("y"));
+        }
+    }
+}

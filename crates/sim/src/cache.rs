@@ -22,6 +22,7 @@
 //! elaboration failures) are cached; since elaboration is deterministic
 //! the cache is invisible to callers except in speed.
 
+use crate::compile::CompiledDesign;
 use crate::elab::{elaborate, Design};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -132,6 +133,40 @@ pub fn elaborate_source_cached(src: &str, top: &str) -> CachedResult {
     result
 }
 
+type CompiledResult = Result<Arc<CompiledDesign>, String>;
+
+fn compiled_inner() -> &'static Mutex<HashMap<Key, CompiledResult>> {
+    static CACHE: OnceLock<Mutex<HashMap<Key, CompiledResult>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Parses, elaborates **and compiles** `src` for the levelized kernel,
+/// memoised process-wide.
+///
+/// The front half (parse + elaborate) shares [`elaborate_source_cached`]
+/// — including its in-flight dedup — so the elaboration is still done
+/// exactly once per distinct text; compilation itself is fast and
+/// idempotent, so a plain capacity-capped memo map suffices for the
+/// back half.
+///
+/// # Errors
+///
+/// Returns the parse or elaboration error message (also memoised).
+pub fn compile_source_cached(src: &str, top: &str) -> CompiledResult {
+    let key = (src.to_string(), top.to_string());
+    if let Some(hit) = compiled_inner().lock().expect("compile cache poisoned").get(&key) {
+        return hit.clone();
+    }
+    let result: CompiledResult =
+        elaborate_source_cached(src, top).map(|design| Arc::new(CompiledDesign::from_arc(design)));
+    let mut cache = compiled_inner().lock().expect("compile cache poisoned");
+    if cache.len() >= ELAB_CACHE_CAPACITY {
+        cache.clear();
+    }
+    cache.insert(key, result.clone());
+    result
+}
+
 /// Current cache counters.
 pub fn stats() -> ElabCacheStats {
     let cache = inner().lock().expect("elab cache poisoned");
@@ -208,5 +243,19 @@ mod tests {
         let hammered = stats();
         assert_eq!(hammered.misses - base.misses, 1, "one elaboration across 8 threads");
         assert_eq!(hammered.hits - base.hits, 399);
+    }
+
+    #[test]
+    fn compiled_cache_shares_one_compilation() {
+        let a = compile_source_cached(ADD, "add").unwrap();
+        let b = compile_source_cached(ADD, "add").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "must share one compiled design");
+        assert_eq!(a.design().top, "add");
+        // Failures are memoised too, with the same message as the
+        // elaboration cache.
+        let bad = "module broken2(input a output y);\nendmodule\n";
+        let e1 = compile_source_cached(bad, "broken2").unwrap_err();
+        let e2 = elaborate_source_cached(bad, "broken2").unwrap_err();
+        assert_eq!(e1, e2);
     }
 }

@@ -1,0 +1,830 @@
+//! The compiled levelized simulation kernel.
+//!
+//! [`CompiledSim`] executes a [`CompiledDesign`] behind the same
+//! poke/settle/peek/waveform surface as the event-driven
+//! [`crate::Simulator`] (both implement [`crate::SimControl`]), with a
+//! different execution strategy:
+//!
+//! * state lives in two flat structure-of-arrays `u128` planes (value
+//!   and X/Z) indexed by precompiled arena slots — no per-signal
+//!   vectors, no `Logic` structs at rest;
+//! * a poke marks sensitive combinational processes *dirty* and a
+//!   settle sweep executes them in topological level order, so every
+//!   process runs at most once per sweep instead of once per delta
+//!   event (acyclic designs settle in a single sweep);
+//! * expressions take a **two-state fast path**: while every value a
+//!   statement reads is fully known (the overwhelmingly common case
+//!   after reset), evaluation is plain masked `u128` arithmetic that
+//!   never touches the X/Z truth tables. Any X/Z operand — or an
+//!   X-producing operation such as division by zero or an out-of-range
+//!   index — falls back to the shared four-state evaluator
+//!   ([`crate::eval::eval`]), so the two kernels are waveform-identical
+//!   by construction where values are known and by the differential
+//!   test suite where they are not.
+//!
+//! Blocking/non-blocking regions, edge detection, the
+//! process-misses-its-own-events rule and the [`MAX_ACTIVATIONS`]
+//! oscillation cap all mirror the event-driven engine exactly.
+
+use crate::compile::CompiledDesign;
+use crate::elab::{Design, LExpr, LExprKind, LStmt, LTarget, SignalId};
+use crate::eval::{case_matches, eval, ValueReader};
+use crate::logic::{mask, Logic, Tri};
+use crate::sched::{SimError, MAX_ACTIVATIONS};
+use std::sync::Arc;
+use uvllm_verilog::ast::{BinaryOp, Edge, UnaryOp};
+
+/// One resolved write (mirrors the event engine's write record).
+#[derive(Debug, Clone)]
+struct Write {
+    signal: SignalId,
+    word: u64,
+    lsb: u32,
+    value: Logic,
+}
+
+/// A compiled-kernel simulation over a [`CompiledDesign`].
+#[derive(Debug, Clone)]
+pub struct CompiledSim {
+    cd: Arc<CompiledDesign>,
+    /// Value plane per arena slot.
+    val: Vec<u128>,
+    /// X/Z plane per arena slot (bit set = unknown).
+    xz: Vec<u128>,
+    /// Dirty flag per process (combinational processes only).
+    dirty: Vec<bool>,
+    dirty_count: usize,
+    /// Edge-triggered processes fired but not yet executed (FIFO).
+    seq_fired: Vec<u32>,
+    /// Reusable write buffer (assignments are the hot loop; resolving a
+    /// target must not allocate in the steady state).
+    scratch: Vec<Write>,
+    time: u64,
+}
+
+/// Four-state fallback view over the arena.
+struct ArenaView<'a> {
+    cd: &'a CompiledDesign,
+    val: &'a [u128],
+    xz: &'a [u128],
+}
+
+impl ValueReader for ArenaView<'_> {
+    fn read(&self, id: SignalId) -> Logic {
+        let slot = self.cd.slot(id);
+        Logic::from_planes(self.cd.design().signal(id).width, self.val[slot], self.xz[slot])
+    }
+    fn read_word(&self, id: SignalId, index: u64) -> Logic {
+        let info = self.cd.design().signal(id);
+        if index < info.words as u64 {
+            let slot = self.cd.slot(id) + index as usize;
+            Logic::from_planes(info.width, self.val[slot], self.xz[slot])
+        } else {
+            Logic::xs(info.width)
+        }
+    }
+    fn word_count(&self, id: SignalId) -> u64 {
+        self.cd.design().signal(id).words as u64
+    }
+    fn width(&self, id: SignalId) -> u32 {
+        self.cd.design().signal(id).width
+    }
+}
+
+impl CompiledSim {
+    /// Compiles `design` and builds a simulation over it, running
+    /// `initial` blocks and settling the combinational network once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unstable`] if the design oscillates at time 0.
+    pub fn new(design: &Design) -> Result<CompiledSim, SimError> {
+        CompiledSim::from_compiled(Arc::new(CompiledDesign::new(design)))
+    }
+
+    /// Builds a simulation over an already-compiled design (the cheap
+    /// path for cached compilations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unstable`] if the design oscillates at time 0.
+    pub fn from_compiled(cd: Arc<CompiledDesign>) -> Result<CompiledSim, SimError> {
+        let mut val = Vec::with_capacity(cd.arena_len());
+        let mut xz = Vec::with_capacity(cd.arena_len());
+        for info in cd.design().signals() {
+            for _ in 0..info.words {
+                val.push(0);
+                xz.push(mask(info.width));
+            }
+        }
+        let nprocs = cd.design().processes().len();
+        let mut sim = CompiledSim {
+            cd,
+            val,
+            xz,
+            dirty: vec![false; nprocs],
+            dirty_count: 0,
+            seq_fired: Vec::new(),
+            scratch: Vec::new(),
+            time: 0,
+        };
+        sim.initialise()?;
+        Ok(sim)
+    }
+
+    fn initialise(&mut self) -> Result<(), SimError> {
+        let cd = Arc::clone(&self.cd);
+        let mut nba = Vec::new();
+        // Run initial blocks, then every combinational process once so
+        // nets acquire their driven values (as the event engine does).
+        for &pid in cd.initial_pids() {
+            self.exec(&cd, &cd.design().processes()[pid as usize].body, &mut nba, Some(pid));
+        }
+        for &pid in cd.comb_order() {
+            self.mark_dirty(pid);
+        }
+        self.run(&cd, nba)
+    }
+
+    /// The compiled design being simulated.
+    pub fn compiled(&self) -> &CompiledDesign {
+        &self.cd
+    }
+
+    /// The elaborated design being simulated.
+    pub fn design(&self) -> &Design {
+        self.cd.design()
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Sets the simulation time (monotonically increased by harnesses).
+    pub fn set_time(&mut self, time: u64) {
+        self.time = time;
+    }
+
+    /// Reads the current value of `id`.
+    pub fn peek(&self, id: SignalId) -> Logic {
+        let slot = self.cd.slot(id);
+        Logic::from_planes(self.cd.design().signal(id).width, self.val[slot], self.xz[slot])
+    }
+
+    /// Reads word `index` of an array signal (all-X when out of range).
+    pub fn peek_word(&self, id: SignalId, index: u64) -> Logic {
+        let info = self.cd.design().signal(id);
+        if index < info.words as u64 {
+            let slot = self.cd.slot(id) + index as usize;
+            Logic::from_planes(info.width, self.val[slot], self.xz[slot])
+        } else {
+            Logic::xs(info.width)
+        }
+    }
+
+    /// Drives `id` to `value` and propagates until quiescent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unstable`] on combinational oscillation.
+    pub fn poke(&mut self, id: SignalId, value: Logic) -> Result<(), SimError> {
+        let info = self.cd.design().signal(id);
+        let value = value.resize(info.width);
+        let slot = self.cd.slot(id);
+        let old = Logic::from_planes(info.width, self.val[slot], self.xz[slot]);
+        if old == value {
+            return Ok(());
+        }
+        self.val[slot] = value.val();
+        self.xz[slot] = value.xz();
+        let cd = Arc::clone(&self.cd);
+        self.mark_triggered(&cd, id, old, value, None);
+        self.run(&cd, Vec::new())
+    }
+
+    /// Propagates pending activity until the design is quiescent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unstable`] on combinational oscillation.
+    pub fn settle(&mut self) -> Result<(), SimError> {
+        let cd = Arc::clone(&self.cd);
+        self.run(&cd, Vec::new())
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling
+    // ------------------------------------------------------------------
+
+    fn mark_dirty(&mut self, pid: u32) {
+        if !self.dirty[pid as usize] {
+            self.dirty[pid as usize] = true;
+            self.dirty_count += 1;
+        }
+    }
+
+    /// Delta-cycle driver: levelized combinational sweeps, then fired
+    /// edge processes, then the non-blocking assignment region, looping
+    /// until nothing is pending.
+    fn run(&mut self, cd: &Arc<CompiledDesign>, mut nba: Vec<Write>) -> Result<(), SimError> {
+        let mut activations = 0usize;
+        loop {
+            while self.dirty_count > 0 {
+                for &pid in cd.comb_order() {
+                    if !self.dirty[pid as usize] {
+                        continue;
+                    }
+                    self.dirty[pid as usize] = false;
+                    self.dirty_count -= 1;
+                    if activations == MAX_ACTIVATIONS {
+                        return Err(SimError::Unstable { activations });
+                    }
+                    activations += 1;
+                    self.exec(cd, &cd.design().processes()[pid as usize].body, &mut nba, Some(pid));
+                }
+            }
+            if !self.seq_fired.is_empty() {
+                let batch = std::mem::take(&mut self.seq_fired);
+                for pid in batch {
+                    if activations == MAX_ACTIVATIONS {
+                        return Err(SimError::Unstable { activations });
+                    }
+                    activations += 1;
+                    self.exec(cd, &cd.design().processes()[pid as usize].body, &mut nba, Some(pid));
+                }
+                continue;
+            }
+            if !nba.is_empty() {
+                // Non-blocking region: apply queued writes; no process
+                // is running, so nothing misses its own events.
+                let queued = std::mem::take(&mut nba);
+                for w in queued {
+                    self.apply_write(cd, &w, None);
+                }
+                continue;
+            }
+            return Ok(());
+        }
+    }
+
+    fn exec(
+        &mut self,
+        cd: &Arc<CompiledDesign>,
+        stmt: &LStmt,
+        nba: &mut Vec<Write>,
+        current: Option<u32>,
+    ) {
+        match stmt {
+            LStmt::Block(stmts) => {
+                for s in stmts {
+                    self.exec(cd, s, nba, current);
+                }
+            }
+            LStmt::Assign { lhs, rhs, blocking, .. } => {
+                let width = lhs.width(cd.design()).max(1);
+                let value = self.eval_any(rhs, width).resize(width);
+                let mut writes = std::mem::take(&mut self.scratch);
+                writes.clear();
+                self.resolve_target(cd, lhs, value, &mut writes);
+                if *blocking {
+                    for w in &writes {
+                        self.apply_write(cd, w, current);
+                    }
+                } else {
+                    nba.append(&mut writes);
+                }
+                writes.clear();
+                self.scratch = writes;
+            }
+            LStmt::If { cond, then_branch, else_branch, .. } => {
+                match self.truthiness_of(cond) {
+                    Tri::True => self.exec(cd, then_branch, nba, current),
+                    Tri::False => {
+                        if let Some(e) = else_branch {
+                            self.exec(cd, e, nba, current);
+                        }
+                    }
+                    // Unknown condition: neither branch (X-conservative,
+                    // as in the event engine).
+                    Tri::Unknown => {}
+                }
+            }
+            LStmt::Case { kind, expr, arms, default, .. } => {
+                let sel = self.eval_any(expr, expr.width);
+                for (labels, body) in arms {
+                    for label in labels {
+                        let lv = self.eval_any(label, label.width);
+                        if case_matches(*kind, &sel, &lv) {
+                            self.exec(cd, body, nba, current);
+                            return;
+                        }
+                    }
+                }
+                if let Some(d) = default {
+                    self.exec(cd, d, nba, current);
+                }
+            }
+            LStmt::Nop => {}
+        }
+    }
+
+    /// Resolves a target into concrete writes, slicing `value`
+    /// most-significant-first across concatenations (mirrors the event
+    /// engine).
+    fn resolve_target(
+        &self,
+        cd: &CompiledDesign,
+        target: &LTarget,
+        value: Logic,
+        out: &mut Vec<Write>,
+    ) {
+        match target {
+            LTarget::Whole(s) => {
+                let w = cd.design().signal(*s).width;
+                out.push(Write { signal: *s, word: 0, lsb: 0, value: value.resize(w) });
+            }
+            LTarget::Bit(s, index) => {
+                if let Some(i) = self.eval_index(index) {
+                    if i < cd.design().signal(*s).width as u128 {
+                        out.push(Write {
+                            signal: *s,
+                            word: 0,
+                            lsb: i as u32,
+                            value: value.resize(1),
+                        });
+                    }
+                }
+                // X/Z or out-of-range index: write is dropped.
+            }
+            LTarget::Part(s, off, w) => {
+                out.push(Write { signal: *s, word: 0, lsb: *off, value: value.resize(*w) });
+            }
+            LTarget::Word(s, index) => {
+                if let Some(i) = self.eval_index(index) {
+                    if (i as u64) < cd.design().signal(*s).words as u64 {
+                        let w = cd.design().signal(*s).width;
+                        out.push(Write {
+                            signal: *s,
+                            word: i as u64,
+                            lsb: 0,
+                            value: value.resize(w),
+                        });
+                    }
+                }
+            }
+            LTarget::Concat(parts) => {
+                let total: u32 = parts.iter().map(|p| p.width(cd.design())).sum();
+                let mut consumed = 0;
+                for p in parts {
+                    let pw = p.width(cd.design());
+                    let lsb = total - consumed - pw;
+                    self.resolve_target(cd, p, value.get_slice(lsb, pw), out);
+                    consumed += pw;
+                }
+            }
+        }
+    }
+
+    fn apply_write(&mut self, cd: &Arc<CompiledDesign>, w: &Write, current: Option<u32>) {
+        let info = cd.design().signal(w.signal);
+        if w.word >= info.words as u64 {
+            return;
+        }
+        let slot = cd.slot(w.signal) + w.word as usize;
+        let old = Logic::from_planes(info.width, self.val[slot], self.xz[slot]);
+        let updated = if w.lsb == 0 && w.value.width() == old.width() {
+            w.value
+        } else {
+            old.with_slice(w.lsb, w.value)
+        };
+        if updated == old {
+            return;
+        }
+        self.val[slot] = updated.val();
+        self.xz[slot] = updated.xz();
+        self.mark_triggered(cd, w.signal, old, updated, current);
+    }
+
+    /// Dirties combinational dependents and fires edge-triggered
+    /// processes for a `signal` transition, skipping the running process
+    /// (a process misses its own events, IEEE 1364).
+    fn mark_triggered(
+        &mut self,
+        cd: &Arc<CompiledDesign>,
+        signal: SignalId,
+        old: Logic,
+        new: Logic,
+        current: Option<u32>,
+    ) {
+        for &pid in cd.comb_sensitive(signal) {
+            if Some(pid) != current {
+                self.mark_dirty(pid);
+            }
+        }
+        let seq = cd.seq_sensitive(signal);
+        if seq.is_empty() {
+            return;
+        }
+        let old_b = old.get_bit(0);
+        let new_b = new.get_bit(0);
+        let is1 = |l: &Logic| l.truthiness() == Tri::True;
+        let is0 = |l: &Logic| l.to_u128() == Some(0);
+        for (pid, edge) in seq {
+            let fire = match edge {
+                Some(Edge::Pos) => !is1(&old_b) && is1(&new_b),
+                Some(Edge::Neg) => !is0(&old_b) && is0(&new_b),
+                None => true,
+            };
+            if fire && Some(*pid) != current {
+                self.seq_fired.push(*pid);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expression evaluation: two-state fast path + four-state fallback
+    // ------------------------------------------------------------------
+
+    fn view(&self) -> ArenaView<'_> {
+        ArenaView { cd: &self.cd, val: &self.val, xz: &self.xz }
+    }
+
+    /// Evaluates `e` at context width `ctx`, preferring the two-state
+    /// path and falling back to the four-state evaluator whenever the
+    /// result is not provably fully known.
+    fn eval_any(&self, e: &LExpr, ctx: u32) -> Logic {
+        let w = ctx.max(e.width).max(1);
+        match self.eval2(e, ctx) {
+            Some(v) => Logic::from_u128(w, v),
+            None => eval(&self.view(), e, ctx),
+        }
+    }
+
+    /// Evaluates a (self-determined) index expression to a known value.
+    fn eval_index(&self, index: &LExpr) -> Option<u128> {
+        self.eval2(index, index.width).or_else(|| eval(&self.view(), index, index.width).to_u128())
+    }
+
+    /// Truthiness of a condition without materialising a `Logic` on the
+    /// fast path.
+    fn truthiness_of(&self, cond: &LExpr) -> Tri {
+        match self.eval2(cond, cond.width) {
+            Some(0) => Tri::False,
+            Some(_) => Tri::True,
+            None => eval(&self.view(), cond, cond.width).truthiness(),
+        }
+    }
+
+    /// Fully-known slot read: `None` when any bit is X/Z.
+    #[inline]
+    fn read2(&self, s: SignalId, word: usize) -> Option<u128> {
+        let slot = self.cd.slot(s) + word;
+        if self.xz[slot] != 0 {
+            None
+        } else {
+            Some(self.val[slot])
+        }
+    }
+
+    /// The two-state fast path: masked `u128` evaluation mirroring
+    /// [`eval`]'s width semantics exactly. Returns `None` as soon as any
+    /// operand carries X/Z bits or an operation would produce X (the
+    /// caller then re-evaluates four-state).
+    fn eval2(&self, e: &LExpr, ctx: u32) -> Option<u128> {
+        let w = ctx.max(e.width).max(1);
+        Some(match &e.kind {
+            LExprKind::Const(l) => {
+                if l.xz() != 0 {
+                    return None;
+                }
+                l.val()
+            }
+            LExprKind::Sig(s) => self.read2(*s, 0)?,
+            LExprKind::Word(s, index) => {
+                let i = self.eval2(index, index.width)?;
+                if i >= self.cd.design().signal(*s).words as u128 {
+                    return None;
+                }
+                self.read2(*s, i as usize)?
+            }
+            LExprKind::BitSel(s, index) => {
+                let i = self.eval2(index, index.width)?;
+                if i >= self.cd.design().signal(*s).width as u128 {
+                    return None;
+                }
+                (self.read2(*s, 0)? >> i) & 1
+            }
+            LExprKind::PartSel(s, off) => {
+                // Out-of-range slice bits are X: punt to four-state.
+                if off + e.width > self.cd.design().signal(*s).width {
+                    return None;
+                }
+                (self.read2(*s, 0)? >> off) & mask(e.width)
+            }
+            LExprKind::Unary(op, a) => match op {
+                UnaryOp::LogNot => (self.eval2(a, a.width)? == 0) as u128,
+                UnaryOp::BitNot => !self.eval2(a, w)? & mask(w),
+                UnaryOp::Neg => self.eval2(a, w)?.wrapping_neg() & mask(w),
+                UnaryOp::Plus => self.eval2(a, w)?,
+                UnaryOp::RedAnd => (self.eval2(a, a.width)? == mask(a.width.max(1))) as u128,
+                UnaryOp::RedOr => (self.eval2(a, a.width)? != 0) as u128,
+                UnaryOp::RedXor => (self.eval2(a, a.width)?.count_ones() % 2 == 1) as u128,
+                UnaryOp::RedNand => (self.eval2(a, a.width)? != mask(a.width.max(1))) as u128,
+                UnaryOp::RedNor => (self.eval2(a, a.width)? == 0) as u128,
+                UnaryOp::RedXnor => (self.eval2(a, a.width)?.count_ones() % 2 == 0) as u128,
+            },
+            LExprKind::Binary(op, a, b) => self.eval2_binary(*op, a, b, w)?,
+            LExprKind::Ternary(c, t, f) => {
+                if self.eval2(c, c.width)? != 0 {
+                    self.eval2(t, w)?
+                } else {
+                    self.eval2(f, w)?
+                }
+            }
+            LExprKind::Concat(items) => {
+                let total: u32 = items.iter().map(|i| i.width.max(1)).sum();
+                if total > 128 {
+                    // Truncating concat: four-state handles the cap.
+                    return None;
+                }
+                let mut acc = 0u128;
+                for item in items {
+                    let iw = item.width.max(1);
+                    acc = (acc << iw) | (self.eval2(item, item.width)? & mask(iw));
+                }
+                acc
+            }
+        })
+    }
+
+    fn eval2_binary(&self, op: BinaryOp, a: &LExpr, b: &LExpr, w: u32) -> Option<u128> {
+        use BinaryOp::*;
+        Some(match op {
+            Add => self.eval2(a, w)?.wrapping_add(self.eval2(b, w)?) & mask(w),
+            Sub => self.eval2(a, w)?.wrapping_sub(self.eval2(b, w)?) & mask(w),
+            Mul => self.eval2(a, w)?.wrapping_mul(self.eval2(b, w)?) & mask(w),
+            Div => {
+                let y = self.eval2(b, w)?;
+                if y == 0 {
+                    return None; // division by zero is X
+                }
+                (self.eval2(a, w)? / y) & mask(w)
+            }
+            Mod => {
+                let y = self.eval2(b, w)?;
+                if y == 0 {
+                    return None;
+                }
+                (self.eval2(a, w)? % y) & mask(w)
+            }
+            Pow => {
+                let x = self.eval2(a, w)?;
+                let y = self.eval2(b, b.width)?;
+                let mut acc: u128 = 1;
+                for _ in 0..y.min(128) {
+                    acc = acc.wrapping_mul(x);
+                }
+                acc & mask(w)
+            }
+            Shl => {
+                let x = self.eval2(a, w)?;
+                let sh = self.eval2(b, b.width)?;
+                if sh >= 128 {
+                    0
+                } else {
+                    (x << sh) & mask(w)
+                }
+            }
+            Shr => {
+                let x = self.eval2(a, w)?;
+                let sh = self.eval2(b, b.width)?;
+                if sh >= 128 {
+                    0
+                } else {
+                    x >> sh
+                }
+            }
+            AShr => {
+                // The operand is context-sized to `w` first, so its
+                // sign bit is bit `w - 1` (mirrors `Logic::ashr`).
+                let x = self.eval2(a, w)?;
+                let sh = self.eval2(b, b.width)?;
+                let shifted = if sh >= 128 { 0 } else { x >> sh };
+                let eff = sh.min(w as u128) as u32;
+                if eff > 0 && (x >> (w - 1)) & 1 == 1 {
+                    (shifted | (mask(eff) << (w - eff))) & mask(w)
+                } else {
+                    shifted
+                }
+            }
+            Lt | Le | Gt | Ge => {
+                let ow = a.width.max(b.width);
+                let x = self.eval2(a, ow)?;
+                let y = self.eval2(b, ow)?;
+                (match op {
+                    Lt => x < y,
+                    Le => x <= y,
+                    Gt => x > y,
+                    _ => x >= y,
+                }) as u128
+            }
+            Eq | CaseEq => {
+                let ow = a.width.max(b.width);
+                (self.eval2(a, ow)? == self.eval2(b, ow)?) as u128
+            }
+            Ne | CaseNe => {
+                let ow = a.width.max(b.width);
+                (self.eval2(a, ow)? != self.eval2(b, ow)?) as u128
+            }
+            LogAnd => ((self.eval2(a, a.width)? != 0) && (self.eval2(b, b.width)? != 0)) as u128,
+            LogOr => ((self.eval2(a, a.width)? != 0) || (self.eval2(b, b.width)? != 0)) as u128,
+            BitAnd => self.eval2(a, w)? & self.eval2(b, w)?,
+            BitOr => self.eval2(a, w)? | self.eval2(b, w)?,
+            BitXor => self.eval2(a, w)? ^ self.eval2(b, w)?,
+            BitXnor => !(self.eval2(a, w)? ^ self.eval2(b, w)?) & mask(w),
+        })
+    }
+}
+
+impl crate::backend::SimControl for CompiledSim {
+    fn design(&self) -> &Design {
+        CompiledSim::design(self)
+    }
+    fn time(&self) -> u64 {
+        CompiledSim::time(self)
+    }
+    fn set_time(&mut self, time: u64) {
+        CompiledSim::set_time(self, time);
+    }
+    fn peek(&self, id: SignalId) -> Logic {
+        CompiledSim::peek(self, id)
+    }
+    fn peek_word(&self, id: SignalId, index: u64) -> Logic {
+        CompiledSim::peek_word(self, id, index)
+    }
+    fn poke(&mut self, id: SignalId, value: Logic) -> Result<(), SimError> {
+        CompiledSim::poke(self, id, value)
+    }
+    fn settle(&mut self) -> Result<(), SimError> {
+        CompiledSim::settle(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SimControl;
+    use crate::elab::elaborate;
+    use crate::sched::Simulator;
+    use uvllm_verilog::parse;
+
+    fn both(src: &str) -> (Simulator, CompiledSim) {
+        let file = parse(src).unwrap();
+        let top = file.top().unwrap().name.clone();
+        let design = elaborate(&file, &top).unwrap();
+        (Simulator::new(&design).unwrap(), CompiledSim::new(&design).unwrap())
+    }
+
+    /// Pokes both kernels identically and asserts every signal word
+    /// matches afterwards.
+    fn poke_both(ev: &mut Simulator, cp: &mut CompiledSim, name: &str, v: Logic) {
+        ev.poke_by_name(name, v).unwrap();
+        SimControl::poke_by_name(cp, name, v).unwrap();
+        assert_signals_match(ev, cp);
+    }
+
+    fn assert_signals_match(ev: &Simulator, cp: &CompiledSim) {
+        for (i, info) in ev.design().signals().iter().enumerate() {
+            let id = SignalId(i as u32);
+            for word in 0..info.words as u64 {
+                assert_eq!(
+                    ev.peek_word(id, word),
+                    cp.peek_word(id, word),
+                    "signal {} word {word} diverged",
+                    info.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn combinational_chain_matches_event_engine() {
+        let (mut ev, mut cp) = both(
+            "module m(input [7:0] a, input [7:0] b, output [8:0] s, output [7:0] n);\n\
+             assign s = a + b;\nassign n = ~a;\nendmodule\n",
+        );
+        assert_signals_match(&ev, &cp);
+        poke_both(&mut ev, &mut cp, "a", Logic::from_u128(8, 200));
+        poke_both(&mut ev, &mut cp, "b", Logic::from_u128(8, 100));
+        assert_eq!(cp.peek(cp.design().signal_id("s").unwrap()).to_u128(), Some(300));
+    }
+
+    #[test]
+    fn clocked_counter_matches_event_engine() {
+        let (mut ev, mut cp) = both(
+            "module c(input clk, input rst_n, output reg [3:0] q);\n\
+             always @(posedge clk or negedge rst_n) begin\n\
+             if (!rst_n) q <= 4'd0; else q <= q + 4'd1;\nend\nendmodule\n",
+        );
+        poke_both(&mut ev, &mut cp, "clk", Logic::bit(false));
+        poke_both(&mut ev, &mut cp, "rst_n", Logic::bit(false));
+        poke_both(&mut ev, &mut cp, "rst_n", Logic::bit(true));
+        for _ in 0..9 {
+            poke_both(&mut ev, &mut cp, "clk", Logic::bit(true));
+            poke_both(&mut ev, &mut cp, "clk", Logic::bit(false));
+        }
+        assert_eq!(cp.peek(cp.design().signal_id("q").unwrap()).to_u128(), Some(9));
+    }
+
+    #[test]
+    fn memory_and_x_propagation_match() {
+        let (mut ev, mut cp) = both(
+            "module r(input clk, input we, input [3:0] addr, input [7:0] din,\n\
+             output [7:0] dout);\nreg [7:0] mem [0:15];\n\
+             always @(posedge clk) if (we) mem[addr] <= din;\n\
+             assign dout = mem[addr];\nendmodule\n",
+        );
+        poke_both(&mut ev, &mut cp, "clk", Logic::bit(false));
+        poke_both(&mut ev, &mut cp, "we", Logic::bit(true));
+        poke_both(&mut ev, &mut cp, "addr", Logic::from_u128(4, 5));
+        poke_both(&mut ev, &mut cp, "din", Logic::from_u128(8, 0xAB));
+        poke_both(&mut ev, &mut cp, "clk", Logic::bit(true));
+        assert_eq!(SimControl::peek_by_name(&cp, "dout").unwrap().to_u128(), Some(0xAB));
+        // Unwritten word: both kernels read X.
+        poke_both(&mut ev, &mut cp, "addr", Logic::from_u128(4, 6));
+        assert!(SimControl::peek_by_name(&cp, "dout").unwrap().to_u128().is_none());
+    }
+
+    #[test]
+    fn incomplete_sensitivity_matches_event_engine() {
+        // The compiled kernel must reproduce missing-sensitivity bugs,
+        // not paper over them with read-set levelization.
+        let (mut ev, mut cp) =
+            both("module m(input a, input b, output reg y);\nalways @(a) y = a & b;\nendmodule\n");
+        poke_both(&mut ev, &mut cp, "a", Logic::bit(true));
+        poke_both(&mut ev, &mut cp, "b", Logic::bit(true));
+        assert!(SimControl::peek_by_name(&cp, "y").unwrap().to_u128().is_none());
+        poke_both(&mut ev, &mut cp, "a", Logic::bit(false));
+        poke_both(&mut ev, &mut cp, "a", Logic::bit(true));
+        assert_eq!(SimControl::peek_by_name(&cp, "y").unwrap().to_u128(), Some(1));
+    }
+
+    #[test]
+    fn x_feedback_settles_like_event_engine() {
+        let file = parse("module fx(output y);\nassign y = ~y;\nendmodule\n").unwrap();
+        let design = elaborate(&file, "fx").unwrap();
+        let cp = CompiledSim::new(&design).unwrap();
+        assert!(SimControl::peek_by_name(&cp, "y").unwrap().to_u128().is_none());
+    }
+
+    #[test]
+    fn oscillation_reports_unstable_at_the_cap() {
+        let file = parse(
+            "module osc(output reg a, output reg b);\n\
+             always @(*) begin\ncase (b)\n1'b0: a = 1'b1;\ndefault: a = 1'b0;\nendcase\nend\n\
+             always @(*) begin\ncase (a)\n1'b0: b = 1'b0;\ndefault: b = 1'b1;\nendcase\nend\n\
+             endmodule\n",
+        )
+        .unwrap();
+        let design = elaborate(&file, "osc").unwrap();
+        match CompiledSim::new(&design) {
+            Err(SimError::Unstable { activations }) => {
+                assert_eq!(activations, MAX_ACTIVATIONS);
+            }
+            other => panic!("expected unstable, got {other:?}"),
+        }
+        match Simulator::new(&design) {
+            Err(SimError::Unstable { activations }) => {
+                assert_eq!(activations, MAX_ACTIVATIONS);
+            }
+            other => panic!("expected unstable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nonblocking_swap_matches() {
+        let (mut ev, mut cp) = both(
+            "module swap(input clk, output reg a, output reg b);\n\
+             initial begin\na = 1'b0;\nb = 1'b1;\nend\n\
+             always @(posedge clk) begin\na <= b;\nb <= a;\nend\nendmodule\n",
+        );
+        assert_eq!(SimControl::peek_by_name(&cp, "a").unwrap().to_u128(), Some(0));
+        poke_both(&mut ev, &mut cp, "clk", Logic::bit(true));
+        assert_eq!(SimControl::peek_by_name(&cp, "a").unwrap().to_u128(), Some(1));
+        assert_eq!(SimControl::peek_by_name(&cp, "b").unwrap().to_u128(), Some(0));
+    }
+
+    #[test]
+    fn fast_path_falls_back_on_division_by_zero() {
+        let (mut ev, mut cp) = both(
+            "module d(input [7:0] a, input [7:0] b, output [7:0] q);\n\
+             assign q = a / b;\nendmodule\n",
+        );
+        poke_both(&mut ev, &mut cp, "a", Logic::from_u128(8, 42));
+        poke_both(&mut ev, &mut cp, "b", Logic::from_u128(8, 0));
+        assert!(SimControl::peek_by_name(&cp, "q").unwrap().to_u128().is_none());
+        poke_both(&mut ev, &mut cp, "b", Logic::from_u128(8, 6));
+        assert_eq!(SimControl::peek_by_name(&cp, "q").unwrap().to_u128(), Some(7));
+    }
+}

@@ -13,6 +13,16 @@
 //! fire on poke-induced transitions. [`wave::Waveform`] records per-cycle
 //! snapshots for the localization engine.
 //!
+//! Two interchangeable kernels implement that surface (both behind
+//! [`SimControl`], selected via [`SimBackend`] / [`AnySim`]): the
+//! event-driven [`Simulator`] above, and the **compiled levelized
+//! kernel** ([`kernel::CompiledSim`]) which lowers the design further
+//! ([`compile::CompiledDesign`]) into a flat SoA value arena, a CSR
+//! sensitivity index and a topological execution order, with a
+//! two-state `u128` fast path that falls back to the four-state
+//! evaluator on any X/Z. The differential equivalence suite keeps the
+//! two kernels waveform-identical.
+//!
 //! ## Example
 //!
 //! ```rust
@@ -32,16 +42,22 @@
 //! # }
 //! ```
 
+pub mod backend;
 pub mod cache;
+pub mod compile;
 pub mod elab;
 pub mod eval;
+pub mod kernel;
 pub mod logic;
 pub mod sched;
 pub mod wave;
 
-pub use cache::{elaborate_source_cached, ElabCacheStats};
+pub use backend::{AnySim, SimBackend, SimControl};
+pub use cache::{compile_source_cached, elaborate_source_cached, ElabCacheStats};
+pub use compile::CompiledDesign;
 pub use elab::{elaborate, Design, ElabError, SignalId, SignalInfo, SignalKind};
 pub use eval::{eval, ValueReader};
+pub use kernel::CompiledSim;
 pub use logic::{Logic, Tri};
-pub use sched::{SimError, Simulator};
+pub use sched::{SimError, Simulator, MAX_ACTIVATIONS};
 pub use wave::Waveform;

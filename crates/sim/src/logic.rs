@@ -192,8 +192,18 @@ impl Logic {
     }
 
     /// Concatenates `hi` above `lo` (`{hi, lo}`).
+    ///
+    /// The arena stores at most 128 bits: when `hi.width + lo.width`
+    /// exceeds 128 the result keeps the low 128 bits and the
+    /// overflowing MSBs of `hi` are dropped from *both* planes, so
+    /// truncated X/Z designations never wrap around into `lo` (a
+    /// `lo.width == 128` shift would otherwise panic in debug builds
+    /// and wrap in release builds).
     pub fn concat(hi: Logic, lo: Logic) -> Logic {
         let width = (hi.width + lo.width).min(128);
+        if lo.width >= 128 {
+            return lo;
+        }
         Logic::from_planes(width, (hi.val << lo.width) | lo.val, (hi.xz << lo.width) | lo.xz)
     }
 
@@ -263,17 +273,19 @@ impl Logic {
     }
 
     /// Logical shift left at width `w`.
+    ///
+    /// The X/Z plane shifts in lockstep with the value plane, so a
+    /// partially-known operand keeps its unknown bits at the shifted
+    /// positions; bits pushed past the 128-bit arena fall off *both*
+    /// planes (a dropped X designation must never poison lower bits).
     pub fn shl(&self, amount: &Logic, w: u32) -> Logic {
         if !amount.is_fully_known() {
             return Logic::xs(w);
         }
-        if !self.is_fully_known() && amount.val == 0 {
-            return self.resize(w);
-        }
-        let sh = amount.val.min(128) as u32;
-        if sh >= 128 {
+        if amount.val >= 128 {
             return Logic::zeros(w);
         }
+        let sh = amount.val as u32;
         Logic::from_planes(w, self.val << sh, self.xz << sh)
     }
 
@@ -290,6 +302,12 @@ impl Logic {
     }
 
     /// Arithmetic shift right (sign bit of `self` replicated) at width `w`.
+    ///
+    /// The replicated sign bits occupy `[self.width - sh, self.width)`:
+    /// the fill extends down from the *operand's* sign-bit position
+    /// (IEEE 1364 `>>>` shifts the operand, then the context widens it),
+    /// which for a narrow operand in a wide context is below the top of
+    /// `w`. An X/Z sign bit fills with X.
     pub fn ashr(&self, amount: &Logic, w: u32) -> Logic {
         if !amount.is_fully_known() {
             return Logic::xs(w);
@@ -297,12 +315,16 @@ impl Logic {
         let sh = amount.val.min(self.width as u128) as u32;
         let sign = self.get_bit(self.width - 1);
         let mut out = self.shr(amount, w);
-        if sign.truthiness() == Tri::True && sh > 0 {
-            let fill = mask(sh.min(w)) << (w.saturating_sub(sh));
-            out.val |= fill & mask(w);
-        } else if sign.truthiness() == Tri::Unknown && sh > 0 {
-            let fill = mask(sh.min(w)) << (w.saturating_sub(sh));
-            out.xz |= fill & mask(w);
+        if sh > 0 {
+            let fill = (mask(sh) << (self.width - sh)) & mask(w);
+            match sign.truthiness() {
+                Tri::True => out.val |= fill,
+                Tri::Unknown => {
+                    out.xz |= fill;
+                    out.val &= !fill;
+                }
+                Tri::False => {}
+            }
         }
         out
     }
@@ -644,5 +666,71 @@ mod tests {
     fn ternary_condition_merge_path() {
         let cond = Logic::xs(1);
         assert_eq!(cond.truthiness(), Tri::Unknown);
+    }
+
+    #[test]
+    fn concat_at_the_width_cap() {
+        // `lo` occupies the full arena: `hi` is dropped entirely (this
+        // used to panic in debug builds via a 128-bit shift).
+        let lo = Logic::from_u128(128, 0x1234);
+        let c = Logic::concat(Logic::ones(8), lo);
+        assert_eq!(c.width(), 128);
+        assert_eq!(c.to_u128(), Some(0x1234));
+
+        // Overflowing concat keeps the low 128 bits; `hi`'s dropped X
+        // bits must not reappear anywhere in the result.
+        let hi = Logic::from_planes(16, 0, 0xff00); // upper 8 bits X
+        let lo = Logic::from_u128(120, 0xABCD);
+        let c = Logic::concat(hi, lo);
+        assert_eq!(c.width(), 128);
+        assert_eq!(c.get_slice(0, 120).to_u128(), Some(0xABCD));
+        // The 8 bits of `hi` that fit are its known-zero low bits.
+        assert_eq!(c.get_slice(120, 8), Logic::zeros(8));
+    }
+
+    #[test]
+    fn ashr_fills_from_operand_sign_position() {
+        // 8-bit negative operand in a 16-bit context: the replicated
+        // sign bits sit just below bit 8, not at the top of the context.
+        let v = Logic::from_u128(8, 0x80);
+        assert_eq!(v.ashr(&Logic::from_u128(4, 3), 16).to_u128(), Some(0x00F0));
+        // Positive operand: plain logical shift.
+        let p = Logic::from_u128(8, 0x40);
+        assert_eq!(p.ashr(&Logic::from_u128(4, 3), 16).to_u128(), Some(0x08));
+        // Unknown sign bit: the fill positions become X (not Z, not 1).
+        let u = Logic::from_planes(8, 0, 0x80);
+        let r = u.ashr(&Logic::from_u128(4, 2), 16);
+        assert_eq!(r.get_slice(6, 2), Logic::xs(2));
+        assert_eq!(r.get_slice(8, 8), Logic::zeros(8));
+    }
+
+    #[test]
+    fn ashr_ieee_regressions() {
+        // IEEE 1364 `>>>`: an all-ones (negative) operand stays all-ones
+        // for every shift count, including past the width.
+        let neg1 = Logic::from_u128(8, 0xFF);
+        for k in 0..=10u128 {
+            assert_eq!(neg1.ashr(&Logic::from_u128(8, k), 8).to_u128(), Some(0xFF), "sh={k}");
+        }
+        let min = Logic::from_u128(8, 0x80);
+        assert_eq!(min.ashr(&Logic::from_u128(8, 7), 8).to_u128(), Some(0xFF));
+        assert_eq!(min.ashr(&Logic::from_u128(8, 8), 8).to_u128(), Some(0xFF));
+        // Shift counts saturate at the operand width.
+        assert_eq!(min.ashr(&Logic::from_u128(8, 200), 8).to_u128(), Some(0xFF));
+    }
+
+    #[test]
+    fn shl_preserves_x_plane_under_known_shift() {
+        // 4'b10x0 << 2 keeps the X at its shifted position.
+        let v = Logic::from_planes(4, 0b1000, 0b0010);
+        let r = v.shl(&Logic::from_u128(3, 2), 8);
+        assert_eq!(r.get_bit(5).to_u128(), Some(1));
+        assert!(r.get_bit(3).to_u128().is_none());
+        assert_eq!(r.get_slice(0, 3), Logic::zeros(3));
+        // X bits pushed past the arena vanish instead of wrapping.
+        let top_x = Logic::from_planes(128, 0, 1 << 127);
+        assert_eq!(top_x.shl(&Logic::from_u128(8, 1), 128), Logic::zeros(128));
+        // Shift counts >= 128 flush everything out, X included.
+        assert_eq!(Logic::xs(128).shl(&Logic::from_u128(32, 500), 64), Logic::zeros(64));
     }
 }

@@ -4,7 +4,6 @@
 use crate::elab::{Design, LStmt, LTarget, Process, ProcessId, SignalId, SignalKind, Trigger};
 use crate::eval::{case_matches, eval, ValueReader};
 use crate::logic::{Logic, Tri};
-use std::collections::HashMap;
 use std::fmt;
 use uvllm_verilog::ast::Edge;
 
@@ -268,10 +267,10 @@ impl Simulator {
         loop {
             while let Some(pid) = active.first().copied() {
                 active.remove(0);
-                activations += 1;
-                if activations > MAX_ACTIVATIONS {
+                if activations == MAX_ACTIVATIONS {
                     return Err(SimError::Unstable { activations });
                 }
+                activations += 1;
                 let body = self.design.processes()[pid.0 as usize].body.clone();
                 self.exec(&body, &mut nba, &mut active, Some(pid));
             }
@@ -433,29 +432,6 @@ impl Simulator {
         }
     }
 
-    /// Snapshot of all scalar (non-array) signal values, used by the
-    /// waveform recorder.
-    pub fn scalar_values(&self) -> Vec<(SignalId, Logic)> {
-        self.design
-            .signals()
-            .iter()
-            .enumerate()
-            .filter(|(_, info)| info.words == 1)
-            .map(|(i, _)| (SignalId(i as u32), self.words[i][0]))
-            .collect()
-    }
-
-    /// Convenience: map of signal name to current value for scalars.
-    pub fn named_values(&self) -> HashMap<String, Logic> {
-        self.design
-            .signals()
-            .iter()
-            .enumerate()
-            .filter(|(_, info)| info.words == 1)
-            .map(|(i, info)| (info.name.clone(), self.words[i][0]))
-            .collect()
-    }
-
     /// True for signals procedurally driven (regs); used by tests.
     pub fn is_var(&self, id: SignalId) -> bool {
         self.design.signal(id).kind == SignalKind::Var
@@ -464,6 +440,30 @@ impl Simulator {
     /// Iterates processes (used by the DFG builder for cross-checks).
     pub fn processes(&self) -> &[Process] {
         self.design.processes()
+    }
+}
+
+impl crate::backend::SimControl for Simulator {
+    fn design(&self) -> &Design {
+        Simulator::design(self)
+    }
+    fn time(&self) -> u64 {
+        Simulator::time(self)
+    }
+    fn set_time(&mut self, time: u64) {
+        Simulator::set_time(self, time);
+    }
+    fn peek(&self, id: SignalId) -> Logic {
+        Simulator::peek(self, id)
+    }
+    fn peek_word(&self, id: SignalId, index: u64) -> Logic {
+        Simulator::peek_word(self, id, index)
+    }
+    fn poke(&mut self, id: SignalId, value: Logic) -> Result<(), SimError> {
+        Simulator::poke(self, id, value)
+    }
+    fn settle(&mut self) -> Result<(), SimError> {
+        Simulator::settle(self)
     }
 }
 

@@ -4,9 +4,9 @@
 //! input values at mismatch timestamps, so the recorder favours simple
 //! time-indexed snapshots over VCD-style change lists.
 
+use crate::backend::SimControl;
 use crate::elab::SignalId;
 use crate::logic::Logic;
-use crate::sched::Simulator;
 use std::collections::HashMap;
 
 /// A recorded waveform: one snapshot of every scalar signal per capture.
@@ -23,8 +23,9 @@ pub struct Waveform {
 }
 
 impl Waveform {
-    /// Creates an empty waveform recorder for `sim`'s design.
-    pub fn new(sim: &Simulator) -> Self {
+    /// Creates an empty waveform recorder for `sim`'s design (works on
+    /// either kernel via [`SimControl`]).
+    pub fn new<S: SimControl + ?Sized>(sim: &S) -> Self {
         let mut names = Vec::new();
         let mut ids = Vec::new();
         let mut index = HashMap::new();
@@ -38,9 +39,16 @@ impl Waveform {
     }
 
     /// Records the current state of `sim` at its current time.
-    pub fn capture(&mut self, sim: &Simulator) {
+    ///
+    /// Called once per checked cycle; reads the pre-resolved signal ids
+    /// directly so the only allocation is the frame itself.
+    pub fn capture<S: SimControl + ?Sized>(&mut self, sim: &S) {
         self.times.push(sim.time());
-        self.frames.push(sim.scalar_values().into_iter().map(|(_, v)| v).collect());
+        let mut frame = Vec::with_capacity(self.ids.len());
+        for id in &self.ids {
+            frame.push(sim.peek(*id));
+        }
+        self.frames.push(frame);
     }
 
     /// Number of captures taken.
@@ -185,6 +193,7 @@ fn bit_char(v: Logic, index: u32) -> char {
 mod tests {
     use super::*;
     use crate::elab::elaborate;
+    use crate::sched::Simulator;
     use uvllm_verilog::parse;
 
     fn counter_sim() -> Simulator {

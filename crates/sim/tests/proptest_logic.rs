@@ -156,6 +156,106 @@ fn display_parses_back() {
     }
 }
 
+/// Arbitrary four-state value using the full 128-bit planes.
+fn logic_wide(rng: &mut StdRng, width: u32) -> Logic {
+    let wide =
+        |rng: &mut StdRng| ((rng.random::<u64>() as u128) << 64) | rng.random::<u64>() as u128;
+    Logic::from_planes(width, wide(rng), wide(rng))
+}
+
+/// `(val, xz)` of bit `i` of `v`; bits beyond the width read as known 0
+/// (the planes are masked to the width by construction).
+fn ref_bit(v: &Logic, i: u32) -> (u8, u8) {
+    if i >= 128 {
+        (0, 0)
+    } else {
+        (((v.val() >> i) & 1) as u8, ((v.xz() >> i) & 1) as u8)
+    }
+}
+
+/// `shl` against a per-bit reference model: result bit `i` is 0 below
+/// the shift count and operand bit `i - sh` above it, in both planes.
+#[test]
+fn shl_matches_bit_reference() {
+    let mut rng = rng_for(13);
+    for _ in 0..2048 {
+        let n = rng.random_range(1..129u32);
+        let w = rng.random_range(n..129u32);
+        let v = logic_wide(&mut rng, n);
+        let sh = rng.random_range(0..150u32);
+        let out = v.shl(&Logic::from_u128(32, sh as u128), w);
+        for i in 0..w {
+            let expect = if i < sh { (0, 0) } else { ref_bit(&v, i - sh) };
+            assert_eq!(ref_bit(&out, i), expect, "n={n} w={w} sh={sh} bit={i} v={v}");
+        }
+    }
+}
+
+/// `shr` against the same reference: result bit `i` is operand bit
+/// `i + sh` (known 0 once shifted past the operand).
+#[test]
+fn shr_matches_bit_reference() {
+    let mut rng = rng_for(14);
+    for _ in 0..2048 {
+        let n = rng.random_range(1..129u32);
+        let w = rng.random_range(n..129u32);
+        let v = logic_wide(&mut rng, n);
+        let sh = rng.random_range(0..150u32);
+        let out = v.shr(&Logic::from_u128(32, sh as u128), w);
+        for i in 0..w {
+            let expect =
+                if sh >= 128 || i.checked_add(sh).is_none() { (0, 0) } else { ref_bit(&v, i + sh) };
+            assert_eq!(ref_bit(&out, i), expect, "n={n} w={w} sh={sh} bit={i} v={v}");
+        }
+    }
+}
+
+/// `ashr` against a reference that shifts, then replicates the sign bit
+/// downward from the *operand's* sign position (an X/Z sign fills X).
+#[test]
+fn ashr_matches_bit_reference() {
+    let mut rng = rng_for(15);
+    for _ in 0..2048 {
+        let n = rng.random_range(1..129u32);
+        let w = rng.random_range(n..129u32);
+        let v = logic_wide(&mut rng, n);
+        let sh = rng.random_range(0..150u32);
+        let out = v.ashr(&Logic::from_u128(32, sh as u128), w);
+        let eff = sh.min(n);
+        let sign = ref_bit(&v, n - 1);
+        for i in 0..w {
+            let mut expect = if sh >= 128 || i + sh >= 128 { (0, 0) } else { ref_bit(&v, i + sh) };
+            if eff > 0 && i >= n - eff && i < n {
+                expect = match sign {
+                    (1, 0) => (1, 0), // known 1: sign fill
+                    (0, 0) => expect, // known 0: logical shift
+                    _ => (0, 1),      // X/Z sign: X fill
+                };
+            }
+            assert_eq!(ref_bit(&out, i), expect, "n={n} w={w} sh={sh} bit={i} v={v}");
+        }
+    }
+}
+
+/// `concat` against the reference: low bits from `lo`, then `hi`, with
+/// everything past the 128-bit arena dropped from both planes.
+#[test]
+fn concat_matches_bit_reference() {
+    let mut rng = rng_for(16);
+    for _ in 0..2048 {
+        let hw = rng.random_range(1..129u32);
+        let lw = rng.random_range(1..129u32);
+        let hi = logic_wide(&mut rng, hw);
+        let lo = logic_wide(&mut rng, lw);
+        let out = Logic::concat(hi, lo);
+        assert_eq!(out.width(), (hw + lw).min(128));
+        for i in 0..out.width() {
+            let expect = if i < lw { ref_bit(&lo, i) } else { ref_bit(&hi, i - lw) };
+            assert_eq!(ref_bit(&out, i), expect, "hw={hw} lw={lw} bit={i}");
+        }
+    }
+}
+
 /// The simulated 8-bit adder agrees with integer arithmetic on
 /// arbitrary driven values (differential property against the
 /// simulator itself).

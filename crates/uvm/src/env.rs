@@ -9,7 +9,9 @@ use crate::scoreboard::{Coverage, Mismatch, Scoreboard};
 use crate::sequence::Sequence;
 use std::collections::BTreeMap;
 use std::fmt;
-use uvllm_sim::{Design, Logic, SimError, Simulator, Waveform};
+use uvllm_sim::{
+    AnySim, CompiledSim, Design, Logic, SimBackend, SimControl, SimError, Simulator, Waveform,
+};
 
 /// Nanoseconds per clock cycle in the recorded waveform.
 pub const CYCLE_TIME: u64 = 10;
@@ -43,18 +45,50 @@ impl std::error::Error for UvmError {}
 pub struct Driver;
 
 impl Driver {
-    /// Applies every input value of `txn`.
-    pub fn drive(
+    /// Applies every input value of `txn` (works on either kernel),
+    /// resolving port names on the fly.
+    pub fn drive<S: SimControl + ?Sized>(
         &self,
-        sim: &mut Simulator,
+        sim: &mut S,
         iface: &DutInterface,
         txn: &Transaction,
     ) -> Result<(), SimError> {
         for port in &iface.inputs {
-            let v = txn.values.get(&port.name).copied().unwrap_or_else(|| Logic::zeros(port.width));
-            sim.poke_by_name(&port.name, v.resize(port.width))?;
+            let id = sim
+                .design()
+                .signal_id(&port.name)
+                .ok_or_else(|| SimError::UnknownSignal(port.name.clone()))?;
+            self.drive_port(sim, &port.name, id, port.width, txn)?;
         }
         Ok(())
+    }
+
+    /// Pin-level fast path over pre-resolved ports (the environment's
+    /// hot loop — no name lookups).
+    pub fn drive_resolved<S: SimControl + ?Sized>(
+        &self,
+        sim: &mut S,
+        ports: &[(String, uvllm_sim::SignalId, u32)],
+        txn: &Transaction,
+    ) -> Result<(), SimError> {
+        for (name, id, width) in ports {
+            self.drive_port(sim, name, *id, *width, txn)?;
+        }
+        Ok(())
+    }
+
+    /// Drives one port: missing transaction values default to zero and
+    /// everything is resized to the port width.
+    fn drive_port<S: SimControl + ?Sized>(
+        &self,
+        sim: &mut S,
+        name: &str,
+        id: uvllm_sim::SignalId,
+        width: u32,
+        txn: &Transaction,
+    ) -> Result<(), SimError> {
+        let v = txn.values.get(name).copied().unwrap_or_else(|| Logic::zeros(width));
+        sim.poke(id, v.resize(width))
     }
 }
 
@@ -64,25 +98,50 @@ pub struct Monitor;
 
 impl Monitor {
     /// Samples every output port.
-    pub fn observe_outputs(
+    pub fn observe_outputs<S: SimControl + ?Sized>(
         &self,
-        sim: &Simulator,
+        sim: &S,
         iface: &DutInterface,
     ) -> BTreeMap<String, Logic> {
-        iface
-            .outputs
-            .iter()
-            .filter_map(|p| sim.peek_by_name(&p.name).ok().map(|v| (p.name.clone(), v)))
-            .collect()
+        let mut out = BTreeMap::new();
+        let design = sim.design();
+        let ports =
+            iface.outputs.iter().filter_map(|p| design.signal_id(&p.name).map(|id| (&p.name, id)));
+        self.observe_into(sim, ports, &mut out);
+        out
     }
 
     /// Samples every input port (for coverage).
-    pub fn observe_inputs(&self, sim: &Simulator, iface: &DutInterface) -> BTreeMap<String, Logic> {
-        iface
-            .inputs
-            .iter()
-            .filter_map(|p| sim.peek_by_name(&p.name).ok().map(|v| (p.name.clone(), v)))
-            .collect()
+    pub fn observe_inputs<S: SimControl + ?Sized>(
+        &self,
+        sim: &S,
+        iface: &DutInterface,
+    ) -> BTreeMap<String, Logic> {
+        let mut out = BTreeMap::new();
+        let design = sim.design();
+        let ports =
+            iface.inputs.iter().filter_map(|p| design.signal_id(&p.name).map(|id| (&p.name, id)));
+        self.observe_into(sim, ports, &mut out);
+        out
+    }
+
+    /// Refreshes `into` with the current value of every listed port —
+    /// existing entries are updated in place, so a reused map allocates
+    /// nothing in the steady state (the environment's hot loop).
+    pub fn observe_into<'p, S, I>(&self, sim: &S, ports: I, into: &mut BTreeMap<String, Logic>)
+    where
+        S: SimControl + ?Sized,
+        I: IntoIterator<Item = (&'p String, uvllm_sim::SignalId)>,
+    {
+        for (name, id) in ports {
+            let v = sim.peek(id);
+            match into.get_mut(name) {
+                Some(slot) => *slot = v,
+                None => {
+                    into.insert(name.clone(), v);
+                }
+            }
+        }
     }
 }
 
@@ -147,6 +206,12 @@ pub struct RunSummary {
     pub toggle_coverage: f64,
     /// Set when the run aborted early (oscillation etc.).
     pub aborted: Option<String>,
+    /// Set when the abort was a combinational oscillation: the process
+    /// activation count at which the simulator gave up
+    /// ([`uvllm_sim::MAX_ACTIVATIONS`]). Lets harnesses report
+    /// `SimError::Unstable` as a distinct outcome instead of an opaque
+    /// abort string.
+    pub unstable: Option<usize>,
     /// Immediate-assertion failures observed (cycle count, not unique).
     pub assertion_failures: usize,
 }
@@ -160,7 +225,7 @@ impl RunSummary {
 
 /// The top-level verification environment.
 pub struct Environment {
-    sim: Simulator,
+    sim: AnySim,
     iface: DutInterface,
     refmodel: Box<dyn RefModel>,
     in_agent: InAgent,
@@ -171,6 +236,15 @@ pub struct Environment {
     wave: Waveform,
     assertions: Vec<Assertion>,
     assertion_failures: usize,
+    /// Input ports pre-resolved to `(name, id, width)` — the per-cycle
+    /// drive/observe loops must not do name lookups.
+    in_ports: Vec<(String, uvllm_sim::SignalId, u32)>,
+    /// Output ports pre-resolved to `(name, id)`.
+    out_ports: Vec<(String, uvllm_sim::SignalId)>,
+    clock_id: Option<uvllm_sim::SignalId>,
+    /// Reusable observation maps (steady-state: zero allocations/cycle).
+    inputs_buf: BTreeMap<String, Logic>,
+    outputs_buf: BTreeMap<String, Logic>,
 }
 
 impl fmt::Debug for Environment {
@@ -180,7 +254,8 @@ impl fmt::Debug for Environment {
 }
 
 impl Environment {
-    /// Builds an environment around an elaborated design.
+    /// Builds an environment around an elaborated design on the
+    /// process-default backend ([`SimBackend::from_env`]).
     ///
     /// # Errors
     ///
@@ -192,7 +267,38 @@ impl Environment {
         refmodel: Box<dyn RefModel>,
         sequences: Vec<Box<dyn Sequence>>,
     ) -> Result<Self, UvmError> {
-        let sim = Simulator::new(design).map_err(|e| UvmError::Sim(e.to_string()))?;
+        Environment::new_with(design, iface, refmodel, sequences, SimBackend::from_env())
+    }
+
+    /// Builds an environment around an elaborated design on an explicit
+    /// simulation backend.
+    ///
+    /// # Errors
+    ///
+    /// As [`Environment::new`].
+    pub fn new_with(
+        design: &Design,
+        iface: DutInterface,
+        refmodel: Box<dyn RefModel>,
+        sequences: Vec<Box<dyn Sequence>>,
+        backend: SimBackend,
+    ) -> Result<Self, UvmError> {
+        let sim = AnySim::new(design, backend).map_err(|e| UvmError::Sim(e.to_string()))?;
+        Environment::with_sim(sim, iface, refmodel, sequences)
+    }
+
+    /// Wraps an already-built simulation (either kernel).
+    ///
+    /// # Errors
+    ///
+    /// [`UvmError::MissingPort`] when the DUT lacks an interface port.
+    pub fn with_sim(
+        sim: AnySim,
+        iface: DutInterface,
+        refmodel: Box<dyn RefModel>,
+        sequences: Vec<Box<dyn Sequence>>,
+    ) -> Result<Self, UvmError> {
+        let design = sim.design();
         let mut required: Vec<&str> = Vec::new();
         if let Some(c) = &iface.clock {
             required.push(c);
@@ -208,6 +314,11 @@ impl Environment {
                 return Err(UvmError::MissingPort(name.to_string()));
             }
         }
+        let resolve = |name: &str| design.signal_id(name).expect("port presence checked above");
+        let in_ports =
+            iface.inputs.iter().map(|p| (p.name.clone(), resolve(&p.name), p.width)).collect();
+        let out_ports = iface.outputs.iter().map(|p| (p.name.clone(), resolve(&p.name))).collect();
+        let clock_id = iface.clock.as_deref().map(resolve);
         let wave = Waveform::new(&sim);
         Ok(Environment {
             sim,
@@ -225,6 +336,11 @@ impl Environment {
             wave,
             assertions: Vec::new(),
             assertion_failures: 0,
+            in_ports,
+            out_ports,
+            clock_id,
+            inputs_buf: BTreeMap::new(),
+            outputs_buf: BTreeMap::new(),
         })
     }
 
@@ -235,7 +351,8 @@ impl Environment {
         self
     }
 
-    /// Parses, elaborates and wraps `src` in one call.
+    /// Parses, elaborates and wraps `src` in one call on the
+    /// process-default backend ([`SimBackend::from_env`]).
     ///
     /// Elaboration goes through the process-wide content-addressed
     /// cache ([`uvllm_sim::cache`]), so repeated runs over the same
@@ -253,16 +370,58 @@ impl Environment {
         refmodel: Box<dyn RefModel>,
         sequences: Vec<Box<dyn Sequence>>,
     ) -> Result<Self, UvmError> {
-        let design = uvllm_sim::elaborate_source_cached(src, top).map_err(UvmError::Elab)?;
-        Environment::new(&design, iface, refmodel, sequences)
+        Environment::from_source_with(src, top, iface, refmodel, sequences, SimBackend::from_env())
+    }
+
+    /// Parses, elaborates and wraps `src` on an explicit backend. The
+    /// compiled backend additionally memoises the *compiled* design
+    /// ([`uvllm_sim::compile_source_cached`]), so repeated texts skip
+    /// both elaboration and levelization.
+    ///
+    /// # Errors
+    ///
+    /// As [`Environment::from_source`].
+    pub fn from_source_with(
+        src: &str,
+        top: &str,
+        iface: DutInterface,
+        refmodel: Box<dyn RefModel>,
+        sequences: Vec<Box<dyn Sequence>>,
+        backend: SimBackend,
+    ) -> Result<Self, UvmError> {
+        let sim = match backend {
+            SimBackend::EventDriven => {
+                let design =
+                    uvllm_sim::elaborate_source_cached(src, top).map_err(UvmError::Elab)?;
+                AnySim::Event(Simulator::new(&design).map_err(|e| UvmError::Sim(e.to_string()))?)
+            }
+            SimBackend::Compiled => {
+                let compiled =
+                    uvllm_sim::compile_source_cached(src, top).map_err(UvmError::Elab)?;
+                AnySim::Compiled(
+                    CompiledSim::from_compiled(compiled)
+                        .map_err(|e| UvmError::Sim(e.to_string()))?,
+                )
+            }
+        };
+        Environment::with_sim(sim, iface, refmodel, sequences)
+    }
+
+    /// The simulation backend this environment runs on.
+    pub fn backend(&self) -> SimBackend {
+        self.sim.backend()
     }
 
     /// Runs every sequence to exhaustion, returning the summary.
     pub fn run(mut self) -> RunSummary {
         let mut cycle = 0usize;
         let mut aborted = None;
+        let mut unstable = None;
 
         if let Err(e) = self.reset_phase() {
+            if let SimError::Unstable { activations } = e {
+                unstable = Some(activations);
+            }
             aborted = Some(e.to_string());
         }
 
@@ -272,6 +431,9 @@ impl Environment {
                     Ok(()) => {}
                     Err(e) => {
                         self.log.error(self.sim.time(), "env", format!("aborted: {e}"));
+                        if let SimError::Unstable { activations } = e {
+                            unstable = Some(activations);
+                        }
                         aborted = Some(e.to_string());
                         break;
                     }
@@ -301,6 +463,7 @@ impl Environment {
             input_coverage: self.coverage.input_coverage(),
             toggle_coverage: self.coverage.toggle_coverage(),
             aborted,
+            unstable,
             assertion_failures: self.assertion_failures,
         }
     }
@@ -336,29 +499,43 @@ impl Environment {
         Ok(())
     }
 
+    /// One driven + checked cycle. This is the hot loop of the whole
+    /// verification stack, so the driver and monitors work through the
+    /// pre-resolved port ids and reuse the observation buffers — the
+    /// steady state performs no name lookups and no per-cycle
+    /// allocations beyond the waveform frame and the reference model's
+    /// own output map.
     fn one_cycle(&mut self, cycle: usize, txn: &Transaction) -> Result<(), SimError> {
-        self.in_agent.driver.drive(&mut self.sim, &self.iface, txn)?;
-        if let Some(clk) = self.iface.clock.clone() {
-            self.sim.poke_by_name(&clk, Logic::bit(true))?;
+        self.in_agent.driver.drive_resolved(&mut self.sim, &self.in_ports, txn)?;
+        if let Some(clk) = self.clock_id {
+            self.sim.poke(clk, Logic::bit(true))?;
         }
         self.sim.settle()?;
 
         // Capture the post-edge state for the localization engine.
         self.wave.capture(&self.sim);
 
-        let inputs = self.in_agent.monitor.observe_inputs(&self.sim, &self.iface);
-        let actual = self.out_monitor.observe_outputs(&self.sim, &self.iface);
-        let expected = self.refmodel.step(&inputs);
+        self.in_agent.monitor.observe_into(
+            &self.sim,
+            self.in_ports.iter().map(|(n, id, _)| (n, *id)),
+            &mut self.inputs_buf,
+        );
+        self.out_monitor.observe_into(
+            &self.sim,
+            self.out_ports.iter().map(|(n, id)| (n, *id)),
+            &mut self.outputs_buf,
+        );
+        let expected = self.refmodel.step(&self.inputs_buf);
         let time = self.sim.time();
         let before = self.scoreboard.mismatches().len();
-        let ok = self.scoreboard.check_cycle(time, cycle, &expected, &actual);
+        let ok = self.scoreboard.check_cycle(time, cycle, &expected, &self.outputs_buf);
         if !ok {
             let new = self.scoreboard.mismatches()[before..].to_vec();
             for m in &new {
                 self.log.mismatch(m);
             }
         }
-        self.coverage.sample(&inputs, &actual);
+        self.coverage.sample(&self.inputs_buf, &self.outputs_buf);
 
         // Immediate assertions over the post-edge snapshot.
         if !self.assertions.is_empty() {
@@ -375,8 +552,8 @@ impl Environment {
             }
         }
 
-        if let Some(clk) = self.iface.clock.clone() {
-            self.sim.poke_by_name(&clk, Logic::bit(false))?;
+        if let Some(clk) = self.clock_id {
+            self.sim.poke(clk, Logic::bit(false))?;
         }
         self.sim.set_time(self.sim.time() + CYCLE_TIME);
         Ok(())
@@ -565,8 +742,32 @@ mod tests {
         let summary = env.run();
         assert!(summary.aborted.is_some(), "oscillation must abort the run");
         assert!(summary.log.render().contains("aborted"));
+        // The oscillation is reported structurally, with the activation
+        // count pinned at the simulator's cap.
+        assert_eq!(summary.unstable, Some(uvllm_sim::MAX_ACTIVATIONS));
         // The scoreboard keeps whatever cycles completed before the hang.
         assert!(summary.pass_rate <= 1.0);
+    }
+
+    #[test]
+    fn both_backends_run_the_same_environment() {
+        for backend in SimBackend::ALL {
+            let iface = adder_iface();
+            let seqs: Vec<Box<dyn Sequence>> =
+                vec![Box::new(RandomSequence::new(&iface.inputs, 25, 11))];
+            let env = Environment::from_source_with(
+                GOOD_ADDER,
+                "add",
+                iface,
+                adder_model(),
+                seqs,
+                backend,
+            )
+            .expect("env");
+            assert_eq!(env.backend(), backend);
+            let summary = env.run();
+            assert!(summary.all_passed(), "{backend}: {}", summary.log.render());
+        }
     }
 
     #[test]

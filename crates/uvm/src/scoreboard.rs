@@ -123,10 +123,18 @@ impl Coverage {
     }
 
     /// Samples one cycle of activity.
+    ///
+    /// Runs every checked cycle, so it must not allocate in the steady
+    /// state: names are cloned only the first time a signal is seen.
     pub fn sample(&mut self, inputs: &BTreeMap<String, Logic>, outputs: &BTreeMap<String, Logic>) {
         for (name, v) in inputs {
-            let entry =
-                self.input_bins.entry(name.clone()).or_insert_with(|| (v.width(), HashSet::new()));
+            let entry = match self.input_bins.get_mut(name) {
+                Some(e) => e,
+                None => self
+                    .input_bins
+                    .entry(name.clone())
+                    .or_insert_with(|| (v.width(), HashSet::new())),
+            };
             if let Some(val) = v.to_u128() {
                 let w = entry.0;
                 let total = if w >= 32 { u128::MAX } else { 1u128 << w };
@@ -141,8 +149,13 @@ impl Coverage {
             }
         }
         for (name, v) in outputs {
-            self.output_widths.insert(name.clone(), v.width());
-            let entry = self.toggles.entry(name.clone()).or_insert((0, 0));
+            if !self.output_widths.contains_key(name) {
+                self.output_widths.insert(name.clone(), v.width());
+            }
+            let entry = match self.toggles.get_mut(name) {
+                Some(e) => e,
+                None => self.toggles.entry(name.clone()).or_insert((0, 0)),
+            };
             let known = !v.xz();
             entry.0 |= !v.val() & known & uvllm_sim::logic::mask(v.width());
             entry.1 |= v.val() & known;

@@ -5,6 +5,7 @@
 //! cargo run --release --example campaign -- --workers 8
 //! cargo run --release --example campaign -- --workers 8 --shard 0/4 --out shard0.jsonl
 //! cargo run --release --example campaign -- --size 60 --methods UVLLM,MEIC
+//! cargo run --release --example campaign -- --backend compiled
 //! ```
 //!
 //! Re-running with the same `--out` resumes: completed jobs are read
@@ -12,7 +13,7 @@
 //! (modulo order) for any `--workers` value.
 
 use std::process::ExitCode;
-use uvllm_campaign::{Campaign, CampaignConfig, JsonlSink, MethodKind, ShardSpec};
+use uvllm_campaign::{Campaign, CampaignConfig, JsonlSink, MethodKind, ShardSpec, SimBackend};
 
 struct Args {
     config: CampaignConfig,
@@ -56,10 +57,15 @@ fn parse_args() -> Result<Args, String> {
                     .collect::<Result<Vec<_>, _>>()?;
             }
             "--out" => out = value("--out")?,
+            "--backend" => {
+                let text = value("--backend")?;
+                config.backend = SimBackend::from_label(&text)
+                    .ok_or_else(|| format!("unknown backend '{text}' (event|compiled)"))?;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: campaign [--workers N] [--shard i/n] [--size N] \
-                     [--seed HEX] [--methods A,B,..] [--out FILE]\n\
+                     [--seed HEX] [--methods A,B,..] [--backend event|compiled] [--out FILE]\n\
                      methods: UVLLM, UVLLM(comp), MEIC, GPT-4-turbo, Strider, RTLrepair"
                 );
                 std::process::exit(0);
@@ -87,12 +93,13 @@ fn main() -> ExitCode {
     };
     let config = campaign.config();
     println!(
-        "campaign: {} instances x {} methods, {} workers, shard {}/{}, sink {out}",
+        "campaign: {} instances x {} methods, {} workers, shard {}/{}, {} kernel, sink {out}",
         config.dataset_size,
         config.methods.len(),
         config.effective_workers(),
         config.shard.index,
         config.shard.count,
+        config.backend,
     );
 
     let mut sink = match JsonlSink::open(&out) {

@@ -1,0 +1,110 @@
+//! Campaign-level backend guarantees: the compiled kernel yields the
+//! same verdicts as the event-driven baseline (rows differ only in the
+//! recorded `backend` label), and an oscillating DUT surfaces
+//! `SimError::Unstable` through the campaign `ResultSink` as a distinct
+//! outcome row instead of a crash.
+
+use uvllm::{build_instance, Verdict};
+use uvllm_campaign::{
+    Campaign, CampaignConfig, EvalRow, MemorySink, MethodKind, ResultSink, SimBackend,
+};
+use uvllm_errgen::ErrorKind;
+
+fn config(backend: SimBackend) -> CampaignConfig {
+    CampaignConfig {
+        dataset_size: 8,
+        dataset_seed: 0xD15E,
+        methods: vec![MethodKind::Uvllm, MethodKind::Strider],
+        workers: 4,
+        backend,
+        ..CampaignConfig::default()
+    }
+}
+
+/// Rows must be identical across backends once the backend label itself
+/// is normalised away — the backend is a speed knob, not a semantics
+/// knob.
+#[test]
+fn campaign_rows_identical_across_backends() {
+    let mut per_backend = Vec::new();
+    for backend in SimBackend::ALL {
+        let mut sink = MemorySink::new();
+        Campaign::new(config(backend)).unwrap().run(&mut sink).unwrap();
+        let mut lines: Vec<String> = sink
+            .rows()
+            .iter()
+            .map(|r| {
+                let mut row = r.clone();
+                assert_eq!(row.backend, backend.label(), "rows must record their backend");
+                row.backend = "normalised".into();
+                row.to_json_line()
+            })
+            .collect();
+        lines.sort();
+        per_backend.push(lines);
+    }
+    assert!(!per_backend[0].is_empty());
+    assert_eq!(
+        per_backend[0], per_backend[1],
+        "event-driven and compiled kernels must produce identical verdicts"
+    );
+}
+
+/// An oscillating cross-coupled DUT must flow through evaluation and the
+/// result sink as a distinct `unstable` outcome row carrying the
+/// activation cap — not panic, not a bare `fixed: false`.
+#[test]
+fn unstable_design_becomes_a_distinct_outcome_row() {
+    // Take a real benchmark instance, then swap its mutated source for
+    // an interface-compatible adder whose cross-coupled always blocks
+    // oscillate as soon as stimulus drives a[0] high.
+    let d = uvllm_designs::by_name("adder_8bit").unwrap();
+    let mut inst = build_instance(d, ErrorKind::OperatorMisuse, 5).expect("instance");
+    inst.mutated_src = "module adder_8bit(\n  input [7:0] a,\n  input [7:0] b,\n  input cin,\n\
+                        \x20 output [7:0] sum,\n  output cout\n);\nreg p;\nreg q;\n\
+                        assign sum = {7'd0, p};\nassign cout = q;\n\
+                        always @(*) begin\nif (a[0]) begin\ncase (q)\n1'b0: p = 1'b1;\n\
+                        default: p = 1'b0;\nendcase\nend else\np = 1'b0;\nend\n\
+                        always @(*) begin\nif (a[0]) begin\ncase (p)\n1'b0: q = 1'b0;\n\
+                        default: q = 1'b1;\nendcase\nend else\nq = 1'b0;\nend\nendmodule\n"
+        .to_string();
+
+    for backend in SimBackend::ALL {
+        // Strider is scripted (no LLM) and cannot repair this shape, so
+        // the final code still oscillates when the metrics re-check it.
+        let record = uvllm_campaign::evaluate_one_with(MethodKind::Strider, &inst, backend);
+        assert!(!record.fixed, "{backend}");
+        assert_eq!(
+            record.fix_outcome,
+            Verdict::Unstable { activations: uvllm_sim::MAX_ACTIVATIONS },
+            "{backend}: oscillation must be classified, with the activation cap"
+        );
+
+        // The row lands in a campaign sink as a distinct outcome.
+        let mut sink = MemorySink::new();
+        let row = record.to_row();
+        sink.append(&row).unwrap();
+        assert_eq!(sink.rows()[0].outcome, "unstable");
+        assert_eq!(sink.rows()[0].backend, backend.label());
+
+        // And survives the JSONL round trip.
+        let back = EvalRow::from_json_line(&row.to_json_line()).unwrap();
+        assert_eq!(back, row);
+        assert_eq!(back.outcome, "unstable");
+    }
+}
+
+/// Pre-schema JSONL rows (no `backend` / `outcome` members) still decode
+/// with their historical implicit values, so old campaign files resume.
+#[test]
+fn legacy_rows_decode_with_default_backend_and_outcome() {
+    let line = "{\"id\":\"adder_8bit/operator_misuse#5@Strider\",\
+                \"instance\":\"adder_8bit/operator_misuse#5\",\"design\":\"adder_8bit\",\
+                \"group\":\"Arithmetic\",\"kind\":\"operator_misuse\",\"syntax\":false,\
+                \"category\":\"Flawed conditions\",\"method\":\"Strider\",\"hit\":false,\
+                \"fixed\":true,\"claimed\":true,\"llm_calls\":0,\"prompt_tokens\":0,\
+                \"completion_tokens\":0,\"sim_latency_ms\":0,\"fixed_by\":null}";
+    let row = EvalRow::from_json_line(line).unwrap();
+    assert_eq!(row.backend, "event");
+    assert_eq!(row.outcome, "pass");
+}

@@ -16,6 +16,7 @@ fn golden_designs_elaborate_exactly_once_per_worker_set() {
         methods: vec![MethodKind::Uvllm, MethodKind::Strider],
         workers: 4,
         shard: ShardSpec::default(),
+        backend: uvllm_campaign::SimBackend::default(),
     };
 
     uvllm_sim::cache::reset();
