@@ -5,11 +5,21 @@
 //! ```text
 //! cargo bench --bench kernels
 //! ```
+//!
+//! Besides the criterion output, the run writes **`BENCH_kernels.json`**
+//! (path overridable via `UVLLM_BENCH_JSON`): per-backend ns/cycle for
+//! the raw kernel and the whole UVM environment, plus the wall-clock of
+//! a full campaign (`UVLLM_BENCH_SIZE` instances × all six methods; the
+//! paper's 331 by default) on each backend — so the perf trajectory is
+//! tracked machine-readably across PRs instead of living in README
+//! prose.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 use uvllm_campaign::{Campaign, CampaignConfig, MemorySink, MethodKind, SimBackend};
 use uvllm_designs::by_name;
+use uvllm_json::Json;
 use uvllm_sim::{elaborate, AnySim, Logic, SimControl};
 use uvllm_uvm::{CornerSequence, Environment, RandomSequence, Sequence};
 
@@ -87,4 +97,130 @@ criterion_group!(
     config = Criterion::default().sample_size(10);
     targets = bench_clocked_settle, bench_uvm_run, bench_campaign_slice,
 );
-criterion_main!(kernels);
+
+// ----------------------------------------------------------------------
+// Machine-readable perf record (BENCH_kernels.json)
+// ----------------------------------------------------------------------
+
+/// Raw kernel throughput: ns per full clock cycle (two pokes) of the
+/// counter_12 design, measured over `cycles` cycles after a warm-up.
+fn kernel_ns_per_cycle(backend: SimBackend, cycles: u64) -> f64 {
+    let d = by_name("counter_12").unwrap();
+    let file = uvllm_verilog::parse(d.source).unwrap();
+    let design = elaborate(&file, d.name).unwrap();
+    let mut sim = AnySim::new(&design, backend).unwrap();
+    sim.poke_by_name("rst_n", Logic::bit(false)).unwrap();
+    sim.poke_by_name("rst_n", Logic::bit(true)).unwrap();
+    sim.poke_by_name("en", Logic::bit(true)).unwrap();
+    for _ in 0..200 {
+        sim.poke_by_name("clk", Logic::bit(true)).unwrap();
+        sim.poke_by_name("clk", Logic::bit(false)).unwrap();
+    }
+    let start = Instant::now();
+    for _ in 0..cycles {
+        sim.poke_by_name("clk", Logic::bit(true)).unwrap();
+        sim.poke_by_name("clk", Logic::bit(false)).unwrap();
+    }
+    black_box(sim.peek_by_name("q").unwrap());
+    start.elapsed().as_nanos() as f64 / cycles as f64
+}
+
+/// Whole-environment throughput: ns per checked cycle of a UVM run over
+/// alu_8bit (drive + settle + observe + refmodel frame + scoreboard +
+/// coverage), averaged over `reps` runs of `cycles` cycles.
+fn env_ns_per_cycle(backend: SimBackend, cycles: usize, reps: u32) -> f64 {
+    let d = by_name("alu_8bit").unwrap();
+    let mut total_ns = 0u128;
+    let mut total_cycles = 0u64;
+    for rep in 0..reps {
+        let iface = (d.iface)();
+        let seqs: Vec<Box<dyn Sequence>> =
+            vec![Box::new(RandomSequence::new(&iface.inputs, cycles, 7 + rep as u64))];
+        let env =
+            Environment::from_source_with(d.source, d.name, iface, (d.model)(), seqs, backend)
+                .unwrap()
+                .without_waveform();
+        let start = Instant::now();
+        let summary = env.run();
+        total_ns += start.elapsed().as_nanos();
+        total_cycles += summary.cycles as u64;
+        black_box(summary.pass_rate);
+    }
+    total_ns as f64 / total_cycles as f64
+}
+
+/// Full campaign wall-clock: `size` instances × every method, one
+/// worker (deterministic timing), memory sink. Returns (seconds, jobs).
+fn campaign_wall_clock(backend: SimBackend, size: usize) -> (f64, usize) {
+    let config = CampaignConfig {
+        dataset_size: size,
+        methods: MethodKind::ALL.to_vec(),
+        workers: 1,
+        backend,
+        ..CampaignConfig::default()
+    };
+    let mut sink = MemorySink::new();
+    let start = Instant::now();
+    let outcome = Campaign::new(config).unwrap().run(&mut sink).unwrap();
+    (start.elapsed().as_secs_f64(), outcome.new_records.len())
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+fn write_bench_json() {
+    let size = std::env::var("UVLLM_BENCH_SIZE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(uvllm::dataset::PAPER_DATASET_SIZE);
+    // Benches run with CWD = crates/bench; default the record to the
+    // workspace root so it sits next to README.
+    let path = std::env::var("UVLLM_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json").to_string()
+    });
+    let mut backends = Vec::new();
+    let mut campaign_s = [0.0f64; 2];
+    for (i, backend) in SimBackend::ALL.into_iter().enumerate() {
+        let kernel_ns = kernel_ns_per_cycle(backend, 20_000);
+        let env_ns = env_ns_per_cycle(backend, 2_000, 5);
+        let (wall_s, jobs) = campaign_wall_clock(backend, size);
+        campaign_s[i] = wall_s;
+        println!(
+            "{backend}: kernel {kernel_ns:.0} ns/cycle, env {env_ns:.0} ns/cycle, \
+             campaign {size}x6 {wall_s:.2}s ({jobs} jobs)"
+        );
+        backends.push(Json::Obj(vec![
+            ("backend".into(), Json::Str(backend.label().to_string())),
+            ("kernel_ns_per_cycle".into(), Json::Num(round2(kernel_ns))),
+            ("env_ns_per_cycle".into(), Json::Num(round2(env_ns))),
+            ("campaign_wall_s".into(), Json::Num(round2(wall_s))),
+            ("campaign_jobs".into(), Json::Num(jobs as f64)),
+        ]));
+    }
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str("uvllm-bench-kernels/v1".into())),
+        ("campaign_size".into(), Json::Num(size as f64)),
+        ("campaign_methods".into(), Json::Num(MethodKind::ALL.len() as f64)),
+        ("backends".into(), Json::Arr(backends)),
+        (
+            "campaign_speedup_compiled_vs_event".into(),
+            Json::Num(round2(campaign_s[0] / campaign_s[1].max(1e-9))),
+        ),
+    ]);
+    std::fs::write(&path, format!("{}\n", doc.render())).expect("write BENCH_kernels.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    kernels();
+    // A positional CLI arg is a criterion-style name filter — an
+    // exploratory run that should not pay for (or overwrite) the full
+    // campaign perf record.
+    let filtered = std::env::args().skip(1).any(|a| !a.starts_with('-'));
+    if filtered {
+        println!("bench filter given: skipping BENCH_kernels.json generation");
+    } else {
+        write_bench_json();
+    }
+}

@@ -288,6 +288,14 @@ pub fn evaluate_one(method: MethodKind, inst: &BenchInstance) -> EvalRecord {
 /// bedrock of campaign determinism and resumability. The two backends
 /// are waveform-identical (enforced by the differential equivalence
 /// suite), so the backend changes wall-clock, not verdicts.
+///
+/// Per-job cost model: every metric run crosses the scoreboard
+/// boundary through the index-based `IoFrame` exchange (zero
+/// allocations per checked cycle), and on the compiled backend the
+/// repeated runs over one candidate text share a pooled, state-reset
+/// `CompiledSim` instance (`uvllm_sim::checkout_sim`) instead of
+/// re-instantiating per run — `reset_state` makes a reused instance
+/// indistinguishable from a fresh one, so determinism is unaffected.
 pub fn evaluate_one_with(
     method: MethodKind,
     inst: &BenchInstance,

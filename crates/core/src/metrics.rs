@@ -64,6 +64,12 @@ impl Verdict {
 }
 
 /// Runs a set of sequences against `code` and classifies the outcome.
+///
+/// Metric runs are pure pass/fail: the environment runs with waveform
+/// capture disabled (nobody reads the frames), and on the compiled
+/// backend the simulation instance comes out of the process-wide
+/// reset-reuse pool ([`uvllm_sim::checkout_sim`]) — the hit + fix runs
+/// of one candidate text share one instance.
 fn run_verdict(
     code: &str,
     design: &Design,
@@ -73,7 +79,7 @@ fn run_verdict(
     let iface = (design.iface)();
     match Environment::from_source_with(code, design.name, iface, (design.model)(), seqs, backend) {
         Ok(env) => {
-            let summary = env.run();
+            let summary = env.without_waveform().run();
             if summary.all_passed() {
                 Verdict::Pass
             } else if let Some(activations) = summary.unstable {
@@ -188,6 +194,25 @@ mod tests {
         let broken = d.source.replace(';', "");
         assert!(!hit_confirmed(d, &broken));
         assert!(!fix_confirmed(d, &broken));
+    }
+
+    #[test]
+    fn compiled_metric_runs_reuse_pooled_instances() {
+        // The six metric runs of a campaign job hit the same candidate
+        // text repeatedly: after the first, the compiled backend must
+        // serve checkouts by rewinding a parked instance, not by
+        // rebuilding one.
+        let d = by_name("gray_counter_4").unwrap();
+        // A comment makes the text (and so the pool key) unique to this
+        // test; the counters are process-global.
+        let code = format!("{}// pool-reuse probe\n", d.source);
+        let before = uvllm_sim::sim_pool_stats();
+        assert!(hit_confirmed_with(d, &code, uvllm_sim::SimBackend::Compiled));
+        assert!(fix_confirmed_with(d, &code, uvllm_sim::SimBackend::Compiled));
+        assert!(hit_confirmed_with(d, &code, uvllm_sim::SimBackend::Compiled));
+        let after = uvllm_sim::sim_pool_stats();
+        assert!(after.checkouts - before.checkouts >= 3);
+        assert!(after.reuses - before.reuses >= 2, "later runs rewind the parked instance");
     }
 
     #[test]

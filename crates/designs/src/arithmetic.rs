@@ -1,10 +1,10 @@
 //! Arithmetic designs: accumulator, adders, subtractor, multipliers,
 //! divider.
 
-use crate::{iv, ov, tx, Category, Design};
-use std::collections::BTreeMap;
-use uvllm_sim::Logic;
-use uvllm_uvm::{DutInterface, PortSig, RefModel, Transaction};
+use crate::{tx, Category, Design};
+use uvllm_uvm::{
+    DutInterface, FnModel, InSlot, IoFrame, IoSpec, OutSlot, PortSig, RefModel, Transaction,
+};
 
 /// The arithmetic group (7 designs).
 pub static DESIGNS: [Design; 7] = [
@@ -24,7 +24,7 @@ pub static DESIGNS: [Design; 7] = [
                 vec![PortSig::new("q", 8)],
             )
         },
-        model: || Box::new(Accu { q: 0 }),
+        model: || Box::<Accu>::default(),
         directed_vectors: || {
             // Weak: small increments, never wraps past 255, never clears
             // while accumulating.
@@ -51,12 +51,14 @@ pub static DESIGNS: [Design; 7] = [
             )
         },
         model: || {
-            Box::new(uvllm_uvm::FnModel(|ins: &BTreeMap<String, Logic>| {
-                let s = iv(ins, "a", 8) + iv(ins, "b", 8) + iv(ins, "cin", 1);
-                let mut o = BTreeMap::new();
-                ov(&mut o, "sum", 8, s);
-                ov(&mut o, "cout", 1, s >> 8);
-                o
+            Box::new(FnModel::new(|s: &IoSpec| {
+                let (a, b, cin) = (s.input("a"), s.input("b"), s.input("cin"));
+                let (sum, cout) = (s.output("sum"), s.output("cout"));
+                move |io: &mut IoFrame<'_>| {
+                    let v = io.get(a) + io.get(b) + io.get(cin);
+                    io.set(sum, v);
+                    io.set(cout, v >> 8);
+                }
             }))
         },
         directed_vectors: || {
@@ -83,12 +85,14 @@ pub static DESIGNS: [Design; 7] = [
             )
         },
         model: || {
-            Box::new(uvllm_uvm::FnModel(|ins: &BTreeMap<String, Logic>| {
-                let s = iv(ins, "a", 16) + iv(ins, "b", 16) + iv(ins, "cin", 1);
-                let mut o = BTreeMap::new();
-                ov(&mut o, "sum", 16, s);
-                ov(&mut o, "cout", 1, s >> 16);
-                o
+            Box::new(FnModel::new(|s: &IoSpec| {
+                let (a, b, cin) = (s.input("a"), s.input("b"), s.input("cin"));
+                let (sum, cout) = (s.output("sum"), s.output("cout"));
+                move |io: &mut IoFrame<'_>| {
+                    let v = io.get(a) + io.get(b) + io.get(cin);
+                    io.set(sum, v);
+                    io.set(cout, v >> 16);
+                }
             }))
         },
         directed_vectors: || {
@@ -115,15 +119,14 @@ pub static DESIGNS: [Design; 7] = [
             )
         },
         model: || {
-            Box::new(uvllm_uvm::FnModel(|ins: &BTreeMap<String, Logic>| {
-                let a = iv(ins, "a", 8) as i64;
-                let b = iv(ins, "b", 8) as i64;
-                let bin = iv(ins, "bin", 1) as i64;
-                let raw = a - b - bin;
-                let mut o = BTreeMap::new();
-                ov(&mut o, "diff", 8, (raw & 0xff) as u128);
-                ov(&mut o, "bout", 1, (raw < 0) as u128);
-                o
+            Box::new(FnModel::new(|s: &IoSpec| {
+                let (a, b, bin) = (s.input("a"), s.input("b"), s.input("bin"));
+                let (diff, bout) = (s.output("diff"), s.output("bout"));
+                move |io: &mut IoFrame<'_>| {
+                    let raw = io.get(a) as i64 - io.get(b) as i64 - io.get(bin) as i64;
+                    io.set(diff, (raw & 0xff) as u128);
+                    io.set(bout, (raw < 0) as u128);
+                }
             }))
         },
         directed_vectors: || {
@@ -149,10 +152,12 @@ pub static DESIGNS: [Design; 7] = [
             )
         },
         model: || {
-            Box::new(uvllm_uvm::FnModel(|ins: &BTreeMap<String, Logic>| {
-                let mut o = BTreeMap::new();
-                ov(&mut o, "p", 16, iv(ins, "a", 8) * iv(ins, "b", 8));
-                o
+            Box::new(FnModel::new(|s: &IoSpec| {
+                let (a, b, p) = (s.input("a"), s.input("b"), s.output("p"));
+                move |io: &mut IoFrame<'_>| {
+                    let v = io.get(a) * io.get(b);
+                    io.set(p, v);
+                }
             }))
         },
         directed_vectors: || {
@@ -180,7 +185,7 @@ pub static DESIGNS: [Design; 7] = [
                 vec![PortSig::new("p", 16)],
             )
         },
-        model: || Box::new(MulPipe { s1: 0, s2: 0 }),
+        model: || Box::<MulPipe>::default(),
         directed_vectors: || {
             vec![
                 tx(&[("a", 8, 2), ("b", 8, 3)]),
@@ -206,17 +211,19 @@ pub static DESIGNS: [Design; 7] = [
             )
         },
         model: || {
-            Box::new(uvllm_uvm::FnModel(|ins: &BTreeMap<String, Logic>| {
-                let a = iv(ins, "a", 8);
-                let b = iv(ins, "b", 8);
-                let (q, r) = match (a.checked_div(b), a.checked_rem(b)) {
-                    (Some(q), Some(r)) => (q, r),
-                    _ => (0xff, a),
-                };
-                let mut o = BTreeMap::new();
-                ov(&mut o, "q", 8, q);
-                ov(&mut o, "r", 8, r);
-                o
+            Box::new(FnModel::new(|s: &IoSpec| {
+                let (a, b) = (s.input("a"), s.input("b"));
+                let (q, r) = (s.output("q"), s.output("r"));
+                move |io: &mut IoFrame<'_>| {
+                    let av = io.get(a);
+                    let bv = io.get(b);
+                    let (qv, rv) = match (av.checked_div(bv), av.checked_rem(bv)) {
+                        (Some(qv), Some(rv)) => (qv, rv),
+                        _ => (0xff, av),
+                    };
+                    io.set(q, qv);
+                    io.set(r, rv);
+                }
             }))
         },
         directed_vectors: || {
@@ -232,43 +239,59 @@ pub static DESIGNS: [Design; 7] = [
 ];
 
 /// Golden model of `accu`.
+#[derive(Default)]
 struct Accu {
     q: u128,
+    en: InSlot,
+    clr: InSlot,
+    d: InSlot,
+    q_out: OutSlot,
 }
 
 impl RefModel for Accu {
+    fn bind(&mut self, spec: &IoSpec) {
+        self.en = spec.input("en");
+        self.clr = spec.input("clr");
+        self.d = spec.input("d");
+        self.q_out = spec.output("q");
+    }
     fn reset(&mut self) {
         self.q = 0;
     }
-    fn step(&mut self, ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
-        if iv(ins, "clr", 1) == 1 {
+    fn step(&mut self, io: &mut IoFrame<'_>) {
+        if io.get(self.clr) == 1 {
             self.q = 0;
-        } else if iv(ins, "en", 1) == 1 {
-            self.q = (self.q + iv(ins, "d", 8)) & 0xff;
+        } else if io.get(self.en) == 1 {
+            self.q = (self.q + io.get(self.d)) & 0xff;
         }
-        let mut o = BTreeMap::new();
-        ov(&mut o, "q", 8, self.q);
-        o
+        io.set(self.q_out, self.q);
     }
 }
 
 /// Golden model of `mul_pipe_8bit`.
+#[derive(Default)]
 struct MulPipe {
     s1: u128,
     s2: u128,
+    a: InSlot,
+    b: InSlot,
+    p: OutSlot,
 }
 
 impl RefModel for MulPipe {
+    fn bind(&mut self, spec: &IoSpec) {
+        self.a = spec.input("a");
+        self.b = spec.input("b");
+        self.p = spec.output("p");
+    }
     fn reset(&mut self) {
         self.s1 = 0;
         self.s2 = 0;
     }
-    fn step(&mut self, ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
+    fn step(&mut self, io: &mut IoFrame<'_>) {
         self.s2 = self.s1;
-        self.s1 = (iv(ins, "a", 8) * iv(ins, "b", 8)) & 0xffff;
-        let mut o = BTreeMap::new();
-        ov(&mut o, "p", 16, self.s2);
-        o
+        self.s1 = (io.get(self.a) * io.get(self.b)) & 0xffff;
+        io.set(self.p, self.s2);
     }
 }
 

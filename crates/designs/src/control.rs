@@ -1,9 +1,7 @@
 //! Control designs: counters and finite-state machines.
 
-use crate::{iv, ov, tx, Category, Design};
-use std::collections::BTreeMap;
-use uvllm_sim::Logic;
-use uvllm_uvm::{DutInterface, PortSig, RefModel};
+use crate::{tx, Category, Design};
+use uvllm_uvm::{DutInterface, InSlot, IoFrame, IoSpec, OutSlot, PortSig, RefModel};
 
 /// The control group (6 designs).
 pub static DESIGNS: [Design; 6] = [
@@ -22,7 +20,7 @@ pub static DESIGNS: [Design; 6] = [
                 vec![PortSig::new("q", 4), PortSig::new("tc", 1)],
             )
         },
-        model: || Box::new(Counter12 { q: 0 }),
+        model: || Box::<Counter12>::default(),
         directed_vectors: || {
             // Weak: only 6 enabled cycles — the wrap at 11 is never hit.
             vec![
@@ -55,7 +53,7 @@ pub static DESIGNS: [Design; 6] = [
                 vec![PortSig::new("q", 8)],
             )
         },
-        model: || Box::new(UpDown { q: 0 }),
+        model: || Box::<UpDown>::default(),
         directed_vectors: || {
             // Weak: counts up from a loaded mid value; down-wrap at zero
             // untested.
@@ -80,7 +78,7 @@ pub static DESIGNS: [Design; 6] = [
         iface: || {
             DutInterface::clocked(vec![PortSig::new("en", 1)], vec![PortSig::new("gray", 4)])
         },
-        model: || Box::new(GrayCounter { bin: 0 }),
+        model: || Box::<GrayCounter>::default(),
         directed_vectors: || {
             vec![
                 tx(&[("en", 1, 1)]),
@@ -104,7 +102,7 @@ pub static DESIGNS: [Design; 6] = [
         iface: || {
             DutInterface::clocked(vec![PortSig::new("en", 1)], vec![PortSig::new("q", 4)])
         },
-        model: || Box::new(Johnson { q: 0 }),
+        model: || Box::<Johnson>::default(),
         directed_vectors: || {
             // Weak: four steps — the descending half of the ring is
             // never reached.
@@ -129,7 +127,7 @@ pub static DESIGNS: [Design; 6] = [
         iface: || {
             DutInterface::clocked(vec![PortSig::new("din", 1)], vec![PortSig::new("det", 1)])
         },
-        model: || Box::new(SeqDetector { state: 0 }),
+        model: || Box::<SeqDetector>::default(),
         directed_vectors: || {
             // Weak: a single non-overlapping occurrence.
             vec![
@@ -151,7 +149,7 @@ pub static DESIGNS: [Design; 6] = [
                active-low reset returns to red with a fresh timer.",
         source: "module traffic_light(\n  input clk,\n  input rst_n,\n  output reg [1:0] light\n);\nlocalparam RED = 2'd0;\nlocalparam GREEN = 2'd1;\nlocalparam YELLOW = 2'd2;\nreg [2:0] timer;\nalways @(posedge clk or negedge rst_n) begin\n  if (!rst_n) begin\n    light <= RED;\n    timer <= 3'd0;\n  end else begin\n    case (light)\n      RED: begin\n        if (timer == 3'd3) begin\n          light <= GREEN;\n          timer <= 3'd0;\n        end else\n          timer <= timer + 3'd1;\n      end\n      GREEN: begin\n        if (timer == 3'd4) begin\n          light <= YELLOW;\n          timer <= 3'd0;\n        end else\n          timer <= timer + 3'd1;\n      end\n      YELLOW: begin\n        if (timer == 3'd1) begin\n          light <= RED;\n          timer <= 3'd0;\n        end else\n          timer <= timer + 3'd1;\n      end\n      default: begin\n        light <= RED;\n        timer <= 3'd0;\n      end\n    endcase\n  end\nend\nendmodule\n",
         iface: || DutInterface::clocked(vec![], vec![PortSig::new("light", 2)]),
-        model: || Box::new(TrafficLight { light: 0, timer: 0 }),
+        model: || Box::<TrafficLight>::default(),
         directed_vectors: || {
             // Weak: five cycles — still in the first red phase or just
             // entering green; yellow never observed.
@@ -160,96 +158,131 @@ pub static DESIGNS: [Design; 6] = [
     },
 ];
 
+#[derive(Default)]
 struct Counter12 {
     q: u128,
+    en: InSlot,
+    q_out: OutSlot,
+    tc: OutSlot,
 }
 
 impl RefModel for Counter12 {
+    fn bind(&mut self, spec: &IoSpec) {
+        self.en = spec.input("en");
+        self.q_out = spec.output("q");
+        self.tc = spec.output("tc");
+    }
     fn reset(&mut self) {
         self.q = 0;
     }
-    fn step(&mut self, ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
-        if iv(ins, "en", 1) == 1 {
+    fn step(&mut self, io: &mut IoFrame<'_>) {
+        if io.get(self.en) == 1 {
             self.q = if self.q == 11 { 0 } else { self.q + 1 };
         }
-        let mut o = BTreeMap::new();
-        ov(&mut o, "q", 4, self.q);
-        ov(&mut o, "tc", 1, (self.q == 11) as u128);
-        o
+        io.set(self.q_out, self.q);
+        io.set(self.tc, (self.q == 11) as u128);
     }
 }
 
+#[derive(Default)]
 struct UpDown {
     q: u128,
+    en: InSlot,
+    up: InSlot,
+    load: InSlot,
+    d: InSlot,
+    q_out: OutSlot,
 }
 
 impl RefModel for UpDown {
+    fn bind(&mut self, spec: &IoSpec) {
+        self.en = spec.input("en");
+        self.up = spec.input("up");
+        self.load = spec.input("load");
+        self.d = spec.input("d");
+        self.q_out = spec.output("q");
+    }
     fn reset(&mut self) {
         self.q = 0;
     }
-    fn step(&mut self, ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
-        if iv(ins, "load", 1) == 1 {
-            self.q = iv(ins, "d", 8);
-        } else if iv(ins, "en", 1) == 1 {
-            self.q = if iv(ins, "up", 1) == 1 {
+    fn step(&mut self, io: &mut IoFrame<'_>) {
+        if io.get(self.load) == 1 {
+            self.q = io.get(self.d);
+        } else if io.get(self.en) == 1 {
+            self.q = if io.get(self.up) == 1 {
                 (self.q + 1) & 0xff
             } else {
                 self.q.wrapping_sub(1) & 0xff
             };
         }
-        let mut o = BTreeMap::new();
-        ov(&mut o, "q", 8, self.q);
-        o
+        io.set(self.q_out, self.q);
     }
 }
 
+#[derive(Default)]
 struct GrayCounter {
     bin: u128,
+    en: InSlot,
+    gray: OutSlot,
 }
 
 impl RefModel for GrayCounter {
+    fn bind(&mut self, spec: &IoSpec) {
+        self.en = spec.input("en");
+        self.gray = spec.output("gray");
+    }
     fn reset(&mut self) {
         self.bin = 0;
     }
-    fn step(&mut self, ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
-        if iv(ins, "en", 1) == 1 {
+    fn step(&mut self, io: &mut IoFrame<'_>) {
+        if io.get(self.en) == 1 {
             self.bin = (self.bin + 1) & 0xf;
         }
-        let mut o = BTreeMap::new();
-        ov(&mut o, "gray", 4, self.bin ^ (self.bin >> 1));
-        o
+        io.set(self.gray, self.bin ^ (self.bin >> 1));
     }
 }
 
+#[derive(Default)]
 struct Johnson {
     q: u128,
+    en: InSlot,
+    q_out: OutSlot,
 }
 
 impl RefModel for Johnson {
+    fn bind(&mut self, spec: &IoSpec) {
+        self.en = spec.input("en");
+        self.q_out = spec.output("q");
+    }
     fn reset(&mut self) {
         self.q = 0;
     }
-    fn step(&mut self, ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
-        if iv(ins, "en", 1) == 1 {
+    fn step(&mut self, io: &mut IoFrame<'_>) {
+        if io.get(self.en) == 1 {
             let msb = (self.q >> 3) & 1;
             self.q = ((self.q << 1) | (1 - msb)) & 0xf;
         }
-        let mut o = BTreeMap::new();
-        ov(&mut o, "q", 4, self.q);
-        o
+        io.set(self.q_out, self.q);
     }
 }
 
+#[derive(Default)]
 struct SeqDetector {
     state: u128,
+    din: InSlot,
+    det: OutSlot,
 }
 
 impl RefModel for SeqDetector {
+    fn bind(&mut self, spec: &IoSpec) {
+        self.din = spec.input("din");
+        self.det = spec.output("det");
+    }
     fn reset(&mut self) {
         self.state = 0;
     }
-    fn step(&mut self, ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
-        let din = iv(ins, "din", 1);
+    fn step(&mut self, io: &mut IoFrame<'_>) {
+        let din = io.get(self.din);
         self.state = match (self.state, din) {
             (0, 1) => 1,
             (0, 0) => 0,
@@ -261,23 +294,26 @@ impl RefModel for SeqDetector {
             (3, 0) => 2,
             _ => 0,
         };
-        let mut o = BTreeMap::new();
-        ov(&mut o, "det", 1, (self.state == 3) as u128);
-        o
+        io.set(self.det, (self.state == 3) as u128);
     }
 }
 
+#[derive(Default)]
 struct TrafficLight {
     light: u128,
     timer: u128,
+    light_out: OutSlot,
 }
 
 impl RefModel for TrafficLight {
+    fn bind(&mut self, spec: &IoSpec) {
+        self.light_out = spec.output("light");
+    }
     fn reset(&mut self) {
         self.light = 0;
         self.timer = 0;
     }
-    fn step(&mut self, _ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
+    fn step(&mut self, io: &mut IoFrame<'_>) {
         let limit = match self.light {
             0 => 3, // red: 4 cycles (timer 0..=3)
             1 => 4, // green: 5 cycles
@@ -293,8 +329,6 @@ impl RefModel for TrafficLight {
         } else {
             self.timer += 1;
         }
-        let mut o = BTreeMap::new();
-        ov(&mut o, "light", 2, self.light);
-        o
+        io.set(self.light_out, self.light);
     }
 }

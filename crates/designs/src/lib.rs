@@ -33,7 +33,6 @@ pub mod control;
 pub mod memory;
 pub mod misc;
 
-use std::collections::BTreeMap;
 use std::fmt;
 use uvllm_sim::Logic;
 use uvllm_uvm::{DutInterface, RefModel, Transaction};
@@ -121,6 +120,13 @@ pub fn by_category(category: Category) -> Vec<&'static Design> {
 // ----------------------------------------------------------------------
 // Shared helpers for golden models and vectors
 // ----------------------------------------------------------------------
+//
+// Per-port value access lives in `uvllm_uvm`'s slot-handle API now
+// (`IoSpec::input`/`output` + `IoFrame::get`/`set`): models resolve
+// their slots once in `RefModel::bind` and the per-cycle step reads and
+// writes index-addressed buffers — the crate-local `iv`/`ov` map
+// helpers (and their `in_val`/`out_val` twins in `uvllm_uvm`) are gone
+// with the map-based exchange they wrapped.
 
 /// Builds a transaction from `(name, width, value)` triples.
 pub fn tx(pairs: &[(&str, u32, u128)]) -> Transaction {
@@ -129,16 +135,6 @@ pub fn tx(pairs: &[(&str, u32, u128)]) -> Transaction {
         t.values.insert((*n).to_string(), Logic::from_u128(*w, *v));
     }
     t
-}
-
-/// Reads an input as `u128` (0 when missing/unknown), masked to `width`.
-pub fn iv(ins: &BTreeMap<String, Logic>, name: &str, width: u32) -> u128 {
-    uvllm_uvm::in_val(ins, name, width)
-}
-
-/// Inserts an output value.
-pub fn ov(outs: &mut BTreeMap<String, Logic>, name: &str, width: u32, value: u128) {
-    uvllm_uvm::out_val(outs, name, width, value);
 }
 
 #[cfg(test)]

@@ -1,9 +1,7 @@
 //! Memory designs: RAM, FIFO, LIFO stack, register file, ROM.
 
-use crate::{iv, ov, tx, Category, Design};
-use std::collections::BTreeMap;
-use uvllm_sim::Logic;
-use uvllm_uvm::{DutInterface, PortSig, RefModel};
+use crate::{tx, Category, Design};
+use uvllm_uvm::{DutInterface, FnModel, InSlot, IoFrame, IoSpec, OutSlot, PortSig, RefModel};
 
 /// The memory group (5 designs).
 pub static DESIGNS: [Design; 5] = [
@@ -23,7 +21,7 @@ pub static DESIGNS: [Design; 5] = [
                 vec![PortSig::new("dout", 8)],
             )
         },
-        model: || Box::new(Ram { mem: [None; 16] }),
+        model: || Box::<Ram>::default(),
         directed_vectors: || {
             // Weak: two addresses only, written before read.
             vec![
@@ -56,7 +54,7 @@ pub static DESIGNS: [Design; 5] = [
                 ],
             )
         },
-        model: || Box::new(Fifo { mem: [None; 8], rptr: 0, wptr: 0, count: 0 }),
+        model: || Box::<Fifo>::default(),
         directed_vectors: || {
             // Weak: shallow traffic — full never reached, pop-on-empty
             // never attempted after the first cycle.
@@ -89,7 +87,7 @@ pub static DESIGNS: [Design; 5] = [
                 ],
             )
         },
-        model: || Box::new(Lifo { mem: [0; 8], sp: 0 }),
+        model: || Box::<Lifo>::default(),
         directed_vectors: || {
             // Weak: two pushes, one pop; overflow/underflow untested.
             vec![
@@ -120,7 +118,7 @@ pub static DESIGNS: [Design; 5] = [
                 vec![PortSig::new("rdata", 8)],
             )
         },
-        model: || Box::new(RegFile { regs: [0; 4] }),
+        model: || Box::<RegFile>::default(),
         directed_vectors: || {
             // Weak: registers 0 and 1 only.
             vec![
@@ -146,11 +144,12 @@ pub static DESIGNS: [Design; 5] = [
             )
         },
         model: || {
-            Box::new(uvllm_uvm::FnModel(|ins: &BTreeMap<String, Logic>| {
-                let a = iv(ins, "addr", 4);
-                let mut o = BTreeMap::new();
-                ov(&mut o, "data", 8, (a * a) & 0xff);
-                o
+            Box::new(FnModel::new(|s: &IoSpec| {
+                let (addr, data) = (s.input("addr"), s.output("data"));
+                move |io: &mut IoFrame<'_>| {
+                    let a = io.get(addr);
+                    io.set(data, (a * a) & 0xff);
+                }
             }))
         },
         directed_vectors: || {
@@ -165,49 +164,73 @@ pub static DESIGNS: [Design; 5] = [
     },
 ];
 
+#[derive(Default)]
 struct Ram {
     mem: [Option<u128>; 16],
+    we: InSlot,
+    addr: InSlot,
+    din: InSlot,
+    dout: OutSlot,
 }
 
 impl RefModel for Ram {
+    fn bind(&mut self, spec: &IoSpec) {
+        self.we = spec.input("we");
+        self.addr = spec.input("addr");
+        self.din = spec.input("din");
+        self.dout = spec.output("dout");
+    }
     fn reset(&mut self) {
         self.mem = [None; 16];
     }
-    fn step(&mut self, ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
-        let addr = iv(ins, "addr", 4) as usize;
-        if iv(ins, "we", 1) == 1 {
-            self.mem[addr] = Some(iv(ins, "din", 8));
+    fn step(&mut self, io: &mut IoFrame<'_>) {
+        let addr = io.get(self.addr) as usize;
+        if io.get(self.we) == 1 {
+            self.mem[addr] = Some(io.get(self.din));
         }
-        let mut o = BTreeMap::new();
         match self.mem[addr] {
-            Some(v) => ov(&mut o, "dout", 8, v),
-            None => {
-                o.insert("dout".to_string(), Logic::xs(8));
-            }
+            Some(v) => io.set(self.dout, v),
+            None => io.set_x(self.dout),
         }
-        o
     }
 }
 
+#[derive(Default)]
 struct Fifo {
     mem: [Option<u128>; 8],
     rptr: usize,
     wptr: usize,
     count: usize,
+    push: InSlot,
+    pop: InSlot,
+    din: InSlot,
+    dout: OutSlot,
+    full: OutSlot,
+    empty: OutSlot,
+    count_out: OutSlot,
 }
 
 impl RefModel for Fifo {
+    fn bind(&mut self, spec: &IoSpec) {
+        self.push = spec.input("push");
+        self.pop = spec.input("pop");
+        self.din = spec.input("din");
+        self.dout = spec.output("dout");
+        self.full = spec.output("full");
+        self.empty = spec.output("empty");
+        self.count_out = spec.output("count");
+    }
     fn reset(&mut self) {
         // Pointers clear; memory contents persist, as in the RTL.
         self.rptr = 0;
         self.wptr = 0;
         self.count = 0;
     }
-    fn step(&mut self, ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
-        let do_push = iv(ins, "push", 1) == 1 && self.count < 8;
-        let do_pop = iv(ins, "pop", 1) == 1 && self.count > 0;
+    fn step(&mut self, io: &mut IoFrame<'_>) {
+        let do_push = io.get(self.push) == 1 && self.count < 8;
+        let do_pop = io.get(self.pop) == 1 && self.count > 0;
         if do_push {
-            self.mem[self.wptr] = Some(iv(ins, "din", 8));
+            self.mem[self.wptr] = Some(io.get(self.din));
             self.wptr = (self.wptr + 1) % 8;
         }
         if do_pop {
@@ -218,61 +241,81 @@ impl RefModel for Fifo {
             (false, true) => self.count -= 1,
             _ => {}
         }
-        let mut o = BTreeMap::new();
         match self.mem[self.rptr] {
-            Some(v) => ov(&mut o, "dout", 8, v),
-            None => {
-                o.insert("dout".to_string(), Logic::xs(8));
-            }
+            Some(v) => io.set(self.dout, v),
+            None => io.set_x(self.dout),
         }
-        ov(&mut o, "full", 1, (self.count == 8) as u128);
-        ov(&mut o, "empty", 1, (self.count == 0) as u128);
-        ov(&mut o, "count", 4, self.count as u128);
-        o
+        io.set(self.full, (self.count == 8) as u128);
+        io.set(self.empty, (self.count == 0) as u128);
+        io.set(self.count_out, self.count as u128);
     }
 }
 
+#[derive(Default)]
 struct Lifo {
     mem: [u128; 8],
     sp: usize,
+    push: InSlot,
+    pop: InSlot,
+    din: InSlot,
+    dout: OutSlot,
+    full: OutSlot,
+    empty: OutSlot,
 }
 
 impl RefModel for Lifo {
+    fn bind(&mut self, spec: &IoSpec) {
+        self.push = spec.input("push");
+        self.pop = spec.input("pop");
+        self.din = spec.input("din");
+        self.dout = spec.output("dout");
+        self.full = spec.output("full");
+        self.empty = spec.output("empty");
+    }
     fn reset(&mut self) {
         self.sp = 0;
     }
-    fn step(&mut self, ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
+    fn step(&mut self, io: &mut IoFrame<'_>) {
         let full = self.sp == 8;
         let empty = self.sp == 0;
-        if iv(ins, "push", 1) == 1 && !full {
-            self.mem[self.sp] = iv(ins, "din", 8);
+        if io.get(self.push) == 1 && !full {
+            self.mem[self.sp] = io.get(self.din);
             self.sp += 1;
-        } else if iv(ins, "pop", 1) == 1 && !empty {
+        } else if io.get(self.pop) == 1 && !empty {
             self.sp -= 1;
         }
-        let mut o = BTreeMap::new();
         let dout = if self.sp == 0 { 0 } else { self.mem[self.sp - 1] };
-        ov(&mut o, "dout", 8, dout);
-        ov(&mut o, "full", 1, (self.sp == 8) as u128);
-        ov(&mut o, "empty", 1, (self.sp == 0) as u128);
-        o
+        io.set(self.dout, dout);
+        io.set(self.full, (self.sp == 8) as u128);
+        io.set(self.empty, (self.sp == 0) as u128);
     }
 }
 
+#[derive(Default)]
 struct RegFile {
     regs: [u128; 4],
+    we: InSlot,
+    waddr: InSlot,
+    wdata: InSlot,
+    raddr: InSlot,
+    rdata: OutSlot,
 }
 
 impl RefModel for RegFile {
+    fn bind(&mut self, spec: &IoSpec) {
+        self.we = spec.input("we");
+        self.waddr = spec.input("waddr");
+        self.wdata = spec.input("wdata");
+        self.raddr = spec.input("raddr");
+        self.rdata = spec.output("rdata");
+    }
     fn reset(&mut self) {
         self.regs = [0; 4];
     }
-    fn step(&mut self, ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
-        if iv(ins, "we", 1) == 1 {
-            self.regs[iv(ins, "waddr", 2) as usize] = iv(ins, "wdata", 8);
+    fn step(&mut self, io: &mut IoFrame<'_>) {
+        if io.get(self.we) == 1 {
+            self.regs[io.get(self.waddr) as usize] = io.get(self.wdata);
         }
-        let mut o = BTreeMap::new();
-        ov(&mut o, "rdata", 8, self.regs[iv(ins, "raddr", 2) as usize]);
-        o
+        io.set(self.rdata, self.regs[io.get(self.raddr) as usize]);
     }
 }

@@ -1,10 +1,8 @@
 //! Miscellaneous designs: ALU, multiplexer, decoder, encoder, parity,
 //! edge detector, shift register, barrel shifter, PWM.
 
-use crate::{iv, ov, tx, Category, Design};
-use std::collections::BTreeMap;
-use uvllm_sim::Logic;
-use uvllm_uvm::{DutInterface, FnModel, PortSig, RefModel};
+use crate::{tx, Category, Design};
+use uvllm_uvm::{DutInterface, FnModel, InSlot, IoFrame, IoSpec, OutSlot, PortSig, RefModel};
 
 /// The miscellaneous group (9 designs).
 pub static DESIGNS: [Design; 9] = [
@@ -24,23 +22,25 @@ pub static DESIGNS: [Design; 9] = [
             )
         },
         model: || {
-            Box::new(FnModel(|ins: &BTreeMap<String, Logic>| {
-                let a = iv(ins, "a", 8);
-                let b = iv(ins, "b", 8);
-                let y = match iv(ins, "op", 3) {
-                    0 => (a + b) & 0xff,
-                    1 => a.wrapping_sub(b) & 0xff,
-                    2 => a & b,
-                    3 => a | b,
-                    4 => a ^ b,
-                    5 => (a << (b & 7)) & 0xff,
-                    6 => a >> (b & 7),
-                    _ => (a < b) as u128,
-                };
-                let mut o = BTreeMap::new();
-                ov(&mut o, "y", 8, y);
-                ov(&mut o, "zero", 1, (y == 0) as u128);
-                o
+            Box::new(FnModel::new(|s: &IoSpec| {
+                let (a, b, op) = (s.input("a"), s.input("b"), s.input("op"));
+                let (y, zero) = (s.output("y"), s.output("zero"));
+                move |io: &mut IoFrame<'_>| {
+                    let av = io.get(a);
+                    let bv = io.get(b);
+                    let yv = match io.get(op) {
+                        0 => (av + bv) & 0xff,
+                        1 => av.wrapping_sub(bv) & 0xff,
+                        2 => av & bv,
+                        3 => av | bv,
+                        4 => av ^ bv,
+                        5 => (av << (bv & 7)) & 0xff,
+                        6 => av >> (bv & 7),
+                        _ => (av < bv) as u128,
+                    };
+                    io.set(y, yv);
+                    io.set(zero, (yv == 0) as u128);
+                }
             }))
         },
         directed_vectors: || {
@@ -74,16 +74,14 @@ pub static DESIGNS: [Design; 9] = [
             )
         },
         model: || {
-            Box::new(FnModel(|ins: &BTreeMap<String, Logic>| {
-                let v = match iv(ins, "sel", 2) {
-                    0 => iv(ins, "d0", 8),
-                    1 => iv(ins, "d1", 8),
-                    2 => iv(ins, "d2", 8),
-                    _ => iv(ins, "d3", 8),
-                };
-                let mut o = BTreeMap::new();
-                ov(&mut o, "y", 8, v);
-                o
+            Box::new(FnModel::new(|s: &IoSpec| {
+                let sel = s.input("sel");
+                let d = [s.input("d0"), s.input("d1"), s.input("d2"), s.input("d3")];
+                let y = s.output("y");
+                move |io: &mut IoFrame<'_>| {
+                    let v = io.get(d[(io.get(sel) & 3) as usize]);
+                    io.set(y, v);
+                }
             }))
         },
         directed_vectors: || {
@@ -110,11 +108,12 @@ pub static DESIGNS: [Design; 9] = [
             )
         },
         model: || {
-            Box::new(FnModel(|ins: &BTreeMap<String, Logic>| {
-                let y = if iv(ins, "en", 1) == 1 { 1u128 << iv(ins, "sel", 3) } else { 0 };
-                let mut o = BTreeMap::new();
-                ov(&mut o, "y", 8, y);
-                o
+            Box::new(FnModel::new(|s: &IoSpec| {
+                let (en, sel, y) = (s.input("en"), s.input("sel"), s.output("y"));
+                move |io: &mut IoFrame<'_>| {
+                    let v = if io.get(en) == 1 { 1u128 << io.get(sel) } else { 0 };
+                    io.set(y, v);
+                }
             }))
         },
         directed_vectors: || {
@@ -141,13 +140,14 @@ pub static DESIGNS: [Design; 9] = [
             )
         },
         model: || {
-            Box::new(FnModel(|ins: &BTreeMap<String, Logic>| {
-                let d = iv(ins, "din", 8);
-                let y = if d == 0 { 0 } else { 127 - d.leading_zeros() as u128 };
-                let mut o = BTreeMap::new();
-                ov(&mut o, "y", 3, y);
-                ov(&mut o, "valid", 1, (d != 0) as u128);
-                o
+            Box::new(FnModel::new(|s: &IoSpec| {
+                let (din, y, valid) = (s.input("din"), s.output("y"), s.output("valid"));
+                move |io: &mut IoFrame<'_>| {
+                    let d = io.get(din);
+                    let yv = if d == 0 { 0 } else { 127 - d.leading_zeros() as u128 };
+                    io.set(y, yv);
+                    io.set(valid, (d != 0) as u128);
+                }
             }))
         },
         directed_vectors: || {
@@ -175,12 +175,13 @@ pub static DESIGNS: [Design; 9] = [
             )
         },
         model: || {
-            Box::new(FnModel(|ins: &BTreeMap<String, Logic>| {
-                let even = (iv(ins, "din", 8).count_ones() % 2) as u128;
-                let p = if iv(ins, "odd", 1) == 1 { 1 - even } else { even };
-                let mut o = BTreeMap::new();
-                ov(&mut o, "p", 1, p);
-                o
+            Box::new(FnModel::new(|s: &IoSpec| {
+                let (din, odd, p) = (s.input("din"), s.input("odd"), s.output("p"));
+                move |io: &mut IoFrame<'_>| {
+                    let even = (io.get(din).count_ones() % 2) as u128;
+                    let v = if io.get(odd) == 1 { 1 - even } else { even };
+                    io.set(p, v);
+                }
             }))
         },
         directed_vectors: || {
@@ -203,7 +204,7 @@ pub static DESIGNS: [Design; 9] = [
         iface: || {
             DutInterface::clocked(vec![PortSig::new("sig", 1)], vec![PortSig::new("pulse", 1)])
         },
-        model: || Box::new(EdgeDetector { prev: 0, pulse: 0 }),
+        model: || Box::<EdgeDetector>::default(),
         directed_vectors: || {
             vec![
                 tx(&[("sig", 1, 0)]),
@@ -229,7 +230,7 @@ pub static DESIGNS: [Design; 9] = [
                 vec![PortSig::new("q", 8)],
             )
         },
-        model: || Box::new(ShiftReg { q: 0 }),
+        model: || Box::<ShiftReg>::default(),
         directed_vectors: || {
             vec![
                 tx(&[("en", 1, 1), ("sin", 1, 1)]),
@@ -254,17 +255,15 @@ pub static DESIGNS: [Design; 9] = [
             )
         },
         model: || {
-            Box::new(FnModel(|ins: &BTreeMap<String, Logic>| {
-                let d = iv(ins, "din", 8) as u8;
-                let amt = iv(ins, "amt", 3) as u32;
-                let v = if iv(ins, "dir", 1) == 1 {
-                    d.rotate_right(amt)
-                } else {
-                    d.rotate_left(amt)
-                };
-                let mut o = BTreeMap::new();
-                ov(&mut o, "dout", 8, v as u128);
-                o
+            Box::new(FnModel::new(|s: &IoSpec| {
+                let (din, amt, dir) = (s.input("din"), s.input("amt"), s.input("dir"));
+                let dout = s.output("dout");
+                move |io: &mut IoFrame<'_>| {
+                    let d = io.get(din) as u8;
+                    let a = io.get(amt) as u32;
+                    let v = if io.get(dir) == 1 { d.rotate_right(a) } else { d.rotate_left(a) };
+                    io.set(dout, v as u128);
+                }
             }))
         },
         directed_vectors: || {
@@ -288,7 +287,7 @@ pub static DESIGNS: [Design; 9] = [
         iface: || {
             DutInterface::clocked(vec![PortSig::new("duty", 8)], vec![PortSig::new("pwm", 1)])
         },
-        model: || Box::new(Pwm { cnt: 0 }),
+        model: || Box::<Pwm>::default(),
         directed_vectors: || {
             vec![
                 tx(&[("duty", 8, 4)]),
@@ -301,56 +300,73 @@ pub static DESIGNS: [Design; 9] = [
     },
 ];
 
+#[derive(Default)]
 struct EdgeDetector {
     prev: u128,
     pulse: u128,
+    sig: InSlot,
+    pulse_out: OutSlot,
 }
 
 impl RefModel for EdgeDetector {
+    fn bind(&mut self, spec: &IoSpec) {
+        self.sig = spec.input("sig");
+        self.pulse_out = spec.output("pulse");
+    }
     fn reset(&mut self) {
         self.prev = 0;
         self.pulse = 0;
     }
-    fn step(&mut self, ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
-        let sig = iv(ins, "sig", 1);
+    fn step(&mut self, io: &mut IoFrame<'_>) {
+        let sig = io.get(self.sig);
         self.pulse = sig & (1 - self.prev);
         self.prev = sig;
-        let mut o = BTreeMap::new();
-        ov(&mut o, "pulse", 1, self.pulse);
-        o
+        io.set(self.pulse_out, self.pulse);
     }
 }
 
+#[derive(Default)]
 struct ShiftReg {
     q: u128,
+    en: InSlot,
+    sin: InSlot,
+    q_out: OutSlot,
 }
 
 impl RefModel for ShiftReg {
+    fn bind(&mut self, spec: &IoSpec) {
+        self.en = spec.input("en");
+        self.sin = spec.input("sin");
+        self.q_out = spec.output("q");
+    }
     fn reset(&mut self) {
         self.q = 0;
     }
-    fn step(&mut self, ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
-        if iv(ins, "en", 1) == 1 {
-            self.q = ((self.q << 1) | iv(ins, "sin", 1)) & 0xff;
+    fn step(&mut self, io: &mut IoFrame<'_>) {
+        if io.get(self.en) == 1 {
+            self.q = ((self.q << 1) | io.get(self.sin)) & 0xff;
         }
-        let mut o = BTreeMap::new();
-        ov(&mut o, "q", 8, self.q);
-        o
+        io.set(self.q_out, self.q);
     }
 }
 
+#[derive(Default)]
 struct Pwm {
     cnt: u128,
+    duty: InSlot,
+    pwm: OutSlot,
 }
 
 impl RefModel for Pwm {
+    fn bind(&mut self, spec: &IoSpec) {
+        self.duty = spec.input("duty");
+        self.pwm = spec.output("pwm");
+    }
     fn reset(&mut self) {
         self.cnt = 0;
     }
-    fn step(&mut self, ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
+    fn step(&mut self, io: &mut IoFrame<'_>) {
         self.cnt = (self.cnt + 1) & 0xff;
-        let mut o = BTreeMap::new();
-        ov(&mut o, "pwm", 1, (self.cnt < iv(ins, "duty", 8)) as u128);
-        o
+        io.set(self.pwm, (self.cnt < io.get(self.duty)) as u128);
     }
 }

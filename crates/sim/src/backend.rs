@@ -2,6 +2,7 @@
 //! kernel-agnostic [`SimControl`] surface and the [`AnySim`] wrapper
 //! that lets harnesses hold either kernel behind one concrete type.
 
+use crate::cache::PooledSim;
 use crate::elab::{Design, SignalId};
 use crate::kernel::CompiledSim;
 use crate::logic::Logic;
@@ -138,12 +139,17 @@ pub trait SimControl {
 }
 
 /// A simulation on either kernel, selected at construction time.
+///
+/// The compiled variant holds a [`PooledSim`]: instances checked out of
+/// the process-wide pool ([`crate::cache::checkout_sim`]) park
+/// themselves back on drop for state-reset reuse; instances built
+/// directly wrap as [`PooledSim::detached`] and drop normally.
 #[derive(Debug, Clone)]
 pub enum AnySim {
     /// Event-driven delta-cycle interpreter.
     Event(Simulator),
-    /// Compiled levelized kernel.
-    Compiled(CompiledSim),
+    /// Compiled levelized kernel (possibly pool-managed).
+    Compiled(PooledSim),
 }
 
 impl AnySim {
@@ -155,7 +161,9 @@ impl AnySim {
     pub fn new(design: &Design, backend: SimBackend) -> Result<AnySim, SimError> {
         Ok(match backend {
             SimBackend::EventDriven => AnySim::Event(Simulator::new(design)?),
-            SimBackend::Compiled => AnySim::Compiled(CompiledSim::new(design)?),
+            SimBackend::Compiled => {
+                AnySim::Compiled(PooledSim::detached(CompiledSim::new(design)?))
+            }
         })
     }
 

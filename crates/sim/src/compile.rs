@@ -22,9 +22,10 @@
 //! under both kernels, because reproducing such bugs faithfully is the
 //! simulator's job.
 
-use crate::elab::{stmt_written_signals, Design, Trigger};
+use crate::elab::{stmt_written_signals, Design, LExpr, LExprKind, LStmt, LTarget, Trigger};
+use crate::logic::mask;
 use std::sync::Arc;
-use uvllm_verilog::ast::Edge;
+use uvllm_verilog::ast::{BinaryOp, Edge};
 
 /// A [`Design`] lowered to the kernel's flat execution form.
 #[derive(Debug, Clone)]
@@ -48,6 +49,12 @@ pub struct CompiledDesign {
     initial_pids: Vec<u32>,
     /// True when the combinational network contains a cycle.
     cyclic: bool,
+    /// Process id → body provably cannot *generate* X from fully-known
+    /// operands (no division/modulo, no possibly-out-of-range select,
+    /// no X/Z literal, no truncating concat). Decided once here so the
+    /// kernel can skip the runtime X/Z probe entirely whenever the
+    /// whole value arena is known (see [`CompiledDesign::two_state`]).
+    two_state: Vec<bool>,
 }
 
 impl CompiledDesign {
@@ -150,6 +157,9 @@ impl CompiledDesign {
         // seeding for simultaneously-triggered processes.
         ordered.sort_by_key(|&pid| (levels[pid as usize], pid));
 
+        let two_state =
+            design.processes().iter().map(|p| stmt_two_state_safe(&design, &p.body)).collect();
+
         CompiledDesign {
             design,
             slots,
@@ -161,6 +171,7 @@ impl CompiledDesign {
             seq_dat,
             initial_pids,
             cyclic,
+            two_state,
         }
     }
 
@@ -215,6 +226,93 @@ impl CompiledDesign {
     /// may need multiple sweeps).
     pub fn is_cyclic(&self) -> bool {
         self.cyclic
+    }
+
+    /// True when process `pid` was marked two-state safe at compile
+    /// time: executing its body over fully-known state can never
+    /// produce an X/Z result, so the kernel may evaluate it with plain
+    /// masked `u128` arithmetic and **no** per-read X/Z probe whenever
+    /// the arena currently holds no unknown bits.
+    pub fn two_state(&self, pid: u32) -> bool {
+        self.two_state[pid as usize]
+    }
+}
+
+/// True when every value of `idx` (bounded by its self-determined
+/// width) stays below `limit` — i.e. the select can never go out of
+/// range, whatever known value the index takes.
+fn index_in_range(idx: &LExpr, limit: u128) -> bool {
+    if let LExprKind::Const(l) = &idx.kind {
+        return l.xz() == 0 && l.val() < limit;
+    }
+    let w = idx.width.max(1);
+    w < 128 && mask(w) < limit
+}
+
+/// True when evaluating `e` over fully-known operands provably yields a
+/// fully-known result (the expression cannot *generate* X).
+fn expr_two_state_safe(design: &Design, e: &LExpr) -> bool {
+    match &e.kind {
+        LExprKind::Const(l) => l.xz() == 0,
+        LExprKind::Sig(_) => true,
+        LExprKind::Word(s, idx) => {
+            expr_two_state_safe(design, idx) && index_in_range(idx, design.signal(*s).words as u128)
+        }
+        LExprKind::BitSel(s, idx) => {
+            expr_two_state_safe(design, idx) && index_in_range(idx, design.signal(*s).width as u128)
+        }
+        LExprKind::PartSel(s, off) => off + e.width <= design.signal(*s).width,
+        LExprKind::Unary(_, a) => expr_two_state_safe(design, a),
+        LExprKind::Binary(op, a, b) => {
+            // Division/modulo by zero produce X even on known operands.
+            !matches!(op, BinaryOp::Div | BinaryOp::Mod)
+                && expr_two_state_safe(design, a)
+                && expr_two_state_safe(design, b)
+        }
+        LExprKind::Ternary(c, t, f) => {
+            expr_two_state_safe(design, c)
+                && expr_two_state_safe(design, t)
+                && expr_two_state_safe(design, f)
+        }
+        LExprKind::Concat(items) => {
+            items.iter().map(|i| i.width.max(1) as u64).sum::<u64>() <= 128
+                && items.iter().all(|i| expr_two_state_safe(design, i))
+        }
+    }
+}
+
+/// Target indices only need known evaluation: an out-of-range index
+/// drops the write identically on both evaluation paths.
+fn target_two_state_safe(design: &Design, t: &LTarget) -> bool {
+    match t {
+        LTarget::Whole(_) | LTarget::Part(_, _, _) => true,
+        LTarget::Bit(_, idx) | LTarget::Word(_, idx) => expr_two_state_safe(design, idx),
+        LTarget::Concat(parts) => parts.iter().all(|p| target_two_state_safe(design, p)),
+    }
+}
+
+/// True when executing `stmt` over fully-known state can never write an
+/// X/Z value or branch on an unknown condition.
+fn stmt_two_state_safe(design: &Design, stmt: &LStmt) -> bool {
+    match stmt {
+        LStmt::Block(stmts) => stmts.iter().all(|s| stmt_two_state_safe(design, s)),
+        LStmt::Assign { lhs, rhs, .. } => {
+            target_two_state_safe(design, lhs) && expr_two_state_safe(design, rhs)
+        }
+        LStmt::If { cond, then_branch, else_branch, .. } => {
+            expr_two_state_safe(design, cond)
+                && stmt_two_state_safe(design, then_branch)
+                && else_branch.as_deref().is_none_or(|e| stmt_two_state_safe(design, e))
+        }
+        LStmt::Case { expr, arms, default, .. } => {
+            expr_two_state_safe(design, expr)
+                && arms.iter().all(|(labels, body)| {
+                    labels.iter().all(|l| expr_two_state_safe(design, l))
+                        && stmt_two_state_safe(design, body)
+                })
+                && default.as_deref().is_none_or(|d| stmt_two_state_safe(design, d))
+        }
+        LStmt::Nop => true,
     }
 }
 

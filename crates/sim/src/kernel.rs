@@ -20,7 +20,18 @@
 //!   index — falls back to the shared four-state evaluator
 //!   ([`crate::eval::eval`]), so the two kernels are waveform-identical
 //!   by construction where values are known and by the differential
-//!   test suite where they are not.
+//!   test suite where they are not;
+//! * processes marked two-state safe at **compile time**
+//!   ([`CompiledDesign::two_state`]: no X-generating operation anywhere
+//!   in the body) skip even the per-read X/Z probe whenever the arena
+//!   currently holds zero unknown bits — the kernel keeps an exact
+//!   count of X/Z-carrying slots, so the check is one integer compare
+//!   per process activation instead of one branch per operand read;
+//! * [`CompiledSim::reset_state`] rewinds the value arena to its
+//!   post-construction snapshot in two `memcpy`s, so harnesses that run
+//!   many campaigns over one design (the six metric runs of a campaign
+//!   job) reuse one instance instead of recompiling/re-instantiating —
+//!   see [`crate::cache::checkout_sim`].
 //!
 //! Blocking/non-blocking regions, edge detection, the
 //! process-misses-its-own-events rule and the [`MAX_ACTIVATIONS`]
@@ -51,14 +62,28 @@ pub struct CompiledSim {
     val: Vec<u128>,
     /// X/Z plane per arena slot (bit set = unknown).
     xz: Vec<u128>,
+    /// Snapshot of both planes right after time-zero initialisation —
+    /// what [`CompiledSim::reset_state`] rewinds to. Shared across
+    /// clones (the snapshot is immutable).
+    init_val: Arc<[u128]>,
+    init_xz: Arc<[u128]>,
+    /// Exact number of arena slots whose X/Z plane is non-zero. When it
+    /// is 0, compile-time-marked processes run fully unchecked.
+    xz_slots: usize,
+    init_xz_slots: usize,
     /// Dirty flag per process (combinational processes only).
     dirty: Vec<bool>,
     dirty_count: usize,
     /// Edge-triggered processes fired but not yet executed (FIFO).
     seq_fired: Vec<u32>,
+    /// Spare buffer ping-ponged with `seq_fired` while a batch executes
+    /// (capacity survives, so clock edges allocate nothing).
+    seq_scratch: Vec<u32>,
     /// Reusable write buffer (assignments are the hot loop; resolving a
     /// target must not allocate in the steady state).
     scratch: Vec<Write>,
+    /// Reusable non-blocking-assignment queue (same rationale).
+    nba_scratch: Vec<Write>,
     time: u64,
 }
 
@@ -111,10 +136,12 @@ impl CompiledSim {
     pub fn from_compiled(cd: Arc<CompiledDesign>) -> Result<CompiledSim, SimError> {
         let mut val = Vec::with_capacity(cd.arena_len());
         let mut xz = Vec::with_capacity(cd.arena_len());
+        let mut xz_slots = 0usize;
         for info in cd.design().signals() {
             for _ in 0..info.words {
                 val.push(0);
                 xz.push(mask(info.width));
+                xz_slots += 1;
             }
         }
         let nprocs = cd.design().processes().len();
@@ -122,13 +149,22 @@ impl CompiledSim {
             cd,
             val,
             xz,
+            init_val: Arc::from(Vec::new()),
+            init_xz: Arc::from(Vec::new()),
+            xz_slots,
+            init_xz_slots: 0,
             dirty: vec![false; nprocs],
             dirty_count: 0,
             seq_fired: Vec::new(),
+            seq_scratch: Vec::new(),
             scratch: Vec::new(),
+            nba_scratch: Vec::new(),
             time: 0,
         };
         sim.initialise()?;
+        sim.init_val = Arc::from(sim.val.clone());
+        sim.init_xz = Arc::from(sim.xz.clone());
+        sim.init_xz_slots = sim.xz_slots;
         Ok(sim)
     }
 
@@ -138,12 +174,37 @@ impl CompiledSim {
         // Run initial blocks, then every combinational process once so
         // nets acquire their driven values (as the event engine does).
         for &pid in cd.initial_pids() {
-            self.exec(&cd, &cd.design().processes()[pid as usize].body, &mut nba, Some(pid));
+            self.exec::<false>(
+                &cd,
+                &cd.design().processes()[pid as usize].body,
+                &mut nba,
+                Some(pid),
+            );
         }
         for &pid in cd.comb_order() {
             self.mark_dirty(pid);
         }
-        self.run(&cd, nba)
+        self.run(&cd, &mut nba)
+    }
+
+    /// Rewinds the simulation to the exact state it had right after
+    /// construction (post `initial` blocks and time-zero settle): two
+    /// plane copies, cleared scheduling queues, time 0. A reset
+    /// instance is indistinguishable from a freshly built one — the
+    /// contract that lets [`crate::cache::checkout_sim`] hand the same
+    /// instance to run after run without breaking campaign determinism.
+    pub fn reset_state(&mut self) {
+        self.val.copy_from_slice(&self.init_val);
+        self.xz.copy_from_slice(&self.init_xz);
+        self.xz_slots = self.init_xz_slots;
+        // Queues are empty after any completed run; a run that aborted
+        // mid-settle (oscillation) can leave them populated.
+        self.dirty.fill(false);
+        self.dirty_count = 0;
+        self.seq_fired.clear();
+        self.seq_scratch.clear();
+        self.nba_scratch.clear();
+        self.time = 0;
     }
 
     /// The compiled design being simulated.
@@ -166,6 +227,12 @@ impl CompiledSim {
         self.time = time;
     }
 
+    /// Number of arena slots currently carrying X/Z bits (0 means every
+    /// signal word is fully known — the two-state regime).
+    pub fn unknown_slots(&self) -> usize {
+        self.xz_slots
+    }
+
     /// Reads the current value of `id`.
     pub fn peek(&self, id: SignalId) -> Logic {
         let slot = self.cd.slot(id);
@@ -183,6 +250,16 @@ impl CompiledSim {
         }
     }
 
+    /// Stores both planes of one slot, keeping the unknown-slot count
+    /// exact (the invariant behind the compile-time two-state path).
+    #[inline]
+    fn store(&mut self, slot: usize, val: u128, xz: u128) {
+        self.xz_slots += (xz != 0) as usize;
+        self.xz_slots -= (self.xz[slot] != 0) as usize;
+        self.val[slot] = val;
+        self.xz[slot] = xz;
+    }
+
     /// Drives `id` to `value` and propagates until quiescent.
     ///
     /// # Errors
@@ -196,11 +273,23 @@ impl CompiledSim {
         if old == value {
             return Ok(());
         }
-        self.val[slot] = value.val();
-        self.xz[slot] = value.xz();
+        self.store(slot, value.val(), value.xz());
         let cd = Arc::clone(&self.cd);
         self.mark_triggered(&cd, id, old, value, None);
-        self.run(&cd, Vec::new())
+        self.run_with_scratch(&cd)
+    }
+
+    /// Runs the delta-cycle driver with the reusable NBA queue. The
+    /// queue is always restored *empty*: a successful run drains it,
+    /// and an `Unstable` abort must not leave stale non-blocking
+    /// writes to be applied by a later run (or by a rewound pooled
+    /// instance).
+    fn run_with_scratch(&mut self, cd: &Arc<CompiledDesign>) -> Result<(), SimError> {
+        let mut nba = std::mem::take(&mut self.nba_scratch);
+        let result = self.run(cd, &mut nba);
+        nba.clear();
+        self.nba_scratch = nba;
+        result
     }
 
     /// Propagates pending activity until the design is quiescent.
@@ -210,7 +299,7 @@ impl CompiledSim {
     /// Returns [`SimError::Unstable`] on combinational oscillation.
     pub fn settle(&mut self) -> Result<(), SimError> {
         let cd = Arc::clone(&self.cd);
-        self.run(&cd, Vec::new())
+        self.run_with_scratch(&cd)
     }
 
     // ------------------------------------------------------------------
@@ -224,10 +313,24 @@ impl CompiledSim {
         }
     }
 
+    /// Executes one process body, choosing the evaluation regime per
+    /// activation: compile-time-marked bodies run fully unchecked while
+    /// the arena holds no unknown bits.
+    #[inline]
+    fn exec_process(&mut self, cd: &Arc<CompiledDesign>, pid: u32, nba: &mut Vec<Write>) {
+        let body = &cd.design().processes()[pid as usize].body;
+        if self.xz_slots == 0 && cd.two_state(pid) {
+            self.exec::<true>(cd, body, nba, Some(pid));
+        } else {
+            self.exec::<false>(cd, body, nba, Some(pid));
+        }
+    }
+
     /// Delta-cycle driver: levelized combinational sweeps, then fired
     /// edge processes, then the non-blocking assignment region, looping
-    /// until nothing is pending.
-    fn run(&mut self, cd: &Arc<CompiledDesign>, mut nba: Vec<Write>) -> Result<(), SimError> {
+    /// until nothing is pending. The NBA queue is caller-provided
+    /// scratch so the steady state allocates nothing.
+    fn run(&mut self, cd: &Arc<CompiledDesign>, nba: &mut Vec<Write>) -> Result<(), SimError> {
         let mut activations = 0usize;
         loop {
             while self.dirty_count > 0 {
@@ -241,34 +344,45 @@ impl CompiledSim {
                         return Err(SimError::Unstable { activations });
                     }
                     activations += 1;
-                    self.exec(cd, &cd.design().processes()[pid as usize].body, &mut nba, Some(pid));
+                    self.exec_process(cd, pid, nba);
                 }
             }
             if !self.seq_fired.is_empty() {
-                let batch = std::mem::take(&mut self.seq_fired);
-                for pid in batch {
+                // Swap in the spare buffer: processes executed from the
+                // batch may fire further edge processes into the (now
+                // empty) `seq_fired`; both capacities survive the swap.
+                let mut batch =
+                    std::mem::replace(&mut self.seq_fired, std::mem::take(&mut self.seq_scratch));
+                for &pid in &batch {
                     if activations == MAX_ACTIVATIONS {
+                        batch.clear();
+                        self.seq_scratch = batch;
                         return Err(SimError::Unstable { activations });
                     }
                     activations += 1;
-                    self.exec(cd, &cd.design().processes()[pid as usize].body, &mut nba, Some(pid));
+                    self.exec_process(cd, pid, nba);
                 }
+                batch.clear();
+                self.seq_scratch = batch;
                 continue;
             }
             if !nba.is_empty() {
                 // Non-blocking region: apply queued writes; no process
-                // is running, so nothing misses its own events.
-                let queued = std::mem::take(&mut nba);
-                for w in queued {
-                    self.apply_write(cd, &w, None);
+                // is running, so nothing misses its own events. Only
+                // `exec` queues NBAs, so the list is stable while we
+                // iterate, and clearing (not taking) it keeps its
+                // capacity for the next cycle.
+                for w in nba.iter() {
+                    self.apply_write(cd, w, None);
                 }
+                nba.clear();
                 continue;
             }
             return Ok(());
         }
     }
 
-    fn exec(
+    fn exec<const FAST: bool>(
         &mut self,
         cd: &Arc<CompiledDesign>,
         stmt: &LStmt,
@@ -278,15 +392,15 @@ impl CompiledSim {
         match stmt {
             LStmt::Block(stmts) => {
                 for s in stmts {
-                    self.exec(cd, s, nba, current);
+                    self.exec::<FAST>(cd, s, nba, current);
                 }
             }
             LStmt::Assign { lhs, rhs, blocking, .. } => {
                 let width = lhs.width(cd.design()).max(1);
-                let value = self.eval_any(rhs, width).resize(width);
+                let value = self.eval_any::<FAST>(rhs, width).resize(width);
                 let mut writes = std::mem::take(&mut self.scratch);
                 writes.clear();
-                self.resolve_target(cd, lhs, value, &mut writes);
+                self.resolve_target::<FAST>(cd, lhs, value, &mut writes);
                 if *blocking {
                     for w in &writes {
                         self.apply_write(cd, w, current);
@@ -298,11 +412,11 @@ impl CompiledSim {
                 self.scratch = writes;
             }
             LStmt::If { cond, then_branch, else_branch, .. } => {
-                match self.truthiness_of(cond) {
-                    Tri::True => self.exec(cd, then_branch, nba, current),
+                match self.truthiness_of::<FAST>(cond) {
+                    Tri::True => self.exec::<FAST>(cd, then_branch, nba, current),
                     Tri::False => {
                         if let Some(e) = else_branch {
-                            self.exec(cd, e, nba, current);
+                            self.exec::<FAST>(cd, e, nba, current);
                         }
                     }
                     // Unknown condition: neither branch (X-conservative,
@@ -311,18 +425,18 @@ impl CompiledSim {
                 }
             }
             LStmt::Case { kind, expr, arms, default, .. } => {
-                let sel = self.eval_any(expr, expr.width);
+                let sel = self.eval_any::<FAST>(expr, expr.width);
                 for (labels, body) in arms {
                     for label in labels {
-                        let lv = self.eval_any(label, label.width);
+                        let lv = self.eval_any::<FAST>(label, label.width);
                         if case_matches(*kind, &sel, &lv) {
-                            self.exec(cd, body, nba, current);
+                            self.exec::<FAST>(cd, body, nba, current);
                             return;
                         }
                     }
                 }
                 if let Some(d) = default {
-                    self.exec(cd, d, nba, current);
+                    self.exec::<FAST>(cd, d, nba, current);
                 }
             }
             LStmt::Nop => {}
@@ -332,7 +446,7 @@ impl CompiledSim {
     /// Resolves a target into concrete writes, slicing `value`
     /// most-significant-first across concatenations (mirrors the event
     /// engine).
-    fn resolve_target(
+    fn resolve_target<const FAST: bool>(
         &self,
         cd: &CompiledDesign,
         target: &LTarget,
@@ -345,7 +459,7 @@ impl CompiledSim {
                 out.push(Write { signal: *s, word: 0, lsb: 0, value: value.resize(w) });
             }
             LTarget::Bit(s, index) => {
-                if let Some(i) = self.eval_index(index) {
+                if let Some(i) = self.eval_index::<FAST>(index) {
                     if i < cd.design().signal(*s).width as u128 {
                         out.push(Write {
                             signal: *s,
@@ -361,7 +475,7 @@ impl CompiledSim {
                 out.push(Write { signal: *s, word: 0, lsb: *off, value: value.resize(*w) });
             }
             LTarget::Word(s, index) => {
-                if let Some(i) = self.eval_index(index) {
+                if let Some(i) = self.eval_index::<FAST>(index) {
                     if (i as u64) < cd.design().signal(*s).words as u64 {
                         let w = cd.design().signal(*s).width;
                         out.push(Write {
@@ -379,7 +493,7 @@ impl CompiledSim {
                 for p in parts {
                     let pw = p.width(cd.design());
                     let lsb = total - consumed - pw;
-                    self.resolve_target(cd, p, value.get_slice(lsb, pw), out);
+                    self.resolve_target::<FAST>(cd, p, value.get_slice(lsb, pw), out);
                     consumed += pw;
                 }
             }
@@ -401,8 +515,7 @@ impl CompiledSim {
         if updated == old {
             return;
         }
-        self.val[slot] = updated.val();
-        self.xz[slot] = updated.xz();
+        self.store(slot, updated.val(), updated.xz());
         self.mark_triggered(cd, w.signal, old, updated, current);
     }
 
@@ -450,48 +563,56 @@ impl CompiledSim {
         ArenaView { cd: &self.cd, val: &self.val, xz: &self.xz }
     }
 
-    /// Evaluates `e` at context width `ctx`, preferring the two-state
-    /// path and falling back to the four-state evaluator whenever the
-    /// result is not provably fully known.
-    fn eval_any(&self, e: &LExpr, ctx: u32) -> Logic {
+    /// Evaluates `e` at context width `ctx`. With `FAST` (compile-time
+    /// two-state process, arena fully known) the X/Z probes compile
+    /// away entirely; otherwise the two-state path is attempted and any
+    /// unknown falls back to the four-state evaluator.
+    fn eval_any<const FAST: bool>(&self, e: &LExpr, ctx: u32) -> Logic {
+        debug_assert!(!FAST || self.xz_slots == 0, "FAST eval outside the two-state regime");
         let w = ctx.max(e.width).max(1);
-        match self.eval2(e, ctx) {
+        match self.eval2::<FAST>(e, ctx) {
             Some(v) => Logic::from_u128(w, v),
             None => eval(&self.view(), e, ctx),
         }
     }
 
     /// Evaluates a (self-determined) index expression to a known value.
-    fn eval_index(&self, index: &LExpr) -> Option<u128> {
-        self.eval2(index, index.width).or_else(|| eval(&self.view(), index, index.width).to_u128())
+    fn eval_index<const FAST: bool>(&self, index: &LExpr) -> Option<u128> {
+        self.eval2::<FAST>(index, index.width)
+            .or_else(|| eval(&self.view(), index, index.width).to_u128())
     }
 
     /// Truthiness of a condition without materialising a `Logic` on the
     /// fast path.
-    fn truthiness_of(&self, cond: &LExpr) -> Tri {
-        match self.eval2(cond, cond.width) {
+    fn truthiness_of<const FAST: bool>(&self, cond: &LExpr) -> Tri {
+        match self.eval2::<FAST>(cond, cond.width) {
             Some(0) => Tri::False,
             Some(_) => Tri::True,
             None => eval(&self.view(), cond, cond.width).truthiness(),
         }
     }
 
-    /// Fully-known slot read: `None` when any bit is X/Z.
+    /// Fully-known slot read: `None` when any bit is X/Z. With
+    /// `UNCHECKED` the probe is elided — sound only inside a
+    /// compile-time-marked process while [`CompiledSim::unknown_slots`]
+    /// is zero.
     #[inline]
-    fn read2(&self, s: SignalId, word: usize) -> Option<u128> {
+    fn read2<const UNCHECKED: bool>(&self, s: SignalId, word: usize) -> Option<u128> {
         let slot = self.cd.slot(s) + word;
-        if self.xz[slot] != 0 {
-            None
-        } else {
-            Some(self.val[slot])
+        if !UNCHECKED && self.xz[slot] != 0 {
+            return None;
         }
+        debug_assert_eq!(self.xz[slot], 0, "unchecked read of an X/Z slot");
+        Some(self.val[slot])
     }
 
     /// The two-state fast path: masked `u128` evaluation mirroring
     /// [`eval`]'s width semantics exactly. Returns `None` as soon as any
     /// operand carries X/Z bits or an operation would produce X (the
-    /// caller then re-evaluates four-state).
-    fn eval2(&self, e: &LExpr, ctx: u32) -> Option<u128> {
+    /// caller then re-evaluates four-state). With `UNCHECKED` the
+    /// per-read probes vanish and — for bodies the compiler marked
+    /// two-state safe — the `None` arms are statically unreachable.
+    fn eval2<const UNCHECKED: bool>(&self, e: &LExpr, ctx: u32) -> Option<u128> {
         let w = ctx.max(e.width).max(1);
         Some(match &e.kind {
             LExprKind::Const(l) => {
@@ -500,46 +621,54 @@ impl CompiledSim {
                 }
                 l.val()
             }
-            LExprKind::Sig(s) => self.read2(*s, 0)?,
+            LExprKind::Sig(s) => self.read2::<UNCHECKED>(*s, 0)?,
             LExprKind::Word(s, index) => {
-                let i = self.eval2(index, index.width)?;
+                let i = self.eval2::<UNCHECKED>(index, index.width)?;
                 if i >= self.cd.design().signal(*s).words as u128 {
                     return None;
                 }
-                self.read2(*s, i as usize)?
+                self.read2::<UNCHECKED>(*s, i as usize)?
             }
             LExprKind::BitSel(s, index) => {
-                let i = self.eval2(index, index.width)?;
+                let i = self.eval2::<UNCHECKED>(index, index.width)?;
                 if i >= self.cd.design().signal(*s).width as u128 {
                     return None;
                 }
-                (self.read2(*s, 0)? >> i) & 1
+                (self.read2::<UNCHECKED>(*s, 0)? >> i) & 1
             }
             LExprKind::PartSel(s, off) => {
                 // Out-of-range slice bits are X: punt to four-state.
                 if off + e.width > self.cd.design().signal(*s).width {
                     return None;
                 }
-                (self.read2(*s, 0)? >> off) & mask(e.width)
+                (self.read2::<UNCHECKED>(*s, 0)? >> off) & mask(e.width)
             }
             LExprKind::Unary(op, a) => match op {
-                UnaryOp::LogNot => (self.eval2(a, a.width)? == 0) as u128,
-                UnaryOp::BitNot => !self.eval2(a, w)? & mask(w),
-                UnaryOp::Neg => self.eval2(a, w)?.wrapping_neg() & mask(w),
-                UnaryOp::Plus => self.eval2(a, w)?,
-                UnaryOp::RedAnd => (self.eval2(a, a.width)? == mask(a.width.max(1))) as u128,
-                UnaryOp::RedOr => (self.eval2(a, a.width)? != 0) as u128,
-                UnaryOp::RedXor => (self.eval2(a, a.width)?.count_ones() % 2 == 1) as u128,
-                UnaryOp::RedNand => (self.eval2(a, a.width)? != mask(a.width.max(1))) as u128,
-                UnaryOp::RedNor => (self.eval2(a, a.width)? == 0) as u128,
-                UnaryOp::RedXnor => (self.eval2(a, a.width)?.count_ones() % 2 == 0) as u128,
+                UnaryOp::LogNot => (self.eval2::<UNCHECKED>(a, a.width)? == 0) as u128,
+                UnaryOp::BitNot => !self.eval2::<UNCHECKED>(a, w)? & mask(w),
+                UnaryOp::Neg => self.eval2::<UNCHECKED>(a, w)?.wrapping_neg() & mask(w),
+                UnaryOp::Plus => self.eval2::<UNCHECKED>(a, w)?,
+                UnaryOp::RedAnd => {
+                    (self.eval2::<UNCHECKED>(a, a.width)? == mask(a.width.max(1))) as u128
+                }
+                UnaryOp::RedOr => (self.eval2::<UNCHECKED>(a, a.width)? != 0) as u128,
+                UnaryOp::RedXor => {
+                    (self.eval2::<UNCHECKED>(a, a.width)?.count_ones() % 2 == 1) as u128
+                }
+                UnaryOp::RedNand => {
+                    (self.eval2::<UNCHECKED>(a, a.width)? != mask(a.width.max(1))) as u128
+                }
+                UnaryOp::RedNor => (self.eval2::<UNCHECKED>(a, a.width)? == 0) as u128,
+                UnaryOp::RedXnor => {
+                    (self.eval2::<UNCHECKED>(a, a.width)?.count_ones() % 2 == 0) as u128
+                }
             },
-            LExprKind::Binary(op, a, b) => self.eval2_binary(*op, a, b, w)?,
+            LExprKind::Binary(op, a, b) => self.eval2_binary::<UNCHECKED>(*op, a, b, w)?,
             LExprKind::Ternary(c, t, f) => {
-                if self.eval2(c, c.width)? != 0 {
-                    self.eval2(t, w)?
+                if self.eval2::<UNCHECKED>(c, c.width)? != 0 {
+                    self.eval2::<UNCHECKED>(t, w)?
                 } else {
-                    self.eval2(f, w)?
+                    self.eval2::<UNCHECKED>(f, w)?
                 }
             }
             LExprKind::Concat(items) => {
@@ -551,36 +680,51 @@ impl CompiledSim {
                 let mut acc = 0u128;
                 for item in items {
                     let iw = item.width.max(1);
-                    acc = (acc << iw) | (self.eval2(item, item.width)? & mask(iw));
+                    acc = (acc << iw) | (self.eval2::<UNCHECKED>(item, item.width)? & mask(iw));
                 }
                 acc
             }
         })
     }
 
-    fn eval2_binary(&self, op: BinaryOp, a: &LExpr, b: &LExpr, w: u32) -> Option<u128> {
+    fn eval2_binary<const UNCHECKED: bool>(
+        &self,
+        op: BinaryOp,
+        a: &LExpr,
+        b: &LExpr,
+        w: u32,
+    ) -> Option<u128> {
         use BinaryOp::*;
         Some(match op {
-            Add => self.eval2(a, w)?.wrapping_add(self.eval2(b, w)?) & mask(w),
-            Sub => self.eval2(a, w)?.wrapping_sub(self.eval2(b, w)?) & mask(w),
-            Mul => self.eval2(a, w)?.wrapping_mul(self.eval2(b, w)?) & mask(w),
+            Add => {
+                self.eval2::<UNCHECKED>(a, w)?.wrapping_add(self.eval2::<UNCHECKED>(b, w)?)
+                    & mask(w)
+            }
+            Sub => {
+                self.eval2::<UNCHECKED>(a, w)?.wrapping_sub(self.eval2::<UNCHECKED>(b, w)?)
+                    & mask(w)
+            }
+            Mul => {
+                self.eval2::<UNCHECKED>(a, w)?.wrapping_mul(self.eval2::<UNCHECKED>(b, w)?)
+                    & mask(w)
+            }
             Div => {
-                let y = self.eval2(b, w)?;
+                let y = self.eval2::<UNCHECKED>(b, w)?;
                 if y == 0 {
                     return None; // division by zero is X
                 }
-                (self.eval2(a, w)? / y) & mask(w)
+                (self.eval2::<UNCHECKED>(a, w)? / y) & mask(w)
             }
             Mod => {
-                let y = self.eval2(b, w)?;
+                let y = self.eval2::<UNCHECKED>(b, w)?;
                 if y == 0 {
                     return None;
                 }
-                (self.eval2(a, w)? % y) & mask(w)
+                (self.eval2::<UNCHECKED>(a, w)? % y) & mask(w)
             }
             Pow => {
-                let x = self.eval2(a, w)?;
-                let y = self.eval2(b, b.width)?;
+                let x = self.eval2::<UNCHECKED>(a, w)?;
+                let y = self.eval2::<UNCHECKED>(b, b.width)?;
                 let mut acc: u128 = 1;
                 for _ in 0..y.min(128) {
                     acc = acc.wrapping_mul(x);
@@ -588,8 +732,8 @@ impl CompiledSim {
                 acc & mask(w)
             }
             Shl => {
-                let x = self.eval2(a, w)?;
-                let sh = self.eval2(b, b.width)?;
+                let x = self.eval2::<UNCHECKED>(a, w)?;
+                let sh = self.eval2::<UNCHECKED>(b, b.width)?;
                 if sh >= 128 {
                     0
                 } else {
@@ -597,8 +741,8 @@ impl CompiledSim {
                 }
             }
             Shr => {
-                let x = self.eval2(a, w)?;
-                let sh = self.eval2(b, b.width)?;
+                let x = self.eval2::<UNCHECKED>(a, w)?;
+                let sh = self.eval2::<UNCHECKED>(b, b.width)?;
                 if sh >= 128 {
                     0
                 } else {
@@ -608,8 +752,8 @@ impl CompiledSim {
             AShr => {
                 // The operand is context-sized to `w` first, so its
                 // sign bit is bit `w - 1` (mirrors `Logic::ashr`).
-                let x = self.eval2(a, w)?;
-                let sh = self.eval2(b, b.width)?;
+                let x = self.eval2::<UNCHECKED>(a, w)?;
+                let sh = self.eval2::<UNCHECKED>(b, b.width)?;
                 let shifted = if sh >= 128 { 0 } else { x >> sh };
                 let eff = sh.min(w as u128) as u32;
                 if eff > 0 && (x >> (w - 1)) & 1 == 1 {
@@ -620,8 +764,8 @@ impl CompiledSim {
             }
             Lt | Le | Gt | Ge => {
                 let ow = a.width.max(b.width);
-                let x = self.eval2(a, ow)?;
-                let y = self.eval2(b, ow)?;
+                let x = self.eval2::<UNCHECKED>(a, ow)?;
+                let y = self.eval2::<UNCHECKED>(b, ow)?;
                 (match op {
                     Lt => x < y,
                     Le => x <= y,
@@ -631,18 +775,24 @@ impl CompiledSim {
             }
             Eq | CaseEq => {
                 let ow = a.width.max(b.width);
-                (self.eval2(a, ow)? == self.eval2(b, ow)?) as u128
+                (self.eval2::<UNCHECKED>(a, ow)? == self.eval2::<UNCHECKED>(b, ow)?) as u128
             }
             Ne | CaseNe => {
                 let ow = a.width.max(b.width);
-                (self.eval2(a, ow)? != self.eval2(b, ow)?) as u128
+                (self.eval2::<UNCHECKED>(a, ow)? != self.eval2::<UNCHECKED>(b, ow)?) as u128
             }
-            LogAnd => ((self.eval2(a, a.width)? != 0) && (self.eval2(b, b.width)? != 0)) as u128,
-            LogOr => ((self.eval2(a, a.width)? != 0) || (self.eval2(b, b.width)? != 0)) as u128,
-            BitAnd => self.eval2(a, w)? & self.eval2(b, w)?,
-            BitOr => self.eval2(a, w)? | self.eval2(b, w)?,
-            BitXor => self.eval2(a, w)? ^ self.eval2(b, w)?,
-            BitXnor => !(self.eval2(a, w)? ^ self.eval2(b, w)?) & mask(w),
+            LogAnd => {
+                ((self.eval2::<UNCHECKED>(a, a.width)? != 0)
+                    && (self.eval2::<UNCHECKED>(b, b.width)? != 0)) as u128
+            }
+            LogOr => {
+                ((self.eval2::<UNCHECKED>(a, a.width)? != 0)
+                    || (self.eval2::<UNCHECKED>(b, b.width)? != 0)) as u128
+            }
+            BitAnd => self.eval2::<UNCHECKED>(a, w)? & self.eval2::<UNCHECKED>(b, w)?,
+            BitOr => self.eval2::<UNCHECKED>(a, w)? | self.eval2::<UNCHECKED>(b, w)?,
+            BitXor => self.eval2::<UNCHECKED>(a, w)? ^ self.eval2::<UNCHECKED>(b, w)?,
+            BitXnor => !(self.eval2::<UNCHECKED>(a, w)? ^ self.eval2::<UNCHECKED>(b, w)?) & mask(w),
         })
     }
 }
@@ -826,5 +976,85 @@ mod tests {
         assert!(SimControl::peek_by_name(&cp, "q").unwrap().to_u128().is_none());
         poke_both(&mut ev, &mut cp, "b", Logic::from_u128(8, 6));
         assert_eq!(SimControl::peek_by_name(&cp, "q").unwrap().to_u128(), Some(7));
+    }
+
+    #[test]
+    fn unknown_slot_count_tracks_pokes() {
+        let (_, mut cp) = both(
+            "module m(input [7:0] a, input [7:0] b, output [8:0] s);\n\
+             assign s = a + b;\nendmodule\n",
+        );
+        // Everything starts X: a, b and s.
+        assert_eq!(cp.unknown_slots(), 3);
+        SimControl::poke_by_name(&mut cp, "a", Logic::from_u128(8, 1)).unwrap();
+        assert_eq!(cp.unknown_slots(), 2, "a known; s still X (X + known = X)");
+        SimControl::poke_by_name(&mut cp, "b", Logic::from_u128(8, 2)).unwrap();
+        assert_eq!(cp.unknown_slots(), 0, "whole arena known");
+        SimControl::poke_by_name(&mut cp, "a", Logic::xs(8)).unwrap();
+        assert_eq!(cp.unknown_slots(), 2, "X propagates back through the adder");
+    }
+
+    #[test]
+    fn two_state_marking_is_conservative() {
+        let file = parse(
+            "module m(input [7:0] a, input [7:0] b, output [8:0] s, output [7:0] q,\n\
+             output [7:0] r);\nassign s = a + b;\nassign q = a / b;\nassign r = a % b;\n\
+             endmodule\n",
+        )
+        .unwrap();
+        let design = elaborate(&file, "m").unwrap();
+        let cd = CompiledDesign::new(&design);
+        let marks: Vec<bool> =
+            (0..design.processes().len() as u32).map(|p| cd.two_state(p)).collect();
+        assert_eq!(marks.iter().filter(|m| **m).count(), 1, "only the adder is X-free: {marks:?}");
+    }
+
+    #[test]
+    fn reset_state_restores_the_post_construction_snapshot() {
+        let src = "module c(input clk, input rst_n, input en, output reg [3:0] q, output tc);\n\
+                   assign tc = (q == 4'd11);\n\
+                   always @(posedge clk or negedge rst_n) begin\n\
+                   if (!rst_n) q <= 4'd0; else if (en) q <= q + 4'd1;\nend\nendmodule\n";
+        let file = parse(src).unwrap();
+        let design = elaborate(&file, "c").unwrap();
+        let fresh = CompiledSim::new(&design).unwrap();
+        let mut used = CompiledSim::new(&design).unwrap();
+        // Drive it somewhere interesting, then rewind.
+        SimControl::poke_by_name(&mut used, "rst_n", Logic::bit(true)).unwrap();
+        SimControl::poke_by_name(&mut used, "en", Logic::bit(true)).unwrap();
+        for _ in 0..5 {
+            SimControl::poke_by_name(&mut used, "clk", Logic::bit(true)).unwrap();
+            SimControl::poke_by_name(&mut used, "clk", Logic::bit(false)).unwrap();
+        }
+        used.set_time(500);
+        assert_ne!(used.unknown_slots(), fresh.unknown_slots());
+        used.reset_state();
+        assert_eq!(used.time(), 0);
+        assert_eq!(used.unknown_slots(), fresh.unknown_slots());
+        for (i, info) in design.signals().iter().enumerate() {
+            let id = SignalId(i as u32);
+            for word in 0..info.words as u64 {
+                assert_eq!(
+                    used.peek_word(id, word),
+                    fresh.peek_word(id, word),
+                    "signal {} word {word} not rewound",
+                    info.name
+                );
+            }
+        }
+        // And the rewound instance behaves identically to a fresh one.
+        let mut replay = CompiledSim::new(&design).unwrap();
+        for sim in [&mut used, &mut replay] {
+            SimControl::poke_by_name(sim, "rst_n", Logic::bit(true)).unwrap();
+            SimControl::poke_by_name(sim, "en", Logic::bit(true)).unwrap();
+            for _ in 0..3 {
+                SimControl::poke_by_name(sim, "clk", Logic::bit(true)).unwrap();
+                SimControl::poke_by_name(sim, "clk", Logic::bit(false)).unwrap();
+            }
+        }
+        assert_eq!(
+            SimControl::peek_by_name(&used, "q").unwrap(),
+            SimControl::peek_by_name(&replay, "q").unwrap()
+        );
     }
 }

@@ -20,8 +20,12 @@
 //! ([`compile::CompiledDesign`]) into a flat SoA value arena, a CSR
 //! sensitivity index and a topological execution order, with a
 //! two-state `u128` fast path that falls back to the four-state
-//! evaluator on any X/Z. The differential equivalence suite keeps the
-//! two kernels waveform-identical.
+//! evaluator on any X/Z (processes whose bodies provably cannot
+//! generate X skip even the per-read probe while the arena holds no
+//! unknown bits). Compiled instances are pool-managed: [`checkout_sim`]
+//! rewinds a parked instance ([`kernel::CompiledSim::reset_state`])
+//! instead of re-instantiating. The differential equivalence suite
+//! keeps the two kernels waveform-identical.
 //!
 //! ## Example
 //!
@@ -53,7 +57,10 @@ pub mod sched;
 pub mod wave;
 
 pub use backend::{AnySim, SimBackend, SimControl};
-pub use cache::{compile_source_cached, elaborate_source_cached, ElabCacheStats};
+pub use cache::{
+    checkout_sim, compile_source_cached, elaborate_source_cached, sim_pool_stats, CheckoutError,
+    ElabCacheStats, PooledSim, SimPoolStats,
+};
 pub use compile::CompiledDesign;
 pub use elab::{elaborate, Design, ElabError, SignalId, SignalInfo, SignalKind};
 pub use eval::{eval, ValueReader};

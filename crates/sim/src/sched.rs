@@ -5,6 +5,7 @@ use crate::elab::{Design, LStmt, LTarget, Process, ProcessId, SignalId, SignalKi
 use crate::eval::{case_matches, eval, ValueReader};
 use crate::logic::{Logic, Tri};
 use std::fmt;
+use std::sync::Arc;
 use uvllm_verilog::ast::Edge;
 
 /// Maximum process executions inside one [`Simulator::settle`] call
@@ -54,7 +55,9 @@ struct Write {
 /// cycles. Clocked logic reacts to edges produced by pokes.
 #[derive(Debug, Clone)]
 pub struct Simulator {
-    design: Design,
+    /// Shared so the event loop can borrow process bodies while
+    /// mutating state — no per-activation body clone.
+    design: Arc<Design>,
     /// Current value per signal per word.
     words: Vec<Vec<Logic>>,
     /// Combinational processes sensitive to each signal.
@@ -97,6 +100,16 @@ impl Simulator {
     ///
     /// Returns [`SimError::Unstable`] if the design oscillates at time 0.
     pub fn new(design: &Design) -> Result<Self, SimError> {
+        Simulator::from_arc(Arc::new(design.clone()))
+    }
+
+    /// Builds a simulator over an already-shared design without
+    /// re-cloning it — the cheap path for cached elaborations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unstable`] if the design oscillates at time 0.
+    pub fn from_arc(design: Arc<Design>) -> Result<Self, SimError> {
         let nsignals = design.signals().len();
         let mut words = Vec::with_capacity(nsignals);
         for info in design.signals() {
@@ -120,14 +133,7 @@ impl Simulator {
                 Trigger::Initial => {}
             }
         }
-        let mut sim = Simulator {
-            design: design.clone(),
-            words,
-            comb_sens,
-            seq_sens,
-            time: 0,
-            initialised: false,
-        };
+        let mut sim = Simulator { design, words, comb_sens, seq_sens, time: 0, initialised: false };
         sim.initialise()?;
         Ok(sim)
     }
@@ -262,17 +268,22 @@ impl Simulator {
     /// re-triggering forever, and equally what makes genuinely missing
     /// sensitivity entries a real bug the simulator reproduces.
     fn run_events(&mut self, mut active: Vec<ProcessId>) -> Result<(), SimError> {
+        let design = Arc::clone(&self.design);
         let mut activations = 0usize;
         let mut nba: Vec<Write> = Vec::new();
+        // FIFO via cursor (no front removal); the queue is bounded by
+        // the activation cap.
+        let mut head = 0usize;
         loop {
-            while let Some(pid) = active.first().copied() {
-                active.remove(0);
+            while head < active.len() {
+                let pid = active[head];
+                head += 1;
                 if activations == MAX_ACTIVATIONS {
                     return Err(SimError::Unstable { activations });
                 }
                 activations += 1;
-                let body = self.design.processes()[pid.0 as usize].body.clone();
-                self.exec(&body, &mut nba, &mut active, Some(pid));
+                let body = &design.processes()[pid.0 as usize].body;
+                self.exec(body, &mut nba, &mut active, Some(pid));
             }
             if nba.is_empty() {
                 return Ok(());

@@ -4,13 +4,12 @@
 use crate::assertion::Assertion;
 use crate::iface::{DutInterface, Transaction};
 use crate::log::UvmLog;
-use crate::refmodel::RefModel;
+use crate::refmodel::{IoFrame, IoSpec, RefModel};
 use crate::scoreboard::{Coverage, Mismatch, Scoreboard};
 use crate::sequence::Sequence;
-use std::collections::BTreeMap;
 use std::fmt;
 use uvllm_sim::{
-    AnySim, CompiledSim, Design, Logic, SimBackend, SimControl, SimError, Simulator, Waveform,
+    AnySim, CheckoutError, Design, Logic, SimBackend, SimControl, SimError, Simulator, Waveform,
 };
 
 /// Nanoseconds per clock cycle in the recorded waveform.
@@ -97,50 +96,18 @@ impl Driver {
 pub struct Monitor;
 
 impl Monitor {
-    /// Samples every output port.
-    pub fn observe_outputs<S: SimControl + ?Sized>(
+    /// Refreshes slot `i` of `into` with the current value of the `i`-th
+    /// listed signal — the environment's hot loop samples through
+    /// pre-resolved ids into a reused slot-ordered buffer, so the steady
+    /// state allocates nothing.
+    pub fn observe_slots<S: SimControl + ?Sized>(
         &self,
         sim: &S,
-        iface: &DutInterface,
-    ) -> BTreeMap<String, Logic> {
-        let mut out = BTreeMap::new();
-        let design = sim.design();
-        let ports =
-            iface.outputs.iter().filter_map(|p| design.signal_id(&p.name).map(|id| (&p.name, id)));
-        self.observe_into(sim, ports, &mut out);
-        out
-    }
-
-    /// Samples every input port (for coverage).
-    pub fn observe_inputs<S: SimControl + ?Sized>(
-        &self,
-        sim: &S,
-        iface: &DutInterface,
-    ) -> BTreeMap<String, Logic> {
-        let mut out = BTreeMap::new();
-        let design = sim.design();
-        let ports =
-            iface.inputs.iter().filter_map(|p| design.signal_id(&p.name).map(|id| (&p.name, id)));
-        self.observe_into(sim, ports, &mut out);
-        out
-    }
-
-    /// Refreshes `into` with the current value of every listed port —
-    /// existing entries are updated in place, so a reused map allocates
-    /// nothing in the steady state (the environment's hot loop).
-    pub fn observe_into<'p, S, I>(&self, sim: &S, ports: I, into: &mut BTreeMap<String, Logic>)
-    where
-        S: SimControl + ?Sized,
-        I: IntoIterator<Item = (&'p String, uvllm_sim::SignalId)>,
-    {
-        for (name, id) in ports {
-            let v = sim.peek(id);
-            match into.get_mut(name) {
-                Some(slot) => *slot = v,
-                None => {
-                    into.insert(name.clone(), v);
-                }
-            }
+        ids: impl Iterator<Item = uvllm_sim::SignalId>,
+        into: &mut [Logic],
+    ) {
+        for (slot, id) in ids.enumerate() {
+            into[slot] = sim.peek(id);
         }
     }
 }
@@ -168,6 +135,21 @@ impl Sequencer {
             self.current += 1;
         }
         None
+    }
+
+    /// Allocation-free variant of [`Sequencer::next`]: refills `txn` in
+    /// place via [`Sequence::next_into`]. The buffer is cleared at
+    /// sequence boundaries so one sequence's key set cannot leak stale
+    /// drive values into the next.
+    pub fn next_into(&mut self, cycle: usize, txn: &mut Transaction) -> bool {
+        while self.current < self.sequences.len() {
+            if self.sequences[self.current].next_into(cycle, txn) {
+                return true;
+            }
+            self.current += 1;
+            txn.values.clear();
+        }
+        false
     }
 }
 
@@ -236,15 +218,24 @@ pub struct Environment {
     wave: Waveform,
     assertions: Vec<Assertion>,
     assertion_failures: usize,
+    /// Interned I/O layout shared with the reference model; also the
+    /// slot order of every buffer below.
+    spec: IoSpec,
     /// Input ports pre-resolved to `(name, id, width)` — the per-cycle
     /// drive/observe loops must not do name lookups.
     in_ports: Vec<(String, uvllm_sim::SignalId, u32)>,
     /// Output ports pre-resolved to `(name, id)`.
     out_ports: Vec<(String, uvllm_sim::SignalId)>,
     clock_id: Option<uvllm_sim::SignalId>,
-    /// Reusable observation maps (steady-state: zero allocations/cycle).
-    inputs_buf: BTreeMap<String, Logic>,
-    outputs_buf: BTreeMap<String, Logic>,
+    /// Reusable slot-ordered observation/expectation buffers
+    /// (steady-state: zero allocations/cycle).
+    inputs_buf: Vec<Logic>,
+    outputs_buf: Vec<Logic>,
+    expected_buf: Vec<Logic>,
+    /// When false, per-cycle waveform capture is skipped — pass/fail
+    /// harnesses (the campaign's metric runs) don't pay for frames
+    /// nobody reads.
+    record_waveform: bool,
 }
 
 impl fmt::Debug for Environment {
@@ -287,7 +278,8 @@ impl Environment {
         Environment::with_sim(sim, iface, refmodel, sequences)
     }
 
-    /// Wraps an already-built simulation (either kernel).
+    /// Wraps an already-built simulation (either kernel), binding the
+    /// reference model to the interface's [`IoSpec`].
     ///
     /// # Errors
     ///
@@ -295,7 +287,7 @@ impl Environment {
     pub fn with_sim(
         sim: AnySim,
         iface: DutInterface,
-        refmodel: Box<dyn RefModel>,
+        mut refmodel: Box<dyn RefModel>,
         sequences: Vec<Box<dyn Sequence>>,
     ) -> Result<Self, UvmError> {
         let design = sim.design();
@@ -315,11 +307,19 @@ impl Environment {
             }
         }
         let resolve = |name: &str| design.signal_id(name).expect("port presence checked above");
-        let in_ports =
+        let in_ports: Vec<(String, uvllm_sim::SignalId, u32)> =
             iface.inputs.iter().map(|p| (p.name.clone(), resolve(&p.name), p.width)).collect();
-        let out_ports = iface.outputs.iter().map(|p| (p.name.clone(), resolve(&p.name))).collect();
+        let out_ports: Vec<(String, uvllm_sim::SignalId)> =
+            iface.outputs.iter().map(|p| (p.name.clone(), resolve(&p.name))).collect();
         let clock_id = iface.clock.as_deref().map(resolve);
         let wave = Waveform::new(&sim);
+        // Intern the port layout once and hand it to the model: all
+        // per-cycle traffic from here on is slot-indexed.
+        let spec = IoSpec::from_interface(&iface);
+        refmodel.bind(&spec);
+        let inputs_buf = iface.inputs.iter().map(|p| Logic::xs(p.width)).collect();
+        let outputs_buf: Vec<Logic> = iface.outputs.iter().map(|p| Logic::xs(p.width)).collect();
+        let expected_buf = outputs_buf.clone();
         Ok(Environment {
             sim,
             iface,
@@ -336,11 +336,14 @@ impl Environment {
             wave,
             assertions: Vec::new(),
             assertion_failures: 0,
+            spec,
             in_ports,
             out_ports,
             clock_id,
-            inputs_buf: BTreeMap::new(),
-            outputs_buf: BTreeMap::new(),
+            inputs_buf,
+            outputs_buf,
+            expected_buf,
+            record_waveform: true,
         })
     }
 
@@ -348,6 +351,16 @@ impl Environment {
     /// paper's extensibility hook for AI-generated protocol properties.
     pub fn with_assertions(mut self, assertions: Vec<Assertion>) -> Self {
         self.assertions = assertions;
+        self
+    }
+
+    /// Disables per-cycle waveform capture. Pass/fail harnesses that
+    /// never query the waveform (metric runs, baseline acceptance
+    /// tests) skip the one remaining per-cycle allocation; the summary
+    /// then carries an empty waveform. Repair pipelines that feed the
+    /// localization engine must keep capture on (the default).
+    pub fn without_waveform(mut self) -> Self {
+        self.record_waveform = false;
         self
     }
 
@@ -375,8 +388,11 @@ impl Environment {
 
     /// Parses, elaborates and wraps `src` on an explicit backend. The
     /// compiled backend additionally memoises the *compiled* design
-    /// ([`uvllm_sim::compile_source_cached`]), so repeated texts skip
-    /// both elaboration and levelization.
+    /// ([`uvllm_sim::compile_source_cached`]) **and** checks a reusable
+    /// simulation instance out of the process-wide pool
+    /// ([`uvllm_sim::checkout_sim`]): repeated texts skip elaboration,
+    /// levelization *and* re-instantiation — the instance's state is
+    /// rewound instead.
     ///
     /// # Errors
     ///
@@ -393,15 +409,16 @@ impl Environment {
             SimBackend::EventDriven => {
                 let design =
                     uvllm_sim::elaborate_source_cached(src, top).map_err(UvmError::Elab)?;
-                AnySim::Event(Simulator::new(&design).map_err(|e| UvmError::Sim(e.to_string()))?)
+                AnySim::Event(
+                    Simulator::from_arc(design).map_err(|e| UvmError::Sim(e.to_string()))?,
+                )
             }
             SimBackend::Compiled => {
-                let compiled =
-                    uvllm_sim::compile_source_cached(src, top).map_err(UvmError::Elab)?;
-                AnySim::Compiled(
-                    CompiledSim::from_compiled(compiled)
-                        .map_err(|e| UvmError::Sim(e.to_string()))?,
-                )
+                let pooled = uvllm_sim::checkout_sim(src, top).map_err(|e| match e {
+                    CheckoutError::Build(m) => UvmError::Elab(m),
+                    CheckoutError::Sim(e) => UvmError::Sim(e.to_string()),
+                })?;
+                AnySim::Compiled(pooled)
             }
         };
         Environment::with_sim(sim, iface, refmodel, sequences)
@@ -426,7 +443,10 @@ impl Environment {
         }
 
         if aborted.is_none() {
-            while let Some((txn, seq_name)) = self.in_agent.sequencer.next(cycle) {
+            // One transaction buffer for the whole run: sequences
+            // refill it in place (see `Sequence::next_into`).
+            let mut txn = Transaction::new();
+            while self.in_agent.sequencer.next_into(cycle, &mut txn) {
                 match self.one_cycle(cycle, &txn) {
                     Ok(()) => {}
                     Err(e) => {
@@ -438,7 +458,6 @@ impl Environment {
                         break;
                     }
                 }
-                let _ = seq_name;
                 cycle += 1;
             }
         }
@@ -500,11 +519,11 @@ impl Environment {
     }
 
     /// One driven + checked cycle. This is the hot loop of the whole
-    /// verification stack, so the driver and monitors work through the
-    /// pre-resolved port ids and reuse the observation buffers — the
-    /// steady state performs no name lookups and no per-cycle
-    /// allocations beyond the waveform frame and the reference model's
-    /// own output map.
+    /// verification stack: the driver and monitors work through
+    /// pre-resolved port ids, observations land in reused slot-ordered
+    /// buffers, and the reference model reads/writes its [`IoFrame`] in
+    /// place — the steady state performs no name lookups and no
+    /// per-cycle allocations beyond the waveform frame.
     fn one_cycle(&mut self, cycle: usize, txn: &Transaction) -> Result<(), SimError> {
         self.in_agent.driver.drive_resolved(&mut self.sim, &self.in_ports, txn)?;
         if let Some(clk) = self.clock_id {
@@ -513,22 +532,37 @@ impl Environment {
         self.sim.settle()?;
 
         // Capture the post-edge state for the localization engine.
-        self.wave.capture(&self.sim);
+        if self.record_waveform {
+            self.wave.capture(&self.sim);
+        }
 
-        self.in_agent.monitor.observe_into(
+        self.in_agent.monitor.observe_slots(
             &self.sim,
-            self.in_ports.iter().map(|(n, id, _)| (n, *id)),
+            self.in_ports.iter().map(|(_, id, _)| *id),
             &mut self.inputs_buf,
         );
-        self.out_monitor.observe_into(
+        self.out_monitor.observe_slots(
             &self.sim,
-            self.out_ports.iter().map(|(n, id)| (n, *id)),
+            self.out_ports.iter().map(|(_, id)| *id),
             &mut self.outputs_buf,
         );
-        let expected = self.refmodel.step(&self.inputs_buf);
+        // Expected outputs start each cycle as all-X: a model that
+        // skips a port expects "unknown", it does not inherit last
+        // cycle's (possibly correct) value.
+        for (slot, v) in self.expected_buf.iter_mut().enumerate() {
+            *v = Logic::xs(self.spec.output_width(slot));
+        }
+        let mut frame = IoFrame::new(&self.inputs_buf, &mut self.expected_buf);
+        self.refmodel.step(&mut frame);
         let time = self.sim.time();
         let before = self.scoreboard.mismatches().len();
-        let ok = self.scoreboard.check_cycle(time, cycle, &expected, &self.outputs_buf);
+        let ok = self.scoreboard.check_cycle(
+            time,
+            cycle,
+            &self.spec,
+            &self.expected_buf,
+            &self.outputs_buf,
+        );
         if !ok {
             let new = self.scoreboard.mismatches()[before..].to_vec();
             for m in &new {
@@ -564,9 +598,8 @@ impl Environment {
 mod tests {
     use super::*;
     use crate::iface::PortSig;
-    use crate::refmodel::{in_val, out_val, FnModel};
+    use crate::refmodel::{FnModel, InSlot, OutSlot};
     use crate::sequence::{CornerSequence, RandomSequence};
-    use std::collections::BTreeMap;
 
     fn adder_iface() -> DutInterface {
         DutInterface::combinational(
@@ -576,10 +609,12 @@ mod tests {
     }
 
     fn adder_model() -> Box<dyn RefModel> {
-        Box::new(FnModel(|ins: &BTreeMap<String, Logic>| {
-            let mut out = BTreeMap::new();
-            out_val(&mut out, "y", 9, in_val(ins, "a", 8) + in_val(ins, "b", 8));
-            out
+        Box::new(FnModel::new(|s: &IoSpec| {
+            let (a, b, y) = (s.input("a"), s.input("b"), s.output("y"));
+            move |io: &mut IoFrame<'_>| {
+                let v = io.get(a) + io.get(b);
+                io.set(y, v);
+            }
         }))
     }
 
@@ -629,26 +664,31 @@ mod tests {
         let src = "module c(input clk, input rst_n, input en, output reg [3:0] q);\n\
                    always @(posedge clk or negedge rst_n) begin\n\
                    if (!rst_n) q <= 4'd0;\nelse if (en) q <= q + 4'd1;\nend\nendmodule\n";
+        #[derive(Default)]
         struct CounterModel {
             q: u128,
+            en: InSlot,
+            q_out: OutSlot,
         }
         impl RefModel for CounterModel {
+            fn bind(&mut self, spec: &IoSpec) {
+                self.en = spec.input("en");
+                self.q_out = spec.output("q");
+            }
             fn reset(&mut self) {
                 self.q = 0;
             }
-            fn step(&mut self, ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
-                if in_val(ins, "en", 1) == 1 {
+            fn step(&mut self, io: &mut IoFrame<'_>) {
+                if io.get(self.en) == 1 {
                     self.q = (self.q + 1) & 0xf;
                 }
-                let mut out = BTreeMap::new();
-                out_val(&mut out, "q", 4, self.q);
-                out
+                io.set(self.q_out, self.q);
             }
         }
         let iface = DutInterface::clocked(vec![PortSig::new("en", 1)], vec![PortSig::new("q", 4)]);
         let seqs: Vec<Box<dyn Sequence>> =
             vec![Box::new(RandomSequence::new(&iface.inputs, 100, 3))];
-        let env = Environment::from_source(src, "c", iface, Box::new(CounterModel { q: 0 }), seqs)
+        let env = Environment::from_source(src, "c", iface, Box::<CounterModel>::default(), seqs)
             .expect("env");
         let summary = env.run();
         assert!(summary.all_passed(), "log:\n{}", summary.log.render());
@@ -657,32 +697,34 @@ mod tests {
     #[test]
     fn assertions_catch_protocol_violations() {
         use crate::assertion::Assertion;
-        // A FIFO whose count decrement is broken violates the protocol
-        // property `count <= 8` is still fine, but `empty == (count==0)`
-        // style consistency can be asserted directly.
         let src = "module m(input clk, input rst_n, input en, output reg [3:0] q);\n\
                    always @(posedge clk or negedge rst_n) begin\n\
                    if (!rst_n) q <= 4'd0;\nelse if (en) q <= q + 4'd2;\nend\nendmodule\n";
+        #[derive(Default)]
         struct M {
             q: u128,
+            en: InSlot,
+            q_out: OutSlot,
         }
         impl RefModel for M {
+            fn bind(&mut self, spec: &IoSpec) {
+                self.en = spec.input("en");
+                self.q_out = spec.output("q");
+            }
             fn reset(&mut self) {
                 self.q = 0;
             }
-            fn step(&mut self, ins: &BTreeMap<String, Logic>) -> BTreeMap<String, Logic> {
-                if crate::refmodel::in_val(ins, "en", 1) == 1 {
+            fn step(&mut self, io: &mut IoFrame<'_>) {
+                if io.get(self.en) == 1 {
                     self.q = (self.q + 2) & 0xf;
                 }
-                let mut o = BTreeMap::new();
-                crate::refmodel::out_val(&mut o, "q", 4, self.q);
-                o
+                io.set(self.q_out, self.q);
             }
         }
         let iface = DutInterface::clocked(vec![PortSig::new("en", 1)], vec![PortSig::new("q", 4)]);
         let seqs: Vec<Box<dyn Sequence>> =
             vec![Box::new(RandomSequence::new(&iface.inputs, 40, 5))];
-        let env = Environment::from_source(src, "m", iface, Box::new(M { q: 0 }), seqs)
+        let env = Environment::from_source(src, "m", iface, Box::<M>::default(), seqs)
             .expect("env")
             .with_assertions(vec![
                 Assertion::parse("q_even", "q[0] == 1'b0").expect("parse"),
@@ -699,7 +741,7 @@ mod tests {
         let iface = DutInterface::clocked(vec![PortSig::new("en", 1)], vec![PortSig::new("q", 4)]);
         let seqs: Vec<Box<dyn Sequence>> =
             vec![Box::new(RandomSequence::new(&iface.inputs, 40, 5))];
-        let env = Environment::from_source(src, "m", iface, Box::new(M { q: 0 }), seqs)
+        let env = Environment::from_source(src, "m", iface, Box::<M>::default(), seqs)
             .expect("env")
             .with_assertions(vec![Assertion::parse("q_zero", "q == 4'd0").expect("parse")]);
         let summary = env.run();
@@ -730,10 +772,9 @@ mod tests {
                    default: b = 1'b1;\nendcase\nend else\nb = 1'b0;\nend\nendmodule\n";
         let iface =
             DutInterface::combinational(vec![PortSig::new("trig", 1)], vec![PortSig::new("y", 1)]);
-        let model = crate::refmodel::FnModel(|_: &BTreeMap<String, Logic>| {
-            let mut o = BTreeMap::new();
-            crate::refmodel::out_val(&mut o, "y", 1, 0);
-            o
+        let model = FnModel::new(|s: &IoSpec| {
+            let y = s.output("y");
+            move |io: &mut IoFrame<'_>| io.set(y, 0)
         });
         let seqs: Vec<Box<dyn Sequence>> =
             vec![Box::new(RandomSequence::new(&iface.inputs, 50, 3))];
@@ -782,5 +823,20 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, UvmError::Elab(_)));
+    }
+
+    #[test]
+    fn unwritten_outputs_are_expected_unknown() {
+        // A model that never writes `y` expects all-X every cycle: it
+        // must mismatch a driving DUT instead of silently passing.
+        let iface = adder_iface();
+        let model = FnModel::new(|_: &IoSpec| |_: &mut IoFrame<'_>| {});
+        let seqs: Vec<Box<dyn Sequence>> =
+            vec![Box::new(RandomSequence::new(&iface.inputs, 10, 9))];
+        let env =
+            Environment::from_source(GOOD_ADDER, "add", iface, Box::new(model), seqs).expect("env");
+        let summary = env.run();
+        assert!(!summary.all_passed());
+        assert!(summary.mismatches.iter().all(|m| !m.expected.is_fully_known()));
     }
 }

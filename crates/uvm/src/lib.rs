@@ -8,14 +8,18 @@
 //! mismatch lines the post-processing stage parses, plus a waveform for
 //! time-aware slicing.
 //!
+//! The environment↔reference-model boundary is index-based: port names
+//! are interned once into an [`IoSpec`] and each cycle's values cross
+//! in a reused [`IoFrame`] (see [`refmodel`] for the contract and the
+//! rationale versus the paper's DPI-style map exchange).
+//!
 //! ## Example
 //!
 //! ```rust
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! use std::collections::BTreeMap;
-//! use uvllm_sim::Logic;
 //! use uvllm_uvm::{
-//!     DutInterface, Environment, FnModel, PortSig, RandomSequence, Sequence,
+//!     DutInterface, Environment, FnModel, IoFrame, IoSpec, PortSig,
+//!     RandomSequence, Sequence,
 //! };
 //!
 //! let src = "module inv(input [3:0] a, output [3:0] y);\n\
@@ -24,11 +28,12 @@
 //!     vec![PortSig::new("a", 4)],
 //!     vec![PortSig::new("y", 4)],
 //! );
-//! let model = FnModel(|ins: &BTreeMap<String, Logic>| {
-//!     let a = ins["a"].to_u128().unwrap_or(0);
-//!     let mut out = BTreeMap::new();
-//!     out.insert("y".to_string(), Logic::from_u128(4, !a));
-//!     out
+//! let model = FnModel::new(|s: &IoSpec| {
+//!     let (a, y) = (s.input("a"), s.output("y"));
+//!     move |io: &mut IoFrame<'_>| {
+//!         let v = io.get(a);
+//!         io.set(y, !v);
+//!     }
 //! });
 //! let seqs: Vec<Box<dyn Sequence>> =
 //!     vec![Box::new(RandomSequence::new(&iface.inputs, 20, 1))];
@@ -51,6 +56,6 @@ pub use assertion::Assertion;
 pub use env::{Driver, Environment, Monitor, RunSummary, Sequencer, UvmError, CYCLE_TIME};
 pub use iface::{DutInterface, PortSig, ResetSpec, Transaction};
 pub use log::{LogEntry, UvmLog, UvmSeverity};
-pub use refmodel::{in_val, out_val, FnModel, RefModel};
+pub use refmodel::{FnModel, InSlot, IoFrame, IoSpec, OutSlot, RefModel};
 pub use scoreboard::{Coverage, Mismatch, Scoreboard};
 pub use sequence::{CornerSequence, DirectedSequence, RandomSequence, Sequence};

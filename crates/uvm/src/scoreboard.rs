@@ -1,7 +1,14 @@
 //! Scoreboard: per-cycle comparison of DUT outputs against the reference
 //! model, plus functional coverage collection.
+//!
+//! Both collectors work over the environment's slot-ordered observation
+//! buffers (see [`crate::refmodel::IoSpec`]): the comparison loop walks
+//! two `Logic` slices index by index, so the steady state performs no
+//! name lookups and no allocations — names are materialised only when a
+//! mismatch is actually recorded.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use crate::refmodel::IoSpec;
+use std::collections::HashSet;
 use uvllm_sim::Logic;
 
 /// One observed deviation between the DUT and the reference model.
@@ -32,19 +39,21 @@ impl Scoreboard {
         Scoreboard::default()
     }
 
-    /// Compares one cycle of outputs; records any mismatches.
-    /// Returns `true` when the cycle passed.
+    /// Compares one cycle of outputs, slot by slot; records any
+    /// mismatches. `expected` and `actual` must be in `spec` output-slot
+    /// order. Returns `true` when the cycle passed.
     pub fn check_cycle(
         &mut self,
         time: u64,
         cycle: usize,
-        expected: &BTreeMap<String, Logic>,
-        actual: &BTreeMap<String, Logic>,
+        spec: &IoSpec,
+        expected: &[Logic],
+        actual: &[Logic],
     ) -> bool {
         self.checked_cycles += 1;
         let mut ok = true;
-        for (name, exp) in expected {
-            let act = actual.get(name).copied().unwrap_or_else(|| Logic::xs(exp.width()));
+        for (slot, exp) in expected.iter().enumerate() {
+            let act = actual[slot];
             // Four-state aware comparison: values must be literally
             // identical (an X where a value was expected is a failure).
             if act.resize(exp.width()) != *exp {
@@ -52,7 +61,7 @@ impl Scoreboard {
                 self.mismatches.push(Mismatch {
                     time,
                     cycle,
-                    signal: name.clone(),
+                    signal: spec.output_name(slot).to_string(),
                     expected: *exp,
                     actual: act,
                 });
@@ -104,13 +113,16 @@ impl Scoreboard {
 
 /// Functional coverage: value bins per input and toggle coverage per
 /// output, in the spirit of UVM covergroups.
+///
+/// Collectors are slot-indexed vectors sized on first sample, so the
+/// per-cycle path is plain indexing — no hashing, no name lookups, and
+/// (after the bin sets warm up) no allocations.
 #[derive(Debug, Clone, Default)]
 pub struct Coverage {
-    /// input name → (width, bins hit).
-    input_bins: HashMap<String, (u32, HashSet<u32>)>,
-    /// output name → (bits seen 0, bits seen 1).
-    toggles: HashMap<String, (u128, u128)>,
-    output_widths: HashMap<String, u32>,
+    /// Input slot → (width, bins hit).
+    input_bins: Vec<(u32, HashSet<u32>)>,
+    /// Output slot → (width, bits seen 0, bits seen 1).
+    toggles: Vec<(u32, u128, u128)>,
 }
 
 /// Number of value bins per input signal.
@@ -122,19 +134,21 @@ impl Coverage {
         Coverage::default()
     }
 
-    /// Samples one cycle of activity.
-    ///
-    /// Runs every checked cycle, so it must not allocate in the steady
-    /// state: names are cloned only the first time a signal is seen.
-    pub fn sample(&mut self, inputs: &BTreeMap<String, Logic>, outputs: &BTreeMap<String, Logic>) {
-        for (name, v) in inputs {
-            let entry = match self.input_bins.get_mut(name) {
-                Some(e) => e,
-                None => self
-                    .input_bins
-                    .entry(name.clone())
-                    .or_insert_with(|| (v.width(), HashSet::new())),
-            };
+    /// Samples one cycle of activity over slot-ordered buffers. Widths
+    /// are captured from the first sample; collectors grow only if the
+    /// slot count does (i.e. never, in the steady state).
+    pub fn sample(&mut self, inputs: &[Logic], outputs: &[Logic]) {
+        if self.input_bins.len() < inputs.len() {
+            self.input_bins.resize_with(inputs.len(), || (0, HashSet::new()));
+        }
+        if self.toggles.len() < outputs.len() {
+            self.toggles.resize(outputs.len(), (0, 0, 0));
+        }
+        for (slot, v) in inputs.iter().enumerate() {
+            let entry = &mut self.input_bins[slot];
+            if entry.0 == 0 {
+                entry.0 = v.width();
+            }
             if let Some(val) = v.to_u128() {
                 let w = entry.0;
                 let total = if w >= 32 { u128::MAX } else { 1u128 << w };
@@ -148,17 +162,14 @@ impl Coverage {
                 entry.1.insert(bin.min(nbins - 1));
             }
         }
-        for (name, v) in outputs {
-            if !self.output_widths.contains_key(name) {
-                self.output_widths.insert(name.clone(), v.width());
+        for (slot, v) in outputs.iter().enumerate() {
+            let entry = &mut self.toggles[slot];
+            if entry.0 == 0 {
+                entry.0 = v.width();
             }
-            let entry = match self.toggles.get_mut(name) {
-                Some(e) => e,
-                None => self.toggles.entry(name.clone()).or_insert((0, 0)),
-            };
             let known = !v.xz();
-            entry.0 |= !v.val() & known & uvllm_sim::logic::mask(v.width());
-            entry.1 |= v.val() & known;
+            entry.1 |= !v.val() & known & uvllm_sim::logic::mask(v.width());
+            entry.2 |= v.val() & known;
         }
     }
 
@@ -169,7 +180,7 @@ impl Coverage {
         }
         let mut hit = 0usize;
         let mut total = 0usize;
-        for (w, bins) in self.input_bins.values() {
+        for (w, bins) in &self.input_bins {
             let space = if *w >= 32 { BINS } else { (1u64 << w).min(BINS as u64) as u32 };
             total += space as usize;
             hit += bins.len().min(space as usize);
@@ -184,8 +195,8 @@ impl Coverage {
         }
         let mut toggled = 0u32;
         let mut total = 0u32;
-        for (name, (zeros, ones)) in &self.toggles {
-            let w = self.output_widths.get(name).copied().unwrap_or(1);
+        for (w, zeros, ones) in &self.toggles {
+            let w = (*w).max(1);
             total += w;
             toggled += (zeros & ones).count_ones().min(w);
         }
@@ -200,17 +211,23 @@ impl Coverage {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::iface::PortSig;
 
-    fn vals(pairs: &[(&str, u32, u128)]) -> BTreeMap<String, Logic> {
-        pairs.iter().map(|(n, w, v)| (n.to_string(), Logic::from_u128(*w, *v))).collect()
+    fn spec_y(width: u32) -> IoSpec {
+        IoSpec::from_ports(&[], &[PortSig::new("y", width)])
+    }
+
+    fn vals(pairs: &[(u32, u128)]) -> Vec<Logic> {
+        pairs.iter().map(|(w, v)| Logic::from_u128(*w, *v)).collect()
     }
 
     #[test]
     fn scoreboard_tracks_pass_rate() {
+        let spec = spec_y(8);
         let mut sb = Scoreboard::new();
-        let exp = vals(&[("y", 8, 10)]);
-        assert!(sb.check_cycle(0, 0, &exp, &vals(&[("y", 8, 10)])));
-        assert!(!sb.check_cycle(10, 1, &exp, &vals(&[("y", 8, 11)])));
+        let exp = vals(&[(8, 10)]);
+        assert!(sb.check_cycle(0, 0, &spec, &exp, &vals(&[(8, 10)])));
+        assert!(!sb.check_cycle(10, 1, &spec, &exp, &vals(&[(8, 11)])));
         assert!((sb.pass_rate() - 0.5).abs() < 1e-9);
         assert_eq!(sb.mismatches().len(), 1);
         assert_eq!(sb.mismatch_signals(), vec!["y".to_string()]);
@@ -219,18 +236,34 @@ mod tests {
 
     #[test]
     fn x_output_counts_as_mismatch() {
+        let spec = spec_y(4);
         let mut sb = Scoreboard::new();
-        let exp = vals(&[("y", 4, 0)]);
-        let mut act = BTreeMap::new();
-        act.insert("y".to_string(), Logic::xs(4));
-        assert!(!sb.check_cycle(0, 0, &exp, &act));
+        let exp = vals(&[(4, 0)]);
+        assert!(!sb.check_cycle(0, 0, &spec, &exp, &[Logic::xs(4)]));
     }
 
     #[test]
-    fn missing_output_is_mismatch() {
+    fn expected_x_matches_actual_x_only() {
+        // A model that expects unknown (e.g. an unwritten RAM word)
+        // passes against an X DUT output and fails against a value.
+        let spec = spec_y(4);
         let mut sb = Scoreboard::new();
-        let exp = vals(&[("y", 4, 2)]);
-        assert!(!sb.check_cycle(0, 0, &exp, &BTreeMap::new()));
+        assert!(sb.check_cycle(0, 0, &spec, &[Logic::xs(4)], &[Logic::xs(4)]));
+        assert!(!sb.check_cycle(10, 1, &spec, &[Logic::xs(4)], &vals(&[(4, 2)])[..]));
+    }
+
+    #[test]
+    fn narrow_actual_is_resized_for_comparison() {
+        // A mutated DUT whose port shrank: `resize` zero-extends, so
+        // the comparison passes while the expected high bits are 0 and
+        // fails as soon as the expectation carries a 1 in a truncated
+        // bit — a narrowed port is caught only when the value space
+        // actually needs the missing bits.
+        let spec = spec_y(8);
+        let mut sb = Scoreboard::new();
+        let exp = vals(&[(8, 3)]);
+        assert!(sb.check_cycle(0, 0, &spec, &exp, &vals(&[(4, 3)])));
+        assert!(!sb.check_cycle(10, 1, &spec, &vals(&[(8, 0x83)]), &vals(&[(4, 3)])));
     }
 
     #[test]
@@ -243,9 +276,9 @@ mod tests {
     fn coverage_bins_fill_up() {
         let mut cov = Coverage::new();
         // 1-bit input: two bins.
-        cov.sample(&vals(&[("a", 1, 0)]), &vals(&[("y", 1, 0)]));
+        cov.sample(&vals(&[(1, 0)]), &vals(&[(1, 0)]));
         assert!(cov.input_coverage() < 1.0);
-        cov.sample(&vals(&[("a", 1, 1)]), &vals(&[("y", 1, 1)]));
+        cov.sample(&vals(&[(1, 1)]), &vals(&[(1, 1)]));
         assert!((cov.input_coverage() - 1.0).abs() < 1e-9);
         assert!((cov.toggle_coverage() - 1.0).abs() < 1e-9);
     }
@@ -253,10 +286,10 @@ mod tests {
     #[test]
     fn toggle_requires_both_values() {
         let mut cov = Coverage::new();
-        cov.sample(&BTreeMap::new(), &vals(&[("y", 2, 0b01)]));
+        cov.sample(&[], &vals(&[(2, 0b01)]));
         // Bit0 saw 1, bit1 saw 0 — nothing toggled yet.
         assert_eq!(cov.toggle_coverage(), 0.0);
-        cov.sample(&BTreeMap::new(), &vals(&[("y", 2, 0b10)]));
+        cov.sample(&[], &vals(&[(2, 0b10)]));
         assert!((cov.toggle_coverage() - 1.0).abs() < 1e-9);
     }
 
@@ -264,7 +297,7 @@ mod tests {
     fn wide_input_bins_are_bucketed() {
         let mut cov = Coverage::new();
         for v in 0..=255u128 {
-            cov.sample(&vals(&[("a", 8, v)]), &BTreeMap::new());
+            cov.sample(&vals(&[(8, v)]), &[]);
         }
         assert!((cov.input_coverage() - 1.0).abs() < 1e-9);
     }

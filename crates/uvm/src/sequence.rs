@@ -13,6 +13,25 @@ pub trait Sequence {
     fn name(&self) -> &str;
     /// Produces the transaction for `cycle`, or `None` when done.
     fn next(&mut self, cycle: usize) -> Option<Transaction>;
+
+    /// Writes the transaction for `cycle` into `txn`, reusing its
+    /// allocations where possible; returns `false` when exhausted.
+    ///
+    /// The environment's run loop keeps one transaction buffer alive
+    /// across the whole run, so long sequences that override this (the
+    /// 800-cycle random campaigns) produce stimulus with zero per-cycle
+    /// allocations. The default delegates to [`Sequence::next`] and
+    /// replaces `txn` wholesale — correct for any sequence, reusing
+    /// nothing.
+    fn next_into(&mut self, cycle: usize, txn: &mut Transaction) -> bool {
+        match self.next(cycle) {
+            Some(t) => {
+                *txn = t;
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// Uniform random stimulus over every input, seeded for reproducibility.
@@ -41,19 +60,33 @@ impl Sequence for RandomSequence {
         "random"
     }
 
-    fn next(&mut self, _cycle: usize) -> Option<Transaction> {
+    fn next(&mut self, cycle: usize) -> Option<Transaction> {
+        // One source of truth for the seeded stream: both paths must
+        // replay identical transactions for campaign determinism.
+        let mut t = Transaction::new();
+        self.next_into(cycle, &mut t).then_some(t)
+    }
+
+    /// In-place refill: the key set is every input, so after the first
+    /// cycle each value is updated through `get_mut` and the random
+    /// phase of a run allocates nothing per cycle.
+    fn next_into(&mut self, _cycle: usize, txn: &mut Transaction) -> bool {
         if self.produced >= self.len {
-            return None;
+            return false;
         }
         self.produced += 1;
-        let mut t = Transaction::new();
         for p in &self.inputs {
             let lo: u128 = self.rng.random::<u64>() as u128;
             let hi: u128 = self.rng.random::<u64>() as u128;
-            let v = (hi << 64) | lo;
-            t.values.insert(p.name.clone(), Logic::from_u128(p.width, v));
+            let v = Logic::from_u128(p.width, (hi << 64) | lo);
+            match txn.values.get_mut(p.name.as_str()) {
+                Some(slot) => *slot = v,
+                None => {
+                    txn.values.insert(p.name.clone(), v);
+                }
+            }
         }
-        Some(t)
+        true
     }
 }
 

@@ -1,0 +1,160 @@
+//! Allocation regression suite for the verification hot loop.
+//!
+//! The IoSpec/IoFrame refactor's whole point is that the steady-state
+//! cycle loop — drive pre-resolved ports, settle, observe into reused
+//! buffers, step the reference model through an [`uvllm_uvm::IoFrame`],
+//! compare slot-by-slot, sample coverage — performs **zero heap
+//! allocations per cycle**. A counting global allocator makes that an
+//! enforced contract instead of a comment: if the frame API (or the
+//! compiled kernel's scratch reuse) regresses, these tests fail with a
+//! per-cycle allocation count, not a silent slowdown.
+//!
+//! The event-driven kernel is exempt from the strict zero bound (its
+//! interpreter still allocates while executing process bodies), as is
+//! waveform capture (one frame per cycle, by design, and disabled here
+//! the way metric runs disable it).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed
+// atomic with no further invariants.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// The counter is process-global, so the measuring tests must not run
+/// concurrently — a sibling test's allocations inside a measurement
+/// window would fail a strict delta for no real regression.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+use uvllm_sim::{Logic, SimBackend};
+use uvllm_uvm::{Environment, IoFrame, RandomSequence, RunSummary, Sequence};
+
+/// The reference-model boundary in isolation: every one of the 27
+/// golden models, bound once, must step through its frame without a
+/// single allocation.
+#[test]
+fn refmodel_step_is_allocation_free_for_all_designs() {
+    let _guard = serial();
+    for d in uvllm_designs::all() {
+        let iface = (d.iface)();
+        let spec = uvllm_uvm::IoSpec::from_interface(&iface);
+        let mut model = (d.model)();
+        model.bind(&spec);
+        model.reset();
+        let inputs: Vec<Logic> =
+            iface.inputs.iter().map(|p| Logic::from_u128(p.width, 1)).collect();
+        let mut outputs: Vec<Logic> = iface.outputs.iter().map(|p| Logic::xs(p.width)).collect();
+        // Warm-up (nothing should allocate even here, but keep the
+        // contract scoped to the steady state).
+        for _ in 0..16 {
+            let mut frame = IoFrame::new(&inputs, &mut outputs);
+            model.step(&mut frame);
+        }
+        let before = allocations();
+        for _ in 0..10_000 {
+            let mut frame = IoFrame::new(&inputs, &mut outputs);
+            model.step(&mut frame);
+        }
+        let delta = allocations() - before;
+        assert_eq!(delta, 0, "{}: {} allocations across 10k model steps", d.name, delta);
+    }
+}
+
+/// Runs one full environment (reset + sequences + scoreboard +
+/// coverage, waveform capture off) and returns (summary, allocations).
+fn run_counted(design: &uvllm_designs::Design, cycles: usize) -> (RunSummary, u64) {
+    let iface = (design.iface)();
+    let seqs: Vec<Box<dyn Sequence>> =
+        vec![Box::new(RandomSequence::new(&iface.inputs, cycles, 0xA110C))];
+    let env = Environment::from_source_with(
+        design.source,
+        design.name,
+        iface,
+        (design.model)(),
+        seqs,
+        SimBackend::Compiled,
+    )
+    .expect("env")
+    .without_waveform();
+    let before = allocations();
+    let summary = env.run();
+    (summary, allocations() - before)
+}
+
+/// The whole environment + refmodel + compiled-kernel loop: growing a
+/// run by 2,000 cycles must not grow its allocation count — i.e. after
+/// the construction/warm-up phase, the per-cycle cost is zero heap
+/// allocations. A single per-cycle allocation anywhere in the loop
+/// would show up as a delta of ≥ 2,000.
+#[test]
+fn environment_steady_state_is_allocation_free_per_cycle() {
+    let _guard = serial();
+    // One design per category, sequential and combinational.
+    for name in ["adder_8bit", "counter_12", "fifo_sync", "alu_8bit"] {
+        let design = uvllm_designs::by_name(name).unwrap();
+        // Prime process-wide caches (elaboration, compilation, pooled
+        // instance) so both measured runs start from the same state.
+        let (warm, _) = run_counted(design, 64);
+        assert!(warm.all_passed(), "{name}: golden model must pass");
+        let (short, short_allocs) = run_counted(design, 500);
+        let (long, long_allocs) = run_counted(design, 2500);
+        assert!(short.all_passed() && long.all_passed(), "{name}: runs must pass");
+        assert_eq!(long.cycles, short.cycles + 2000, "{name}: cycle accounting");
+        let delta = long_allocs.saturating_sub(short_allocs);
+        assert!(
+            delta < 64,
+            "{name}: {delta} extra allocations across 2000 extra cycles \
+             (steady state must be allocation-free; short run: {short_allocs}, \
+             long run: {long_allocs})"
+        );
+    }
+}
+
+/// Pool reuse keeps even environment *construction* allocation-light:
+/// the second checkout of the same text must not re-instantiate the
+/// arena. (Coarse bound — the point is to catch re-instantiation, which
+/// costs hundreds of allocations for elaboration-scale structures.)
+#[test]
+fn pooled_checkout_rewinds_instead_of_rebuilding() {
+    let _guard = serial();
+    let design = uvllm_designs::by_name("gray_counter_4").unwrap();
+    // Unique text so this test owns the pool key.
+    let code = format!("{}// alloc-test probe\n", design.source);
+    let build = |_tag: &str| uvllm_sim::checkout_sim(&code, design.name).expect("builds");
+    drop(build("prime")); // compile + first instance, parked on drop
+    let before = allocations();
+    let sim = build("reuse");
+    let delta = allocations() - before;
+    assert_eq!(sim.time(), 0);
+    assert!(
+        delta < 40,
+        "{delta} allocations for a pooled re-checkout (expected a rewind, not a rebuild)"
+    );
+}
