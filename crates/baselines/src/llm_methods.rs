@@ -11,22 +11,23 @@ use crate::method::{MethodOutcome, RepairMethod};
 use std::time::{Duration, Instant};
 use uvllm::stages::{directed_stage_with, UvmOutcome};
 use uvllm_designs::Design;
-use uvllm_llm::{AgentRole, CompleteResponse, ErrorInfo, LanguageModel, OutputMode, RepairPrompt};
+use uvllm_llm::{AgentRole, CompleteResponse, ErrorInfo, LlmService, OutputMode, RepairPrompt};
 use uvllm_sim::SimBackend;
 
 /// MEIC-style baseline: iterate LLM whole-code repairs against the
 /// finite public testbench, feeding raw logs back, until the tests pass
 /// or the iteration budget is spent.
 pub struct MeicRepair<'m> {
-    llm: &'m mut dyn LanguageModel,
+    llm: &'m mut dyn LlmService,
     /// Iteration budget (MEIC uses a dual-agent loop of ~10 rounds).
     pub max_iterations: usize,
     backend: SimBackend,
 }
 
 impl<'m> MeicRepair<'m> {
-    /// Wraps a model backend.
-    pub fn new(llm: &'m mut dyn LanguageModel) -> Self {
+    /// Wraps an LLM service handle (see [`uvllm_llm::DirectService`]
+    /// for adapting a bare model).
+    pub fn new(llm: &'m mut dyn LlmService) -> Self {
         MeicRepair { llm, max_iterations: 10, backend: SimBackend::from_env() }
     }
 
@@ -81,7 +82,8 @@ impl RepairMethod for MeicRepair<'_> {
             let prompt = RepairPrompt::new(AgentRole::WholeCodeReviewer, design.spec, &code)
                 .with_error_info(ErrorInfo::RawLog(tail(&log, 15)))
                 .with_output_mode(OutputMode::Complete);
-            let Ok(completion) = self.llm.complete(&prompt) else { break };
+            let ticket = self.llm.submit(&prompt);
+            let Ok(completion) = self.llm.await_completion(ticket) else { break };
             // MEIC's dual-agent design runs a second, scoring model pass
             // over every candidate (comparable prompt, shorter output);
             // account its latency without disturbing the repair draw.
@@ -114,15 +116,16 @@ impl RepairMethod for MeicRepair<'_> {
 /// repairs from specification + code only (pass@k style); the first
 /// candidate that passes the public tests is kept.
 pub struct GptDirect<'m> {
-    llm: &'m mut dyn LanguageModel,
+    llm: &'m mut dyn LlmService,
     /// Samples per instance (the paper asks the model 5 times).
     pub samples: usize,
     backend: SimBackend,
 }
 
 impl<'m> GptDirect<'m> {
-    /// Wraps a model backend.
-    pub fn new(llm: &'m mut dyn LanguageModel) -> Self {
+    /// Wraps an LLM service handle (see [`uvllm_llm::DirectService`]
+    /// for adapting a bare model).
+    pub fn new(llm: &'m mut dyn LlmService) -> Self {
         GptDirect { llm, samples: 5, backend: SimBackend::from_env() }
     }
 
@@ -146,7 +149,8 @@ impl RepairMethod for GptDirect<'_> {
             iterations += 1;
             let prompt = RepairPrompt::new(AgentRole::WholeCodeReviewer, design.spec, src)
                 .with_output_mode(OutputMode::Complete);
-            let Ok(completion) = self.llm.complete(&prompt) else { break };
+            let ticket = self.llm.submit(&prompt);
+            let Ok(completion) = self.llm.await_completion(ticket) else { break };
             time += completion.latency;
             let Ok(resp) = CompleteResponse::parse(&completion.content) else { continue };
             if resp.code.trim().is_empty() {
@@ -190,7 +194,7 @@ mod tests {
     use super::*;
     use uvllm_designs::by_name;
     use uvllm_errgen::{mutate, ErrorKind};
-    use uvllm_llm::{ModelProfile, OracleLlm};
+    use uvllm_llm::{DirectService, ModelProfile, OracleLlm};
 
     #[test]
     fn meic_escapes_when_weak_tests_miss_the_bug() {
@@ -201,7 +205,7 @@ mod tests {
             "assign {cout, sum} = a + b + {7'd0, cin};",
             "assign sum = a + b + {7'd0, cin};\nassign cout = 1'b0;",
         );
-        let mut oracle = uvllm_llm::ScriptedLlm::new([]);
+        let mut oracle = DirectService::new(uvllm_llm::ScriptedLlm::new([]));
         let mut meic = MeicRepair::new(&mut oracle);
         let out = meic.repair(d, &buggy);
         assert!(out.claimed_success);
@@ -221,12 +225,12 @@ mod tests {
             if !uvllm::metrics::mutant_is_detectable(d, &m.mutated_src) {
                 continue;
             }
-            let mut oracle = OracleLlm::new(
+            let mut oracle = DirectService::new(OracleLlm::new(
                 m.ground_truth.clone(),
                 d.source,
                 ModelProfile::Gpt4TurboWeakHarness,
                 seed,
-            );
+            ));
             let mut meic = MeicRepair::new(&mut oracle);
             let out = meic.repair(d, &m.mutated_src);
             if out.claimed_success && uvllm::metrics::fix_confirmed(d, &out.final_code) {
@@ -240,8 +244,12 @@ mod tests {
     fn gpt_direct_tracks_usage_and_samples() {
         let d = by_name("alu_8bit").unwrap();
         let m = mutate(d.source, ErrorKind::OperatorMisuse, 3).unwrap();
-        let mut oracle =
-            OracleLlm::new(m.ground_truth.clone(), d.source, ModelProfile::Gpt4Turbo, 3);
+        let mut oracle = DirectService::new(OracleLlm::new(
+            m.ground_truth.clone(),
+            d.source,
+            ModelProfile::Gpt4Turbo,
+            3,
+        ));
         let mut gpt = GptDirect::new(&mut oracle);
         let out = gpt.repair(d, &m.mutated_src);
         assert!(out.iterations >= 1 && out.iterations <= 5);

@@ -16,8 +16,8 @@
 
 use criterion::{criterion_group, BatchSize, Criterion};
 use std::hint::black_box;
-use std::time::Instant;
-use uvllm_campaign::{Campaign, CampaignConfig, MemorySink, MethodKind, SimBackend};
+use std::time::{Duration, Instant};
+use uvllm_campaign::{BatchConfig, Campaign, CampaignConfig, MemorySink, MethodKind, SimBackend};
 use uvllm_designs::by_name;
 use uvllm_json::Json;
 use uvllm_sim::{elaborate, AnySim, Logic, SimControl};
@@ -165,6 +165,36 @@ fn campaign_wall_clock(backend: SimBackend, size: usize) -> (f64, usize) {
     (start.elapsed().as_secs_f64(), outcome.new_records.len())
 }
 
+// How the LLM-overlap record is measured: 8 workers, a 5 ms endpoint
+// round trip, LLM-heavy methods only.
+const OVERLAP_LATENCY: Duration = Duration::from_millis(5);
+const OVERLAP_WORKERS: usize = 8;
+const OVERLAP_SIZE: usize = 24;
+
+/// Campaign wall-clock under an injected endpoint round-trip latency:
+/// per-job oracle (one gated round trip per prompt — the exclusive
+/// connection the old `complete(&mut M)` API models) vs. the shared
+/// batched service (one round trip per flush). The gap this measures is
+/// exactly the overlap the submit/await redesign buys, tracked in
+/// `BENCH_kernels.json` as `llm_overlap`.
+fn llm_overlap_wall_clock(batched: bool) -> f64 {
+    let config = CampaignConfig {
+        dataset_size: OVERLAP_SIZE,
+        methods: vec![MethodKind::Uvllm, MethodKind::Meic, MethodKind::GptDirect],
+        workers: OVERLAP_WORKERS,
+        backend: SimBackend::Compiled,
+        llm_latency: Some(OVERLAP_LATENCY),
+        llm_batch: batched
+            .then(|| BatchConfig { max_batch: OVERLAP_WORKERS, ..BatchConfig::default() }),
+        ..CampaignConfig::default()
+    };
+    let mut sink = MemorySink::new();
+    let start = Instant::now();
+    let outcome = Campaign::new(config).unwrap().run(&mut sink).unwrap();
+    black_box(outcome.new_records.len());
+    start.elapsed().as_secs_f64()
+}
+
 fn round2(v: f64) -> f64 {
     (v * 100.0).round() / 100.0
 }
@@ -198,14 +228,39 @@ fn write_bench_json() {
             ("campaign_jobs".into(), Json::Num(jobs as f64)),
         ]));
     }
+    let direct_s = llm_overlap_wall_clock(false);
+    let batched_s = llm_overlap_wall_clock(true);
+    println!(
+        "llm overlap ({}ms rtt, {} workers, {} instances x 3 llm methods): \
+         per-job {direct_s:.2}s vs batched {batched_s:.2}s ({:.2}x)",
+        OVERLAP_LATENCY.as_millis(),
+        OVERLAP_WORKERS,
+        OVERLAP_SIZE,
+        direct_s / batched_s.max(1e-9),
+    );
     let doc = Json::Obj(vec![
-        ("schema".into(), Json::Str("uvllm-bench-kernels/v1".into())),
+        ("schema".into(), Json::Str("uvllm-bench-kernels/v2".into())),
         ("campaign_size".into(), Json::Num(size as f64)),
         ("campaign_methods".into(), Json::Num(MethodKind::ALL.len() as f64)),
         ("backends".into(), Json::Arr(backends)),
         (
             "campaign_speedup_compiled_vs_event".into(),
             Json::Num(round2(campaign_s[0] / campaign_s[1].max(1e-9))),
+        ),
+        (
+            "llm_overlap".into(),
+            Json::Obj(vec![
+                ("latency_ms".into(), Json::Num(OVERLAP_LATENCY.as_millis() as f64)),
+                ("workers".into(), Json::Num(OVERLAP_WORKERS as f64)),
+                ("campaign_size".into(), Json::Num(OVERLAP_SIZE as f64)),
+                ("llm_methods".into(), Json::Num(3.0)),
+                ("per_job_wall_s".into(), Json::Num(round2(direct_s))),
+                ("batched_wall_s".into(), Json::Num(round2(batched_s))),
+                (
+                    "speedup_batched_vs_per_job".into(),
+                    Json::Num(round2(direct_s / batched_s.max(1e-9))),
+                ),
+            ]),
         ),
     ]);
     std::fs::write(&path, format!("{}\n", doc.render())).expect("write BENCH_kernels.json");

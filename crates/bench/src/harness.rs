@@ -31,7 +31,10 @@ pub fn dataset_size_from_env() -> usize {
 }
 
 /// Reads the worker count from `UVLLM_WORKERS` (default: one per
-/// available CPU) — the campaign engine's sizing policy.
+/// available CPU) — the campaign engine's sizing policy. A
+/// set-but-invalid value panics with a clear message instead of
+/// silently falling back to the CPU count
+/// (see [`uvllm_campaign::worker_count_from_env`]).
 pub fn worker_count_from_env() -> usize {
     uvllm_campaign::default_worker_count()
 }

@@ -1,13 +1,15 @@
 //! The campaign engine: dataset assembly, golden-design cache warm-up,
 //! shard/resume filtering and the worker pool, glued to a result sink.
 
-use crate::eval::{EvalRecord, MethodKind};
+use crate::eval::{EvalRecord, LlmPolicy, MethodKind, SharedLlm};
 use crate::job::{expand_jobs, Job, ShardSpec};
 use crate::queue::run_pool;
 use crate::report::CampaignReport;
 use crate::sink::ResultSink;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 use uvllm::BenchInstance;
+use uvllm_llm::{BatchConfig, BatchedLlm};
 use uvllm_sim::SimBackend;
 
 /// What to run and how wide.
@@ -26,6 +28,20 @@ pub struct CampaignConfig {
     /// Simulation kernel every job runs on (recorded per row; the two
     /// kernels are waveform-identical, so verdicts do not depend on it).
     pub backend: SimBackend,
+    /// `Some` runs every job's LLM traffic through one shared
+    /// [`BatchedLlm`] with this flush policy; `None` (default) gives
+    /// each job an in-process direct service. Either way the rows are
+    /// byte-identical — batching changes wall-clock only.
+    pub llm_batch: Option<BatchConfig>,
+    /// Injected endpoint round-trip latency: per prompt in direct mode
+    /// (on one exclusive connection), per flush in batched mode. The
+    /// knob behind the overlap benchmark; `None` for real runs.
+    pub llm_latency: Option<Duration>,
+    /// Record per-job `llm_wait_ms` / `llm_batch_max` telemetry members
+    /// in JSONL rows. Off by default: the members are wall-clock
+    /// measurements and therefore excluded from the row byte-identity
+    /// contract.
+    pub llm_telemetry: bool,
 }
 
 impl Default for CampaignConfig {
@@ -37,6 +53,9 @@ impl Default for CampaignConfig {
             workers: 0,
             shard: ShardSpec::default(),
             backend: SimBackend::from_env(),
+            llm_batch: None,
+            llm_latency: None,
+            llm_telemetry: false,
         }
     }
 }
@@ -52,15 +71,46 @@ impl CampaignConfig {
     }
 }
 
+/// Reads the worker-count override from `UVLLM_WORKERS`.
+///
+/// Returns `Ok(None)` when the variable is unset.
+///
+/// # Errors
+///
+/// A set-but-invalid value (not a positive integer) is rejected with a
+/// message naming the variable — never silently replaced by the CPU
+/// count, which used to mask typos like `UVLLM_WORKERS=eight`.
+pub fn worker_count_from_env() -> Result<Option<usize>, String> {
+    match std::env::var("UVLLM_WORKERS") {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err("UVLLM_WORKERS is set to a non-unicode value".to_string())
+        }
+        Ok(text) => match text.trim().parse::<usize>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            _ => Err(format!(
+                "UVLLM_WORKERS must be a positive integer, got '{text}' \
+                 (unset it to use one worker per available CPU)"
+            )),
+        },
+    }
+}
+
 /// The worker count used when none is configured: the `UVLLM_WORKERS`
 /// environment variable, else one worker per available CPU. The single
 /// sizing policy for campaigns and the bench harness alike.
+///
+/// # Panics
+///
+/// Panics with [`worker_count_from_env`]'s message when the variable is
+/// set but invalid — a configuration error that must not degrade into a
+/// silent CPU-count fallback.
 pub fn default_worker_count() -> usize {
-    std::env::var("UVLLM_WORKERS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|n| *n > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    match worker_count_from_env() {
+        Ok(Some(n)) => n,
+        Ok(None) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        Err(message) => panic!("{message}"),
+    }
 }
 
 /// What a finished (shard of a) campaign looked like.
@@ -80,6 +130,13 @@ pub struct CampaignOutcome {
     pub golden_designs: usize,
     /// Elaboration-cache counters after the run.
     pub elab_stats: uvllm_sim::ElabCacheStats,
+    /// Total wall-clock the freshly-evaluated jobs spent blocked on the
+    /// LLM service (summed across workers; overlapping waits count
+    /// once per job).
+    pub llm_wait_total: Duration,
+    /// Largest service flush observed across the fresh jobs (1 in
+    /// direct mode, up to `max_batch` when batched).
+    pub llm_batch_max: u64,
 }
 
 /// A configured, validated campaign.
@@ -178,17 +235,43 @@ impl Campaign {
         let sink = Mutex::new(sink);
         let sink_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
         let backend = self.config.backend;
-        let new_records = run_pool(jobs, self.config.effective_workers(), backend, |_, record| {
-            let row = record.to_row();
-            let mut guard = sink.lock().expect("sink poisoned");
-            if let Err(e) = guard.append(&row) {
-                sink_error.lock().expect("sink error poisoned").get_or_insert(e);
-            }
+        let telemetry = self.config.llm_telemetry;
+
+        // One shared batching service for the whole pool: every job
+        // opens a session on it, so LLM round trips from all workers
+        // coalesce while the rest of the pool keeps simulating.
+        let shared_llm: Option<SharedLlm> = self.config.llm_batch.as_ref().map(|batch| {
+            let batch = BatchConfig {
+                round_trip: self.config.llm_latency.unwrap_or(batch.round_trip),
+                ..batch.clone()
+            };
+            BatchedLlm::start(batch)
         });
+        let llm = match &shared_llm {
+            Some(service) => LlmPolicy::batched(service),
+            None => LlmPolicy::direct().with_latency(self.config.llm_latency),
+        };
+
+        let new_records =
+            run_pool(jobs, self.config.effective_workers(), backend, &llm, |_, record| {
+                let row = if telemetry { record.to_row_with_telemetry() } else { record.to_row() };
+                let mut guard = sink.lock().expect("sink poisoned");
+                if let Err(e) = guard.append(&row) {
+                    sink_error.lock().expect("sink error poisoned").get_or_insert(e);
+                }
+            });
+        drop(llm);
+        if let Some(service) = shared_llm {
+            // Joins the service thread; every session was drained when
+            // its job finished, so this is bookkeeping, not a wait.
+            drop(service);
+        }
         if let Some(e) = sink_error.into_inner().expect("sink error poisoned") {
             return Err(e);
         }
 
+        let llm_wait_total = new_records.iter().map(|r| r.llm_wait).sum();
+        let llm_batch_max = new_records.iter().map(|r| r.llm_batch_max).max().unwrap_or(0);
         let mut rows = existing_rows;
         rows.extend(new_records.iter().map(EvalRecord::to_row));
         Ok(CampaignOutcome {
@@ -199,6 +282,8 @@ impl Campaign {
             resumed,
             golden_designs: golden.len(),
             elab_stats: uvllm_sim::cache::stats(),
+            llm_wait_total,
+            llm_batch_max,
         })
     }
 }
@@ -224,7 +309,7 @@ pub fn evaluate_parallel_with(
 ) -> Vec<EvalRecord> {
     let shared: Vec<Arc<BenchInstance>> = instances.iter().cloned().map(Arc::new).collect();
     let jobs = expand_jobs(&shared, &[method]);
-    run_pool(jobs, workers.max(1), backend, |_, _| {})
+    run_pool(jobs, workers.max(1), backend, &LlmPolicy::direct(), |_, _| {})
 }
 
 #[cfg(test)]
@@ -240,6 +325,7 @@ mod tests {
             workers,
             shard: ShardSpec::default(),
             backend: SimBackend::default(),
+            ..CampaignConfig::default()
         }
     }
 
@@ -285,6 +371,24 @@ mod tests {
         expected.sort();
         union.sort();
         assert_eq!(union, expected, "3-way shard must partition the campaign exactly");
+    }
+
+    #[test]
+    fn unparsable_worker_env_is_rejected_not_defaulted() {
+        // Other tests in this binary pass explicit worker counts, so
+        // mutating the variable here cannot change their behaviour.
+        std::env::set_var("UVLLM_WORKERS", "eight");
+        let err = worker_count_from_env().unwrap_err();
+        assert!(err.contains("UVLLM_WORKERS"), "error must name the variable: {err}");
+        assert!(err.contains("eight"), "error must echo the bad value: {err}");
+        std::env::set_var("UVLLM_WORKERS", "0");
+        assert!(worker_count_from_env().is_err(), "zero workers is invalid");
+        std::env::set_var("UVLLM_WORKERS", "3");
+        assert_eq!(worker_count_from_env(), Ok(Some(3)));
+        assert_eq!(default_worker_count(), 3);
+        std::env::remove_var("UVLLM_WORKERS");
+        assert_eq!(worker_count_from_env(), Ok(None));
+        assert!(default_worker_count() >= 1);
     }
 
     #[test]

@@ -5,13 +5,78 @@
 //! engine can own it; the bench crate re-exports everything for
 //! compatibility.
 
+use std::time::Duration;
 use uvllm::{BenchInstance, Stage, StageTimes, Uvllm, Verdict, VerifyConfig};
 use uvllm_baselines::{GptDirect, MeicRepair, RepairMethod, RtlRepair, StriderRepair};
 use uvllm_designs::Category;
 use uvllm_errgen::{ErrorCategory, ErrorKind};
 use uvllm_json::Json;
-use uvllm_llm::{ModelProfile, OracleLlm, OutputMode, Usage};
+use uvllm_llm::{
+    endpoint_gate, BatchedLlm, DirectService, EndpointGate, LanguageModel, LlmService,
+    ModelProfile, OracleLlm, OutputMode, SlowLlm, Usage, WaitStats,
+};
 use uvllm_sim::SimBackend;
+
+/// The shared batched LLM service a campaign pool hangs its sessions
+/// off: per-job models are boxed so latency-injection wrappers and
+/// different backend kinds ride the same service.
+pub type SharedLlm = BatchedLlm<Box<dyn LanguageModel>>;
+
+/// How campaign jobs obtain their [`LlmService`] handle.
+///
+/// *Direct* policy gives each job an in-process [`DirectService`]
+/// around its own model — the historical exclusive path. *Batched*
+/// policy opens a session per job on one [`SharedLlm`], so every
+/// worker's LLM round trips coalesce into batches while the other
+/// workers keep simulating. Either way the job's model sees the same
+/// prompts in the same order, so rows are byte-identical across
+/// policies (the batching determinism contract).
+#[derive(Debug)]
+pub struct LlmPolicy<'s> {
+    batched: Option<&'s SharedLlm>,
+    latency: Option<Duration>,
+    /// The exclusive endpoint connection that direct-mode injected
+    /// latency serializes on (one gate per campaign = one endpoint).
+    gate: EndpointGate,
+}
+
+impl LlmPolicy<'static> {
+    /// Per-job direct services, no injected latency: the default.
+    pub fn direct() -> Self {
+        LlmPolicy { batched: None, latency: None, gate: endpoint_gate() }
+    }
+}
+
+impl<'s> LlmPolicy<'s> {
+    /// Sessions on a shared batched service.
+    pub fn batched(service: &'s SharedLlm) -> LlmPolicy<'s> {
+        LlmPolicy { batched: Some(service), latency: None, gate: endpoint_gate() }
+    }
+
+    /// Injects a per-round-trip endpoint latency in *direct* mode
+    /// (batched mode injects it per flush via
+    /// [`uvllm_llm::BatchConfig::round_trip`] instead — the engine
+    /// wires both from one knob).
+    pub fn with_latency(mut self, latency: Option<Duration>) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Builds the service handle a job drives its repair loop through.
+    pub fn service_for(&self, model: Box<dyn LanguageModel>) -> Box<dyn LlmService> {
+        match self.batched {
+            Some(service) => Box::new(service.client(model)),
+            None => match self.latency {
+                Some(latency) => Box::new(DirectService::new(SlowLlm::new(
+                    model,
+                    latency,
+                    EndpointGate::clone(&self.gate),
+                ))),
+                None => Box::new(DirectService::new(model)),
+            },
+        }
+    }
+}
 
 /// Which method to evaluate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -96,6 +161,12 @@ pub struct EvalRecord {
     pub fixed_by: Option<Stage>,
     /// LLM accounting.
     pub usage: Usage,
+    /// Wall-clock time this job spent blocked on the LLM service
+    /// (scheduling telemetry — not part of the deterministic row).
+    pub llm_wait: Duration,
+    /// Largest service flush any of this job's prompts rode in
+    /// (1 on a direct service; telemetry, like `llm_wait`).
+    pub llm_batch_max: u64,
 }
 
 impl EvalRecord {
@@ -104,7 +175,11 @@ impl EvalRecord {
         job_id(&self.instance_id, self.method)
     }
 
-    /// Projects the record onto its deterministic JSONL row.
+    /// Projects the record onto its deterministic JSONL row. The
+    /// telemetry members stay `None` here; the engine fills them in
+    /// only when the campaign opts into `llm_telemetry` (they are
+    /// wall-clock measurements, excluded from the byte-identity
+    /// contract).
     pub fn to_row(&self) -> EvalRow {
         EvalRow {
             id: self.job_id(),
@@ -125,7 +200,20 @@ impl EvalRecord {
             completion_tokens: self.usage.completion_tokens,
             sim_latency_ms: self.usage.latency.as_millis() as u64,
             fixed_by: self.fixed_by.map(|s| s.label().to_string()),
+            llm_wait_ms: None,
+            llm_batch_max: None,
         }
+    }
+
+    /// [`EvalRecord::to_row`] with the wall-clock LLM telemetry members
+    /// filled in (opt-in: these vary with batch schedule and machine
+    /// load, so rows carrying them are excluded from the determinism
+    /// contract).
+    pub fn to_row_with_telemetry(&self) -> EvalRow {
+        let mut row = self.to_row();
+        row.llm_wait_ms = Some(self.llm_wait.as_millis() as u64);
+        row.llm_batch_max = Some(self.llm_batch_max);
+        row
     }
 }
 
@@ -172,12 +260,20 @@ pub struct EvalRow {
     pub sim_latency_ms: u64,
     /// Stage label that produced the fix (UVLLM methods only).
     pub fixed_by: Option<String>,
+    /// Opt-in telemetry: wall-clock ms the job spent blocked on the
+    /// LLM service. Serialized only when present; absent by default so
+    /// canonical rows stay byte-identical across batch schedules.
+    pub llm_wait_ms: Option<u64>,
+    /// Opt-in telemetry: largest service flush the job's prompts rode
+    /// in. Same serialization rule as `llm_wait_ms`.
+    pub llm_batch_max: Option<u64>,
 }
 
 impl EvalRow {
-    /// Serialises to one compact JSON line (fixed member order).
+    /// Serialises to one compact JSON line (fixed member order; the
+    /// optional telemetry members are appended only when present).
     pub fn to_json_line(&self) -> String {
-        Json::Obj(vec![
+        let mut members = vec![
             ("id".into(), Json::Str(self.id.clone())),
             ("instance".into(), Json::Str(self.instance.clone())),
             ("design".into(), Json::Str(self.design.clone())),
@@ -202,8 +298,14 @@ impl EvalRow {
                     None => Json::Null,
                 },
             ),
-        ])
-        .render()
+        ];
+        if let Some(wait) = self.llm_wait_ms {
+            members.push(("llm_wait_ms".into(), Json::Num(wait as f64)));
+        }
+        if let Some(batch) = self.llm_batch_max {
+            members.push(("llm_batch_max".into(), Json::Num(batch as f64)));
+        }
+        Json::Obj(members).render()
     }
 
     /// Parses one JSONL line.
@@ -271,6 +373,8 @@ impl EvalRow {
                 Some(Json::Null) | None => None,
                 Some(other) => return Err(format!("bad 'fixed_by' member: {other:?}")),
             },
+            llm_wait_ms: v.get("llm_wait_ms").and_then(Json::as_u64),
+            llm_batch_max: v.get("llm_batch_max").and_then(Json::as_u64),
         })
     }
 }
@@ -281,13 +385,26 @@ pub fn evaluate_one(method: MethodKind, inst: &BenchInstance) -> EvalRecord {
     evaluate_one_with(method, inst, SimBackend::from_env())
 }
 
-/// Evaluates `method` on one instance on an explicit simulation backend.
+/// Evaluates `method` on one instance on an explicit simulation
+/// backend, with a per-job [`DirectService`] around the job's oracle.
+pub fn evaluate_one_with(
+    method: MethodKind,
+    inst: &BenchInstance,
+    backend: SimBackend,
+) -> EvalRecord {
+    evaluate_one_on(method, inst, backend, &LlmPolicy::direct())
+}
+
+/// Evaluates `method` on one instance under an explicit simulation
+/// backend and LLM dispatch policy.
 ///
 /// Everything stochastic is derived from the instance seed and the
 /// method salt, so the record is a pure function of its job — the
 /// bedrock of campaign determinism and resumability. The two backends
 /// are waveform-identical (enforced by the differential equivalence
-/// suite), so the backend changes wall-clock, not verdicts.
+/// suite) and the LLM policy only changes *where* the job's own model
+/// answers (inline vs. on the shared service thread), so backend and
+/// policy change wall-clock, not verdicts.
 ///
 /// Per-job cost model: every metric run crosses the scoreboard
 /// boundary through the index-based `IoFrame` exchange (zero
@@ -296,16 +413,18 @@ pub fn evaluate_one(method: MethodKind, inst: &BenchInstance) -> EvalRecord {
 /// `CompiledSim` instance (`uvllm_sim::checkout_sim`) instead of
 /// re-instantiating per run — `reset_state` makes a reused instance
 /// indistinguishable from a fresh one, so determinism is unaffected.
-pub fn evaluate_one_with(
+pub fn evaluate_one_on(
     method: MethodKind,
     inst: &BenchInstance,
     backend: SimBackend,
+    llm: &LlmPolicy<'_>,
 ) -> EvalRecord {
     let oracle_seed = inst.seed ^ method.salt().wrapping_mul(0x9E37_79B9_7F4A_7C15);
     let design = inst.design;
-    let oracle =
-        |profile| OracleLlm::new(inst.ground_truth.clone(), design.source, profile, oracle_seed);
-    let (final_code, claimed, texec, stage_times, fixed_by, usage) = match method {
+    let oracle = |profile| -> Box<dyn LanguageModel> {
+        Box::new(OracleLlm::new(inst.ground_truth.clone(), design.source, profile, oracle_seed))
+    };
+    let (final_code, claimed, texec, stage_times, fixed_by, usage, wait) = match method {
         MethodKind::Uvllm | MethodKind::UvllmComplete => {
             let config = VerifyConfig {
                 output_mode: if method == MethodKind::UvllmComplete {
@@ -316,10 +435,14 @@ pub fn evaluate_one_with(
                 backend,
                 ..VerifyConfig::default()
             };
-            // The framework owns its (job-local) model: the whole run
-            // is Send and carries no state shared across jobs.
-            let mut framework = Uvllm::new(oracle(ModelProfile::Gpt4Turbo), config);
+            // The job drives its own service handle (and, through it,
+            // its own seeded model): the whole run is Send and shares
+            // no mutable LLM state with other jobs even when the
+            // handle is a session of the campaign-wide BatchedLlm.
+            let service = llm.service_for(oracle(ModelProfile::Gpt4Turbo));
+            let mut framework = Uvllm::with_service(service, config);
             let out = framework.verify(design, &inst.mutated_src);
+            let wait = framework.into_service().wait_stats();
             (
                 out.final_code,
                 out.success,
@@ -327,29 +450,62 @@ pub fn evaluate_one_with(
                 Some(out.times),
                 out.fixed_by,
                 out.usage,
+                wait,
             )
         }
         MethodKind::Meic => {
-            let mut llm = oracle(ModelProfile::Gpt4TurboWeakHarness);
-            let mut m = MeicRepair::new(&mut llm).with_backend(backend);
+            let mut service = llm.service_for(oracle(ModelProfile::Gpt4TurboWeakHarness));
+            let mut m = MeicRepair::new(&mut *service).with_backend(backend);
             let out = m.repair(design, &inst.mutated_src);
-            (out.final_code, out.claimed_success, out.time.as_secs_f64(), None, None, out.usage)
+            (
+                out.final_code,
+                out.claimed_success,
+                out.time.as_secs_f64(),
+                None,
+                None,
+                out.usage,
+                service.wait_stats(),
+            )
         }
         MethodKind::GptDirect => {
-            let mut llm = oracle(ModelProfile::Gpt4TurboWeakHarness);
-            let mut m = GptDirect::new(&mut llm).with_backend(backend);
+            let mut service = llm.service_for(oracle(ModelProfile::Gpt4TurboWeakHarness));
+            let mut m = GptDirect::new(&mut *service).with_backend(backend);
             let out = m.repair(design, &inst.mutated_src);
-            (out.final_code, out.claimed_success, out.time.as_secs_f64(), None, None, out.usage)
+            (
+                out.final_code,
+                out.claimed_success,
+                out.time.as_secs_f64(),
+                None,
+                None,
+                out.usage,
+                service.wait_stats(),
+            )
         }
         MethodKind::Strider => {
             let mut m = StriderRepair::new().with_backend(backend);
             let out = m.repair(design, &inst.mutated_src);
-            (out.final_code, out.claimed_success, out.time.as_secs_f64(), None, None, out.usage)
+            (
+                out.final_code,
+                out.claimed_success,
+                out.time.as_secs_f64(),
+                None,
+                None,
+                out.usage,
+                WaitStats::default(),
+            )
         }
         MethodKind::RtlRepair => {
             let mut m = RtlRepair::new().with_backend(backend);
             let out = m.repair(design, &inst.mutated_src);
-            (out.final_code, out.claimed_success, out.time.as_secs_f64(), None, None, out.usage)
+            (
+                out.final_code,
+                out.claimed_success,
+                out.time.as_secs_f64(),
+                None,
+                None,
+                out.usage,
+                WaitStats::default(),
+            )
         }
     };
     let hit = uvllm::metrics::hit_confirmed_with(design, &final_code, backend);
@@ -370,6 +526,8 @@ pub fn evaluate_one_with(
         stage_times,
         fixed_by,
         usage,
+        llm_wait: wait.wait,
+        llm_batch_max: wait.max_batch as u64,
     }
 }
 

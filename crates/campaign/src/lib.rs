@@ -15,9 +15,20 @@
 //! * [`evaluate_one`] — the per-job evaluation (moved here from
 //!   `uvllm-bench`), a *pure function of the job*: each job owns an
 //!   [`OracleLlm`](uvllm_llm::OracleLlm) seeded from the instance seed
-//!   and method salt, and the pipeline owns its model
-//!   ([`uvllm::Uvllm`] is generic over `M: LanguageModel`), so nothing
-//!   is shared across workers.
+//!   and method salt, and the pipeline owns its LLM service handle
+//!   ([`uvllm::Uvllm`] is generic over `S: LlmService`), so no mutable
+//!   LLM state is shared across workers.
+//! * [`LlmPolicy`] / [`SharedLlm`] — how jobs obtain that handle:
+//!   per-job [`DirectService`](uvllm_llm::DirectService)s (default), or
+//!   per-job *sessions* on one shared
+//!   [`BatchedLlm`](uvllm_llm::BatchedLlm)
+//!   (`CampaignConfig::llm_batch`), which coalesces prompts from every
+//!   worker into batches so LLM round trips overlap simulation time.
+//!   Sessions see their own prompts in submission order, so rows are
+//!   byte-identical batched or not.
+//! * [`merge_rows`] / `campaign merge` — combine shard JSONL files into
+//!   one report, validating shard disjointness and full job-space
+//!   coverage (failures name the `(instance, method)` pairs).
 //! * elaboration cache — [`Campaign::run`] pre-elaborates every golden
 //!   design exactly once into the process-wide content-addressed cache
 //!   ([`uvllm_sim::cache`]); workers then share elaborations of
@@ -55,17 +66,23 @@
 pub mod engine;
 pub mod eval;
 pub mod job;
+pub mod merge;
 pub mod queue;
 pub mod report;
 pub mod sink;
 
 pub use engine::{
-    default_worker_count, evaluate_parallel, evaluate_parallel_with, Campaign, CampaignConfig,
-    CampaignOutcome,
+    default_worker_count, evaluate_parallel, evaluate_parallel_with, worker_count_from_env,
+    Campaign, CampaignConfig, CampaignOutcome,
 };
-pub use eval::{evaluate_one, evaluate_one_with, job_id, EvalRecord, EvalRow, MethodKind};
+pub use eval::{
+    evaluate_one, evaluate_one_on, evaluate_one_with, job_id, EvalRecord, EvalRow, LlmPolicy,
+    MethodKind, SharedLlm,
+};
 pub use job::{expand_jobs, fnv1a64, Job, ShardSpec};
+pub use merge::{expected_job_ids, merge_rows, read_shard, MergeOutcome};
 pub use queue::WorkQueue;
 pub use report::CampaignReport;
 pub use sink::{JsonlSink, MemorySink, ResultSink};
+pub use uvllm_llm::BatchConfig;
 pub use uvllm_sim::SimBackend;

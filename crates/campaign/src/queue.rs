@@ -7,7 +7,7 @@
 //! engine dependency-free. Determinism does not depend on pop order:
 //! every record is a pure function of its job.
 
-use crate::eval::{evaluate_one_with, EvalRecord};
+use crate::eval::{evaluate_one_on, EvalRecord, LlmPolicy};
 use crate::job::Job;
 use std::collections::VecDeque;
 use std::sync::Mutex;
@@ -37,15 +37,19 @@ impl WorkQueue {
 }
 
 /// Runs `jobs` on `workers` OS threads with every evaluation on
-/// `backend`; `on_record` observes every finished job (from worker
-/// threads, in completion order) and the returned list is sorted back
-/// into job order.
+/// `backend`, drawing LLM service handles from `llm` (a per-job
+/// [`uvllm_llm::DirectService`], or sessions of the shared
+/// [`crate::SharedLlm`] so workers' LLM round trips overlap);
+/// `on_record` observes every finished job (from worker threads, in
+/// completion order) and the returned list is sorted back into job
+/// order.
 ///
 /// `workers == 0` is treated as 1.
 pub fn run_pool(
     jobs: Vec<Job>,
     workers: usize,
     backend: SimBackend,
+    llm: &LlmPolicy<'_>,
     on_record: impl Fn(&Job, &EvalRecord) + Sync,
 ) -> Vec<EvalRecord> {
     let workers = workers.max(1).min(jobs.len().max(1));
@@ -56,7 +60,7 @@ pub fn run_pool(
         for _ in 0..workers {
             scope.spawn(|| {
                 while let Some(job) = queue.pop() {
-                    let record = evaluate_one_with(job.method, &job.instance, backend);
+                    let record = evaluate_one_on(job.method, &job.instance, backend, llm);
                     on_record(&job, &record);
                     results.lock().expect("result list poisoned").push((job.index, record));
                 }
@@ -91,7 +95,7 @@ mod tests {
         let jobs = expand_jobs(&instances, &[MethodKind::Strider, MethodKind::RtlRepair]);
         let expected: Vec<String> = jobs.iter().map(Job::id).collect();
         let seen = AtomicUsize::new(0);
-        let records = run_pool(jobs, 4, SimBackend::default(), |_, _| {
+        let records = run_pool(jobs, 4, SimBackend::default(), &LlmPolicy::direct(), |_, _| {
             seen.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(seen.load(Ordering::Relaxed), expected.len());
@@ -101,7 +105,8 @@ mod tests {
 
     #[test]
     fn empty_queue_is_fine() {
-        let records = run_pool(Vec::new(), 8, SimBackend::default(), |_, _| {});
+        let records =
+            run_pool(Vec::new(), 8, SimBackend::default(), &LlmPolicy::direct(), |_, _| {});
         assert!(records.is_empty());
     }
 }

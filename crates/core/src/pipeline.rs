@@ -4,7 +4,9 @@
 use crate::stages::{postprocess, preprocess, repair, uvm_stage_with, UvmOutcome};
 use std::time::{Duration, Instant};
 use uvllm_designs::Design;
-use uvllm_llm::{ErrorInfo, LanguageModel, OutputMode, RepairPair, Usage};
+use uvllm_llm::{
+    DirectService, ErrorInfo, LanguageModel, LlmService, OutputMode, RepairPair, Usage,
+};
 use uvllm_sim::SimBackend;
 
 /// Which pipeline segment produced the final successful change —
@@ -115,34 +117,61 @@ pub struct VerifyOutcome {
     pub final_score: f64,
 }
 
-/// The UVLLM framework: wraps a [`LanguageModel`] and verifies DUTs
-/// against their specification using the four-stage loop.
+/// The UVLLM framework: drives an [`LlmService`] handle and verifies
+/// DUTs against their specification using the four-stage loop.
 ///
-/// The framework *owns* its model (generic `M`), which makes a whole
-/// verification run `Send` — the property the campaign engine relies on
-/// to run jobs on worker threads. Borrowing callers keep working via
-/// the `LanguageModel` forwarding impl for `&mut M`; dynamic callers
-/// can use `Uvllm<Box<dyn LanguageModel + Send>>`.
-pub struct Uvllm<M: LanguageModel> {
+/// The framework *owns* its service handle (generic `S`), which makes a
+/// whole verification run `Send` — the property the campaign engine
+/// relies on to run jobs on worker threads. Every LLM interaction goes
+/// through the submit/await ticket protocol, so the same pipeline runs
+/// unchanged on an in-process [`DirectService`] or on a session of a
+/// shared [`uvllm_llm::BatchedLlm`] (the campaign's batched mode).
+///
+/// [`Uvllm::new`] keeps the historical model-owning construction:
+/// `Uvllm::new(model, config)` wraps the [`LanguageModel`] in a
+/// [`DirectService`]; borrowing callers keep working via the
+/// `LanguageModel` forwarding impl for `&mut M`.
+pub struct Uvllm<S: LlmService> {
     config: VerifyConfig,
-    llm: M,
+    service: S,
 }
 
-impl<M: LanguageModel> Uvllm<M> {
-    /// Creates a framework instance around a model backend.
+impl<M: LanguageModel> Uvllm<DirectService<M>> {
+    /// Creates a framework instance around a model backend (wrapped in
+    /// an unbatched [`DirectService`]).
     pub fn new(llm: M, config: VerifyConfig) -> Self {
-        Uvllm { config, llm }
+        Uvllm::with_service(DirectService::new(llm), config)
     }
 
     /// The wrapped model.
     pub fn model(&self) -> &M {
-        &self.llm
+        self.service.model()
     }
 
     /// Consumes the framework, returning the model (and its usage
     /// accounting).
     pub fn into_model(self) -> M {
-        self.llm
+        self.service.into_inner()
+    }
+}
+
+impl<S: LlmService> Uvllm<S> {
+    /// Creates a framework instance around an [`LlmService`] handle —
+    /// the constructor batched campaigns use to hand every job a
+    /// session of the shared service.
+    pub fn with_service(service: S, config: VerifyConfig) -> Self {
+        Uvllm { config, service }
+    }
+
+    /// The wrapped service handle.
+    pub fn service(&self) -> &S {
+        &self.service
+    }
+
+    /// Consumes the framework, returning the service handle (and its
+    /// usage/wait accounting).
+    pub fn into_service(self) -> S {
+        self.service
     }
 
     /// Runs the full verification loop on `src` for `design`.
@@ -168,8 +197,13 @@ impl<M: LanguageModel> Uvllm<M> {
             iterations = iter + 1;
             // -------- Step 1: pre-processing --------------------------
             let wall = Instant::now();
-            let (pre_code, pre_stats) =
-                preprocess(&code, design.spec, &mut self.llm, cfg.output_mode, cfg.preproc_iters);
+            let (pre_code, pre_stats) = preprocess(
+                &code,
+                design.spec,
+                &mut self.service,
+                cfg.output_mode,
+                cfg.preproc_iters,
+            );
             // Stage time = simulated LLM latency + measured substrate time.
             times.preprocess += pre_stats.llm_time + wall.elapsed();
             script_fixes += pre_stats.script_fixes;
@@ -193,7 +227,7 @@ impl<M: LanguageModel> Uvllm<M> {
                     iterations,
                     fixed_by,
                     times,
-                    usage: self.llm.usage(),
+                    usage: self.service.usage(),
                     rollbacks,
                     damage_repairs: damage.len(),
                     script_fixes,
@@ -228,7 +262,7 @@ impl<M: LanguageModel> Uvllm<M> {
             let attempt = repair(
                 &code,
                 design.spec,
-                &mut self.llm,
+                &mut self.service,
                 error_info,
                 &damage,
                 cfg.output_mode,
@@ -257,7 +291,7 @@ impl<M: LanguageModel> Uvllm<M> {
             iterations,
             fixed_by,
             times,
-            usage: self.llm.usage(),
+            usage: self.service.usage(),
             rollbacks,
             damage_repairs: damage.len(),
             script_fixes,

@@ -6,7 +6,7 @@ use std::time::Duration;
 use uvllm_designs::Design;
 use uvllm_dfg::suspicious_lines;
 use uvllm_llm::{
-    AgentRole, CompleteResponse, ErrorInfo, LanguageModel, MismatchInfo, OutputMode, RepairPair,
+    AgentRole, CompleteResponse, ErrorInfo, LlmService, MismatchInfo, OutputMode, RepairPair,
     RepairPrompt, RepairResponse,
 };
 use uvllm_sim::SimBackend;
@@ -37,10 +37,14 @@ pub struct PreprocessStats {
 /// Pre-processes the DUT with the joint LLM-script loop of Algorithm 1:
 /// lint; syntax errors go to the LLM agent, fixable warnings to the
 /// script templates; iterate until clean or `max_iters`.
+///
+/// The LLM is consumed through the [`LlmService`] submit/await
+/// protocol: on a shared [`uvllm_llm::BatchedLlm`] the await is where
+/// this job's round trip overlaps other workers' simulation time.
 pub fn preprocess(
     code: &str,
     spec: &str,
-    llm: &mut dyn LanguageModel,
+    llm: &mut dyn LlmService,
     output_mode: OutputMode,
     max_iters: usize,
 ) -> (String, PreprocessStats) {
@@ -54,7 +58,8 @@ pub fn preprocess(
             let prompt = RepairPrompt::new(AgentRole::SyntaxFixer, spec, &code)
                 .with_error_info(ErrorInfo::LintLog(log))
                 .with_output_mode(output_mode);
-            let Ok(completion) = llm.complete(&prompt) else { break };
+            let ticket = llm.submit(&prompt);
+            let Ok(completion) = llm.await_completion(ticket) else { break };
             stats.llm_calls += 1;
             stats.llm_time += completion.latency;
             match output_mode {
@@ -245,11 +250,12 @@ pub struct RepairAttempt {
     pub llm_time: Duration,
 }
 
-/// Invokes the repair agent (§III-D) in the given mode.
+/// Invokes the repair agent (§III-D) in the given mode, through the
+/// [`LlmService`] submit/await protocol.
 pub fn repair(
     code: &str,
     spec: &str,
-    llm: &mut dyn LanguageModel,
+    llm: &mut dyn LlmService,
     error_info: ErrorInfo,
     damage_repairs: &[RepairPair],
     output_mode: OutputMode,
@@ -261,7 +267,8 @@ pub fn repair(
         .with_error_info(error_info)
         .with_damage_repairs(damage_repairs.to_vec())
         .with_output_mode(output_mode);
-    let Ok(completion) = llm.complete(&prompt) else {
+    let ticket = llm.submit(&prompt);
+    let Ok(completion) = llm.await_completion(ticket) else {
         return RepairAttempt {
             code: code.to_string(),
             applied: Vec::new(),
@@ -306,13 +313,13 @@ pub fn repair(
 mod tests {
     use super::*;
     use uvllm_designs::by_name;
-    use uvllm_llm::ScriptedLlm;
+    use uvllm_llm::{DirectService, ScriptedLlm};
 
     #[test]
     fn preprocess_scripts_fix_combdly_without_llm() {
         let code = "module m(input a, input b, output reg y);\n\
                     always @(*) y <= a & b;\nendmodule\n";
-        let mut llm = ScriptedLlm::new([]);
+        let mut llm = DirectService::new(ScriptedLlm::new([]));
         let (fixed, stats) = preprocess(code, "spec", &mut llm, OutputMode::Pairs, 4);
         assert!(stats.clean);
         assert_eq!(stats.llm_calls, 0);
@@ -331,7 +338,7 @@ mod tests {
                 patched: "assign y = a;".into(),
             }],
         };
-        let mut llm = ScriptedLlm::new([fix.to_json()]);
+        let mut llm = DirectService::new(ScriptedLlm::new([fix.to_json()]));
         let (fixed, stats) = preprocess(code, "spec", &mut llm, OutputMode::Pairs, 4);
         assert!(stats.clean, "got:\n{fixed}");
         assert_eq!(stats.llm_calls, 1);
@@ -347,7 +354,7 @@ mod tests {
             analysis: "hmm".into(),
             correct: vec![RepairPair { original: "zzz".into(), patched: "qqq".into() }],
         };
-        let mut llm = ScriptedLlm::new(vec![junk.to_json(); 10]);
+        let mut llm = DirectService::new(ScriptedLlm::new(vec![junk.to_json(); 10]));
         let (_, stats) = preprocess(code, "spec", &mut llm, OutputMode::Pairs, 3);
         assert!(!stats.clean);
         assert_eq!(stats.llm_calls, 3);
@@ -426,7 +433,7 @@ mod tests {
             analysis: "wrong operator".into(),
             correct: vec![RepairPair { original: "a - b".into(), patched: "a + b".into() }],
         };
-        let mut llm = ScriptedLlm::new([fix.to_json()]);
+        let mut llm = DirectService::new(ScriptedLlm::new([fix.to_json()]));
         let attempt = repair(
             &buggy,
             d.spec,

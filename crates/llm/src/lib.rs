@@ -16,6 +16,13 @@
 //!   purely from lint logs (no ground truth).
 //! * [`ScriptedLlm`] — canned responses for deterministic tests.
 //!
+//! The pipeline does not call these backends directly: it drives an
+//! [`LlmService`] handle through the submit/await ticket protocol of
+//! [`service`] — either a [`DirectService`] around one model, or an
+//! [`LlmClient`] session of a shared [`BatchedLlm`] that coalesces
+//! prompts from many workers into [`LanguageModel::complete_batch`]
+//! round trips.
+//!
 //! ## Example
 //!
 //! ```rust
@@ -43,6 +50,7 @@ pub mod oracle;
 pub mod prompt;
 pub mod response;
 pub mod scripted;
+pub mod service;
 
 pub use calibration::{FailureMode, InfoMode, ModelProfile};
 pub use heuristic::HeuristicLlm;
@@ -51,3 +59,7 @@ pub use oracle::{module_name_of, OracleLlm};
 pub use prompt::{AgentRole, ErrorInfo, MismatchInfo, OutputMode, RepairPair, RepairPrompt};
 pub use response::{CompleteResponse, RepairResponse};
 pub use scripted::ScriptedLlm;
+pub use service::{
+    endpoint_gate, BatchConfig, BatchedLlm, DirectService, EndpointGate, LlmClient, LlmService,
+    SlowLlm, Ticket, WaitStats,
+};

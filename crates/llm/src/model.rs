@@ -120,12 +120,16 @@ pub enum LlmError {
     /// The backend has no response for this prompt (scripted backend
     /// exhausted, heuristic found nothing applicable).
     NoResponse(String),
+    /// The submission was accepted but the service shut down before the
+    /// ticket was answered (see [`crate::service`]).
+    ServiceClosed(String),
 }
 
 impl fmt::Display for LlmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LlmError::NoResponse(m) => write!(f, "no response: {m}"),
+            LlmError::ServiceClosed(m) => write!(f, "llm service closed: {m}"),
         }
     }
 }
@@ -147,6 +151,22 @@ pub trait LanguageModel: Send {
     /// Returns [`LlmError::NoResponse`] when the backend cannot answer.
     fn complete(&mut self, prompt: &RepairPrompt) -> Result<Completion, LlmError>;
 
+    /// Answers a whole batch of prompts in one backend round trip — the
+    /// primitive the [`crate::service::BatchedLlm`] fan-out is built on.
+    ///
+    /// The provided implementation answers sequentially, which keeps
+    /// every backend's per-prompt behaviour (and RNG consumption order)
+    /// identical to a loop of [`LanguageModel::complete`] calls — the
+    /// property the campaign determinism contract rests on. Backends
+    /// that can do better override it (the scripted backend dequeues a
+    /// whole batch of replies in one step; a real endpoint would issue
+    /// one HTTP request — see `SlowLlm`, which pays one round trip per
+    /// batch); overrides must preserve the per-prompt results of the
+    /// sequential default.
+    fn complete_batch(&mut self, prompts: &[RepairPrompt]) -> Vec<Result<Completion, LlmError>> {
+        prompts.iter().map(|p| self.complete(p)).collect()
+    }
+
     /// Cumulative usage so far.
     fn usage(&self) -> Usage;
 }
@@ -163,6 +183,10 @@ impl<M: LanguageModel + ?Sized> LanguageModel for &mut M {
         (**self).complete(prompt)
     }
 
+    fn complete_batch(&mut self, prompts: &[RepairPrompt]) -> Vec<Result<Completion, LlmError>> {
+        (**self).complete_batch(prompts)
+    }
+
     fn usage(&self) -> Usage {
         (**self).usage()
     }
@@ -175,6 +199,10 @@ impl<M: LanguageModel + ?Sized> LanguageModel for Box<M> {
 
     fn complete(&mut self, prompt: &RepairPrompt) -> Result<Completion, LlmError> {
         (**self).complete(prompt)
+    }
+
+    fn complete_batch(&mut self, prompts: &[RepairPrompt]) -> Vec<Result<Completion, LlmError>> {
+        (**self).complete_batch(prompts)
     }
 
     fn usage(&self) -> Usage {

@@ -1,0 +1,992 @@
+//! The LLM *service* layer: a submit/await ticket protocol that
+//! decouples asking for a completion from blocking on it.
+//!
+//! The repair pipeline historically called `complete(&mut M, prompt)`
+//! directly — a blocking, exclusive, one-prompt-at-a-time coupling that
+//! forces every campaign worker to stall on the model while its
+//! simulator sits idle. This module replaces that call with a protocol:
+//!
+//! 1. [`LlmService::submit`] hands the service a [`RepairPrompt`] and
+//!    returns a [`Ticket`] immediately;
+//! 2. [`LlmService::await_completion`] redeems the ticket, blocking
+//!    only until *that* prompt's answer is ready.
+//!
+//! Two implementations cover the two deployment shapes:
+//!
+//! * [`DirectService`] — the in-process adapter: wraps one
+//!   [`LanguageModel`] and answers at submit time. Zero concurrency,
+//!   zero overhead; behaviourally identical to the old direct call.
+//! * [`BatchedLlm`] — a shared service owning the backend(s) on a
+//!   dedicated thread. Callers register *sessions* (one per campaign
+//!   job, carrying that job's own model so oracle determinism is
+//!   untouched) and obtain [`LlmClient`] handles; submissions from all
+//!   workers land in one bounded queue, are coalesced into batches by
+//!   the [`BatchConfig`] flush policy (`max_batch` reached, or
+//!   `max_wait` elapsed since the first pending prompt), fanned to the
+//!   session models via [`LanguageModel::complete_batch`], and the
+//!   blocked jobs are woken as each flush completes — so one worker's
+//!   LLM round trip overlaps every other worker's simulation time.
+//!
+//! **Determinism contract:** a session's model sees exactly the prompts
+//! submitted through that session, in submission order, no matter how
+//! flushes interleave sessions. A campaign job therefore produces the
+//! same completions (and the same usage accounting) through a
+//! [`BatchedLlm`] session as through a [`DirectService`] — batch
+//! schedule and worker count change wall-clock only.
+//!
+//! [`SlowLlm`] models the remote endpoint this layer is built for: a
+//! fixed per-round-trip latency on an exclusive connection
+//! ([`EndpointGate`]). One `complete` pays one round trip; one
+//! `complete_batch` pays one round trip for the whole batch — which is
+//! exactly the amortization the batched service exists to exploit
+//! (`BatchConfig::round_trip` injects the same cost per flush).
+
+use crate::model::{Completion, LanguageModel, LlmError, Usage};
+use crate::prompt::RepairPrompt;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Flush policy and sizing of a [`BatchedLlm`] service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchConfig {
+    /// Flush as soon as this many prompts are pending.
+    pub max_batch: usize,
+    /// Flush a partial batch this long after its first prompt arrived,
+    /// so a lone straggler is never parked behind an empty queue.
+    pub max_wait: Duration,
+    /// Capacity of the bounded submission queue; `submit` blocks while
+    /// it is full (backpressure instead of unbounded buffering).
+    pub queue_cap: usize,
+    /// Injected endpoint round-trip latency paid once per flush —
+    /// simulates the remote-API cost the batching amortizes (zero in
+    /// production use; the benchmarks set it).
+    pub round_trip: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            queue_cap: 256,
+            round_trip: Duration::ZERO,
+        }
+    }
+}
+
+/// A claim on one submitted prompt, redeemed by
+/// [`LlmService::await_completion`]. Tickets are per-handle: a ticket
+/// from one client cannot be redeemed through another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket(u64);
+
+/// Service-side accounting a handle accumulates ticket by ticket:
+/// how long its caller spent blocked on the LLM and how large the
+/// batches its prompts rode in were.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WaitStats {
+    /// Tickets redeemed.
+    pub tickets: u64,
+    /// Total wall-clock time from submission to delivery.
+    pub wait: Duration,
+    /// Largest flush any of this handle's prompts was part of.
+    pub max_batch: usize,
+}
+
+impl WaitStats {
+    /// Total wait in whole milliseconds.
+    pub fn wait_ms(&self) -> u64 {
+        self.wait.as_millis() as u64
+    }
+}
+
+/// The submission protocol every pipeline stage drives — the successor
+/// of passing `&mut M` around.
+///
+/// `submit` is infallible by design: acceptance problems (a stopped
+/// service, a model with no answer) surface when the ticket is
+/// redeemed, so callers have one error path instead of two.
+pub trait LlmService: Send {
+    /// Human-readable backend name (shows up in experiment reports).
+    fn backend_name(&self) -> &str;
+
+    /// Enqueues a prompt, returning the ticket that redeems its answer.
+    fn submit(&mut self, prompt: &RepairPrompt) -> Ticket;
+
+    /// Blocks until the ticket's prompt is answered.
+    ///
+    /// # Errors
+    ///
+    /// The backend's own [`LlmError`] for this prompt,
+    /// [`LlmError::ServiceClosed`] when the service shut down before
+    /// answering, or [`LlmError::NoResponse`] for a ticket this handle
+    /// never issued (or already redeemed).
+    fn await_completion(&mut self, ticket: Ticket) -> Result<Completion, LlmError>;
+
+    /// Submit-then-await in one call — the drop-in replacement for the
+    /// old `LanguageModel::complete` call sites.
+    ///
+    /// # Errors
+    ///
+    /// See [`LlmService::await_completion`].
+    fn complete(&mut self, prompt: &RepairPrompt) -> Result<Completion, LlmError> {
+        let ticket = self.submit(prompt);
+        self.await_completion(ticket)
+    }
+
+    /// Usage attributed to this handle (for a [`DirectService`], the
+    /// wrapped model's total; for an [`LlmClient`], the sum of its own
+    /// redeemed tickets — the per-ticket deltas that keep per-job
+    /// accounting exact on a shared service).
+    fn usage(&self) -> Usage;
+
+    /// Wait/batch telemetry accumulated by this handle.
+    fn wait_stats(&self) -> WaitStats;
+}
+
+// Forwarding impls so pipelines generic over `S: LlmService` accept
+// mutable borrows and boxed trait objects alike.
+
+impl<S: LlmService + ?Sized> LlmService for &mut S {
+    fn backend_name(&self) -> &str {
+        (**self).backend_name()
+    }
+
+    fn submit(&mut self, prompt: &RepairPrompt) -> Ticket {
+        (**self).submit(prompt)
+    }
+
+    fn await_completion(&mut self, ticket: Ticket) -> Result<Completion, LlmError> {
+        (**self).await_completion(ticket)
+    }
+
+    fn usage(&self) -> Usage {
+        (**self).usage()
+    }
+
+    fn wait_stats(&self) -> WaitStats {
+        (**self).wait_stats()
+    }
+}
+
+impl<S: LlmService + ?Sized> LlmService for Box<S> {
+    fn backend_name(&self) -> &str {
+        (**self).backend_name()
+    }
+
+    fn submit(&mut self, prompt: &RepairPrompt) -> Ticket {
+        (**self).submit(prompt)
+    }
+
+    fn await_completion(&mut self, ticket: Ticket) -> Result<Completion, LlmError> {
+        (**self).await_completion(ticket)
+    }
+
+    fn usage(&self) -> Usage {
+        (**self).usage()
+    }
+
+    fn wait_stats(&self) -> WaitStats {
+        (**self).wait_stats()
+    }
+}
+
+// ----------------------------------------------------------------------
+// DirectService: the unbatched in-process adapter
+// ----------------------------------------------------------------------
+
+/// Adapts one [`LanguageModel`] to the [`LlmService`] protocol with no
+/// threads and no queue: the answer is computed at submit time and the
+/// ticket redeems it. Batch size is always 1 and wait time always ~0 —
+/// the baseline the batched service is measured against.
+#[derive(Debug)]
+pub struct DirectService<M: LanguageModel> {
+    model: M,
+    next_ticket: u64,
+    ready: HashMap<u64, Result<Completion, LlmError>>,
+    stats: WaitStats,
+}
+
+impl<M: LanguageModel> DirectService<M> {
+    /// Wraps a model backend.
+    pub fn new(model: M) -> Self {
+        DirectService { model, next_ticket: 0, ready: HashMap::new(), stats: WaitStats::default() }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Consumes the adapter, returning the model (and its usage
+    /// accounting).
+    pub fn into_inner(self) -> M {
+        self.model
+    }
+}
+
+impl<M: LanguageModel> LlmService for DirectService<M> {
+    fn backend_name(&self) -> &str {
+        self.model.name()
+    }
+
+    fn submit(&mut self, prompt: &RepairPrompt) -> Ticket {
+        let ticket = Ticket(self.next_ticket);
+        self.next_ticket += 1;
+        // The caller blocks right here while the model answers (that is
+        // what "direct" means), so the elapsed time is this ticket's
+        // wait — e.g. a SlowLlm endpoint round trip shows up in
+        // telemetry exactly like a batched ticket's queue time.
+        let asked = Instant::now();
+        let result = self.model.complete(prompt);
+        self.stats.wait += asked.elapsed();
+        self.ready.insert(ticket.0, result);
+        ticket
+    }
+
+    fn await_completion(&mut self, ticket: Ticket) -> Result<Completion, LlmError> {
+        let result = self.ready.remove(&ticket.0).ok_or_else(|| {
+            LlmError::NoResponse(format!("ticket #{} was never issued by this handle", ticket.0))
+        })?;
+        self.stats.tickets += 1;
+        self.stats.max_batch = self.stats.max_batch.max(1);
+        result
+    }
+
+    fn usage(&self) -> Usage {
+        self.model.usage()
+    }
+
+    fn wait_stats(&self) -> WaitStats {
+        self.stats
+    }
+}
+
+// ----------------------------------------------------------------------
+// A bounded MPSC channel (std-only; Mutex + two Condvars)
+// ----------------------------------------------------------------------
+
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded blocking queue: `send` applies backpressure when full,
+/// `recv` drains remaining items after close (which is what gives the
+/// service its drain-on-shutdown guarantee).
+struct Chan<T> {
+    state: Mutex<ChanState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+enum Recv<T> {
+    Item(T),
+    Timeout,
+    Closed,
+}
+
+impl<T> Chan<T> {
+    fn new(cap: usize) -> Self {
+        Chan {
+            state: Mutex::new(ChanState { queue: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Blocks while the queue is full; returns the item back when the
+    /// channel is closed.
+    fn send(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("llm service queue poisoned");
+        loop {
+            if state.closed {
+                return Err(item);
+            }
+            if state.queue.len() < self.cap {
+                state.queue.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.not_full.wait(state).expect("llm service queue poisoned");
+        }
+    }
+
+    /// Blocks for the next item; `None` once closed *and* drained.
+    fn recv(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("llm service queue poisoned");
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("llm service queue poisoned");
+        }
+    }
+
+    /// [`Chan::recv`] bounded by a timeout.
+    fn recv_timeout(&self, timeout: Duration) -> Recv<T> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().expect("llm service queue poisoned");
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                self.not_full.notify_one();
+                return Recv::Item(item);
+            }
+            if state.closed {
+                return Recv::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Recv::Timeout;
+            }
+            let (guard, _) = self
+                .not_empty
+                .wait_timeout(state, deadline - now)
+                .expect("llm service queue poisoned");
+            state = guard;
+        }
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().expect("llm service queue poisoned");
+        state.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    fn is_closed(&self) -> bool {
+        self.state.lock().expect("llm service queue poisoned").closed
+    }
+}
+
+// ----------------------------------------------------------------------
+// BatchedLlm: the shared batching service
+// ----------------------------------------------------------------------
+
+/// What the service thread delivers into a ticket's slot.
+struct Delivery {
+    result: Result<Completion, LlmError>,
+    /// Size of the flush this prompt was answered in.
+    batch_size: usize,
+}
+
+/// One submitted prompt's rendezvous point between the blocked caller
+/// and the service thread.
+struct Slot {
+    delivery: Mutex<Option<Delivery>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Slot> {
+        Arc::new(Slot { delivery: Mutex::new(None), ready: Condvar::new() })
+    }
+
+    fn deliver(&self, result: Result<Completion, LlmError>, batch_size: usize) {
+        let mut guard = self.delivery.lock().expect("llm ticket slot poisoned");
+        *guard = Some(Delivery { result, batch_size });
+        self.ready.notify_all();
+    }
+
+    /// Blocks until delivered. A slow flush (a long endpoint round
+    /// trip) is *not* an error, however long it takes — the wait only
+    /// gives up once `service_gone` reports the queue closed (shutdown
+    /// or a panicked service thread) and a grace window for the
+    /// shutdown drain has passed without a delivery.
+    fn wait(&self, service_gone: &dyn Fn() -> bool) -> Delivery {
+        let mut guard = self.delivery.lock().expect("llm ticket slot poisoned");
+        let mut grace_passes = 0u32;
+        loop {
+            if let Some(delivery) = guard.take() {
+                return delivery;
+            }
+            if service_gone() {
+                // Closed queue: the drain (or the panic closer) is the
+                // last writer that could still fill this slot. Give it
+                // a bounded grace window, then report the loss.
+                grace_passes += 1;
+                if grace_passes > 50 {
+                    return Delivery {
+                        result: Err(LlmError::ServiceClosed(
+                            "ticket was never answered (service shut down)".to_string(),
+                        )),
+                        batch_size: 0,
+                    };
+                }
+                let (next, _) = self
+                    .ready
+                    .wait_timeout(guard, Duration::from_millis(100))
+                    .expect("llm ticket slot poisoned");
+                guard = next;
+            } else {
+                // Service alive: block until woken (re-polling liveness
+                // once a second so a panic that closed the queue is
+                // noticed even without a notification).
+                let (next, _) = self
+                    .ready
+                    .wait_timeout(guard, Duration::from_secs(1))
+                    .expect("llm ticket slot poisoned");
+                guard = next;
+            }
+        }
+    }
+}
+
+struct PendingRequest {
+    session: u64,
+    prompt: RepairPrompt,
+    slot: Arc<Slot>,
+}
+
+enum Msg<M> {
+    /// Register a session and the model that answers its prompts.
+    Open {
+        session: u64,
+        model: M,
+    },
+    /// Drop a session's model (its client handle went away).
+    Close {
+        session: u64,
+    },
+    Request(PendingRequest),
+}
+
+/// The shared batched LLM service (see module docs).
+///
+/// Dropping the service closes the queue, drains every already-accepted
+/// submission, and joins the thread; [`BatchedLlm::stop`] does the same
+/// but hands the session models back (tests use this to audit usage).
+pub struct BatchedLlm<M: LanguageModel + 'static> {
+    chan: Arc<Chan<Msg<M>>>,
+    thread: Mutex<Option<std::thread::JoinHandle<HashMap<u64, M>>>>,
+    next_session: AtomicU64,
+    config: BatchConfig,
+}
+
+impl<M: LanguageModel + 'static> std::fmt::Debug for BatchedLlm<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchedLlm").field("config", &self.config).finish()
+    }
+}
+
+impl<M: LanguageModel + 'static> BatchedLlm<M> {
+    /// Starts the service thread (sizes below 1 are clamped up).
+    pub fn start(config: BatchConfig) -> Self {
+        let config = BatchConfig {
+            max_batch: config.max_batch.max(1),
+            queue_cap: config.queue_cap.max(1),
+            ..config
+        };
+        let chan = Arc::new(Chan::new(config.queue_cap));
+        let worker_chan = Arc::clone(&chan);
+        let worker_config = config.clone();
+        let thread = std::thread::Builder::new()
+            .name("uvllm-llm-service".to_string())
+            .spawn(move || service_loop(worker_chan, worker_config))
+            .expect("spawn llm service thread");
+        BatchedLlm {
+            chan,
+            thread: Mutex::new(Some(thread)),
+            next_session: AtomicU64::new(0),
+            config,
+        }
+    }
+
+    /// The (normalized) flush policy in force.
+    pub fn config(&self) -> &BatchConfig {
+        &self.config
+    }
+
+    /// Opens a session owning `model` and returns its client handle.
+    ///
+    /// Each campaign job opens a session with its own (seeded) model, so
+    /// batching never mixes RNG streams across jobs; a deployment with
+    /// one real endpoint opens a single session and hands out clones of
+    /// the handle's accounting via per-ticket deltas.
+    pub fn client(&self, model: M) -> LlmClient<M> {
+        let session = self.next_session.fetch_add(1, Ordering::SeqCst);
+        let name = model.name().to_string();
+        // A closed service rejects the registration; the client's
+        // submissions then poison their own tickets, so the error
+        // surfaces at await time like every other service failure.
+        let _ = self.chan.send(Msg::Open { session, model });
+        LlmClient {
+            chan: Arc::clone(&self.chan),
+            session,
+            name,
+            next_ticket: 0,
+            outstanding: HashMap::new(),
+            usage: Usage::default(),
+            stats: WaitStats::default(),
+        }
+    }
+
+    /// Shuts the service down: closes the queue, drains and answers
+    /// every accepted submission, joins the thread, and returns the
+    /// session models (in session-open order) for auditing.
+    pub fn stop(self) -> Vec<M> {
+        self.chan.close();
+        let handle = self.thread.lock().expect("llm service handle poisoned").take();
+        let sessions = match handle {
+            Some(h) => h.join().unwrap_or_default(),
+            None => HashMap::new(),
+        };
+        let mut models: Vec<(u64, M)> = sessions.into_iter().collect();
+        models.sort_by_key(|(session, _)| *session);
+        models.into_iter().map(|(_, model)| model).collect()
+    }
+}
+
+impl<M: LanguageModel + 'static> Drop for BatchedLlm<M> {
+    fn drop(&mut self) {
+        self.chan.close();
+        if let Some(handle) = self.thread.lock().expect("llm service handle poisoned").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The dedicated service thread: accumulate → flush, forever.
+/// Closes the queue if the service thread unwinds, so blocked callers
+/// observe "service gone" (and error out after the grace window)
+/// instead of waiting on slots a dead thread will never fill.
+struct PanicCloser<'c, T>(&'c Chan<T>);
+
+impl<T> Drop for PanicCloser<'_, T> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.close();
+        }
+    }
+}
+
+fn service_loop<M: LanguageModel>(chan: Arc<Chan<Msg<M>>>, config: BatchConfig) -> HashMap<u64, M> {
+    let _panic_closer = PanicCloser(&chan);
+    let mut sessions: HashMap<u64, M> = HashMap::new();
+    let mut pending: Vec<PendingRequest> = Vec::new();
+    while let Some(msg) = chan.recv() {
+        handle_msg(msg, &mut sessions, &mut pending);
+        if pending.is_empty() {
+            continue;
+        }
+        // The flush window opens with the first pending prompt: gather
+        // until the batch fills or `max_wait` elapses.
+        let deadline = Instant::now() + config.max_wait;
+        while pending.len() < config.max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match chan.recv_timeout(deadline - now) {
+                Recv::Item(msg) => handle_msg(msg, &mut sessions, &mut pending),
+                Recv::Timeout | Recv::Closed => break,
+            }
+        }
+        flush(&mut sessions, &mut pending, config.round_trip);
+    }
+    // Drain on shutdown: the queue is closed and empty; anything still
+    // pending (a partial window interrupted by close) is answered.
+    flush(&mut sessions, &mut pending, config.round_trip);
+    sessions
+}
+
+fn handle_msg<M: LanguageModel>(
+    msg: Msg<M>,
+    sessions: &mut HashMap<u64, M>,
+    pending: &mut Vec<PendingRequest>,
+) {
+    match msg {
+        Msg::Open { session, model } => {
+            sessions.insert(session, model);
+        }
+        Msg::Close { session } => {
+            sessions.remove(&session);
+        }
+        Msg::Request(request) => pending.push(request),
+    }
+}
+
+/// Answers one flush: one injected round trip for the whole batch, then
+/// each session's prompts go to its own model as one
+/// [`LanguageModel::complete_batch`] call, in submission order.
+fn flush<M: LanguageModel>(
+    sessions: &mut HashMap<u64, M>,
+    pending: &mut Vec<PendingRequest>,
+    round_trip: Duration,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    let batch_size = pending.len();
+    if !round_trip.is_zero() {
+        std::thread::sleep(round_trip);
+    }
+    // Group by session, preserving both first-appearance session order
+    // and submission order within each session.
+    let mut groups: Vec<(u64, Vec<PendingRequest>)> = Vec::new();
+    for request in pending.drain(..) {
+        match groups.iter_mut().find(|(session, _)| *session == request.session) {
+            Some((_, group)) => group.push(request),
+            None => groups.push((request.session, vec![request])),
+        }
+    }
+    for (session, group) in groups {
+        let (prompts, slots): (Vec<RepairPrompt>, Vec<Arc<Slot>>) =
+            group.into_iter().map(|r| (r.prompt, r.slot)).unzip();
+        match sessions.get_mut(&session) {
+            Some(model) => {
+                let mut results = model.complete_batch(&prompts).into_iter();
+                for slot in slots {
+                    // A malformed override returning too few results
+                    // must not strand a blocked caller.
+                    let result = results.next().unwrap_or_else(|| {
+                        Err(LlmError::NoResponse(
+                            "backend returned fewer batch results than prompts".to_string(),
+                        ))
+                    });
+                    slot.deliver(result, batch_size);
+                }
+            }
+            None => {
+                for slot in slots {
+                    slot.deliver(
+                        Err(LlmError::ServiceClosed(format!(
+                            "session {session} is not registered"
+                        ))),
+                        batch_size,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A session handle onto a [`BatchedLlm`] — the [`LlmService`] the
+/// pipeline actually holds when a campaign runs batched.
+pub struct LlmClient<M: LanguageModel + 'static> {
+    chan: Arc<Chan<Msg<M>>>,
+    session: u64,
+    name: String,
+    next_ticket: u64,
+    outstanding: HashMap<u64, OutstandingTicket>,
+    usage: Usage,
+    stats: WaitStats,
+}
+
+struct OutstandingTicket {
+    slot: Arc<Slot>,
+    submitted: Instant,
+}
+
+impl<M: LanguageModel + 'static> std::fmt::Debug for LlmClient<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LlmClient")
+            .field("session", &self.session)
+            .field("backend", &self.name)
+            .finish()
+    }
+}
+
+impl<M: LanguageModel + 'static> LlmService for LlmClient<M> {
+    fn backend_name(&self) -> &str {
+        &self.name
+    }
+
+    fn submit(&mut self, prompt: &RepairPrompt) -> Ticket {
+        let ticket = Ticket(self.next_ticket);
+        self.next_ticket += 1;
+        let slot = Slot::new();
+        let request = PendingRequest {
+            session: self.session,
+            prompt: prompt.clone(),
+            slot: Arc::clone(&slot),
+        };
+        if self.chan.send(Msg::Request(request)).is_err() {
+            // Service already stopped: poison the slot so the error
+            // surfaces at redemption like any other failure.
+            slot.deliver(
+                Err(LlmError::ServiceClosed("service stopped before submission".to_string())),
+                0,
+            );
+        }
+        self.outstanding.insert(ticket.0, OutstandingTicket { slot, submitted: Instant::now() });
+        ticket
+    }
+
+    fn await_completion(&mut self, ticket: Ticket) -> Result<Completion, LlmError> {
+        let outstanding = self.outstanding.remove(&ticket.0).ok_or_else(|| {
+            LlmError::NoResponse(format!("ticket #{} was never issued by this handle", ticket.0))
+        })?;
+        let delivery = outstanding.slot.wait(&|| self.chan.is_closed());
+        self.stats.tickets += 1;
+        self.stats.wait += outstanding.submitted.elapsed();
+        self.stats.max_batch = self.stats.max_batch.max(delivery.batch_size);
+        if let Ok(completion) = &delivery.result {
+            // The per-ticket usage delta: exactly what the backend
+            // recorded for this completion, attributed to this handle.
+            self.usage.record(completion);
+        }
+        delivery.result
+    }
+
+    fn usage(&self) -> Usage {
+        self.usage
+    }
+
+    fn wait_stats(&self) -> WaitStats {
+        self.stats
+    }
+}
+
+impl<M: LanguageModel + 'static> Drop for LlmClient<M> {
+    fn drop(&mut self) {
+        // Best effort: free the session's model on the service thread.
+        let _ = self.chan.send(Msg::Close { session: self.session });
+    }
+}
+
+// ----------------------------------------------------------------------
+// SlowLlm: an injected-latency endpoint model
+// ----------------------------------------------------------------------
+
+/// The exclusive connection to a simulated remote endpoint: all
+/// [`SlowLlm`] wrappers sharing a gate serialize their round trips, the
+/// way requests on one API connection do.
+pub type EndpointGate = Arc<Mutex<()>>;
+
+/// A fresh exclusive endpoint connection.
+pub fn endpoint_gate() -> EndpointGate {
+    Arc::new(Mutex::new(()))
+}
+
+/// Wraps a backend with a fixed per-round-trip latency on an exclusive
+/// connection: `complete` pays one round trip per prompt,
+/// `complete_batch` one round trip for the whole batch. This is the
+/// workload model under which the batched service's overlap win is
+/// benchmarked (`BENCH_kernels.json`'s `llm_overlap` record).
+#[derive(Debug)]
+pub struct SlowLlm<M: LanguageModel> {
+    inner: M,
+    round_trip: Duration,
+    gate: EndpointGate,
+}
+
+impl<M: LanguageModel> SlowLlm<M> {
+    /// Wraps `inner` behind a `round_trip`-latency connection.
+    pub fn new(inner: M, round_trip: Duration, gate: EndpointGate) -> Self {
+        SlowLlm { inner, round_trip, gate }
+    }
+}
+
+impl<M: LanguageModel> LanguageModel for SlowLlm<M> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn complete(&mut self, prompt: &RepairPrompt) -> Result<Completion, LlmError> {
+        let _connection = self.gate.lock().expect("endpoint gate poisoned");
+        std::thread::sleep(self.round_trip);
+        self.inner.complete(prompt)
+    }
+
+    fn complete_batch(&mut self, prompts: &[RepairPrompt]) -> Vec<Result<Completion, LlmError>> {
+        let _connection = self.gate.lock().expect("endpoint gate poisoned");
+        std::thread::sleep(self.round_trip);
+        self.inner.complete_batch(prompts)
+    }
+
+    fn usage(&self) -> Usage {
+        self.inner.usage()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prompt::AgentRole;
+    use crate::scripted::ScriptedLlm;
+
+    fn prompt() -> RepairPrompt {
+        RepairPrompt::new(AgentRole::SyntaxFixer, "spec", "module m; endmodule")
+    }
+
+    fn scripted(responses: &[&str]) -> ScriptedLlm {
+        ScriptedLlm::new(responses.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn direct_service_round_trips() {
+        let mut service = DirectService::new(scripted(&["one", "two"]));
+        let a = service.submit(&prompt());
+        let b = service.submit(&prompt());
+        assert_eq!(service.await_completion(a).unwrap().content, "one");
+        assert_eq!(service.await_completion(b).unwrap().content, "two");
+        assert!(service.complete(&prompt()).is_err(), "scripted backend exhausted");
+        assert_eq!(service.usage().calls, 2);
+        let stats = service.wait_stats();
+        // Three tickets were redeemed (the exhausted-backend error is a
+        // redemption too); only two produced completions.
+        assert_eq!(stats.tickets, 3);
+        assert_eq!(stats.max_batch, 1);
+        // Unknown tickets are an error, not a hang.
+        assert!(matches!(service.await_completion(a), Err(LlmError::NoResponse(_))));
+    }
+
+    #[test]
+    fn batched_flushes_when_max_batch_reached() {
+        let service = BatchedLlm::start(BatchConfig {
+            max_batch: 3,
+            max_wait: Duration::from_secs(30),
+            ..BatchConfig::default()
+        });
+        let mut client = service.client(scripted(&["one", "two", "three"]));
+        let tickets: Vec<Ticket> = (0..3).map(|_| client.submit(&prompt())).collect();
+        let contents: Vec<String> =
+            tickets.into_iter().map(|t| client.await_completion(t).unwrap().content).collect();
+        // The batch fills long before max_wait, answers arrive in
+        // submission order, and all three rode one flush.
+        assert_eq!(contents, ["one", "two", "three"]);
+        assert_eq!(client.wait_stats().max_batch, 3);
+        assert!(client.wait_stats().wait < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn batched_flushes_partial_batch_on_max_wait() {
+        let service = BatchedLlm::start(BatchConfig {
+            max_batch: 64,
+            max_wait: Duration::from_millis(20),
+            ..BatchConfig::default()
+        });
+        let mut client = service.client(scripted(&["lone"]));
+        let ticket = client.submit(&prompt());
+        assert_eq!(client.await_completion(ticket).unwrap().content, "lone");
+        assert_eq!(client.wait_stats().max_batch, 1, "partial flush of one");
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_submissions() {
+        let service = BatchedLlm::start(BatchConfig {
+            max_batch: 64,
+            max_wait: Duration::from_secs(30),
+            ..BatchConfig::default()
+        });
+        let mut client = service.client(scripted(&["one", "two"]));
+        let a = client.submit(&prompt());
+        let b = client.submit(&prompt());
+        // Stop while the flush window is still gathering: close must
+        // flush the partial batch, not strand it.
+        let models = service.stop();
+        assert_eq!(models.len(), 1);
+        assert_eq!(client.await_completion(a).unwrap().content, "one");
+        assert_eq!(client.await_completion(b).unwrap().content, "two");
+        // Submissions after shutdown fail at redemption.
+        let late = client.submit(&prompt());
+        assert!(matches!(client.await_completion(late), Err(LlmError::ServiceClosed(_))));
+    }
+
+    #[test]
+    fn sessions_keep_their_own_models_and_order() {
+        let service = BatchedLlm::start(BatchConfig {
+            max_batch: 3,
+            max_wait: Duration::from_secs(30),
+            ..BatchConfig::default()
+        });
+        let mut alice = service.client(scripted(&["a1", "a2"]));
+        let mut bob = service.client(scripted(&["b1"]));
+        let a1 = alice.submit(&prompt());
+        let b1 = bob.submit(&prompt());
+        let a2 = alice.submit(&prompt());
+        // One flush of three, two sessions: each model answers only its
+        // own prompts, in its own submission order.
+        assert_eq!(alice.await_completion(a1).unwrap().content, "a1");
+        assert_eq!(alice.await_completion(a2).unwrap().content, "a2");
+        assert_eq!(bob.await_completion(b1).unwrap().content, "b1");
+        assert_eq!(alice.wait_stats().max_batch, 3);
+        assert_eq!(bob.wait_stats().max_batch, 3);
+    }
+
+    #[test]
+    fn per_ticket_usage_deltas_sum_to_backend_totals() {
+        let service = BatchedLlm::start(BatchConfig::default());
+        let mut alice = service.client(scripted(&["aaaa", "bb"]));
+        let mut bob = service.client(scripted(&["cccccccc"]));
+        alice.complete(&prompt()).unwrap();
+        bob.complete(&prompt()).unwrap();
+        alice.complete(&prompt()).unwrap();
+        let models = service.stop();
+        assert_eq!(models.len(), 2);
+        // Session order == open order: alice first.
+        assert_eq!(alice.usage(), models[0].usage(), "alice's deltas sum to her model's total");
+        assert_eq!(bob.usage(), models[1].usage(), "bob's deltas sum to his model's total");
+        assert_eq!(
+            alice.usage() + bob.usage(),
+            models[0].usage() + models[1].usage(),
+            "handle attribution partitions the backend total"
+        );
+        assert_eq!(alice.usage().calls, 2);
+        assert_eq!(bob.usage().calls, 1);
+    }
+
+    #[test]
+    fn batched_session_matches_direct_service_byte_for_byte() {
+        use uvllm_errgen::{mutate, ErrorKind};
+        const SRC: &str = "module c(input clk, input rst_n, input en, output reg [3:0] q);\n\
+                           always @(posedge clk or negedge rst_n) begin\n\
+                           if (!rst_n) q <= 4'd0;\n\
+                           else if (en) q <= q + 4'd1;\n\
+                           end\nendmodule\n";
+        let mutated = mutate(SRC, ErrorKind::OperatorMisuse, 7).unwrap();
+        let oracle = |seed| {
+            crate::OracleLlm::new(
+                mutated.ground_truth.clone(),
+                SRC,
+                crate::ModelProfile::Gpt4Turbo,
+                seed,
+            )
+        };
+        let p = RepairPrompt::new(AgentRole::MismatchDebugger, "spec", &mutated.mutated_src);
+
+        let mut direct = DirectService::new(oracle(3));
+        let direct_contents: Vec<String> =
+            (0..4).map(|_| direct.complete(&p).unwrap().content).collect();
+
+        let service = BatchedLlm::start(BatchConfig::default());
+        let mut client = service.client(oracle(3));
+        let batched_contents: Vec<String> =
+            (0..4).map(|_| client.complete(&p).unwrap().content).collect();
+
+        assert_eq!(
+            direct_contents, batched_contents,
+            "a session sees its prompts in order: identical RNG stream"
+        );
+        assert_eq!(direct.usage(), client.usage());
+    }
+
+    #[test]
+    fn slow_llm_amortizes_round_trips_across_a_batch() {
+        let gate = endpoint_gate();
+        let rtt = Duration::from_millis(10);
+        let mut slow = SlowLlm::new(scripted(&["a", "b", "c"]), rtt, Arc::clone(&gate));
+        let prompts = vec![prompt(), prompt(), prompt()];
+        let start = Instant::now();
+        let results = slow.complete_batch(&prompts);
+        let batched_elapsed = start.elapsed();
+        assert!(results.iter().all(Result::is_ok));
+        assert!(batched_elapsed < rtt * 3, "one round trip for the batch, not three");
+
+        let mut slow = SlowLlm::new(scripted(&["a", "b", "c"]), rtt, gate);
+        let start = Instant::now();
+        for p in &prompts {
+            slow.complete(p).unwrap();
+        }
+        assert!(start.elapsed() >= rtt * 3, "per-prompt completion pays per-prompt round trips");
+    }
+}

@@ -1,23 +1,82 @@
 //! Full-dataset verification campaign across all repair methods, on a
-//! sharded multi-worker engine with a resumable JSONL sink.
+//! sharded multi-worker engine with a resumable JSONL sink and an
+//! optional shared batched LLM service.
 //!
 //! ```text
 //! cargo run --release --example campaign -- --workers 8
 //! cargo run --release --example campaign -- --workers 8 --shard 0/4 --out shard0.jsonl
 //! cargo run --release --example campaign -- --size 60 --methods UVLLM,MEIC
 //! cargo run --release --example campaign -- --backend compiled
+//! cargo run --release --example campaign -- --workers 8 --llm-batch 8
+//! cargo run --release --example campaign -- --llm-batch 8 --llm-latency-ms 5 --llm-telemetry
+//! cargo run --release --example campaign -- merge shard0.jsonl shard1.jsonl --out merged.jsonl
 //! ```
 //!
 //! Re-running with the same `--out` resumes: completed jobs are read
 //! back from the file and skipped. Output rows are byte-identical
-//! (modulo order) for any `--workers` value.
+//! (modulo order) for any `--workers` value, with `--llm-batch` on or
+//! off — batching changes wall-clock, not rows.
+//!
+//! `merge` combines shard files into one report, validating shard
+//! disjointness and full job-space coverage (pass the same `--size` /
+//! `--seed` / `--methods` the shards ran with).
 
 use std::process::ExitCode;
-use uvllm_campaign::{Campaign, CampaignConfig, JsonlSink, MethodKind, ShardSpec, SimBackend};
+use std::time::Duration;
+use uvllm_campaign::{
+    expected_job_ids, merge_rows, read_shard, BatchConfig, Campaign, CampaignConfig,
+    CampaignReport, JsonlSink, MethodKind, ShardSpec, SimBackend,
+};
 
 struct Args {
     config: CampaignConfig,
     out: String,
+}
+
+const USAGE: &str = "usage: campaign [--workers N] [--shard i/n] [--size N] \
+     [--seed HEX] [--methods A,B,..] [--backend event|compiled] \
+     [--llm-batch N] [--llm-max-wait-ms MS] [--llm-latency-ms MS] \
+     [--llm-telemetry] [--out FILE]\n\
+     \x20      campaign merge [--size N] [--seed HEX] [--methods A,B,..] \
+     [--out FILE] SHARD.jsonl..\n\
+     methods: UVLLM, UVLLM(comp), MEIC, GPT-4-turbo, Strider, RTLrepair";
+
+/// Flags shared by the run and merge forms.
+fn parse_common(
+    flag: &str,
+    config: &mut CampaignConfig,
+    out: &mut String,
+    mut value: impl FnMut(&str) -> Result<String, String>,
+) -> Result<bool, String> {
+    match flag {
+        "--size" => {
+            config.dataset_size =
+                value("--size")?.parse().map_err(|_| "--size must be a number".to_string())?;
+        }
+        "--seed" => {
+            let text = value("--seed")?;
+            let text = text.trim_start_matches("0x");
+            config.dataset_seed = u64::from_str_radix(text, 16)
+                .or_else(|_| text.parse())
+                .map_err(|_| "--seed must be a (hex) number".to_string())?;
+        }
+        "--methods" => {
+            config.methods = value("--methods")?
+                .split(',')
+                .map(|label| {
+                    MethodKind::from_label(label.trim())
+                        .ok_or_else(|| format!("unknown method '{label}'"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+        }
+        "--out" => *out = value("--out")?,
+        "--help" | "-h" => {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -26,9 +85,13 @@ fn parse_args() -> Result<Args, String> {
         ..CampaignConfig::default()
     };
     let mut out = "campaign.jsonl".to_string();
+    let mut max_wait: Option<Duration> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        if parse_common(&flag, &mut config, &mut out, &mut value)? {
+            continue;
+        }
         match flag.as_str() {
             "--workers" => {
                 config.workers = value("--workers")?
@@ -36,64 +99,62 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--workers must be a number".to_string())?;
             }
             "--shard" => config.shard = ShardSpec::parse(&value("--shard")?)?,
-            "--size" => {
-                config.dataset_size =
-                    value("--size")?.parse().map_err(|_| "--size must be a number".to_string())?;
-            }
-            "--seed" => {
-                let text = value("--seed")?;
-                let text = text.trim_start_matches("0x");
-                config.dataset_seed = u64::from_str_radix(text, 16)
-                    .or_else(|_| text.parse())
-                    .map_err(|_| "--seed must be a (hex) number".to_string())?;
-            }
-            "--methods" => {
-                config.methods = value("--methods")?
-                    .split(',')
-                    .map(|label| {
-                        MethodKind::from_label(label.trim())
-                            .ok_or_else(|| format!("unknown method '{label}'"))
-                    })
-                    .collect::<Result<Vec<_>, _>>()?;
-            }
-            "--out" => out = value("--out")?,
             "--backend" => {
                 let text = value("--backend")?;
                 config.backend = SimBackend::from_label(&text)
                     .ok_or_else(|| format!("unknown backend '{text}' (event|compiled)"))?;
             }
-            "--help" | "-h" => {
-                println!(
-                    "usage: campaign [--workers N] [--shard i/n] [--size N] \
-                     [--seed HEX] [--methods A,B,..] [--backend event|compiled] [--out FILE]\n\
-                     methods: UVLLM, UVLLM(comp), MEIC, GPT-4-turbo, Strider, RTLrepair"
-                );
-                std::process::exit(0);
+            "--llm-batch" => {
+                let max_batch: usize = value("--llm-batch")?
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| "--llm-batch must be a positive number".to_string())?;
+                config.llm_batch = Some(BatchConfig { max_batch, ..BatchConfig::default() });
             }
+            "--llm-max-wait-ms" => {
+                let ms: u64 = value("--llm-max-wait-ms")?
+                    .parse()
+                    .map_err(|_| "--llm-max-wait-ms must be a number".to_string())?;
+                max_wait = Some(Duration::from_millis(ms));
+            }
+            "--llm-latency-ms" => {
+                let ms: u64 = value("--llm-latency-ms")?
+                    .parse()
+                    .map_err(|_| "--llm-latency-ms must be a number".to_string())?;
+                config.llm_latency = Some(Duration::from_millis(ms));
+            }
+            "--llm-telemetry" => config.llm_telemetry = true,
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
+    }
+    match (max_wait, &mut config.llm_batch) {
+        (None, _) => {}
+        // Tuning the flush window only makes sense on the batched
+        // service; applying it alone must not silently enable batching.
+        (Some(_), None) => return Err("--llm-max-wait-ms needs --llm-batch".to_string()),
+        (Some(wait), Some(batch)) => batch.max_wait = wait,
+    }
+    if config.workers == 0 {
+        // Surface an invalid UVLLM_WORKERS value as a CLI error instead
+        // of a worker-pool panic.
+        uvllm_campaign::worker_count_from_env()?;
     }
     Ok(Args { config, out })
 }
 
-fn main() -> ExitCode {
-    let Args { config, out } = match parse_args() {
-        Ok(args) => args,
-        Err(message) => {
-            eprintln!("{message}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let campaign = match Campaign::new(config) {
-        Ok(c) => c,
-        Err(message) => {
-            eprintln!("invalid campaign: {message}");
-            return ExitCode::FAILURE;
-        }
-    };
+fn run_campaign() -> Result<(), String> {
+    let Args { config, out } = parse_args()?;
+    let campaign = Campaign::new(config).map_err(|m| format!("invalid campaign: {m}"))?;
     let config = campaign.config();
+    let llm_mode = match &config.llm_batch {
+        Some(batch) => {
+            format!("batched llm (max_batch {}, max_wait {:?})", batch.max_batch, batch.max_wait)
+        }
+        None => "per-job llm".to_string(),
+    };
     println!(
-        "campaign: {} instances x {} methods, {} workers, shard {}/{}, {} kernel, sink {out}",
+        "campaign: {} instances x {} methods, {} workers, shard {}/{}, {} kernel, {llm_mode}, sink {out}",
         config.dataset_size,
         config.methods.len(),
         config.effective_workers(),
@@ -102,24 +163,12 @@ fn main() -> ExitCode {
         config.backend,
     );
 
-    let mut sink = match JsonlSink::open(&out) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot open sink {out}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let mut sink = JsonlSink::open(&out).map_err(|e| format!("cannot open sink {out}: {e}"))?;
     if sink.resumed() > 0 {
         println!("resuming: {} completed rows found in {out}", sink.resumed());
     }
     let started = std::time::Instant::now();
-    let outcome = match campaign.run(&mut sink) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("campaign failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let outcome = campaign.run(&mut sink).map_err(|e| format!("campaign failed: {e}"))?;
     println!(
         "done in {:.1?}: {} jobs total, {} evaluated now, {} resumed, {} other shards",
         started.elapsed(),
@@ -135,6 +184,68 @@ fn main() -> ExitCode {
         outcome.elab_stats.misses,
         outcome.elab_stats.entries,
     );
+    println!(
+        "llm service: {:.1?} total blocked-on-llm time across jobs, largest batch {}",
+        outcome.llm_wait_total, outcome.llm_batch_max,
+    );
     println!("{}", outcome.report.render());
-    ExitCode::SUCCESS
+    Ok(())
+}
+
+fn run_merge(args: Vec<String>) -> Result<(), String> {
+    let mut config = CampaignConfig {
+        dataset_size: uvllm_bench::harness::dataset_size_from_env(),
+        ..CampaignConfig::default()
+    };
+    let mut out = String::new();
+    let mut shard_paths: Vec<String> = Vec::new();
+    let mut args = args.into_iter();
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        if parse_common(&flag, &mut config, &mut out, &mut value)? {
+            continue;
+        }
+        if flag.starts_with('-') {
+            return Err(format!("unknown merge flag '{flag}' (try --help)"));
+        }
+        shard_paths.push(flag);
+    }
+    if shard_paths.is_empty() {
+        return Err("merge needs at least one shard file".to_string());
+    }
+    let shards: Vec<(String, Vec<_>)> = shard_paths
+        .iter()
+        .map(|path| read_shard(path).map(|rows| (path.clone(), rows)))
+        .collect::<Result<_, _>>()?;
+    let expected = expected_job_ids(config.dataset_size, config.dataset_seed, &config.methods);
+    let merged = merge_rows(&shards, &expected)?;
+    println!(
+        "merged {} shards: {} rows, full coverage of {} (instance, method) pairs",
+        merged.shards,
+        merged.rows.len(),
+        expected.len(),
+    );
+    if !out.is_empty() {
+        let text: String =
+            merged.rows.iter().map(|row| format!("{}\n", row.to_json_line())).collect();
+        std::fs::write(&out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    println!("{}", CampaignReport::new(merged.rows).render());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let result = if std::env::args().nth(1).as_deref() == Some("merge") {
+        run_merge(std::env::args().skip(2).collect())
+    } else {
+        run_campaign()
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
 }

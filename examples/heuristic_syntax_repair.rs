@@ -5,7 +5,7 @@
 //! Run with: `cargo run -p uvllm --example heuristic_syntax_repair`
 
 use uvllm::stages::preprocess;
-use uvllm_llm::{HeuristicLlm, OutputMode};
+use uvllm_llm::{DirectService, HeuristicLlm, OutputMode};
 
 fn main() {
     // Three classic syntax mistakes plus a scripted-fixable warning.
@@ -26,7 +26,7 @@ fn main() {
     let report = uvllm_lint::lint(broken);
     println!("--- linter says ---\n{}\n", report.render(broken));
 
-    let mut backend = HeuristicLlm::new();
+    let mut backend = DirectService::new(HeuristicLlm::new());
     let (fixed, stats) =
         preprocess(broken, "a blinking LED divider", &mut backend, OutputMode::Pairs, 8);
 

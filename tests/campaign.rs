@@ -16,6 +16,7 @@ fn small_config(workers: usize) -> CampaignConfig {
         workers,
         shard: ShardSpec::default(),
         backend: uvllm_campaign::SimBackend::default(),
+        ..CampaignConfig::default()
     }
 }
 

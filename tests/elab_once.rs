@@ -17,6 +17,7 @@ fn golden_designs_elaborate_exactly_once_per_worker_set() {
         workers: 4,
         shard: ShardSpec::default(),
         backend: uvllm_campaign::SimBackend::default(),
+        ..CampaignConfig::default()
     };
 
     uvllm_sim::cache::reset();

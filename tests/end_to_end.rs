@@ -110,7 +110,7 @@ fn scripted_fixes_need_no_llm() {
     let src = "module m(input clk, input d, output reg q, output reg y, input a, input b);\n\
                always @(posedge clk) q = d;\n\
                always @(*) y <= a & b;\nendmodule\n";
-    let mut llm = uvllm_llm::ScriptedLlm::new([]);
+    let mut llm = uvllm_llm::DirectService::new(uvllm_llm::ScriptedLlm::new([]));
     let (fixed, stats) = uvllm::preprocess(src, "spec", &mut llm, uvllm_llm::OutputMode::Pairs, 4);
     assert!(stats.clean);
     assert_eq!(stats.llm_calls, 0);
