@@ -7,16 +7,46 @@
 //! ```
 //!
 //! Besides the criterion output, the run writes **`BENCH_kernels.json`**
-//! (path overridable via `UVLLM_BENCH_JSON`): per-backend ns/cycle for
-//! the raw kernel and the whole UVM environment, plus the wall-clock of
-//! a full campaign (`UVLLM_BENCH_SIZE` instances × all six methods; the
-//! paper's 331 by default) on each backend — so the perf trajectory is
-//! tracked machine-readably across PRs instead of living in README
-//! prose.
+//! (schema v3, path overridable via `UVLLM_BENCH_JSON`): per-backend
+//! ns/cycle **and measured heap allocations per cycle** (a counting
+//! global allocator wraps the timed loop; both kernels must report 0)
+//! for the raw kernel, ns/cycle for the whole UVM environment, plus the
+//! wall-clock of a full campaign (`UVLLM_BENCH_SIZE` instances × all
+//! six methods; the paper's 331 by default) on each backend — so the
+//! perf *and* allocation trajectories are tracked machine-readably
+//! across PRs instead of living in README prose.
 
 use criterion::{criterion_group, BatchSize, Criterion};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// Counts every allocation so the perf record can assert the hot loop
+/// is allocation-free, not just fast (mirrors
+/// `tests/alloc_steady_state.rs`).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed
+// atomic with no further invariants.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 use uvllm_campaign::{BatchConfig, Campaign, CampaignConfig, MemorySink, MethodKind, SimBackend};
 use uvllm_designs::by_name;
 use uvllm_json::Json;
@@ -26,7 +56,7 @@ use uvllm_uvm::{CornerSequence, Environment, RandomSequence, Sequence};
 fn bench_clocked_settle(c: &mut Criterion) {
     let d = by_name("counter_12").unwrap();
     let file = uvllm_verilog::parse(d.source).unwrap();
-    let design = elaborate(&file, d.name).unwrap();
+    let design = std::sync::Arc::new(elaborate(&file, d.name).unwrap());
     for backend in SimBackend::ALL {
         c.bench_function(&format!("counter_1000_cycles[{backend}]"), |b| {
             b.iter_batched(
@@ -102,12 +132,15 @@ criterion_group!(
 // Machine-readable perf record (BENCH_kernels.json)
 // ----------------------------------------------------------------------
 
-/// Raw kernel throughput: ns per full clock cycle (two pokes) of the
-/// counter_12 design, measured over `cycles` cycles after a warm-up.
-fn kernel_ns_per_cycle(backend: SimBackend, cycles: u64) -> f64 {
+/// Raw kernel throughput and allocation rate: ns and heap allocations
+/// per full clock cycle (two pokes) of the counter_12 design, measured
+/// over `cycles` cycles after a warm-up. The allocation rate must be 0
+/// on both backends — the strict bound `tests/alloc_steady_state.rs`
+/// enforces, recorded here so `BENCH_kernels.json` tracks it per run.
+fn kernel_cycle_costs(backend: SimBackend, cycles: u64) -> (f64, f64) {
     let d = by_name("counter_12").unwrap();
     let file = uvllm_verilog::parse(d.source).unwrap();
-    let design = elaborate(&file, d.name).unwrap();
+    let design = std::sync::Arc::new(elaborate(&file, d.name).unwrap());
     let mut sim = AnySim::new(&design, backend).unwrap();
     sim.poke_by_name("rst_n", Logic::bit(false)).unwrap();
     sim.poke_by_name("rst_n", Logic::bit(true)).unwrap();
@@ -116,13 +149,16 @@ fn kernel_ns_per_cycle(backend: SimBackend, cycles: u64) -> f64 {
         sim.poke_by_name("clk", Logic::bit(true)).unwrap();
         sim.poke_by_name("clk", Logic::bit(false)).unwrap();
     }
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
     let start = Instant::now();
     for _ in 0..cycles {
         sim.poke_by_name("clk", Logic::bit(true)).unwrap();
         sim.poke_by_name("clk", Logic::bit(false)).unwrap();
     }
+    let elapsed = start.elapsed();
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
     black_box(sim.peek_by_name("q").unwrap());
-    start.elapsed().as_nanos() as f64 / cycles as f64
+    (elapsed.as_nanos() as f64 / cycles as f64, allocs as f64 / cycles as f64)
 }
 
 /// Whole-environment throughput: ns per checked cycle of a UVM run over
@@ -211,18 +247,21 @@ fn write_bench_json() {
     });
     let mut backends = Vec::new();
     let mut campaign_s = [0.0f64; 2];
+    let mut allocs = [0.0f64; 2];
     for (i, backend) in SimBackend::ALL.into_iter().enumerate() {
-        let kernel_ns = kernel_ns_per_cycle(backend, 20_000);
+        let (kernel_ns, alloc_per_cycle) = kernel_cycle_costs(backend, 20_000);
+        allocs[i] = alloc_per_cycle;
         let env_ns = env_ns_per_cycle(backend, 2_000, 5);
         let (wall_s, jobs) = campaign_wall_clock(backend, size);
         campaign_s[i] = wall_s;
         println!(
-            "{backend}: kernel {kernel_ns:.0} ns/cycle, env {env_ns:.0} ns/cycle, \
-             campaign {size}x6 {wall_s:.2}s ({jobs} jobs)"
+            "{backend}: kernel {kernel_ns:.0} ns/cycle, {alloc_per_cycle} allocs/cycle, \
+             env {env_ns:.0} ns/cycle, campaign {size}x6 {wall_s:.2}s ({jobs} jobs)"
         );
         backends.push(Json::Obj(vec![
             ("backend".into(), Json::Str(backend.label().to_string())),
             ("kernel_ns_per_cycle".into(), Json::Num(round2(kernel_ns))),
+            ("alloc_per_cycle".into(), Json::Num(alloc_per_cycle)),
             ("env_ns_per_cycle".into(), Json::Num(round2(env_ns))),
             ("campaign_wall_s".into(), Json::Num(round2(wall_s))),
             ("campaign_jobs".into(), Json::Num(jobs as f64)),
@@ -239,7 +278,7 @@ fn write_bench_json() {
         direct_s / batched_s.max(1e-9),
     );
     let doc = Json::Obj(vec![
-        ("schema".into(), Json::Str("uvllm-bench-kernels/v2".into())),
+        ("schema".into(), Json::Str("uvllm-bench-kernels/v3".into())),
         ("campaign_size".into(), Json::Num(size as f64)),
         ("campaign_methods".into(), Json::Num(MethodKind::ALL.len() as f64)),
         ("backends".into(), Json::Arr(backends)),
@@ -265,6 +304,16 @@ fn write_bench_json() {
     ]);
     std::fs::write(&path, format!("{}\n", doc.render())).expect("write BENCH_kernels.json");
     println!("wrote {path}");
+    // Assert the zero-allocation bound only after the record is on
+    // disk: a regression must still leave its measured value in the
+    // trajectory file, not abort the run recordless.
+    for (backend, a) in SimBackend::ALL.into_iter().zip(allocs) {
+        assert_eq!(
+            a, 0.0,
+            "{backend}: the steady-state cycle loop allocated — the zero bound \
+             (tests/alloc_steady_state.rs) has regressed; see {path}"
+        );
+    }
 }
 
 fn main() {

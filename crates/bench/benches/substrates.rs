@@ -32,10 +32,10 @@ fn bench_elaborate(c: &mut Criterion) {
 fn bench_simulator(c: &mut Criterion) {
     let d = by_name("counter_12").unwrap();
     let file = uvllm_verilog::parse(d.source).unwrap();
-    let design = elaborate(&file, d.name).unwrap();
+    let design = std::sync::Arc::new(elaborate(&file, d.name).unwrap());
     c.bench_function("simulate_counter_1000_cycles", |b| {
         b.iter_batched(
-            || Simulator::new(&design).unwrap(),
+            || Simulator::from_arc(std::sync::Arc::clone(&design)).unwrap(),
             |mut sim| {
                 sim.poke_by_name("rst_n", Logic::bit(false)).unwrap();
                 sim.poke_by_name("rst_n", Logic::bit(true)).unwrap();

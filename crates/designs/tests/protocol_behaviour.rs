@@ -9,7 +9,7 @@ fn sim_of(name: &str) -> Simulator {
     let d = by_name(name).unwrap();
     let file = uvllm_verilog::parse(d.source).unwrap();
     let design = elaborate(&file, d.name).unwrap();
-    Simulator::new(&design).unwrap()
+    Simulator::new(design).unwrap()
 }
 
 fn reset(sim: &mut Simulator) {

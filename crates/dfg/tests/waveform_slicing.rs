@@ -19,7 +19,7 @@ const ALU: &str = "module alu(input [7:0] a, input [7:0] b, input [1:0] op,\n\
 fn run_and_capture(op: u128) -> (Simulator, Waveform) {
     let file = uvllm_verilog::parse(ALU).unwrap();
     let design = elaborate(&file, "alu").unwrap();
-    let mut sim = Simulator::new(&design).unwrap();
+    let mut sim = Simulator::new(design).unwrap();
     let mut wave = Waveform::new(&sim);
     sim.poke_by_name("a", Logic::from_u128(8, 0x0F)).unwrap();
     sim.poke_by_name("b", Logic::from_u128(8, 0x01)).unwrap();

@@ -3,12 +3,14 @@
 //! that lets harnesses hold either kernel behind one concrete type.
 
 use crate::cache::PooledSim;
+use crate::compile::CompiledDesign;
 use crate::elab::{Design, SignalId};
 use crate::kernel::CompiledSim;
 use crate::logic::Logic;
 use crate::sched::{SimError, Simulator};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Which simulation kernel to run a design on.
 ///
@@ -153,17 +155,20 @@ pub enum AnySim {
 }
 
 impl AnySim {
-    /// Builds a simulation over `design` on the chosen backend.
+    /// Builds a simulation over a shared `design` on the chosen
+    /// backend. The `Arc` is threaded straight through to the kernel —
+    /// nothing on this path clones the design, so cached elaborations
+    /// ([`crate::cache::elaborate_source_cached`]) are shared as-is.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Unstable`] if the design oscillates at time 0.
-    pub fn new(design: &Design, backend: SimBackend) -> Result<AnySim, SimError> {
+    pub fn new(design: &Arc<Design>, backend: SimBackend) -> Result<AnySim, SimError> {
         Ok(match backend {
-            SimBackend::EventDriven => AnySim::Event(Simulator::new(design)?),
-            SimBackend::Compiled => {
-                AnySim::Compiled(PooledSim::detached(CompiledSim::new(design)?))
-            }
+            SimBackend::EventDriven => AnySim::Event(Simulator::from_arc(Arc::clone(design))?),
+            SimBackend::Compiled => AnySim::Compiled(PooledSim::detached(
+                CompiledSim::from_compiled(Arc::new(CompiledDesign::from_arc(Arc::clone(design))))?,
+            )),
         })
     }
 
@@ -244,7 +249,7 @@ mod tests {
              assign y = a + b;\nendmodule\n",
         )
         .unwrap();
-        let design = elaborate(&file, "add").unwrap();
+        let design = Arc::new(elaborate(&file, "add").unwrap());
         for backend in SimBackend::ALL {
             let mut sim = AnySim::new(&design, backend).unwrap();
             assert_eq!(sim.backend(), backend);

@@ -58,12 +58,8 @@ pub struct CompiledDesign {
 }
 
 impl CompiledDesign {
-    /// Compiles `design` (cloned into shared ownership).
-    pub fn new(design: &Design) -> CompiledDesign {
-        CompiledDesign::from_arc(Arc::new(design.clone()))
-    }
-
-    /// Compiles an already-shared design without re-cloning it.
+    /// Compiles a shared design without cloning it (`from_arc` is the
+    /// only constructor — fresh callers wrap with `Arc::new`).
     pub fn from_arc(design: Arc<Design>) -> CompiledDesign {
         let nsignals = design.signals().len();
         let nprocs = design.processes().len();
@@ -336,8 +332,8 @@ mod tests {
 
     fn compile(src: &str) -> CompiledDesign {
         let file = parse(src).unwrap();
-        let top = file.top().unwrap().name.clone();
-        CompiledDesign::new(&elaborate(&file, &top).unwrap())
+        let top = &file.top().unwrap().name;
+        CompiledDesign::from_arc(Arc::new(elaborate(&file, top).unwrap()))
     }
 
     #[test]

@@ -1257,8 +1257,8 @@ mod tests {
 
     fn elab(src: &str) -> Design {
         let file = parse(src).unwrap();
-        let top = file.top().unwrap().name.clone();
-        elaborate(&file, &top).unwrap()
+        let top = &file.top().unwrap().name;
+        elaborate(&file, top).unwrap()
     }
 
     #[test]

@@ -142,6 +142,20 @@ fn eval_binary<R: ValueReader>(r: &R, op: BinaryOp, a: &LExpr, b: &LExpr, w: u32
     }
 }
 
+/// Evaluates `e` in a context of at least `width` bits and stores the
+/// result, masked to exactly `width` bits, into `out`.
+///
+/// This is the assignment-staging helper of the kernels' hot loops:
+/// the context evaluation and the target-width truncation happen in
+/// one step and the result lands in a slot the caller reuses across
+/// ops. (`Logic` is `Copy` — two `u128` planes — so expression
+/// evaluation itself never touches the heap; this helper exists to
+/// keep the staging discipline explicit and in one place.)
+#[inline]
+pub fn eval_into<R: ValueReader>(r: &R, e: &LExpr, width: u32, out: &mut Logic) {
+    *out = eval(r, e, width).resize(width);
+}
+
 /// Case-arm matching for `case`/`casez`/`casex`.
 pub fn case_matches(kind: CaseKind, sel: &Logic, label: &Logic) -> bool {
     match kind {

@@ -117,18 +117,9 @@ impl ValueReader for ArenaView<'_> {
 }
 
 impl CompiledSim {
-    /// Compiles `design` and builds a simulation over it, running
-    /// `initial` blocks and settling the combinational network once.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::Unstable`] if the design oscillates at time 0.
-    pub fn new(design: &Design) -> Result<CompiledSim, SimError> {
-        CompiledSim::from_compiled(Arc::new(CompiledDesign::new(design)))
-    }
-
     /// Builds a simulation over an already-compiled design (the cheap
-    /// path for cached compilations).
+    /// path for cached compilations; fresh callers wrap their design in
+    /// [`CompiledDesign::from_arc`] — nothing clones it).
     ///
     /// # Errors
     ///
@@ -510,7 +501,9 @@ impl CompiledSim {
         let updated = if w.lsb == 0 && w.value.width() == old.width() {
             w.value
         } else {
-            old.with_slice(w.lsb, w.value)
+            let mut u = old;
+            u.set_slice(w.lsb, w.value);
+            u
         };
         if updated == old {
             return;
@@ -829,11 +822,15 @@ mod tests {
     use crate::sched::Simulator;
     use uvllm_verilog::parse;
 
+    fn compiled(design: &Arc<Design>) -> Result<CompiledSim, SimError> {
+        CompiledSim::from_compiled(Arc::new(CompiledDesign::from_arc(Arc::clone(design))))
+    }
+
     fn both(src: &str) -> (Simulator, CompiledSim) {
         let file = parse(src).unwrap();
-        let top = file.top().unwrap().name.clone();
-        let design = elaborate(&file, &top).unwrap();
-        (Simulator::new(&design).unwrap(), CompiledSim::new(&design).unwrap())
+        let top = &file.top().unwrap().name;
+        let design = Arc::new(elaborate(&file, top).unwrap());
+        (Simulator::from_arc(Arc::clone(&design)).unwrap(), compiled(&design).unwrap())
     }
 
     /// Pokes both kernels identically and asserts every signal word
@@ -923,8 +920,8 @@ mod tests {
     #[test]
     fn x_feedback_settles_like_event_engine() {
         let file = parse("module fx(output y);\nassign y = ~y;\nendmodule\n").unwrap();
-        let design = elaborate(&file, "fx").unwrap();
-        let cp = CompiledSim::new(&design).unwrap();
+        let design = Arc::new(elaborate(&file, "fx").unwrap());
+        let cp = compiled(&design).unwrap();
         assert!(SimControl::peek_by_name(&cp, "y").unwrap().to_u128().is_none());
     }
 
@@ -937,14 +934,14 @@ mod tests {
              endmodule\n",
         )
         .unwrap();
-        let design = elaborate(&file, "osc").unwrap();
-        match CompiledSim::new(&design) {
+        let design = Arc::new(elaborate(&file, "osc").unwrap());
+        match compiled(&design) {
             Err(SimError::Unstable { activations }) => {
                 assert_eq!(activations, MAX_ACTIVATIONS);
             }
             other => panic!("expected unstable, got {other:?}"),
         }
-        match Simulator::new(&design) {
+        match Simulator::from_arc(design) {
             Err(SimError::Unstable { activations }) => {
                 assert_eq!(activations, MAX_ACTIVATIONS);
             }
@@ -1002,8 +999,8 @@ mod tests {
              endmodule\n",
         )
         .unwrap();
-        let design = elaborate(&file, "m").unwrap();
-        let cd = CompiledDesign::new(&design);
+        let design = Arc::new(elaborate(&file, "m").unwrap());
+        let cd = CompiledDesign::from_arc(Arc::clone(&design));
         let marks: Vec<bool> =
             (0..design.processes().len() as u32).map(|p| cd.two_state(p)).collect();
         assert_eq!(marks.iter().filter(|m| **m).count(), 1, "only the adder is X-free: {marks:?}");
@@ -1016,9 +1013,9 @@ mod tests {
                    always @(posedge clk or negedge rst_n) begin\n\
                    if (!rst_n) q <= 4'd0; else if (en) q <= q + 4'd1;\nend\nendmodule\n";
         let file = parse(src).unwrap();
-        let design = elaborate(&file, "c").unwrap();
-        let fresh = CompiledSim::new(&design).unwrap();
-        let mut used = CompiledSim::new(&design).unwrap();
+        let design = Arc::new(elaborate(&file, "c").unwrap());
+        let fresh = compiled(&design).unwrap();
+        let mut used = compiled(&design).unwrap();
         // Drive it somewhere interesting, then rewind.
         SimControl::poke_by_name(&mut used, "rst_n", Logic::bit(true)).unwrap();
         SimControl::poke_by_name(&mut used, "en", Logic::bit(true)).unwrap();
@@ -1043,7 +1040,7 @@ mod tests {
             }
         }
         // And the rewound instance behaves identically to a fresh one.
-        let mut replay = CompiledSim::new(&design).unwrap();
+        let mut replay = compiled(&design).unwrap();
         for sim in [&mut used, &mut replay] {
             SimControl::poke_by_name(sim, "rst_n", Logic::bit(true)).unwrap();
             SimControl::poke_by_name(sim, "en", Logic::bit(true)).unwrap();

@@ -10,8 +10,12 @@
 //! [`Simulator`] executes it with IEEE-1364-style scheduling: blocking
 //! assignments apply immediately, non-blocking assignments are deferred
 //! to the NBA region of each delta cycle, and edge-triggered processes
-//! fire on poke-induced transitions. [`wave::Waveform`] records per-cycle
-//! snapshots for the localization engine.
+//! fire on poke-induced transitions. Process bodies are lowered once at
+//! construction into flat *process programs* (pre-resolved targets,
+//! precomputed widths, patched jump offsets) and the scheduler reuses
+//! persistent scratch queues, so steady-state cycles allocate nothing
+//! on this kernel too. [`wave::Waveform`] records per-cycle snapshots
+//! for the localization engine.
 //!
 //! Two interchangeable kernels implement that surface (both behind
 //! [`SimControl`], selected via [`SimBackend`] / [`AnySim`]): the
@@ -38,7 +42,7 @@
 //!      assign y = a + b;\nendmodule\n",
 //! )?;
 //! let design = elaborate(&file, "add")?;
-//! let mut sim = Simulator::new(&design)?;
+//! let mut sim = Simulator::new(design)?;
 //! sim.poke_by_name("a", Logic::from_u128(8, 17))?;
 //! sim.poke_by_name("b", Logic::from_u128(8, 25))?;
 //! assert_eq!(sim.peek_by_name("y")?.to_u128(), Some(42));
@@ -53,6 +57,7 @@ pub mod elab;
 pub mod eval;
 pub mod kernel;
 pub mod logic;
+mod program;
 pub mod sched;
 pub mod wave;
 
@@ -63,7 +68,7 @@ pub use cache::{
 };
 pub use compile::CompiledDesign;
 pub use elab::{elaborate, Design, ElabError, SignalId, SignalInfo, SignalKind};
-pub use eval::{eval, ValueReader};
+pub use eval::{eval, eval_into, ValueReader};
 pub use kernel::CompiledSim;
 pub use logic::{Logic, Tri};
 pub use sched::{SimError, Simulator, MAX_ACTIVATIONS};

@@ -153,29 +153,42 @@ impl Logic {
         out
     }
 
+    /// Stores `value` (1 bit) at `index` in place; out-of-range writes
+    /// are ignored. The in-place masked word ops are the kernels'
+    /// write-application primitive — no temporary value is built.
+    pub fn set_bit(&mut self, index: u32, value: Logic) {
+        if index >= self.width {
+            return;
+        }
+        let bit = 1u128 << index;
+        self.val = (self.val & !bit) | (((value.val & 1) << index) & bit);
+        self.xz = (self.xz & !bit) | (((value.xz & 1) << index) & bit);
+    }
+
     /// Returns a copy with `value` (1 bit) stored at `index`; out-of-range
     /// writes are ignored.
     pub fn with_bit(&self, index: u32, value: Logic) -> Logic {
-        if index >= self.width {
-            return *self;
-        }
-        let bit = 1u128 << index;
         let mut out = *self;
-        out.val = (out.val & !bit) | (((value.val & 1) << index) & bit);
-        out.xz = (out.xz & !bit) | (((value.xz & 1) << index) & bit);
+        out.set_bit(index, value);
         out
+    }
+
+    /// Stores `value` at bits `[lsb, lsb+value.width)` in place (masked
+    /// word ops on both planes); out-of-range writes are ignored.
+    pub fn set_slice(&mut self, lsb: u32, value: Logic) {
+        if lsb >= self.width {
+            return;
+        }
+        let w = value.width.min(self.width - lsb);
+        let m = mask(w) << lsb;
+        self.val = (self.val & !m) | ((value.val << lsb) & m);
+        self.xz = (self.xz & !m) | ((value.xz << lsb) & m);
     }
 
     /// Returns a copy with `value` stored at bits `[lsb, lsb+value.width)`.
     pub fn with_slice(&self, lsb: u32, value: Logic) -> Logic {
-        if lsb >= self.width {
-            return *self;
-        }
-        let w = value.width.min(self.width - lsb);
-        let m = mask(w) << lsb;
         let mut out = *self;
-        out.val = (out.val & !m) | ((value.val << lsb) & m);
-        out.xz = (out.xz & !m) | ((value.xz << lsb) & m);
+        out.set_slice(lsb, value);
         out
     }
 

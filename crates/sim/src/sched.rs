@@ -1,9 +1,19 @@
 //! Event-driven simulation engine with delta cycles and blocking /
 //! non-blocking assignment regions.
+//!
+//! The interpreter executes **precompiled process programs**
+//! ([`crate::program`]): each body is lowered once at construction into
+//! a flat op array with pre-resolved targets and precomputed widths,
+//! and the scheduler keeps persistent scratch planes (the active event
+//! set, the NBA queue, the write-staging buffer — cleared, never
+//! dropped, between deltas), so a steady-state cycle performs **zero
+//! heap allocations**. `tests/alloc_steady_state.rs` enforces that
+//! bound on this kernel alongside the compiled one.
 
-use crate::elab::{Design, LStmt, LTarget, Process, ProcessId, SignalId, SignalKind, Trigger};
-use crate::eval::{case_matches, eval, ValueReader};
+use crate::elab::{Design, Process, ProcessId, SignalId, SignalKind, Trigger};
+use crate::eval::{case_matches, eval, eval_into, ValueReader};
 use crate::logic::{Logic, Tri};
+use crate::program::{lower_process, Dst, Op, ProcessProgram};
 use std::fmt;
 use std::sync::Arc;
 use uvllm_verilog::ast::Edge;
@@ -38,8 +48,9 @@ impl fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// One resolved write: `value` goes into `[lsb, lsb+width)` of `word` of
-/// `signal`.
-#[derive(Debug, Clone)]
+/// `signal`. `Copy` (the value is two `u128` planes) so the NBA region
+/// can drain its queue without moving the queue's buffer.
+#[derive(Debug, Clone, Copy)]
 struct Write {
     signal: SignalId,
     word: u64,
@@ -58,12 +69,24 @@ pub struct Simulator {
     /// Shared so the event loop can borrow process bodies while
     /// mutating state — no per-activation body clone.
     design: Arc<Design>,
+    /// Per-process flat programs, lowered once at construction and
+    /// shared across clones (immutable after lowering).
+    programs: Arc<[ProcessProgram]>,
     /// Current value per signal per word.
     words: Vec<Vec<Logic>>,
     /// Combinational processes sensitive to each signal.
     comb_sens: Vec<Vec<ProcessId>>,
     /// Edge-triggered processes: (process, signal, edge).
     seq_sens: Vec<Vec<(ProcessId, Option<Edge>)>>,
+    /// Persistent active event set (FIFO via cursor). Cleared, never
+    /// dropped, between runs so its capacity survives — pokes allocate
+    /// nothing once the high-water mark is reached.
+    active: Vec<ProcessId>,
+    /// Persistent non-blocking-assignment queue (same rationale).
+    nba: Vec<Write>,
+    /// Persistent write-staging buffer for concatenated targets (all
+    /// index expressions evaluate before any part applies).
+    writes: Vec<Write>,
     time: u64,
     /// Set when the initial blocks have been run.
     initialised: bool,
@@ -93,14 +116,16 @@ impl ValueReader for StateView<'_> {
 }
 
 impl Simulator {
-    /// Builds a simulator over `design`, runs `initial` blocks and
-    /// settles the combinational network once.
+    /// Builds a simulator over an owned `design`, runs `initial` blocks
+    /// and settles the combinational network once. Callers holding a
+    /// cached/shared elaboration use [`Simulator::from_arc`] instead —
+    /// nothing on either path clones the design.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Unstable`] if the design oscillates at time 0.
-    pub fn new(design: &Design) -> Result<Self, SimError> {
-        Simulator::from_arc(Arc::new(design.clone()))
+    pub fn new(design: Design) -> Result<Self, SimError> {
+        Simulator::from_arc(Arc::new(design))
     }
 
     /// Builds a simulator over an already-shared design without
@@ -133,13 +158,27 @@ impl Simulator {
                 Trigger::Initial => {}
             }
         }
-        let mut sim = Simulator { design, words, comb_sens, seq_sens, time: 0, initialised: false };
+        let programs: Arc<[ProcessProgram]> =
+            design.processes().iter().map(|p| lower_process(&design, &p.body)).collect();
+        let mut sim = Simulator {
+            design,
+            programs,
+            words,
+            comb_sens,
+            seq_sens,
+            active: Vec::new(),
+            nba: Vec::new(),
+            writes: Vec::new(),
+            time: 0,
+            initialised: false,
+        };
         sim.initialise()?;
         Ok(sim)
     }
 
     fn initialise(&mut self) -> Result<(), SimError> {
-        let mut active: Vec<ProcessId> = Vec::new();
+        let mut active = std::mem::take(&mut self.active);
+        active.clear();
         // Run initial blocks, then every combinational process once so
         // nets acquire their driven values.
         for (i, p) in self.design.processes().iter().enumerate() {
@@ -153,7 +192,7 @@ impl Simulator {
             }
         }
         self.initialised = true;
-        self.run_events(active)
+        self.drive(active)
     }
 
     /// The elaborated design being simulated.
@@ -208,8 +247,10 @@ impl Simulator {
             return Ok(());
         }
         self.words[id.0 as usize][0] = value;
-        let active = self.triggered_by(id, old, value);
-        self.run_events(active)
+        let mut active = std::mem::take(&mut self.active);
+        active.clear();
+        self.collect_triggered(id, old, value, None, &mut active);
+        self.drive(active)
     }
 
     /// Pokes a signal by name.
@@ -231,30 +272,64 @@ impl Simulator {
     ///
     /// Returns [`SimError::Unstable`] on combinational oscillation.
     pub fn settle(&mut self) -> Result<(), SimError> {
-        self.run_events(Vec::new())
+        let mut active = std::mem::take(&mut self.active);
+        active.clear();
+        self.drive(active)
     }
 
-    /// Processes triggered by `signal` transitioning `old` → `new`.
-    fn triggered_by(&self, signal: SignalId, old: Logic, new: Logic) -> Vec<ProcessId> {
-        let mut active = Vec::new();
+    /// Pushes the processes triggered by `signal` transitioning
+    /// `old` → `new` onto `out`, skipping the running process (a
+    /// process misses its own events, IEEE 1364).
+    fn collect_triggered(
+        &self,
+        signal: SignalId,
+        old: Logic,
+        new: Logic,
+        current: Option<ProcessId>,
+        out: &mut Vec<ProcessId>,
+    ) {
         for pid in &self.comb_sens[signal.0 as usize] {
-            active.push(*pid);
+            if Some(*pid) != current {
+                out.push(*pid);
+            }
+        }
+        let seq = &self.seq_sens[signal.0 as usize];
+        if seq.is_empty() {
+            return;
         }
         let old_b = old.get_bit(0);
         let new_b = new.get_bit(0);
         let is1 = |l: &Logic| l.truthiness() == Tri::True;
         let is0 = |l: &Logic| l.to_u128() == Some(0);
-        for (pid, edge) in &self.seq_sens[signal.0 as usize] {
+        for (pid, edge) in seq {
             let fire = match edge {
                 Some(Edge::Pos) => !is1(&old_b) && is1(&new_b),
                 Some(Edge::Neg) => !is0(&old_b) && is0(&new_b),
                 None => true,
             };
-            if fire {
-                active.push(*pid);
+            if fire && Some(*pid) != current {
+                out.push(*pid);
             }
         }
-        active
+    }
+
+    /// Runs the event loop over a seeded active set using the
+    /// persistent scratch queues. Every buffer is restored *cleared*
+    /// (capacity intact): a successful run drains them, and an
+    /// `Unstable` abort must not leave stale events or non-blocking
+    /// writes for a later run.
+    fn drive(&mut self, mut active: Vec<ProcessId>) -> Result<(), SimError> {
+        let programs = Arc::clone(&self.programs);
+        let mut nba = std::mem::take(&mut self.nba);
+        let mut writes = std::mem::take(&mut self.writes);
+        let result = self.run_events(&programs, &mut active, &mut nba, &mut writes);
+        active.clear();
+        nba.clear();
+        writes.clear();
+        self.active = active;
+        self.nba = nba;
+        self.writes = writes;
+        result
     }
 
     /// Core event loop: runs `active` processes, applying blocking writes
@@ -267,10 +342,14 @@ impl Simulator {
     /// that resets and rebuilds its outputs) stabilise instead of
     /// re-triggering forever, and equally what makes genuinely missing
     /// sensitivity entries a real bug the simulator reproduces.
-    fn run_events(&mut self, mut active: Vec<ProcessId>) -> Result<(), SimError> {
-        let design = Arc::clone(&self.design);
+    fn run_events(
+        &mut self,
+        programs: &[ProcessProgram],
+        active: &mut Vec<ProcessId>,
+        nba: &mut Vec<Write>,
+        writes: &mut Vec<Write>,
+    ) -> Result<(), SimError> {
         let mut activations = 0usize;
-        let mut nba: Vec<Write> = Vec::new();
         // FIFO via cursor (no front removal); the queue is bounded by
         // the activation cap.
         let mut head = 0usize;
@@ -282,19 +361,20 @@ impl Simulator {
                     return Err(SimError::Unstable { activations });
                 }
                 activations += 1;
-                let body = &design.processes()[pid.0 as usize].body;
-                self.exec(body, &mut nba, &mut active, Some(pid));
+                self.exec_program(&programs[pid.0 as usize], nba, active, writes, Some(pid));
             }
             if nba.is_empty() {
                 return Ok(());
             }
             // Non-blocking assignment region: apply all queued writes,
             // collecting newly triggered processes. No process is
-            // running here, so nothing is skipped.
-            let queued = std::mem::take(&mut nba);
-            for w in queued {
-                self.apply_write(&w, &mut active, None);
+            // running here, so nothing is skipped; only `exec_program`
+            // queues NBAs, so the list is stable while we iterate, and
+            // clearing (not taking) it keeps its capacity.
+            for w in nba.iter() {
+                self.apply_write(w, active, None);
             }
+            nba.clear();
         }
     }
 
@@ -302,116 +382,123 @@ impl Simulator {
         StateView { design: &self.design, words: &self.words }
     }
 
-    fn exec(
+    /// Executes one precompiled process program as a program-counter
+    /// loop. Assignment ops evaluate their right-hand side into a
+    /// reused slot ([`eval_into`]) and stage writes either directly
+    /// (single leaf) or through the persistent `writes` buffer
+    /// (concatenated targets, where every index expression must
+    /// evaluate before any part applies).
+    fn exec_program(
         &mut self,
-        stmt: &LStmt,
+        program: &ProcessProgram,
         nba: &mut Vec<Write>,
         active: &mut Vec<ProcessId>,
+        writes: &mut Vec<Write>,
         current: Option<ProcessId>,
     ) {
-        match stmt {
-            LStmt::Block(stmts) => {
-                for s in stmts {
-                    self.exec(s, nba, active, current);
-                }
-            }
-            LStmt::Assign { lhs, rhs, blocking, .. } => {
-                let width = lhs.width(&self.design).max(1);
-                let value = eval(&self.view(), rhs, width).resize(width);
-                let mut writes = Vec::new();
-                self.resolve_target(lhs, value, &mut writes);
-                if *blocking {
-                    for w in writes {
-                        self.apply_write(&w, active, current);
-                    }
-                } else {
-                    nba.extend(writes);
-                }
-            }
-            LStmt::If { cond, then_branch, else_branch, .. } => {
-                let c = eval(&self.view(), cond, cond.width);
-                match c.truthiness() {
-                    Tri::True => self.exec(then_branch, nba, active, current),
-                    Tri::False => {
-                        if let Some(e) = else_branch {
-                            self.exec(e, nba, active, current);
-                        }
-                    }
-                    // Unknown condition: neither branch executes. (A
-                    // full IEEE implementation would merge; taking no
-                    // branch keeps state X-conservative.)
-                    Tri::Unknown => {}
-                }
-            }
-            LStmt::Case { kind, expr, arms, default, .. } => {
-                let sel = eval(&self.view(), expr, expr.width);
-                for (labels, body) in arms {
-                    for label in labels {
-                        let lv = eval(&self.view(), label, label.width);
-                        if case_matches(*kind, &sel, &lv) {
-                            self.exec(body, nba, active, current);
-                            return;
+        let ops = &program.ops;
+        let mut pc = 0usize;
+        let mut value = Logic::zeros(1);
+        while let Some(op) = ops.get(pc) {
+            match op {
+                Op::Assign { dst, rhs, width, blocking } => {
+                    eval_into(&self.view(), rhs, *width, &mut value);
+                    if let Some(w) = self.leaf_write(dst, value) {
+                        if *blocking {
+                            self.apply_write(&w, active, current);
+                        } else {
+                            nba.push(w);
                         }
                     }
                 }
-                if let Some(d) = default {
-                    self.exec(d, nba, active, current);
+                Op::AssignConcat { parts, rhs, width, blocking } => {
+                    eval_into(&self.view(), rhs, *width, &mut value);
+                    debug_assert!(writes.is_empty(), "concat staging buffer leaked");
+                    for (lsb, pw, dst) in parts {
+                        if let Some(w) = self.leaf_write(dst, value.get_slice(*lsb, *pw)) {
+                            writes.push(w);
+                        }
+                    }
+                    if *blocking {
+                        for w in writes.iter() {
+                            self.apply_write(w, active, current);
+                        }
+                        writes.clear();
+                    } else {
+                        nba.append(writes);
+                    }
+                }
+                Op::Branch { cond, on_false, on_unknown } => {
+                    match eval(&self.view(), cond, cond.width).truthiness() {
+                        Tri::True => {}
+                        Tri::False => {
+                            pc = *on_false as usize;
+                            continue;
+                        }
+                        // Unknown condition: neither branch executes. (A
+                        // full IEEE implementation would merge; taking no
+                        // branch keeps state X-conservative.)
+                        Tri::Unknown => {
+                            pc = *on_unknown as usize;
+                            continue;
+                        }
+                    }
+                }
+                Op::Jump { to } => {
+                    pc = *to as usize;
+                    continue;
+                }
+                Op::Case { kind, sel, arms, fallback } => {
+                    let s = eval(&self.view(), sel, sel.width);
+                    let mut target = *fallback;
+                    'arms: for (labels, arm_start) in arms {
+                        for label in labels {
+                            let lv = eval(&self.view(), label, label.width);
+                            if case_matches(*kind, &s, &lv) {
+                                target = *arm_start;
+                                break 'arms;
+                            }
+                        }
+                    }
+                    pc = target as usize;
+                    continue;
                 }
             }
-            LStmt::Nop => {}
+            pc += 1;
         }
     }
 
-    /// Resolves a target into concrete writes, slicing `value` (already
-    /// sized to the target's total width) most-significant-first across
-    /// concatenations.
-    fn resolve_target(&self, target: &LTarget, value: Logic, out: &mut Vec<Write>) {
-        match target {
-            LTarget::Whole(s) => {
-                let w = self.design.signal(*s).width;
-                out.push(Write { signal: *s, word: 0, lsb: 0, value: value.resize(w) });
+    /// Resolves one pre-lowered leaf into a concrete write. `None` when
+    /// a dynamic index is X/Z or out of range (the write is dropped).
+    fn leaf_write(&self, dst: &Dst, value: Logic) -> Option<Write> {
+        match dst {
+            Dst::Whole { sig, width } => {
+                Some(Write { signal: *sig, word: 0, lsb: 0, value: value.resize(*width) })
             }
-            LTarget::Bit(s, index) => {
-                let idx = eval(&self.view(), index, index.width);
-                if let Some(i) = idx.to_u128() {
-                    if i < self.design.signal(*s).width as u128 {
-                        out.push(Write {
-                            signal: *s,
-                            word: 0,
-                            lsb: i as u32,
-                            value: value.resize(1),
-                        });
-                    }
-                }
-                // X/Z or out-of-range index: write is dropped.
+            Dst::Part { sig, lsb, width } => {
+                Some(Write { signal: *sig, word: 0, lsb: *lsb, value: value.resize(*width) })
             }
-            LTarget::Part(s, off, w) => {
-                out.push(Write { signal: *s, word: 0, lsb: *off, value: value.resize(*w) });
-            }
-            LTarget::Word(s, index) => {
-                let idx = eval(&self.view(), index, index.width);
-                if let Some(i) = idx.to_u128() {
-                    if (i as u64) < self.words[s.0 as usize].len() as u64 {
-                        let w = self.design.signal(*s).width;
-                        out.push(Write {
-                            signal: *s,
-                            word: i as u64,
-                            lsb: 0,
-                            value: value.resize(w),
-                        });
-                    }
+            Dst::Bit { sig, index, limit } => {
+                let i = eval(&self.view(), index, index.width).to_u128()?;
+                if i < *limit as u128 {
+                    Some(Write { signal: *sig, word: 0, lsb: i as u32, value: value.resize(1) })
+                } else {
+                    None
                 }
             }
-            LTarget::Concat(parts) => {
-                // Slice from the MSB side.
-                let total: u32 = parts.iter().map(|p| p.width(&self.design)).sum();
-                let mut consumed = 0;
-                for p in parts {
-                    let pw = p.width(&self.design);
-                    let lsb = total - consumed - pw;
-                    let slice = value.get_slice(lsb, pw);
-                    self.resolve_target(p, slice, out);
-                    consumed += pw;
+            Dst::Word { sig, index, width, limit } => {
+                let i = eval(&self.view(), index, index.width).to_u128()?;
+                // The `as u64` truncation mirrors the compiled kernel's
+                // word resolution exactly (equivalence over speed).
+                if (i as u64) < *limit as u64 {
+                    Some(Write {
+                        signal: *sig,
+                        word: i as u64,
+                        lsb: 0,
+                        value: value.resize(*width),
+                    })
+                } else {
+                    None
                 }
             }
         }
@@ -425,7 +512,9 @@ impl Simulator {
         let updated = if w.lsb == 0 && w.value.width() == old.width() {
             w.value
         } else {
-            old.with_slice(w.lsb, w.value)
+            let mut u = old;
+            u.set_slice(w.lsb, w.value);
+            u
         };
         if updated == old {
             return;
@@ -434,13 +523,7 @@ impl Simulator {
         // Array word writes do not produce scalar events (no process is
         // edge/level sensitive to a whole memory in this subset), but
         // combinational readers of the memory must re-run.
-        let triggered = self.triggered_by(w.signal, old, updated);
-        for pid in triggered {
-            // A running process misses its own events (IEEE 1364).
-            if Some(pid) != current {
-                active.push(pid);
-            }
-        }
+        self.collect_triggered(w.signal, old, updated, current, active);
     }
 
     /// True for signals procedurally driven (regs); used by tests.
@@ -486,9 +569,9 @@ mod tests {
 
     fn sim(src: &str) -> Simulator {
         let file = parse(src).unwrap();
-        let top = file.top().unwrap().name.clone();
-        let design = elaborate(&file, &top).unwrap();
-        Simulator::new(&design).unwrap()
+        let top = &file.top().unwrap().name;
+        let design = elaborate(&file, top).unwrap();
+        Simulator::new(design).unwrap()
     }
 
     fn u(sim: &Simulator, name: &str) -> u128 {
@@ -590,7 +673,7 @@ mod tests {
         // must NOT be reported as oscillation.
         let s = parse("module fx(output y);\nassign y = ~y;\nendmodule\n").unwrap();
         let design = elaborate(&s, "fx").unwrap();
-        let sim = Simulator::new(&design).unwrap();
+        let sim = Simulator::new(design).unwrap();
         assert!(sim.peek_by_name("y").unwrap().to_u128().is_none());
     }
 
@@ -609,7 +692,7 @@ mod tests {
         )
         .unwrap();
         let design = elaborate(&s, "osc").unwrap();
-        match Simulator::new(&design) {
+        match Simulator::new(design) {
             Err(SimError::Unstable { .. }) => {}
             other => panic!("expected unstable, got {other:?}"),
         }

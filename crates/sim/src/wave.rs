@@ -204,7 +204,7 @@ mod tests {
         )
         .unwrap();
         let d = elaborate(&file, "c").unwrap();
-        Simulator::new(&d).unwrap()
+        Simulator::new(d).unwrap()
     }
 
     #[test]

@@ -267,13 +267,13 @@ fn simulated_adder_is_correct() {
          assign {cout, sum} = a + b + {7'd0, cin};\nendmodule\n",
     )
     .unwrap();
-    let design = elaborate(&file, "add").unwrap();
+    let design = std::sync::Arc::new(elaborate(&file, "add").unwrap());
     let mut rng = rng_for(11);
     for _ in 0..48 {
         let a = rng.random_range(0..256u64) as u128;
         let b = rng.random_range(0..256u64) as u128;
         let cin = rng.random_range(0..2u64) as u128;
-        let mut sim = Simulator::new(&design).unwrap();
+        let mut sim = Simulator::from_arc(std::sync::Arc::clone(&design)).unwrap();
         sim.poke_by_name("a", Logic::from_u128(8, a)).unwrap();
         sim.poke_by_name("b", Logic::from_u128(8, b)).unwrap();
         sim.poke_by_name("cin", Logic::from_u128(1, cin)).unwrap();
@@ -293,12 +293,12 @@ fn simulated_counter_tracks_enables() {
          if (!rst_n) q <= 4'd0; else if (en) q <= q + 4'd1;\nend\nendmodule\n",
     )
     .unwrap();
-    let design = elaborate(&file, "c").unwrap();
+    let design = std::sync::Arc::new(elaborate(&file, "c").unwrap());
     let mut rng = rng_for(12);
     for _ in 0..48 {
         let len = rng.random_range(1..40usize);
         let pattern: Vec<bool> = (0..len).map(|_| rng.random::<bool>()).collect();
-        let mut sim = Simulator::new(&design).unwrap();
+        let mut sim = Simulator::from_arc(std::sync::Arc::clone(&design)).unwrap();
         sim.poke_by_name("clk", Logic::bit(false)).unwrap();
         sim.poke_by_name("rst_n", Logic::bit(false)).unwrap();
         sim.poke_by_name("rst_n", Logic::bit(true)).unwrap();

@@ -8,6 +8,7 @@ use crate::refmodel::{IoFrame, IoSpec, RefModel};
 use crate::scoreboard::{Coverage, Mismatch, Scoreboard};
 use crate::sequence::Sequence;
 use std::fmt;
+use std::sync::Arc;
 use uvllm_sim::{
     AnySim, CheckoutError, Design, Logic, SimBackend, SimControl, SimError, Simulator, Waveform,
 };
@@ -245,15 +246,17 @@ impl fmt::Debug for Environment {
 }
 
 impl Environment {
-    /// Builds an environment around an elaborated design on the
-    /// process-default backend ([`SimBackend::from_env`]).
+    /// Builds an environment around a shared elaborated design on the
+    /// process-default backend ([`SimBackend::from_env`]). The `Arc`
+    /// is threaded through to the kernel as-is — nothing on this path
+    /// clones the design.
     ///
     /// # Errors
     ///
     /// [`UvmError::MissingPort`] when the DUT lacks an interface port;
     /// [`UvmError::Sim`] when time-zero settling fails.
     pub fn new(
-        design: &Design,
+        design: &Arc<Design>,
         iface: DutInterface,
         refmodel: Box<dyn RefModel>,
         sequences: Vec<Box<dyn Sequence>>,
@@ -261,14 +264,14 @@ impl Environment {
         Environment::new_with(design, iface, refmodel, sequences, SimBackend::from_env())
     }
 
-    /// Builds an environment around an elaborated design on an explicit
-    /// simulation backend.
+    /// Builds an environment around a shared elaborated design on an
+    /// explicit simulation backend.
     ///
     /// # Errors
     ///
     /// As [`Environment::new`].
     pub fn new_with(
-        design: &Design,
+        design: &Arc<Design>,
         iface: DutInterface,
         refmodel: Box<dyn RefModel>,
         sequences: Vec<Box<dyn Sequence>>,
