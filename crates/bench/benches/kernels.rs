@@ -7,14 +7,17 @@
 //! ```
 //!
 //! Besides the criterion output, the run writes **`BENCH_kernels.json`**
-//! (schema v3, path overridable via `UVLLM_BENCH_JSON`): per-backend
+//! (schema v4, path overridable via `UVLLM_BENCH_JSON`): per-backend
 //! ns/cycle **and measured heap allocations per cycle** (a counting
 //! global allocator wraps the timed loop; both kernels must report 0)
 //! for the raw kernel, ns/cycle for the whole UVM environment, plus the
 //! wall-clock of a full campaign (`UVLLM_BENCH_SIZE` instances × all
 //! six methods; the paper's 331 by default) on each backend — so the
 //! perf *and* allocation trajectories are tracked machine-readably
-//! across PRs instead of living in README prose.
+//! across PRs instead of living in README prose. v4 folds in headline
+//! `uvllm-obs` registry counters: activations per cycle and (compiled
+//! kernel) the two-state fast-path hit rate for the timed kernel loop,
+//! and the mean flush batch size of the batched llm-overlap run.
 
 use criterion::{criterion_group, BatchSize, Criterion};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -132,12 +135,25 @@ criterion_group!(
 // Machine-readable perf record (BENCH_kernels.json)
 // ----------------------------------------------------------------------
 
+/// Raw kernel measurements over the timed loop.
+struct KernelCosts {
+    ns_per_cycle: f64,
+    allocs_per_cycle: f64,
+    /// Registry-measured process activations per full clock cycle.
+    activations_per_cycle: f64,
+    /// Compiled kernel only: fraction of activations that ran the
+    /// unchecked two-state fast path.
+    fastpath_hit_rate: Option<f64>,
+}
+
 /// Raw kernel throughput and allocation rate: ns and heap allocations
 /// per full clock cycle (two pokes) of the counter_12 design, measured
 /// over `cycles` cycles after a warm-up. The allocation rate must be 0
 /// on both backends — the strict bound `tests/alloc_steady_state.rs`
 /// enforces, recorded here so `BENCH_kernels.json` tracks it per run.
-fn kernel_cycle_costs(backend: SimBackend, cycles: u64) -> (f64, f64) {
+/// Activation and fast-path counters come from the `uvllm-obs` registry
+/// (reset around the timed loop, so they cover exactly those cycles).
+fn kernel_cycle_costs(backend: SimBackend, cycles: u64) -> KernelCosts {
     let d = by_name("counter_12").unwrap();
     let file = uvllm_verilog::parse(d.source).unwrap();
     let design = std::sync::Arc::new(elaborate(&file, d.name).unwrap());
@@ -149,6 +165,7 @@ fn kernel_cycle_costs(backend: SimBackend, cycles: u64) -> (f64, f64) {
         sim.poke_by_name("clk", Logic::bit(true)).unwrap();
         sim.poke_by_name("clk", Logic::bit(false)).unwrap();
     }
+    uvllm_obs::registry().reset();
     let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
     let start = Instant::now();
     for _ in 0..cycles {
@@ -158,7 +175,22 @@ fn kernel_cycle_costs(backend: SimBackend, cycles: u64) -> (f64, f64) {
     let elapsed = start.elapsed();
     let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
     black_box(sim.peek_by_name("q").unwrap());
-    (elapsed.as_nanos() as f64 / cycles as f64, allocs as f64 / cycles as f64)
+    let snapshot = uvllm_obs::registry().snapshot();
+    let counter = |name: &str| snapshot.counter(name).unwrap_or(0) as f64;
+    let (activations, fastpath_hit_rate) = match backend {
+        SimBackend::EventDriven => (counter("sim.event.activations"), None),
+        SimBackend::Compiled => {
+            let fast = counter("sim.compiled.fastpath_hits");
+            let slow = counter("sim.compiled.fallback_hits");
+            (fast + slow, Some(fast / (fast + slow).max(1.0)))
+        }
+    };
+    KernelCosts {
+        ns_per_cycle: elapsed.as_nanos() as f64 / cycles as f64,
+        allocs_per_cycle: allocs as f64 / cycles as f64,
+        activations_per_cycle: activations / cycles as f64,
+        fastpath_hit_rate,
+    }
 }
 
 /// Whole-environment throughput: ns per checked cycle of a UVM run over
@@ -213,7 +245,7 @@ const OVERLAP_SIZE: usize = 24;
 /// batched service (one round trip per flush). The gap this measures is
 /// exactly the overlap the submit/await redesign buys, tracked in
 /// `BENCH_kernels.json` as `llm_overlap`.
-fn llm_overlap_wall_clock(batched: bool) -> f64 {
+fn llm_overlap_wall_clock(batched: bool) -> (f64, f64) {
     let config = CampaignConfig {
         dataset_size: OVERLAP_SIZE,
         methods: vec![MethodKind::Uvllm, MethodKind::Meic, MethodKind::GptDirect],
@@ -225,10 +257,13 @@ fn llm_overlap_wall_clock(batched: bool) -> f64 {
         ..CampaignConfig::default()
     };
     let mut sink = MemorySink::new();
+    uvllm_obs::registry().reset();
     let start = Instant::now();
     let outcome = Campaign::new(config).unwrap().run(&mut sink).unwrap();
     black_box(outcome.new_records.len());
-    start.elapsed().as_secs_f64()
+    let flushes = outcome.metrics.counter("llm.flushes").unwrap_or(0) as f64;
+    let prompts = outcome.metrics.counter("llm.flushed_prompts").unwrap_or(0) as f64;
+    (start.elapsed().as_secs_f64(), prompts / flushes.max(1.0))
 }
 
 fn round2(v: f64) -> f64 {
@@ -249,26 +284,35 @@ fn write_bench_json() {
     let mut campaign_s = [0.0f64; 2];
     let mut allocs = [0.0f64; 2];
     for (i, backend) in SimBackend::ALL.into_iter().enumerate() {
-        let (kernel_ns, alloc_per_cycle) = kernel_cycle_costs(backend, 20_000);
+        let costs = kernel_cycle_costs(backend, 20_000);
+        let kernel_ns = costs.ns_per_cycle;
+        let alloc_per_cycle = costs.allocs_per_cycle;
         allocs[i] = alloc_per_cycle;
         let env_ns = env_ns_per_cycle(backend, 2_000, 5);
         let (wall_s, jobs) = campaign_wall_clock(backend, size);
         campaign_s[i] = wall_s;
         println!(
             "{backend}: kernel {kernel_ns:.0} ns/cycle, {alloc_per_cycle} allocs/cycle, \
-             env {env_ns:.0} ns/cycle, campaign {size}x6 {wall_s:.2}s ({jobs} jobs)"
+             {:.2} activations/cycle, env {env_ns:.0} ns/cycle, \
+             campaign {size}x6 {wall_s:.2}s ({jobs} jobs)",
+            costs.activations_per_cycle,
         );
-        backends.push(Json::Obj(vec![
+        let mut obj = vec![
             ("backend".into(), Json::Str(backend.label().to_string())),
             ("kernel_ns_per_cycle".into(), Json::Num(round2(kernel_ns))),
             ("alloc_per_cycle".into(), Json::Num(alloc_per_cycle)),
+            ("activations_per_cycle".into(), Json::Num(round2(costs.activations_per_cycle))),
             ("env_ns_per_cycle".into(), Json::Num(round2(env_ns))),
             ("campaign_wall_s".into(), Json::Num(round2(wall_s))),
             ("campaign_jobs".into(), Json::Num(jobs as f64)),
-        ]));
+        ];
+        if let Some(rate) = costs.fastpath_hit_rate {
+            obj.push(("fastpath_hit_rate".into(), Json::Num(round2(rate))));
+        }
+        backends.push(Json::Obj(obj));
     }
-    let direct_s = llm_overlap_wall_clock(false);
-    let batched_s = llm_overlap_wall_clock(true);
+    let (direct_s, _) = llm_overlap_wall_clock(false);
+    let (batched_s, mean_batch) = llm_overlap_wall_clock(true);
     println!(
         "llm overlap ({}ms rtt, {} workers, {} instances x 3 llm methods): \
          per-job {direct_s:.2}s vs batched {batched_s:.2}s ({:.2}x)",
@@ -278,7 +322,7 @@ fn write_bench_json() {
         direct_s / batched_s.max(1e-9),
     );
     let doc = Json::Obj(vec![
-        ("schema".into(), Json::Str("uvllm-bench-kernels/v3".into())),
+        ("schema".into(), Json::Str("uvllm-bench-kernels/v4".into())),
         ("campaign_size".into(), Json::Num(size as f64)),
         ("campaign_methods".into(), Json::Num(MethodKind::ALL.len() as f64)),
         ("backends".into(), Json::Arr(backends)),
@@ -295,6 +339,7 @@ fn write_bench_json() {
                 ("llm_methods".into(), Json::Num(3.0)),
                 ("per_job_wall_s".into(), Json::Num(round2(direct_s))),
                 ("batched_wall_s".into(), Json::Num(round2(batched_s))),
+                ("mean_batch_size".into(), Json::Num(round2(mean_batch))),
                 (
                     "speedup_batched_vs_per_job".into(),
                     Json::Num(round2(direct_s / batched_s.max(1e-9))),

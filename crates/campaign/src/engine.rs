@@ -12,6 +12,25 @@ use uvllm::BenchInstance;
 use uvllm_llm::{BatchConfig, BatchedLlm};
 use uvllm_sim::SimBackend;
 
+/// Registry handles for the engine (`campaign.*`), resolved once.
+/// Worker-side counters (`campaign.worker.<i>.jobs`, `campaign.queue_depth`)
+/// live in [`crate::queue::run_pool`].
+#[derive(Debug)]
+struct CampaignMetrics {
+    /// Rows successfully appended to the sink by this process.
+    sink_rows: &'static uvllm_obs::Counter,
+    /// Jobs skipped because the sink already held their rows.
+    resume_skips: &'static uvllm_obs::Counter,
+}
+
+fn metrics() -> &'static CampaignMetrics {
+    static METRICS: std::sync::OnceLock<CampaignMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| CampaignMetrics {
+        sink_rows: uvllm_obs::registry().counter("campaign.sink_rows"),
+        resume_skips: uvllm_obs::registry().counter("campaign.resume_skips"),
+    })
+}
+
 /// What to run and how wide.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
@@ -42,6 +61,16 @@ pub struct CampaignConfig {
     /// measurements and therefore excluded from the row byte-identity
     /// contract.
     pub llm_telemetry: bool,
+    /// `Some` writes a [`uvllm_obs`] snapshot (`MetricsSnapshot::render`)
+    /// to this path at the end of the run, plus a best-effort periodic
+    /// flush every [`CampaignConfig::metrics_flush_jobs`] finished jobs.
+    /// Metrics never touch the rows: metrics-on and metrics-off runs
+    /// produce byte-identical JSONL.
+    pub metrics_out: Option<std::path::PathBuf>,
+    /// Periodic metrics-flush cadence in finished jobs (0 disables the
+    /// periodic flush; the end-of-run snapshot is always written when
+    /// [`CampaignConfig::metrics_out`] is set).
+    pub metrics_flush_jobs: usize,
 }
 
 impl Default for CampaignConfig {
@@ -56,6 +85,8 @@ impl Default for CampaignConfig {
             llm_batch: None,
             llm_latency: None,
             llm_telemetry: false,
+            metrics_out: None,
+            metrics_flush_jobs: 64,
         }
     }
 }
@@ -130,13 +161,11 @@ pub struct CampaignOutcome {
     pub golden_designs: usize,
     /// Elaboration-cache counters after the run.
     pub elab_stats: uvllm_sim::ElabCacheStats,
-    /// Total wall-clock the freshly-evaluated jobs spent blocked on the
-    /// LLM service (summed across workers; overlapping waits count
-    /// once per job).
-    pub llm_wait_total: Duration,
-    /// Largest service flush observed across the fresh jobs (1 in
-    /// direct mode, up to `max_batch` when batched).
-    pub llm_batch_max: u64,
+    /// Registry snapshot taken when the pool wound down: kernel, cache,
+    /// campaign and LLM-service counters (`llm.ticket_wait_us` and
+    /// friends replace the old `llm_wait_total` / `llm_batch_max`
+    /// roll-ups; per-job waits stay on [`EvalRecord`]).
+    pub metrics: uvllm_obs::MetricsSnapshot,
 }
 
 /// A configured, validated campaign.
@@ -231,11 +260,19 @@ impl Campaign {
             })
             .collect();
 
+        let campaign_metrics = metrics();
+        if resumed > 0 {
+            campaign_metrics.resume_skips.add(resumed as u64);
+        }
+
         let existing_rows = sink.existing_rows();
         let sink = Mutex::new(sink);
         let sink_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
         let backend = self.config.backend;
         let telemetry = self.config.llm_telemetry;
+        let metrics_out = self.config.metrics_out.as_deref();
+        let flush_every = self.config.metrics_flush_jobs;
+        let finished = std::sync::atomic::AtomicUsize::new(0);
 
         // One shared batching service for the whole pool: every job
         // opens a session on it, so LLM round trips from all workers
@@ -255,9 +292,22 @@ impl Campaign {
         let new_records =
             run_pool(jobs, self.config.effective_workers(), backend, &llm, |_, record| {
                 let row = if telemetry { record.to_row_with_telemetry() } else { record.to_row() };
-                let mut guard = sink.lock().expect("sink poisoned");
-                if let Err(e) = guard.append(&row) {
-                    sink_error.lock().expect("sink error poisoned").get_or_insert(e);
+                {
+                    let mut guard = sink.lock().expect("sink poisoned");
+                    if let Err(e) = guard.append(&row) {
+                        sink_error.lock().expect("sink error poisoned").get_or_insert(e);
+                        return;
+                    }
+                }
+                campaign_metrics.sink_rows.inc();
+                let done = finished.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                if let Some(path) = metrics_out {
+                    // Periodic flush is best-effort (a torn write here
+                    // must not fail the campaign); the end-of-run write
+                    // below is the authoritative one and does error.
+                    if flush_every > 0 && done.is_multiple_of(flush_every) {
+                        let _ = std::fs::write(path, uvllm_obs::registry().snapshot().render());
+                    }
                 }
             });
         drop(llm);
@@ -270,8 +320,10 @@ impl Campaign {
             return Err(e);
         }
 
-        let llm_wait_total = new_records.iter().map(|r| r.llm_wait).sum();
-        let llm_batch_max = new_records.iter().map(|r| r.llm_batch_max).max().unwrap_or(0);
+        let metrics_snapshot = uvllm_obs::registry().snapshot();
+        if let Some(path) = &self.config.metrics_out {
+            std::fs::write(path, metrics_snapshot.render())?;
+        }
         let mut rows = existing_rows;
         rows.extend(new_records.iter().map(EvalRecord::to_row));
         Ok(CampaignOutcome {
@@ -282,8 +334,7 @@ impl Campaign {
             resumed,
             golden_designs: golden.len(),
             elab_stats: uvllm_sim::cache::stats(),
-            llm_wait_total,
-            llm_batch_max,
+            metrics: metrics_snapshot,
         })
     }
 }

@@ -424,92 +424,106 @@ pub fn evaluate_one_on(
     let oracle = |profile| -> Box<dyn LanguageModel> {
         Box::new(OracleLlm::new(inst.ground_truth.clone(), design.source, profile, oracle_seed))
     };
-    let (final_code, claimed, texec, stage_times, fixed_by, usage, wait) = match method {
-        MethodKind::Uvllm | MethodKind::UvllmComplete => {
-            let config = VerifyConfig {
-                output_mode: if method == MethodKind::UvllmComplete {
-                    OutputMode::Complete
-                } else {
-                    OutputMode::Pairs
-                },
-                backend,
-                ..VerifyConfig::default()
-            };
-            // The job drives its own service handle (and, through it,
-            // its own seeded model): the whole run is Send and shares
-            // no mutable LLM state with other jobs even when the
-            // handle is a session of the campaign-wide BatchedLlm.
-            let service = llm.service_for(oracle(ModelProfile::Gpt4Turbo));
-            let mut framework = Uvllm::with_service(service, config);
-            let out = framework.verify(design, &inst.mutated_src);
-            let wait = framework.into_service().wait_stats();
-            (
-                out.final_code,
-                out.success,
-                out.times.total().as_secs_f64(),
-                Some(out.times),
-                out.fixed_by,
-                out.usage,
-                wait,
-            )
-        }
-        MethodKind::Meic => {
-            let mut service = llm.service_for(oracle(ModelProfile::Gpt4TurboWeakHarness));
-            let mut m = MeicRepair::new(&mut *service).with_backend(backend);
-            let out = m.repair(design, &inst.mutated_src);
-            (
-                out.final_code,
-                out.claimed_success,
-                out.time.as_secs_f64(),
-                None,
-                None,
-                out.usage,
-                service.wait_stats(),
-            )
-        }
-        MethodKind::GptDirect => {
-            let mut service = llm.service_for(oracle(ModelProfile::Gpt4TurboWeakHarness));
-            let mut m = GptDirect::new(&mut *service).with_backend(backend);
-            let out = m.repair(design, &inst.mutated_src);
-            (
-                out.final_code,
-                out.claimed_success,
-                out.time.as_secs_f64(),
-                None,
-                None,
-                out.usage,
-                service.wait_stats(),
-            )
-        }
-        MethodKind::Strider => {
-            let mut m = StriderRepair::new().with_backend(backend);
-            let out = m.repair(design, &inst.mutated_src);
-            (
-                out.final_code,
-                out.claimed_success,
-                out.time.as_secs_f64(),
-                None,
-                None,
-                out.usage,
-                WaitStats::default(),
-            )
-        }
-        MethodKind::RtlRepair => {
-            let mut m = RtlRepair::new().with_backend(backend);
-            let out = m.repair(design, &inst.mutated_src);
-            (
-                out.final_code,
-                out.claimed_success,
-                out.time.as_secs_f64(),
-                None,
-                None,
-                out.usage,
-                WaitStats::default(),
-            )
+    let (final_code, claimed, texec, stage_times, fixed_by, usage, wait) = {
+        // `stage_us.repair` spans the whole method run (localize +
+        // repair attempts + internal re-simulation), mirroring the
+        // paper's repair stage; parse/elab/simulate stages are timed at
+        // their own layers.
+        let _span = uvllm_obs::Span::enter("repair");
+        match method {
+            MethodKind::Uvllm | MethodKind::UvllmComplete => {
+                let config = VerifyConfig {
+                    output_mode: if method == MethodKind::UvllmComplete {
+                        OutputMode::Complete
+                    } else {
+                        OutputMode::Pairs
+                    },
+                    backend,
+                    ..VerifyConfig::default()
+                };
+                // The job drives its own service handle (and, through it,
+                // its own seeded model): the whole run is Send and shares
+                // no mutable LLM state with other jobs even when the
+                // handle is a session of the campaign-wide BatchedLlm.
+                let service = llm.service_for(oracle(ModelProfile::Gpt4Turbo));
+                let mut framework = Uvllm::with_service(service, config);
+                let out = framework.verify(design, &inst.mutated_src);
+                let wait = framework.into_service().wait_stats();
+                (
+                    out.final_code,
+                    out.success,
+                    out.times.total().as_secs_f64(),
+                    Some(out.times),
+                    out.fixed_by,
+                    out.usage,
+                    wait,
+                )
+            }
+            MethodKind::Meic => {
+                let mut service = llm.service_for(oracle(ModelProfile::Gpt4TurboWeakHarness));
+                let mut m = MeicRepair::new(&mut *service).with_backend(backend);
+                let out = m.repair(design, &inst.mutated_src);
+                (
+                    out.final_code,
+                    out.claimed_success,
+                    out.time.as_secs_f64(),
+                    None,
+                    None,
+                    out.usage,
+                    service.wait_stats(),
+                )
+            }
+            MethodKind::GptDirect => {
+                let mut service = llm.service_for(oracle(ModelProfile::Gpt4TurboWeakHarness));
+                let mut m = GptDirect::new(&mut *service).with_backend(backend);
+                let out = m.repair(design, &inst.mutated_src);
+                (
+                    out.final_code,
+                    out.claimed_success,
+                    out.time.as_secs_f64(),
+                    None,
+                    None,
+                    out.usage,
+                    service.wait_stats(),
+                )
+            }
+            MethodKind::Strider => {
+                let mut m = StriderRepair::new().with_backend(backend);
+                let out = m.repair(design, &inst.mutated_src);
+                (
+                    out.final_code,
+                    out.claimed_success,
+                    out.time.as_secs_f64(),
+                    None,
+                    None,
+                    out.usage,
+                    WaitStats::default(),
+                )
+            }
+            MethodKind::RtlRepair => {
+                let mut m = RtlRepair::new().with_backend(backend);
+                let out = m.repair(design, &inst.mutated_src);
+                (
+                    out.final_code,
+                    out.claimed_success,
+                    out.time.as_secs_f64(),
+                    None,
+                    None,
+                    out.usage,
+                    WaitStats::default(),
+                )
+            }
         }
     };
-    let hit = uvllm::metrics::hit_confirmed_with(design, &final_code, backend);
-    let fix_outcome = uvllm::metrics::fix_verdict_with(design, &final_code, backend);
+    // `stage_us.simulate`: the verdict runs driving the final candidate
+    // through the UVM environment on the chosen kernel.
+    let (hit, fix_outcome) = {
+        let _span = uvllm_obs::Span::enter("simulate");
+        (
+            uvllm::metrics::hit_confirmed_with(design, &final_code, backend),
+            uvllm::metrics::fix_verdict_with(design, &final_code, backend),
+        )
+    };
     EvalRecord {
         instance_id: inst.id(),
         design: design.name,

@@ -76,6 +76,10 @@ pub fn expected_job_ids(
 ///
 /// # Errors
 ///
+/// * a shard that contributed zero rows (an empty file merges cleanly
+///   when the other shards cover the job space — but a listed shard
+///   with nothing in it is a truncated or mis-pathed file, not a
+///   legitimate participant),
 /// * a job id answered by two shards (named, with both shards),
 /// * a job id outside the expected job space (a shard from a different
 ///   dataset size/seed or method list),
@@ -84,6 +88,15 @@ pub fn merge_rows(
     shards: &[(String, Vec<EvalRow>)],
     expected_ids: &[String],
 ) -> Result<MergeOutcome, String> {
+    let empty: Vec<String> =
+        shards.iter().filter(|(_, rows)| rows.is_empty()).map(|(s, _)| s.clone()).collect();
+    if !empty.is_empty() {
+        return Err(format!(
+            "{} shard(s) contributed zero rows (truncated or wrong file?): {}",
+            empty.len(),
+            named(&empty),
+        ));
+    }
     let expected: HashSet<&str> = expected_ids.iter().map(String::as_str).collect();
     let mut owner: HashMap<&str, &str> = HashMap::new();
     let mut duplicates: Vec<String> = Vec::new();
@@ -209,6 +222,19 @@ mod tests {
         let shard1 = run_shard(1, 2);
         assert!(!shard1.is_empty());
         assert!(err.contains(&shard1[0].id), "must name a missing pair: {err}");
+    }
+
+    #[test]
+    fn empty_shards_are_rejected() {
+        // A zero-row shard used to merge cleanly whenever the other
+        // shards covered the job space — hiding a truncated file.
+        let shards = vec![
+            ("full.jsonl".to_string(), run_shard(0, 1)),
+            ("empty.jsonl".to_string(), Vec::new()),
+        ];
+        let err = merge_rows(&shards, &expected()).unwrap_err();
+        assert!(err.contains("zero rows"), "{err}");
+        assert!(err.contains("empty.jsonl"), "must name the empty shard: {err}");
     }
 
     #[test]

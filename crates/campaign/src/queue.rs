@@ -55,12 +55,24 @@ pub fn run_pool(
     let workers = workers.max(1).min(jobs.len().max(1));
     let queue = WorkQueue::new(jobs);
     let results: Mutex<Vec<(usize, EvalRecord)>> = Mutex::new(Vec::new());
+    // `campaign.queue_depth` tracks unclaimed jobs; gauges are absolute,
+    // so concurrent pools would fight over it — campaigns run one pool
+    // at a time, which is the case the snapshot documents.
+    let depth = uvllm_obs::registry().gauge("campaign.queue_depth");
+    depth.set(queue.remaining() as i64);
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
+        for worker in 0..workers {
+            let worker_jobs =
+                uvllm_obs::registry().counter(&format!("campaign.worker.{worker}.jobs"));
+            let queue = &queue;
+            let results = &results;
+            let on_record = &on_record;
+            scope.spawn(move || {
                 while let Some(job) = queue.pop() {
+                    depth.dec();
                     let record = evaluate_one_on(job.method, &job.instance, backend, llm);
+                    worker_jobs.inc();
                     on_record(&job, &record);
                     results.lock().expect("result list poisoned").push((job.index, record));
                 }

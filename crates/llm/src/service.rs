@@ -45,8 +45,59 @@ use crate::model::{Completion, LanguageModel, LlmError, Usage};
 use crate::prompt::RepairPrompt;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+use uvllm_obs::{registry, Counter, Gauge, Histogram};
+
+/// Registry handles for the service layer (`llm.*`), resolved once.
+/// Per-handle [`WaitStats`] stay for per-job row telemetry (a global
+/// registry cannot attribute waits to one job); these are the
+/// service-wide aggregates campaigns snapshot.
+#[derive(Debug)]
+struct LlmMetrics {
+    /// Prompts submitted but not yet pulled into a flush window.
+    queue_depth: &'static Gauge,
+    /// Tickets redeemed across all handles.
+    tickets: &'static Counter,
+    /// Submission-to-delivery wall time per ticket, in microseconds.
+    ticket_wait_us: &'static Histogram,
+    /// Prompts per flush.
+    batch_size: &'static Histogram,
+    /// Flushes answered (any reason).
+    flushes: &'static Counter,
+    /// Prompts answered across all flushes (`flushed_prompts / flushes`
+    /// is the mean batch size).
+    flushed_prompts: &'static Counter,
+    /// Flushes triggered by a full batch window.
+    flush_full: &'static Counter,
+    /// Flushes triggered by the `max_wait` deadline.
+    flush_timeout: &'static Counter,
+    /// Flushes draining the queue at service shutdown.
+    flush_shutdown: &'static Counter,
+}
+
+fn metrics() -> &'static LlmMetrics {
+    static METRICS: OnceLock<LlmMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| LlmMetrics {
+        queue_depth: registry().gauge("llm.queue_depth"),
+        tickets: registry().counter("llm.tickets"),
+        ticket_wait_us: registry().histogram("llm.ticket_wait_us"),
+        batch_size: registry().histogram("llm.batch_size"),
+        flushes: registry().counter("llm.flushes"),
+        flushed_prompts: registry().counter("llm.flushed_prompts"),
+        flush_full: registry().counter("llm.flush.full"),
+        flush_timeout: registry().counter("llm.flush.timeout"),
+        flush_shutdown: registry().counter("llm.flush.shutdown"),
+    })
+}
+
+/// Why a flush fired (tallied per flush in the registry).
+#[derive(Debug, Clone, Copy)]
+enum FlushReason {
+    Full,
+    Timeout,
+    Shutdown,
+}
 
 /// Flush policy and sizing of a [`BatchedLlm`] service.
 #[derive(Debug, Clone, PartialEq)]
@@ -590,11 +641,16 @@ fn service_loop<M: LanguageModel>(chan: Arc<Chan<Msg<M>>>, config: BatchConfig) 
                 Recv::Timeout | Recv::Closed => break,
             }
         }
-        flush(&mut sessions, &mut pending, config.round_trip);
+        let reason = if pending.len() >= config.max_batch {
+            FlushReason::Full
+        } else {
+            FlushReason::Timeout
+        };
+        flush(&mut sessions, &mut pending, config.round_trip, reason);
     }
     // Drain on shutdown: the queue is closed and empty; anything still
     // pending (a partial window interrupted by close) is answered.
-    flush(&mut sessions, &mut pending, config.round_trip);
+    flush(&mut sessions, &mut pending, config.round_trip, FlushReason::Shutdown);
     sessions
 }
 
@@ -610,7 +666,10 @@ fn handle_msg<M: LanguageModel>(
         Msg::Close { session } => {
             sessions.remove(&session);
         }
-        Msg::Request(request) => pending.push(request),
+        Msg::Request(request) => {
+            metrics().queue_depth.dec();
+            pending.push(request);
+        }
     }
 }
 
@@ -621,11 +680,21 @@ fn flush<M: LanguageModel>(
     sessions: &mut HashMap<u64, M>,
     pending: &mut Vec<PendingRequest>,
     round_trip: Duration,
+    reason: FlushReason,
 ) {
     if pending.is_empty() {
         return;
     }
     let batch_size = pending.len();
+    let m = metrics();
+    m.flushes.inc();
+    m.flushed_prompts.add(batch_size as u64);
+    m.batch_size.record(batch_size as u64);
+    match reason {
+        FlushReason::Full => m.flush_full.inc(),
+        FlushReason::Timeout => m.flush_timeout.inc(),
+        FlushReason::Shutdown => m.flush_shutdown.inc(),
+    }
     if !round_trip.is_zero() {
         std::thread::sleep(round_trip);
     }
@@ -716,6 +785,8 @@ impl<M: LanguageModel + 'static> LlmService for LlmClient<M> {
                 Err(LlmError::ServiceClosed("service stopped before submission".to_string())),
                 0,
             );
+        } else {
+            metrics().queue_depth.inc();
         }
         self.outstanding.insert(ticket.0, OutstandingTicket { slot, submitted: Instant::now() });
         ticket
@@ -726,9 +797,13 @@ impl<M: LanguageModel + 'static> LlmService for LlmClient<M> {
             LlmError::NoResponse(format!("ticket #{} was never issued by this handle", ticket.0))
         })?;
         let delivery = outstanding.slot.wait(&|| self.chan.is_closed());
+        let waited = outstanding.submitted.elapsed();
         self.stats.tickets += 1;
-        self.stats.wait += outstanding.submitted.elapsed();
+        self.stats.wait += waited;
         self.stats.max_batch = self.stats.max_batch.max(delivery.batch_size);
+        let m = metrics();
+        m.tickets.inc();
+        m.ticket_wait_us.record(waited.as_micros() as u64);
         if let Ok(completion) = &delivery.result {
             // The per-ticket usage delta: exactly what the backend
             // recorded for this completion, attributed to this handle.

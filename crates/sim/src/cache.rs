@@ -92,6 +92,7 @@ pub fn elaborate_source_cached(src: &str, top: &str) -> CachedResult {
             Some(Entry::Ready(result)) => {
                 let result = result.clone();
                 cache.hits += 1;
+                crate::metrics::cache().elab_hits.inc();
                 return result;
             }
             Some(Entry::Pending(in_flight)) => {
@@ -99,6 +100,7 @@ pub fn elaborate_source_cached(src: &str, top: &str) -> CachedResult {
                 // its result instead of duplicating the work.
                 let in_flight = Arc::clone(in_flight);
                 cache.hits += 1;
+                crate::metrics::cache().elab_hits.inc();
                 drop(cache);
                 let mut slot = in_flight.slot.lock().expect("in-flight slot poisoned");
                 while slot.is_none() {
@@ -109,6 +111,7 @@ pub fn elaborate_source_cached(src: &str, top: &str) -> CachedResult {
             None => {
                 flight = Arc::new(InFlight { slot: Mutex::new(None), ready: Condvar::new() });
                 cache.misses += 1;
+                crate::metrics::cache().elab_misses.inc();
                 cache.map.insert(key.clone(), Entry::Pending(Arc::clone(&flight)));
             }
         }
@@ -116,9 +119,16 @@ pub fn elaborate_source_cached(src: &str, top: &str) -> CachedResult {
 
     // Elaborate outside the map lock: unrelated keys proceed in
     // parallel across the worker pool.
-    let result: CachedResult = uvllm_verilog::parse(src)
-        .map_err(|e| e.to_string())
-        .and_then(|file| elaborate(&file, top).map(Arc::new).map_err(|e| e.to_string()));
+    let result: CachedResult = {
+        let parsed = {
+            let _span = uvllm_obs::Span::enter("parse");
+            uvllm_verilog::parse(src).map_err(|e| e.to_string())
+        };
+        parsed.and_then(|file| {
+            let _span = uvllm_obs::Span::enter("elab");
+            elaborate(&file, top).map(Arc::new).map_err(|e| e.to_string())
+        })
+    };
 
     {
         let mut cache = inner().lock().expect("elab cache poisoned");
@@ -127,6 +137,7 @@ pub fn elaborate_source_cached(src: &str, top: &str) -> CachedResult {
             // or their waiters would hang.
             cache.map.retain(|_, entry| matches!(entry, Entry::Pending(_)));
             cache.evictions += 1;
+            crate::metrics::cache().elab_evictions.inc();
         }
         cache.map.insert(key, Entry::Ready(result.clone()));
     }
@@ -302,15 +313,20 @@ pub fn checkout_sim(src: &str, top: &str) -> Result<PooledSim, CheckoutError> {
         if parked.is_some() {
             pool.checkouts += 1;
             pool.reuses += 1;
+            let metrics = crate::metrics::cache();
+            metrics.pool_checkouts.inc();
+            metrics.pool_reuses.inc();
         }
         parked
     };
     if let Some(mut sim) = parked {
         sim.reset_state();
+        crate::metrics::cache().pool_resets.inc();
         return Ok(PooledSim { sim: Some(sim), key: Some(key) });
     }
     let sim = CompiledSim::from_compiled(compiled).map_err(CheckoutError::Sim)?;
     pool_inner().lock().expect("sim pool poisoned").checkouts += 1;
+    crate::metrics::cache().pool_checkouts.inc();
     Ok(PooledSim { sim: Some(sim), key: Some(key) })
 }
 

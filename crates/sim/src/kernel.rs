@@ -85,6 +85,18 @@ pub struct CompiledSim {
     /// Reusable non-blocking-assignment queue (same rationale).
     nba_scratch: Vec<Write>,
     time: u64,
+    /// Registry handles, resolved once at construction
+    /// (`sim.compiled.*`); [`CompiledSim::run`] flushes locally
+    /// accumulated tallies through them per settle.
+    metrics: &'static crate::metrics::CompiledKernelMetrics,
+}
+
+/// Per-settle tallies, accumulated in locals and flushed once.
+#[derive(Debug, Default)]
+struct RunTally {
+    fast: u64,
+    slow: u64,
+    nba_commits: u64,
 }
 
 /// Four-state fallback view over the arena.
@@ -151,6 +163,7 @@ impl CompiledSim {
             scratch: Vec::new(),
             nba_scratch: Vec::new(),
             time: 0,
+            metrics: crate::metrics::compiled_kernel(),
         };
         sim.initialise()?;
         sim.init_val = Arc::from(sim.val.clone());
@@ -306,15 +319,18 @@ impl CompiledSim {
 
     /// Executes one process body, choosing the evaluation regime per
     /// activation: compile-time-marked bodies run fully unchecked while
-    /// the arena holds no unknown bits.
+    /// the arena holds no unknown bits. Returns whether the unchecked
+    /// two-state fast path was taken (tallied by the caller).
     #[inline]
-    fn exec_process(&mut self, cd: &Arc<CompiledDesign>, pid: u32, nba: &mut Vec<Write>) {
+    fn exec_process(&mut self, cd: &Arc<CompiledDesign>, pid: u32, nba: &mut Vec<Write>) -> bool {
         let body = &cd.design().processes()[pid as usize].body;
-        if self.xz_slots == 0 && cd.two_state(pid) {
+        let fast = self.xz_slots == 0 && cd.two_state(pid);
+        if fast {
             self.exec::<true>(cd, body, nba, Some(pid));
         } else {
             self.exec::<false>(cd, body, nba, Some(pid));
         }
+        fast
     }
 
     /// Delta-cycle driver: levelized combinational sweeps, then fired
@@ -322,6 +338,30 @@ impl CompiledSim {
     /// until nothing is pending. The NBA queue is caller-provided
     /// scratch so the steady state allocates nothing.
     fn run(&mut self, cd: &Arc<CompiledDesign>, nba: &mut Vec<Write>) -> Result<(), SimError> {
+        let mut tally = RunTally::default();
+        let result = self.run_inner(cd, nba, &mut tally);
+        // Flush the tallies: O(1) relaxed atomic adds per settle, no
+        // per-activation shared-cache-line traffic across workers.
+        let metrics = self.metrics;
+        metrics.settles.inc();
+        if tally.fast > 0 {
+            metrics.fastpath_hits.add(tally.fast);
+        }
+        if tally.slow > 0 {
+            metrics.fallback_hits.add(tally.slow);
+        }
+        if tally.nba_commits > 0 {
+            metrics.nba_commits.add(tally.nba_commits);
+        }
+        result
+    }
+
+    fn run_inner(
+        &mut self,
+        cd: &Arc<CompiledDesign>,
+        nba: &mut Vec<Write>,
+        tally: &mut RunTally,
+    ) -> Result<(), SimError> {
         let mut activations = 0usize;
         loop {
             while self.dirty_count > 0 {
@@ -335,7 +375,11 @@ impl CompiledSim {
                         return Err(SimError::Unstable { activations });
                     }
                     activations += 1;
-                    self.exec_process(cd, pid, nba);
+                    if self.exec_process(cd, pid, nba) {
+                        tally.fast += 1;
+                    } else {
+                        tally.slow += 1;
+                    }
                 }
             }
             if !self.seq_fired.is_empty() {
@@ -351,7 +395,11 @@ impl CompiledSim {
                         return Err(SimError::Unstable { activations });
                     }
                     activations += 1;
-                    self.exec_process(cd, pid, nba);
+                    if self.exec_process(cd, pid, nba) {
+                        tally.fast += 1;
+                    } else {
+                        tally.slow += 1;
+                    }
                 }
                 batch.clear();
                 self.seq_scratch = batch;
@@ -363,6 +411,7 @@ impl CompiledSim {
                 // `exec` queues NBAs, so the list is stable while we
                 // iterate, and clearing (not taking) it keeps its
                 // capacity for the next cycle.
+                tally.nba_commits += nba.len() as u64;
                 for w in nba.iter() {
                     self.apply_write(cd, w, None);
                 }

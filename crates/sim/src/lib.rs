@@ -57,6 +57,7 @@ pub mod elab;
 pub mod eval;
 pub mod kernel;
 pub mod logic;
+mod metrics;
 mod program;
 pub mod sched;
 pub mod wave;

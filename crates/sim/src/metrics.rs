@@ -1,0 +1,83 @@
+//! Registry handles for the simulation layer, resolved once and shared.
+//!
+//! Kernel instrumentation follows the `uvllm-obs` contract: each
+//! simulator instance captures its kernel's handle struct at
+//! construction, accumulates tallies in locals inside the settle loop,
+//! and flushes them as a handful of relaxed atomic adds per settle —
+//! so the steady-state cycle loop stays allocation-free and the
+//! per-activation path stays atomic-free.
+
+use std::sync::OnceLock;
+use uvllm_obs::{registry, Counter};
+
+/// Event-kernel counters (`sim.event.*`).
+#[derive(Debug)]
+pub(crate) struct EventKernelMetrics {
+    /// Settle sweeps driven ([`crate::sched::Simulator`] event-loop
+    /// entries: pokes that triggered work, plus explicit settles).
+    pub settles: &'static Counter,
+    /// Process activations executed.
+    pub activations: &'static Counter,
+    /// Events enqueued into the active set (triggered process
+    /// scheduling, including sweep seeds).
+    pub events: &'static Counter,
+    /// Non-blocking assignments committed at delta boundaries.
+    pub nba_commits: &'static Counter,
+}
+
+/// Compiled-kernel counters (`sim.compiled.*`).
+#[derive(Debug)]
+pub(crate) struct CompiledKernelMetrics {
+    /// Delta-cycle driver entries ([`crate::kernel::CompiledSim`]).
+    pub settles: &'static Counter,
+    /// Process activations that ran the unchecked two-state fast path.
+    pub fastpath_hits: &'static Counter,
+    /// Process activations that ran the four-state fallback.
+    pub fallback_hits: &'static Counter,
+    /// Non-blocking assignments committed at delta boundaries.
+    pub nba_commits: &'static Counter,
+}
+
+/// Cache and instance-pool counters (`sim.elab_cache.*`, `sim.pool.*`).
+#[derive(Debug)]
+pub(crate) struct CacheMetrics {
+    pub elab_hits: &'static Counter,
+    pub elab_misses: &'static Counter,
+    pub elab_evictions: &'static Counter,
+    pub pool_checkouts: &'static Counter,
+    pub pool_reuses: &'static Counter,
+    /// `reset_state` rewinds performed on reused pooled instances.
+    pub pool_resets: &'static Counter,
+}
+
+pub(crate) fn event_kernel() -> &'static EventKernelMetrics {
+    static METRICS: OnceLock<EventKernelMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| EventKernelMetrics {
+        settles: registry().counter("sim.event.settles"),
+        activations: registry().counter("sim.event.activations"),
+        events: registry().counter("sim.event.events"),
+        nba_commits: registry().counter("sim.event.nba_commits"),
+    })
+}
+
+pub(crate) fn compiled_kernel() -> &'static CompiledKernelMetrics {
+    static METRICS: OnceLock<CompiledKernelMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| CompiledKernelMetrics {
+        settles: registry().counter("sim.compiled.settles"),
+        fastpath_hits: registry().counter("sim.compiled.fastpath_hits"),
+        fallback_hits: registry().counter("sim.compiled.fallback_hits"),
+        nba_commits: registry().counter("sim.compiled.nba_commits"),
+    })
+}
+
+pub(crate) fn cache() -> &'static CacheMetrics {
+    static METRICS: OnceLock<CacheMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| CacheMetrics {
+        elab_hits: registry().counter("sim.elab_cache.hits"),
+        elab_misses: registry().counter("sim.elab_cache.misses"),
+        elab_evictions: registry().counter("sim.elab_cache.evictions"),
+        pool_checkouts: registry().counter("sim.pool.checkouts"),
+        pool_reuses: registry().counter("sim.pool.reuses"),
+        pool_resets: registry().counter("sim.pool.resets"),
+    })
+}

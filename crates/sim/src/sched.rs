@@ -90,6 +90,17 @@ pub struct Simulator {
     time: u64,
     /// Set when the initial blocks have been run.
     initialised: bool,
+    /// Registry handles, resolved once at construction (`sim.event.*`);
+    /// the event loop flushes locally accumulated tallies through them
+    /// in a handful of relaxed atomic adds per settle.
+    metrics: &'static crate::metrics::EventKernelMetrics,
+}
+
+/// Per-drive tallies, accumulated in locals and flushed once.
+#[derive(Debug, Default)]
+struct EventTally {
+    activations: u64,
+    nba_commits: u64,
 }
 
 struct StateView<'a> {
@@ -171,6 +182,7 @@ impl Simulator {
             writes: Vec::new(),
             time: 0,
             initialised: false,
+            metrics: crate::metrics::event_kernel(),
         };
         sim.initialise()?;
         Ok(sim)
@@ -322,7 +334,21 @@ impl Simulator {
         let programs = Arc::clone(&self.programs);
         let mut nba = std::mem::take(&mut self.nba);
         let mut writes = std::mem::take(&mut self.writes);
-        let result = self.run_events(&programs, &mut active, &mut nba, &mut writes);
+        let mut tally = EventTally::default();
+        let result = self.run_events(&programs, &mut active, &mut nba, &mut writes, &mut tally);
+        // Flush the tallies: O(1) relaxed atomic adds per settle, no
+        // per-activation shared-cache-line traffic across workers.
+        let metrics = self.metrics;
+        metrics.settles.inc();
+        if tally.activations > 0 {
+            metrics.activations.add(tally.activations);
+        }
+        if !active.is_empty() {
+            metrics.events.add(active.len() as u64);
+        }
+        if tally.nba_commits > 0 {
+            metrics.nba_commits.add(tally.nba_commits);
+        }
         active.clear();
         nba.clear();
         writes.clear();
@@ -348,34 +374,38 @@ impl Simulator {
         active: &mut Vec<ProcessId>,
         nba: &mut Vec<Write>,
         writes: &mut Vec<Write>,
+        tally: &mut EventTally,
     ) -> Result<(), SimError> {
         let mut activations = 0usize;
         // FIFO via cursor (no front removal); the queue is bounded by
         // the activation cap.
         let mut head = 0usize;
-        loop {
+        let result = 'run: loop {
             while head < active.len() {
                 let pid = active[head];
                 head += 1;
                 if activations == MAX_ACTIVATIONS {
-                    return Err(SimError::Unstable { activations });
+                    break 'run Err(SimError::Unstable { activations });
                 }
                 activations += 1;
                 self.exec_program(&programs[pid.0 as usize], nba, active, writes, Some(pid));
             }
             if nba.is_empty() {
-                return Ok(());
+                break 'run Ok(());
             }
             // Non-blocking assignment region: apply all queued writes,
             // collecting newly triggered processes. No process is
             // running here, so nothing is skipped; only `exec_program`
             // queues NBAs, so the list is stable while we iterate, and
             // clearing (not taking) it keeps its capacity.
+            tally.nba_commits += nba.len() as u64;
             for w in nba.iter() {
                 self.apply_write(w, active, None);
             }
             nba.clear();
-        }
+        };
+        tally.activations = activations as u64;
+        result
     }
 
     fn view(&self) -> StateView<'_> {

@@ -75,7 +75,9 @@ impl UvmLog {
     }
 
     /// Records a scoreboard mismatch in the canonical format parsed by
-    /// the localization engine.
+    /// the localization engine. The signal name is quote-escaped so
+    /// [`UvmLog::parse_mismatches`] recovers it byte-exactly whatever
+    /// characters it contains.
     pub fn mismatch(&mut self, m: &Mismatch) {
         self.entries.push(LogEntry {
             severity: UvmSeverity::Error,
@@ -83,7 +85,9 @@ impl UvmLog {
             component: "scoreboard".to_string(),
             message: format!(
                 "mismatch on signal '{}': expected {} actual {}",
-                m.signal, m.expected, m.actual
+                escape_signal(&m.signal),
+                m.expected,
+                m.actual
             ),
         });
     }
@@ -119,7 +123,7 @@ impl UvmLog {
                 continue;
             };
             let Some(rest) = line.split("mismatch on signal '").nth(1) else { continue };
-            let Some((signal, tail)) = rest.split_once('\'') else { continue };
+            let Some((signal, tail)) = split_quoted(rest) else { continue };
             let expected = tail
                 .split("expected ")
                 .nth(1)
@@ -127,10 +131,43 @@ impl UvmLog {
                 .unwrap_or_default();
             let actual =
                 tail.split("actual ").nth(1).and_then(|s| s.split(' ').next()).unwrap_or_default();
-            out.push((time, signal.to_string(), expected.to_string(), actual.to_string()));
+            out.push((time, signal, expected.to_string(), actual.to_string()));
         }
         out
     }
+}
+
+/// Escapes a signal name for embedding between single quotes:
+/// `\` → `\\`, `'` → `\'`. Inverse of the scan in [`split_quoted`].
+fn escape_signal(signal: &str) -> String {
+    let mut out = String::with_capacity(signal.len());
+    for c in signal.chars() {
+        if c == '\\' || c == '\'' {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Splits `rest` at its first *unescaped* closing quote, returning the
+/// unescaped signal name and the tail after the quote.
+fn split_quoted(rest: &str) -> Option<(String, &str)> {
+    let mut signal = String::new();
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        if escaped {
+            signal.push(c);
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '\'' {
+            return Some((signal, &rest[i + 1..]));
+        } else {
+            signal.push(c);
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -171,5 +208,32 @@ mod tests {
     fn parse_skips_malformed_lines() {
         let parsed = UvmLog::parse_mismatches("UVM_ERROR nonsense\nplain text\n");
         assert!(parsed.is_empty());
+        // An unterminated quote is malformed, not a panic or a bogus row.
+        let parsed = UvmLog::parse_mismatches(
+            "UVM_ERROR @ 5 [scoreboard] mismatch on signal 'dangling: expected 1 actual 0",
+        );
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn awkward_signal_names_round_trip_exactly() {
+        // Names with spaces, '=', quotes and backslashes used to render
+        // unescaped, silently truncating the parsed signal (and with a
+        // stray quote, corrupting the expected/actual fields too).
+        for signal in ["bus [3]", "a=b", "don't", "path\\leaf", "mix 'q' = \\x", "it's 'nested'"] {
+            let mut log = UvmLog::new();
+            log.mismatch(&Mismatch {
+                time: 7,
+                cycle: 1,
+                signal: signal.to_string(),
+                expected: Logic::from_u128(4, 0x3),
+                actual: Logic::from_u128(4, 0x1),
+            });
+            let parsed = UvmLog::parse_mismatches(&log.render());
+            assert_eq!(parsed.len(), 1, "signal {signal:?}");
+            assert_eq!(parsed[0].1, signal, "signal must round-trip byte-exactly");
+            assert_eq!(parsed[0].2, "4'h3", "expected field intact for {signal:?}");
+            assert_eq!(parsed[0].3, "4'h1", "actual field intact for {signal:?}");
+        }
     }
 }

@@ -9,7 +9,9 @@
 //! cargo run --release --example campaign -- --backend compiled
 //! cargo run --release --example campaign -- --workers 8 --llm-batch 8
 //! cargo run --release --example campaign -- --llm-batch 8 --llm-latency-ms 5 --llm-telemetry
+//! cargo run --release --example campaign -- --metrics-out metrics.json
 //! cargo run --release --example campaign -- merge shard0.jsonl shard1.jsonl --out merged.jsonl
+//! cargo run --release --example campaign -- metrics-check metrics.json
 //! ```
 //!
 //! Re-running with the same `--out` resumes: completed jobs are read
@@ -36,9 +38,10 @@ struct Args {
 const USAGE: &str = "usage: campaign [--workers N] [--shard i/n] [--size N] \
      [--seed HEX] [--methods A,B,..] [--backend event|compiled] \
      [--llm-batch N] [--llm-max-wait-ms MS] [--llm-latency-ms MS] \
-     [--llm-telemetry] [--out FILE]\n\
+     [--llm-telemetry] [--metrics-out FILE] [--metrics-flush-jobs N] [--out FILE]\n\
      \x20      campaign merge [--size N] [--seed HEX] [--methods A,B,..] \
      [--out FILE] SHARD.jsonl..\n\
+     \x20      campaign metrics-check METRICS.json\n\
      methods: UVLLM, UVLLM(comp), MEIC, GPT-4-turbo, Strider, RTLrepair";
 
 /// Flags shared by the run and merge forms.
@@ -125,6 +128,15 @@ fn parse_args() -> Result<Args, String> {
                 config.llm_latency = Some(Duration::from_millis(ms));
             }
             "--llm-telemetry" => config.llm_telemetry = true,
+            "--metrics-out" => {
+                config.metrics_out = Some(std::path::PathBuf::from(value("--metrics-out")?));
+            }
+            "--metrics-flush-jobs" => {
+                config.metrics_flush_jobs =
+                    value("--metrics-flush-jobs")?.parse().map_err(|_| {
+                        "--metrics-flush-jobs must be a number (0 disables)".to_string()
+                    })?;
+            }
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
     }
@@ -184,11 +196,32 @@ fn run_campaign() -> Result<(), String> {
         outcome.elab_stats.misses,
         outcome.elab_stats.entries,
     );
+    let tickets = outcome.metrics.counter("llm.tickets").unwrap_or(0);
+    let flushes = outcome.metrics.counter("llm.flushes").unwrap_or(0);
+    let prompts = outcome.metrics.counter("llm.flushed_prompts").unwrap_or(0);
+    let mean_batch = if flushes > 0 { prompts as f64 / flushes as f64 } else { 0.0 };
     println!(
-        "llm service: {:.1?} total blocked-on-llm time across jobs, largest batch {}",
-        outcome.llm_wait_total, outcome.llm_batch_max,
+        "llm service: {tickets} tickets across {flushes} flushes (mean batch {mean_batch:.2})",
     );
+    if let Some(path) = &config.metrics_out {
+        println!("metrics snapshot written to {}", path.display());
+    }
     println!("{}", outcome.report.render());
+    Ok(())
+}
+
+/// Validates a `--metrics-out` snapshot file against the
+/// `uvllm-metrics/v1` schema (the CI gate for metrics artifacts).
+fn run_metrics_check(paths: Vec<String>) -> Result<(), String> {
+    if paths.is_empty() {
+        return Err("metrics-check needs a metrics JSON file".to_string());
+    }
+    for path in paths {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        uvllm_obs::validate_snapshot_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: valid {} snapshot", uvllm_obs::SNAPSHOT_SCHEMA);
+    }
     Ok(())
 }
 
@@ -236,10 +269,10 @@ fn run_merge(args: Vec<String>) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    let result = if std::env::args().nth(1).as_deref() == Some("merge") {
-        run_merge(std::env::args().skip(2).collect())
-    } else {
-        run_campaign()
+    let result = match std::env::args().nth(1).as_deref() {
+        Some("merge") => run_merge(std::env::args().skip(2).collect()),
+        Some("metrics-check") => run_metrics_check(std::env::args().skip(2).collect()),
+        _ => run_campaign(),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -78,7 +78,11 @@ fn telemetry_rows_carry_wait_members_and_strip_back_to_canonical() {
     let mut sink = MemorySink::new();
     let outcome = Campaign::new(config).unwrap().run(&mut sink).unwrap();
 
-    assert!(outcome.llm_batch_max >= 1);
+    let batch_max = outcome.new_records.iter().map(|r| r.llm_batch_max).max().unwrap_or(0);
+    assert!(batch_max >= 1);
+    // The registry snapshot carries the service-wide equivalents of the
+    // old outcome roll-ups.
+    assert!(outcome.metrics.counter("llm.tickets").unwrap_or(0) >= 1);
     let mut canonical = Vec::new();
     for row in sink.rows() {
         // Telemetry members are present, survive a JSONL round trip...
