@@ -17,7 +17,11 @@
 //! across PRs instead of living in README prose. v4 folds in headline
 //! `uvllm-obs` registry counters: activations per cycle and (compiled
 //! kernel) the two-state fast-path hit rate for the timed kernel loop,
-//! and the mean flush batch size of the batched llm-overlap run.
+//! and the mean flush batch size of the batched llm-overlap run. v5
+//! adds the `netlist_opt` record: per-pass rewrite counts, levelized
+//! depth before/after and measured settle ns/cycle base vs optimized
+//! for the featured design (`adder_16bit`, whose ripple chain the
+//! buffer-removal pass shortens).
 
 use criterion::{criterion_group, BatchSize, Criterion};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -270,6 +274,71 @@ fn round2(v: f64) -> f64 {
     (v * 100.0).round() / 100.0
 }
 
+/// Settle throughput of a combinational design on the compiled kernel:
+/// ns per poke-all-inputs-and-settle iteration, after a warm-up.
+fn comb_settle_ns(design: &uvllm_sim::Design, iters: u64) -> f64 {
+    let design = std::sync::Arc::new(design.clone());
+    let inputs: Vec<(String, u32)> = design
+        .inputs()
+        .iter()
+        .map(|&id| (design.signal(id).name.clone(), design.signal(id).width))
+        .collect();
+    let mut sim = AnySim::new(&design, SimBackend::Compiled).unwrap();
+    let drive = |sim: &mut AnySim, i: u64| {
+        for (name, width) in &inputs {
+            let v = Logic::from_u128(*width, (i as u128).wrapping_mul(0x9E37_79B9));
+            sim.poke_by_name(name, v).unwrap();
+        }
+        sim.settle().unwrap();
+    };
+    for i in 0..500 {
+        drive(&mut sim, i);
+    }
+    let start = Instant::now();
+    for i in 0..iters {
+        drive(&mut sim, i);
+    }
+    let elapsed = start.elapsed();
+    black_box(sim.peek_word(design.outputs()[0], 0));
+    elapsed.as_nanos() as f64 / iters as f64
+}
+
+/// The netlist-pass perf record: pass statistics and the measured
+/// settle-throughput delta on the featured design, optimized (O3)
+/// against unoptimized, compiled kernel.
+fn netlist_opt_record() -> Json {
+    use uvllm_netlist::{levelized_depth, OptLevel, PassManager};
+    const FEATURED: &str = "adder_16bit";
+    let d = by_name(FEATURED).unwrap();
+    let file = uvllm_verilog::parse(d.source).unwrap();
+    let base = elaborate(&file, d.name).unwrap();
+    let mut opt = base.clone();
+    let stats = PassManager::standard(OptLevel::O3).run(&mut opt);
+    let base_ns = comb_settle_ns(&base, 200_000);
+    let opt_ns = comb_settle_ns(&opt, 200_000);
+    println!(
+        "netlist opt ({FEATURED}, O3): depth {} -> {}, {} rewrites, \
+         settle {base_ns:.0} -> {opt_ns:.0} ns/cycle ({:.2}x)",
+        stats.depth_before,
+        stats.depth_after,
+        stats.total_rewrites(),
+        base_ns / opt_ns.max(1e-9),
+    );
+    let passes =
+        stats.per_pass.iter().map(|p| (p.name.to_string(), Json::Num(p.rewrites as f64))).collect();
+    Json::Obj(vec![
+        ("design".into(), Json::Str(FEATURED.into())),
+        ("opt_level".into(), Json::Str("O3".into())),
+        ("depth_before".into(), Json::Num(levelized_depth(&base) as f64)),
+        ("depth_after".into(), Json::Num(levelized_depth(&opt) as f64)),
+        ("rounds".into(), Json::Num(stats.rounds as f64)),
+        ("rewrites".into(), Json::Obj(passes)),
+        ("base_settle_ns_per_cycle".into(), Json::Num(round2(base_ns))),
+        ("opt_settle_ns_per_cycle".into(), Json::Num(round2(opt_ns))),
+        ("speedup_opt_vs_base".into(), Json::Num(round2(base_ns / opt_ns.max(1e-9)))),
+    ])
+}
+
 fn write_bench_json() {
     let size = std::env::var("UVLLM_BENCH_SIZE")
         .ok()
@@ -321,8 +390,9 @@ fn write_bench_json() {
         OVERLAP_SIZE,
         direct_s / batched_s.max(1e-9),
     );
+    let netlist_opt = netlist_opt_record();
     let doc = Json::Obj(vec![
-        ("schema".into(), Json::Str("uvllm-bench-kernels/v4".into())),
+        ("schema".into(), Json::Str("uvllm-bench-kernels/v5".into())),
         ("campaign_size".into(), Json::Num(size as f64)),
         ("campaign_methods".into(), Json::Num(MethodKind::ALL.len() as f64)),
         ("backends".into(), Json::Arr(backends)),
@@ -346,6 +416,7 @@ fn write_bench_json() {
                 ),
             ]),
         ),
+        ("netlist_opt".into(), netlist_opt),
     ]);
     std::fs::write(&path, format!("{}\n", doc.render())).expect("write BENCH_kernels.json");
     println!("wrote {path}");

@@ -71,6 +71,13 @@ pub struct CampaignConfig {
     /// periodic flush; the end-of-run snapshot is always written when
     /// [`CampaignConfig::metrics_out`] is set).
     pub metrics_flush_jobs: usize,
+    /// Netlist optimization level (0–3) applied to every design the
+    /// elaboration cache hands out, via the standard `uvllm-netlist`
+    /// pipeline. The passes are waveform-equivalence-preserving, so
+    /// rows are byte-identical at every level — the knob changes
+    /// simulation cost, never verdicts. Cache keys include the level,
+    /// so optimized and unoptimized variants never collide.
+    pub opt_level: u8,
 }
 
 impl Default for CampaignConfig {
@@ -87,6 +94,7 @@ impl Default for CampaignConfig {
             llm_telemetry: false,
             metrics_out: None,
             metrics_flush_jobs: 64,
+            opt_level: 0,
         }
     }
 }
@@ -185,6 +193,9 @@ impl Campaign {
         if config.methods.is_empty() {
             return Err("campaign needs at least one method".to_string());
         }
+        if uvllm_netlist::OptLevel::from_u8(config.opt_level).is_none() {
+            return Err(format!("opt level must be 0..=3, got {}", config.opt_level));
+        }
         Ok(Campaign { config })
     }
 
@@ -206,6 +217,13 @@ impl Campaign {
     ///
     /// Returns the first sink I/O error, after the pool has wound down.
     pub fn run(&self, sink: &mut dyn ResultSink) -> std::io::Result<CampaignOutcome> {
+        // Every elaboration below — warm-up and worker-side alike —
+        // goes through the cache, which consults the process-default
+        // profile, so installing it first covers the whole run.
+        uvllm_netlist::install_default_opt(
+            uvllm_netlist::OptLevel::from_u8(self.config.opt_level)
+                .expect("validated in Campaign::new"),
+        );
         let dataset = uvllm::build_dataset_with(
             self.config.dataset_size,
             self.config.dataset_seed,
@@ -450,5 +468,27 @@ mod tests {
         let mut no_methods = tiny_config(1);
         no_methods.methods.clear();
         assert!(Campaign::new(no_methods).is_err());
+        let mut bad_opt = tiny_config(1);
+        bad_opt.opt_level = 4;
+        assert!(Campaign::new(bad_opt).is_err());
+    }
+
+    /// The opt-level byte-identity contract: the netlist passes are
+    /// equivalence-preserving, so verdicts — and therefore rows — do
+    /// not depend on the optimization level.
+    #[test]
+    fn opt_levels_do_not_perturb_rows() {
+        let rows_at = |level: u8| {
+            let mut sink = MemorySink::new();
+            let mut config = tiny_config(2);
+            config.opt_level = level;
+            Campaign::new(config).unwrap().run(&mut sink).unwrap();
+            let mut rows: Vec<String> = sink.rows().iter().map(|r| r.to_json_line()).collect();
+            rows.sort();
+            rows
+        };
+        let plain = rows_at(0);
+        assert_eq!(plain, rows_at(2), "O2 rows must be byte-identical to O0 rows");
+        assert_eq!(plain, rows_at(3), "O3 rows must be byte-identical to O0 rows");
     }
 }

@@ -1,0 +1,55 @@
+//! Registry handles for the netlist layer (`netlist.*`), resolved once.
+//!
+//! Everything is a monotonic counter so campaign metrics stay
+//! independent of worker scheduling order (the `uvllm-metrics/v1`
+//! snapshot contract): per-run values are summed, never sampled.
+
+use std::sync::OnceLock;
+use uvllm_obs::{registry, Counter};
+
+use crate::PipelineStats;
+
+/// Pass-pipeline counters (`netlist.*`).
+#[derive(Debug)]
+struct NetlistMetrics {
+    /// Pipeline runs completed ([`crate::PassManager::run`]).
+    runs: &'static Counter,
+    /// Signal-free subtrees folded to constants (plus masking
+    /// identities and pruned constant branches).
+    cells_folded: &'static Counter,
+    /// Commutative operand swaps performed.
+    ops_canonicalized: &'static Counter,
+    /// Buffer processes removed.
+    buffers_removed: &'static Counter,
+    /// Single-reader producers inlined.
+    chains_rebalanced: &'static Counter,
+    /// Sum of levelized comb depth before the pipeline, across runs.
+    depth_before_total: &'static Counter,
+    /// Sum of levelized comb depth after the pipeline, across runs.
+    depth_after_total: &'static Counter,
+}
+
+fn metrics() -> &'static NetlistMetrics {
+    static METRICS: OnceLock<NetlistMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| NetlistMetrics {
+        runs: registry().counter("netlist.runs"),
+        cells_folded: registry().counter("netlist.cells_folded"),
+        ops_canonicalized: registry().counter("netlist.ops_canonicalized"),
+        buffers_removed: registry().counter("netlist.buffers_removed"),
+        chains_rebalanced: registry().counter("netlist.chains_rebalanced"),
+        depth_before_total: registry().counter("netlist.depth_before_total"),
+        depth_after_total: registry().counter("netlist.depth_after_total"),
+    })
+}
+
+/// Flushes one pipeline run's stats into the registry.
+pub(crate) fn record(stats: &PipelineStats) {
+    let m = metrics();
+    m.runs.add(1);
+    m.cells_folded.add(stats.rewrites("const_fold"));
+    m.ops_canonicalized.add(stats.rewrites("canonicalize"));
+    m.buffers_removed.add(stats.rewrites("buffer_removal"));
+    m.chains_rebalanced.add(stats.rewrites("rebalance"));
+    m.depth_before_total.add(stats.depth_before as u64);
+    m.depth_after_total.add(stats.depth_after as u64);
+}

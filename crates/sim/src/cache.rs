@@ -21,6 +21,15 @@
 //! candidate streams cannot exhaust memory. Results (including parse/
 //! elaboration failures) are cached; since elaboration is deterministic
 //! the cache is invisible to callers except in speed.
+//!
+//! **Pass configuration.** Every cache layer (elaboration, compilation,
+//! instance pool) keys on the active [`OptProfile`] label in addition
+//! to `(source, top)`: an optimized and an unoptimized variant of the
+//! same text are distinct entries and distinct pooled instances, so a
+//! mixed-profile process can never hand one caller the other's design.
+//! The profile's transform runs once per miss, right after elaboration,
+//! and its label is the cache discriminator — profiles with the same
+//! label **must** denote the same transform.
 
 use crate::compile::CompiledDesign;
 use crate::elab::{elaborate, Design};
@@ -35,8 +44,89 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 /// far above the working set of a campaign round).
 pub const ELAB_CACHE_CAPACITY: usize = 4096;
 
-type Key = (String, String);
+/// `(source, top, opt label)` — the content address of one design
+/// variant. The empty label is the identity (no passes).
+type Key = (String, String, String);
 type CachedResult = Result<Arc<Design>, String>;
+
+/// A design rewrite applied between elaboration and the kernels.
+pub type DesignTransform = Arc<dyn Fn(&mut Design) + Send + Sync>;
+
+/// A named post-elaboration pass configuration.
+///
+/// The label keys every cache layer; the transform is what a cache miss
+/// runs on the freshly elaborated design. [`OptProfile::none`] (the
+/// default) is the identity with the empty label — exactly the
+/// pre-pass-framework behaviour.
+#[derive(Clone, Default)]
+pub struct OptProfile {
+    label: String,
+    transform: Option<DesignTransform>,
+}
+
+impl OptProfile {
+    /// The identity profile: no passes, empty cache label.
+    pub fn none() -> OptProfile {
+        OptProfile::default()
+    }
+
+    /// A named transform. The label becomes part of the cache key, so
+    /// it must uniquely identify the transform's behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty label — that is reserved for the identity.
+    pub fn new(label: impl Into<String>, transform: DesignTransform) -> OptProfile {
+        let label = label.into();
+        assert!(!label.is_empty(), "optimization profile label must be non-empty");
+        OptProfile { label, transform: Some(transform) }
+    }
+
+    /// The cache-key label (empty for the identity profile).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// True for the identity profile.
+    pub fn is_identity(&self) -> bool {
+        self.transform.is_none()
+    }
+
+    /// Applies the transform (no-op for the identity profile).
+    pub fn apply(&self, design: &mut Design) {
+        if let Some(transform) = &self.transform {
+            transform(design);
+        }
+    }
+}
+
+impl fmt::Debug for OptProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OptProfile")
+            .field("label", &self.label)
+            .field("transform", &self.transform.as_ref().map(|_| "..."))
+            .finish()
+    }
+}
+
+fn default_opt() -> &'static Mutex<OptProfile> {
+    static DEFAULT: OnceLock<Mutex<OptProfile>> = OnceLock::new();
+    DEFAULT.get_or_init(|| Mutex::new(OptProfile::none()))
+}
+
+/// Sets the process-default pass configuration used by the label-less
+/// entry points ([`elaborate_source_cached`], [`compile_source_cached`],
+/// [`checkout_sim`]) — the lever the campaign CLI's `--opt-level` pulls
+/// without threading a profile through every layer. Variants never
+/// collide regardless: the label is part of every cache key.
+pub fn set_default_opt_profile(profile: OptProfile) {
+    *default_opt().lock().expect("default opt profile poisoned") = profile;
+}
+
+/// The current process-default pass configuration.
+pub fn default_opt_profile() -> OptProfile {
+    default_opt().lock().expect("default opt profile poisoned").clone()
+}
 
 /// A slot another thread is currently elaborating; waiters park on the
 /// condvar until the result lands.
@@ -78,13 +168,25 @@ fn inner() -> &'static Mutex<Inner> {
         .get_or_init(|| Mutex::new(Inner { map: HashMap::new(), hits: 0, misses: 0, evictions: 0 }))
 }
 
-/// Parses and elaborates `src` with `top` as root, memoised process-wide.
+/// Parses and elaborates `src` with `top` as root, memoised process-wide,
+/// under the process-default [`OptProfile`].
 ///
 /// # Errors
 ///
 /// Returns the parse or elaboration error message (also memoised).
 pub fn elaborate_source_cached(src: &str, top: &str) -> CachedResult {
-    let key = (src.to_string(), top.to_string());
+    elaborate_source_opt(src, top, &default_opt_profile())
+}
+
+/// [`elaborate_source_cached`] under an explicit pass configuration:
+/// the profile's transform runs once on each miss and its label keys
+/// the entry, so variants of one text never alias.
+///
+/// # Errors
+///
+/// Returns the parse or elaboration error message (also memoised).
+pub fn elaborate_source_opt(src: &str, top: &str, opt: &OptProfile) -> CachedResult {
+    let key = (src.to_string(), top.to_string(), opt.label().to_string());
     let flight: Arc<InFlight>;
     {
         let mut cache = inner().lock().expect("elab cache poisoned");
@@ -124,10 +226,18 @@ pub fn elaborate_source_cached(src: &str, top: &str) -> CachedResult {
             let _span = uvllm_obs::Span::enter("parse");
             uvllm_verilog::parse(src).map_err(|e| e.to_string())
         };
-        parsed.and_then(|file| {
-            let _span = uvllm_obs::Span::enter("elab");
-            elaborate(&file, top).map(Arc::new).map_err(|e| e.to_string())
-        })
+        parsed
+            .and_then(|file| {
+                let _span = uvllm_obs::Span::enter("elab");
+                elaborate(&file, top).map_err(|e| e.to_string())
+            })
+            .map(|mut design| {
+                if !opt.is_identity() {
+                    let _span = uvllm_obs::Span::enter("optimize");
+                    opt.apply(&mut design);
+                }
+                Arc::new(design)
+            })
     };
 
     {
@@ -168,12 +278,21 @@ fn compiled_inner() -> &'static Mutex<HashMap<Key, CompiledResult>> {
 ///
 /// Returns the parse or elaboration error message (also memoised).
 pub fn compile_source_cached(src: &str, top: &str) -> CompiledResult {
-    let key = (src.to_string(), top.to_string());
+    compile_source_opt(src, top, &default_opt_profile())
+}
+
+/// [`compile_source_cached`] under an explicit pass configuration.
+///
+/// # Errors
+///
+/// Returns the parse or elaboration error message (also memoised).
+pub fn compile_source_opt(src: &str, top: &str, opt: &OptProfile) -> CompiledResult {
+    let key = (src.to_string(), top.to_string(), opt.label().to_string());
     if let Some(hit) = compiled_inner().lock().expect("compile cache poisoned").get(&key) {
         return hit.clone();
     }
-    let result: CompiledResult =
-        elaborate_source_cached(src, top).map(|design| Arc::new(CompiledDesign::from_arc(design)));
+    let result: CompiledResult = elaborate_source_opt(src, top, opt)
+        .map(|design| Arc::new(CompiledDesign::from_arc(design)));
     let mut cache = compiled_inner().lock().expect("compile cache poisoned");
     if cache.len() >= ELAB_CACHE_CAPACITY {
         cache.clear();
@@ -305,8 +424,24 @@ impl Drop for PooledSim {
 /// [`CheckoutError::Sim`] when the design oscillates at time zero
 /// (such designs are never pooled — each checkout re-reports).
 pub fn checkout_sim(src: &str, top: &str) -> Result<PooledSim, CheckoutError> {
-    let compiled = compile_source_cached(src, top).map_err(CheckoutError::Build)?;
-    let key = (src.to_string(), top.to_string());
+    checkout_sim_opt(src, top, &default_opt_profile())
+}
+
+/// [`checkout_sim`] under an explicit pass configuration: the pooled
+/// instances of a text's optimized and unoptimized variants are
+/// segregated by the profile label, so a checkout always returns the
+/// requested variant.
+///
+/// # Errors
+///
+/// As [`checkout_sim`].
+pub fn checkout_sim_opt(
+    src: &str,
+    top: &str,
+    opt: &OptProfile,
+) -> Result<PooledSim, CheckoutError> {
+    let compiled = compile_source_opt(src, top, opt).map_err(CheckoutError::Build)?;
+    let key = (src.to_string(), top.to_string(), opt.label().to_string());
     let parked = {
         let mut pool = pool_inner().lock().expect("sim pool poisoned");
         let parked = pool.map.get_mut(&key).and_then(Vec::pop);
@@ -464,6 +599,45 @@ mod tests {
                    always @(*) begin\ncase (a)\n1'b0: b = 1'b0;\ndefault: b = 1'b1;\nendcase\nend\n\
                    endmodule\n";
         assert!(matches!(checkout_sim(osc, "osc3"), Err(CheckoutError::Sim(_))));
+    }
+
+    #[test]
+    fn opt_profiles_key_separate_variants() {
+        use crate::elab::{SignalInfo, SignalKind};
+        // A transform whose effect is observable: it adds a marker signal.
+        let marker: DesignTransform = Arc::new(|design: &mut Design| {
+            design
+                .add_signal(SignalInfo {
+                    name: "__opt_marker".to_string(),
+                    width: 1,
+                    kind: SignalKind::Net,
+                    words: 1,
+                    lsb: 0,
+                    array_lo: 0,
+                    is_input: false,
+                    is_output: false,
+                })
+                .unwrap();
+        });
+        let profile = OptProfile::new("marker", marker);
+        let plain = elaborate_source_cached(ADD, "add").unwrap();
+        let opt = elaborate_source_opt(ADD, "add", &profile).unwrap();
+        assert!(!Arc::ptr_eq(&plain, &opt), "variants must not alias");
+        assert!(opt.signal_id("__opt_marker").is_some(), "transform ran on the opt variant");
+        assert!(plain.signal_id("__opt_marker").is_none(), "identity variant untouched");
+        // Memoised per label: a second opt lookup shares the first.
+        let opt2 = elaborate_source_opt(ADD, "add", &profile).unwrap();
+        assert!(Arc::ptr_eq(&opt, &opt2));
+        // The compiled cache and the pool separate variants the same way.
+        let cp = compile_source_opt(ADD, "add", &profile).unwrap();
+        let cn = compile_source_cached(ADD, "add").unwrap();
+        assert!(cp.design().signal_id("__opt_marker").is_some());
+        assert!(cn.design().signal_id("__opt_marker").is_none());
+        let sim = checkout_sim_opt(ADD, "add", &profile).unwrap();
+        assert!(sim.design().signal_id("__opt_marker").is_some());
+        drop(sim);
+        let sim = checkout_sim(ADD, "add").unwrap();
+        assert!(sim.design().signal_id("__opt_marker").is_none(), "pool returned wrong variant");
     }
 
     #[test]

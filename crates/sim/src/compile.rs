@@ -270,10 +270,10 @@ fn expr_two_state_safe(design: &Design, e: &LExpr) -> bool {
                 && expr_two_state_safe(design, t)
                 && expr_two_state_safe(design, f)
         }
-        LExprKind::Concat(items) => {
-            items.iter().map(|i| i.width.max(1) as u64).sum::<u64>() <= 128
-                && items.iter().all(|i| expr_two_state_safe(design, i))
-        }
+        // Truncation at the 128-bit cap drops high bits but cannot
+        // generate X, so wide (rebalanced) datapaths stay two-state
+        // safe; the kernel's fast path evaluates them word-parallel.
+        LExprKind::Concat(items) => items.iter().all(|i| expr_two_state_safe(design, i)),
     }
 }
 

@@ -37,7 +37,7 @@ pub enum SignalKind {
 }
 
 /// Metadata for one elaborated signal.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SignalInfo {
     /// Hierarchical name (`u0.sum` for signals inside instances).
     pub name: String,
@@ -163,7 +163,7 @@ pub enum Trigger {
 pub struct ProcessId(pub u32);
 
 /// An executable process.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Process {
     pub trigger: Trigger,
     pub body: LStmt,
@@ -172,7 +172,11 @@ pub struct Process {
 }
 
 /// A fully elaborated, executable design.
-#[derive(Debug, Clone)]
+///
+/// Equality is structural (same signals, processes and port lists in
+/// the same order) — the invariant behind the netlist pass-idempotence
+/// tests: a pass pipeline at fixpoint leaves the design `==` to itself.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Design {
     /// Name of the top module.
     pub top: String,
@@ -212,6 +216,73 @@ impl Design {
     /// Top-level output ports.
     pub fn outputs(&self) -> &[SignalId] {
         &self.outputs
+    }
+
+    // ------------------------------------------------------------------
+    // Builder / mutation API — the surface the netlist pass framework
+    // and the Yosys-JSON importer rewrite designs through. Signal ids
+    // are append-only (passes may orphan a signal but never renumber
+    // one), so every `SignalId` held by an expression stays valid.
+    // ------------------------------------------------------------------
+
+    /// An empty design with no signals or processes: the starting point
+    /// for programmatic construction (e.g. importing third-party RTL).
+    pub fn new_empty(top: impl Into<String>) -> Design {
+        Design {
+            top: top.into(),
+            signals: Vec::new(),
+            by_name: HashMap::new(),
+            processes: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Appends a signal, enforcing elaboration's invariants (unique
+    /// name, width 1..=128, at least one word). Top-level port flags on
+    /// `info` register the signal in [`Design::inputs`] /
+    /// [`Design::outputs`] in call order.
+    ///
+    /// # Errors
+    ///
+    /// Rejects duplicate names and out-of-range widths with a message.
+    pub fn add_signal(&mut self, info: SignalInfo) -> Result<SignalId, String> {
+        if self.by_name.contains_key(&info.name) {
+            return Err(format!("duplicate declaration of '{}'", info.name));
+        }
+        if info.width == 0 || info.width > 128 {
+            return Err(format!(
+                "signal '{}' width {} out of supported range 1..=128",
+                info.name, info.width
+            ));
+        }
+        if info.words == 0 {
+            return Err(format!("signal '{}' needs at least one word", info.name));
+        }
+        let id = SignalId(self.signals.len() as u32);
+        self.by_name.insert(info.name.clone(), id);
+        if info.is_input {
+            self.inputs.push(id);
+        }
+        if info.is_output {
+            self.outputs.push(id);
+        }
+        self.signals.push(info);
+        Ok(id)
+    }
+
+    /// Appends a process and returns its id.
+    pub fn add_process(&mut self, process: Process) -> ProcessId {
+        let id = ProcessId(self.processes.len() as u32);
+        self.processes.push(process);
+        id
+    }
+
+    /// Mutable process list, for rewrite passes. Removing a process is
+    /// allowed (process ids are not referenced by the IR); signals must
+    /// only ever be added, via [`Design::add_signal`].
+    pub fn processes_mut(&mut self) -> &mut Vec<Process> {
+        &mut self.processes
     }
 }
 

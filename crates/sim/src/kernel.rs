@@ -714,17 +714,20 @@ impl CompiledSim {
                 }
             }
             LExprKind::Concat(items) => {
-                let total: u32 = items.iter().map(|i| i.width.max(1)).sum();
-                if total > 128 {
-                    // Truncating concat: four-state handles the cap.
-                    return None;
-                }
+                // Word-parallel for any total width, including the
+                // truncating >128-bit case: `Logic::concat` keeps the
+                // low 128 bits (an item of width 128 displaces the
+                // accumulated high bits entirely), and shifting the
+                // u128 accumulator reproduces exactly that — high bits
+                // fall off the top, wide datapaths stay on the fast
+                // path instead of re-evaluating four-state.
                 let mut acc = 0u128;
                 for item in items {
                     let iw = item.width.max(1);
-                    acc = (acc << iw) | (self.eval2::<UNCHECKED>(item, item.width)? & mask(iw));
+                    let v = self.eval2::<UNCHECKED>(item, item.width)? & mask(iw);
+                    acc = if iw >= 128 { v } else { (acc << iw) | v };
                 }
-                acc
+                acc & mask(w)
             }
         })
     }
@@ -950,6 +953,48 @@ mod tests {
         // Unwritten word: both kernels read X.
         poke_both(&mut ev, &mut cp, "addr", Logic::from_u128(4, 6));
         assert!(SimControl::peek_by_name(&cp, "dout").unwrap().to_u128().is_none());
+    }
+
+    #[test]
+    fn truncating_concat_is_word_parallel_two_state() {
+        // Wide (>128-bit) concats truncate at the IR's 128-bit cap; the
+        // fast path must reproduce that word-parallel instead of
+        // bailing to four-state, and the processes must be marked
+        // two-state safe so the per-read probe is skipped too.
+        let src = "module w(input [63:0] a, input [63:0] b, input [63:0] c,\n\
+                   input [127:0] d, output [127:0] y, output [63:0] z,\n\
+                   output [127:0] e);\n\
+                   assign y = {a, b, c};\n\
+                   assign z = {a, b, c} >> 64;\n\
+                   assign e = {d, a};\nendmodule\n";
+        let file = parse(src).unwrap();
+        let design = Arc::new(elaborate(&file, "w").unwrap());
+        let cd = CompiledDesign::from_arc(Arc::clone(&design));
+        for pid in 0..design.processes().len() as u32 {
+            assert!(cd.two_state(pid), "truncating concat must stay two-state safe (pid {pid})");
+        }
+        let (mut ev, mut cp) = both(src);
+        let av = 0xA5A5_5A5A_DEAD_BEEFu128;
+        let bv = 0x0123_4567_89AB_CDEFu128;
+        let cv = 0xFEDC_BA98_7654_3210u128;
+        let dv = 0xFFFF_0000_FFFF_0000_1234_5678_9ABC_DEF0u128;
+        poke_both(&mut ev, &mut cp, "a", Logic::from_u128(64, av));
+        poke_both(&mut ev, &mut cp, "b", Logic::from_u128(64, bv));
+        poke_both(&mut ev, &mut cp, "c", Logic::from_u128(64, cv));
+        poke_both(&mut ev, &mut cp, "d", Logic::from_u128(128, dv));
+        // {a, b, c} keeps the low 128 bits: {b, c}.
+        let y = SimControl::peek_by_name(&cp, "y").unwrap();
+        assert_eq!(y.to_u128(), Some((bv << 64) | cv));
+        assert_eq!(SimControl::peek_by_name(&cp, "z").unwrap().to_u128(), Some(bv));
+        // A 128-bit item displaces everything above it: {d, a} keeps
+        // {d[63:0], a}.
+        let e = SimControl::peek_by_name(&cp, "e").unwrap();
+        assert_eq!(e.to_u128(), Some(((dv & super::mask(64)) << 64) | av));
+        // X operands still fall back four-state, identically.
+        poke_both(&mut ev, &mut cp, "c", Logic::xs(64));
+        assert!(SimControl::peek_by_name(&cp, "y").unwrap().to_u128().is_none());
+        poke_both(&mut ev, &mut cp, "c", Logic::from_u128(64, 7));
+        assert_eq!(SimControl::peek_by_name(&cp, "y").unwrap().to_u128(), Some((bv << 64) | 7));
     }
 
     #[test]

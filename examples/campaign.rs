@@ -33,12 +33,20 @@ use uvllm_campaign::{
 struct Args {
     config: CampaignConfig,
     out: String,
+    /// `--emit-json DIR`: export every catalog design as Yosys-JSON
+    /// into DIR and exit (no campaign run).
+    emit_json: Option<String>,
+    /// `--import-json FILE`: import a Yosys-JSON netlist and run the
+    /// interchange smoke (both kernels, optimized vs unoptimized,
+    /// re-export fixpoint) instead of a campaign.
+    import_json: Option<String>,
 }
 
 const USAGE: &str = "usage: campaign [--workers N] [--shard i/n] [--size N] \
-     [--seed HEX] [--methods A,B,..] [--backend event|compiled] \
+     [--seed HEX] [--methods A,B,..] [--backend event|compiled] [--opt-level 0..3] \
      [--llm-batch N] [--llm-max-wait-ms MS] [--llm-latency-ms MS] \
      [--llm-telemetry] [--metrics-out FILE] [--metrics-flush-jobs N] [--out FILE]\n\
+     \x20      campaign --emit-json DIR | --import-json FILE.json\n\
      \x20      campaign merge [--size N] [--seed HEX] [--methods A,B,..] \
      [--out FILE] SHARD.jsonl..\n\
      \x20      campaign metrics-check METRICS.json\n\
@@ -89,6 +97,8 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut out = "campaign.jsonl".to_string();
     let mut max_wait: Option<Duration> = None;
+    let mut emit_json = None;
+    let mut import_json = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
@@ -127,6 +137,15 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--llm-latency-ms must be a number".to_string())?;
                 config.llm_latency = Some(Duration::from_millis(ms));
             }
+            "--opt-level" => {
+                config.opt_level = value("--opt-level")?
+                    .parse()
+                    .ok()
+                    .filter(|n| *n <= 3)
+                    .ok_or_else(|| "--opt-level must be 0..=3".to_string())?;
+            }
+            "--emit-json" => emit_json = Some(value("--emit-json")?),
+            "--import-json" => import_json = Some(value("--import-json")?),
             "--llm-telemetry" => config.llm_telemetry = true,
             "--metrics-out" => {
                 config.metrics_out = Some(std::path::PathBuf::from(value("--metrics-out")?));
@@ -152,11 +171,17 @@ fn parse_args() -> Result<Args, String> {
         // of a worker-pool panic.
         uvllm_campaign::worker_count_from_env()?;
     }
-    Ok(Args { config, out })
+    Ok(Args { config, out, emit_json, import_json })
 }
 
 fn run_campaign() -> Result<(), String> {
-    let Args { config, out } = parse_args()?;
+    let Args { config, out, emit_json, import_json } = parse_args()?;
+    if let Some(dir) = emit_json {
+        return run_emit_json(&dir);
+    }
+    if let Some(path) = import_json {
+        return run_import_smoke(&path, config.opt_level);
+    }
     let campaign = Campaign::new(config).map_err(|m| format!("invalid campaign: {m}"))?;
     let config = campaign.config();
     let llm_mode = match &config.llm_batch {
@@ -166,13 +191,15 @@ fn run_campaign() -> Result<(), String> {
         None => "per-job llm".to_string(),
     };
     println!(
-        "campaign: {} instances x {} methods, {} workers, shard {}/{}, {} kernel, {llm_mode}, sink {out}",
+        "campaign: {} instances x {} methods, {} workers, shard {}/{}, {} kernel, \
+         opt O{}, {llm_mode}, sink {out}",
         config.dataset_size,
         config.methods.len(),
         config.effective_workers(),
         config.shard.index,
         config.shard.count,
         config.backend,
+        config.opt_level,
     );
 
     let mut sink = JsonlSink::open(&out).map_err(|e| format!("cannot open sink {out}: {e}"))?;
@@ -207,6 +234,123 @@ fn run_campaign() -> Result<(), String> {
         println!("metrics snapshot written to {}", path.display());
     }
     println!("{}", outcome.report.render());
+    Ok(())
+}
+
+/// `--emit-json DIR`: exports every catalog design as Yosys-JSON into
+/// `DIR/<name>.json` so external tools (Yosys itself included) can
+/// consume the campaign workloads.
+fn run_emit_json(dir: &str) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let mut count = 0usize;
+    for d in uvllm_designs::all() {
+        let file = uvllm_verilog::parse(d.source).map_err(|e| format!("{}: {e}", d.name))?;
+        let design = uvllm_sim::elaborate(&file, d.name).map_err(|e| format!("{}: {e}", d.name))?;
+        let path = format!("{dir}/{}.json", d.name);
+        std::fs::write(&path, uvllm_netlist::yosys::export_string(&design))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        count += 1;
+    }
+    println!("exported {count} designs to {dir}/");
+    Ok(())
+}
+
+/// `--import-json FILE`: imports a Yosys-JSON netlist (third-party or
+/// our own export) and runs the interchange smoke — seeded random
+/// stimulus on both kernels with the optimized design pinned
+/// port-identical to the unoptimized one, plus the re-export fixpoint.
+fn run_import_smoke(path: &str, opt_level: u8) -> Result<(), String> {
+    use std::sync::Arc;
+    use uvllm_netlist::{yosys, OptLevel, PassManager};
+    use uvllm_sim::{AnySim, Logic, SimBackend, SimControl};
+
+    const CYCLES: usize = 200;
+
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let base = yosys::import_str(&text).map_err(|e| e.to_string())?;
+    println!(
+        "imported '{}' from {path}: {} signals, {} processes, levelized depth {}",
+        base.top,
+        base.signals().len(),
+        base.processes().len(),
+        uvllm_netlist::levelized_depth(&base),
+    );
+
+    // Optimize at the requested level (default O3: exercise everything).
+    let level = if opt_level == 0 { OptLevel::O3 } else { OptLevel::from_u8(opt_level).unwrap() };
+    let mut opt = base.clone();
+    let stats = PassManager::standard(level).run(&mut opt);
+    println!(
+        "optimized at {}: {} rewrites in {} rounds, depth {} -> {}",
+        level.label(),
+        stats.total_rewrites(),
+        stats.rounds,
+        stats.depth_before,
+        stats.depth_after,
+    );
+
+    // Drive all four sims (base/opt x event/compiled) in lockstep under
+    // seeded random stimulus; every port must agree on every cycle.
+    let base = Arc::new(base);
+    let opt = Arc::new(opt);
+    let mut sims = [
+        AnySim::new(&base, SimBackend::EventDriven).map_err(|e| e.to_string())?,
+        AnySim::new(&base, SimBackend::Compiled).map_err(|e| e.to_string())?,
+        AnySim::new(&opt, SimBackend::EventDriven).map_err(|e| e.to_string())?,
+        AnySim::new(&opt, SimBackend::Compiled).map_err(|e| e.to_string())?,
+    ];
+    let inputs: Vec<(String, u32)> = base
+        .inputs()
+        .iter()
+        .map(|&id| (base.signal(id).name.clone(), base.signal(id).width))
+        .collect();
+    let ports: Vec<String> = base
+        .inputs()
+        .iter()
+        .chain(base.outputs())
+        .map(|&id| base.signal(id).name.clone())
+        .collect();
+    // splitmix64: deterministic stimulus without pulling in a dev-dep.
+    let mut state = 0x17E2_C4A6_E0D5_EED1u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for cycle in 0..CYCLES {
+        for (name, width) in &inputs {
+            let v = Logic::from_u128(*width, ((next() as u128) << 64) | next() as u128);
+            for sim in sims.iter_mut() {
+                sim.poke_by_name(name, v).map_err(|e| format!("poke {name}: {e}"))?;
+            }
+        }
+        for sim in sims.iter_mut() {
+            sim.settle().map_err(|e| format!("cycle {cycle}: {e}"))?;
+        }
+        for name in &ports {
+            let reference = sims[0].peek_by_name(name).map_err(|e| e.to_string())?;
+            for (i, sim) in sims.iter().enumerate().skip(1) {
+                let got = sim.peek_by_name(name).map_err(|e| e.to_string())?;
+                if got != reference {
+                    return Err(format!(
+                        "cycle {cycle}: port '{name}': sim#{i} diverged ({got} != {reference})"
+                    ));
+                }
+            }
+        }
+    }
+    println!("equivalence: {CYCLES} cycles, base==optimized on both kernels, all ports");
+
+    // Re-export fixpoint: our export of the imported design must
+    // round-trip byte-identically through import.
+    let first = yosys::export_string(&base);
+    let second = yosys::export_string(&yosys::import_str(&first).map_err(|e| e.to_string())?);
+    if first != second {
+        return Err("re-export is not a fixpoint".to_string());
+    }
+    println!("re-export fixpoint: ok ({} bytes)", first.len());
     Ok(())
 }
 
