@@ -3,13 +3,13 @@
 
 use crate::eval::{EvalRecord, LlmPolicy, MethodKind, SharedLlm};
 use crate::job::{expand_jobs, Job, ShardSpec};
-use crate::queue::run_pool;
+use crate::queue::{run_pool, run_pool_supervised, PoolPolicy, PoolStats};
 use crate::report::CampaignReport;
 use crate::sink::ResultSink;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 use uvllm::BenchInstance;
-use uvllm_llm::{BatchConfig, BatchedLlm};
+use uvllm_llm::{BatchConfig, BatchedLlm, FaultPlan, ResiliencePolicy};
 use uvllm_sim::SimBackend;
 
 /// Registry handles for the engine (`campaign.*`), resolved once.
@@ -78,6 +78,19 @@ pub struct CampaignConfig {
     /// simulation cost, never verdicts. Cache keys include the level,
     /// so optimized and unoptimized variants never collide.
     pub opt_level: u8,
+    /// `Some` wraps every job's model in a seeded
+    /// [`uvllm_llm::FaultyLlm`] (per-job streams derived from the plan
+    /// seed × the job's oracle seed). The fault-injection harness the
+    /// resilience layer is proven against; `None` for real runs.
+    pub fault: Option<FaultPlan>,
+    /// `Some` wraps every job's service handle in a
+    /// [`uvllm_llm::ResilientService`] with this policy (per-job jitter
+    /// derivation). Independent of `fault`, so resilience can run
+    /// against real transports too.
+    pub resilience: Option<ResiliencePolicy>,
+    /// Worker-pool supervision: per-job deadline and the deterministic
+    /// failure-injection knobs (see [`PoolPolicy`]).
+    pub pool: PoolPolicy,
 }
 
 impl Default for CampaignConfig {
@@ -95,12 +108,19 @@ impl Default for CampaignConfig {
             metrics_out: None,
             metrics_flush_jobs: 64,
             opt_level: 0,
+            fault: None,
+            resilience: None,
+            pool: PoolPolicy::default(),
         }
     }
 }
 
 impl CampaignConfig {
     /// Resolves `workers == 0` to [`default_worker_count`].
+    ///
+    /// Prefer validating through [`Campaign::new`], which resolves the
+    /// count up front and surfaces a bad `UVLLM_WORKERS` as a config
+    /// `Err` instead of this method's panic.
     pub fn effective_workers(&self) -> usize {
         if self.workers > 0 {
             self.workers
@@ -174,12 +194,18 @@ pub struct CampaignOutcome {
     /// friends replace the old `llm_wait_total` / `llm_batch_max`
     /// roll-ups; per-job waits stay on [`EvalRecord`]).
     pub metrics: uvllm_obs::MetricsSnapshot,
+    /// What worker supervision did: panics caught, requeues granted,
+    /// deadline overruns, quarantined rows.
+    pub pool_stats: PoolStats,
 }
 
 /// A configured, validated campaign.
 #[derive(Debug, Clone)]
 pub struct Campaign {
     config: CampaignConfig,
+    /// Worker count resolved at validation time (so a bad
+    /// `UVLLM_WORKERS` is a config `Err`, not a mid-run panic).
+    workers: usize,
 }
 
 impl Campaign {
@@ -187,7 +213,11 @@ impl Campaign {
     ///
     /// # Errors
     ///
-    /// Rejects an invalid shard spec or an empty method list.
+    /// Rejects an invalid shard spec, an empty method list, a bad opt
+    /// level, or — when `config.workers == 0` defers sizing to the
+    /// environment — an unparsable `UVLLM_WORKERS` value
+    /// ([`worker_count_from_env`]'s message, propagated instead of
+    /// panicking inside the run).
     pub fn new(config: CampaignConfig) -> Result<Campaign, String> {
         config.shard.validate()?;
         if config.methods.is_empty() {
@@ -196,7 +226,15 @@ impl Campaign {
         if uvllm_netlist::OptLevel::from_u8(config.opt_level).is_none() {
             return Err(format!("opt level must be 0..=3, got {}", config.opt_level));
         }
-        Ok(Campaign { config })
+        let workers = if config.workers > 0 {
+            config.workers
+        } else {
+            match worker_count_from_env()? {
+                Some(n) => n,
+                None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            }
+        };
+        Ok(Campaign { config, workers })
     }
 
     /// The validated configuration.
@@ -305,15 +343,27 @@ impl Campaign {
         let llm = match &shared_llm {
             Some(service) => LlmPolicy::batched(service),
             None => LlmPolicy::direct().with_latency(self.config.llm_latency),
-        };
+        }
+        .with_faults(self.config.fault.clone())
+        .with_resilience(self.config.resilience.clone());
 
-        let new_records =
-            run_pool(jobs, self.config.effective_workers(), backend, &llm, |_, record| {
+        // Sink locks recover from poisoning: a worker that panics while
+        // the row callback holds the lock must not wedge the remaining
+        // workers or swallow the sink-error report — the sink's own
+        // append is atomic per row (JSONL lines), so the recovered
+        // state is usable.
+        let (new_records, pool_stats) = run_pool_supervised(
+            jobs,
+            self.workers,
+            backend,
+            &llm,
+            &self.config.pool,
+            |_, record| {
                 let row = if telemetry { record.to_row_with_telemetry() } else { record.to_row() };
                 {
-                    let mut guard = sink.lock().expect("sink poisoned");
+                    let mut guard = sink.lock().unwrap_or_else(PoisonError::into_inner);
                     if let Err(e) = guard.append(&row) {
-                        sink_error.lock().expect("sink error poisoned").get_or_insert(e);
+                        sink_error.lock().unwrap_or_else(PoisonError::into_inner).get_or_insert(e);
                         return;
                     }
                 }
@@ -327,14 +377,15 @@ impl Campaign {
                         let _ = std::fs::write(path, uvllm_obs::registry().snapshot().render());
                     }
                 }
-            });
+            },
+        );
         drop(llm);
         if let Some(service) = shared_llm {
             // Joins the service thread; every session was drained when
             // its job finished, so this is bookkeeping, not a wait.
             drop(service);
         }
-        if let Some(e) = sink_error.into_inner().expect("sink error poisoned") {
+        if let Some(e) = sink_error.into_inner().unwrap_or_else(PoisonError::into_inner) {
             return Err(e);
         }
 
@@ -353,6 +404,7 @@ impl Campaign {
             golden_designs: golden.len(),
             elab_stats: uvllm_sim::cache::stats(),
             metrics: metrics_snapshot,
+            pool_stats,
         })
     }
 }
@@ -450,6 +502,11 @@ mod tests {
         let err = worker_count_from_env().unwrap_err();
         assert!(err.contains("UVLLM_WORKERS"), "error must name the variable: {err}");
         assert!(err.contains("eight"), "error must echo the bad value: {err}");
+        // Campaign::new resolves workers eagerly, so an auto-workers
+        // config (workers == 0) surfaces the same error as Err instead
+        // of panicking inside the pool later.
+        let err = Campaign::new(tiny_config(0)).map(|_| ()).unwrap_err();
+        assert!(err.contains("UVLLM_WORKERS"), "Campaign::new must propagate the env error: {err}");
         std::env::set_var("UVLLM_WORKERS", "0");
         assert!(worker_count_from_env().is_err(), "zero workers is invalid");
         std::env::set_var("UVLLM_WORKERS", "3");
@@ -458,6 +515,74 @@ mod tests {
         std::env::remove_var("UVLLM_WORKERS");
         assert_eq!(worker_count_from_env(), Ok(None));
         assert!(default_worker_count() >= 1);
+    }
+
+    /// The core gate of the resilience layer: a campaign with LLM
+    /// faults injected at double-digit rates, retried by the resilient
+    /// service, produces rows byte-identical to the fault-free run.
+    /// FaultyLlm fabricates faults without consuming the inner oracle's
+    /// stream, so a retried ticket lands on exactly the completion the
+    /// fault-free run saw.
+    #[test]
+    fn faults_plus_retries_reproduce_the_fault_free_rows() {
+        let llm_config = || CampaignConfig {
+            dataset_size: 4,
+            dataset_seed: 0x42,
+            methods: vec![MethodKind::Uvllm, MethodKind::GptDirect],
+            workers: 2,
+            backend: SimBackend::default(),
+            ..CampaignConfig::default()
+        };
+        let rows_of = |config: CampaignConfig| {
+            let mut sink = MemorySink::new();
+            Campaign::new(config).unwrap().run(&mut sink).unwrap();
+            let mut rows: Vec<String> = sink.rows().iter().map(|r| r.to_json_line()).collect();
+            rows.sort();
+            rows
+        };
+        let baseline = rows_of(llm_config());
+        let mut faulted = llm_config();
+        faulted.fault =
+            Some(FaultPlan { error_rate: 0.15, malform_rate: 0.10, ..FaultPlan::default() });
+        faulted.resilience = Some(ResiliencePolicy {
+            retries: 8,
+            base_backoff: std::time::Duration::from_micros(50),
+            max_backoff: std::time::Duration::from_micros(400),
+            breaker_threshold: 100,
+            validate: true,
+            ..ResiliencePolicy::default()
+        });
+        let retries_before = uvllm_obs::registry().counter("llm.retries").get();
+        let rows = rows_of(faulted.clone());
+        assert!(
+            uvllm_obs::registry().counter("llm.retries").get() > retries_before,
+            "the fault plan must actually exercise the retry path"
+        );
+        assert!(
+            !rows.iter().any(|r| r.contains("\"degraded\"")),
+            "8 retries must absorb 25% fault rates without degrading"
+        );
+        assert_eq!(rows, baseline, "faulted rows must be byte-identical to the fault-free run");
+        assert_eq!(rows_of(faulted.clone()), rows, "same fault seed, same rows");
+    }
+
+    #[test]
+    fn injected_panics_quarantine_but_the_campaign_completes() {
+        let mut config = tiny_config(2);
+        config.pool =
+            PoolPolicy { inject_panic: Some("@RTLrepair".to_string()), ..PoolPolicy::default() };
+        let mut sink = MemorySink::new();
+        let outcome = Campaign::new(config).unwrap().run(&mut sink).unwrap();
+        assert_eq!(sink.rows().len(), 12, "every job answers, crashed ones included");
+        let panicked: Vec<_> = sink.rows().iter().filter(|r| r.outcome == "worker_panic").collect();
+        assert_eq!(panicked.len(), 6, "every RTLrepair job quarantines after its requeue");
+        assert!(panicked.iter().all(|r| r.method == "RTLrepair"));
+        assert_eq!(outcome.pool_stats.panicked, 12, "first attempt plus requeue, per job");
+        assert_eq!(outcome.pool_stats.requeued, 6);
+        assert_eq!(outcome.pool_stats.quarantined_panics, 6);
+        let strider: Vec<_> = sink.rows().iter().filter(|r| r.method == "Strider").collect();
+        assert_eq!(strider.len(), 6);
+        assert!(strider.iter().all(|r| r.outcome != "worker_panic"), "other jobs are untouched");
     }
 
     #[test]

@@ -12,8 +12,9 @@ use uvllm_designs::Category;
 use uvllm_errgen::{ErrorCategory, ErrorKind};
 use uvllm_json::Json;
 use uvllm_llm::{
-    endpoint_gate, BatchedLlm, DirectService, EndpointGate, LanguageModel, LlmService,
-    ModelProfile, OracleLlm, OutputMode, SlowLlm, Usage, WaitStats,
+    endpoint_gate, BatchedLlm, DirectService, EndpointGate, FaultPlan, FaultyLlm, LanguageModel,
+    LlmService, ModelProfile, OracleLlm, OutputMode, ResiliencePolicy, ResilienceStats,
+    ResilientService, SlowLlm, Usage, WaitStats,
 };
 use uvllm_sim::SimBackend;
 
@@ -38,19 +39,39 @@ pub struct LlmPolicy<'s> {
     /// The exclusive endpoint connection that direct-mode injected
     /// latency serializes on (one gate per campaign = one endpoint).
     gate: EndpointGate,
+    /// Seeded fault injection applied to every job's model (each job
+    /// derives its own stream from the plan seed × its oracle seed, so
+    /// fault schedules replay at any worker count).
+    fault: Option<FaultPlan>,
+    /// Retry/backoff + circuit-breaker + degradation policy wrapped
+    /// around every job's service handle (per-job jitter derivation,
+    /// same salt discipline as the fault plan).
+    resilience: Option<ResiliencePolicy>,
 }
 
 impl LlmPolicy<'static> {
     /// Per-job direct services, no injected latency: the default.
     pub fn direct() -> Self {
-        LlmPolicy { batched: None, latency: None, gate: endpoint_gate() }
+        LlmPolicy {
+            batched: None,
+            latency: None,
+            gate: endpoint_gate(),
+            fault: None,
+            resilience: None,
+        }
     }
 }
 
 impl<'s> LlmPolicy<'s> {
     /// Sessions on a shared batched service.
     pub fn batched(service: &'s SharedLlm) -> LlmPolicy<'s> {
-        LlmPolicy { batched: Some(service), latency: None, gate: endpoint_gate() }
+        LlmPolicy {
+            batched: Some(service),
+            latency: None,
+            gate: endpoint_gate(),
+            fault: None,
+            resilience: None,
+        }
     }
 
     /// Injects a per-round-trip endpoint latency in *direct* mode
@@ -62,9 +83,39 @@ impl<'s> LlmPolicy<'s> {
         self
     }
 
-    /// Builds the service handle a job drives its repair loop through.
+    /// Wraps every job's model in a seeded [`FaultyLlm`].
+    pub fn with_faults(mut self, fault: Option<FaultPlan>) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Wraps every job's service handle in a [`ResilientService`].
+    pub fn with_resilience(mut self, resilience: Option<ResiliencePolicy>) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Builds the service handle a job drives its repair loop through
+    /// (no fault/jitter salt — standalone call sites outside a campaign
+    /// job).
     pub fn service_for(&self, model: Box<dyn LanguageModel>) -> Box<dyn LlmService> {
-        match self.batched {
+        self.service_for_job(model, 0)
+    }
+
+    /// Builds a job's service handle, deriving its fault and jitter
+    /// streams from `salt` (the job's oracle seed) so both replay
+    /// per-job regardless of worker count or pop order.
+    ///
+    /// Layering, inside out: model → [`FaultyLlm`] (faults originate at
+    /// the backend) → latency wrapper / batched session (transport) →
+    /// [`ResilientService`] (retries sit above the transport, exactly
+    /// where a production client's retry loop lives).
+    pub fn service_for_job(&self, model: Box<dyn LanguageModel>, salt: u64) -> Box<dyn LlmService> {
+        let model: Box<dyn LanguageModel> = match &self.fault {
+            Some(plan) => Box::new(FaultyLlm::new(model, plan.derive(salt))),
+            None => model,
+        };
+        let service: Box<dyn LlmService> = match self.batched {
             Some(service) => Box::new(service.client(model)),
             None => match self.latency {
                 Some(latency) => Box::new(DirectService::new(SlowLlm::new(
@@ -74,6 +125,10 @@ impl<'s> LlmPolicy<'s> {
                 ))),
                 None => Box::new(DirectService::new(model)),
             },
+        };
+        match &self.resilience {
+            Some(policy) => Box::new(ResilientService::new(service, policy.derive(salt))),
+            None => service,
         }
     }
 }
@@ -167,6 +222,11 @@ pub struct EvalRecord {
     /// Largest service flush any of this job's prompts rode in
     /// (1 on a direct service; telemetry, like `llm_wait`).
     pub llm_batch_max: u64,
+    /// True when any of this job's completions came from the
+    /// resilience layer's degradation fallback (retry budget, deadline
+    /// or breaker exhausted) — the row-honesty tag the fault-tolerance
+    /// byte-identity gate filters on.
+    pub degraded: bool,
 }
 
 impl EvalRecord {
@@ -200,6 +260,7 @@ impl EvalRecord {
             completion_tokens: self.usage.completion_tokens,
             sim_latency_ms: self.usage.latency.as_millis() as u64,
             fixed_by: self.fixed_by.map(|s| s.label().to_string()),
+            degraded: if self.degraded { Some(true) } else { None },
             llm_wait_ms: None,
             llm_batch_max: None,
         }
@@ -260,6 +321,11 @@ pub struct EvalRow {
     pub sim_latency_ms: u64,
     /// Stage label that produced the fix (UVLLM methods only).
     pub fixed_by: Option<String>,
+    /// `Some(true)` when the job's LLM traffic fell back to the
+    /// degradation chain. Serialized only when set, so fault-free rows
+    /// stay byte-identical to pre-resilience rows; degraded rows are
+    /// the explicit carve-out of the byte-identity gate.
+    pub degraded: Option<bool>,
     /// Opt-in telemetry: wall-clock ms the job spent blocked on the
     /// LLM service. Serialized only when present; absent by default so
     /// canonical rows stay byte-identical across batch schedules.
@@ -299,6 +365,9 @@ impl EvalRow {
                 },
             ),
         ];
+        if let Some(degraded) = self.degraded {
+            members.push(("degraded".into(), Json::Bool(degraded)));
+        }
         if let Some(wait) = self.llm_wait_ms {
             members.push(("llm_wait_ms".into(), Json::Num(wait as f64)));
         }
@@ -373,6 +442,7 @@ impl EvalRow {
                 Some(Json::Null) | None => None,
                 Some(other) => return Err(format!("bad 'fixed_by' member: {other:?}")),
             },
+            degraded: v.get("degraded").and_then(Json::as_bool),
             llm_wait_ms: v.get("llm_wait_ms").and_then(Json::as_u64),
             llm_batch_max: v.get("llm_batch_max").and_then(Json::as_u64),
         })
@@ -424,7 +494,7 @@ pub fn evaluate_one_on(
     let oracle = |profile| -> Box<dyn LanguageModel> {
         Box::new(OracleLlm::new(inst.ground_truth.clone(), design.source, profile, oracle_seed))
     };
-    let (final_code, claimed, texec, stage_times, fixed_by, usage, wait) = {
+    let (final_code, claimed, texec, stage_times, fixed_by, usage, wait, resilience) = {
         // `stage_us.repair` spans the whole method run (localize +
         // repair attempts + internal re-simulation), mirroring the
         // paper's repair stage; parse/elab/simulate stages are timed at
@@ -445,10 +515,10 @@ pub fn evaluate_one_on(
                 // its own seeded model): the whole run is Send and shares
                 // no mutable LLM state with other jobs even when the
                 // handle is a session of the campaign-wide BatchedLlm.
-                let service = llm.service_for(oracle(ModelProfile::Gpt4Turbo));
+                let service = llm.service_for_job(oracle(ModelProfile::Gpt4Turbo), oracle_seed);
                 let mut framework = Uvllm::with_service(service, config);
                 let out = framework.verify(design, &inst.mutated_src);
-                let wait = framework.into_service().wait_stats();
+                let service = framework.into_service();
                 (
                     out.final_code,
                     out.success,
@@ -456,11 +526,13 @@ pub fn evaluate_one_on(
                     Some(out.times),
                     out.fixed_by,
                     out.usage,
-                    wait,
+                    service.wait_stats(),
+                    service.resilience_stats(),
                 )
             }
             MethodKind::Meic => {
-                let mut service = llm.service_for(oracle(ModelProfile::Gpt4TurboWeakHarness));
+                let mut service =
+                    llm.service_for_job(oracle(ModelProfile::Gpt4TurboWeakHarness), oracle_seed);
                 let mut m = MeicRepair::new(&mut *service).with_backend(backend);
                 let out = m.repair(design, &inst.mutated_src);
                 (
@@ -471,10 +543,12 @@ pub fn evaluate_one_on(
                     None,
                     out.usage,
                     service.wait_stats(),
+                    service.resilience_stats(),
                 )
             }
             MethodKind::GptDirect => {
-                let mut service = llm.service_for(oracle(ModelProfile::Gpt4TurboWeakHarness));
+                let mut service =
+                    llm.service_for_job(oracle(ModelProfile::Gpt4TurboWeakHarness), oracle_seed);
                 let mut m = GptDirect::new(&mut *service).with_backend(backend);
                 let out = m.repair(design, &inst.mutated_src);
                 (
@@ -485,6 +559,7 @@ pub fn evaluate_one_on(
                     None,
                     out.usage,
                     service.wait_stats(),
+                    service.resilience_stats(),
                 )
             }
             MethodKind::Strider => {
@@ -498,6 +573,7 @@ pub fn evaluate_one_on(
                     None,
                     out.usage,
                     WaitStats::default(),
+                    ResilienceStats::default(),
                 )
             }
             MethodKind::RtlRepair => {
@@ -511,6 +587,7 @@ pub fn evaluate_one_on(
                     None,
                     out.usage,
                     WaitStats::default(),
+                    ResilienceStats::default(),
                 )
             }
         }
@@ -542,6 +619,7 @@ pub fn evaluate_one_on(
         usage,
         llm_wait: wait.wait,
         llm_batch_max: wait.max_batch as u64,
+        degraded: resilience.degraded > 0,
     }
 }
 

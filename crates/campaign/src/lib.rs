@@ -11,7 +11,16 @@
 //!   hash, so `--shard i/n` partitions a campaign with no coordination.
 //! * [`WorkQueue`] / [`queue::run_pool`] — a shared `Mutex<VecDeque>`
 //!   drained by `N` OS threads (`std::thread::scope`); jobs are coarse,
-//!   so one lock per job is noise.
+//!   so one lock per job is noise. The pool is supervision-grade:
+//!   per-job `catch_unwind` with requeue-once-then-quarantine
+//!   (`worker_panic` rows), an optional watchdog-enforced per-job
+//!   deadline (`job_timeout` rows), and poison-recovering locks — see
+//!   [`PoolPolicy`] / [`PoolStats`].
+//! * fault tolerance — `CampaignConfig::fault` injects seeded LLM
+//!   faults ([`uvllm_llm::FaultPlan`]) and `CampaignConfig::resilience`
+//!   wraps every job's service in retry/backoff + circuit breaking +
+//!   degradation ([`uvllm_llm::ResiliencePolicy`]); degraded jobs are
+//!   tagged in their rows (`"degraded": true`).
 //! * [`evaluate_one`] — the per-job evaluation (moved here from
 //!   `uvllm-bench`), a *pure function of the job*: each job owns an
 //!   [`OracleLlm`](uvllm_llm::OracleLlm) seeded from the instance seed
@@ -81,8 +90,8 @@ pub use eval::{
 };
 pub use job::{expand_jobs, fnv1a64, Job, ShardSpec};
 pub use merge::{expected_job_ids, merge_rows, read_shard, MergeOutcome};
-pub use queue::WorkQueue;
+pub use queue::{run_pool_supervised, PoolPolicy, PoolStats, WorkQueue};
 pub use report::CampaignReport;
 pub use sink::{JsonlSink, MemorySink, ResultSink};
-pub use uvllm_llm::BatchConfig;
+pub use uvllm_llm::{BatchConfig, FaultPlan, ResiliencePolicy};
 pub use uvllm_sim::SimBackend;

@@ -80,6 +80,10 @@ pub fn expected_job_ids(
 ///   when the other shards cover the job space — but a listed shard
 ///   with nothing in it is a truncated or mis-pathed file, not a
 ///   legitimate participant),
+/// * a shard whose *every* row is a `worker_panic` quarantine record —
+///   individual panic or degraded rows merge fine (they are honest
+///   answers for their jobs), but a shard that crashed on everything it
+///   touched is a broken environment, not data worth folding in,
 /// * a job id answered by two shards (named, with both shards),
 /// * a job id outside the expected job space (a shard from a different
 ///   dataset size/seed or method list),
@@ -95,6 +99,18 @@ pub fn merge_rows(
             "{} shard(s) contributed zero rows (truncated or wrong file?): {}",
             empty.len(),
             named(&empty),
+        ));
+    }
+    let crashed: Vec<String> = shards
+        .iter()
+        .filter(|(_, rows)| rows.iter().all(|row| row.outcome == "worker_panic"))
+        .map(|(s, _)| s.clone())
+        .collect();
+    if !crashed.is_empty() {
+        return Err(format!(
+            "{} shard(s) consist entirely of worker_panic rows (broken worker environment?): {}",
+            crashed.len(),
+            named(&crashed),
         ));
     }
     let expected: HashSet<&str> = expected_ids.iter().map(String::as_str).collect();
@@ -235,6 +251,36 @@ mod tests {
         let err = merge_rows(&shards, &expected()).unwrap_err();
         assert!(err.contains("zero rows"), "{err}");
         assert!(err.contains("empty.jsonl"), "must name the empty shard: {err}");
+    }
+
+    #[test]
+    fn panic_and_degraded_rows_merge_like_any_other_answer() {
+        // A quarantined or degraded job is still an answered job: the
+        // merge must treat its row as coverage, not reject the shard.
+        let mut shard0 = run_shard(0, 2);
+        shard0[0].outcome = "worker_panic".to_string();
+        let mut shard1 = run_shard(1, 2);
+        shard1[0].degraded = Some(true);
+        let shards =
+            vec![("shard0.jsonl".to_string(), shard0), ("shard1.jsonl".to_string(), shard1)];
+        let merged = merge_rows(&shards, &expected()).unwrap();
+        assert_eq!(merged.rows.len(), 12);
+        assert_eq!(merged.rows.iter().filter(|r| r.outcome == "worker_panic").count(), 1);
+        assert_eq!(merged.rows.iter().filter(|r| r.degraded == Some(true)).count(), 1);
+    }
+
+    #[test]
+    fn all_panic_shards_are_rejected() {
+        let mut shard0 = run_shard(0, 2);
+        for row in &mut shard0 {
+            row.outcome = "worker_panic".to_string();
+        }
+        let shards =
+            vec![("crashed.jsonl".to_string(), shard0), ("ok.jsonl".to_string(), run_shard(1, 2))];
+        let err = merge_rows(&shards, &expected()).unwrap_err();
+        assert!(err.contains("entirely of worker_panic"), "{err}");
+        assert!(err.contains("crashed.jsonl"), "must name the crashed shard: {err}");
+        assert!(!err.contains("ok.jsonl"), "{err}");
     }
 
     #[test]

@@ -156,6 +156,7 @@ mod tests {
             completion_tokens: 50,
             sim_latency_ms: 1234,
             fixed_by: None,
+            degraded: None,
             llm_wait_ms: None,
             llm_batch_max: None,
         }

@@ -44,6 +44,13 @@ pub enum Verdict {
     },
     /// The code did not parse/elaborate (or lost a required port).
     BuildFailed,
+    /// The evaluation itself panicked; the campaign worker caught the
+    /// unwind, quarantined the job and recorded this row instead of
+    /// dying (fault isolation — see `uvllm-campaign`'s worker pool).
+    WorkerPanic,
+    /// The job blew its per-job wall-clock deadline and was quarantined
+    /// by the campaign watchdog.
+    JobTimeout,
 }
 
 impl Verdict {
@@ -59,6 +66,8 @@ impl Verdict {
             Verdict::Mismatch => "mismatch",
             Verdict::Unstable { .. } => "unstable",
             Verdict::BuildFailed => "build-failed",
+            Verdict::WorkerPanic => "worker_panic",
+            Verdict::JobTimeout => "job_timeout",
         }
     }
 }

@@ -44,19 +44,23 @@
 //! ```
 
 pub mod calibration;
+pub mod fault;
 pub mod heuristic;
 pub mod model;
 pub mod oracle;
 pub mod prompt;
+pub mod resilient;
 pub mod response;
 pub mod scripted;
 pub mod service;
 
 pub use calibration::{FailureMode, InfoMode, ModelProfile};
+pub use fault::{FaultCounts, FaultPlan, FaultyLlm};
 pub use heuristic::HeuristicLlm;
 pub use model::{count_tokens, Completion, LanguageModel, LatencyModel, LlmError, Pricing, Usage};
 pub use oracle::{module_name_of, OracleLlm};
 pub use prompt::{AgentRole, ErrorInfo, MismatchInfo, OutputMode, RepairPair, RepairPrompt};
+pub use resilient::{ResiliencePolicy, ResilienceStats, ResilientService};
 pub use response::{CompleteResponse, RepairResponse};
 pub use scripted::ScriptedLlm;
 pub use service::{

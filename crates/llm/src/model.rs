@@ -118,11 +118,36 @@ impl std::ops::Add for Usage {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LlmError {
     /// The backend has no response for this prompt (scripted backend
-    /// exhausted, heuristic found nothing applicable).
+    /// exhausted, heuristic found nothing applicable). A *semantic*
+    /// answer, not an infrastructure failure: retrying it yields the
+    /// same result, so the resilience layer passes it through.
     NoResponse(String),
     /// The submission was accepted but the service shut down before the
     /// ticket was answered (see [`crate::service`]).
     ServiceClosed(String),
+    /// A transient infrastructure failure (flaky endpoint, dropped
+    /// connection, 5xx): the request may succeed if retried. Produced
+    /// by real transports and by [`crate::fault::FaultyLlm`]; consumed
+    /// by [`crate::resilient::ResilientService`]'s retry loop.
+    Transient(String),
+    /// The ticket's answer did not arrive within the configured
+    /// per-ticket deadline (see
+    /// [`crate::resilient::ResiliencePolicy::ticket_deadline`]).
+    DeadlineExceeded(String),
+}
+
+impl LlmError {
+    /// True for failures a retry can plausibly cure (transient
+    /// infrastructure errors and blown deadlines) — the class the
+    /// resilience layer retries and counts against its circuit
+    /// breaker. Semantic answers ([`LlmError::NoResponse`]) and
+    /// terminal shutdown ([`LlmError::ServiceClosed`]) are not
+    /// retryable: retrying them changes nothing, and treating them as
+    /// infrastructure faults would make the resilience layer perturb
+    /// fault-free runs.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, LlmError::Transient(_) | LlmError::DeadlineExceeded(_))
+    }
 }
 
 impl fmt::Display for LlmError {
@@ -130,6 +155,8 @@ impl fmt::Display for LlmError {
         match self {
             LlmError::NoResponse(m) => write!(f, "no response: {m}"),
             LlmError::ServiceClosed(m) => write!(f, "llm service closed: {m}"),
+            LlmError::Transient(m) => write!(f, "transient llm failure: {m}"),
+            LlmError::DeadlineExceeded(m) => write!(f, "llm deadline exceeded: {m}"),
         }
     }
 }

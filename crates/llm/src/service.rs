@@ -133,6 +133,19 @@ impl Default for BatchConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Ticket(u64);
 
+impl Ticket {
+    /// Mints a ticket — for service implementors in this crate only
+    /// (callers obtain tickets from [`LlmService::submit`]).
+    pub(crate) fn new(id: u64) -> Ticket {
+        Ticket(id)
+    }
+
+    /// The handle-local ticket id.
+    pub(crate) fn id(self) -> u64 {
+        self.0
+    }
+}
+
 /// Service-side accounting a handle accumulates ticket by ticket:
 /// how long its caller spent blocked on the LLM and how large the
 /// batches its prompts rode in were.
@@ -195,6 +208,14 @@ pub trait LlmService: Send {
 
     /// Wait/batch telemetry accumulated by this handle.
     fn wait_stats(&self) -> WaitStats;
+
+    /// What the resilience layer did on this handle. Plain services
+    /// report the all-zero default; [`crate::ResilientService`]
+    /// overrides it — campaign code reads it through `Box<dyn
+    /// LlmService>` to tag degraded rows without downcasting.
+    fn resilience_stats(&self) -> crate::resilient::ResilienceStats {
+        crate::resilient::ResilienceStats::default()
+    }
 }
 
 // Forwarding impls so pipelines generic over `S: LlmService` accept
@@ -220,6 +241,10 @@ impl<S: LlmService + ?Sized> LlmService for &mut S {
     fn wait_stats(&self) -> WaitStats {
         (**self).wait_stats()
     }
+
+    fn resilience_stats(&self) -> crate::resilient::ResilienceStats {
+        (**self).resilience_stats()
+    }
 }
 
 impl<S: LlmService + ?Sized> LlmService for Box<S> {
@@ -241,6 +266,10 @@ impl<S: LlmService + ?Sized> LlmService for Box<S> {
 
     fn wait_stats(&self) -> WaitStats {
         (**self).wait_stats()
+    }
+
+    fn resilience_stats(&self) -> crate::resilient::ResilienceStats {
+        (**self).resilience_stats()
     }
 }
 

@@ -1,0 +1,102 @@
+//! `complete_batch` partial-failure semantics, through every layer
+//! that batches: the trait-level default, [`FaultyLlm`]'s injector, and
+//! the [`BatchedLlm`] service's ticket protocol.
+//!
+//! The contract under test: a failed prompt fails *its own* slot and
+//! nothing else. Sibling prompts in the same batch get exactly the
+//! completions a failure-free run would have delivered, and the
+//! accounting ([`Usage`]) reflects only the completions that actually
+//! arrived — a batch with failures in it never books phantom calls.
+
+use uvllm_llm::{
+    AgentRole, BatchConfig, BatchedLlm, FaultPlan, FaultyLlm, LlmError, LlmService, RepairPrompt,
+    ScriptedLlm, Usage,
+};
+
+fn prompt(tag: &str) -> RepairPrompt {
+    RepairPrompt::new(
+        AgentRole::SyntaxFixer,
+        format!("spec {tag}"),
+        format!("module {tag}; endmodule"),
+    )
+}
+
+fn scripts(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("{{\"module name\": \"m{i}\", \"analysis\": \"a\"}}")).collect()
+}
+
+/// Trait-level default batch: an exhausted scripted backend answers the
+/// prefix it has scripts for and fails the tail, slot by slot.
+#[test]
+fn batch_failures_land_in_their_own_slots() {
+    use uvllm_llm::LanguageModel;
+    let mut model = ScriptedLlm::new(scripts(2));
+    let prompts: Vec<RepairPrompt> = ["a", "b", "c", "d"].iter().map(|t| prompt(t)).collect();
+    let results = model.complete_batch(&prompts);
+    assert_eq!(results.len(), 4, "one result per prompt, failures included");
+    assert!(results[0].is_ok() && results[1].is_ok());
+    for failed in &results[2..] {
+        assert!(
+            matches!(failed, Err(LlmError::NoResponse(_))),
+            "exhausted slots fail as NoResponse: {failed:?}"
+        );
+    }
+    // Accounting counts the two delivered completions, nothing else.
+    assert_eq!(model.usage().calls, 2);
+    let delivered: u64 =
+        results.iter().flatten().map(|c| c.prompt_tokens + c.completion_tokens).sum();
+    assert_eq!(model.usage().prompt_tokens + model.usage().completion_tokens, delivered);
+}
+
+/// Injected faults error their own slot; sibling slots receive the
+/// fault-free completions in script order (the injector fabricates
+/// faults without consuming the inner model's stream).
+#[test]
+fn injected_batch_faults_do_not_shift_sibling_answers() {
+    use uvllm_llm::LanguageModel;
+    let plan = FaultPlan { error_rate: 0.4, ..FaultPlan::default() };
+    let mut model = FaultyLlm::new(ScriptedLlm::new(scripts(8)), plan);
+    let prompts: Vec<RepairPrompt> = (0..8).map(|i| prompt(&format!("p{i}"))).collect();
+    let results = model.complete_batch(&prompts);
+    let errors = results.iter().filter(|r| r.is_err()).count();
+    assert!(errors > 0 && errors < 8, "0.4 over 8 draws must fault some but not all: {errors}");
+    // The k-th delivered completion is the k-th script — faulted
+    // siblings did not consume (or shift) the inner stream.
+    let delivered: Vec<&str> = results.iter().flatten().map(|c| c.content.as_str()).collect();
+    let expected = scripts(8);
+    for (k, content) in delivered.iter().enumerate() {
+        assert_eq!(*content, expected[k], "delivered completion #{k} shifted");
+    }
+    assert_eq!(model.inner().remaining(), 8 - delivered.len(), "faults never drain the script");
+    assert_eq!(model.usage().calls, delivered.len() as u64);
+}
+
+/// The batched service routes per-slot failures to the right tickets
+/// and books usage only for delivered completions: a 4-ticket flush
+/// with 2 failures accounts exactly like a 2-ticket failure-free run.
+#[test]
+fn service_tickets_isolate_batch_failures() {
+    let service = BatchedLlm::start(BatchConfig { max_batch: 4, ..BatchConfig::default() });
+    let mut client = service.client(ScriptedLlm::new(scripts(2)));
+    let tickets: Vec<_> = ["a", "b", "c", "d"].iter().map(|t| client.submit(&prompt(t))).collect();
+    let mut outcomes = Vec::new();
+    for ticket in tickets {
+        outcomes.push(client.await_completion(ticket));
+    }
+    assert!(outcomes[0].is_ok() && outcomes[1].is_ok(), "scripted slots answer");
+    assert!(
+        matches!(&outcomes[2], Err(LlmError::NoResponse(_)))
+            && matches!(&outcomes[3], Err(LlmError::NoResponse(_))),
+        "exhausted slots fail their own tickets: {outcomes:?}"
+    );
+    let mixed_usage = client.usage();
+
+    // Reference: the same two surviving prompts, no failures.
+    let mut reference = service.client(ScriptedLlm::new(scripts(2)));
+    let tickets: Vec<_> = ["a", "b"].iter().map(|t| reference.submit(&prompt(t))).collect();
+    for ticket in tickets {
+        reference.await_completion(ticket).expect("failure-free run");
+    }
+    assert_eq!(mixed_usage, reference.usage(), "failed siblings must not perturb accounting");
+    assert_ne!(mixed_usage, Usage::default(), "the comparison is not vacuous");
+}

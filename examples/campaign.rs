@@ -10,6 +10,8 @@
 //! cargo run --release --example campaign -- --workers 8 --llm-batch 8
 //! cargo run --release --example campaign -- --llm-batch 8 --llm-latency-ms 5 --llm-telemetry
 //! cargo run --release --example campaign -- --metrics-out metrics.json
+//! cargo run --release --example campaign -- --fault-error-rate 0.15 --llm-retries 8
+//! cargo run --release --example campaign -- --inject-panic '@RTLrepair' --job-deadline-ms 60000
 //! cargo run --release --example campaign -- merge shard0.jsonl shard1.jsonl --out merged.jsonl
 //! cargo run --release --example campaign -- metrics-check metrics.json
 //! ```
@@ -27,7 +29,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 use uvllm_campaign::{
     expected_job_ids, merge_rows, read_shard, BatchConfig, Campaign, CampaignConfig,
-    CampaignReport, JsonlSink, MethodKind, ShardSpec, SimBackend,
+    CampaignReport, FaultPlan, JsonlSink, MethodKind, ResiliencePolicy, ShardSpec, SimBackend,
 };
 
 struct Args {
@@ -46,6 +48,10 @@ const USAGE: &str = "usage: campaign [--workers N] [--shard i/n] [--size N] \
      [--seed HEX] [--methods A,B,..] [--backend event|compiled] [--opt-level 0..3] \
      [--llm-batch N] [--llm-max-wait-ms MS] [--llm-latency-ms MS] \
      [--llm-telemetry] [--metrics-out FILE] [--metrics-flush-jobs N] [--out FILE]\n\
+     \x20      campaign [--fault-seed HEX] [--fault-error-rate F] [--fault-malform-rate F] \
+     [--fault-latency-ms MS]\n\
+     \x20      campaign [--llm-retries N] [--llm-timeout-ms MS] [--llm-breaker-threshold N] \
+     [--job-deadline-ms MS] [--inject-panic PAT] [--inject-stall PAT:MS]\n\
      \x20      campaign --emit-json DIR | --import-json FILE.json\n\
      \x20      campaign merge [--size N] [--seed HEX] [--methods A,B,..] \
      [--out FILE] SHARD.jsonl..\n\
@@ -99,6 +105,25 @@ fn parse_args() -> Result<Args, String> {
     let mut max_wait: Option<Duration> = None;
     let mut emit_json = None;
     let mut import_json = None;
+    let mut fault = FaultPlan::default();
+    let mut fault_on = false;
+    // Campaign-shaped resilience defaults: validate completions (a
+    // malformed completion must be retried, not parsed downstream) and
+    // keep backoffs small — the faults are injected, not a remote
+    // endpoint that needs multi-second politeness.
+    let mut resilience = ResiliencePolicy {
+        validate: true,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(8),
+        ..ResiliencePolicy::default()
+    };
+    let mut resilience_on = false;
+    let rate = |name: &str, text: String| -> Result<f64, String> {
+        text.parse::<f64>()
+            .ok()
+            .filter(|r| (0.0..=1.0).contains(r))
+            .ok_or_else(|| format!("{name} must be a rate in 0..=1"))
+    };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
@@ -144,6 +169,71 @@ fn parse_args() -> Result<Args, String> {
                     .filter(|n| *n <= 3)
                     .ok_or_else(|| "--opt-level must be 0..=3".to_string())?;
             }
+            "--fault-seed" => {
+                let text = value("--fault-seed")?;
+                let text = text.trim_start_matches("0x");
+                fault.seed = u64::from_str_radix(text, 16)
+                    .or_else(|_| text.parse())
+                    .map_err(|_| "--fault-seed must be a (hex) number".to_string())?;
+                fault_on = true;
+            }
+            "--fault-error-rate" => {
+                fault.error_rate = rate("--fault-error-rate", value("--fault-error-rate")?)?;
+                fault_on = true;
+            }
+            "--fault-malform-rate" => {
+                fault.malform_rate = rate("--fault-malform-rate", value("--fault-malform-rate")?)?;
+                fault_on = true;
+            }
+            "--fault-latency-ms" => {
+                let ms: u64 = value("--fault-latency-ms")?
+                    .parse()
+                    .map_err(|_| "--fault-latency-ms must be a number".to_string())?;
+                fault.latency = Duration::from_millis(ms);
+                if fault.latency_rate == 0.0 {
+                    fault.latency_rate = 1.0;
+                }
+                fault_on = true;
+            }
+            "--llm-retries" => {
+                resilience.retries = value("--llm-retries")?
+                    .parse()
+                    .map_err(|_| "--llm-retries must be a number".to_string())?;
+                resilience_on = true;
+            }
+            "--llm-timeout-ms" => {
+                let ms: u64 = value("--llm-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--llm-timeout-ms must be a number".to_string())?;
+                resilience.ticket_deadline = Some(Duration::from_millis(ms));
+                resilience_on = true;
+            }
+            "--llm-breaker-threshold" => {
+                resilience.breaker_threshold = value("--llm-breaker-threshold")?
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| "--llm-breaker-threshold must be positive".to_string())?;
+                resilience_on = true;
+            }
+            "--job-deadline-ms" => {
+                let ms: u64 = value("--job-deadline-ms")?
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| "--job-deadline-ms must be a positive number".to_string())?;
+                config.pool.job_deadline = Some(Duration::from_millis(ms));
+            }
+            "--inject-panic" => config.pool.inject_panic = Some(value("--inject-panic")?),
+            "--inject-stall" => {
+                let text = value("--inject-stall")?;
+                let (pattern, ms) = text
+                    .rsplit_once(':')
+                    .ok_or_else(|| "--inject-stall wants PATTERN:MS".to_string())?;
+                let ms: u64 =
+                    ms.parse().map_err(|_| "--inject-stall wants PATTERN:MS".to_string())?;
+                config.pool.inject_stall = Some((pattern.to_string(), Duration::from_millis(ms)));
+            }
             "--emit-json" => emit_json = Some(value("--emit-json")?),
             "--import-json" => import_json = Some(value("--import-json")?),
             "--llm-telemetry" => config.llm_telemetry = true,
@@ -166,11 +256,17 @@ fn parse_args() -> Result<Args, String> {
         (Some(_), None) => return Err("--llm-max-wait-ms needs --llm-batch".to_string()),
         (Some(wait), Some(batch)) => batch.max_wait = wait,
     }
-    if config.workers == 0 {
-        // Surface an invalid UVLLM_WORKERS value as a CLI error instead
-        // of a worker-pool panic.
-        uvllm_campaign::worker_count_from_env()?;
+    if fault_on {
+        config.fault = Some(fault);
+        // Injected faults without retries would wreck every row; the
+        // point of the fault plan is to exercise the resilience layer.
+        resilience_on = true;
     }
+    if resilience_on {
+        config.resilience = Some(resilience);
+    }
+    // Invalid UVLLM_WORKERS (workers == 0 defers to the environment)
+    // surfaces as an Err from Campaign::new, already a clean CLI error.
     Ok(Args { config, out, emit_json, import_json })
 }
 
@@ -202,6 +298,28 @@ fn run_campaign() -> Result<(), String> {
         config.opt_level,
     );
 
+    if let Some(fault) = &config.fault {
+        println!(
+            "fault injection: seed {:#x}, error {:.0}%, malform {:.0}%, truncate {:.0}%, \
+             stall {:?} at {:.0}%",
+            fault.seed,
+            fault.error_rate * 100.0,
+            fault.malform_rate * 100.0,
+            fault.truncate_rate * 100.0,
+            fault.latency,
+            fault.latency_rate * 100.0,
+        );
+    }
+    if let Some(policy) = &config.resilience {
+        println!(
+            "resilience policy: {} retries, backoff {:?}..{:?}, breaker threshold {}, deadline {:?}",
+            policy.retries,
+            policy.base_backoff,
+            policy.max_backoff,
+            policy.breaker_threshold,
+            policy.ticket_deadline,
+        );
+    }
     let mut sink = JsonlSink::open(&out).map_err(|e| format!("cannot open sink {out}: {e}"))?;
     if sink.resumed() > 0 {
         println!("resuming: {} completed rows found in {out}", sink.resumed());
@@ -230,6 +348,19 @@ fn run_campaign() -> Result<(), String> {
     println!(
         "llm service: {tickets} tickets across {flushes} flushes (mean batch {mean_batch:.2})",
     );
+    if config.resilience.is_some() || config.pool.job_deadline.is_some() {
+        println!(
+            "resilience: {} retries, {} breaker transitions, {} degraded; \
+             pool: {} panics ({} requeued), {} timeouts, {} quarantined rows",
+            outcome.metrics.counter("llm.retries").unwrap_or(0),
+            outcome.metrics.counter("llm.breaker_transitions").unwrap_or(0),
+            outcome.metrics.counter("llm.degraded").unwrap_or(0),
+            outcome.pool_stats.panicked,
+            outcome.pool_stats.requeued,
+            outcome.pool_stats.timed_out,
+            outcome.pool_stats.quarantined_panics + outcome.pool_stats.quarantined_timeouts,
+        );
+    }
     if let Some(path) = &config.metrics_out {
         println!("metrics snapshot written to {}", path.display());
     }
