@@ -255,6 +255,26 @@ impl Campaign {
     ///
     /// Returns the first sink I/O error, after the pool has wound down.
     pub fn run(&self, sink: &mut dyn ResultSink) -> std::io::Result<CampaignOutcome> {
+        self.run_shared(sink, None)
+    }
+
+    /// [`Campaign::run`] on a caller-owned batched LLM service instead
+    /// of one constructed per run — the resident-worker path, where one
+    /// [`SharedLlm`] outlives many leased shards and its flush policy
+    /// keeps coalescing prompts across them. `None` behaves exactly
+    /// like [`Campaign::run`] (a per-run service is started when
+    /// `config.llm_batch` asks for one). Rows are byte-identical either
+    /// way: sessions see their own prompts in submission order
+    /// regardless of which service thread carries them.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first sink I/O error, after the pool has wound down.
+    pub fn run_shared(
+        &self,
+        sink: &mut dyn ResultSink,
+        shared: Option<&SharedLlm>,
+    ) -> std::io::Result<CampaignOutcome> {
         // Every elaboration below — warm-up and worker-side alike —
         // goes through the cache, which consults the process-default
         // profile, so installing it first covers the whole run.
@@ -332,15 +352,20 @@ impl Campaign {
 
         // One shared batching service for the whole pool: every job
         // opens a session on it, so LLM round trips from all workers
-        // coalesce while the rest of the pool keeps simulating.
-        let shared_llm: Option<SharedLlm> = self.config.llm_batch.as_ref().map(|batch| {
-            let batch = BatchConfig {
-                round_trip: self.config.llm_latency.unwrap_or(batch.round_trip),
-                ..batch.clone()
-            };
-            BatchedLlm::start(batch)
-        });
-        let llm = match &shared_llm {
+        // coalesce while the rest of the pool keeps simulating. A
+        // caller-owned service (resident workers) takes precedence and
+        // outlives this run.
+        let own_llm: Option<SharedLlm> = match shared {
+            Some(_) => None,
+            None => self.config.llm_batch.as_ref().map(|batch| {
+                let batch = BatchConfig {
+                    round_trip: self.config.llm_latency.unwrap_or(batch.round_trip),
+                    ..batch.clone()
+                };
+                BatchedLlm::start(batch)
+            }),
+        };
+        let llm = match shared.or(own_llm.as_ref()) {
             Some(service) => LlmPolicy::batched(service),
             None => LlmPolicy::direct().with_latency(self.config.llm_latency),
         }
@@ -380,9 +405,11 @@ impl Campaign {
             },
         );
         drop(llm);
-        if let Some(service) = shared_llm {
+        if let Some(service) = own_llm {
             // Joins the service thread; every session was drained when
-            // its job finished, so this is bookkeeping, not a wait.
+            // its job finished, so this is bookkeeping, not a wait. A
+            // caller-owned `shared` service keeps running for the next
+            // run instead.
             drop(service);
         }
         if let Some(e) = sink_error.into_inner().unwrap_or_else(PoisonError::into_inner) {

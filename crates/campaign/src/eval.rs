@@ -381,25 +381,51 @@ impl EvalRow {
     ///
     /// # Errors
     ///
-    /// Returns a message when the line is not valid JSON or lacks a
-    /// required member.
+    /// Returns a message naming the offending member: whether it is
+    /// missing outright or present with the wrong type (and which type
+    /// was found). Callers that know the line's position prefix it as
+    /// `path:line:` — [`crate::sink::SinkTailer`] and `campaign merge`
+    /// both do, so shard diagnostics point at the exact line and key.
     pub fn from_json_line(line: &str) -> Result<EvalRow, String> {
         let v = Json::parse(line.trim())?;
+        let found = |value: &Json| -> &'static str {
+            match value {
+                Json::Null => "null",
+                Json::Bool(_) => "a bool",
+                Json::Num(_) => "a number",
+                Json::Str(_) => "a string",
+                Json::Arr(_) => "an array",
+                Json::Obj(_) => "an object",
+            }
+        };
         let str_member = |key: &str| -> Result<String, String> {
-            v.get(key)
-                .and_then(Json::as_str)
-                .map(str::to_string)
-                .ok_or_else(|| format!("row missing string member '{key}'"))
+            match v.get(key) {
+                None => Err(format!("row missing member '{key}'")),
+                Some(Json::Str(s)) => Ok(s.clone()),
+                Some(other) => {
+                    Err(format!("row member '{key}' must be a string, found {}", found(other)))
+                }
+            }
         };
         let bool_member = |key: &str| -> Result<bool, String> {
-            v.get(key)
-                .and_then(Json::as_bool)
-                .ok_or_else(|| format!("row missing bool member '{key}'"))
+            match v.get(key) {
+                None => Err(format!("row missing member '{key}'")),
+                Some(Json::Bool(b)) => Ok(*b),
+                Some(other) => {
+                    Err(format!("row member '{key}' must be a bool, found {}", found(other)))
+                }
+            }
         };
         let num_member = |key: &str| -> Result<u64, String> {
-            v.get(key)
-                .and_then(Json::as_u64)
-                .ok_or_else(|| format!("row missing integer member '{key}'"))
+            match v.get(key) {
+                None => Err(format!("row missing member '{key}'")),
+                Some(value) => value.as_u64().ok_or_else(|| {
+                    format!(
+                        "row member '{key}' must be a non-negative integer, found {}",
+                        found(value)
+                    )
+                }),
+            }
         };
         Ok(EvalRow {
             id: str_member("id")?,
@@ -413,17 +439,13 @@ impl EvalRow {
             // Rows written before the backend/outcome schema fields
             // existed decode with their historical implicit values.
             backend: match v.get("backend") {
-                Some(b) => {
-                    b.as_str().ok_or_else(|| "bad 'backend' member".to_string())?.to_string()
-                }
+                Some(_) => str_member("backend")?,
                 None => SimBackend::EventDriven.label().to_string(),
             },
             hit: bool_member("hit")?,
             fixed: bool_member("fixed")?,
             outcome: match v.get("outcome") {
-                Some(o) => {
-                    o.as_str().ok_or_else(|| "bad 'outcome' member".to_string())?.to_string()
-                }
+                Some(_) => str_member("outcome")?,
                 None => {
                     if bool_member("fixed")? {
                         Verdict::Pass.label().to_string()
@@ -440,7 +462,12 @@ impl EvalRow {
             fixed_by: match v.get("fixed_by") {
                 Some(Json::Str(s)) => Some(s.clone()),
                 Some(Json::Null) | None => None,
-                Some(other) => return Err(format!("bad 'fixed_by' member: {other:?}")),
+                Some(other) => {
+                    return Err(format!(
+                        "row member 'fixed_by' must be a string or null, found {}",
+                        found(other)
+                    ))
+                }
             },
             degraded: v.get("degraded").and_then(Json::as_bool),
             llm_wait_ms: v.get("llm_wait_ms").and_then(Json::as_u64),

@@ -37,25 +37,29 @@ pub struct MergeOutcome {
     pub shards: usize,
 }
 
-/// Reads one shard JSONL file strictly: a malformed line (e.g. torn by
-/// a killed writer) is an error here, not a skip — an incomplete shard
-/// must fail the merge loudly rather than shrink the report.
+/// Reads one shard JSONL file strictly, through the same
+/// [`SinkTailer`](crate::sink::SinkTailer) the live aggregator polls —
+/// one reader implementation for both consumers. Strict here means a
+/// malformed line (located as `path:line:`, naming the offending
+/// member) or a torn trailing tail is an error, not a skip: an
+/// incomplete shard must fail the merge loudly rather than shrink the
+/// report.
 ///
 /// # Errors
 ///
-/// I/O failures and unparsable lines, located by file and line number.
+/// I/O failures, unparsable lines (file:line located), torn tails.
 pub fn read_shard(path: impl AsRef<Path>) -> Result<Vec<EvalRow>, String> {
     let path = path.as_ref();
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read shard {}: {e}", path.display()))?;
-    text.lines()
-        .enumerate()
-        .filter(|(_, line)| !line.trim().is_empty())
-        .map(|(index, line)| {
-            EvalRow::from_json_line(line)
-                .map_err(|e| format!("{}:{}: {e}", path.display(), index + 1))
-        })
-        .collect()
+    if !path.exists() {
+        return Err(format!("cannot read shard {}: no such file", path.display()));
+    }
+    let mut tailer = crate::sink::SinkTailer::new(path);
+    let batch = tailer.poll().map_err(|e| format!("cannot read shard {}: {e}", path.display()))?;
+    if let Some(diag) = batch.diags.into_iter().next() {
+        return Err(diag);
+    }
+    tailer.finish()?;
+    Ok(batch.rows)
 }
 
 /// The full job-id space of a campaign configuration — what a complete

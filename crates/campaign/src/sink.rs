@@ -1,15 +1,138 @@
-//! Result sinks: where finished rows go.
+//! Result sinks: where finished rows go — and the tailing reader that
+//! consumes them back.
 //!
 //! [`JsonlSink`] streams one JSON line per completed job and flushes
 //! after every row, so a killed campaign loses at most the rows in
 //! flight; on reopen it reports the completed job ids and the engine
 //! skips them — that is the whole resume protocol.
+//!
+//! [`SinkTailer`] is the read side of the same contract: an
+//! incremental JSONL reader that resumes from a byte offset, consumes
+//! only *complete* lines (a trailing line torn by a kill stays pending
+//! until its writer — or the resume terminator — finishes it), and
+//! locates every malformed line as `path:line: message`. The live
+//! aggregator in `uvllm-serve` polls it as rows land; `campaign merge`
+//! drives it once in strict mode; [`JsonlSink::open`] uses it to read
+//! back a previous run.
 
 use crate::eval::EvalRow;
 use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Write};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+
+/// Rows (and located parse diagnostics) produced by one
+/// [`SinkTailer::poll`].
+#[derive(Debug, Default)]
+pub struct TailBatch {
+    /// Rows parsed from complete lines appended since the last poll.
+    pub rows: Vec<EvalRow>,
+    /// Complete-but-unparsable lines, each located as
+    /// `path:line: message` (the message names the offending member).
+    /// The lines are skipped — their jobs simply have no row yet.
+    pub diags: Vec<String>,
+}
+
+/// An incremental reader over a [`JsonlSink`] file.
+///
+/// The tailer tracks how many bytes of *complete* lines it has
+/// consumed; each [`SinkTailer::poll`] picks up exactly the lines
+/// appended since. A torn trailing line (no final newline — a writer
+/// killed mid-append) is never consumed: it stays pending until a later
+/// poll sees its newline, which is what makes tailing a live, crash-prone
+/// shard file safe. A missing file reads as empty (the shard's worker
+/// may not have opened its sink yet).
+#[derive(Debug, Clone)]
+pub struct SinkTailer {
+    path: PathBuf,
+    /// Bytes of complete lines consumed so far.
+    offset: u64,
+    /// 1-based number of the next complete line (diagnostics).
+    line: u64,
+}
+
+impl SinkTailer {
+    /// A tailer positioned at the start of `path`.
+    pub fn new(path: impl AsRef<Path>) -> SinkTailer {
+        SinkTailer { path: path.as_ref().to_path_buf(), offset: 0, line: 1 }
+    }
+
+    /// The file being tailed.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Bytes of complete lines consumed so far (the resume offset).
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Reads every complete line appended since the last poll.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure other than the file not existing yet.
+    pub fn poll(&mut self) -> std::io::Result<TailBatch> {
+        let mut file = match File::open(&self.path) {
+            Ok(file) => file,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(TailBatch::default()),
+            Err(e) => return Err(e),
+        };
+        file.seek(SeekFrom::Start(self.offset))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        // Only whole lines are consumed; a torn tail stays pending.
+        let complete = match bytes.iter().rposition(|b| *b == b'\n') {
+            Some(last) => &bytes[..=last],
+            None => return Ok(TailBatch::default()),
+        };
+        let mut batch = TailBatch::default();
+        // `complete` ends with a newline, so stripping it makes every
+        // split segment exactly one line (blank lines included — they
+        // must still advance the line number).
+        for raw in complete[..complete.len() - 1].split(|b| *b == b'\n') {
+            let number = self.line;
+            self.line += 1;
+            let text = String::from_utf8_lossy(raw);
+            if text.trim().is_empty() {
+                continue;
+            }
+            match EvalRow::from_json_line(&text) {
+                Ok(row) => batch.rows.push(row),
+                Err(message) => {
+                    batch.diags.push(format!("{}:{number}: {message}", self.path.display()))
+                }
+            }
+        }
+        self.offset += complete.len() as u64;
+        Ok(batch)
+    }
+
+    /// Strict end-of-file check: fails when bytes remain past the last
+    /// consumed line — a trailing line torn by a killed writer. The
+    /// merge path uses this (an incomplete shard must fail loudly); the
+    /// live aggregator never calls it (the tail may still be written).
+    ///
+    /// # Errors
+    ///
+    /// Names the file, byte offset and line number of the torn tail.
+    pub fn finish(self) -> Result<(), String> {
+        let len = match std::fs::metadata(&self.path) {
+            Ok(meta) => meta.len(),
+            Err(_) => 0,
+        };
+        if len > self.offset {
+            return Err(format!(
+                "{}:{}: torn trailing line ({} bytes past offset {} lack a newline)",
+                self.path.display(),
+                self.line,
+                len - self.offset,
+                self.offset,
+            ));
+        }
+        Ok(())
+    }
+}
 
 /// A destination for finished rows. Implementations are driven from
 /// worker threads through a mutex, one call per job.
@@ -47,19 +170,13 @@ impl JsonlSink {
     /// Propagates file-system errors.
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
         let path = path.as_ref().to_path_buf();
-        let (existing, torn_tail) = match std::fs::read(&path) {
-            Ok(bytes) => {
-                let text = String::from_utf8_lossy(&bytes);
-                let rows: Vec<EvalRow> = text
-                    .lines()
-                    .filter(|l| !l.trim().is_empty())
-                    .filter_map(|l| EvalRow::from_json_line(l).ok())
-                    .collect();
-                (rows, bytes.last().is_some_and(|b| *b != b'\n'))
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => (Vec::new(), false),
-            Err(e) => return Err(e),
-        };
+        // Read back through the tailing reader: complete rows resume,
+        // malformed complete lines are dropped (their jobs re-run), and
+        // anything past the tailer's offset is a torn tail to repair.
+        let mut tailer = SinkTailer::new(&path);
+        let existing = tailer.poll()?.rows;
+        let torn_tail =
+            std::fs::metadata(&path).map(|meta| meta.len() > tailer.offset()).unwrap_or(false);
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         let mut writer = BufWriter::new(file);
         if torn_tail {
@@ -191,6 +308,68 @@ mod tests {
         sink.append(&row("c@M")).unwrap();
         let reopened = JsonlSink::open(&path).unwrap();
         assert_eq!(reopened.resumed(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tailer_resumes_from_offset_and_holds_torn_tails() {
+        let dir = std::env::temp_dir().join(format!("uvllm-tail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tail.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let mut tailer = SinkTailer::new(&path);
+        // Missing file: empty batch, not an error (the worker may not
+        // have opened its sink yet).
+        assert!(tailer.poll().unwrap().rows.is_empty());
+
+        let mut sink = JsonlSink::open(&path).unwrap();
+        sink.append(&row("a@M")).unwrap();
+        sink.append(&row("b@M")).unwrap();
+        let batch = tailer.poll().unwrap();
+        assert_eq!(batch.rows.len(), 2);
+        assert!(batch.diags.is_empty());
+
+        // A torn trailing line stays pending across polls…
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"id\": \"c@M\", \"inst").unwrap();
+        }
+        let offset_before = tailer.offset();
+        assert!(tailer.poll().unwrap().rows.is_empty());
+        assert_eq!(tailer.offset(), offset_before, "torn bytes must not be consumed");
+        // …and is consumed once its writer finishes the line.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(format!("ance\": \"c\"}}\n{}\n", row("d@M").to_json_line()).as_bytes())
+                .unwrap();
+        }
+        let batch = tailer.poll().unwrap();
+        // Line 3 completed into a parseable-JSON-but-invalid row
+        // (missing members): a located diagnostic, not a silent skip.
+        assert_eq!(batch.rows.len(), 1);
+        assert_eq!(batch.rows[0].id, "d@M");
+        assert_eq!(batch.diags.len(), 1);
+        assert!(
+            batch.diags[0].contains("tail.jsonl:3:"),
+            "diag must be located: {}",
+            batch.diags[0]
+        );
+        assert!(
+            batch.diags[0].contains("design"),
+            "diag names the missing member: {}",
+            batch.diags[0]
+        );
+        tailer.clone().finish().unwrap();
+
+        // finish() on a torn tail names the file and line.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"torn").unwrap();
+        }
+        let err = tailer.finish().unwrap_err();
+        assert!(err.contains("tail.jsonl:5:"), "{err}");
+        assert!(err.contains("torn trailing line"), "{err}");
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -585,6 +585,13 @@ impl<M: LanguageModel + 'static> BatchedLlm<M> {
         &self.config
     }
 
+    /// Sessions opened on this service so far. A resident worker holds
+    /// one service across many leased shards (`Campaign::run_shared`),
+    /// so this is its cumulative served-jobs gauge.
+    pub fn sessions_opened(&self) -> u64 {
+        self.next_session.load(Ordering::SeqCst)
+    }
+
     /// Opens a session owning `model` and returns its client handle.
     ///
     /// Each campaign job opens a session with its own (seeded) model, so
@@ -593,6 +600,7 @@ impl<M: LanguageModel + 'static> BatchedLlm<M> {
     /// the handle's accounting via per-ticket deltas.
     pub fn client(&self, model: M) -> LlmClient<M> {
         let session = self.next_session.fetch_add(1, Ordering::SeqCst);
+        uvllm_obs::registry().counter("llm.sessions").inc();
         let name = model.name().to_string();
         // A closed service rejects the registration; the client's
         // submissions then poison their own tickets, so the error

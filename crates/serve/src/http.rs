@@ -1,0 +1,238 @@
+//! A deliberately small HTTP/1.1 layer over `std::net` — hand-rolled
+//! request parsing in the spirit of `uvllm-json`, because the service
+//! needs exactly one verb shape (`METHOD /path` + optional JSON body)
+//! and the build is dependency-free.
+//!
+//! Server side: [`read_request`] / [`respond`], one request per
+//! connection (`Connection: close`), bounded head and body sizes.
+//! Client side: [`request`], used by remote workers, the CLI client
+//! subcommands and the test suite.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Upper bound on the request/status line + headers.
+const MAX_HEAD: usize = 16 * 1024;
+/// Upper bound on a request or response body.
+const MAX_BODY: usize = 8 * 1024 * 1024;
+/// Socket read timeout: a stalled peer must not pin a handler thread.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target as sent (path only; no scheme/host).
+    pub target: String,
+    /// Decoded body (empty when no `Content-Length`).
+    pub body: String,
+}
+
+/// Reads one request from `stream`.
+///
+/// # Errors
+///
+/// Malformed request lines, oversized heads/bodies, connections closed
+/// mid-request, and socket errors — all as displayable messages (the
+/// server answers them with `400`).
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    stream.set_read_timeout(Some(IO_TIMEOUT)).map_err(|e| format!("set timeout: {e}"))?;
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 2048];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(format!("request head exceeds {MAX_HEAD} bytes"));
+        }
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-request".to_string());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| "request head is not UTF-8".to_string())?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or_default().to_ascii_uppercase();
+    let target = parts.next().unwrap_or_default().to_string();
+    let version = parts.next().unwrap_or_default();
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(format!("malformed request line '{request_line}'"));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad Content-Length '{}'", value.trim()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(format!("request body exceeds {MAX_BODY} bytes"));
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|e| format!("read body: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-body".to_string());
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body).map_err(|_| "request body is not UTF-8".to_string())?;
+    Ok(Request { method, target, body })
+}
+
+/// Writes one response and flushes. The connection is `close`-marked;
+/// the caller drops the stream afterwards.
+///
+/// # Errors
+///
+/// Socket write failures.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// The canonical reason phrase for the handful of statuses the service
+/// speaks.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        410 => "Gone",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// One client round trip: connect, send `method target` with `body`,
+/// read the full response. Returns `(status, body)`.
+///
+/// # Errors
+///
+/// Connection, socket and malformed-response errors as messages.
+pub fn request(
+    addr: &str,
+    method: &str,
+    target: &str,
+    body: &str,
+) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_read_timeout(Some(IO_TIMEOUT)).map_err(|e| format!("set timeout: {e}"))?;
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len(),
+    )
+    .and_then(|()| stream.write_all(body.as_bytes()))
+    .and_then(|()| stream.flush())
+    .map_err(|e| format!("send {method} {target}: {e}"))?;
+
+    let mut raw = Vec::new();
+    // The server closes after one response, so EOF delimits it.
+    stream.read_to_end(&mut raw).map_err(|e| format!("read response: {e}"))?;
+    let head_end =
+        find_head_end(&raw).ok_or_else(|| "malformed response (no header end)".to_string())?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| "response head is not UTF-8".to_string())?;
+    let status_line = head.split("\r\n").next().unwrap_or_default();
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line '{status_line}'"))?;
+    let body = String::from_utf8(raw[head_end + 4..].to_vec())
+        .map_err(|_| "response body is not UTF-8".to_string())?;
+    Ok((status, body))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// One-shot echo server: parse the request, answer with its shape.
+    fn echo_server() -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            match read_request(&mut stream) {
+                Ok(req) => {
+                    let body = format!("{} {} [{}]", req.method, req.target, req.body);
+                    respond(&mut stream, 200, "text/plain", &body).unwrap();
+                }
+                Err(e) => respond(&mut stream, 400, "text/plain", &e).unwrap(),
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn request_round_trips_method_target_and_body() {
+        let (addr, handle) = echo_server();
+        let (status, body) =
+            request(&addr.to_string(), "POST", "/lease", "{\"worker\":\"w1\"}").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "POST /lease [{\"worker\":\"w1\"}]");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn empty_body_round_trips() {
+        let (addr, handle) = echo_server();
+        let (status, body) = request(&addr.to_string(), "GET", "/metrics", "").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "GET /metrics []");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_request_lines_are_rejected() {
+        let (addr, handle) = echo_server();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"NOT-HTTP\r\n\r\n").unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn reasons_cover_the_spoken_statuses() {
+        for status in [200, 204, 400, 404, 405, 409, 410, 500] {
+            assert_ne!(reason(status), "Unknown", "{status}");
+        }
+    }
+}

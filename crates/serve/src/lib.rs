@@ -1,0 +1,55 @@
+//! # uvllm-serve
+//!
+//! The resident campaign service: a dependency-free HTTP/1.1 server
+//! (`std::net` only, hand-rolled parsing — see [`http`]) that keeps
+//! campaigns resident and leases their shards to workers.
+//!
+//! * [`store`] — submitted runs split into shards; shards leased under
+//!   deadlines with epoch fencing; expired leases reclaimed and
+//!   re-granted (*work stealing*). Safe because rows are pure functions
+//!   of (instance × method × seeds): a thief re-producing a dead
+//!   worker's rows produces the same bytes, and the sink resume
+//!   protocol skips what was already flushed.
+//! * [`aggregate`] — a rolling, deduplicated view of every run built by
+//!   tailing the shard JSONL sinks with
+//!   [`SinkTailer`](uvllm_campaign::SinkTailer), torn-line-safe while
+//!   workers are mid-append.
+//! * [`server`] — routing and lifecycle: `POST /jobs`, `POST /lease`,
+//!   `POST /heartbeat`, `POST /complete`, `GET /runs/<id>[/rows]`,
+//!   `GET /metrics` (the [`uvllm_obs`] snapshot, `uvllm-metrics/v1`),
+//!   `POST /shutdown` (drain leases → final aggregation → final
+//!   metrics snapshot on disk).
+//! * [`worker`] — the client loop: lease, evaluate through the normal
+//!   [`Campaign`](uvllm_campaign::Campaign) engine, heartbeat,
+//!   complete; one shared [`BatchedLlm`](uvllm_llm::BatchedLlm) can
+//!   span every lease the worker takes.
+//!
+//! The service adds coordination, never meaning: any run served here
+//! produces JSONL rows byte-identical to the same configuration run
+//! through the CLI — at any worker count, with any number of stolen
+//! leases. The e2e suite enforces exactly that.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use uvllm_serve::{run_worker, ServeConfig, Server, WorkerOptions};
+//!
+//! let server = Server::start(ServeConfig::default()).unwrap();
+//! let addr = server.addr().to_string();
+//! // ... submit runs over HTTP, then from any process:
+//! let summary = run_worker(&WorkerOptions::new(addr)).unwrap();
+//! println!("completed {} shard(s)", summary.completed);
+//! server.shutdown();
+//! ```
+
+pub mod aggregate;
+pub mod http;
+pub mod server;
+pub mod store;
+pub mod worker;
+
+pub use aggregate::{Aggregator, RunView};
+pub use http::{read_request, respond, Request};
+pub use server::{ServeConfig, Server};
+pub use store::{post_json, JobStore, LeaseError, LeaseGrant, LeaseOutcome, RunSpec, ShardStatus};
+pub use worker::{run_worker, WorkerOptions, WorkerSummary};

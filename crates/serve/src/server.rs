@@ -1,0 +1,431 @@
+//! The resident HTTP server: accept loop, routing, the aggregator
+//! thread, and the graceful-shutdown sequence.
+//!
+//! Threading model: one accept thread, one handler thread per
+//! connection (requests are one round trip and handlers share only the
+//! `Arc<ServeState>`), one aggregator thread polling shard sinks on a
+//! cadence. `GET /runs/…` and `GET /metrics` also poll inline so reads
+//! are never staler than the sinks.
+//!
+//! Shutdown (from `POST /shutdown`, [`Server::shutdown`], or the CLI's
+//! SIGINT handler — idempotent, first caller wins):
+//! 1. the store drains: `POST /lease` answers `410 Gone`;
+//! 2. wait for in-flight leases to complete or expire;
+//! 3. one final aggregation pass over every sink;
+//! 4. the final metrics snapshot lands in `<data_dir>/metrics.json`;
+//! 5. the accept and aggregator threads stop and join.
+
+use crate::aggregate::Aggregator;
+use crate::http::{self, Request};
+use crate::store::{JobStore, LeaseError, LeaseOutcome, RunSpec};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use uvllm_json::{s, Json};
+
+/// How the resident service is wired.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; `127.0.0.1:0` picks an ephemeral port (read it
+    /// back from [`Server::addr`]).
+    pub addr: String,
+    /// Where run directories (`run-N/shard-i.jsonl`) and the final
+    /// `metrics.json` live.
+    pub data_dir: PathBuf,
+    /// Lease duration for submissions that don't specify `lease_ms`.
+    pub default_lease: Duration,
+    /// Aggregator poll cadence.
+    pub poll: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            data_dir: PathBuf::from("campaign-serve"),
+            default_lease: Duration::from_secs(60),
+            poll: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Everything request handlers share.
+struct ServeState {
+    store: JobStore,
+    agg: Aggregator,
+    /// Set once the drain has completed; stops the accept and
+    /// aggregator loops.
+    stopped: AtomicBool,
+    /// Guards the shutdown sequence against double entry.
+    shutting_down: AtomicBool,
+    addr: SocketAddr,
+    http_requests: &'static uvllm_obs::Counter,
+}
+
+/// A running resident service.
+pub struct Server {
+    state: Arc<ServeState>,
+    accept: Option<JoinHandle<()>>,
+    aggregator: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the accept and aggregator threads, returns
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// Bind and data-directory-creation failures.
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        std::fs::create_dir_all(&config.data_dir)?;
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServeState {
+            store: JobStore::new(config.data_dir, config.default_lease),
+            agg: Aggregator::new(),
+            stopped: AtomicBool::new(false),
+            shutting_down: AtomicBool::new(false),
+            addr,
+            http_requests: uvllm_obs::registry().counter("serve.http_requests"),
+        });
+
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_state.stopped.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(mut stream) = stream else { continue };
+                let handler_state = Arc::clone(&accept_state);
+                // Handlers are one short round trip each; detached is
+                // fine — shutdown waits on leases, not sockets.
+                std::thread::spawn(move || handle(&handler_state, &mut stream));
+            }
+        });
+
+        let agg_state = Arc::clone(&state);
+        let poll = config.poll;
+        let aggregator = std::thread::spawn(move || {
+            while !agg_state.stopped.load(Ordering::SeqCst) {
+                agg_state.agg.poll();
+                std::thread::sleep(poll);
+            }
+        });
+
+        Ok(Server { state, accept: Some(accept), aggregator: Some(aggregator) })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// True once a shutdown has been requested (by any path).
+    pub fn shutdown_requested(&self) -> bool {
+        self.state.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// True once the shutdown sequence has fully completed.
+    pub fn stopped(&self) -> bool {
+        self.state.stopped.load(Ordering::SeqCst)
+    }
+
+    /// Runs the graceful-shutdown sequence (drain → wait → final
+    /// aggregation → final metrics snapshot) and joins the service
+    /// threads. Safe to call after `POST /shutdown` already started
+    /// the sequence — this then just waits for it.
+    pub fn shutdown(mut self) {
+        begin_shutdown(&self.state);
+        self.join_threads();
+    }
+
+    /// Blocks until the service stops (a `POST /shutdown` or a
+    /// concurrent [`Server::shutdown`]).
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        // The shutdown thread flips `stopped` and pokes the accept
+        // loop; until then both threads are parked in their loops.
+        while !self.state.stopped.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.aggregator.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The drain → wait → flush sequence, spawned detached so the
+/// requesting HTTP handler can answer before the wait. First caller
+/// wins; later calls are no-ops (the sequence is already running).
+fn begin_shutdown(state: &Arc<ServeState>) {
+    if state.shutting_down.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let state = Arc::clone(state);
+    std::thread::spawn(move || {
+        state.store.drain();
+        while !state.store.drained() {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        // Completed leases have flushed their rows; fold them in and
+        // persist the final metrics snapshot next to the run data.
+        state.agg.poll();
+        let snapshot = uvllm_obs::registry().snapshot().render();
+        let _ = std::fs::write(state.store.data_dir().join("metrics.json"), snapshot);
+        state.stopped.store(true, Ordering::SeqCst);
+        // Unblock the accept loop's blocking `accept()`.
+        let _ = TcpStream::connect(state.addr);
+    });
+}
+
+fn handle(state: &Arc<ServeState>, stream: &mut TcpStream) {
+    let request = match http::read_request(stream) {
+        Ok(request) => request,
+        Err(e) => {
+            let _ = http::respond(stream, 400, "text/plain", &format!("{e}\n"));
+            return;
+        }
+    };
+    state.http_requests.inc();
+    let (status, content_type, body) = route(state, &request);
+    let _ = http::respond(stream, status, content_type, &body);
+}
+
+/// Dispatch. Returns `(status, content-type, body)`.
+fn route(state: &Arc<ServeState>, request: &Request) -> (u16, &'static str, String) {
+    let target = request.target.as_str();
+    match (request.method.as_str(), target) {
+        ("POST", "/jobs") => post_jobs(state, &request.body),
+        ("POST", "/lease") => post_lease(state, &request.body),
+        ("POST", "/heartbeat") => post_renewal(state, &request.body, false),
+        ("POST", "/complete") => post_renewal(state, &request.body, true),
+        ("POST", "/shutdown") => {
+            begin_shutdown(state);
+            json_ok(Json::Obj(vec![("draining".to_string(), Json::Bool(true))]))
+        }
+        ("GET", "/healthz") => (200, "text/plain", "ok\n".to_string()),
+        ("GET", "/metrics") => {
+            // Metrics include per-run row counters; poll first so they
+            // reflect every row currently on disk.
+            state.agg.poll();
+            (200, "application/json", uvllm_obs::registry().snapshot().render())
+        }
+        ("GET", "/runs") => {
+            let runs = state.store.run_ids();
+            json_ok(Json::Obj(vec![(
+                "runs".to_string(),
+                Json::Arr(runs.into_iter().map(s).collect()),
+            )]))
+        }
+        ("GET", path) if path.starts_with("/runs/") => get_run(state, &path["/runs/".len()..]),
+        (_, "/jobs" | "/lease" | "/heartbeat" | "/complete" | "/shutdown") => {
+            (405, "text/plain", "POST only\n".to_string())
+        }
+        (_, "/healthz" | "/metrics" | "/runs") => (405, "text/plain", "GET only\n".to_string()),
+        _ => (404, "text/plain", format!("no such endpoint: {target}\n")),
+    }
+}
+
+fn json_ok(json: Json) -> (u16, &'static str, String) {
+    (200, "application/json", json.render())
+}
+
+fn bad_request(message: impl Into<String>) -> (u16, &'static str, String) {
+    let mut body = message.into();
+    body.push('\n');
+    (400, "text/plain", body)
+}
+
+fn post_jobs(state: &Arc<ServeState>, body: &str) -> (u16, &'static str, String) {
+    let json = match Json::parse(body) {
+        Ok(json) => json,
+        Err(e) => return bad_request(format!("bad submission JSON: {e}")),
+    };
+    let spec = match RunSpec::from_json(&json, state.store.default_lease()) {
+        Ok(spec) => spec,
+        Err(e) => return bad_request(e),
+    };
+    let run = match state.store.submit(spec.clone()) {
+        Ok(run) => run,
+        Err(e) => return (500, "text/plain", format!("submit failed: {e}\n")),
+    };
+    let sinks = state.store.sinks(&run).expect("just submitted");
+    state.agg.register(&run, &spec, sinks);
+    json_ok(Json::Obj(vec![
+        ("run".to_string(), s(run)),
+        ("shards".to_string(), Json::Num(spec.shards as f64)),
+    ]))
+}
+
+fn post_lease(state: &Arc<ServeState>, body: &str) -> (u16, &'static str, String) {
+    let worker = match Json::parse(body) {
+        Ok(json) => match json.get("worker").and_then(Json::as_str) {
+            Some(worker) => worker.to_string(),
+            None => return bad_request("lease request missing member 'worker'"),
+        },
+        Err(e) => return bad_request(format!("bad lease JSON: {e}")),
+    };
+    match state.store.lease(&worker) {
+        LeaseOutcome::Granted(grant) => json_ok(grant.to_json()),
+        LeaseOutcome::Empty => (204, "text/plain", String::new()),
+        LeaseOutcome::Draining => (410, "text/plain", "draining\n".to_string()),
+    }
+}
+
+/// `POST /heartbeat` and `POST /complete` share a body shape
+/// (`{run, shard, epoch}`) and an error mapping.
+fn post_renewal(
+    state: &Arc<ServeState>,
+    body: &str,
+    complete: bool,
+) -> (u16, &'static str, String) {
+    let json = match Json::parse(body) {
+        Ok(json) => json,
+        Err(e) => return bad_request(format!("bad JSON: {e}")),
+    };
+    let Some(run) = json.get("run").and_then(Json::as_str) else {
+        return bad_request("missing member 'run'");
+    };
+    let Some(shard) = json.get("shard").and_then(Json::as_u64) else {
+        return bad_request("missing member 'shard'");
+    };
+    let Some(epoch) = json.get("epoch").and_then(Json::as_u64) else {
+        return bad_request("missing member 'epoch'");
+    };
+    let result = if complete {
+        state.store.complete(run, shard as usize, epoch)
+    } else {
+        state.store.heartbeat(run, shard as usize, epoch)
+    };
+    match result {
+        Ok(()) => json_ok(Json::Obj(vec![("ok".to_string(), Json::Bool(true))])),
+        Err(LeaseError::UnknownRun) => (404, "text/plain", format!("no such run: {run}\n")),
+        Err(LeaseError::UnknownShard) => (404, "text/plain", format!("no such shard: {shard}\n")),
+        Err(LeaseError::LeaseLost) => {
+            (409, "text/plain", "lease lost: stale epoch (expired and re-leased?)\n".to_string())
+        }
+    }
+}
+
+/// `GET /runs/<id>` (status JSON) and `GET /runs/<id>/rows` (the
+/// deduplicated rows as canonical sorted JSONL).
+fn get_run(state: &Arc<ServeState>, rest: &str) -> (u16, &'static str, String) {
+    let (run, rows_only) = match rest.strip_suffix("/rows") {
+        Some(run) => (run, true),
+        None => (rest, false),
+    };
+    // Read-your-writes for status queries: fold in anything workers
+    // appended since the last aggregator tick.
+    state.agg.poll();
+    let Some(view) = state.agg.view(run) else {
+        return (404, "text/plain", format!("no such run: {run}\n"));
+    };
+    if rows_only {
+        let mut text = String::new();
+        for row in &view.rows {
+            text.push_str(&row.to_json_line());
+            text.push('\n');
+        }
+        return (200, "application/jsonl", text);
+    }
+    let (shards, shards_done) = state.store.status(run).expect("store and aggregator agree");
+    let shard_rows: Vec<Json> = shards
+        .iter()
+        .map(|shard| {
+            Json::Obj(vec![
+                ("shard".to_string(), Json::Num(shard.shard as f64)),
+                ("state".to_string(), s(shard.state)),
+                ("worker".to_string(), shard.worker.as_ref().map_or(Json::Null, |w| s(w.clone()))),
+                ("steals".to_string(), Json::Num(shard.steals as f64)),
+            ])
+        })
+        .collect();
+    json_ok(Json::Obj(vec![
+        ("run".to_string(), s(view.run.clone())),
+        ("done".to_string(), Json::Bool(shards_done && view.complete())),
+        ("rows".to_string(), Json::Num(view.rows.len() as f64)),
+        ("expected".to_string(), Json::Num(view.expected as f64)),
+        ("shards".to_string(), Json::Arr(shard_rows)),
+        ("diags".to_string(), Json::Arr(view.diags.iter().map(|d| s(d.clone())).collect())),
+        ("report".to_string(), s(view.report().render())),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_server(name: &str) -> Server {
+        let data_dir =
+            std::env::temp_dir().join(format!("uvllm-serve-unit-{}-{name}", std::process::id()));
+        Server::start(ServeConfig {
+            data_dir,
+            default_lease: Duration::from_millis(500),
+            poll: Duration::from_millis(50),
+            ..ServeConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn routing_basics() {
+        let server = test_server("routing");
+        let addr = server.addr().to_string();
+        let (status, body) = http::request(&addr, "GET", "/healthz", "").unwrap();
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        let (status, _) = http::request(&addr, "GET", "/nope", "").unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = http::request(&addr, "GET", "/lease", "").unwrap();
+        assert_eq!(status, 405);
+        let (status, _) = http::request(&addr, "POST", "/metrics", "").unwrap();
+        assert_eq!(status, 405);
+        let (status, _) = http::request(&addr, "GET", "/runs/run-none", "").unwrap();
+        assert_eq!(status, 404);
+        let (status, body) = http::request(&addr, "POST", "/jobs", "{").unwrap();
+        assert_eq!(status, 400, "{body}");
+        let (status, body) = http::request(&addr, "GET", "/metrics", "").unwrap();
+        assert_eq!(status, 200);
+        uvllm_obs::validate_snapshot_json(&body).unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_graceful_and_idempotent() {
+        let server = test_server("shutdown");
+        let addr = server.addr().to_string();
+        let data_dir = server.state.store.data_dir().to_path_buf();
+        let (status, _) =
+            http::request(&addr, "POST", "/jobs", "{\"size\": 1, \"shards\": 1}").unwrap();
+        assert_eq!(status, 200);
+        // Hold a live lease so the drain has something to wait for —
+        // the server must keep answering while it waits.
+        let (status, grant) =
+            http::request(&addr, "POST", "/lease", "{\"worker\": \"w\"}").unwrap();
+        assert_eq!(status, 200, "{grant}");
+        let grant = Json::parse(&grant).unwrap();
+        let (status, body) = http::request(&addr, "POST", "/shutdown", "").unwrap();
+        assert_eq!(status, 200, "{body}");
+        // Draining: new leases are refused while ours is in flight.
+        let (status, _) = http::request(&addr, "POST", "/lease", "{\"worker\": \"w2\"}").unwrap();
+        assert_eq!(status, 410);
+        let complete = Json::Obj(vec![
+            ("run".to_string(), grant.get("run").unwrap().clone()),
+            ("shard".to_string(), grant.get("shard").unwrap().clone()),
+            ("epoch".to_string(), grant.get("epoch").unwrap().clone()),
+        ]);
+        let (status, body) = http::request(&addr, "POST", "/complete", &complete.render()).unwrap();
+        assert_eq!(status, 200, "{body}");
+        server.shutdown(); // second entry: waits, doesn't re-run
+        let text = std::fs::read_to_string(data_dir.join("metrics.json")).unwrap();
+        uvllm_obs::validate_snapshot_json(&text).unwrap();
+    }
+}

@@ -1,0 +1,679 @@
+//! The leasable job store: submitted runs split into shards, shards
+//! leased to workers under deadlines, expired leases reclaimed and
+//! re-granted (work stealing).
+//!
+//! Epoch fencing makes stealing safe without distributed locks: every
+//! grant carries the shard's current epoch, and heartbeat/complete
+//! calls quoting a stale epoch are refused (`LeaseLost` → HTTP 409).
+//! A `complete` with the *matching* epoch is accepted even past the
+//! deadline — the rows are already on disk and byte-identical to what
+//! any other worker would produce, so late completion loses nothing.
+
+use crate::http;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+use uvllm_campaign::MethodKind;
+use uvllm_json::{s, Json};
+use uvllm_sim::SimBackend;
+
+/// Registry handles for the store (`serve.*`), resolved once.
+#[derive(Debug)]
+struct StoreMetrics {
+    jobs_submitted: &'static uvllm_obs::Counter,
+    leases_granted: &'static uvllm_obs::Counter,
+    leases_expired: &'static uvllm_obs::Counter,
+    leases_stolen: &'static uvllm_obs::Counter,
+    heartbeats: &'static uvllm_obs::Counter,
+}
+
+fn metrics() -> &'static StoreMetrics {
+    static METRICS: std::sync::OnceLock<StoreMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| StoreMetrics {
+        jobs_submitted: uvllm_obs::registry().counter("serve.jobs_submitted"),
+        leases_granted: uvllm_obs::registry().counter("serve.leases.granted"),
+        leases_expired: uvllm_obs::registry().counter("serve.leases.expired"),
+        leases_stolen: uvllm_obs::registry().counter("serve.leases.stolen"),
+        heartbeats: uvllm_obs::registry().counter("serve.heartbeats"),
+    })
+}
+
+/// What a submitted run evaluates — the wire form of the deterministic
+/// subset of [`uvllm_campaign::CampaignConfig`]. Every field feeds the
+/// row byte-identity contract, so the server hands the *same* spec to
+/// every worker that leases one of the run's shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSpec {
+    /// Benchmark instances to build.
+    pub size: usize,
+    /// Dataset seed.
+    pub seed: u64,
+    /// Methods to evaluate on every instance.
+    pub methods: Vec<MethodKind>,
+    /// Simulation kernel.
+    pub backend: SimBackend,
+    /// Netlist optimization level (0–3).
+    pub opt_level: u8,
+    /// How many shards the job space is split into.
+    pub shards: usize,
+    /// Lease duration granted per shard.
+    pub lease: Duration,
+}
+
+impl RunSpec {
+    /// Decodes a submission body. Every member except `size` has a
+    /// default; `seed` accepts a hex string (`"0x42"`) or a number —
+    /// the hex-string form is canonical because f64 JSON numbers lose
+    /// precision above 2^53.
+    ///
+    /// # Errors
+    ///
+    /// Names the offending member.
+    pub fn from_json(json: &Json, default_lease: Duration) -> Result<RunSpec, String> {
+        let size =
+            json.get("size")
+                .ok_or("submission missing member 'size'")?
+                .as_u64()
+                .ok_or("submission member 'size' must be a positive integer")? as usize;
+        if size == 0 {
+            return Err("submission member 'size' must be >= 1".to_string());
+        }
+        let seed = match json.get("seed") {
+            None => 0xDA7A,
+            Some(v) => parse_seed(v)?,
+        };
+        let methods = match json.get("methods") {
+            None => MethodKind::ALL.to_vec(),
+            Some(v) => {
+                let arr = v
+                    .as_array()
+                    .ok_or("submission member 'methods' must be an array of method labels")?;
+                let mut methods = Vec::with_capacity(arr.len());
+                for item in arr {
+                    let label =
+                        item.as_str().ok_or("submission member 'methods' must contain strings")?;
+                    methods.push(
+                        MethodKind::from_label(label)
+                            .ok_or_else(|| format!("unknown method label '{label}'"))?,
+                    );
+                }
+                if methods.is_empty() {
+                    return Err("submission member 'methods' must not be empty".to_string());
+                }
+                methods
+            }
+        };
+        let backend = match json.get("backend") {
+            None => SimBackend::default(),
+            Some(v) => {
+                let label =
+                    v.as_str().ok_or("submission member 'backend' must be a string label")?;
+                SimBackend::from_label(label)
+                    .ok_or_else(|| format!("unknown backend label '{label}'"))?
+            }
+        };
+        let opt_level = match json.get("opt_level") {
+            None => 0,
+            Some(v) => {
+                let n = v
+                    .as_u64()
+                    .filter(|&n| n <= 3)
+                    .ok_or("submission member 'opt_level' must be an integer 0..=3")?;
+                n as u8
+            }
+        };
+        let shards = match json.get("shards") {
+            None => 1,
+            Some(v) => v
+                .as_u64()
+                .filter(|&n| n >= 1)
+                .ok_or("submission member 'shards' must be a positive integer")?
+                as usize,
+        };
+        let lease = match json.get("lease_ms") {
+            None => default_lease,
+            Some(v) => Duration::from_millis(
+                v.as_u64().ok_or("submission member 'lease_ms' must be a positive integer")?,
+            ),
+        };
+        Ok(RunSpec { size, seed, methods, backend, opt_level, shards, lease })
+    }
+
+    /// The wire form, round-trippable through [`RunSpec::from_json`].
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("size".to_string(), Json::Num(self.size as f64)),
+            ("seed".to_string(), s(format!("0x{:X}", self.seed))),
+            ("methods".to_string(), Json::Arr(self.methods.iter().map(|m| s(m.label())).collect())),
+            ("backend".to_string(), s(self.backend.label())),
+            ("opt_level".to_string(), Json::Num(self.opt_level as f64)),
+            ("shards".to_string(), Json::Num(self.shards as f64)),
+            ("lease_ms".to_string(), Json::Num(self.lease.as_millis() as f64)),
+        ])
+    }
+}
+
+fn parse_seed(v: &Json) -> Result<u64, String> {
+    if let Some(text) = v.as_str() {
+        let digits = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")).unwrap_or(text);
+        return u64::from_str_radix(digits, 16)
+            .map_err(|_| format!("submission member 'seed' has a bad hex value '{text}'"));
+    }
+    v.as_u64().ok_or_else(|| {
+        "submission member 'seed' must be a hex string like \"0xDA7A\" or an integer".to_string()
+    })
+}
+
+/// Where one shard stands in its lifecycle.
+#[derive(Debug, Clone)]
+enum ShardState {
+    /// Never leased, or reclaimed and waiting for the next worker.
+    Pending,
+    /// Leased to `worker` until `deadline`; only calls quoting `epoch`
+    /// touch it.
+    Leased { worker: String, epoch: u64, deadline: Instant },
+    /// Completed by `worker`.
+    Done { worker: String },
+}
+
+#[derive(Debug)]
+struct Shard {
+    state: ShardState,
+    /// The fencing token: bumped on every grant, so a reclaimed shard's
+    /// previous holder can no longer heartbeat or complete it.
+    epoch: u64,
+    /// How many times an expired lease on this shard was re-granted.
+    steals: u64,
+    /// The JSONL sink every holder appends to. Append-only + resume
+    /// protocol means a second holder continues where the corpse left
+    /// off, skipping completed rows.
+    sink: PathBuf,
+}
+
+#[derive(Debug)]
+struct Run {
+    id: String,
+    spec: RunSpec,
+    shards: Vec<Shard>,
+}
+
+/// One granted lease, everything a worker needs to run the shard.
+#[derive(Debug, Clone)]
+pub struct LeaseGrant {
+    pub run: String,
+    pub shard: usize,
+    pub epoch: u64,
+    /// True when this grant reclaimed an expired lease from another
+    /// worker.
+    pub stolen: bool,
+    pub lease: Duration,
+    pub sink: PathBuf,
+    pub spec: RunSpec,
+}
+
+impl LeaseGrant {
+    /// The wire form handed to workers.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("run".to_string(), s(self.run.clone())),
+            ("shard".to_string(), Json::Num(self.shard as f64)),
+            ("epoch".to_string(), Json::Num(self.epoch as f64)),
+            ("stolen".to_string(), Json::Bool(self.stolen)),
+            ("lease_ms".to_string(), Json::Num(self.lease.as_millis() as f64)),
+            ("sink".to_string(), s(self.sink.display().to_string())),
+            ("config".to_string(), self.spec.to_json()),
+        ])
+    }
+
+    /// Decodes a grant on the worker side.
+    ///
+    /// # Errors
+    ///
+    /// Names the missing or malformed member.
+    pub fn from_json(json: &Json) -> Result<LeaseGrant, String> {
+        let run =
+            json.get("run").and_then(Json::as_str).ok_or("grant missing member 'run'")?.to_string();
+        let shard =
+            json.get("shard").and_then(Json::as_u64).ok_or("grant missing member 'shard'")?
+                as usize;
+        let epoch =
+            json.get("epoch").and_then(Json::as_u64).ok_or("grant missing member 'epoch'")?;
+        let stolen = json.get("stolen").and_then(Json::as_bool).unwrap_or(false);
+        let lease = Duration::from_millis(
+            json.get("lease_ms").and_then(Json::as_u64).ok_or("grant missing member 'lease_ms'")?,
+        );
+        let sink = PathBuf::from(
+            json.get("sink").and_then(Json::as_str).ok_or("grant missing member 'sink'")?,
+        );
+        let spec =
+            RunSpec::from_json(json.get("config").ok_or("grant missing member 'config'")?, lease)?;
+        Ok(LeaseGrant { run, shard, epoch, stolen, lease, sink, spec })
+    }
+}
+
+/// What `POST /lease` answers.
+#[derive(Debug)]
+pub enum LeaseOutcome {
+    /// Work to do.
+    Granted(Box<LeaseGrant>),
+    /// Nothing pending right now — poll again.
+    Empty,
+    /// The server is draining; workers should exit.
+    Draining,
+}
+
+/// Why a heartbeat/complete was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeaseError {
+    /// No such run id (HTTP 404).
+    UnknownRun,
+    /// Shard index out of range (HTTP 404).
+    UnknownShard,
+    /// The quoted epoch is stale: the lease expired and was re-granted,
+    /// or the shard was completed by someone else (HTTP 409).
+    LeaseLost,
+}
+
+/// A summary row for `GET /runs/<id>`.
+#[derive(Debug, Clone)]
+pub struct ShardStatus {
+    pub shard: usize,
+    /// `"pending" | "leased" | "done"`.
+    pub state: &'static str,
+    /// Current or completing worker, if any.
+    pub worker: Option<String>,
+    pub steals: u64,
+}
+
+/// The resident store behind the HTTP surface. All mutation goes
+/// through one mutex — the unit of work is a whole campaign shard, so
+/// store contention is noise.
+#[derive(Debug)]
+pub struct JobStore {
+    data_dir: PathBuf,
+    default_lease: Duration,
+    runs: Mutex<Vec<Run>>,
+    draining: AtomicBool,
+}
+
+/// Process-wide run counter: parallel servers in one test binary must
+/// not collide on per-run metric names or data directories.
+static NEXT_RUN: AtomicU64 = AtomicU64::new(1);
+
+impl JobStore {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Run>> {
+        self.runs.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn new(data_dir: impl Into<PathBuf>, default_lease: Duration) -> JobStore {
+        JobStore {
+            data_dir: data_dir.into(),
+            default_lease,
+            runs: Mutex::new(Vec::new()),
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    pub fn data_dir(&self) -> &Path {
+        &self.data_dir
+    }
+
+    pub fn default_lease(&self) -> Duration {
+        self.default_lease
+    }
+
+    /// Registers a run and creates its shard-sink directory. Returns
+    /// the run id.
+    ///
+    /// # Errors
+    ///
+    /// Directory-creation failures.
+    pub fn submit(&self, spec: RunSpec) -> std::io::Result<String> {
+        let id = format!("run-{}", NEXT_RUN.fetch_add(1, Ordering::SeqCst));
+        let dir = self.data_dir.join(&id);
+        std::fs::create_dir_all(&dir)?;
+        let shards = (0..spec.shards)
+            .map(|i| Shard {
+                state: ShardState::Pending,
+                epoch: 0,
+                steals: 0,
+                sink: dir.join(format!("shard-{i}.jsonl")),
+            })
+            .collect();
+        self.lock().push(Run { id: id.clone(), spec, shards });
+        metrics().jobs_submitted.inc();
+        Ok(id)
+    }
+
+    /// Grants the first available shard: pending ones first, then
+    /// expired leases (reclaimed, epoch bumped, marked stolen).
+    pub fn lease(&self, worker: &str) -> LeaseOutcome {
+        if self.draining.load(Ordering::SeqCst) {
+            return LeaseOutcome::Draining;
+        }
+        let now = Instant::now();
+        let mut runs = self.lock();
+        for run in runs.iter_mut() {
+            for (index, shard) in run.shards.iter_mut().enumerate() {
+                let stolen = match &shard.state {
+                    ShardState::Pending => false,
+                    ShardState::Leased { deadline, .. } if *deadline <= now => {
+                        metrics().leases_expired.inc();
+                        metrics().leases_stolen.inc();
+                        shard.steals += 1;
+                        true
+                    }
+                    _ => continue,
+                };
+                shard.epoch += 1;
+                shard.state = ShardState::Leased {
+                    worker: worker.to_string(),
+                    epoch: shard.epoch,
+                    deadline: now + run.spec.lease,
+                };
+                metrics().leases_granted.inc();
+                return LeaseOutcome::Granted(Box::new(LeaseGrant {
+                    run: run.id.clone(),
+                    shard: index,
+                    epoch: shard.epoch,
+                    stolen,
+                    lease: run.spec.lease,
+                    sink: shard.sink.clone(),
+                    spec: run.spec.clone(),
+                }));
+            }
+        }
+        LeaseOutcome::Empty
+    }
+
+    /// Extends a live lease's deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`LeaseError`] for unknown runs/shards and stale epochs.
+    pub fn heartbeat(&self, run: &str, shard: usize, epoch: u64) -> Result<(), LeaseError> {
+        let now = Instant::now();
+        let mut runs = self.lock();
+        let run = runs.iter_mut().find(|r| r.id == run).ok_or(LeaseError::UnknownRun)?;
+        let lease = run.spec.lease;
+        let shard = run.shards.get_mut(shard).ok_or(LeaseError::UnknownShard)?;
+        match &mut shard.state {
+            ShardState::Leased { epoch: held, deadline, .. } if *held == epoch => {
+                *deadline = now + lease;
+                metrics().heartbeats.inc();
+                Ok(())
+            }
+            _ => Err(LeaseError::LeaseLost),
+        }
+    }
+
+    /// Marks a shard done. Accepted on a matching epoch even past the
+    /// deadline — as long as nobody re-leased it, the rows on disk are
+    /// complete and the late worker's work stands.
+    ///
+    /// # Errors
+    ///
+    /// [`LeaseError`] for unknown runs/shards and stale epochs.
+    pub fn complete(&self, run: &str, shard: usize, epoch: u64) -> Result<(), LeaseError> {
+        let mut runs = self.lock();
+        let run = runs.iter_mut().find(|r| r.id == run).ok_or(LeaseError::UnknownRun)?;
+        let shard = run.shards.get_mut(shard).ok_or(LeaseError::UnknownShard)?;
+        match &shard.state {
+            ShardState::Leased { epoch: held, worker, .. } if *held == epoch => {
+                shard.state = ShardState::Done { worker: worker.clone() };
+                Ok(())
+            }
+            _ => Err(LeaseError::LeaseLost),
+        }
+    }
+
+    /// Stops granting leases; `POST /lease` answers `410 Gone`.
+    pub fn drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// True once no shard holds an unexpired lease — in-flight workers
+    /// have either completed or run out their deadlines, so shutdown
+    /// can proceed to the final aggregation pass.
+    pub fn drained(&self) -> bool {
+        let now = Instant::now();
+        self.lock().iter().all(|run| {
+            run.shards.iter().all(|shard| match &shard.state {
+                ShardState::Leased { deadline, .. } => *deadline <= now,
+                _ => true,
+            })
+        })
+    }
+
+    /// The spec a run was submitted with, if the run exists.
+    pub fn spec(&self, run: &str) -> Option<RunSpec> {
+        self.lock().iter().find(|r| r.id == run).map(|r| r.spec.clone())
+    }
+
+    /// Shard sink paths for a run, in shard order.
+    pub fn sinks(&self, run: &str) -> Option<Vec<PathBuf>> {
+        self.lock()
+            .iter()
+            .find(|r| r.id == run)
+            .map(|r| r.shards.iter().map(|s| s.sink.clone()).collect())
+    }
+
+    /// All run ids, submission order.
+    pub fn run_ids(&self) -> Vec<String> {
+        self.lock().iter().map(|r| r.id.clone()).collect()
+    }
+
+    /// Per-shard status rows plus "all shards done".
+    pub fn status(&self, run: &str) -> Option<(Vec<ShardStatus>, bool)> {
+        let runs = self.lock();
+        let run = runs.iter().find(|r| r.id == run)?;
+        let rows: Vec<ShardStatus> = run
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(shard, state)| {
+                let (label, worker) = match &state.state {
+                    ShardState::Pending => ("pending", None),
+                    ShardState::Leased { worker, .. } => ("leased", Some(worker.clone())),
+                    ShardState::Done { worker } => ("done", Some(worker.clone())),
+                };
+                ShardStatus { shard, state: label, worker, steals: state.steals }
+            })
+            .collect();
+        let done = rows.iter().all(|r| r.state == "done");
+        Some((rows, done))
+    }
+}
+
+/// Client-side helper: one JSON round trip against a serve endpoint.
+///
+/// # Errors
+///
+/// Transport errors and non-JSON bodies, as messages naming the call.
+pub fn post_json(addr: &str, path: &str, body: &Json) -> Result<(u16, Json), String> {
+    let (status, text) = http::request(addr, "POST", path, &body.render())?;
+    let json = if text.is_empty() {
+        Json::Null
+    } else {
+        Json::parse(&text).map_err(|e| format!("POST {path}: bad response JSON: {e}"))?
+    };
+    Ok((status, json))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(shards: usize, lease: Duration) -> RunSpec {
+        RunSpec {
+            size: 2,
+            seed: 0x42,
+            methods: vec![MethodKind::Strider],
+            backend: SimBackend::default(),
+            opt_level: 0,
+            shards,
+            lease,
+        }
+    }
+
+    fn store(lease: Duration) -> JobStore {
+        let dir = std::env::temp_dir()
+            .join(format!("uvllm-store-test-{}", NEXT_RUN.fetch_add(1, Ordering::SeqCst)));
+        JobStore::new(dir, lease)
+    }
+
+    #[test]
+    fn spec_json_round_trips_with_hex_seed() {
+        let original = RunSpec {
+            size: 331,
+            // Above 2^53: the f64 number path would corrupt this.
+            seed: 0xDEAD_BEEF_CAFE_F00D,
+            methods: vec![MethodKind::Uvllm, MethodKind::Meic],
+            backend: SimBackend::Compiled,
+            opt_level: 2,
+            shards: 4,
+            lease: Duration::from_secs(30),
+        };
+        let json = original.to_json();
+        assert!(json.render().contains("\"0xDEADBEEFCAFEF00D\""));
+        let decoded = RunSpec::from_json(&json, Duration::from_secs(1)).unwrap();
+        assert_eq!(decoded, original);
+    }
+
+    #[test]
+    fn spec_defaults_and_errors() {
+        let json = Json::parse("{\"size\": 4}").unwrap();
+        let spec = RunSpec::from_json(&json, Duration::from_secs(7)).unwrap();
+        assert_eq!(spec.size, 4);
+        assert_eq!(spec.seed, 0xDA7A);
+        assert_eq!(spec.methods, MethodKind::ALL.to_vec());
+        assert_eq!(spec.shards, 1);
+        assert_eq!(spec.lease, Duration::from_secs(7));
+
+        let err = |text: &str| {
+            RunSpec::from_json(&Json::parse(text).unwrap(), Duration::from_secs(1)).unwrap_err()
+        };
+        assert!(err("{}").contains("'size'"));
+        assert!(err("{\"size\": 1, \"methods\": [\"nope\"]}").contains("'nope'"));
+        assert!(err("{\"size\": 1, \"backend\": \"warp\"}").contains("'warp'"));
+        assert!(err("{\"size\": 1, \"opt_level\": 9}").contains("'opt_level'"));
+        assert!(err("{\"size\": 1, \"seed\": \"0xZZ\"}").contains("'0xZZ'"));
+    }
+
+    #[test]
+    fn leases_grant_heartbeat_and_complete() {
+        let store = store(Duration::from_secs(60));
+        let run = store.submit(spec(2, Duration::from_secs(60))).unwrap();
+        let grant_a = match store.lease("a") {
+            LeaseOutcome::Granted(g) => g,
+            other => panic!("expected grant, got {other:?}"),
+        };
+        assert_eq!(grant_a.run, run);
+        assert_eq!(grant_a.shard, 0);
+        assert!(!grant_a.stolen);
+        let grant_b = match store.lease("b") {
+            LeaseOutcome::Granted(g) => g,
+            other => panic!("expected grant, got {other:?}"),
+        };
+        assert_eq!(grant_b.shard, 1);
+        assert!(matches!(store.lease("c"), LeaseOutcome::Empty));
+
+        store.heartbeat(&run, 0, grant_a.epoch).unwrap();
+        store.complete(&run, 0, grant_a.epoch).unwrap();
+        store.complete(&run, 1, grant_b.epoch).unwrap();
+        let (rows, done) = store.status(&run).unwrap();
+        assert!(done);
+        assert_eq!(rows[0].worker.as_deref(), Some("a"));
+        assert_eq!(rows[1].worker.as_deref(), Some("b"));
+
+        assert_eq!(store.heartbeat("run-none", 0, 1), Err(LeaseError::UnknownRun));
+        assert_eq!(store.heartbeat(&run, 9, 1), Err(LeaseError::UnknownShard));
+        assert_eq!(store.complete(&run, 0, grant_a.epoch), Err(LeaseError::LeaseLost));
+    }
+
+    #[test]
+    fn expired_leases_are_stolen_and_fenced() {
+        let store = store(Duration::from_millis(20));
+        let run = store.submit(spec(1, Duration::from_millis(20))).unwrap();
+        let dead = match store.lease("dead") {
+            LeaseOutcome::Granted(g) => g,
+            other => panic!("expected grant, got {other:?}"),
+        };
+        // Not yet expired: nothing to steal.
+        assert!(matches!(store.lease("thief"), LeaseOutcome::Empty));
+        std::thread::sleep(Duration::from_millis(30));
+        let stolen = match store.lease("thief") {
+            LeaseOutcome::Granted(g) => g,
+            other => panic!("expected steal, got {other:?}"),
+        };
+        assert!(stolen.stolen);
+        assert_eq!(stolen.shard, dead.shard);
+        assert!(stolen.epoch > dead.epoch);
+        assert_eq!(stolen.sink, dead.sink, "the thief resumes the same sink");
+        // The corpse's epoch is fenced out of both verbs.
+        assert_eq!(store.heartbeat(&run, 0, dead.epoch), Err(LeaseError::LeaseLost));
+        assert_eq!(store.complete(&run, 0, dead.epoch), Err(LeaseError::LeaseLost));
+        // The thief finishes normally.
+        store.complete(&run, 0, stolen.epoch).unwrap();
+        let (rows, done) = store.status(&run).unwrap();
+        assert!(done);
+        assert_eq!(rows[0].steals, 1);
+        assert_eq!(rows[0].worker.as_deref(), Some("thief"));
+    }
+
+    #[test]
+    fn late_complete_on_matching_epoch_is_accepted() {
+        let store = store(Duration::from_millis(10));
+        let run = store.submit(spec(1, Duration::from_millis(10))).unwrap();
+        let grant = match store.lease("slow") {
+            LeaseOutcome::Granted(g) => g,
+            other => panic!("expected grant, got {other:?}"),
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        // Expired but not re-leased: the work is done, accept it.
+        store.complete(&run, 0, grant.epoch).unwrap();
+        let (_, done) = store.status(&run).unwrap();
+        assert!(done);
+    }
+
+    #[test]
+    fn drain_refuses_new_leases_and_reports_quiescence() {
+        let store = store(Duration::from_millis(20));
+        let run = store.submit(spec(1, Duration::from_millis(20))).unwrap();
+        let grant = match store.lease("w") {
+            LeaseOutcome::Granted(g) => g,
+            other => panic!("expected grant, got {other:?}"),
+        };
+        store.drain();
+        assert!(matches!(store.lease("w2"), LeaseOutcome::Draining));
+        assert!(!store.drained(), "a live lease blocks quiescence");
+        store.complete(&run, 0, grant.epoch).unwrap();
+        assert!(store.drained());
+    }
+
+    #[test]
+    fn grant_json_round_trips() {
+        let grant = LeaseGrant {
+            run: "run-9".to_string(),
+            shard: 1,
+            epoch: 3,
+            stolen: true,
+            lease: Duration::from_millis(750),
+            sink: PathBuf::from("/tmp/run-9/shard-1.jsonl"),
+            spec: spec(2, Duration::from_millis(750)),
+        };
+        let decoded = LeaseGrant::from_json(&grant.to_json()).unwrap();
+        assert_eq!(decoded.run, grant.run);
+        assert_eq!(decoded.shard, grant.shard);
+        assert_eq!(decoded.epoch, grant.epoch);
+        assert!(decoded.stolen);
+        assert_eq!(decoded.lease, grant.lease);
+        assert_eq!(decoded.sink, grant.sink);
+        assert_eq!(decoded.spec, grant.spec);
+    }
+}

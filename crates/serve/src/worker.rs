@@ -1,0 +1,255 @@
+//! The leased-shard worker: polls `POST /lease`, runs each granted
+//! shard through the normal campaign engine into the grant's JSONL
+//! sink, heartbeats while evaluating, and reports `POST /complete`.
+//!
+//! Determinism does the heavy lifting: a worker needs *no* state from
+//! the server beyond the grant — the [`RunSpec`] pins the dataset and
+//! seeds, the shard index pins the slice, and the sink's resume
+//! protocol skips whatever a previous (dead) holder already flushed.
+//! A stolen shard therefore continues mid-file and produces rows
+//! byte-identical to an uninterrupted run.
+
+use crate::store::{post_json, LeaseGrant};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use uvllm_campaign::{
+    BatchConfig, Campaign, CampaignConfig, EvalRow, JsonlSink, ResultSink, ShardSpec, SharedLlm,
+};
+use uvllm_json::{s, Json};
+use uvllm_llm::BatchedLlm;
+
+/// How a worker process connects and behaves.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Server address, e.g. `127.0.0.1:8091`.
+    pub server: String,
+    /// Worker name quoted in leases (shows up in run status).
+    pub name: String,
+    /// Evaluation threads per leased shard (0 = one per CPU).
+    pub workers: usize,
+    /// Delay between `204 No Content` lease polls.
+    pub poll: Duration,
+    /// Exit after this many consecutive empty polls (`None` = poll
+    /// until the server drains).
+    pub max_idle: Option<u64>,
+    /// Exit after the first granted lease finishes (tests, CI).
+    pub once: bool,
+    /// `Some` starts one shared [`BatchedLlm`] that lives across every
+    /// lease this worker takes — the resident-service path where the
+    /// batching window spans shards.
+    pub llm_batch: Option<BatchConfig>,
+    /// Fault injection for the steal tests: the sink starts refusing
+    /// appends after this many rows, simulating a worker dying
+    /// mid-shard (rows already flushed stay on disk; no complete is
+    /// reported; the lease expires and someone else finishes the file).
+    pub abort_after_rows: Option<usize>,
+}
+
+impl WorkerOptions {
+    /// Sensible defaults for connecting to `server`.
+    pub fn new(server: impl Into<String>) -> WorkerOptions {
+        WorkerOptions {
+            server: server.into(),
+            name: format!("worker-{}", std::process::id()),
+            workers: 0,
+            poll: Duration::from_millis(100),
+            max_idle: None,
+            once: false,
+            llm_batch: None,
+            abort_after_rows: None,
+        }
+    }
+}
+
+/// What a worker did before exiting.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Leases granted to this worker.
+    pub leases: u64,
+    /// Shards completed (accepted by the server).
+    pub completed: u64,
+    /// Shards whose leases this worker stole from expired holders.
+    pub stolen: u64,
+    /// Shards abandoned by injected sink failure (`abort_after_rows`).
+    pub aborted: u64,
+    /// Completions/heartbeats refused with a stale epoch — the shard
+    /// was re-leased out from under us while we evaluated.
+    pub lost: u64,
+}
+
+/// Runs the worker loop until the server drains, the idle budget runs
+/// out, or (`once`) the first lease finishes.
+///
+/// # Errors
+///
+/// Transport failures and undecodable grants. A lost lease is *not* an
+/// error — the thief owns the shard now; it counts in the summary.
+pub fn run_worker(options: &WorkerOptions) -> Result<WorkerSummary, String> {
+    let shared: Option<SharedLlm> = options.llm_batch.clone().map(BatchedLlm::start);
+    let mut summary = WorkerSummary::default();
+    let mut idle = 0u64;
+    loop {
+        let body = Json::Obj(vec![("worker".to_string(), s(options.name.clone()))]);
+        let (status, json) = post_json(&options.server, "/lease", &body)?;
+        match status {
+            410 => break,
+            204 => {
+                idle += 1;
+                if options.max_idle.is_some_and(|max| idle >= max) {
+                    break;
+                }
+                std::thread::sleep(options.poll);
+                continue;
+            }
+            200 => {}
+            other => return Err(format!("POST /lease: unexpected status {other}")),
+        }
+        idle = 0;
+        let grant = LeaseGrant::from_json(&json)?;
+        summary.leases += 1;
+        if grant.stolen {
+            summary.stolen += 1;
+        }
+        run_lease(options, &grant, shared.as_ref(), &mut summary)?;
+        if options.once {
+            break;
+        }
+    }
+    Ok(summary)
+}
+
+/// One granted shard: campaign run + heartbeats + completion report.
+fn run_lease(
+    options: &WorkerOptions,
+    grant: &LeaseGrant,
+    shared: Option<&SharedLlm>,
+    summary: &mut WorkerSummary,
+) -> Result<(), String> {
+    let spec = &grant.spec;
+    let config = CampaignConfig {
+        dataset_size: spec.size,
+        dataset_seed: spec.seed,
+        methods: spec.methods.clone(),
+        workers: options.workers,
+        shard: ShardSpec { index: grant.shard, count: spec.shards },
+        backend: spec.backend,
+        opt_level: spec.opt_level,
+        ..CampaignConfig::default()
+    };
+    let campaign = Campaign::new(config).map_err(|e| format!("bad grant config: {e}"))?;
+    let sink = JsonlSink::open(&grant.sink)
+        .map_err(|e| format!("cannot open sink {}: {e}", grant.sink.display()))?;
+    let mut sink = AbortingSink::new(sink, options.abort_after_rows);
+
+    // Heartbeat at a third of the lease so two misses still fit inside
+    // the deadline. A 409 means the lease was re-granted — remember it
+    // and stop renewing (the thief owns the shard now).
+    let done = Arc::new(AtomicBool::new(false));
+    let lost = Arc::new(AtomicBool::new(false));
+    let beat = {
+        let done = Arc::clone(&done);
+        let lost = Arc::clone(&lost);
+        let server = options.server.clone();
+        let body = renewal_body(grant);
+        let interval = (grant.lease / 3).max(Duration::from_millis(10));
+        std::thread::spawn(move || {
+            while !done.load(Ordering::SeqCst) {
+                std::thread::sleep(interval);
+                if done.load(Ordering::SeqCst) {
+                    break;
+                }
+                match post_json(&server, "/heartbeat", &body) {
+                    Ok((200, _)) => {}
+                    Ok((409, _)) => {
+                        lost.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                    // 404s and transport hiccups: keep trying; the
+                    // deadline is the arbiter.
+                    _ => {}
+                }
+            }
+        })
+    };
+
+    let run = campaign.run_shared(&mut sink, shared);
+    done.store(true, Ordering::SeqCst);
+    let _ = beat.join();
+
+    match run {
+        Err(_) if sink.aborted() => {
+            // Injected death: rows flushed so far stay on disk, no
+            // completion is reported, the lease runs out its deadline.
+            summary.aborted += 1;
+            Ok(())
+        }
+        Err(e) => Err(format!("shard {}/{} failed: {e}", grant.run, grant.shard)),
+        Ok(_) => {
+            if lost.load(Ordering::SeqCst) {
+                summary.lost += 1;
+                return Ok(());
+            }
+            let (status, _) = post_json(&options.server, "/complete", &renewal_body(grant))?;
+            match status {
+                200 => summary.completed += 1,
+                409 => summary.lost += 1,
+                other => return Err(format!("POST /complete: unexpected status {other}")),
+            }
+            Ok(())
+        }
+    }
+}
+
+fn renewal_body(grant: &LeaseGrant) -> Json {
+    Json::Obj(vec![
+        ("run".to_string(), s(grant.run.clone())),
+        ("shard".to_string(), Json::Num(grant.shard as f64)),
+        ("epoch".to_string(), Json::Num(grant.epoch as f64)),
+    ])
+}
+
+/// A sink that dies on schedule: forwards the first `limit` appends to
+/// the wrapped [`JsonlSink`], then refuses every append with an I/O
+/// error. `limit: None` forwards everything. Because the engine
+/// flushes per row, the file is left exactly as a `kill -9` at that
+/// point would leave it — which is what the steal tests need.
+struct AbortingSink {
+    inner: JsonlSink,
+    limit: Option<usize>,
+    written: usize,
+    aborted: bool,
+}
+
+impl AbortingSink {
+    fn new(inner: JsonlSink, limit: Option<usize>) -> AbortingSink {
+        AbortingSink { inner, limit, written: 0, aborted: false }
+    }
+
+    fn aborted(&self) -> bool {
+        self.aborted
+    }
+}
+
+impl ResultSink for AbortingSink {
+    fn completed_ids(&self) -> std::collections::HashSet<String> {
+        self.inner.completed_ids()
+    }
+
+    fn existing_rows(&self) -> Vec<EvalRow> {
+        self.inner.existing_rows()
+    }
+
+    fn append(&mut self, row: &EvalRow) -> std::io::Result<()> {
+        if self.limit.is_some_and(|limit| self.written >= limit) {
+            self.aborted = true;
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "injected worker death",
+            ));
+        }
+        self.inner.append(row)?;
+        self.written += 1;
+        Ok(())
+    }
+}

@@ -14,6 +14,11 @@
 //! cargo run --release --example campaign -- --inject-panic '@RTLrepair' --job-deadline-ms 60000
 //! cargo run --release --example campaign -- merge shard0.jsonl shard1.jsonl --out merged.jsonl
 //! cargo run --release --example campaign -- metrics-check metrics.json
+//! cargo run --release --example campaign -- serve --addr 127.0.0.1:8091 --data-dir serve-data
+//! cargo run --release --example campaign -- worker --connect 127.0.0.1:8091 --workers 8
+//! cargo run --release --example campaign -- submit --connect 127.0.0.1:8091 --size 60 --shards 4
+//! cargo run --release --example campaign -- status --connect 127.0.0.1:8091 run-1 --wait
+//! cargo run --release --example campaign -- shutdown --connect 127.0.0.1:8091
 //! ```
 //!
 //! Re-running with the same `--out` resumes: completed jobs are read
@@ -24,13 +29,24 @@
 //! `merge` combines shard files into one report, validating shard
 //! disjointness and full job-space coverage (pass the same `--size` /
 //! `--seed` / `--methods` the shards ran with).
+//!
+//! The `serve` family runs the resident campaign service
+//! (`uvllm-serve`): `serve` keeps campaigns resident and leases their
+//! shards over HTTP; `worker --connect` evaluates leased shards;
+//! `submit` / `status` / `metrics` / `shutdown` / `ping` are thin
+//! clients over the same endpoints. Rows served this way are
+//! byte-identical to a plain CLI run of the same configuration —
+//! including across worker deaths and stolen leases.
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 use uvllm_campaign::{
     expected_job_ids, merge_rows, read_shard, BatchConfig, Campaign, CampaignConfig,
     CampaignReport, FaultPlan, JsonlSink, MethodKind, ResiliencePolicy, ShardSpec, SimBackend,
 };
+use uvllm_json::{s, Json};
+use uvllm_serve::{http, post_json, run_worker, ServeConfig, Server, WorkerOptions};
 
 struct Args {
     config: CampaignConfig,
@@ -56,6 +72,14 @@ const USAGE: &str = "usage: campaign [--workers N] [--shard i/n] [--size N] \
      \x20      campaign merge [--size N] [--seed HEX] [--methods A,B,..] \
      [--out FILE] SHARD.jsonl..\n\
      \x20      campaign metrics-check METRICS.json\n\
+     \x20      campaign serve [--addr HOST:PORT] [--data-dir DIR] [--lease-ms MS] [--poll-ms MS]\n\
+     \x20      campaign worker --connect HOST:PORT [--name NAME] [--workers N] [--poll-ms MS] \
+     [--idle-exit N] [--once] [--llm-batch N] [--llm-max-wait-ms MS] [--abort-after-rows N]\n\
+     \x20      campaign submit --connect HOST:PORT [--size N] [--seed HEX] [--methods A,B,..] \
+     [--backend event|compiled] [--opt-level 0..3] [--shards N] [--lease-ms MS]\n\
+     \x20      campaign status --connect HOST:PORT RUN [--wait] [--rows-out FILE]\n\
+     \x20      campaign metrics --connect HOST:PORT [--out FILE]\n\
+     \x20      campaign shutdown --connect HOST:PORT | campaign ping --connect HOST:PORT\n\
      methods: UVLLM, UVLLM(comp), MEIC, GPT-4-turbo, Strider, RTLrepair";
 
 /// Flags shared by the run and merge forms.
@@ -543,10 +567,374 @@ fn run_merge(args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+/// SIGINT flag for `campaign serve`: the handler only sets this; the
+/// foreground loop notices it and runs the graceful shutdown.
+static SIGINT: AtomicBool = AtomicBool::new(false);
+
+/// Installs a SIGINT handler through libc's `signal(2)` directly — the
+/// build is dependency-free, and std already links libc on unix.
+#[cfg(unix)]
+fn install_sigint() {
+    extern "C" fn on_sigint(_signum: i32) {
+        SIGINT.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT_NUM: i32 = 2;
+    unsafe {
+        signal(SIGINT_NUM, on_sigint as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint() {}
+
+fn parse_ms(name: &str, text: &str) -> Result<u64, String> {
+    text.parse().ok().filter(|n| *n > 0).ok_or_else(|| format!("{name} must be a positive number"))
+}
+
+/// `campaign serve`: run the resident service in the foreground until
+/// `POST /shutdown` or SIGINT drains it.
+fn run_serve(args: Vec<String>) -> Result<(), String> {
+    let mut config = ServeConfig::default();
+    let mut args = args.into_iter();
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--data-dir" => config.data_dir = value("--data-dir")?.into(),
+            "--lease-ms" => {
+                config.default_lease =
+                    Duration::from_millis(parse_ms("--lease-ms", &value("--lease-ms")?)?);
+            }
+            "--poll-ms" => {
+                config.poll = Duration::from_millis(parse_ms("--poll-ms", &value("--poll-ms")?)?);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown serve flag '{other}' (try --help)")),
+        }
+    }
+    install_sigint();
+    let data_dir = config.data_dir.clone();
+    let lease = config.default_lease;
+    let server = Server::start(config).map_err(|e| format!("cannot start server: {e}"))?;
+    println!("serving on {}", server.addr());
+    println!(
+        "data dir {}; default lease {:?}; POST /shutdown or SIGINT to drain",
+        data_dir.display(),
+        lease,
+    );
+    while !SIGINT.load(Ordering::SeqCst) && !server.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    if SIGINT.load(Ordering::SeqCst) {
+        println!("SIGINT: draining in-flight leases and flushing the final metrics snapshot");
+    }
+    // Idempotent: if POST /shutdown started the sequence this just
+    // waits for it; final metrics land in <data_dir>/metrics.json.
+    server.shutdown();
+    println!("shutdown complete; final metrics in {}", data_dir.join("metrics.json").display());
+    Ok(())
+}
+
+/// `campaign worker --connect`: evaluate leased shards until the server
+/// drains (or the idle budget runs out).
+fn run_remote_worker(args: Vec<String>) -> Result<(), String> {
+    let mut options = WorkerOptions::new(String::new());
+    let mut max_wait: Option<Duration> = None;
+    let mut args = args.into_iter();
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--connect" => options.server = value("--connect")?,
+            "--name" => options.name = value("--name")?,
+            "--workers" => {
+                options.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers must be a number".to_string())?;
+            }
+            "--poll-ms" => {
+                options.poll = Duration::from_millis(parse_ms("--poll-ms", &value("--poll-ms")?)?);
+            }
+            "--idle-exit" => {
+                options.max_idle = Some(parse_ms("--idle-exit", &value("--idle-exit")?)?);
+            }
+            "--once" => options.once = true,
+            "--llm-batch" => {
+                let max_batch = parse_ms("--llm-batch", &value("--llm-batch")?)? as usize;
+                options.llm_batch = Some(BatchConfig { max_batch, ..BatchConfig::default() });
+            }
+            "--llm-max-wait-ms" => {
+                max_wait = Some(Duration::from_millis(parse_ms(
+                    "--llm-max-wait-ms",
+                    &value("--llm-max-wait-ms")?,
+                )?));
+            }
+            // Deterministic fault injection for the steal drills: die
+            // (stop appending, never complete) after N rows.
+            "--abort-after-rows" => {
+                options.abort_after_rows = Some(
+                    value("--abort-after-rows")?
+                        .parse()
+                        .map_err(|_| "--abort-after-rows must be a number".to_string())?,
+                );
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown worker flag '{other}' (try --help)")),
+        }
+    }
+    if options.server.is_empty() {
+        return Err("worker needs --connect HOST:PORT".to_string());
+    }
+    match (max_wait, &mut options.llm_batch) {
+        (None, _) => {}
+        (Some(_), None) => return Err("--llm-max-wait-ms needs --llm-batch".to_string()),
+        (Some(wait), Some(batch)) => batch.max_wait = wait,
+    }
+    let summary = run_worker(&options)?;
+    println!(
+        "worker {}: {} lease(s) ({} stolen), {} completed, {} aborted, {} lost",
+        options.name,
+        summary.leases,
+        summary.stolen,
+        summary.completed,
+        summary.aborted,
+        summary.lost,
+    );
+    Ok(())
+}
+
+/// `campaign submit --connect`: register a run; prints the bare run id
+/// on stdout (everything else goes to stderr) so scripts can capture it
+/// with `RUN=$(campaign submit ...)`.
+fn run_submit(args: Vec<String>) -> Result<(), String> {
+    let mut server = String::new();
+    let mut config = CampaignConfig {
+        dataset_size: uvllm_bench::harness::dataset_size_from_env(),
+        ..CampaignConfig::default()
+    };
+    let mut shards = 1usize;
+    let mut lease_ms: Option<u64> = None;
+    let mut out = String::new();
+    let mut args = args.into_iter();
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        if parse_common(&flag, &mut config, &mut out, &mut value)? {
+            continue;
+        }
+        match flag.as_str() {
+            "--connect" => server = value("--connect")?,
+            "--backend" => {
+                let text = value("--backend")?;
+                config.backend = SimBackend::from_label(&text)
+                    .ok_or_else(|| format!("unknown backend '{text}' (event|compiled)"))?;
+            }
+            "--opt-level" => {
+                config.opt_level = value("--opt-level")?
+                    .parse()
+                    .ok()
+                    .filter(|n| *n <= 3)
+                    .ok_or_else(|| "--opt-level must be 0..=3".to_string())?;
+            }
+            "--shards" => shards = parse_ms("--shards", &value("--shards")?)? as usize,
+            "--lease-ms" => lease_ms = Some(parse_ms("--lease-ms", &value("--lease-ms")?)?),
+            other => return Err(format!("unknown submit flag '{other}' (try --help)")),
+        }
+    }
+    if server.is_empty() {
+        return Err("submit needs --connect HOST:PORT".to_string());
+    }
+    let mut body = vec![
+        ("size".to_string(), Json::Num(config.dataset_size as f64)),
+        ("seed".to_string(), s(format!("0x{:X}", config.dataset_seed))),
+        ("methods".to_string(), Json::Arr(config.methods.iter().map(|m| s(m.label())).collect())),
+        ("backend".to_string(), s(config.backend.label())),
+        ("opt_level".to_string(), Json::Num(config.opt_level as f64)),
+        ("shards".to_string(), Json::Num(shards as f64)),
+    ];
+    if let Some(ms) = lease_ms {
+        body.push(("lease_ms".to_string(), Json::Num(ms as f64)));
+    }
+    let (status, json) = post_json(&server, "/jobs", &Json::Obj(body))?;
+    if status != 200 {
+        return Err(format!("POST /jobs failed with status {status}: {}", json.render()));
+    }
+    let run =
+        json.get("run").and_then(Json::as_str).ok_or("POST /jobs answered without a run id")?;
+    eprintln!(
+        "submitted {run}: {} instances x {} methods, {} kernel, {shards} shard(s)",
+        config.dataset_size,
+        config.methods.len(),
+        config.backend,
+    );
+    println!("{run}");
+    Ok(())
+}
+
+/// `campaign status --connect RUN`: one status snapshot, or `--wait`
+/// until the run completes; `--rows-out` saves the canonical rows.
+fn run_status(args: Vec<String>) -> Result<(), String> {
+    let mut server = String::new();
+    let mut run: Option<String> = None;
+    let mut wait = false;
+    let mut rows_out: Option<String> = None;
+    let mut args = args.into_iter();
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--connect" => server = value("--connect")?,
+            "--wait" => wait = true,
+            "--rows-out" => rows_out = Some(value("--rows-out")?),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown status flag '{other}' (try --help)"));
+            }
+            _ => run = Some(flag),
+        }
+    }
+    if server.is_empty() {
+        return Err("status needs --connect HOST:PORT".to_string());
+    }
+    let run = run.ok_or("status needs a RUN id (from submit)")?;
+    let json = loop {
+        let (status, body) = http::request(&server, "GET", &format!("/runs/{run}"), "")?;
+        if status != 200 {
+            return Err(format!("GET /runs/{run} failed with status {status}: {body}"));
+        }
+        let json = Json::parse(&body).map_err(|e| format!("bad status JSON: {e}"))?;
+        let rows = json.get("rows").and_then(Json::as_u64).unwrap_or(0);
+        let expected = json.get("expected").and_then(Json::as_u64).unwrap_or(0);
+        let done = json.get("done").and_then(Json::as_bool).unwrap_or(false);
+        if done || !wait {
+            break json;
+        }
+        eprintln!("{run}: {rows}/{expected} rows, waiting …");
+        std::thread::sleep(Duration::from_millis(500));
+    };
+    println!(
+        "{run}: done={} rows={}/{}",
+        json.get("done").and_then(Json::as_bool).unwrap_or(false),
+        json.get("rows").and_then(Json::as_u64).unwrap_or(0),
+        json.get("expected").and_then(Json::as_u64).unwrap_or(0),
+    );
+    for shard in json.get("shards").and_then(Json::as_array).unwrap_or(&[]) {
+        println!(
+            "  shard {}: {} (worker {}, {} steal(s))",
+            shard.get("shard").and_then(Json::as_u64).unwrap_or(0),
+            shard.get("state").and_then(Json::as_str).unwrap_or("?"),
+            shard.get("worker").and_then(Json::as_str).unwrap_or("-"),
+            shard.get("steals").and_then(Json::as_u64).unwrap_or(0),
+        );
+    }
+    for diag in json.get("diags").and_then(Json::as_array).unwrap_or(&[]) {
+        println!("  diag: {}", diag.as_str().unwrap_or("?"));
+    }
+    // Save rows before the (chatty) report print: the file must land
+    // even when stdout is a closed pipe.
+    if let Some(path) = rows_out {
+        let (status, body) = http::request(&server, "GET", &format!("/runs/{run}/rows"), "")?;
+        if status != 200 {
+            return Err(format!("GET /runs/{run}/rows failed with status {status}"));
+        }
+        std::fs::write(&path, &body).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {} row(s) to {path}", body.lines().count());
+    }
+    if let Some(report) = json.get("report").and_then(Json::as_str) {
+        println!("{report}");
+    }
+    Ok(())
+}
+
+/// `campaign metrics --connect`: fetch `GET /metrics`, validate it
+/// against `uvllm-metrics/v1`, print or save it.
+fn run_remote_metrics(args: Vec<String>) -> Result<(), String> {
+    let mut server = String::new();
+    let mut out: Option<String> = None;
+    let mut args = args.into_iter();
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--connect" => server = value("--connect")?,
+            "--out" => out = Some(value("--out")?),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown metrics flag '{other}' (try --help)")),
+        }
+    }
+    if server.is_empty() {
+        return Err("metrics needs --connect HOST:PORT".to_string());
+    }
+    let (status, body) = http::request(&server, "GET", "/metrics", "")?;
+    if status != 200 {
+        return Err(format!("GET /metrics failed with status {status}"));
+    }
+    uvllm_obs::validate_snapshot_json(&body).map_err(|e| format!("GET /metrics: {e}"))?;
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &body).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("{path}: valid {} snapshot", uvllm_obs::SNAPSHOT_SCHEMA);
+        }
+        None => println!("{body}"),
+    }
+    Ok(())
+}
+
+/// `campaign shutdown --connect` / `campaign ping --connect`.
+fn run_remote_simple(verb: &str, args: Vec<String>) -> Result<(), String> {
+    let mut server = String::new();
+    let mut args = args.into_iter();
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--connect" => server = value("--connect")?,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown {verb} flag '{other}' (try --help)")),
+        }
+    }
+    if server.is_empty() {
+        return Err(format!("{verb} needs --connect HOST:PORT"));
+    }
+    let (method, path) = match verb {
+        "shutdown" => ("POST", "/shutdown"),
+        _ => ("GET", "/healthz"),
+    };
+    let (status, body) = http::request(&server, method, path, "")?;
+    if status != 200 {
+        return Err(format!("{method} {path} failed with status {status}: {body}"));
+    }
+    match verb {
+        "shutdown" => println!("{server}: draining"),
+        _ => println!("{server}: ok"),
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
+    let rest = || std::env::args().skip(2).collect::<Vec<String>>();
     let result = match std::env::args().nth(1).as_deref() {
-        Some("merge") => run_merge(std::env::args().skip(2).collect()),
-        Some("metrics-check") => run_metrics_check(std::env::args().skip(2).collect()),
+        Some("merge") => run_merge(rest()),
+        Some("metrics-check") => run_metrics_check(rest()),
+        Some("serve") => run_serve(rest()),
+        Some("worker") => run_remote_worker(rest()),
+        Some("submit") => run_submit(rest()),
+        Some("status") => run_status(rest()),
+        Some("metrics") => run_remote_metrics(rest()),
+        Some(verb @ ("shutdown" | "ping")) => run_remote_simple(verb, rest()),
         _ => run_campaign(),
     };
     match result {
