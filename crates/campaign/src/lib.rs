@@ -92,6 +92,6 @@ pub use job::{expand_jobs, fnv1a64, Job, ShardSpec};
 pub use merge::{expected_job_ids, merge_rows, read_shard, MergeOutcome};
 pub use queue::{run_pool_supervised, PoolPolicy, PoolStats, WorkQueue};
 pub use report::CampaignReport;
-pub use sink::{JsonlSink, MemorySink, ResultSink, SinkTailer, TailBatch};
+pub use sink::{JsonlSink, LineTailer, MemorySink, ResultSink, SinkTailer, TailBatch};
 pub use uvllm_llm::{BatchConfig, FaultPlan, ResiliencePolicy};
 pub use uvllm_sim::SimBackend;

@@ -33,17 +33,18 @@ pub struct TailBatch {
     pub diags: Vec<String>,
 }
 
-/// An incremental reader over a [`JsonlSink`] file.
+/// The raw complete-line discipline under [`SinkTailer`]: an
+/// incremental reader that consumes only whole (newline-terminated)
+/// lines from an append-only file, resuming from a byte offset.
 ///
-/// The tailer tracks how many bytes of *complete* lines it has
-/// consumed; each [`SinkTailer::poll`] picks up exactly the lines
-/// appended since. A torn trailing line (no final newline — a writer
-/// killed mid-append) is never consumed: it stays pending until a later
-/// poll sees its newline, which is what makes tailing a live, crash-prone
-/// shard file safe. A missing file reads as empty (the shard's worker
-/// may not have opened its sink yet).
+/// A torn trailing line (no final newline — a writer killed mid-append)
+/// is never consumed: it stays pending until a later poll sees its
+/// newline. That is what makes tailing a live, crash-prone append log
+/// safe, and it is shared verbatim by the `uvllm-serve` write-ahead
+/// journal, whose records ride the same discipline with their own
+/// length-prefix + checksum framing on top.
 #[derive(Debug, Clone)]
-pub struct SinkTailer {
+pub struct LineTailer {
     path: PathBuf,
     /// Bytes of complete lines consumed so far.
     offset: u64,
@@ -51,10 +52,10 @@ pub struct SinkTailer {
     line: u64,
 }
 
-impl SinkTailer {
+impl LineTailer {
     /// A tailer positioned at the start of `path`.
-    pub fn new(path: impl AsRef<Path>) -> SinkTailer {
-        SinkTailer { path: path.as_ref().to_path_buf(), offset: 0, line: 1 }
+    pub fn new(path: impl AsRef<Path>) -> LineTailer {
+        LineTailer { path: path.as_ref().to_path_buf(), offset: 0, line: 1 }
     }
 
     /// The file being tailed.
@@ -67,15 +68,22 @@ impl SinkTailer {
         self.offset
     }
 
-    /// Reads every complete line appended since the last poll.
+    /// 1-based number of the next complete line.
+    pub fn line(&self) -> u64 {
+        self.line
+    }
+
+    /// Reads every complete line appended since the last poll, as
+    /// `(line_number, raw_bytes)` pairs (newlines stripped). A missing
+    /// file reads as empty — the writer may not have created it yet.
     ///
     /// # Errors
     ///
     /// I/O failure other than the file not existing yet.
-    pub fn poll(&mut self) -> std::io::Result<TailBatch> {
+    pub fn poll_raw(&mut self) -> std::io::Result<Vec<(u64, Vec<u8>)>> {
         let mut file = match File::open(&self.path) {
             Ok(file) => file,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(TailBatch::default()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
             Err(e) => return Err(e),
         };
         file.seek(SeekFrom::Start(self.offset))?;
@@ -84,27 +92,77 @@ impl SinkTailer {
         // Only whole lines are consumed; a torn tail stays pending.
         let complete = match bytes.iter().rposition(|b| *b == b'\n') {
             Some(last) => &bytes[..=last],
-            None => return Ok(TailBatch::default()),
+            None => return Ok(Vec::new()),
         };
-        let mut batch = TailBatch::default();
         // `complete` ends with a newline, so stripping it makes every
         // split segment exactly one line (blank lines included — they
         // must still advance the line number).
+        let mut lines = Vec::new();
         for raw in complete[..complete.len() - 1].split(|b| *b == b'\n') {
             let number = self.line;
             self.line += 1;
-            let text = String::from_utf8_lossy(raw);
+            lines.push((number, raw.to_vec()));
+        }
+        self.offset += complete.len() as u64;
+        Ok(lines)
+    }
+
+    /// Bytes currently past the consumed offset — a non-zero value
+    /// after a final [`LineTailer::poll_raw`] is a torn trailing line.
+    pub fn remainder(&self) -> u64 {
+        match std::fs::metadata(&self.path) {
+            Ok(meta) => meta.len().saturating_sub(self.offset),
+            Err(_) => 0,
+        }
+    }
+}
+
+/// An incremental reader over a [`JsonlSink`] file.
+///
+/// A [`LineTailer`] that parses each complete line as an [`EvalRow`],
+/// turning unparsable lines into located diagnostics. A missing file
+/// reads as empty (the shard's worker may not have opened its sink
+/// yet).
+#[derive(Debug, Clone)]
+pub struct SinkTailer {
+    lines: LineTailer,
+}
+
+impl SinkTailer {
+    /// A tailer positioned at the start of `path`.
+    pub fn new(path: impl AsRef<Path>) -> SinkTailer {
+        SinkTailer { lines: LineTailer::new(path) }
+    }
+
+    /// The file being tailed.
+    pub fn path(&self) -> &Path {
+        self.lines.path()
+    }
+
+    /// Bytes of complete lines consumed so far (the resume offset).
+    pub fn offset(&self) -> u64 {
+        self.lines.offset()
+    }
+
+    /// Reads every complete line appended since the last poll.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure other than the file not existing yet.
+    pub fn poll(&mut self) -> std::io::Result<TailBatch> {
+        let mut batch = TailBatch::default();
+        for (number, raw) in self.lines.poll_raw()? {
+            let text = String::from_utf8_lossy(&raw);
             if text.trim().is_empty() {
                 continue;
             }
             match EvalRow::from_json_line(&text) {
                 Ok(row) => batch.rows.push(row),
                 Err(message) => {
-                    batch.diags.push(format!("{}:{number}: {message}", self.path.display()))
+                    batch.diags.push(format!("{}:{number}: {message}", self.path().display()))
                 }
             }
         }
-        self.offset += complete.len() as u64;
         Ok(batch)
     }
 
@@ -117,17 +175,14 @@ impl SinkTailer {
     ///
     /// Names the file, byte offset and line number of the torn tail.
     pub fn finish(self) -> Result<(), String> {
-        let len = match std::fs::metadata(&self.path) {
-            Ok(meta) => meta.len(),
-            Err(_) => 0,
-        };
-        if len > self.offset {
+        let remainder = self.lines.remainder();
+        if remainder > 0 {
             return Err(format!(
                 "{}:{}: torn trailing line ({} bytes past offset {} lack a newline)",
-                self.path.display(),
-                self.line,
-                len - self.offset,
-                self.offset,
+                self.path().display(),
+                self.lines.line(),
+                remainder,
+                self.offset(),
             ));
         }
         Ok(())

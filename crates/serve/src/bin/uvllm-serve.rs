@@ -1,0 +1,85 @@
+//! Standalone resident-service entrypoint — the process the crash
+//! harness kills. The richer `campaign serve` CLI wraps the same
+//! [`Server`]; this binary exists so integration tests and CI can
+//! spawn a *separate OS process* (via `CARGO_BIN_EXE_uvllm-serve`),
+//! `kill -9` it mid-run, and restart it on the same data directory.
+//!
+//! `--addr-file` publishes the bound address (ephemeral ports welcome)
+//! for workers to re-read after a restart; `--crash-after EVENT[:N]`
+//! arms the deterministic abort knob.
+
+use std::path::PathBuf;
+use std::time::Duration;
+use uvllm_serve::{CrashSpec, FsyncPolicy, ServeConfig, Server};
+
+const USAGE: &str = "usage: uvllm-serve [--addr HOST:PORT] [--addr-file PATH] [--data-dir DIR]
+                   [--lease-ms N] [--poll-ms N] [--fsync always|never|every:N]
+                   [--compact-every N] [--crash-after EVENT[:N]]";
+
+fn main() {
+    if let Err(message) = run() {
+        eprintln!("uvllm-serve: {message}");
+        std::process::exit(2);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut config = ServeConfig::default();
+    let mut addr_file: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value =
+            |name: &str| args.next().ok_or_else(|| format!("{name} needs a value\n{USAGE}"));
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--addr-file" => addr_file = Some(PathBuf::from(value("--addr-file")?)),
+            "--data-dir" => config.data_dir = PathBuf::from(value("--data-dir")?),
+            "--lease-ms" => {
+                config.default_lease = Duration::from_millis(parse_ms(&value("--lease-ms")?)?);
+            }
+            "--poll-ms" => {
+                config.poll = Duration::from_millis(parse_ms(&value("--poll-ms")?)?);
+            }
+            "--fsync" => config.journal.fsync = FsyncPolicy::parse(&value("--fsync")?)?,
+            "--compact-every" => {
+                config.journal.compact_every = value("--compact-every")?
+                    .parse()
+                    .map_err(|_| "--compact-every needs an integer".to_string())?;
+            }
+            "--crash-after" => {
+                config.journal.crash_after = Some(CrashSpec::parse(&value("--crash-after")?)?);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+
+    let server = Server::start(config).map_err(|e| format!("start failed: {e}"))?;
+    let report = server.recovery();
+    if report.recovered_state() {
+        eprintln!("uvllm-serve: {}", report.render());
+        for diag in &report.diags {
+            eprintln!("uvllm-serve: recovery diag: {diag}");
+        }
+    }
+    let addr = server.addr().to_string();
+    if let Some(path) = &addr_file {
+        // Temp-and-rename so a worker mid-read never sees a torn file.
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, format!("{addr}\n"))
+            .and_then(|()| std::fs::rename(&tmp, path))
+            .map_err(|e| format!("cannot publish address to {}: {e}", path.display()))?;
+    }
+    println!("uvllm-serve: listening on {addr}");
+    // Runs until `POST /shutdown` (graceful) or an external kill (the
+    // crash harness) — recovery on the next boot handles the latter.
+    server.join();
+    Ok(())
+}
+
+fn parse_ms(text: &str) -> Result<u64, String> {
+    text.parse().map_err(|_| format!("bad millisecond value '{text}'"))
+}

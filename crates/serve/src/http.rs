@@ -58,24 +58,42 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
         .map_err(|_| "request head is not UTF-8".to_string())?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
-    let mut parts = request_line.split(' ');
-    let method = parts.next().unwrap_or_default().to_ascii_uppercase();
-    let target = parts.next().unwrap_or_default().to_string();
-    let version = parts.next().unwrap_or_default();
+    let parts: Vec<&str> = request_line.split(' ').collect();
+    let [method, target, version] = parts.as_slice() else {
+        return Err(format!("malformed request line '{request_line}'"));
+    };
     if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
         return Err(format!("malformed request line '{request_line}'"));
     }
-    let mut content_length = 0usize;
+    let (method, target) = (method.to_ascii_uppercase(), (*target).to_string());
+    let mut content_length: Option<usize> = None;
     for line in lines {
-        if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| format!("bad Content-Length '{}'", value.trim()))?;
+        if line.is_empty() {
+            continue;
+        }
+        // Strict header parsing: anything that isn't `Name: value`
+        // gets a clean 400 now, not misinterpretation later.
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(format!("malformed header line '{line}'"));
+        };
+        let (name, value) = (name.trim(), value.trim());
+        if name.eq_ignore_ascii_case("transfer-encoding") {
+            // The service speaks Content-Length only. Accepting (and
+            // then ignoring) chunked framing would leave the chunk
+            // stream unread in the socket and desync the connection —
+            // refuse it outright.
+            return Err(format!("unsupported Transfer-Encoding '{value}' (send Content-Length)"));
+        }
+        if name.eq_ignore_ascii_case("content-length") {
+            let parsed: usize =
+                value.parse().map_err(|_| format!("bad Content-Length '{value}'"))?;
+            if content_length.is_some_and(|prev| prev != parsed) {
+                return Err("conflicting Content-Length headers".to_string());
             }
+            content_length = Some(parsed);
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY {
         return Err(format!("request body exceeds {MAX_BODY} bytes"));
     }
@@ -227,6 +245,95 @@ mod tests {
         stream.read_to_string(&mut text).unwrap();
         assert!(text.starts_with("HTTP/1.1 400"), "{text}");
         handle.join().unwrap();
+    }
+
+    /// Sends raw bytes, returns the status line + the parser's message.
+    /// Read errors are tolerated: rejected requests leave unread bytes
+    /// server-side, so its close may RST after the 400 was delivered.
+    fn raw(bytes: &[u8]) -> String {
+        let (addr, handle) = echo_server();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(bytes).unwrap();
+        let mut text = String::new();
+        let _ = stream.read_to_string(&mut text);
+        handle.join().unwrap();
+        text
+    }
+
+    #[test]
+    fn extra_request_line_tokens_are_rejected() {
+        let text = raw(b"GET /x HTTP/1.1 extra\r\n\r\n");
+        assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+        assert!(text.contains("malformed request line"), "{text}");
+    }
+
+    #[test]
+    fn header_lines_without_a_colon_are_rejected() {
+        let text = raw(b"GET /x HTTP/1.1\r\nthis is not a header\r\n\r\n");
+        assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+        assert!(text.contains("malformed header line"), "{text}");
+    }
+
+    #[test]
+    fn chunked_transfer_encoding_is_refused_cleanly() {
+        // A chunked request the parser pretended to accept would leave
+        // the chunk stream unread and the connection wedged; it must be
+        // a prompt, explicit 400 instead.
+        let text = raw(
+            b"POST /jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n",
+        );
+        assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+        assert!(text.contains("Transfer-Encoding"), "{text}");
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_rejected() {
+        let text = raw(b"POST /jobs HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 9\r\n\r\nhi");
+        assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+        assert!(text.contains("conflicting Content-Length"), "{text}");
+        // Duplicates that agree are harmless and accepted.
+        let text = raw(b"POST /jobs HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nhi");
+        assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+    }
+
+    #[test]
+    fn non_numeric_content_length_is_rejected() {
+        let text = raw(b"POST /jobs HTTP/1.1\r\nContent-Length: lots\r\n\r\n");
+        assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+        assert!(text.contains("bad Content-Length"), "{text}");
+        // Negative and overflowing values fail the same parse.
+        let text = raw(b"POST /jobs HTTP/1.1\r\nContent-Length: -1\r\n\r\n");
+        assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected_without_reading_it() {
+        let text = raw(b"POST /jobs HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n");
+        assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+        assert!(text.contains("exceeds"), "{text}");
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        // Asserted on the parser directly: the server stops reading
+        // mid-head here, so a full HTTP round trip would race the
+        // error response against the connection reset.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let mut bytes = b"GET /x HTTP/1.1\r\n".to_vec();
+            // The terminator must sit far past the limit, or the head
+            // completes before the bound check sees an oversized buffer.
+            bytes.extend_from_slice(format!("X-Pad: {}\r\n", "y".repeat(MAX_HEAD * 3)).as_bytes());
+            bytes.extend_from_slice(b"\r\n");
+            let _ = stream.write_all(&bytes);
+            stream // kept open until joined
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let err = read_request(&mut stream).unwrap_err();
+        assert!(err.contains("head exceeds"), "{err}");
+        let _ = writer.join();
     }
 
     #[test]

@@ -20,14 +20,26 @@
 //!   `POST /shutdown` (drain leases → final aggregation → final
 //!   metrics snapshot on disk).
 //! * [`worker`] — the client loop: lease, evaluate through the normal
-//!   [`Campaign`](uvllm_campaign::Campaign) engine, heartbeat,
-//!   complete; one shared [`BatchedLlm`](uvllm_llm::BatchedLlm) can
-//!   span every lease the worker takes.
+//!   [`Campaign`](uvllm_campaign::Campaign) engine, heartbeat (pushing
+//!   `rows_done` progress), complete; one shared
+//!   [`BatchedLlm`](uvllm_llm::BatchedLlm) can span every lease the
+//!   worker takes; an `--addr-file` lets workers re-find a server that
+//!   restarted on a new port.
+//! * [`journal`] / [`recovery`] — crash safety: every store transition
+//!   is appended to a length-prefixed, checksummed write-ahead journal
+//!   (`data_dir/journal.jsonl`, configurable fsync policy,
+//!   torn-tail-tolerant replay) and periodically compacted into
+//!   `store.snapshot.json`; on boot the store replays snapshot +
+//!   journal, expires in-flight leases with bumped epochs (pre-crash
+//!   workers get the same `409 LeaseLost` as after work stealing), and
+//!   resumes granting. A deterministic `--crash-after <event>[:N]`
+//!   knob aborts the process mid-transition for the chaos harness.
 //!
 //! The service adds coordination, never meaning: any run served here
 //! produces JSONL rows byte-identical to the same configuration run
 //! through the CLI — at any worker count, with any number of stolen
-//! leases. The e2e suite enforces exactly that.
+//! leases, across any number of server crashes. The e2e suites enforce
+//! exactly that (including a kill -9 of the server mid-run).
 //!
 //! ## Example
 //!
@@ -44,12 +56,16 @@
 
 pub mod aggregate;
 pub mod http;
+pub mod journal;
+pub mod recovery;
 pub mod server;
 pub mod store;
 pub mod worker;
 
 pub use aggregate::{Aggregator, RunView};
 pub use http::{read_request, respond, Request};
+pub use journal::{CrashSpec, FsyncPolicy, Journal, JournalConfig};
+pub use recovery::{recover, RecoveryReport};
 pub use server::{ServeConfig, Server};
 pub use store::{post_json, JobStore, LeaseError, LeaseGrant, LeaseOutcome, RunSpec, ShardStatus};
 pub use worker::{run_worker, WorkerOptions, WorkerSummary};

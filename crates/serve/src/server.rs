@@ -17,6 +17,8 @@
 
 use crate::aggregate::Aggregator;
 use crate::http::{self, Request};
+use crate::journal::JournalConfig;
+use crate::recovery::RecoveryReport;
 use crate::store::{JobStore, LeaseError, LeaseOutcome, RunSpec};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -39,6 +41,9 @@ pub struct ServeConfig {
     pub default_lease: Duration,
     /// Aggregator poll cadence.
     pub poll: Duration,
+    /// Write-ahead journal behavior: fsync policy, compaction
+    /// threshold, and the deterministic crash knob.
+    pub journal: JournalConfig,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +53,7 @@ impl Default for ServeConfig {
             data_dir: PathBuf::from("campaign-serve"),
             default_lease: Duration::from_secs(60),
             poll: Duration::from_millis(200),
+            journal: JournalConfig::default(),
         }
     }
 }
@@ -70,27 +76,48 @@ pub struct Server {
     state: Arc<ServeState>,
     accept: Option<JoinHandle<()>>,
     aggregator: Option<JoinHandle<()>>,
+    recovery: RecoveryReport,
 }
 
 impl Server {
-    /// Binds, spawns the accept and aggregator threads, returns
-    /// immediately.
+    /// Opens the store (recovering whatever a previous process left in
+    /// `data_dir` — see [`crate::recovery`]), re-registers recovered
+    /// runs with the aggregator, binds, spawns the accept and
+    /// aggregator threads, returns immediately.
     ///
     /// # Errors
     ///
-    /// Bind and data-directory-creation failures.
+    /// Bind, data-directory, and journal I/O failures.
     pub fn start(config: ServeConfig) -> std::io::Result<Server> {
-        std::fs::create_dir_all(&config.data_dir)?;
+        let (store, recovery) =
+            JobStore::open(config.data_dir, config.default_lease, config.journal)?;
+        if recovery.recovered_state() {
+            uvllm_obs::registry().counter("serve.recoveries").inc();
+        }
+        uvllm_obs::registry()
+            .counter("serve.journal.records_replayed")
+            .add(recovery.records_replayed);
+        uvllm_obs::registry().counter("serve.recovery.leases_expired").add(recovery.leases_expired);
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let state = Arc::new(ServeState {
-            store: JobStore::new(config.data_dir, config.default_lease),
+            store,
             agg: Aggregator::new(),
             stopped: AtomicBool::new(false),
             shutting_down: AtomicBool::new(false),
             addr,
             http_requests: uvllm_obs::registry().counter("serve.http_requests"),
         });
+
+        // Recovered runs re-enter the aggregator, which re-scans their
+        // surviving sinks — rows flushed before the crash are counted
+        // again before any worker reconnects.
+        for run in state.store.run_ids() {
+            let spec = state.store.spec(&run).expect("recovered run has a spec");
+            let sinks = state.store.sinks(&run).expect("recovered run has sinks");
+            state.agg.register(&run, &spec, sinks);
+        }
+        state.agg.poll();
 
         let accept_state = Arc::clone(&state);
         let accept = std::thread::spawn(move || {
@@ -115,12 +142,18 @@ impl Server {
             }
         });
 
-        Ok(Server { state, accept: Some(accept), aggregator: Some(aggregator) })
+        Ok(Server { state, accept: Some(accept), aggregator: Some(aggregator), recovery })
     }
 
     /// The bound address (resolves ephemeral ports).
     pub fn addr(&self) -> SocketAddr {
         self.state.addr
+    }
+
+    /// What boot-time recovery found in the data directory (empty
+    /// report for a fresh directory).
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
     }
 
     /// True once a shutdown has been requested (by any path).
@@ -278,6 +311,7 @@ fn post_lease(state: &Arc<ServeState>, body: &str) -> (u16, &'static str, String
         LeaseOutcome::Granted(grant) => json_ok(grant.to_json()),
         LeaseOutcome::Empty => (204, "text/plain", String::new()),
         LeaseOutcome::Draining => (410, "text/plain", "draining\n".to_string()),
+        LeaseOutcome::Error(message) => (500, "text/plain", format!("{message}\n")),
     }
 }
 
@@ -304,7 +338,10 @@ fn post_renewal(
     let result = if complete {
         state.store.complete(run, shard as usize, epoch)
     } else {
-        state.store.heartbeat(run, shard as usize, epoch)
+        // Optional worker-pushed progress: fresher than the
+        // aggregator's next sink poll, defaulting to 0 for old clients.
+        let rows_done = json.get("rows_done").and_then(Json::as_u64).unwrap_or(0);
+        state.store.heartbeat(run, shard as usize, epoch, rows_done)
     };
     match result {
         Ok(()) => json_ok(Json::Obj(vec![("ok".to_string(), Json::Bool(true))])),
@@ -313,6 +350,7 @@ fn post_renewal(
         Err(LeaseError::LeaseLost) => {
             (409, "text/plain", "lease lost: stale epoch (expired and re-leased?)\n".to_string())
         }
+        Err(LeaseError::Internal(message)) => (500, "text/plain", format!("{message}\n")),
     }
 }
 
@@ -338,6 +376,7 @@ fn get_run(state: &Arc<ServeState>, rest: &str) -> (u16, &'static str, String) {
         return (200, "application/jsonl", text);
     }
     let (shards, shards_done) = state.store.status(run).expect("store and aggregator agree");
+    let rows_pushed: u64 = shards.iter().map(|s| s.rows_done).sum();
     let shard_rows: Vec<Json> = shards
         .iter()
         .map(|shard| {
@@ -346,6 +385,7 @@ fn get_run(state: &Arc<ServeState>, rest: &str) -> (u16, &'static str, String) {
                 ("state".to_string(), s(shard.state)),
                 ("worker".to_string(), shard.worker.as_ref().map_or(Json::Null, |w| s(w.clone()))),
                 ("steals".to_string(), Json::Num(shard.steals as f64)),
+                ("rows_done".to_string(), Json::Num(shard.rows_done as f64)),
             ])
         })
         .collect();
@@ -353,6 +393,7 @@ fn get_run(state: &Arc<ServeState>, rest: &str) -> (u16, &'static str, String) {
         ("run".to_string(), s(view.run.clone())),
         ("done".to_string(), Json::Bool(shards_done && view.complete())),
         ("rows".to_string(), Json::Num(view.rows.len() as f64)),
+        ("rows_pushed".to_string(), Json::Num(rows_pushed as f64)),
         ("expected".to_string(), Json::Num(view.expected as f64)),
         ("shards".to_string(), Json::Arr(shard_rows)),
         ("diags".to_string(), Json::Arr(view.diags.iter().map(|d| s(d.clone())).collect())),
@@ -364,9 +405,11 @@ fn get_run(state: &Arc<ServeState>, rest: &str) -> (u16, &'static str, String) {
 mod tests {
     use super::*;
 
-    fn test_server(name: &str) -> Server {
-        let data_dir =
-            std::env::temp_dir().join(format!("uvllm-serve-unit-{}-{name}", std::process::id()));
+    fn test_dir(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("uvllm-serve-unit-{}-{name}", std::process::id()))
+    }
+
+    fn server_at(data_dir: PathBuf) -> Server {
         Server::start(ServeConfig {
             data_dir,
             default_lease: Duration::from_millis(500),
@@ -374,6 +417,14 @@ mod tests {
             ..ServeConfig::default()
         })
         .unwrap()
+    }
+
+    fn test_server(name: &str) -> Server {
+        let data_dir = test_dir(name);
+        // Fresh directory: recovery-on-open must not pick up a prior
+        // test execution's journal.
+        let _ = std::fs::remove_dir_all(&data_dir);
+        server_at(data_dir)
     }
 
     #[test]
@@ -427,5 +478,47 @@ mod tests {
         server.shutdown(); // second entry: waits, doesn't re-run
         let text = std::fs::read_to_string(data_dir.join("metrics.json")).unwrap();
         uvllm_obs::validate_snapshot_json(&text).unwrap();
+    }
+
+    #[test]
+    fn restarted_server_recovers_runs_and_fences_old_epochs() {
+        let server = test_server("restart");
+        let addr = server.addr().to_string();
+        let data_dir = server.state.store.data_dir().to_path_buf();
+        assert!(!server.recovery().recovered_state(), "fresh directory");
+        let (status, body) =
+            http::request(&addr, "POST", "/jobs", "{\"size\": 1, \"shards\": 2}").unwrap();
+        assert_eq!(status, 200, "{body}");
+        let run = Json::parse(&body).unwrap().get("run").unwrap().as_str().unwrap().to_string();
+        let (status, grant) =
+            http::request(&addr, "POST", "/lease", "{\"worker\": \"doomed\"}").unwrap();
+        assert_eq!(status, 200, "{grant}");
+        let grant = Json::parse(&grant).unwrap();
+        // Stop the first server with the lease still in flight (it
+        // expires during the drain); its journal stays on disk.
+        server.shutdown();
+
+        let server = server_at(data_dir);
+        let report = server.recovery();
+        assert!(report.recovered_state(), "{report:?}");
+        assert_eq!(report.runs, 1);
+        assert!(report.records_replayed > 0 || report.snapshot_seq > 0, "{report:?}");
+        let addr = server.addr().to_string();
+        // The pre-restart worker's epoch answers the canonical 409…
+        let renewal = Json::Obj(vec![
+            ("run".to_string(), s(run.clone())),
+            ("shard".to_string(), grant.get("shard").unwrap().clone()),
+            ("epoch".to_string(), grant.get("epoch").unwrap().clone()),
+        ]);
+        let (status, _) = http::request(&addr, "POST", "/heartbeat", &renewal.render()).unwrap();
+        assert_eq!(status, 409, "stale pre-restart epoch must be fenced");
+        // …and the run is visible, resumable, and re-grantable.
+        let (status, body) = http::request(&addr, "GET", &format!("/runs/{run}"), "").unwrap();
+        assert_eq!(status, 200, "{body}");
+        let (status, body) =
+            http::request(&addr, "POST", "/lease", "{\"worker\": \"heir\"}").unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(Json::parse(&body).unwrap().get("run").unwrap().as_str(), Some(run.as_str()));
+        server.shutdown();
     }
 }

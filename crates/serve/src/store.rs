@@ -8,8 +8,23 @@
 //! A `complete` with the *matching* epoch is accepted even past the
 //! deadline — the rows are already on disk and byte-identical to what
 //! any other worker would produce, so late completion loses nothing.
+//!
+//! The store is write-ahead journaled: every transition is appended to
+//! `data_dir/journal.jsonl` (see [`crate::journal`]) *before* the
+//! in-memory state mutates, and the journal is periodically compacted
+//! into `store.snapshot.json`. [`JobStore::open`] replays both on
+//! boot (see [`crate::recovery`]), so runs survive server crashes the
+//! same way they already survive worker crashes. The journal lives
+//! inside the state mutex — journal order *is* state-mutation order.
+//!
+//! Leases are granted round-robin across active runs: the scan starts
+//! at the run after the previously granted one, so two concurrent
+//! campaigns interleave rather than the first submitted starving the
+//! second.
 
 use crate::http;
+use crate::journal::{Event, Journal, JournalConfig};
+use crate::recovery::{self, RecoveryReport, RunImage, ShardImage, ShardPhase, StoreImage};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
@@ -189,6 +204,9 @@ struct Shard {
     /// protocol means a second holder continues where the corpse left
     /// off, skipping completed rows.
     sink: PathBuf,
+    /// Last worker-pushed progress (heartbeat `rows_done`) — fresher
+    /// than the aggregator's sink poll, purely informational.
+    rows_done: u64,
 }
 
 #[derive(Debug)]
@@ -196,6 +214,50 @@ struct Run {
     id: String,
     spec: RunSpec,
     shards: Vec<Shard>,
+}
+
+impl Run {
+    /// Rehydrates a recovered run. Recovery has already expired every
+    /// lease, so a leased image phase cannot occur; map it to pending
+    /// defensively rather than trusting a deadline from a dead process.
+    fn from_image(image: RunImage) -> Run {
+        let shards = image
+            .shards
+            .into_iter()
+            .map(|shard| Shard {
+                state: match shard.phase {
+                    ShardPhase::Pending | ShardPhase::Leased { .. } => ShardState::Pending,
+                    ShardPhase::Done { worker } => ShardState::Done { worker },
+                },
+                epoch: shard.epoch,
+                steals: shard.steals,
+                sink: shard.sink,
+                rows_done: shard.rows_done,
+            })
+            .collect();
+        Run { id: image.id, spec: image.spec, shards }
+    }
+
+    fn to_image(&self) -> RunImage {
+        let shards = self
+            .shards
+            .iter()
+            .map(|shard| ShardImage {
+                phase: match &shard.state {
+                    ShardState::Pending => ShardPhase::Pending,
+                    ShardState::Leased { worker, .. } => {
+                        ShardPhase::Leased { worker: worker.clone() }
+                    }
+                    ShardState::Done { worker } => ShardPhase::Done { worker: worker.clone() },
+                },
+                epoch: shard.epoch,
+                steals: shard.steals,
+                sink: shard.sink.clone(),
+                rows_done: shard.rows_done,
+            })
+            .collect();
+        RunImage { id: self.id.clone(), spec: self.spec.clone(), shards }
+    }
 }
 
 /// One granted lease, everything a worker needs to run the shard.
@@ -261,6 +323,9 @@ pub enum LeaseOutcome {
     Empty,
     /// The server is draining; workers should exit.
     Draining,
+    /// The journal append failed, so no lease was granted — the state
+    /// transition would not have survived a crash (HTTP 500).
+    Error(String),
 }
 
 /// Why a heartbeat/complete was refused.
@@ -273,6 +338,10 @@ pub enum LeaseError {
     /// The quoted epoch is stale: the lease expired and was re-granted,
     /// or the shard was completed by someone else (HTTP 409).
     LeaseLost,
+    /// The journal append failed, so the transition was refused (HTTP
+    /// 500). Write-ahead discipline: never mutate what you cannot
+    /// replay.
+    Internal(String),
 }
 
 /// A summary row for `GET /runs/<id>`.
@@ -284,6 +353,19 @@ pub struct ShardStatus {
     /// Current or completing worker, if any.
     pub worker: Option<String>,
     pub steals: u64,
+    /// Last worker-pushed progress for this shard.
+    pub rows_done: u64,
+}
+
+/// Everything under the store mutex. The journal lives here so record
+/// order is exactly state-mutation order — no torn interleavings.
+#[derive(Debug)]
+struct StoreInner {
+    runs: Vec<Run>,
+    journal: Journal,
+    /// Round-robin cursor: index of the run the next lease scan starts
+    /// at, advanced past each run that grants.
+    cursor: usize,
 }
 
 /// The resident store behind the HTTP surface. All mutation goes
@@ -293,7 +375,7 @@ pub struct ShardStatus {
 pub struct JobStore {
     data_dir: PathBuf,
     default_lease: Duration,
-    runs: Mutex<Vec<Run>>,
+    inner: Mutex<StoreInner>,
     draining: AtomicBool,
 }
 
@@ -302,17 +384,41 @@ pub struct JobStore {
 static NEXT_RUN: AtomicU64 = AtomicU64::new(1);
 
 impl JobStore {
-    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Run>> {
-        self.runs.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock(&self) -> std::sync::MutexGuard<'_, StoreInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    pub fn new(data_dir: impl Into<PathBuf>, default_lease: Duration) -> JobStore {
-        JobStore {
-            data_dir: data_dir.into(),
+    /// Opens the store on `data_dir`, recovering whatever a previous
+    /// process left there: snapshot + journal replay, sink-backed runs
+    /// rehydrated, in-flight leases expired with bumped epochs. A
+    /// fresh directory recovers to an empty store with an empty
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// Directory-creation and journal I/O failures (corruption is a
+    /// report diagnostic, not an error).
+    pub fn open(
+        data_dir: impl Into<PathBuf>,
+        default_lease: Duration,
+        config: JournalConfig,
+    ) -> std::io::Result<(JobStore, RecoveryReport)> {
+        let data_dir = data_dir.into();
+        std::fs::create_dir_all(&data_dir)?;
+        let recovered = recovery::recover(&data_dir)?;
+        // Run ids must clear every recovered id; the counter is
+        // process-global, so only ratchet it forward.
+        NEXT_RUN.fetch_max(recovered.image.max_run_number() + 1, Ordering::SeqCst);
+        let journal =
+            Journal::open(&data_dir, config, recovered.image.seq + 1, recovered.journal_records)?;
+        let runs = recovered.image.runs.into_iter().map(Run::from_image).collect();
+        let store = JobStore {
+            data_dir,
             default_lease,
-            runs: Mutex::new(Vec::new()),
+            inner: Mutex::new(StoreInner { runs, journal, cursor: 0 }),
             draining: AtomicBool::new(false),
-        }
+        };
+        Ok((store, recovered.report))
     }
 
     pub fn data_dir(&self) -> &Path {
@@ -323,12 +429,34 @@ impl JobStore {
         self.default_lease
     }
 
+    /// Compacts when the journal has grown past its threshold: write
+    /// the full image as `store.snapshot.json`, then truncate the
+    /// journal. Called with the lock held, after a successful append.
+    /// A failed compaction is non-fatal — the journal just keeps
+    /// growing and the next transition retries.
+    fn maybe_compact(inner: &mut StoreInner, data_dir: &Path) {
+        if !inner.journal.wants_compaction() {
+            return;
+        }
+        let image = StoreImage {
+            seq: inner.journal.next_seq() - 1,
+            runs: inner.runs.iter().map(Run::to_image).collect(),
+        };
+        if let Err(e) = recovery::write_snapshot(data_dir, &image) {
+            eprintln!("serve: snapshot write failed ({e}); journal keeps growing");
+            return;
+        }
+        if let Err(e) = inner.journal.truncate() {
+            eprintln!("serve: journal truncate after snapshot failed ({e})");
+        }
+    }
+
     /// Registers a run and creates its shard-sink directory. Returns
     /// the run id.
     ///
     /// # Errors
     ///
-    /// Directory-creation failures.
+    /// Directory-creation and journal failures.
     pub fn submit(&self, spec: RunSpec) -> std::io::Result<String> {
         let id = format!("run-{}", NEXT_RUN.fetch_add(1, Ordering::SeqCst));
         let dir = self.data_dir.join(&id);
@@ -339,93 +467,148 @@ impl JobStore {
                 epoch: 0,
                 steals: 0,
                 sink: dir.join(format!("shard-{i}.jsonl")),
+                rows_done: 0,
             })
             .collect();
-        self.lock().push(Run { id: id.clone(), spec, shards });
+        let mut inner = self.lock();
+        inner.journal.append(&Event::Submit { run: id.clone(), spec: spec.clone() })?;
+        inner.runs.push(Run { id: id.clone(), spec, shards });
+        Self::maybe_compact(&mut inner, &self.data_dir);
+        drop(inner);
         metrics().jobs_submitted.inc();
         Ok(id)
     }
 
-    /// Grants the first available shard: pending ones first, then
-    /// expired leases (reclaimed, epoch bumped, marked stolen).
+    /// Grants an available shard, scanning runs round-robin from the
+    /// cursor so concurrent runs interleave: pending shards first
+    /// within a run, then expired leases (reclaimed, epoch bumped,
+    /// marked stolen).
     pub fn lease(&self, worker: &str) -> LeaseOutcome {
         if self.draining.load(Ordering::SeqCst) {
             return LeaseOutcome::Draining;
         }
         let now = Instant::now();
-        let mut runs = self.lock();
-        for run in runs.iter_mut() {
-            for (index, shard) in run.shards.iter_mut().enumerate() {
-                let stolen = match &shard.state {
-                    ShardState::Pending => false,
-                    ShardState::Leased { deadline, .. } if *deadline <= now => {
-                        metrics().leases_expired.inc();
-                        metrics().leases_stolen.inc();
-                        shard.steals += 1;
-                        true
-                    }
-                    _ => continue,
-                };
-                shard.epoch += 1;
-                shard.state = ShardState::Leased {
-                    worker: worker.to_string(),
-                    epoch: shard.epoch,
-                    deadline: now + run.spec.lease,
-                };
-                metrics().leases_granted.inc();
-                return LeaseOutcome::Granted(Box::new(LeaseGrant {
-                    run: run.id.clone(),
-                    shard: index,
-                    epoch: shard.epoch,
-                    stolen,
-                    lease: run.spec.lease,
-                    sink: shard.sink.clone(),
-                    spec: run.spec.clone(),
-                }));
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        let count = inner.runs.len();
+        for offset in 0..count {
+            let run_index = (inner.cursor + offset) % count;
+            let run = &inner.runs[run_index];
+            let candidate =
+                run.shards.iter().enumerate().find_map(|(i, shard)| match &shard.state {
+                    ShardState::Pending => Some((i, false)),
+                    ShardState::Leased { deadline, .. } if *deadline <= now => Some((i, true)),
+                    _ => None,
+                });
+            let Some((shard_index, stolen)) = candidate else { continue };
+            let epoch = run.shards[shard_index].epoch + 1;
+            let event = Event::Lease {
+                run: run.id.clone(),
+                shard: shard_index,
+                epoch,
+                worker: worker.to_string(),
+                stolen,
+            };
+            if let Err(e) = inner.journal.append(&event) {
+                return LeaseOutcome::Error(format!("journal append failed: {e}"));
             }
+            let run = &mut inner.runs[run_index];
+            let shard = &mut run.shards[shard_index];
+            if stolen {
+                metrics().leases_expired.inc();
+                metrics().leases_stolen.inc();
+                shard.steals += 1;
+            }
+            shard.epoch = epoch;
+            shard.state = ShardState::Leased {
+                worker: worker.to_string(),
+                epoch,
+                deadline: now + run.spec.lease,
+            };
+            metrics().leases_granted.inc();
+            let grant = LeaseGrant {
+                run: run.id.clone(),
+                shard: shard_index,
+                epoch,
+                stolen,
+                lease: run.spec.lease,
+                sink: shard.sink.clone(),
+                spec: run.spec.clone(),
+            };
+            inner.cursor = (run_index + 1) % count;
+            Self::maybe_compact(inner, &self.data_dir);
+            return LeaseOutcome::Granted(Box::new(grant));
         }
         LeaseOutcome::Empty
     }
 
-    /// Extends a live lease's deadline.
+    /// Extends a live lease's deadline and records the worker's pushed
+    /// progress (`rows_done`).
     ///
     /// # Errors
     ///
-    /// [`LeaseError`] for unknown runs/shards and stale epochs.
-    pub fn heartbeat(&self, run: &str, shard: usize, epoch: u64) -> Result<(), LeaseError> {
+    /// [`LeaseError`] for unknown runs/shards, stale epochs, and
+    /// journal failures.
+    pub fn heartbeat(
+        &self,
+        run: &str,
+        shard: usize,
+        epoch: u64,
+        rows_done: u64,
+    ) -> Result<(), LeaseError> {
         let now = Instant::now();
-        let mut runs = self.lock();
-        let run = runs.iter_mut().find(|r| r.id == run).ok_or(LeaseError::UnknownRun)?;
-        let lease = run.spec.lease;
-        let shard = run.shards.get_mut(shard).ok_or(LeaseError::UnknownShard)?;
-        match &mut shard.state {
-            ShardState::Leased { epoch: held, deadline, .. } if *held == epoch => {
-                *deadline = now + lease;
-                metrics().heartbeats.inc();
-                Ok(())
-            }
-            _ => Err(LeaseError::LeaseLost),
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        let index = inner.runs.iter().position(|r| r.id == run).ok_or(LeaseError::UnknownRun)?;
+        let lease = inner.runs[index].spec.lease;
+        match inner.runs[index].shards.get(shard).ok_or(LeaseError::UnknownShard)?.state {
+            ShardState::Leased { epoch: held, .. } if held == epoch => {}
+            _ => return Err(LeaseError::LeaseLost),
         }
+        inner
+            .journal
+            .append(&Event::Heartbeat { run: run.to_string(), shard, epoch, rows_done })
+            .map_err(|e| LeaseError::Internal(format!("journal append failed: {e}")))?;
+        let state = &mut inner.runs[index].shards[shard];
+        if let ShardState::Leased { deadline, .. } = &mut state.state {
+            *deadline = now + lease;
+        }
+        state.rows_done = rows_done;
+        Self::maybe_compact(inner, &self.data_dir);
+        metrics().heartbeats.inc();
+        Ok(())
     }
 
     /// Marks a shard done. Accepted on a matching epoch even past the
     /// deadline — as long as nobody re-leased it, the rows on disk are
-    /// complete and the late worker's work stands.
+    /// complete and the late worker's work stands. When the last shard
+    /// completes, a `finish` record is journaled for the audit trail.
     ///
     /// # Errors
     ///
-    /// [`LeaseError`] for unknown runs/shards and stale epochs.
+    /// [`LeaseError`] for unknown runs/shards, stale epochs, and
+    /// journal failures.
     pub fn complete(&self, run: &str, shard: usize, epoch: u64) -> Result<(), LeaseError> {
-        let mut runs = self.lock();
-        let run = runs.iter_mut().find(|r| r.id == run).ok_or(LeaseError::UnknownRun)?;
-        let shard = run.shards.get_mut(shard).ok_or(LeaseError::UnknownShard)?;
-        match &shard.state {
-            ShardState::Leased { epoch: held, worker, .. } if *held == epoch => {
-                shard.state = ShardState::Done { worker: worker.clone() };
-                Ok(())
-            }
-            _ => Err(LeaseError::LeaseLost),
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        let index = inner.runs.iter().position(|r| r.id == run).ok_or(LeaseError::UnknownRun)?;
+        let worker =
+            match &inner.runs[index].shards.get(shard).ok_or(LeaseError::UnknownShard)?.state {
+                ShardState::Leased { epoch: held, worker, .. } if *held == epoch => worker.clone(),
+                _ => return Err(LeaseError::LeaseLost),
+            };
+        inner
+            .journal
+            .append(&Event::Complete { run: run.to_string(), shard, epoch, worker: worker.clone() })
+            .map_err(|e| LeaseError::Internal(format!("journal append failed: {e}")))?;
+        inner.runs[index].shards[shard].state = ShardState::Done { worker };
+        if inner.runs[index].shards.iter().all(|s| matches!(s.state, ShardState::Done { .. })) {
+            // Derived state; losing this append loses only an audit
+            // record, so it doesn't fail the complete.
+            let _ = inner.journal.append(&Event::Finish { run: run.to_string() });
         }
+        Self::maybe_compact(inner, &self.data_dir);
+        Ok(())
     }
 
     /// Stops granting leases; `POST /lease` answers `410 Gone`.
@@ -442,7 +625,7 @@ impl JobStore {
     /// can proceed to the final aggregation pass.
     pub fn drained(&self) -> bool {
         let now = Instant::now();
-        self.lock().iter().all(|run| {
+        self.lock().runs.iter().all(|run| {
             run.shards.iter().all(|shard| match &shard.state {
                 ShardState::Leased { deadline, .. } => *deadline <= now,
                 _ => true,
@@ -452,12 +635,13 @@ impl JobStore {
 
     /// The spec a run was submitted with, if the run exists.
     pub fn spec(&self, run: &str) -> Option<RunSpec> {
-        self.lock().iter().find(|r| r.id == run).map(|r| r.spec.clone())
+        self.lock().runs.iter().find(|r| r.id == run).map(|r| r.spec.clone())
     }
 
     /// Shard sink paths for a run, in shard order.
     pub fn sinks(&self, run: &str) -> Option<Vec<PathBuf>> {
         self.lock()
+            .runs
             .iter()
             .find(|r| r.id == run)
             .map(|r| r.shards.iter().map(|s| s.sink.clone()).collect())
@@ -465,13 +649,13 @@ impl JobStore {
 
     /// All run ids, submission order.
     pub fn run_ids(&self) -> Vec<String> {
-        self.lock().iter().map(|r| r.id.clone()).collect()
+        self.lock().runs.iter().map(|r| r.id.clone()).collect()
     }
 
     /// Per-shard status rows plus "all shards done".
     pub fn status(&self, run: &str) -> Option<(Vec<ShardStatus>, bool)> {
-        let runs = self.lock();
-        let run = runs.iter().find(|r| r.id == run)?;
+        let inner = self.lock();
+        let run = inner.runs.iter().find(|r| r.id == run)?;
         let rows: Vec<ShardStatus> = run
             .shards
             .iter()
@@ -482,7 +666,13 @@ impl JobStore {
                     ShardState::Leased { worker, .. } => ("leased", Some(worker.clone())),
                     ShardState::Done { worker } => ("done", Some(worker.clone())),
                 };
-                ShardStatus { shard, state: label, worker, steals: state.steals }
+                ShardStatus {
+                    shard,
+                    state: label,
+                    worker,
+                    steals: state.steals,
+                    rows_done: state.rows_done,
+                }
             })
             .collect();
         let done = rows.iter().all(|r| r.state == "done");
@@ -494,20 +684,22 @@ impl JobStore {
 ///
 /// # Errors
 ///
-/// Transport errors and non-JSON bodies, as messages naming the call.
+/// Transport errors only, as messages naming the call.
 pub fn post_json(addr: &str, path: &str, body: &Json) -> Result<(u16, Json), String> {
     let (status, text) = http::request(addr, "POST", path, &body.render())?;
-    let json = if text.is_empty() {
-        Json::Null
-    } else {
-        Json::parse(&text).map_err(|e| format!("POST {path}: bad response JSON: {e}"))?
-    };
+    // Error statuses carry text/plain diagnostics, not JSON — the
+    // status code is the protocol, so an unparseable body degrades to
+    // its raw text instead of masquerading as a transport failure.
+    let json =
+        if text.is_empty() { Json::Null } else { Json::parse(&text).unwrap_or(Json::Str(text)) };
     Ok((status, json))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::journal::JOURNAL_FILE;
+    use crate::recovery::SNAPSHOT_FILE;
 
     fn spec(shards: usize, lease: Duration) -> RunSpec {
         RunSpec {
@@ -521,10 +713,26 @@ mod tests {
         }
     }
 
-    fn store(lease: Duration) -> JobStore {
-        let dir = std::env::temp_dir()
-            .join(format!("uvllm-store-test-{}", NEXT_RUN.fetch_add(1, Ordering::SeqCst)));
-        JobStore::new(dir, lease)
+    fn store_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("uvllm-store-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn store_at(dir: &Path, lease: Duration) -> (JobStore, RecoveryReport) {
+        JobStore::open(dir, lease, JournalConfig::default()).unwrap()
+    }
+
+    fn store(name: &str, lease: Duration) -> JobStore {
+        store_at(&store_dir(name), lease).0
+    }
+
+    fn grant(store: &JobStore, worker: &str) -> LeaseGrant {
+        match store.lease(worker) {
+            LeaseOutcome::Granted(g) => *g,
+            other => panic!("expected grant, got {other:?}"),
+        }
     }
 
     #[test]
@@ -567,56 +775,45 @@ mod tests {
 
     #[test]
     fn leases_grant_heartbeat_and_complete() {
-        let store = store(Duration::from_secs(60));
+        let store = store("basic", Duration::from_secs(60));
         let run = store.submit(spec(2, Duration::from_secs(60))).unwrap();
-        let grant_a = match store.lease("a") {
-            LeaseOutcome::Granted(g) => g,
-            other => panic!("expected grant, got {other:?}"),
-        };
+        let grant_a = grant(&store, "a");
         assert_eq!(grant_a.run, run);
         assert_eq!(grant_a.shard, 0);
         assert!(!grant_a.stolen);
-        let grant_b = match store.lease("b") {
-            LeaseOutcome::Granted(g) => g,
-            other => panic!("expected grant, got {other:?}"),
-        };
+        let grant_b = grant(&store, "b");
         assert_eq!(grant_b.shard, 1);
         assert!(matches!(store.lease("c"), LeaseOutcome::Empty));
 
-        store.heartbeat(&run, 0, grant_a.epoch).unwrap();
+        store.heartbeat(&run, 0, grant_a.epoch, 1).unwrap();
         store.complete(&run, 0, grant_a.epoch).unwrap();
         store.complete(&run, 1, grant_b.epoch).unwrap();
         let (rows, done) = store.status(&run).unwrap();
         assert!(done);
         assert_eq!(rows[0].worker.as_deref(), Some("a"));
+        assert_eq!(rows[0].rows_done, 1, "heartbeat progress sticks");
         assert_eq!(rows[1].worker.as_deref(), Some("b"));
 
-        assert_eq!(store.heartbeat("run-none", 0, 1), Err(LeaseError::UnknownRun));
-        assert_eq!(store.heartbeat(&run, 9, 1), Err(LeaseError::UnknownShard));
+        assert_eq!(store.heartbeat("run-none", 0, 1, 0), Err(LeaseError::UnknownRun));
+        assert_eq!(store.heartbeat(&run, 9, 1, 0), Err(LeaseError::UnknownShard));
         assert_eq!(store.complete(&run, 0, grant_a.epoch), Err(LeaseError::LeaseLost));
     }
 
     #[test]
     fn expired_leases_are_stolen_and_fenced() {
-        let store = store(Duration::from_millis(20));
+        let store = store("steal", Duration::from_millis(20));
         let run = store.submit(spec(1, Duration::from_millis(20))).unwrap();
-        let dead = match store.lease("dead") {
-            LeaseOutcome::Granted(g) => g,
-            other => panic!("expected grant, got {other:?}"),
-        };
+        let dead = grant(&store, "dead");
         // Not yet expired: nothing to steal.
         assert!(matches!(store.lease("thief"), LeaseOutcome::Empty));
         std::thread::sleep(Duration::from_millis(30));
-        let stolen = match store.lease("thief") {
-            LeaseOutcome::Granted(g) => g,
-            other => panic!("expected steal, got {other:?}"),
-        };
+        let stolen = grant(&store, "thief");
         assert!(stolen.stolen);
         assert_eq!(stolen.shard, dead.shard);
         assert!(stolen.epoch > dead.epoch);
         assert_eq!(stolen.sink, dead.sink, "the thief resumes the same sink");
         // The corpse's epoch is fenced out of both verbs.
-        assert_eq!(store.heartbeat(&run, 0, dead.epoch), Err(LeaseError::LeaseLost));
+        assert_eq!(store.heartbeat(&run, 0, dead.epoch, 0), Err(LeaseError::LeaseLost));
         assert_eq!(store.complete(&run, 0, dead.epoch), Err(LeaseError::LeaseLost));
         // The thief finishes normally.
         store.complete(&run, 0, stolen.epoch).unwrap();
@@ -628,32 +825,119 @@ mod tests {
 
     #[test]
     fn late_complete_on_matching_epoch_is_accepted() {
-        let store = store(Duration::from_millis(10));
+        let store = store("late", Duration::from_millis(10));
         let run = store.submit(spec(1, Duration::from_millis(10))).unwrap();
-        let grant = match store.lease("slow") {
-            LeaseOutcome::Granted(g) => g,
-            other => panic!("expected grant, got {other:?}"),
-        };
+        let g = grant(&store, "slow");
         std::thread::sleep(Duration::from_millis(20));
         // Expired but not re-leased: the work is done, accept it.
-        store.complete(&run, 0, grant.epoch).unwrap();
+        store.complete(&run, 0, g.epoch).unwrap();
         let (_, done) = store.status(&run).unwrap();
         assert!(done);
     }
 
     #[test]
     fn drain_refuses_new_leases_and_reports_quiescence() {
-        let store = store(Duration::from_millis(20));
+        let store = store("drain", Duration::from_millis(20));
         let run = store.submit(spec(1, Duration::from_millis(20))).unwrap();
-        let grant = match store.lease("w") {
-            LeaseOutcome::Granted(g) => g,
-            other => panic!("expected grant, got {other:?}"),
-        };
+        let g = grant(&store, "w");
         store.drain();
         assert!(matches!(store.lease("w2"), LeaseOutcome::Draining));
         assert!(!store.drained(), "a live lease blocks quiescence");
-        store.complete(&run, 0, grant.epoch).unwrap();
+        store.complete(&run, 0, g.epoch).unwrap();
         assert!(store.drained());
+    }
+
+    #[test]
+    fn two_runs_interleave_grants_round_robin() {
+        let store = store("fairness", Duration::from_secs(60));
+        let first = store.submit(spec(3, Duration::from_secs(60))).unwrap();
+        let second = store.submit(spec(3, Duration::from_secs(60))).unwrap();
+        // Strict run-then-shard order would grant all of `first`
+        // before any of `second`; the round-robin cursor alternates.
+        let order: Vec<String> = (0..6).map(|i| grant(&store, &format!("w{i}")).run).collect();
+        assert_eq!(
+            order,
+            vec![first.clone(), second.clone(), first.clone(), second.clone(), first, second],
+            "grants must interleave the two runs"
+        );
+    }
+
+    #[test]
+    fn reopened_store_recovers_runs_and_fences_dead_leases() {
+        let dir = store_dir("reopen");
+        let lease = Duration::from_secs(60);
+        let (run, done_grant, live_grant) = {
+            let (store, report) = store_at(&dir, lease);
+            assert!(!report.recovered_state(), "fresh directory");
+            let run = store.submit(spec(2, lease)).unwrap();
+            let a = grant(&store, "a");
+            store.heartbeat(&run, a.shard, a.epoch, 2).unwrap();
+            store.complete(&run, a.shard, a.epoch).unwrap();
+            let b = grant(&store, "b");
+            (run, a, b)
+            // The store drops here with shard 1 leased — the "crash".
+        };
+        let (store, report) = store_at(&dir, lease);
+        assert!(report.recovered_state());
+        assert_eq!(report.runs, 1);
+        assert_eq!(report.leases_expired, 1);
+        assert!(report.records_replayed >= 5, "{report:?}");
+        assert_eq!(store.run_ids(), vec![run.clone()]);
+        assert_eq!(store.spec(&run).unwrap(), spec(2, lease));
+
+        let (rows, done) = store.status(&run).unwrap();
+        assert!(!done);
+        assert_eq!(rows[0].state, "done");
+        assert_eq!(rows[0].worker.as_deref(), Some("a"));
+        assert_eq!(rows[0].rows_done, 2, "pushed progress survives the crash");
+        assert_eq!(rows[1].state, "pending", "the in-flight lease expired");
+
+        // The pre-crash holder is fenced out…
+        assert_eq!(
+            store.heartbeat(&run, live_grant.shard, live_grant.epoch, 0),
+            Err(LeaseError::LeaseLost)
+        );
+        assert_eq!(
+            store.complete(&run, done_grant.shard, done_grant.epoch),
+            Err(LeaseError::LeaseLost)
+        );
+        // …and the shard re-grants to a reconnecting worker.
+        let retry = grant(&store, "b2");
+        assert_eq!(retry.shard, live_grant.shard);
+        assert!(retry.epoch > live_grant.epoch, "epoch bumped past the dead lease");
+        assert_eq!(retry.sink, live_grant.sink, "same sink — resume, don't redo");
+        store.complete(&run, retry.shard, retry.epoch).unwrap();
+        assert!(store.status(&run).unwrap().1);
+    }
+
+    #[test]
+    fn compaction_snapshots_and_truncates_then_recovers() {
+        let dir = store_dir("compact");
+        let lease = Duration::from_secs(60);
+        let run = {
+            let config = JournalConfig { compact_every: 4, ..JournalConfig::default() };
+            let (store, _) = JobStore::open(&dir, lease, config).unwrap();
+            let run = store.submit(spec(2, lease)).unwrap();
+            let a = grant(&store, "a");
+            let b = grant(&store, "b");
+            // 4 records so far → this complete triggers compaction.
+            store.complete(&run, a.shard, a.epoch).unwrap();
+            store.complete(&run, b.shard, b.epoch).unwrap();
+            run
+        };
+        assert!(dir.join(SNAPSHOT_FILE).exists(), "compaction wrote the checkpoint");
+        let journal_len = std::fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len();
+        // The tail past the last compaction is short; the bulk was
+        // folded into the snapshot.
+        let (store, report) = store_at(&dir, lease);
+        assert!(report.recovered_state());
+        assert!(report.snapshot_seq >= 4, "{report:?}");
+        assert!(
+            report.records_replayed <= 2,
+            "replay is bounded by the snapshot: {report:?} (journal {journal_len}B)"
+        );
+        let (rows, done) = store.status(&run).unwrap();
+        assert!(done, "{rows:?}");
     }
 
     #[test]

@@ -1,17 +1,27 @@
 //! The leased-shard worker: polls `POST /lease`, runs each granted
 //! shard through the normal campaign engine into the grant's JSONL
-//! sink, heartbeats while evaluating, and reports `POST /complete`.
+//! sink, heartbeats while evaluating (pushing `rows_done` progress),
+//! and reports `POST /complete`.
 //!
 //! Determinism does the heavy lifting: a worker needs *no* state from
-//! the server beyond the grant — the [`RunSpec`] pins the dataset and
-//! seeds, the shard index pins the slice, and the sink's resume
-//! protocol skips whatever a previous (dead) holder already flushed.
-//! A stolen shard therefore continues mid-file and produces rows
-//! byte-identical to an uninterrupted run.
+//! the server beyond the grant — the [`RunSpec`](crate::RunSpec) pins
+//! the dataset and seeds, the shard index pins the slice, and the
+//! sink's resume protocol skips whatever a previous (dead) holder
+//! already flushed. A stolen shard therefore continues mid-file and
+//! produces rows byte-identical to an uninterrupted run.
+//!
+//! Crash-safe serving needs the mirror-image property on this side:
+//! with an `addr_file` configured, a worker treats transport errors as
+//! "the server is restarting", re-reads the file (a restarted server
+//! republishes its — possibly new — address there), and keeps polling
+//! within its idle budget. Leases held across the crash are fenced by
+//! recovery's epoch bump, so the reconnecting worker sees the ordinary
+//! `409 LeaseLost`, abandons the shard, and re-leases it fresh.
 
 use crate::store::{post_json, LeaseGrant};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 use uvllm_campaign::{
     BatchConfig, Campaign, CampaignConfig, EvalRow, JsonlSink, ResultSink, ShardSpec, SharedLlm,
@@ -31,7 +41,8 @@ pub struct WorkerOptions {
     /// Delay between `204 No Content` lease polls.
     pub poll: Duration,
     /// Exit after this many consecutive empty polls (`None` = poll
-    /// until the server drains).
+    /// until the server drains). With an `addr_file`, failed polls
+    /// while the server is down also count against this budget.
     pub max_idle: Option<u64>,
     /// Exit after the first granted lease finishes (tests, CI).
     pub once: bool,
@@ -44,6 +55,11 @@ pub struct WorkerOptions {
     /// mid-shard (rows already flushed stay on disk; no complete is
     /// reported; the lease expires and someone else finishes the file).
     pub abort_after_rows: Option<usize>,
+    /// Where the server publishes its bound address. When set,
+    /// transport errors trigger a re-read instead of failing the
+    /// worker — the handshake that lets workers outlive a server
+    /// crash/restart (which may come back on a different port).
+    pub addr_file: Option<PathBuf>,
 }
 
 impl WorkerOptions {
@@ -58,6 +74,7 @@ impl WorkerOptions {
             once: false,
             llm_batch: None,
             abort_after_rows: None,
+            addr_file: None,
         }
     }
 }
@@ -74,8 +91,46 @@ pub struct WorkerSummary {
     /// Shards abandoned by injected sink failure (`abort_after_rows`).
     pub aborted: u64,
     /// Completions/heartbeats refused with a stale epoch — the shard
-    /// was re-leased out from under us while we evaluated.
+    /// was re-leased out from under us while we evaluated (work
+    /// stealing) or the server crashed and recovery fenced our epoch.
     pub lost: u64,
+    /// Transport errors survived by re-reading the address file.
+    pub reconnects: u64,
+}
+
+/// The server address as this worker currently knows it: a plain
+/// string, refreshed from the address file after transport errors.
+#[derive(Debug, Clone)]
+struct Endpoint {
+    addr: Arc<Mutex<String>>,
+    file: Option<PathBuf>,
+}
+
+impl Endpoint {
+    fn new(options: &WorkerOptions) -> Endpoint {
+        Endpoint {
+            addr: Arc::new(Mutex::new(options.server.clone())),
+            file: options.addr_file.clone(),
+        }
+    }
+
+    fn get(&self) -> String {
+        self.addr.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// Re-reads the address file (if any). Returns true when refresh
+    /// is possible at all — false means there is no file and transport
+    /// errors are fatal, preserving the plain-address behavior.
+    fn refresh(&self) -> bool {
+        let Some(file) = &self.file else { return false };
+        if let Ok(text) = std::fs::read_to_string(file) {
+            let text = text.trim();
+            if !text.is_empty() {
+                *self.addr.lock().unwrap_or_else(PoisonError::into_inner) = text.to_string();
+            }
+        }
+        true
+    }
 }
 
 /// Runs the worker loop until the server drains, the idle budget runs
@@ -83,15 +138,34 @@ pub struct WorkerSummary {
 ///
 /// # Errors
 ///
-/// Transport failures and undecodable grants. A lost lease is *not* an
-/// error — the thief owns the shard now; it counts in the summary.
+/// Transport failures (without an `addr_file`) and undecodable grants.
+/// A lost lease is *not* an error — the thief owns the shard now; it
+/// counts in the summary.
 pub fn run_worker(options: &WorkerOptions) -> Result<WorkerSummary, String> {
     let shared: Option<SharedLlm> = options.llm_batch.clone().map(BatchedLlm::start);
+    let endpoint = Endpoint::new(options);
     let mut summary = WorkerSummary::default();
     let mut idle = 0u64;
     loop {
         let body = Json::Obj(vec![("worker".to_string(), s(options.name.clone()))]);
-        let (status, json) = post_json(&options.server, "/lease", &body)?;
+        let (status, json) = match post_json(&endpoint.get(), "/lease", &body) {
+            Ok(reply) => reply,
+            Err(e) => {
+                // Server unreachable. With an address file this is a
+                // restart in progress: refresh, spend idle budget,
+                // retry. Without one it stays fatal.
+                if !endpoint.refresh() {
+                    return Err(e);
+                }
+                summary.reconnects += 1;
+                idle += 1;
+                if options.max_idle.is_some_and(|max| idle >= max) {
+                    break;
+                }
+                std::thread::sleep(options.poll);
+                continue;
+            }
+        };
         match status {
             410 => break,
             204 => {
@@ -111,7 +185,7 @@ pub fn run_worker(options: &WorkerOptions) -> Result<WorkerSummary, String> {
         if grant.stolen {
             summary.stolen += 1;
         }
-        run_lease(options, &grant, shared.as_ref(), &mut summary)?;
+        run_lease(options, &endpoint, &grant, shared.as_ref(), &mut summary)?;
         if options.once {
             break;
         }
@@ -122,6 +196,7 @@ pub fn run_worker(options: &WorkerOptions) -> Result<WorkerSummary, String> {
 /// One granted shard: campaign run + heartbeats + completion report.
 fn run_lease(
     options: &WorkerOptions,
+    endpoint: &Endpoint,
     grant: &LeaseGrant,
     shared: Option<&SharedLlm>,
     summary: &mut WorkerSummary,
@@ -140,7 +215,10 @@ fn run_lease(
     let campaign = Campaign::new(config).map_err(|e| format!("bad grant config: {e}"))?;
     let sink = JsonlSink::open(&grant.sink)
         .map_err(|e| format!("cannot open sink {}: {e}", grant.sink.display()))?;
-    let mut sink = AbortingSink::new(sink, options.abort_after_rows);
+    // The progress the heartbeat pushes counts everything in the sink,
+    // including rows a previous holder flushed before dying.
+    let rows_done = Arc::new(AtomicU64::new(sink.completed_ids().len() as u64));
+    let mut sink = AbortingSink::new(sink, options.abort_after_rows, Arc::clone(&rows_done));
 
     // Heartbeat at a third of the lease so two misses still fit inside
     // the deadline. A 409 means the lease was re-granted — remember it
@@ -150,8 +228,9 @@ fn run_lease(
     let beat = {
         let done = Arc::clone(&done);
         let lost = Arc::clone(&lost);
-        let server = options.server.clone();
-        let body = renewal_body(grant);
+        let rows_done = Arc::clone(&rows_done);
+        let endpoint = endpoint.clone();
+        let grant = grant.clone();
         let interval = (grant.lease / 3).max(Duration::from_millis(10));
         std::thread::spawn(move || {
             while !done.load(Ordering::SeqCst) {
@@ -159,14 +238,19 @@ fn run_lease(
                 if done.load(Ordering::SeqCst) {
                     break;
                 }
-                match post_json(&server, "/heartbeat", &body) {
+                let body = renewal_body(&grant, Some(rows_done.load(Ordering::SeqCst)));
+                match post_json(&endpoint.get(), "/heartbeat", &body) {
                     Ok((200, _)) => {}
                     Ok((409, _)) => {
                         lost.store(true, Ordering::SeqCst);
                         break;
                     }
-                    // 404s and transport hiccups: keep trying; the
-                    // deadline is the arbiter.
+                    // 404s and transport hiccups: refresh the address
+                    // (a restarting server may move) and keep trying;
+                    // the deadline is the arbiter.
+                    Err(_) => {
+                        endpoint.refresh();
+                    }
                     _ => {}
                 }
             }
@@ -190,7 +274,7 @@ fn run_lease(
                 summary.lost += 1;
                 return Ok(());
             }
-            let (status, _) = post_json(&options.server, "/complete", &renewal_body(grant))?;
+            let (status, _) = post_complete(options, endpoint, grant, summary)?;
             match status {
                 200 => summary.completed += 1,
                 409 => summary.lost += 1,
@@ -201,29 +285,65 @@ fn run_lease(
     }
 }
 
-fn renewal_body(grant: &LeaseGrant) -> Json {
-    Json::Obj(vec![
+/// Reports completion, riding out a restarting server: with an
+/// `addr_file`, transport errors refresh the address and retry within
+/// the idle budget (the shard's rows are already durable, and recovery
+/// will answer 409 if the epoch was fenced meanwhile — both outcomes
+/// are fine, silence is not).
+fn post_complete(
+    options: &WorkerOptions,
+    endpoint: &Endpoint,
+    grant: &LeaseGrant,
+    summary: &mut WorkerSummary,
+) -> Result<(u16, Json), String> {
+    let body = renewal_body(grant, None);
+    let retries = options.max_idle.unwrap_or(100);
+    let mut attempt = 0u64;
+    loop {
+        match post_json(&endpoint.get(), "/complete", &body) {
+            Ok(reply) => return Ok(reply),
+            Err(e) => {
+                attempt += 1;
+                if !endpoint.refresh() || attempt >= retries {
+                    return Err(e);
+                }
+                summary.reconnects += 1;
+                std::thread::sleep(options.poll);
+            }
+        }
+    }
+}
+
+fn renewal_body(grant: &LeaseGrant, rows_done: Option<u64>) -> Json {
+    let mut members = vec![
         ("run".to_string(), s(grant.run.clone())),
         ("shard".to_string(), Json::Num(grant.shard as f64)),
         ("epoch".to_string(), Json::Num(grant.epoch as f64)),
-    ])
+    ];
+    if let Some(rows) = rows_done {
+        members.push(("rows_done".to_string(), Json::Num(rows as f64)));
+    }
+    Json::Obj(members)
 }
 
 /// A sink that dies on schedule: forwards the first `limit` appends to
 /// the wrapped [`JsonlSink`], then refuses every append with an I/O
 /// error. `limit: None` forwards everything. Because the engine
 /// flushes per row, the file is left exactly as a `kill -9` at that
-/// point would leave it — which is what the steal tests need.
+/// point would leave it — which is what the steal tests need. Also
+/// the worker's progress meter: every successful append bumps the
+/// shared counter the heartbeat thread reads.
 struct AbortingSink {
     inner: JsonlSink,
     limit: Option<usize>,
     written: usize,
     aborted: bool,
+    rows_done: Arc<AtomicU64>,
 }
 
 impl AbortingSink {
-    fn new(inner: JsonlSink, limit: Option<usize>) -> AbortingSink {
-        AbortingSink { inner, limit, written: 0, aborted: false }
+    fn new(inner: JsonlSink, limit: Option<usize>, rows_done: Arc<AtomicU64>) -> AbortingSink {
+        AbortingSink { inner, limit, written: 0, aborted: false, rows_done }
     }
 
     fn aborted(&self) -> bool {
@@ -250,6 +370,7 @@ impl ResultSink for AbortingSink {
         }
         self.inner.append(row)?;
         self.written += 1;
+        self.rows_done.fetch_add(1, Ordering::SeqCst);
         Ok(())
     }
 }

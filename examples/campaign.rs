@@ -15,7 +15,9 @@
 //! cargo run --release --example campaign -- merge shard0.jsonl shard1.jsonl --out merged.jsonl
 //! cargo run --release --example campaign -- metrics-check metrics.json
 //! cargo run --release --example campaign -- serve --addr 127.0.0.1:8091 --data-dir serve-data
+//! cargo run --release --example campaign -- serve --addr-file serve.addr --fsync every:32
 //! cargo run --release --example campaign -- worker --connect 127.0.0.1:8091 --workers 8
+//! cargo run --release --example campaign -- worker --addr-file serve.addr --workers 8
 //! cargo run --release --example campaign -- submit --connect 127.0.0.1:8091 --size 60 --shards 4
 //! cargo run --release --example campaign -- status --connect 127.0.0.1:8091 run-1 --wait
 //! cargo run --release --example campaign -- shutdown --connect 127.0.0.1:8091
@@ -36,7 +38,11 @@
 //! `submit` / `status` / `metrics` / `shutdown` / `ping` are thin
 //! clients over the same endpoints. Rows served this way are
 //! byte-identical to a plain CLI run of the same configuration —
-//! including across worker deaths and stolen leases.
+//! including across worker deaths, stolen leases, and `kill -9` of the
+//! server itself: the job store is write-ahead journaled into
+//! `--data-dir`, a restart replays it (see `--fsync`, `--compact-every`,
+//! and the `--crash-after` chaos knob), and workers given `--addr-file`
+//! re-find the restarted server on their own.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -46,7 +52,9 @@ use uvllm_campaign::{
     CampaignReport, FaultPlan, JsonlSink, MethodKind, ResiliencePolicy, ShardSpec, SimBackend,
 };
 use uvllm_json::{s, Json};
-use uvllm_serve::{http, post_json, run_worker, ServeConfig, Server, WorkerOptions};
+use uvllm_serve::{
+    http, post_json, run_worker, CrashSpec, FsyncPolicy, ServeConfig, Server, WorkerOptions,
+};
 
 struct Args {
     config: CampaignConfig,
@@ -72,9 +80,12 @@ const USAGE: &str = "usage: campaign [--workers N] [--shard i/n] [--size N] \
      \x20      campaign merge [--size N] [--seed HEX] [--methods A,B,..] \
      [--out FILE] SHARD.jsonl..\n\
      \x20      campaign metrics-check METRICS.json\n\
-     \x20      campaign serve [--addr HOST:PORT] [--data-dir DIR] [--lease-ms MS] [--poll-ms MS]\n\
-     \x20      campaign worker --connect HOST:PORT [--name NAME] [--workers N] [--poll-ms MS] \
-     [--idle-exit N] [--once] [--llm-batch N] [--llm-max-wait-ms MS] [--abort-after-rows N]\n\
+     \x20      campaign serve [--addr HOST:PORT] [--addr-file FILE] [--data-dir DIR] \
+     [--lease-ms MS] [--poll-ms MS] [--fsync always|never|every:N] [--compact-every N] \
+     [--crash-after EVENT[:N]]\n\
+     \x20      campaign worker --connect HOST:PORT [--addr-file FILE] [--name NAME] [--workers N] \
+     [--poll-ms MS] [--idle-exit N] [--once] [--llm-batch N] [--llm-max-wait-ms MS] \
+     [--abort-after-rows N]\n\
      \x20      campaign submit --connect HOST:PORT [--size N] [--seed HEX] [--methods A,B,..] \
      [--backend event|compiled] [--opt-level 0..3] [--shards N] [--lease-ms MS]\n\
      \x20      campaign status --connect HOST:PORT RUN [--wait] [--rows-out FILE]\n\
@@ -598,11 +609,13 @@ fn parse_ms(name: &str, text: &str) -> Result<u64, String> {
 /// `POST /shutdown` or SIGINT drains it.
 fn run_serve(args: Vec<String>) -> Result<(), String> {
     let mut config = ServeConfig::default();
+    let mut addr_file: Option<std::path::PathBuf> = None;
     let mut args = args.into_iter();
     while let Some(flag) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--addr" => config.addr = value("--addr")?,
+            "--addr-file" => addr_file = Some(value("--addr-file")?.into()),
             "--data-dir" => config.data_dir = value("--data-dir")?.into(),
             "--lease-ms" => {
                 config.default_lease =
@@ -610,6 +623,15 @@ fn run_serve(args: Vec<String>) -> Result<(), String> {
             }
             "--poll-ms" => {
                 config.poll = Duration::from_millis(parse_ms("--poll-ms", &value("--poll-ms")?)?);
+            }
+            "--fsync" => config.journal.fsync = FsyncPolicy::parse(&value("--fsync")?)?,
+            "--compact-every" => {
+                config.journal.compact_every = value("--compact-every")?
+                    .parse()
+                    .map_err(|_| "--compact-every must be a number".to_string())?;
+            }
+            "--crash-after" => {
+                config.journal.crash_after = Some(CrashSpec::parse(&value("--crash-after")?)?);
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -622,6 +644,20 @@ fn run_serve(args: Vec<String>) -> Result<(), String> {
     let data_dir = config.data_dir.clone();
     let lease = config.default_lease;
     let server = Server::start(config).map_err(|e| format!("cannot start server: {e}"))?;
+    let report = server.recovery();
+    if report.recovered_state() {
+        println!("{}", report.render());
+        for diag in &report.diags {
+            eprintln!("recovery diag: {diag}");
+        }
+    }
+    if let Some(path) = &addr_file {
+        // Temp-and-rename so a worker mid-read never sees a torn file.
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, format!("{}\n", server.addr()))
+            .and_then(|()| std::fs::rename(&tmp, path))
+            .map_err(|e| format!("cannot publish address to {}: {e}", path.display()))?;
+    }
     println!("serving on {}", server.addr());
     println!(
         "data dir {}; default lease {:?}; POST /shutdown or SIGINT to drain",
@@ -651,6 +687,10 @@ fn run_remote_worker(args: Vec<String>) -> Result<(), String> {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--connect" => options.server = value("--connect")?,
+            // Survive server restarts: re-read the published address on
+            // transport errors (also serves as the initial address when
+            // --connect is omitted).
+            "--addr-file" => options.addr_file = Some(value("--addr-file")?.into()),
             "--name" => options.name = value("--name")?,
             "--workers" => {
                 options.workers = value("--workers")?
@@ -690,8 +730,15 @@ fn run_remote_worker(args: Vec<String>) -> Result<(), String> {
             other => return Err(format!("unknown worker flag '{other}' (try --help)")),
         }
     }
-    if options.server.is_empty() {
-        return Err("worker needs --connect HOST:PORT".to_string());
+    match (&options.server.is_empty(), &options.addr_file) {
+        (false, _) => {}
+        (true, Some(file)) => {
+            options.server = std::fs::read_to_string(file)
+                .map_err(|e| format!("cannot read --addr-file {}: {e}", file.display()))?
+                .trim()
+                .to_string();
+        }
+        (true, None) => return Err("worker needs --connect HOST:PORT or --addr-file".to_string()),
     }
     match (max_wait, &mut options.llm_batch) {
         (None, _) => {}
@@ -700,13 +747,14 @@ fn run_remote_worker(args: Vec<String>) -> Result<(), String> {
     }
     let summary = run_worker(&options)?;
     println!(
-        "worker {}: {} lease(s) ({} stolen), {} completed, {} aborted, {} lost",
+        "worker {}: {} lease(s) ({} stolen), {} completed, {} aborted, {} lost, {} reconnect(s)",
         options.name,
         summary.leases,
         summary.stolen,
         summary.completed,
         summary.aborted,
         summary.lost,
+        summary.reconnects,
     );
     Ok(())
 }
